@@ -1,0 +1,1 @@
+bench/timing.ml: Analyze Aries_buffer Bechamel Benchmark Btree Db Format Hashtbl List Measure Printf Protocol Staged Test Time Toolkit Workload

@@ -1,0 +1,1 @@
+bench/workload.ml: Aries_btree Aries_db Aries_sched Aries_txn Aries_util Aries_wal Format Ids List Printf Stats

@@ -1,0 +1,767 @@
+(* The per-figure experiments (E1-E11) and the quantitative claims
+   (Q1-Q6). Each prints the evidence the paper's figure or claim predicts;
+   EXPERIMENTS.md records expected-vs-measured. The assertions here mirror
+   test/test_scenarios.ml — the harness narrates, the tests enforce. *)
+
+open Aries_util
+open Workload
+module Ixlog = Aries_btree.Ixlog
+module Key = Aries_page.Key
+module Lockmgr = Aries_lock.Lockmgr
+module Bufpool = Aries_buffer.Bufpool
+module Restart = Aries_recovery.Restart
+module Media = Aries_recovery.Media
+module Disk = Aries_page.Disk
+module Page = Aries_page.Page
+
+let records_after db from =
+  List.filter
+    (fun r -> Lsn.( < ) from r.Logrec.lsn)
+    (Logmgr.records_between db.Db.wal Lsn.nil Lsn.nil)
+
+(* ------------------------------------------------------------------ *)
+
+let e1 ppf =
+  section ppf "E1 (Figure 1): logical undo after an intervening page split";
+  let db, tree = fresh () in
+  seed_keys db tree 0 9;
+  let k8 = "key99999" in
+  Db.run_exn db (fun () ->
+      let t1 = Txnmgr.begin_txn db.Db.mgr in
+      Btree.insert tree t1 ~value:k8 ~rid:(rid 999);
+      let p1 = Btree.locate_leaf tree k8 in
+      Db.with_txn db (fun t2 ->
+          let i = ref 10 in
+          while Btree.locate_leaf tree k8 = p1 do
+            Btree.insert tree t2 ~value:(v !i) ~rid:(rid !i);
+            incr i
+          done);
+      let p2 = Btree.locate_leaf tree k8 in
+      kv ppf "T1 inserted K8 into page" "P%d" p1;
+      kv ppf "T2's committed split moved K8 to page" "P%d" p2;
+      let mark = Logmgr.last_lsn db.Db.wal in
+      let (), s = measured (fun () -> Txnmgr.rollback db.Db.mgr t1) in
+      let clr =
+        List.find
+          (fun r -> r.Logrec.kind = Logrec.Clr && r.Logrec.rm_id = Ixlog.rm_id)
+          (records_after db mark)
+      in
+      kv ppf "T1's rollback compensated on page" "P%d (logical undos: %d)" clr.Logrec.page
+        (Stats.get s Stats.logical_undos);
+      kv ppf "paper predicts: CLR page <> original page" "%s"
+        (if clr.Logrec.page = p2 && p1 <> p2 then "CONFIRMED" else "VIOLATED"));
+  Btree.check_invariants tree
+
+let e2 ppf =
+  section ppf "E2 (Figure 2): the locking summary table, measured";
+  Format.fprintf ppf "  %-16s %-28s %-28s@." "operation" "next key" "current key";
+  let run_op locking name f expect_events =
+    let cfg = config_of locking in
+    let db, tree = fresh ~config:cfg () in
+    seed_keys db tree 0 19;
+    let events = ref [] in
+    Btree.set_trace db.Db.benv
+      (Some
+         (function
+           | Btree.Ev_lock (n, m, d, (`Cond_ok | `Uncond)) -> events := (n, m, d) :: !events
+           | _ -> ()));
+    Db.run_exn db (fun () -> Db.with_txn db (fun txn -> f tree txn));
+    Btree.set_trace db.Db.benv None;
+    ignore expect_events;
+    let show =
+      List.rev_map (fun (_, m, d) -> Printf.sprintf "%s %s" m d) !events |> String.concat " + "
+    in
+    Format.fprintf ppf "  [%s] %-12s locks: %s@." (Protocol.locking_to_string locking) name show
+  in
+  List.iter
+    (fun locking ->
+      run_op locking "fetch" (fun tree txn -> ignore (Btree.fetch tree txn (v 5))) [];
+      run_op locking "insert"
+        (fun tree txn -> Btree.insert tree txn ~value:"key00005a" ~rid:(rid 500))
+        [];
+      run_op locking "delete" (fun tree txn -> Btree.delete tree txn ~value:(v 10) ~rid:(rid 10)) [])
+    [ Protocol.Data_only; Protocol.Index_specific ];
+  Format.fprintf ppf
+    "  Figure 2 predicts: insert = next-key X instant (+ current X commit if@.";
+  Format.fprintf ppf
+    "  index-specific); delete = next-key X commit (+ current X instant); fetch =@.";
+  Format.fprintf ppf "  current-key S commit.@."
+
+let e3 ppf =
+  section ppf "E3 (Figure 3): insert vs in-progress SMO";
+  let db, tree = fresh () in
+  seed_keys db tree 0 19;
+  let cv = Sched.Condvar.create "pause" in
+  let paused = ref false in
+  Btree.set_smo_pause db.Db.benv
+    (Some
+       (fun () ->
+         if not !paused then begin
+           paused := true;
+           Sched.Condvar.wait cv
+         end));
+  let t2_started = ref false and t2_done = ref false and blocked = ref false in
+  let r =
+    Db.run db (fun () ->
+        ignore
+          (Sched.spawn (fun () ->
+               Db.with_txn db (fun txn ->
+                   let i = ref 100 in
+                   while not !paused do
+                     Btree.insert tree txn ~value:(v !i) ~rid:(rid !i);
+                     incr i
+                   done)));
+        ignore
+          (Sched.spawn (fun () ->
+               while not !paused do
+                 Sched.yield ()
+               done;
+               t2_started := true;
+               Db.with_txn db (fun txn -> Btree.insert tree txn ~value:"key99998" ~rid:(rid 77));
+               t2_done := true));
+        ignore
+          (Sched.spawn (fun () ->
+               while not !t2_started do
+                 Sched.yield ()
+               done;
+               for _ = 1 to 10 do
+                 Sched.yield ()
+               done;
+               blocked := not !t2_done;
+               Sched.Condvar.signal cv)))
+  in
+  Btree.set_smo_pause db.Db.benv None;
+  kv ppf "T2's insert blocked while T1's SMO was incomplete" "%b" !blocked;
+  kv ppf "T2's insert completed after the SMO finished" "%b" !t2_done;
+  kv ppf "schedule ran to completion" "%b" (r.Sched.outcome = Sched.Completed);
+  Btree.check_invariants tree;
+  kv ppf "tree invariants" "%s" "hold"
+
+let e4 ppf =
+  section ppf "E4 (Figure 4): traversal latch coupling";
+  let db, tree = fresh () in
+  seed_keys db tree 0 199;
+  let held = ref 0 and max_held = ref 0 and acquires = ref 0 in
+  Btree.set_trace db.Db.benv
+    (Some
+       (function
+         | Btree.Ev_latch (_, _, `Acquire) ->
+             incr held;
+             incr acquires;
+             if !held > !max_held then max_held := !held
+         | Btree.Ev_latch (_, _, `Release) -> decr held
+         | _ -> ()));
+  Db.run_exn db (fun () -> Db.with_txn db (fun txn -> ignore (Btree.fetch tree txn (v 150))));
+  Btree.set_trace db.Db.benv None;
+  kv ppf "tree height" "%d" (Btree.height tree);
+  kv ppf "page latches acquired by one fetch" "%d" !acquires;
+  kv ppf "max latches held simultaneously" "%d (paper: <= 2)" !max_held;
+  kv ppf "latches leaked" "%d" !held
+
+let e5 ppf =
+  section ppf "E5 (Figure 5): fetch's conditional-lock / unlatch / wait dance";
+  let db, tree = fresh () in
+  seed_keys db tree 0 9;
+  let cond_fail = ref 0 and uncond = ref 0 in
+  Btree.set_trace db.Db.benv
+    (Some
+       (function
+         | Btree.Ev_lock (_, _, _, `Cond_fail) -> incr cond_fail
+         | Btree.Ev_lock (_, _, _, `Uncond) -> incr uncond
+         | _ -> ()));
+  let fetched = ref None in
+  ignore
+    (Db.run db (fun () ->
+         ignore
+           (Sched.spawn (fun () ->
+                let t1 = Txnmgr.begin_txn db.Db.mgr in
+                Btree.delete tree t1 ~value:(v 5) ~rid:(rid 5);
+                for _ = 1 to 12 do
+                  Sched.yield ()
+                done;
+                Txnmgr.rollback db.Db.mgr t1));
+         ignore
+           (Sched.spawn (fun () ->
+                Sched.yield ();
+                Db.with_txn db (fun t2 -> fetched := Btree.fetch tree t2 (v 5))))));
+  Btree.set_trace db.Db.benv None;
+  kv ppf "conditional lock denials observed" "%d" !cond_fail;
+  kv ppf "unconditional (latches released) waits" "%d" !uncond;
+  kv ppf "fetch saw the rolled-back deleter's key (RR)" "%b"
+    (match !fetched with Some k -> String.equal k.Key.value (v 5) | None -> false)
+
+let e7 ppf =
+  section ppf "E7 (Figure 7): Delete_Bit and the boundary-key POSC rule";
+  let db, tree = fresh () in
+  seed_keys db tree 0 199;
+  let leaves = Btree.leaf_pids tree in
+  let second = List.nth leaves 1 in
+  let on_leaf =
+    List.filter (fun (value, _) -> Btree.locate_leaf tree value = second) (Btree.to_list tree)
+  in
+  let mid_value, mid_rid = List.nth on_leaf (List.length on_leaf / 2) in
+  let bound_value, bound_rid = List.hd on_leaf in
+  let delete_marks value r =
+    let mark = Logmgr.last_lsn db.Db.wal in
+    let tree_latched = ref false in
+    Btree.set_trace db.Db.benv
+      (Some
+         (function Btree.Ev_tree_latch (`S, `Acquire) -> tree_latched := true | _ -> ()));
+    Db.run_exn db (fun () -> Db.with_txn db (fun txn -> Btree.delete tree txn ~value ~rid:r));
+    Btree.set_trace db.Db.benv None;
+    let marked =
+      List.exists
+        (fun rc ->
+          rc.Logrec.kind = Logrec.Update && rc.Logrec.rm_id = Ixlog.rm_id
+          &&
+          match Ixlog.decode ~op:rc.Logrec.op rc.Logrec.body with
+          | Ixlog.Delete_key { mark_delete_bit; _ } -> mark_delete_bit
+          | _ -> false)
+        (records_after db mark)
+    in
+    (marked, !tree_latched)
+  in
+  let marked, latched = delete_marks mid_value mid_rid in
+  kv ppf "non-boundary delete: Delete_Bit set / tree latch" "%b / %b" marked latched;
+  let marked, latched = delete_marks bound_value bound_rid in
+  kv ppf "boundary delete:     Delete_Bit set / tree latch" "%b / %b" marked latched;
+  kv ppf "paper predicts" "%s" "true/false then false/true"
+
+let e9 ppf =
+  section ppf "E9 (Figures 8-9): page-split log record sequence";
+  let db, tree = fresh () in
+  seed_keys db tree 0 9;
+  Db.run_exn db (fun () ->
+      Db.with_txn db (fun txn ->
+          let i = ref 10 in
+          while List.length (Btree.leaf_pids tree) = 1 do
+            Btree.insert tree txn ~value:(v !i) ~rid:(rid !i);
+            incr i
+          done));
+  let all = Logmgr.records_between db.Db.wal Lsn.nil Lsn.nil in
+  let names =
+    List.filter_map
+      (fun r ->
+        if r.Logrec.rm_id = Ixlog.rm_id && r.Logrec.kind = Logrec.Update then
+          Some (Ixlog.op_name r.Logrec.op)
+        else if r.Logrec.kind = Logrec.Clr && r.Logrec.rm_id = 0 then Some "dummy-CLR"
+        else None)
+      all
+  in
+  (* print the window around the split: from the adjacent
+     (format_leaf, leaf_truncate) pair through the pending insert *)
+  let rec around = function
+    | "format_leaf" :: ("leaf_truncate" :: _ as rest) -> "format_leaf" :: around_tail rest
+    | _ :: rest -> around rest
+    | [] -> []
+  and around_tail = function
+    | "insert_key" :: _ -> [ "insert_key            <- the pending insert, after the SMO" ]
+    | x :: rest -> x :: around_tail rest
+    | [] -> []
+  in
+  Format.fprintf ppf "  log sequence around the split:@.";
+  List.iter (fun n -> Format.fprintf ppf "    %s@." n) (around names);
+  Format.fprintf ppf
+    "  Figure 9 predicts: split records, then the dummy CLR closing the nested@.";
+  Format.fprintf ppf "  top action, and only then the insert that caused the split.@."
+
+let e10 ppf =
+  section ppf "E10 (Figure 10): page-delete log record sequence";
+  let db, tree = fresh () in
+  seed_keys db tree 0 199;
+  let second = List.nth (Btree.leaf_pids tree) 1 in
+  let on_leaf =
+    List.filter (fun (value, _) -> Btree.locate_leaf tree value = second) (Btree.to_list tree)
+  in
+  let mark = Logmgr.last_lsn db.Db.wal in
+  Db.run_exn db (fun () ->
+      Db.with_txn db (fun txn ->
+          List.iter (fun (value, r) -> Btree.delete tree txn ~value ~rid:r) on_leaf));
+  let recs = records_after db mark in
+  let key_delete =
+    List.filter
+      (fun r ->
+        r.Logrec.kind = Logrec.Update && r.Logrec.rm_id = Ixlog.rm_id && r.Logrec.page = second
+        && match Ixlog.decode ~op:r.Logrec.op r.Logrec.body with
+           | Ixlog.Delete_key _ -> true
+           | _ -> false)
+      recs
+    |> List.rev |> List.hd
+  in
+  let dummy =
+    List.find
+      (fun r ->
+        r.Logrec.kind = Logrec.Clr && r.Logrec.rm_id = 0
+        && Lsn.( < ) key_delete.Logrec.lsn r.Logrec.lsn)
+      recs
+  in
+  kv ppf "key-delete record LSN" "%d" key_delete.Logrec.lsn;
+  kv ppf "page-delete NTA dummy CLR UndoNxtLSN" "%d" dummy.Logrec.undo_nxt_lsn;
+  kv ppf "dummy CLR points exactly at the key delete (Fig 10)" "%s"
+    (if dummy.Logrec.undo_nxt_lsn = key_delete.Logrec.lsn then "CONFIRMED" else "VIOLATED");
+  kv ppf "victim page removed from the leaf chain" "%b"
+    (not (List.mem second (Btree.leaf_pids tree)))
+
+let e11 ppf =
+  section ppf "E11 (Figure 11): the Delete_Bit protects the region of structural inconsistency";
+  let run ~delete_bit =
+    let cfg = { Btree.default_config with Btree.delete_bit_enabled = delete_bit } in
+    let db, tree = fresh ~config:cfg () in
+    seed_keys db tree 0 199;
+    let free_of pid = Bufpool.with_fix db.Db.pool pid (fun p -> Page.free_space p) in
+    let base = "key00042" in
+    let entry_len = String.length base + 3 in
+    let cost = entry_len + 10 in
+    let j = ref 0 in
+    while free_of (Btree.locate_leaf tree base) >= cost do
+      Db.run_exn db (fun () ->
+          Db.with_txn db (fun txn ->
+              Btree.insert tree txn
+                ~value:(Printf.sprintf "%sf%02d" base !j)
+                ~rid:(rid (300 + !j))));
+      incr j
+    done;
+    let target_leaf = Btree.locate_leaf tree base in
+    let on_leaf =
+      List.filter
+        (fun (value, _) ->
+          Btree.locate_leaf tree value = target_leaf && String.length value = entry_len)
+        (Btree.to_list tree)
+    in
+    let del_value, del_rid = List.nth on_leaf (List.length on_leaf / 2) in
+    let consumer = String.sub del_value 0 (entry_len - 1) ^ "z" in
+    let cv = Sched.Condvar.create "e11" in
+    let paused = ref false and t2_done = ref false and blocked = ref false in
+    Btree.set_smo_pause db.Db.benv
+      (Some
+         (fun () ->
+           if not !paused then begin
+             paused := true;
+             Logmgr.flush db.Db.wal;
+             Sched.Condvar.wait cv
+           end));
+    ignore
+      (Db.run db (fun () ->
+           ignore
+             (Sched.spawn (fun () ->
+                  Db.with_txn db (fun txn ->
+                      let i = ref 5000 in
+                      while not !paused do
+                        Btree.insert tree txn ~value:(v !i) ~rid:(rid !i);
+                        incr i
+                      done)));
+           ignore
+             (Sched.spawn (fun () ->
+                  while not !paused do
+                    Sched.yield ()
+                  done;
+                  let t1 = Txnmgr.begin_txn db.Db.mgr in
+                  Btree.delete tree t1 ~value:del_value ~rid:del_rid;
+                  Logmgr.flush db.Db.wal;
+                  ignore
+                    (Sched.spawn (fun () ->
+                         let t2 = Txnmgr.begin_txn db.Db.mgr in
+                         Btree.insert tree t2 ~value:consumer ~rid:(rid 77);
+                         Txnmgr.commit db.Db.mgr t2;
+                         t2_done := true));
+                  ignore
+                    (Sched.spawn (fun () ->
+                         for _ = 1 to 20 do
+                           Sched.yield ()
+                         done;
+                         blocked := not !t2_done))))));
+    Btree.set_smo_pause db.Db.benv None;
+    let db' = Db.crash db in
+    let report, s = measured (fun () -> Db.run_exn db' (fun () -> Db.restart db')) in
+    ignore report;
+    (!blocked, !t2_done, Stats.get s Stats.logical_undos, Stats.get s Stats.page_oriented_undos)
+  in
+  let blocked, consumed, logical, pageor = run ~delete_bit:true in
+  kv ppf "[bit ON ] consumer blocked / consumed in ROSI" "%b / %b" blocked consumed;
+  kv ppf "[bit ON ] restart undo: logical / page-oriented" "%d / %d" logical pageor;
+  let blocked, consumed, logical, pageor = run ~delete_bit:false in
+  kv ppf "[bit OFF] consumer blocked / consumed in ROSI" "%b / %b" blocked consumed;
+  kv ppf "[bit OFF] restart undo: logical / page-oriented" "%d / %d" logical pageor;
+  Format.fprintf ppf
+    "  With the bit, the space consumer waits for the POSC and the uncommitted@.";
+  Format.fprintf ppf
+    "  delete's restart undo stays page-oriented; the ablation admits the Fig-11@.";
+  Format.fprintf ppf "  hazard (logical undo inside a region of structural inconsistency).@."
+
+(* ------------------------------------------------------------------ *)
+(* Q1: locks acquired per operation, by protocol (through the Table layer,
+   so record-manager locks are included). *)
+
+let q1 ppf =
+  section ppf "Q1: lock requests per operation (1 record, 2 indexes)";
+  let specs =
+    [
+      { Table.sp_name = "pk"; sp_unique = true; sp_key = (fun r -> r.(0)) };
+      { Table.sp_name = "cat"; sp_unique = false; sp_key = (fun r -> r.(1)) };
+    ]
+  in
+  Format.fprintf ppf "  %-16s %8s %8s %8s %8s@." "protocol" "fetch" "insert" "delete" "scan25";
+  List.iter
+    (fun locking ->
+      let config = config_of locking in
+      let db = Db.create ~config () in
+      let tbl =
+        Db.run_exn db (fun () -> Db.with_txn db (fun txn -> Table.create db txn ~id:1 specs))
+      in
+      Db.run_exn db (fun () ->
+          Db.with_txn db (fun txn ->
+              for i = 0 to 199 do
+                ignore
+                  (Table.insert tbl txn
+                     [| Printf.sprintf "item%04d" i; Printf.sprintf "cat%d" (i mod 8) |])
+              done));
+      let count f =
+        let (), s = measured (fun () -> Db.run_exn db (fun () -> Db.with_txn db f)) in
+        Stats.get s Stats.lock_requests
+      in
+      let f = count (fun txn -> ignore (Table.fetch tbl txn ~index:"pk" "item0100")) in
+      let i = count (fun txn -> ignore (Table.insert tbl txn [| "item9000"; "cat1" |])) in
+      let d =
+        count (fun txn ->
+            match Table.fetch tbl txn ~index:"pk" "item0050" with
+            | Some (r, _) -> Table.delete tbl txn r
+            | None -> ())
+      in
+      let s =
+        count (fun txn -> ignore (Table.scan tbl txn ~index:"cat" "cat3" ~stop:("cat3", `Le) ()))
+      in
+      Format.fprintf ppf "  %-16s %8d %8d %8d %8d@." (Protocol.locking_to_string locking) f i d s)
+    protocols;
+  Format.fprintf ppf
+    "  Paper (§1,§5): ARIES/IM data-only locking acquires the minimal number of@.";
+  Format.fprintf ppf "  locks; System R-style locking acquires the most.@."
+
+(* Q2: lock waits under contention, by protocol *)
+
+let q2 ppf =
+  section ppf "Q2: concurrency — lock waits and deadlocks under contention";
+  Format.fprintf ppf "  %-16s %10s %10s %10s@." "protocol" "committed" "lock-waits" "deadlocks";
+  List.iter
+    (fun locking ->
+      let config = config_of locking in
+      (* a nonunique index over a handful of hot key values: readers fetch a
+         value while writers add fresh duplicates of it. Under key locking
+         (IM) the reader's lock covers one key; under value locking (KVL /
+         System R) it covers every duplicate, so writers conflict. *)
+      let db, tree = fresh ~page_size:512 ~unique:false ~config () in
+      let hot = 8 in
+      Db.run_exn db (fun () ->
+          Db.with_txn db (fun txn ->
+              for i = 0 to 79 do
+                Btree.insert tree txn ~value:(v (i mod hot)) ~rid:(rid i)
+              done));
+      let committed = ref 0 in
+      let next_rid = ref 1000 in
+      let (), s =
+        measured (fun () ->
+            ignore
+              (Db.run db ~policy:(Sched.Random 11) ~yield_probability:0.2 (fun () ->
+                   for f = 0 to 5 do
+                     let rng = Rng.create (100 + f) in
+                     ignore
+                       (Sched.spawn (fun () ->
+                            for _ = 1 to 25 do
+                              let t = Txnmgr.begin_txn db.Db.mgr in
+                              match
+                                for _ = 1 to 3 do
+                                  let value = v (Rng.int rng hot) in
+                                  if Rng.bool rng then
+                                    (* reader *)
+                                    ignore (Btree.fetch tree t value)
+                                  else begin
+                                    (* writer: fresh duplicate of a hot value *)
+                                    incr next_rid;
+                                    let r = rid !next_rid in
+                                    Txnmgr.lock db.Db.mgr t (Lockmgr.Rid r) Lockmgr.X
+                                      Lockmgr.Commit;
+                                    Btree.insert tree t ~value ~rid:r
+                                  end
+                                done
+                              with
+                              | () ->
+                                  Txnmgr.commit db.Db.mgr t;
+                                  incr committed
+                              | exception Txnmgr.Aborted _ -> ()
+                            done))
+                   done)))
+      in
+      Format.fprintf ppf "  %-16s %10d %10d %10d@."
+        (Protocol.locking_to_string locking)
+        !committed
+        (Stats.get s Stats.lock_waits)
+        (Stats.get s Stats.lock_deadlocks))
+    protocols;
+  Format.fprintf ppf
+    "  Paper (§1): more permitted interleavings under ARIES/IM; value-level and@.";
+  Format.fprintf ppf "  commit-duration locking produce more waits on the same workload.@."
+
+(* Q3: restart recovery is page-oriented *)
+
+let q3 ppf =
+  section ppf "Q3: restart recovery — page-oriented redo, page-oriented undo when possible";
+  let db, tree = fresh ~page_size:384 () in
+  Bufpool.set_steal_hook db.Db.pool ~seed:3 ~probability:0.15;
+  (* even keys committed; the loser scatters inserts (odd keys) and deletes
+     (existing evens) across the tree — the typical case the paper argues
+     stays page-oriented *)
+  Db.run_exn db (fun () ->
+      Db.with_txn db (fun txn ->
+          for i = 0 to 299 do
+            Btree.insert tree txn ~value:(v (2 * i)) ~rid:(rid (2 * i))
+          done));
+  Bufpool.flush_all db.Db.pool;
+  Db.checkpoint db;
+  Db.run_exn db (fun () ->
+      Db.with_txn db (fun txn ->
+          for i = 0 to 99 do
+            Btree.insert tree txn ~value:(v ((14 * i mod 600) + 1)) ~rid:(rid ((14 * i mod 600) + 1))
+          done));
+  ignore
+    (Db.run db (fun () ->
+         let t = Txnmgr.begin_txn db.Db.mgr in
+         (* scattered fresh inserts: each sorts right after an existing even
+            key, so pages rarely split and undo stays page-oriented *)
+         for i = 0 to 49 do
+           let k = 2 * ((13 * i) mod 300) in
+           Btree.insert tree t ~value:(v k ^ "a") ~rid:(rid (700 + i))
+         done;
+         for i = 0 to 49 do
+           let k = 2 * ((11 * i) mod 300) in
+           Btree.delete tree t ~value:(v k) ~rid:(rid k)
+         done;
+         Logmgr.flush db.Db.wal));
+  let db' = Db.crash db in
+  let report, s = measured (fun () -> Db.run_exn db' (fun () -> Db.restart db')) in
+  kv ppf "log records analyzed" "%d" report.Restart.rp_records_analyzed;
+  kv ppf "redo: records scanned / applied / skipped" "%d / %d / %d"
+    report.Restart.rp_records_redo_scanned report.Restart.rp_redos_applied
+    report.Restart.rp_redos_skipped;
+  kv ppf "tree traversals during redo" "%d (paper: always 0)" report.Restart.rp_redo_traversals;
+  kv ppf "undo: records processed" "%d" report.Restart.rp_undo_records;
+  kv ppf "undo: page-oriented / logical" "%d / %d"
+    (Stats.get s Stats.page_oriented_undos)
+    (Stats.get s Stats.logical_undos);
+  let tree' = Btree.open_existing db'.Db.benv (Btree.index_id tree) in
+  Btree.check_invariants tree';
+  kv ppf "recovered keys" "%d (expected 400)" (List.length (Btree.to_list tree'))
+
+(* Q4: rolling-back transactions never deadlock *)
+
+let q4 ppf =
+  section ppf "Q4: rolling-back transactions never deadlock";
+  let db, tree = fresh ~page_size:384 () in
+  seed_keys db tree 0 99;
+  let rng = Rng.create 99 in
+  let deadlocks = ref 0 and committed = ref 0 and rolled_back = ref 0 in
+  let (), s =
+    measured (fun () ->
+        ignore
+          (Db.run db ~policy:(Sched.Random 99) ~yield_probability:0.2 (fun () ->
+               for _f = 1 to 6 do
+                 ignore
+                   (Sched.spawn (fun () ->
+                        for _ = 1 to 20 do
+                          let t = Txnmgr.begin_txn db.Db.mgr in
+                          match
+                            for _ = 1 to 1 + Rng.int rng 4 do
+                              let i = Rng.int rng 400 in
+                              Txnmgr.lock db.Db.mgr t (Lockmgr.Rid (rid i)) Lockmgr.X
+                                Lockmgr.Commit;
+                              let value = v i in
+                              try Btree.insert tree t ~value ~rid:(rid i)
+                              with Btree.Unique_violation _ -> (
+                                try Btree.delete tree t ~value ~rid:(rid i)
+                                with Btree.Key_not_found _ -> ())
+                            done
+                          with
+                          | () ->
+                              if Rng.int rng 3 = 0 then begin
+                                Txnmgr.rollback db.Db.mgr t;
+                                incr rolled_back
+                              end
+                              else begin
+                                Txnmgr.commit db.Db.mgr t;
+                                incr committed
+                              end
+                          | exception Txnmgr.Aborted _ -> incr deadlocks
+                        done))
+               done)))
+  in
+  kv ppf "transactions committed / rolled back / deadlock-aborted" "%d / %d / %d" !committed
+    !rolled_back !deadlocks;
+  kv ppf "deadlock victims that were rolling back" "%d (by construction: %s)" 0
+    "rollbacks request no locks and are exempt from victim selection";
+  kv ppf "lock waits total" "%d" (Stats.get s Stats.lock_waits);
+  Btree.check_invariants tree;
+  kv ppf "tree invariants after the storm" "%s" "hold"
+
+(* Q5: SMOs concurrent with other operations vs a serialize-everything
+   strawman *)
+
+let q5 ppf =
+  section ppf "Q5: operations concurrent with SMOs vs tree-latch-everything strawman";
+  let run ~strawman =
+    let config = { Btree.default_config with Btree.serialize_smo_ops = strawman } in
+    let db, tree = fresh ~page_size:384 ~config () in
+    seed_keys db tree 0 49;
+    let completed = ref 0 in
+    let steps = 40_000 in
+    ignore
+      (Db.run db ~policy:(Sched.Random 5) ~yield_probability:0.3 ~max_steps:steps (fun () ->
+           (* one writer causing a steady stream of splits *)
+           ignore
+             (Sched.spawn (fun () ->
+                  let i = ref 100 in
+                  while true do
+                    Db.with_txn db (fun txn ->
+                        for _ = 1 to 5 do
+                          Btree.insert tree txn ~value:(v !i) ~rid:(rid !i);
+                          incr i
+                        done);
+                    incr completed;
+                    Sched.yield ()
+                  done));
+           (* readers *)
+           for f = 0 to 3 do
+             let rng = Rng.create (50 + f) in
+             ignore
+               (Sched.spawn (fun () ->
+                    while true do
+                      Db.with_txn db (fun txn ->
+                          ignore (Btree.fetch tree txn (v (Rng.int rng 100))));
+                      incr completed;
+                      Sched.yield ()
+                    done))
+           done));
+    !completed
+  in
+  let normal = run ~strawman:false in
+  let strawman = run ~strawman:true in
+  kv ppf "ops completed in a fixed step budget (ARIES/IM)" "%d" normal;
+  kv ppf "ops completed with every op serialized on the tree latch" "%d" strawman;
+  kv ppf "speedup from letting ops run during SMOs" "%.2fx"
+    (float_of_int normal /. float_of_int (max 1 strawman))
+
+(* Q7 (§5 extension): concurrent SMOs via the tree lock *)
+
+let q7 ppf =
+  section ppf "Q7 (§5): concurrent SMOs — tree lock (IX/X) vs serialized tree latch";
+  let run ~concurrent =
+    let config = { Btree.default_config with Btree.concurrent_smos = concurrent } in
+    let db, tree = fresh ~page_size:512 ~config () in
+    seed_keys db tree 0 49;
+    let committed = ref 0 in
+    let steps = 60_000 in
+    ignore
+      (Db.run db ~policy:(Sched.Random 9) ~yield_probability:0.3 ~max_steps:steps (fun () ->
+           (* several writers, each driving splits in its own key region *)
+           for f = 0 to 3 do
+             ignore
+               (Sched.spawn (fun () ->
+                    let i = ref (10_000 * (f + 1)) in
+                    while true do
+                      (match
+                         Db.with_txn db (fun txn ->
+                             for _ = 1 to 4 do
+                               Btree.insert tree txn ~value:(v !i) ~rid:(rid !i);
+                               incr i
+                             done)
+                       with
+                      | () -> incr committed
+                      | exception Txnmgr.Aborted _ -> ());
+                      Sched.yield ()
+                    done))
+           done));
+    Btree.check_invariants tree;
+    !committed
+  in
+  let serialized = run ~concurrent:false in
+  let concurrent = run ~concurrent:true in
+  kv ppf "txns committed, SMOs serialized on the tree latch" "%d" serialized;
+  kv ppf "txns committed, concurrent SMOs (tree lock, IX leaf-level)" "%d" concurrent;
+  kv ppf "throughput ratio" "%.2fx" (float_of_int concurrent /. float_of_int (max 1 serialized));
+  Format.fprintf ppf
+    "  §5: \"Concurrent SMOs can be easily permitted by changing the tree latch@.";
+  Format.fprintf ppf
+    "  into a lock\" — leaf-level SMOs take IX; nonleaf-level SMOs upgrade to X@.";
+  Format.fprintf ppf "  (upgrade deadlocks abort the transaction, as the paper predicts).@."
+
+(* Q8 (ablation, Figure 8's "optional" step): cost of not resetting SM bits *)
+
+let q8 ppf =
+  section ppf "Q8 (ablation): Figure 8's optional SM_Bit reset";
+  let run ~reset =
+    let config = { Btree.default_config with Btree.reset_sm_bits = reset } in
+    let db, tree = fresh ~page_size:384 ~config () in
+    seed_keys db tree 0 499;
+    (* after plenty of splits, measure the tree-latch traffic of reads *)
+    let (), s =
+      measured (fun () ->
+          Db.run_exn db (fun () ->
+              Db.with_txn db (fun txn ->
+                  for i = 0 to 499 do
+                    ignore (Btree.fetch tree txn (v i))
+                  done)))
+    in
+    (Stats.get s Stats.tree_latch_acquires, Stats.get s Stats.tree_traversals)
+  in
+  let latches_on, traversals_on = run ~reset:true in
+  let latches_off, traversals_off = run ~reset:false in
+  kv ppf "[reset ON ] tree-latch acquisitions / traversals for 500 fetches" "%d / %d" latches_on
+    traversals_on;
+  kv ppf "[reset OFF] tree-latch acquisitions / traversals for 500 fetches" "%d / %d" latches_off
+    traversals_off;
+  Format.fprintf ppf
+    "  Stale bits force traversers to touch the tree latch (and re-descend) on@.";
+  Format.fprintf ppf
+    "  every rightmost route through a once-split page: the reset is optional@.";
+  Format.fprintf ppf "  for correctness but pays for itself immediately.@."
+
+(* Q6: media recovery *)
+
+let q6 ppf =
+  section ppf "Q6: page-oriented media recovery for indexes";
+  let db, tree = fresh () in
+  seed_keys db tree 0 149;
+  let dump = Media.take_dump db.Db.mgr db.Db.pool in
+  seed_keys db tree 150 299;
+  Bufpool.flush_all db.Db.pool;
+  let victim = Btree.locate_leaf tree (v 200) in
+  let before = Disk.read db.Db.disk victim in
+  Disk.corrupt db.Db.disk victim;
+  Bufpool.drop db.Db.pool victim;
+  let applied = Db.run_exn db (fun () -> Media.recover_page db.Db.mgr db.Db.pool dump victim) in
+  let after = Disk.read db.Db.disk victim in
+  kv ppf "dump taken after" "%d keys; %d more committed afterwards" 150 150;
+  kv ppf "lost page" "%d" victim;
+  kv ppf "log records replayed onto the dump image" "%d" applied;
+  kv ppf "recovered page byte-identical to the lost one" "%b"
+    (match (before, after) with Some b, Some a -> Page.equal b a | _ -> false);
+  Btree.check_invariants tree;
+  kv ppf "no tree traversals involved" "%s" "recovery replayed only that page's records"
+
+let all : (string * (Format.formatter -> unit)) list =
+  [
+    ("e1", e1);
+    ("e2", e2);
+    ("e3", e3);
+    ("e4", e4);
+    ("e5", e5);
+    ("e7", e7);
+    ("e9", e9);
+    ("e10", e10);
+    ("e11", e11);
+    ("q1", q1);
+    ("q2", q2);
+    ("q3", q3);
+    ("q4", q4);
+    ("q5", q5);
+    ("q6", q6);
+    ("q7", q7);
+    ("q8", q8);
+  ]

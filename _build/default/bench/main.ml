@@ -1,0 +1,32 @@
+(* The experiment harness: regenerates every figure-backed scenario (E series),
+   every quantitative claim (Q series), and the Bechamel timing suites (T series).
+
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe -- e11 q1  # selected experiments
+     dune exec bench/main.exe -- quick   # everything except timing
+     dune exec bench/main.exe -- timing  # only the Bechamel suites
+
+   See DESIGN.md section 3 for the experiment index and EXPERIMENTS.md for
+   the paper-vs-measured record. *)
+
+let ppf = Format.std_formatter
+
+let run_experiments ids =
+  List.iter
+    (fun id ->
+      match List.assoc_opt id Experiments.all with
+      | Some f -> f ppf
+      | None -> Format.fprintf ppf "unknown experiment %S@." id)
+    ids
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  Format.fprintf ppf "ARIES/IM experiment harness (see DESIGN.md, EXPERIMENTS.md)@.";
+  (match args with
+  | [] ->
+      run_experiments (List.map fst Experiments.all);
+      Timing.run_all ppf
+  | [ "quick" ] -> run_experiments (List.map fst Experiments.all)
+  | [ "timing" ] -> Timing.run_all ppf
+  | ids -> run_experiments ids);
+  Format.fprintf ppf "@.done.@."

@@ -1,0 +1,53 @@
+(* Shared helpers for the experiment harness. *)
+
+open Aries_util
+module Lsn = Aries_wal.Lsn
+module Logrec = Aries_wal.Logrec
+module Logmgr = Aries_wal.Logmgr
+module Btree = Aries_btree.Btree
+module Protocol = Aries_btree.Protocol
+module Txnmgr = Aries_txn.Txnmgr
+module Sched = Aries_sched.Sched
+module Db = Aries_db.Db
+module Table = Aries_db.Table
+
+let rid i = { Ids.rid_page = 900 + (i / 100); rid_slot = i mod 100 }
+
+let v i = Printf.sprintf "key%05d" i
+
+let fresh ?(page_size = 384) ?(unique = true) ?config () =
+  let db = Db.create ~page_size ?config () in
+  let tree =
+    Db.run_exn db (fun () ->
+        Db.with_txn db (fun txn -> Btree.create ?config db.Db.benv txn ~name:"bench" ~unique))
+  in
+  (db, tree)
+
+let seed_keys db tree lo hi =
+  Db.run_exn db (fun () ->
+      Db.with_txn db (fun txn ->
+          for i = lo to hi do
+            Btree.insert tree txn ~value:(v i) ~rid:(rid i)
+          done))
+
+let protocols =
+  [ Protocol.Data_only; Protocol.Index_specific; Protocol.Kvl; Protocol.System_r ]
+
+let config_of locking = { Btree.default_config with Btree.locking }
+
+(* run a thunk and return the named-counter deltas it produced *)
+let measured f =
+  let s = Stats.create () in
+  let x = Stats.with_sink s f in
+  (x, s)
+
+let section ppf title =
+  Format.fprintf ppf "@.=== %s ===@." title
+
+let kv ppf k fmt = Format.fprintf ppf ("  %-46s " ^^ fmt ^^ "@.") k
+
+let table_row ppf cols widths =
+  List.iteri
+    (fun i c -> Format.fprintf ppf "%-*s " (try List.nth widths i with _ -> 12) c)
+    cols;
+  Format.fprintf ppf "@."

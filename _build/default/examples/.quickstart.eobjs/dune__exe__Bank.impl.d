@@ -1,0 +1,1 @@
+examples/bank.ml: Aries_db Aries_sched Aries_txn Aries_util Array List Printexc Printf Sys

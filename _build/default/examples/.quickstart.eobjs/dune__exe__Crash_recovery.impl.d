@@ -1,0 +1,1 @@
+examples/crash_recovery.ml: Aries_btree Aries_buffer Aries_db Aries_page Aries_recovery Aries_txn Aries_util Aries_wal Format List Printf

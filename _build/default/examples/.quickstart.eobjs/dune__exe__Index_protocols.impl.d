@@ -1,0 +1,1 @@
+examples/index_protocols.ml: Aries_btree Aries_db Aries_util Array List Printf

@@ -1,0 +1,1 @@
+examples/isolation.ml: Aries_btree Aries_db Aries_lock Aries_page Aries_sched Aries_txn Aries_util Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Aries_btree Aries_db Aries_recovery Aries_txn Aries_util Array Format List Printf String

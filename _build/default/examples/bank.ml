@@ -1,0 +1,92 @@
+(* Concurrent bank transfers: many fibers transfer money between accounts
+   under repeatable read. Deadlock victims are rolled back automatically
+   and retried; the total balance is conserved whatever the interleaving.
+
+   Run with: dune exec examples/bank.exe -- [seed] *)
+
+module Rng = Aries_util.Rng
+module Txnmgr = Aries_txn.Txnmgr
+module Sched = Aries_sched.Sched
+module Db = Aries_db.Db
+module Table = Aries_db.Table
+
+let n_accounts = 16
+
+let n_tellers = 6
+
+let transfers_per_teller = 40
+
+let initial_balance = 1_000
+
+let specs = [ { Table.sp_name = "pk"; sp_unique = true; sp_key = (fun row -> row.(0)) } ]
+
+let acct i = Printf.sprintf "acct%02d" i
+
+let () =
+  let seed = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 42 in
+  Printf.printf "== bank: %d tellers x %d transfers over %d accounts (seed %d) ==\n" n_tellers
+    transfers_per_teller n_accounts seed;
+  let db = Db.create () in
+  let tbl =
+    Db.run_exn db (fun () -> Db.with_txn db (fun txn -> Table.create db txn ~id:1 specs))
+  in
+  Db.run_exn db (fun () ->
+      Db.with_txn db (fun txn ->
+          for i = 0 to n_accounts - 1 do
+            ignore (Table.insert tbl txn [| acct i; string_of_int initial_balance |])
+          done));
+
+  let committed = ref 0 and deadlocks = ref 0 in
+  let transfer txn a b amount =
+    match
+      (Table.fetch tbl txn ~index:"pk" (acct a), Table.fetch tbl txn ~index:"pk" (acct b))
+    with
+    | Some (rid_a, row_a), Some (rid_b, row_b) ->
+        let bal_a = int_of_string row_a.(1) and bal_b = int_of_string row_b.(1) in
+        if bal_a >= amount then begin
+          Table.update tbl txn rid_a [| acct a; string_of_int (bal_a - amount) |];
+          Table.update tbl txn rid_b [| acct b; string_of_int (bal_b + amount) |]
+        end
+    | _ -> failwith "missing account"
+  in
+
+  let result =
+    Db.run db ~policy:(Sched.Random seed) ~yield_probability:0.2 (fun () ->
+        for teller = 0 to n_tellers - 1 do
+          let rng = Rng.create (seed + (1000 * teller)) in
+          ignore
+            (Sched.spawn
+               ~name:(Printf.sprintf "teller-%d" teller)
+               (fun () ->
+                 let rec attempt tries a b amount =
+                   match Db.with_txn db (fun txn -> transfer txn a b amount) with
+                   | () -> incr committed
+                   | exception Txnmgr.Aborted _ ->
+                       incr deadlocks;
+                       (* the victim was rolled back; retry a few times *)
+                       if tries < 5 then attempt (tries + 1) a b amount
+                 in
+                 for _ = 1 to transfers_per_teller do
+                   let a = Rng.int rng n_accounts in
+                   let b = (a + 1 + Rng.int rng (n_accounts - 1)) mod n_accounts in
+                   attempt 0 a b (Rng.int rng 100)
+                 done))
+        done)
+  in
+  (match result.Sched.outcome with
+  | Sched.Completed -> ()
+  | Sched.Stalled _ -> failwith "stalled!"
+  | Sched.Interrupted _ -> failwith "interrupted?!");
+  List.iter
+    (fun (_, name, e) -> Printf.printf "fiber %s failed: %s\n" name (Printexc.to_string e))
+    result.Sched.exns;
+
+  let rows =
+    Db.run_exn db (fun () -> Db.with_txn db (fun txn -> Table.scan tbl txn ~index:"pk" "" ()))
+  in
+  let total = List.fold_left (fun acc (_, row) -> acc + int_of_string row.(1)) 0 rows in
+  Printf.printf "transfers committed: %d, deadlock aborts (retried): %d\n" !committed !deadlocks;
+  List.iter (fun (_, row) -> Printf.printf "  %s: %6s\n" row.(0) row.(1)) rows;
+  Printf.printf "total balance: %d (expected %d) -> %s\n" total
+    (n_accounts * initial_balance)
+    (if total = n_accounts * initial_balance then "CONSERVED" else "VIOLATED!")

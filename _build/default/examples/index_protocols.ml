@@ -1,0 +1,75 @@
+(* Locking-protocol comparison: run the same single-record operations under
+   ARIES/IM data-only locking, ARIES/IM index-specific locking, ARIES/KVL,
+   and System R-style locking, and print the number of lock requests each
+   needs — the paper's central efficiency claim (§1, §5).
+
+   Run with: dune exec examples/index_protocols.exe *)
+
+module Stats = Aries_util.Stats
+module Btree = Aries_btree.Btree
+module Protocol = Aries_btree.Protocol
+module Db = Aries_db.Db
+module Table = Aries_db.Table
+
+let protocols =
+  [
+    Protocol.Data_only;
+    Protocol.Index_specific;
+    Protocol.Kvl;
+    Protocol.System_r;
+  ]
+
+let specs =
+  [
+    { Table.sp_name = "pk"; sp_unique = true; sp_key = (fun row -> row.(0)) };
+    { Table.sp_name = "cat"; sp_unique = false; sp_key = (fun row -> row.(1)) };
+  ]
+
+(* one table with a unique and a nonunique index; measured ops go through
+   the Table layer so the record-manager locks are counted too *)
+let measure locking =
+  let config = { Btree.default_config with Btree.locking } in
+  let db = Db.create ~config () in
+  let tbl =
+    Db.run_exn db (fun () -> Db.with_txn db (fun txn -> Table.create db txn ~id:1 specs))
+  in
+  Db.run_exn db (fun () ->
+      Db.with_txn db (fun txn ->
+          for i = 0 to 199 do
+            ignore
+              (Table.insert tbl txn
+                 [| Printf.sprintf "item%04d" i; Printf.sprintf "cat%d" (i mod 7) |])
+          done));
+  let count op =
+    let s = Stats.create () in
+    Db.run_exn db (fun () -> Stats.with_sink s (fun () -> Db.with_txn db op));
+    Stats.get s Stats.lock_requests
+  in
+  let fetch_locks =
+    count (fun txn -> ignore (Table.fetch tbl txn ~index:"pk" "item0100"))
+  in
+  let insert_locks = count (fun txn -> ignore (Table.insert tbl txn [| "item9000"; "cat1" |])) in
+  let delete_locks =
+    count (fun txn ->
+        match Table.fetch tbl txn ~index:"pk" "item0050" with
+        | Some (rid, _) -> Table.delete tbl txn rid
+        | None -> ())
+  in
+  let scan_locks =
+    count (fun txn -> ignore (Table.scan tbl txn ~index:"cat" "cat3" ~stop:("cat3", `Le) ()))
+  in
+  (fetch_locks, insert_locks, delete_locks, scan_locks)
+
+let () =
+  print_endline "== lock requests per operation, by locking protocol ==";
+  print_endline "(table ops: 1 record + 2 indexes; scan returns ~29 rows)";
+  Printf.printf "%-16s %8s %8s %10s %10s\n" "protocol" "fetch" "insert" "fetch+del" "scan";
+  List.iter
+    (fun locking ->
+      let f, i, d, s = measure locking in
+      Printf.printf "%-16s %8d %8d %10d %10d\n" (Protocol.locking_to_string locking) f i d s)
+    protocols;
+  print_endline "";
+  print_endline "data-only locking (ARIES/IM) treats the record lock as the key lock for";
+  print_endline "every index, so it needs the fewest lock calls; System R-style locking";
+  print_endline "locks current+next key values with commit duration everywhere."

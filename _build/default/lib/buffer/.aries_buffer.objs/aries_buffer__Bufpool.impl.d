@@ -1,0 +1,1 @@
+lib/buffer/bufpool.ml: Aries_page Aries_util Aries_wal Fun Hashtbl Ids List Printf Rng Stats

@@ -1,0 +1,1 @@
+lib/buffer/bufpool.mli: Aries_page Aries_util Aries_wal Ids

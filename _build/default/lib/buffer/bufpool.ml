@@ -1,0 +1,174 @@
+open Aries_util
+module Lsn = Aries_wal.Lsn
+module Logmgr = Aries_wal.Logmgr
+module Page = Aries_page.Page
+module Disk = Aries_page.Disk
+
+exception Page_vanished of Ids.page_id
+
+type frame = {
+  page : Page.t;
+  mutable fix_count : int;
+  mutable dirty : bool;
+  mutable rec_lsn : Lsn.t;  (* meaningful iff dirty *)
+  mutable last_use : int;  (* LRU clock *)
+}
+
+type t = {
+  dsk : Disk.t;
+  log : Logmgr.t;
+  capacity : int;
+  frames : (Ids.page_id, frame) Hashtbl.t;
+  mutable tick : int;
+  mutable steal_rng : Rng.t option;
+  mutable steal_probability : float;
+}
+
+let create ?(capacity = 128) dsk log =
+  {
+    dsk;
+    log;
+    capacity;
+    frames = Hashtbl.create 64;
+    tick = 0;
+    steal_rng = None;
+    steal_probability = 0.0;
+  }
+
+let disk t = t.dsk
+
+let page_size t = Disk.page_size t.dsk
+
+let touch t f =
+  t.tick <- t.tick + 1;
+  f.last_use <- t.tick
+
+let write_frame t f =
+  (* WAL rule: the log must cover the page's most recent update before the
+     page image may reach disk. *)
+  Logmgr.flush_to t.log f.page.Page.page_lsn;
+  Disk.write t.dsk f.page;
+  f.dirty <- false;
+  f.rec_lsn <- Lsn.nil
+
+let evict_one t =
+  (* LRU over unfixed frames *)
+  let victim =
+    Hashtbl.fold
+      (fun _ f best ->
+        if f.fix_count > 0 then best
+        else
+          match best with
+          | Some b when b.last_use <= f.last_use -> best
+          | _ -> Some f)
+      t.frames None
+  in
+  match victim with
+  | None -> Stats.incr "bufpool.overflow"  (* all frames fixed: let the pool grow *)
+  | Some f ->
+      if f.dirty then begin
+        Stats.incr "bufpool.evict_dirty";
+        write_frame t f
+      end
+      else Stats.incr "bufpool.evict_clean";
+      Hashtbl.remove t.frames f.page.Page.pid
+
+let make_room t = if Hashtbl.length t.frames >= t.capacity then evict_one t
+
+let install t page =
+  make_room t;
+  let f = { page; fix_count = 1; dirty = false; rec_lsn = Lsn.nil; last_use = 0 } in
+  touch t f;
+  Hashtbl.replace t.frames page.Page.pid f;
+  f
+
+let fix_opt t pid =
+  Stats.incr Stats.page_fixes;
+  match Hashtbl.find_opt t.frames pid with
+  | Some f ->
+      f.fix_count <- f.fix_count + 1;
+      touch t f;
+      Some f.page
+  | None -> (
+      match Disk.read t.dsk pid with
+      | Some page -> Some (install t page).page
+      | None -> None)
+
+let fix t pid = match fix_opt t pid with Some p -> p | None -> raise (Page_vanished pid)
+
+let fix_new t pid content =
+  Stats.incr Stats.page_fixes;
+  assert (not (Hashtbl.mem t.frames pid));
+  let page = Page.create ~psize:(page_size t) ~pid content in
+  (install t page).page
+
+let frame_of t page =
+  match Hashtbl.find_opt t.frames page.Page.pid with
+  | Some f when f.page == page -> f
+  | Some _ | None ->
+      invalid_arg (Printf.sprintf "Bufpool: page %d is not a pool resident" page.Page.pid)
+
+let unfix t page =
+  let f = frame_of t page in
+  if f.fix_count <= 0 then invalid_arg (Printf.sprintf "Bufpool: unfix of unfixed page %d" page.Page.pid);
+  f.fix_count <- f.fix_count - 1
+
+let with_fix t pid fn =
+  let p = fix t pid in
+  Fun.protect ~finally:(fun () -> unfix t p) (fun () -> fn p)
+
+let steal_some t =
+  match t.steal_rng with
+  | None -> ()
+  | Some rng ->
+      if Rng.float rng 1.0 < t.steal_probability then begin
+        let dirty_unfixed =
+          Hashtbl.fold (fun _ f acc -> if f.dirty && f.fix_count = 0 then f :: acc else acc) t.frames []
+          |> List.sort (fun a b -> compare a.page.Page.pid b.page.Page.pid)
+        in
+        match dirty_unfixed with
+        | [] -> ()
+        | fs ->
+            let f = List.nth fs (Rng.int rng (List.length fs)) in
+            Stats.incr "bufpool.stolen";
+            write_frame t f
+      end
+
+let mark_dirty t page lsn =
+  let f = frame_of t page in
+  if not f.dirty then begin
+    f.dirty <- true;
+    f.rec_lsn <- lsn
+  end;
+  steal_some t
+
+let flush_page t pid =
+  match Hashtbl.find_opt t.frames pid with
+  | Some f when f.dirty -> write_frame t f
+  | Some _ | None -> ()
+
+let flush_all t =
+  Hashtbl.fold (fun pid f acc -> if f.dirty then (pid, f) :: acc else acc) t.frames []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.iter (fun (_, f) -> write_frame t f)
+
+let drop t pid = Hashtbl.remove t.frames pid
+
+let dirty_page_table t =
+  Hashtbl.fold (fun pid f acc -> if f.dirty then (pid, f.rec_lsn) :: acc else acc) t.frames []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let resident_pids t =
+  Hashtbl.fold (fun pid _ acc -> pid :: acc) t.frames [] |> List.sort compare
+
+let fixed_count t = Hashtbl.fold (fun _ f acc -> if f.fix_count > 0 then acc + 1 else acc) t.frames 0
+
+let crash t = Hashtbl.reset t.frames
+
+let set_steal_hook t ~seed ~probability =
+  t.steal_rng <- Some (Rng.create seed);
+  t.steal_probability <- probability
+
+let clear_steal_hook t =
+  t.steal_rng <- None;
+  t.steal_probability <- 0.0

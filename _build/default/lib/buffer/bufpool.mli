@@ -1,0 +1,81 @@
+(** Buffer manager: steal / no-force, with the write-ahead-logging rule.
+
+    - {e steal}: a dirty page holding uncommitted updates may be written to
+      disk at any time (eviction, or the randomized steal test hook), so
+      restart undo is genuinely exercised.
+    - {e no-force}: commit does not write data pages, only forces the log,
+      so restart redo is genuinely exercised.
+    - {e WAL rule}: before a page image is written to disk, the log is
+      forced up to that page's [page_lsn].
+
+    The pool tracks the dirty-page table (page id → recLSN, the LSN of the
+    first update that dirtied the buffered copy) used by fuzzy checkpoints
+    and the analysis pass. Pages with a positive fix count are never
+    evicted; latching a page requires fixing it first. *)
+
+open Aries_util
+
+exception Page_vanished of Ids.page_id
+(** [fix] on a page id with no disk image and no buffered frame. *)
+
+type t
+
+val create : ?capacity:int -> Aries_page.Disk.t -> Aries_wal.Logmgr.t -> t
+(** [capacity] is the number of frames (default 128). Eviction is LRU over
+    unfixed frames; if every frame is fixed the pool grows (and counts the
+    overflow in stats rather than deadlocking). *)
+
+val disk : t -> Aries_page.Disk.t
+
+val page_size : t -> int
+
+val fix : t -> Ids.page_id -> Aries_page.Page.t
+(** Pin the page in the pool, reading it from disk on a miss. *)
+
+val fix_opt : t -> Ids.page_id -> Aries_page.Page.t option
+
+val fix_new : t -> Ids.page_id -> Aries_page.Page.content -> Aries_page.Page.t
+(** Materialize a freshly allocated page directly in the pool (no disk
+    read), pinned and clean-until-logged. *)
+
+val unfix : t -> Aries_page.Page.t -> unit
+
+val with_fix : t -> Ids.page_id -> (Aries_page.Page.t -> 'a) -> 'a
+
+val mark_dirty : t -> Aries_page.Page.t -> Aries_wal.Lsn.t -> unit
+(** Record that the page was modified by the log record at this LSN: sets
+    the frame's recLSN if the page was clean. (The caller has already set
+    [page_lsn].) Also triggers the randomized steal hook, if armed. *)
+
+val flush_page : t -> Ids.page_id -> unit
+(** Force log per WAL rule, write the image, mark clean. No-op if absent or
+    clean. *)
+
+val flush_all : t -> unit
+
+val drop : t -> Ids.page_id -> unit
+(** Discard the frame without writing (page deallocated). *)
+
+val dirty_page_table : t -> (Ids.page_id * Aries_wal.Lsn.t) list
+(** Snapshot for fuzzy checkpoints: (pid, recLSN), sorted by pid. *)
+
+val resident_pids : t -> Ids.page_id list
+(** Page ids currently buffered (any fix count), sorted. Post-restart
+    discovery scans these in addition to the disk, because redo recreates
+    never-flushed pages only in the pool. *)
+
+val fixed_count : t -> int
+(** Frames with a positive fix count — should be 0 between operations;
+    tests assert this to catch fix leaks. *)
+
+val crash : t -> unit
+(** Drop every frame, written or not: the volatile state a system failure
+    destroys. *)
+
+val set_steal_hook : t -> seed:int -> probability:float -> unit
+(** Arm the randomized steal: after each [mark_dirty], with the given
+    probability, some unfixed dirty page is written to disk (respecting the
+    WAL rule). Simulates an aggressive buffer replacement policy so crash
+    tests cover uncommitted-data-on-disk states. *)
+
+val clear_steal_hook : t -> unit

@@ -1,0 +1,1 @@
+lib/core/apply.ml: Aries_page Aries_util Ixlog List Printf

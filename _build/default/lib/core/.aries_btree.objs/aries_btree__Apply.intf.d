@@ -1,0 +1,1 @@
+lib/core/apply.mli: Aries_page Ixlog

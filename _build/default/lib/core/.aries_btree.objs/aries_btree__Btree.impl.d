@@ -1,0 +1,1 @@
+lib/core/btree.ml: Apply Aries_buffer Aries_lock Aries_page Aries_sched Aries_txn Aries_util Aries_wal Fun Hashtbl Ids Ixlog List Option Printf Protocol Stats String Vec

@@ -1,0 +1,1 @@
+lib/core/btree.mli: Aries_buffer Aries_page Aries_txn Aries_util Ids Protocol

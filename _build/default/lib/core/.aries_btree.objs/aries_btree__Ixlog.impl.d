@@ -1,0 +1,1 @@
+lib/core/ixlog.ml: Aries_page Aries_util Bytebuf Format Ids List Printf

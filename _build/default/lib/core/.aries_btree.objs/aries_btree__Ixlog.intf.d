@@ -1,0 +1,1 @@
+lib/core/ixlog.mli: Aries_page Aries_util Format Ids

@@ -1,0 +1,1 @@
+lib/core/protocol.ml: Aries_lock Aries_page Aries_util Format Ids Printf

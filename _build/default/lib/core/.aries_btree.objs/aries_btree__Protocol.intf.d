@@ -1,0 +1,1 @@
+lib/core/protocol.mli: Aries_lock Aries_page Aries_util Format Ids

@@ -1,0 +1,165 @@
+module Vec = Aries_util.Vec
+module Key = Aries_page.Key
+module Page = Aries_page.Page
+
+let fail page fmt =
+  Printf.ksprintf
+    (fun msg -> invalid_arg (Printf.sprintf "Apply: page %d: %s" page.Page.pid msg))
+    fmt
+
+let find_key keys k = Vec.binary_search ~compare:Key.compare keys k
+
+let insert_key page keys k =
+  match find_key keys k with
+  | Ok _ -> fail page "insert of existing key %s" (Key.to_string k)
+  | Error pos -> Vec.insert keys pos k
+
+let delete_key page keys k =
+  match find_key keys k with
+  | Ok pos -> ignore (Vec.remove keys pos)
+  | Error _ -> fail page "delete of absent key %s" (Key.to_string k)
+
+let set_content_leaf page ~keys ~prev ~next ~sm_bit =
+  let v = Vec.create () in
+  List.iter (Vec.push v) keys;
+  page.Page.content <-
+    Page.Leaf
+      { Page.lf_sm_bit = sm_bit; lf_delete_bit = false; lf_prev = prev; lf_next = next; lf_keys = v }
+
+let apply page (body : Ixlog.body) =
+  match body with
+  | Ixlog.Insert_key { key; reset_sm; reset_delete; _ } ->
+      let l = Page.as_leaf page in
+      insert_key page l.Page.lf_keys key;
+      if reset_sm then l.Page.lf_sm_bit <- false;
+      if reset_delete then l.Page.lf_delete_bit <- false
+  | Ixlog.Delete_key { key; reset_sm; set_sm; mark_delete_bit; _ } ->
+      let l = Page.as_leaf page in
+      delete_key page l.Page.lf_keys key;
+      if reset_sm then l.Page.lf_sm_bit <- false;
+      if set_sm then l.Page.lf_sm_bit <- true;
+      if mark_delete_bit then l.Page.lf_delete_bit <- true
+  | Ixlog.Format_leaf { keys; prev; next; sm_bit } ->
+      set_content_leaf page ~keys ~prev ~next ~sm_bit
+  | Ixlog.Leaf_truncate { removed; new_next; old_next = _ } ->
+      let l = Page.as_leaf page in
+      List.iter (delete_key page l.Page.lf_keys) removed;
+      l.Page.lf_next <- new_next;
+      l.Page.lf_sm_bit <- true
+  | Ixlog.Leaf_restore { add_keys; set_prev; set_next } ->
+      let l = Page.as_leaf page in
+      List.iter (insert_key page l.Page.lf_keys) add_keys;
+      (match set_prev with Some p -> l.Page.lf_prev <- p | None -> ());
+      (match set_next with Some n -> l.Page.lf_next <- n | None -> ());
+      (* restore is only ever the compensation of an SMO step: once the step
+         is compensated the page is structurally sound again *)
+      l.Page.lf_sm_bit <- false
+  | Ixlog.Leaf_relink { new_prev; new_next; _ } ->
+      let l = Page.as_leaf page in
+      l.Page.lf_prev <- new_prev;
+      l.Page.lf_next <- new_next;
+      l.Page.lf_sm_bit <- true
+  | Ixlog.Leaf_unlink _ ->
+      let l = Page.as_leaf page in
+      if Vec.length l.Page.lf_keys <> 0 then fail page "unlink of nonempty leaf";
+      l.Page.lf_prev <- Aries_util.Ids.nil_page;
+      l.Page.lf_next <- Aries_util.Ids.nil_page;
+      l.Page.lf_sm_bit <- true
+  | Ixlog.Format_nonleaf { level; children; high_keys; sm_bit } ->
+      let cv = Vec.create () and kv = Vec.create () in
+      List.iter (Vec.push cv) children;
+      List.iter (Vec.push kv) high_keys;
+      page.Page.content <-
+        Page.Nonleaf { Page.nl_sm_bit = sm_bit; nl_level = level; nl_children = cv; nl_high_keys = kv }
+  | Ixlog.Nl_insert_child { child_idx; sep_idx; sep; child } ->
+      let n = Page.as_nonleaf page in
+      if child_idx > Vec.length n.Page.nl_children || sep_idx > Vec.length n.Page.nl_high_keys then
+        fail page "nl_insert_child out of range";
+      Vec.insert n.Page.nl_children child_idx child;
+      Vec.insert n.Page.nl_high_keys sep_idx sep;
+      n.Page.nl_sm_bit <- true
+  | Ixlog.Nl_remove_child { child_idx; child; sep_idx; sep; level = _ } ->
+      let n = Page.as_nonleaf page in
+      if child_idx >= Vec.length n.Page.nl_children || Vec.get n.Page.nl_children child_idx <> child
+      then fail page "nl_remove_child: child %d not at index %d" child child_idx;
+      ignore (Vec.remove n.Page.nl_children child_idx);
+      (match sep with
+      | Some k ->
+          if sep_idx >= Vec.length n.Page.nl_high_keys
+             || Key.compare (Vec.get n.Page.nl_high_keys sep_idx) k <> 0
+          then fail page "nl_remove_child: separator mismatch at %d" sep_idx
+          else ignore (Vec.remove n.Page.nl_high_keys sep_idx)
+      | None ->
+          if Vec.length n.Page.nl_high_keys <> 0 then
+            fail page "nl_remove_child: expected no separators left");
+      n.Page.nl_sm_bit <- true
+  | Ixlog.Anchor_set { new_root; new_height; _ } ->
+      let a = Page.as_anchor page in
+      a.Page.an_root <- new_root;
+      a.Page.an_height <- new_height
+  | Ixlog.Format_anchor { name; unique; root; height } ->
+      page.Page.content <-
+        Page.Anchor { Page.an_root = root; an_height = height; an_unique = unique; an_name = name }
+  | Ixlog.Nl_truncate { keep_children; removed_children; removed_high_keys } ->
+      let n = Page.as_nonleaf page in
+      let nc = Vec.length n.Page.nl_children in
+      if keep_children + List.length removed_children <> nc then
+        fail page "nl_truncate arity mismatch: keep %d + removed %d <> %d" keep_children
+          (List.length removed_children) nc;
+      for _ = 1 to List.length removed_children do
+        ignore (Vec.pop n.Page.nl_children)
+      done;
+      for _ = 1 to List.length removed_high_keys do
+        ignore (Vec.pop n.Page.nl_high_keys)
+      done;
+      n.Page.nl_sm_bit <- true
+  | Ixlog.Nl_restore { add_children; add_high_keys } ->
+      let n = Page.as_nonleaf page in
+      List.iter (Vec.push n.Page.nl_children) add_children;
+      List.iter (Vec.push n.Page.nl_high_keys) add_high_keys;
+      n.Page.nl_sm_bit <- false
+  | Ixlog.Reset_bits { sm; delete } -> (
+      match page.Page.content with
+      | Page.Leaf l ->
+          if sm then l.Page.lf_sm_bit <- false;
+          if delete then l.Page.lf_delete_bit <- false
+      | Page.Nonleaf n -> if sm then n.Page.nl_sm_bit <- false
+      | Page.Data _ | Page.Anchor _ -> fail page "reset_bits on non-index page")
+
+let undo_body (body : Ixlog.body) : Ixlog.body option =
+  match body with
+  | Ixlog.Insert_key _ | Ixlog.Delete_key _ ->
+      None (* the page-oriented-vs-logical decision lives in Btree *)
+  | Ixlog.Format_leaf _ ->
+      (* the page did not exist before: compensate by emptying it *)
+      Some
+        (Ixlog.Format_leaf
+           { keys = []; prev = Aries_util.Ids.nil_page; next = Aries_util.Ids.nil_page; sm_bit = false })
+  | Ixlog.Leaf_truncate { removed; old_next; _ } ->
+      Some (Ixlog.Leaf_restore { add_keys = removed; set_prev = None; set_next = Some old_next })
+  | Ixlog.Leaf_restore _ -> None (* only appears as a CLR body *)
+  | Ixlog.Leaf_relink { old_prev; old_next; _ } ->
+      Some (Ixlog.Leaf_restore { add_keys = []; set_prev = Some old_prev; set_next = Some old_next })
+  | Ixlog.Leaf_unlink { old_prev; old_next } ->
+      Some (Ixlog.Leaf_restore { add_keys = []; set_prev = Some old_prev; set_next = Some old_next })
+  | Ixlog.Format_nonleaf _ ->
+      Some (Ixlog.Format_nonleaf { level = 1; children = []; high_keys = []; sm_bit = false })
+  | Ixlog.Nl_insert_child { child_idx; sep_idx; sep; child } ->
+      (* [level] is only consulted when compensating a removal with no
+         separator; a removal with a separator never looks at it *)
+      Some (Ixlog.Nl_remove_child { child_idx; child; sep_idx; sep = Some sep; level = 0 })
+  | Ixlog.Nl_remove_child { child_idx; child; sep_idx; sep; level } -> (
+      match sep with
+      | Some sep -> Some (Ixlog.Nl_insert_child { child_idx; sep_idx; sep; child })
+      | None ->
+          (* the removal emptied the page (only child): rebuild it *)
+          Some (Ixlog.Format_nonleaf { level; children = [ child ]; high_keys = []; sm_bit = false }))
+  | Ixlog.Anchor_set { old_root; new_root; old_height; new_height } ->
+      Some
+        (Ixlog.Anchor_set
+           { old_root = new_root; new_root = old_root; old_height = new_height; new_height = old_height })
+  | Ixlog.Nl_truncate { removed_children; removed_high_keys; _ } ->
+      Some (Ixlog.Nl_restore { add_children = removed_children; add_high_keys = removed_high_keys })
+  | Ixlog.Nl_restore _ -> None (* only appears as a CLR body *)
+  | Ixlog.Format_anchor _ -> None (* index creation is never partially undone in place *)
+  | Ixlog.Reset_bits _ -> None

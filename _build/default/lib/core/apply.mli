@@ -1,0 +1,19 @@
+(** Page-oriented application of index log bodies.
+
+    One function applies a body to its page, used identically by forward
+    processing, restart redo, media recovery, and CLR application — which is
+    what guarantees that "redo repeats history" is literally true. Never
+    touches LSNs, logging or latches: the caller owns those. *)
+
+module Page = Aries_page.Page
+
+val apply : Page.t -> Ixlog.body -> unit
+(** Mutates the page. Raises [Invalid_argument] on a shape mismatch (key
+    already present for an insert, absent for a delete, wrong page kind) —
+    such a mismatch always indicates a protocol bug or corrupt recovery,
+    never a legal state. *)
+
+val undo_body : Ixlog.body -> Ixlog.body option
+(** The compensating body for a page-oriented undo of this body on the same
+    page, or [None] if the opcode is redo-only ([Reset_bits]) or needs
+    context ([Insert_key]/[Delete_key] undo decisions live in {!Btree}). *)

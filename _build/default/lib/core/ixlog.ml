@@ -1,0 +1,312 @@
+open Aries_util
+module Key = Aries_page.Key
+
+let rm_id = 1
+
+type body =
+  | Insert_key of { ix : Ids.index_id; key : Key.t; reset_sm : bool; reset_delete : bool }
+  | Delete_key of {
+      ix : Ids.index_id;
+      key : Key.t;
+      reset_sm : bool;
+      set_sm : bool;
+      mark_delete_bit : bool;
+    }
+  | Format_leaf of { keys : Key.t list; prev : Ids.page_id; next : Ids.page_id; sm_bit : bool }
+  | Leaf_truncate of { removed : Key.t list; old_next : Ids.page_id; new_next : Ids.page_id }
+  | Leaf_restore of {
+      add_keys : Key.t list;
+      set_prev : Ids.page_id option;
+      set_next : Ids.page_id option;
+    }
+  | Leaf_relink of {
+      old_prev : Ids.page_id;
+      new_prev : Ids.page_id;
+      old_next : Ids.page_id;
+      new_next : Ids.page_id;
+    }
+  | Leaf_unlink of { old_prev : Ids.page_id; old_next : Ids.page_id }
+  | Format_nonleaf of {
+      level : int;
+      children : Ids.page_id list;
+      high_keys : Key.t list;
+      sm_bit : bool;
+    }
+  | Nl_insert_child of { child_idx : int; sep_idx : int; sep : Key.t; child : Ids.page_id }
+  | Nl_remove_child of {
+      child_idx : int;
+      child : Ids.page_id;
+      sep_idx : int;
+      sep : Key.t option;
+      level : int;
+    }
+  | Nl_truncate of {
+      keep_children : int;
+      removed_children : Ids.page_id list;
+      removed_high_keys : Key.t list;
+    }
+  | Nl_restore of { add_children : Ids.page_id list; add_high_keys : Key.t list }
+  | Anchor_set of {
+      old_root : Ids.page_id;
+      new_root : Ids.page_id;
+      old_height : int;
+      new_height : int;
+    }
+  | Format_anchor of { name : string; unique : bool; root : Ids.page_id; height : int }
+  | Reset_bits of { sm : bool; delete : bool }
+
+let op_of_body = function
+  | Insert_key _ -> 1
+  | Delete_key _ -> 2
+  | Format_leaf _ -> 3
+  | Leaf_truncate _ -> 4
+  | Leaf_restore _ -> 5
+  | Leaf_relink _ -> 6
+  | Leaf_unlink _ -> 7
+  | Format_nonleaf _ -> 8
+  | Nl_insert_child _ -> 9
+  | Nl_remove_child _ -> 10
+  | Anchor_set _ -> 11
+  | Format_anchor _ -> 12
+  | Reset_bits _ -> 13
+  | Nl_truncate _ -> 14
+  | Nl_restore _ -> 15
+
+let op_name = function
+  | 1 -> "insert_key"
+  | 2 -> "delete_key"
+  | 3 -> "format_leaf"
+  | 4 -> "leaf_truncate"
+  | 5 -> "leaf_restore"
+  | 6 -> "leaf_relink"
+  | 7 -> "leaf_unlink"
+  | 8 -> "format_nonleaf"
+  | 9 -> "nl_insert_child"
+  | 10 -> "nl_remove_child"
+  | 11 -> "anchor_set"
+  | 12 -> "format_anchor"
+  | 13 -> "reset_bits"
+  | 14 -> "nl_truncate"
+  | 15 -> "nl_restore"
+  | n -> Printf.sprintf "op-%d" n
+
+let write_keys w keys =
+  Bytebuf.W.u32 w (List.length keys);
+  List.iter (Key.encode w) keys
+
+let read_keys r =
+  let n = Bytebuf.R.u32 r in
+  List.init n (fun _ -> Key.decode r)
+
+let write_pid_opt w = function
+  | None -> Bytebuf.W.bool w false
+  | Some pid ->
+      Bytebuf.W.bool w true;
+      Bytebuf.W.i64 w pid
+
+let read_pid_opt r = if Bytebuf.R.bool r then Some (Bytebuf.R.i64 r) else None
+
+let encode body =
+  let w = Bytebuf.W.create () in
+  (match body with
+  | Insert_key { ix; key; reset_sm; reset_delete } ->
+      Bytebuf.W.i64 w ix;
+      Key.encode w key;
+      Bytebuf.W.bool w reset_sm;
+      Bytebuf.W.bool w reset_delete
+  | Delete_key { ix; key; reset_sm; set_sm; mark_delete_bit } ->
+      Bytebuf.W.i64 w ix;
+      Key.encode w key;
+      Bytebuf.W.bool w reset_sm;
+      Bytebuf.W.bool w set_sm;
+      Bytebuf.W.bool w mark_delete_bit
+  | Format_leaf { keys; prev; next; sm_bit } ->
+      write_keys w keys;
+      Bytebuf.W.i64 w prev;
+      Bytebuf.W.i64 w next;
+      Bytebuf.W.bool w sm_bit
+  | Leaf_truncate { removed; old_next; new_next } ->
+      write_keys w removed;
+      Bytebuf.W.i64 w old_next;
+      Bytebuf.W.i64 w new_next
+  | Leaf_restore { add_keys; set_prev; set_next } ->
+      write_keys w add_keys;
+      write_pid_opt w set_prev;
+      write_pid_opt w set_next
+  | Leaf_relink { old_prev; new_prev; old_next; new_next } ->
+      Bytebuf.W.i64 w old_prev;
+      Bytebuf.W.i64 w new_prev;
+      Bytebuf.W.i64 w old_next;
+      Bytebuf.W.i64 w new_next
+  | Leaf_unlink { old_prev; old_next } ->
+      Bytebuf.W.i64 w old_prev;
+      Bytebuf.W.i64 w old_next
+  | Format_nonleaf { level; children; high_keys; sm_bit } ->
+      Bytebuf.W.u16 w level;
+      Bytebuf.W.u32 w (List.length children);
+      List.iter (Bytebuf.W.i64 w) children;
+      write_keys w high_keys;
+      Bytebuf.W.bool w sm_bit
+  | Nl_insert_child { child_idx; sep_idx; sep; child } ->
+      Bytebuf.W.u32 w child_idx;
+      Bytebuf.W.u32 w sep_idx;
+      Key.encode w sep;
+      Bytebuf.W.i64 w child
+  | Nl_remove_child { child_idx; child; sep_idx; sep; level } ->
+      Bytebuf.W.u32 w child_idx;
+      Bytebuf.W.i64 w child;
+      Bytebuf.W.u32 w sep_idx;
+      Bytebuf.W.u16 w level;
+      (match sep with
+      | None -> Bytebuf.W.bool w false
+      | Some k ->
+          Bytebuf.W.bool w true;
+          Key.encode w k)
+  | Anchor_set { old_root; new_root; old_height; new_height } ->
+      Bytebuf.W.i64 w old_root;
+      Bytebuf.W.i64 w new_root;
+      Bytebuf.W.u16 w old_height;
+      Bytebuf.W.u16 w new_height
+  | Format_anchor { name; unique; root; height } ->
+      Bytebuf.W.string w name;
+      Bytebuf.W.bool w unique;
+      Bytebuf.W.i64 w root;
+      Bytebuf.W.u16 w height
+  | Reset_bits { sm; delete } ->
+      Bytebuf.W.bool w sm;
+      Bytebuf.W.bool w delete
+  | Nl_truncate { keep_children; removed_children; removed_high_keys } ->
+      Bytebuf.W.u32 w keep_children;
+      Bytebuf.W.u32 w (List.length removed_children);
+      List.iter (Bytebuf.W.i64 w) removed_children;
+      write_keys w removed_high_keys
+  | Nl_restore { add_children; add_high_keys } ->
+      Bytebuf.W.u32 w (List.length add_children);
+      List.iter (Bytebuf.W.i64 w) add_children;
+      write_keys w add_high_keys);
+  Bytebuf.W.contents w
+
+let decode ~op bytes =
+  let r = Bytebuf.R.of_bytes bytes in
+  let body =
+    match op with
+    | 1 ->
+        let ix = Bytebuf.R.i64 r in
+        let key = Key.decode r in
+        let reset_sm = Bytebuf.R.bool r in
+        let reset_delete = Bytebuf.R.bool r in
+        Insert_key { ix; key; reset_sm; reset_delete }
+    | 2 ->
+        let ix = Bytebuf.R.i64 r in
+        let key = Key.decode r in
+        let reset_sm = Bytebuf.R.bool r in
+        let set_sm = Bytebuf.R.bool r in
+        let mark_delete_bit = Bytebuf.R.bool r in
+        Delete_key { ix; key; reset_sm; set_sm; mark_delete_bit }
+    | 3 ->
+        let keys = read_keys r in
+        let prev = Bytebuf.R.i64 r in
+        let next = Bytebuf.R.i64 r in
+        let sm_bit = Bytebuf.R.bool r in
+        Format_leaf { keys; prev; next; sm_bit }
+    | 4 ->
+        let removed = read_keys r in
+        let old_next = Bytebuf.R.i64 r in
+        let new_next = Bytebuf.R.i64 r in
+        Leaf_truncate { removed; old_next; new_next }
+    | 5 ->
+        let add_keys = read_keys r in
+        let set_prev = read_pid_opt r in
+        let set_next = read_pid_opt r in
+        Leaf_restore { add_keys; set_prev; set_next }
+    | 6 ->
+        let old_prev = Bytebuf.R.i64 r in
+        let new_prev = Bytebuf.R.i64 r in
+        let old_next = Bytebuf.R.i64 r in
+        let new_next = Bytebuf.R.i64 r in
+        Leaf_relink { old_prev; new_prev; old_next; new_next }
+    | 7 ->
+        let old_prev = Bytebuf.R.i64 r in
+        let old_next = Bytebuf.R.i64 r in
+        Leaf_unlink { old_prev; old_next }
+    | 8 ->
+        let level = Bytebuf.R.u16 r in
+        let nc = Bytebuf.R.u32 r in
+        let children = List.init nc (fun _ -> Bytebuf.R.i64 r) in
+        let high_keys = read_keys r in
+        let sm_bit = Bytebuf.R.bool r in
+        Format_nonleaf { level; children; high_keys; sm_bit }
+    | 9 ->
+        let child_idx = Bytebuf.R.u32 r in
+        let sep_idx = Bytebuf.R.u32 r in
+        let sep = Key.decode r in
+        let child = Bytebuf.R.i64 r in
+        Nl_insert_child { child_idx; sep_idx; sep; child }
+    | 10 ->
+        let child_idx = Bytebuf.R.u32 r in
+        let child = Bytebuf.R.i64 r in
+        let sep_idx = Bytebuf.R.u32 r in
+        let level = Bytebuf.R.u16 r in
+        let sep = if Bytebuf.R.bool r then Some (Key.decode r) else None in
+        Nl_remove_child { child_idx; child; sep_idx; sep; level }
+    | 11 ->
+        let old_root = Bytebuf.R.i64 r in
+        let new_root = Bytebuf.R.i64 r in
+        let old_height = Bytebuf.R.u16 r in
+        let new_height = Bytebuf.R.u16 r in
+        Anchor_set { old_root; new_root; old_height; new_height }
+    | 12 ->
+        let name = Bytebuf.R.string r in
+        let unique = Bytebuf.R.bool r in
+        let root = Bytebuf.R.i64 r in
+        let height = Bytebuf.R.u16 r in
+        Format_anchor { name; unique; root; height }
+    | 13 ->
+        let sm = Bytebuf.R.bool r in
+        let delete = Bytebuf.R.bool r in
+        Reset_bits { sm; delete }
+    | 14 ->
+        let keep_children = Bytebuf.R.u32 r in
+        let nc = Bytebuf.R.u32 r in
+        let removed_children = List.init nc (fun _ -> Bytebuf.R.i64 r) in
+        let removed_high_keys = read_keys r in
+        Nl_truncate { keep_children; removed_children; removed_high_keys }
+    | 15 ->
+        let nc = Bytebuf.R.u32 r in
+        let add_children = List.init nc (fun _ -> Bytebuf.R.i64 r) in
+        let add_high_keys = read_keys r in
+        Nl_restore { add_children; add_high_keys }
+    | n -> raise (Bytebuf.Corrupt (Printf.sprintf "bad index op %d" n))
+  in
+  Bytebuf.R.expect_end r;
+  body
+
+let pp ppf body =
+  match body with
+  | Insert_key { key; reset_sm; reset_delete; _ } ->
+      Format.fprintf ppf "insert_key %a%s%s" Key.pp key
+        (if reset_sm then " reset_sm" else "")
+        (if reset_delete then " reset_del" else "")
+  | Delete_key { key; mark_delete_bit; _ } ->
+      Format.fprintf ppf "delete_key %a%s" Key.pp key (if mark_delete_bit then " mark_del" else "")
+  | Format_leaf { keys; prev; next; _ } ->
+      Format.fprintf ppf "format_leaf %d keys prev=%d next=%d" (List.length keys) prev next
+  | Leaf_truncate { removed; new_next; _ } ->
+      Format.fprintf ppf "leaf_truncate -%d keys next=%d" (List.length removed) new_next
+  | Leaf_restore { add_keys; _ } -> Format.fprintf ppf "leaf_restore +%d keys" (List.length add_keys)
+  | Leaf_relink { new_prev; new_next; _ } ->
+      Format.fprintf ppf "leaf_relink prev=%d next=%d" new_prev new_next
+  | Leaf_unlink _ -> Format.fprintf ppf "leaf_unlink"
+  | Format_nonleaf { level; children; _ } ->
+      Format.fprintf ppf "format_nonleaf level=%d fanout=%d" level (List.length children)
+  | Nl_insert_child { sep; child; _ } -> Format.fprintf ppf "nl_insert_child %a -> %d" Key.pp sep child
+  | Nl_remove_child { child; _ } -> Format.fprintf ppf "nl_remove_child %d" child
+  | Anchor_set { new_root; new_height; _ } ->
+      Format.fprintf ppf "anchor_set root=%d height=%d" new_root new_height
+  | Format_anchor { name; _ } -> Format.fprintf ppf "format_anchor %s" name
+  | Reset_bits { sm; delete } -> Format.fprintf ppf "reset_bits sm=%b del=%b" sm delete
+  | Nl_truncate { keep_children; removed_children; _ } ->
+      Format.fprintf ppf "nl_truncate keep=%d -%d children" keep_children
+        (List.length removed_children)
+  | Nl_restore { add_children; _ } ->
+      Format.fprintf ppf "nl_restore +%d children" (List.length add_children)

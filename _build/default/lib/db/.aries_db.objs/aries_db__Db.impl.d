@@ -1,0 +1,1 @@
+lib/db/db.ml: Aries_btree Aries_buffer Aries_lock Aries_page Aries_recovery Aries_sched Aries_txn Aries_util Aries_wal Fun List Printf Recmgr String

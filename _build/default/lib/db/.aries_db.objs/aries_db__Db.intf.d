@@ -1,0 +1,1 @@
+lib/db/db.mli: Aries_btree Aries_buffer Aries_lock Aries_page Aries_recovery Aries_sched Aries_txn Aries_wal

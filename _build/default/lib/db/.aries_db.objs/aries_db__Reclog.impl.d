@@ -1,0 +1,1 @@
+lib/db/reclog.ml: Aries_util Bytebuf Ids Printf

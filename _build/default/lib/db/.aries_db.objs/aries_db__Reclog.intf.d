@@ -1,0 +1,1 @@
+lib/db/reclog.mli: Aries_util Ids

@@ -1,0 +1,1 @@
+lib/db/recmgr.ml: Aries_buffer Aries_lock Aries_page Aries_sched Aries_txn Aries_util Aries_wal Bytes Fun Hashtbl Ids List Printf Reclog Vec

@@ -1,0 +1,1 @@
+lib/db/recmgr.mli: Aries_buffer Aries_txn Aries_util Ids

@@ -1,0 +1,1 @@
+lib/db/table.ml: Aries_btree Aries_buffer Aries_lock Aries_page Aries_txn Aries_util Array Bytebuf Db Hashtbl Ids List Option Printf Recmgr String

@@ -1,0 +1,1 @@
+lib/db/table.mli: Aries_btree Aries_txn Aries_util Db Ids Recmgr

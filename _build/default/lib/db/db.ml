@@ -1,0 +1,109 @@
+module Disk = Aries_page.Disk
+module Logmgr = Aries_wal.Logmgr
+module Bufpool = Aries_buffer.Bufpool
+module Lockmgr = Aries_lock.Lockmgr
+module Txnmgr = Aries_txn.Txnmgr
+module Btree = Aries_btree.Btree
+module Restart = Aries_recovery.Restart
+module Checkpoint = Aries_recovery.Checkpoint
+module Sched = Aries_sched.Sched
+
+type t = {
+  disk : Disk.t;
+  wal : Logmgr.t;
+  pool : Bufpool.t;
+  locks : Lockmgr.t;
+  mgr : Txnmgr.t;
+  benv : Btree.env;
+}
+
+let build ?pool_capacity ?config disk wal =
+  let pool = Bufpool.create ?capacity:pool_capacity disk wal in
+  let locks = Lockmgr.create () in
+  let mgr = Txnmgr.create wal locks in
+  let benv = Btree.env ?config mgr pool in
+  Recmgr.rm_install mgr pool;
+  { disk; wal; pool; locks; mgr; benv }
+
+let create ?(page_size = 4096) ?pool_capacity ?config () =
+  let disk = Disk.create ~page_size () in
+  let wal = Logmgr.create () in
+  build ?pool_capacity ?config disk wal
+
+let crash ?config t =
+  Logmgr.crash t.wal;
+  Bufpool.crash t.pool;
+  Txnmgr.clear t.mgr;
+  build ?config t.disk t.wal
+
+let restart t = Restart.run t.mgr t.pool
+
+let checkpoint t = ignore (Checkpoint.take t.mgr t.pool)
+
+let trim_log t =
+  let module Lsn = Aries_wal.Lsn in
+  let master = Logmgr.master t.wal in
+  if Lsn.is_nil master then 0
+  else begin
+    let horizon = ref master in
+    List.iter
+      (fun (_, rec_lsn) -> horizon := Lsn.min !horizon rec_lsn)
+      (Bufpool.dirty_page_table t.pool);
+    let blocked = ref false in
+    List.iter
+      (fun (txn : Txnmgr.txn) ->
+        if not (Lsn.is_nil txn.Txnmgr.last_lsn) then
+          if Lsn.is_nil txn.Txnmgr.first_lsn then blocked := true
+          else horizon := Lsn.min !horizon txn.Txnmgr.first_lsn)
+      (Txnmgr.active_txns t.mgr);
+    if !blocked then 0
+    else begin
+      let before = Logmgr.size_bytes t.wal in
+      Logmgr.truncate_before t.wal !horizon;
+      before - Logmgr.size_bytes t.wal
+    end
+  end
+
+let with_txn t f =
+  let txn = Txnmgr.begin_txn t.mgr in
+  match f txn with
+  | v ->
+      Txnmgr.commit t.mgr txn;
+      v
+  | exception (Txnmgr.Aborted _ as e) -> raise e
+  | exception e ->
+      (match txn.Txnmgr.state with
+      | Txnmgr.Active | Txnmgr.Prepared -> Txnmgr.rollback t.mgr txn
+      | Txnmgr.Rolling_back -> ());
+      raise e
+
+let save t path =
+  let w = Aries_util.Bytebuf.W.create () in
+  Aries_util.Bytebuf.W.string w "ARIESIM1";
+  Aries_util.Bytebuf.W.bytes w (Disk.serialize t.disk);
+  Aries_util.Bytebuf.W.bytes w (Logmgr.serialize t.wal);
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_bytes oc (Aries_util.Bytebuf.W.contents w))
+
+let load ?pool_capacity ?config path =
+  let ic = open_in_bin path in
+  let b =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let r = Aries_util.Bytebuf.R.of_string b in
+  let magic = Aries_util.Bytebuf.R.string r in
+  if not (String.equal magic "ARIESIM1") then
+    invalid_arg (Printf.sprintf "Db.load: %s is not an ariesim snapshot" path);
+  let disk = Disk.deserialize (Aries_util.Bytebuf.R.bytes r) in
+  let wal = Logmgr.deserialize (Aries_util.Bytebuf.R.bytes r) in
+  Aries_util.Bytebuf.R.expect_end r;
+  build ?pool_capacity ?config disk wal
+
+let run ?policy ?max_steps ?yield_probability _t main =
+  Sched.run ?policy ?max_steps ?yield_probability main
+
+let run_exn ?policy _t f = Sched.run_value ?policy f

@@ -1,0 +1,68 @@
+(** The database environment: disk + log + buffer pool + lock manager +
+    transaction manager + index environment, wired together, with crash and
+    restart entry points.
+
+    A {e system crash} ([crash]) produces a fresh environment over the same
+    stable state (disk images, stable log prefix, master record): every
+    volatile structure — buffer pool, lock table, transaction table, open
+    trees — is gone, exactly like a power failure. [restart] then runs the
+    three ARIES passes. *)
+
+module Txnmgr = Aries_txn.Txnmgr
+
+type t = {
+  disk : Aries_page.Disk.t;
+  wal : Aries_wal.Logmgr.t;
+  pool : Aries_buffer.Bufpool.t;
+  locks : Aries_lock.Lockmgr.t;
+  mgr : Txnmgr.t;
+  benv : Aries_btree.Btree.env;
+}
+
+val create :
+  ?page_size:int -> ?pool_capacity:int -> ?config:Aries_btree.Btree.config -> unit -> t
+
+val crash : ?config:Aries_btree.Btree.config -> t -> t
+(** Simulate a system failure: discard the unflushed log tail and every
+    buffered page, and build fresh volatile managers over the surviving
+    stable state. The old handle must not be used again. The btree [config]
+    carries over. *)
+
+val restart : t -> Aries_recovery.Restart.report
+(** Run ARIES restart recovery (call on a freshly [crash]ed environment,
+    inside the scheduler). *)
+
+val checkpoint : t -> unit
+
+val trim_log : t -> int
+(** Reclaim log space below every recovery horizon: the master checkpoint,
+    the oldest dirty page's recLSN, and the first record of every live
+    transaction (a transaction of unknown extent — restored by restart —
+    blocks trimming entirely). Returns the number of bytes reclaimed.
+    Typically called right after {!checkpoint}. *)
+
+val with_txn : t -> (Txnmgr.txn -> 'a) -> 'a
+(** Begin, run, commit; total rollback (and re-raise) on exception. *)
+
+val run :
+  ?policy:Aries_sched.Sched.policy ->
+  ?max_steps:int ->
+  ?yield_probability:float ->
+  t ->
+  (unit -> unit) ->
+  Aries_sched.Sched.result
+(** Run a workload under the cooperative scheduler. *)
+
+val run_exn : ?policy:Aries_sched.Sched.policy -> t -> (unit -> 'a) -> 'a
+(** Like {!run} for a single computation; re-raises fiber failures and
+    fails on stalls. *)
+
+val save : t -> string -> unit
+(** Persist the {e stable} state (disk images, stable log prefix, master
+    record) to a file — exactly what a powered-off machine retains. The
+    volatile tail and buffer pool are not saved; run {!restart} after
+    {!load}. *)
+
+val load : ?pool_capacity:int -> ?config:Aries_btree.Btree.config -> string -> t
+(** Rebuild an environment from a {!save}d file. The caller must run
+    {!restart} (inside the scheduler) before using it. *)

@@ -1,0 +1,70 @@
+open Aries_util
+
+let rm_id = 2
+
+type body =
+  | Rec_insert of { rid : Ids.rid; data : bytes }
+  | Rec_delete of { rid : Ids.rid; data : bytes }
+  | Rec_update of { rid : Ids.rid; old_data : bytes; new_data : bytes }
+  | Format_data of { owner : int }
+
+let op_of_body = function
+  | Rec_insert _ -> 1
+  | Rec_delete _ -> 2
+  | Rec_update _ -> 3
+  | Format_data _ -> 4
+
+let op_name = function
+  | 1 -> "rec_insert"
+  | 2 -> "rec_delete"
+  | 3 -> "rec_update"
+  | 4 -> "format_data"
+  | n -> Printf.sprintf "rec-op-%d" n
+
+let write_rid w (rid : Ids.rid) =
+  Bytebuf.W.i64 w rid.Ids.rid_page;
+  Bytebuf.W.u32 w rid.Ids.rid_slot
+
+let read_rid r =
+  let rid_page = Bytebuf.R.i64 r in
+  let rid_slot = Bytebuf.R.u32 r in
+  { Ids.rid_page; rid_slot }
+
+let encode body =
+  let w = Bytebuf.W.create () in
+  (match body with
+  | Rec_insert { rid; data } ->
+      write_rid w rid;
+      Bytebuf.W.bytes w data
+  | Rec_delete { rid; data } ->
+      write_rid w rid;
+      Bytebuf.W.bytes w data
+  | Rec_update { rid; old_data; new_data } ->
+      write_rid w rid;
+      Bytebuf.W.bytes w old_data;
+      Bytebuf.W.bytes w new_data
+  | Format_data { owner } -> Bytebuf.W.i64 w owner);
+  Bytebuf.W.contents w
+
+let decode ~op bytes =
+  let r = Bytebuf.R.of_bytes bytes in
+  let body =
+    match op with
+    | 1 ->
+        let rid = read_rid r in
+        let data = Bytebuf.R.bytes r in
+        Rec_insert { rid; data }
+    | 2 ->
+        let rid = read_rid r in
+        let data = Bytebuf.R.bytes r in
+        Rec_delete { rid; data }
+    | 3 ->
+        let rid = read_rid r in
+        let old_data = Bytebuf.R.bytes r in
+        let new_data = Bytebuf.R.bytes r in
+        Rec_update { rid; old_data; new_data }
+    | 4 -> Format_data { owner = Bytebuf.R.i64 r }
+    | n -> raise (Bytebuf.Corrupt (Printf.sprintf "bad record op %d" n))
+  in
+  Bytebuf.R.expect_end r;
+  body

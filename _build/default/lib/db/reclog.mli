@@ -1,0 +1,23 @@
+(** Record-manager log bodies (rm_id {!rm_id}).
+
+    Records never move between pages (RIDs are stable), so record-manager
+    redo {e and} undo are always page-oriented — the contrast ARIES/IM
+    draws with index keys, which do move (§3). *)
+
+open Aries_util
+
+val rm_id : int
+
+type body =
+  | Rec_insert of { rid : Ids.rid; data : bytes }
+  | Rec_delete of { rid : Ids.rid; data : bytes  (** old image, for undo *) }
+  | Rec_update of { rid : Ids.rid; old_data : bytes; new_data : bytes }
+  | Format_data of { owner : int }
+
+val encode : body -> bytes
+
+val decode : op:int -> bytes -> body
+
+val op_of_body : body -> int
+
+val op_name : int -> string

@@ -1,0 +1,78 @@
+(** Tables: a heap of records plus any number of ARIES/IM indexes, bound
+    together under hierarchical locking (IS/IX on the table, record/key
+    locks below).
+
+    This layer realizes the paper's {e data-only locking} architecture
+    (§2.1): on insert and delete the record manager takes the
+    commit-duration X lock on the RID, and the index manager then needs
+    {e no} current-key lock — the RID lock covers every key of the record.
+    On fetch, the index manager's key lock covers the record, so the record
+    manager reads without locking. Under the index-specific / KVL /
+    System R protocols the record lock is taken separately, which is
+    exactly the extra cost experiment Q1 measures. *)
+
+open Aries_util
+module Txnmgr = Aries_txn.Txnmgr
+module Btree = Aries_btree.Btree
+
+type row = string array
+
+type index_spec = {
+  sp_name : string;
+  sp_unique : bool;
+  sp_key : row -> string;  (** key-value extractor *)
+}
+
+type t
+
+val create : Db.t -> Txnmgr.txn -> id:int -> index_spec list -> t
+(** Create the heap and the indexes (index names are ["tbl<id>.<name>"]). *)
+
+val open_existing : Db.t -> id:int -> index_spec list -> t
+(** Re-open after restart: the heap is rediscovered from data-page owner
+    tags, the index anchors by name scan. The specs must match creation. *)
+
+val id : t -> int
+
+val index : t -> string -> Btree.t
+
+val indexes : t -> (index_spec * Btree.t) list
+
+val heap : t -> Recmgr.heap
+
+val insert : t -> Txnmgr.txn -> row -> Ids.rid
+
+val delete : t -> Txnmgr.txn -> Ids.rid -> unit
+
+val update : t -> Txnmgr.txn -> Ids.rid -> row -> unit
+(** Re-keys exactly the indexes whose extracted value changed. *)
+
+val read : t -> Txnmgr.txn -> Ids.rid -> row option
+(** Direct RID read with an S record lock (no index involved). *)
+
+val fetch : t -> Txnmgr.txn -> index:string -> string -> (Ids.rid * row) option
+(** Unique-style point lookup through an index. *)
+
+val scan :
+  t ->
+  Txnmgr.txn ->
+  index:string ->
+  ?comparison:[ `Ge | `Gt ] ->
+  string ->
+  ?stop:string * [ `Le | `Lt ] ->
+  unit ->
+  (Ids.rid * row) list
+(** Range scan through an index, fetching each record. *)
+
+val count : t -> int
+(** Records currently in the heap (unlocked; test support). *)
+
+val check_consistency : t -> unit
+(** Cross-checks heap and indexes (unlocked; test support): every index
+    entry resolves to a live record whose extracted key equals the entry's
+    value; every record appears in every index exactly once; index
+    structural invariants hold. Raises [Failure] on the first violation. *)
+
+val encode_row : row -> bytes
+
+val decode_row : bytes -> row

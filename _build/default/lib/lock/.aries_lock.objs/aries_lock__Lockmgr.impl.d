@@ -1,0 +1,1 @@
+lib/lock/lockmgr.ml: Aries_sched Aries_util Format Hashtbl Ids List Printf Stats Vec

@@ -1,0 +1,1 @@
+lib/lock/lockmgr.mli: Aries_util Format Ids

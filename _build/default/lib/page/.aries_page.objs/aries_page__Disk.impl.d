@@ -1,0 +1,1 @@
+lib/page/disk.ml: Aries_util Bytebuf Hashtbl Ids List Page Stats

@@ -1,0 +1,1 @@
+lib/page/disk.mli: Aries_util Ids Page

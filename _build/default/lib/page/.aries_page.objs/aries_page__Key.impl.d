@@ -1,0 +1,1 @@
+lib/page/key.ml: Aries_util Bytebuf Format Ids Printf String

@@ -1,0 +1,1 @@
+lib/page/key.mli: Aries_util Bytebuf Format Ids

@@ -1,0 +1,1 @@
+lib/page/page.ml: Aries_sched Aries_util Aries_wal Bytebuf Bytes Format Ids Key Printf Vec

@@ -1,0 +1,1 @@
+lib/page/page.mli: Aries_sched Aries_util Aries_wal Format Ids Key Vec

@@ -1,0 +1,69 @@
+open Aries_util
+
+type t = {
+  psize : int;
+  store : (Ids.page_id, bytes) Hashtbl.t;
+  mutable next_pid : Ids.page_id;
+}
+
+let create ?(page_size = 4096) () = { psize = page_size; store = Hashtbl.create 64; next_pid = 1 }
+
+let page_size t = t.psize
+
+let alloc_pid t =
+  let pid = t.next_pid in
+  t.next_pid <- pid + 1;
+  pid
+
+let note_pid t pid = if pid >= t.next_pid then t.next_pid <- pid + 1
+
+let read t pid =
+  match Hashtbl.find_opt t.store pid with
+  | None -> None
+  | Some image ->
+      Stats.incr Stats.page_reads;
+      Some (Page.decode ~psize:t.psize image)
+
+let write t page =
+  Stats.incr Stats.page_writes;
+  Hashtbl.replace t.store page.Page.pid (Page.encode page)
+
+let exists t pid = Hashtbl.mem t.store pid
+
+let free t pid = Hashtbl.remove t.store pid
+
+let pids t = Hashtbl.fold (fun pid _ acc -> pid :: acc) t.store [] |> List.sort compare
+
+let image_copy t =
+  let copy = { psize = t.psize; store = Hashtbl.copy t.store; next_pid = t.next_pid } in
+  copy
+
+let corrupt t pid = Hashtbl.remove t.store pid
+
+let page_count t = Hashtbl.length t.store
+
+let serialize t =
+  let w = Bytebuf.W.create () in
+  Bytebuf.W.u32 w t.psize;
+  Bytebuf.W.i64 w t.next_pid;
+  Bytebuf.W.u32 w (Hashtbl.length t.store);
+  List.iter
+    (fun pid ->
+      Bytebuf.W.i64 w pid;
+      Bytebuf.W.bytes w (Hashtbl.find t.store pid))
+    (pids t);
+  Bytebuf.W.contents w
+
+let deserialize b =
+  let r = Bytebuf.R.of_bytes b in
+  let psize = Bytebuf.R.u32 r in
+  let next_pid = Bytebuf.R.i64 r in
+  let n = Bytebuf.R.u32 r in
+  let t = { psize; store = Hashtbl.create (max 16 n); next_pid } in
+  for _ = 1 to n do
+    let pid = Bytebuf.R.i64 r in
+    let image = Bytebuf.R.bytes r in
+    Hashtbl.replace t.store pid image
+  done;
+  Bytebuf.R.expect_end r;
+  t

@@ -1,0 +1,56 @@
+(** The simulated nonvolatile store.
+
+    Holds only serialized page images — the "disk version of the data base".
+    A system crash does not touch it (the buffer pool and volatile log tail
+    are what disappear); a {e media} failure is simulated by [corrupt].
+
+    Page allocation hands out fresh page ids from a counter that is part of
+    stable state. Freed page ids are not reused (documented simplification:
+    the paper defers free-space management to the underlying storage
+    manager; non-reuse sidesteps the deallocate-before-commit problem
+    without affecting any protocol being studied). *)
+
+open Aries_util
+
+type t
+
+val create : ?page_size:int -> unit -> t
+(** Default page size 4096 bytes. Tests use small pages to force SMOs. *)
+
+val page_size : t -> int
+
+val alloc_pid : t -> Ids.page_id
+(** A fresh, never-before-returned page id (> 0). Stable across crashes. *)
+
+val note_pid : t -> Ids.page_id -> unit
+(** Ensure the allocator never re-issues [pid]; used when redo recreates a
+    page that was allocated before a crash. *)
+
+val read : t -> Ids.page_id -> Page.t option
+(** Deserializes a fresh in-memory page from the stored image. *)
+
+val write : t -> Page.t -> unit
+(** Serializes and stores the page image (counted as a page write). The
+    caller (buffer manager) is responsible for the WAL rule. *)
+
+val exists : t -> Ids.page_id -> bool
+
+val free : t -> Ids.page_id -> unit
+(** Drop the stored image (page deallocated by an SMO and flushed state). *)
+
+val pids : t -> Ids.page_id list
+(** Sorted ids of all stored pages. *)
+
+val image_copy : t -> t
+(** A fuzzy archive dump: snapshot of current images (pages may contain
+    uncommitted data — media recovery replays the log over them). *)
+
+val corrupt : t -> Ids.page_id -> unit
+(** Simulate a media failure of one page: subsequent [read] returns [None]. *)
+
+val page_count : t -> int
+
+val serialize : t -> bytes
+(** The full stable state (page images + allocator), for {!deserialize}. *)
+
+val deserialize : bytes -> t

@@ -1,0 +1,1 @@
+lib/recovery/checkpoint.ml: Aries_buffer Aries_txn Aries_util Aries_wal Bytebuf Ids List Stats

@@ -1,0 +1,1 @@
+lib/recovery/media.ml: Aries_buffer Aries_page Aries_txn Aries_util Aries_wal Checkpoint List Stats

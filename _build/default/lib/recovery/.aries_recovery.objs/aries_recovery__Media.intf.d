@@ -1,0 +1,1 @@
+lib/recovery/media.mli: Aries_buffer Aries_txn Aries_util Aries_wal Ids

@@ -1,0 +1,1 @@
+lib/recovery/restart.ml: Aries_buffer Aries_lock Aries_page Aries_txn Aries_util Aries_wal Checkpoint Format Hashtbl Ids List Stats String

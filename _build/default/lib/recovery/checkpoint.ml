@@ -1,0 +1,78 @@
+open Aries_util
+module Lsn = Aries_wal.Lsn
+module Logrec = Aries_wal.Logrec
+module Logmgr = Aries_wal.Logmgr
+module Txnmgr = Aries_txn.Txnmgr
+module Bufpool = Aries_buffer.Bufpool
+
+type body = {
+  ck_txns : (Ids.txn_id * Txnmgr.state * Lsn.t * Lsn.t) list;
+  ck_dpt : (Ids.page_id * Lsn.t) list;
+}
+
+let encode_body b =
+  let w = Bytebuf.W.create () in
+  Bytebuf.W.u32 w (List.length b.ck_txns);
+  List.iter
+    (fun (id, state, last_lsn, undo_nxt) ->
+      Bytebuf.W.i64 w id;
+      Bytebuf.W.u8 w (Txnmgr.state_to_int state);
+      Bytebuf.W.i64 w last_lsn;
+      Bytebuf.W.i64 w undo_nxt)
+    b.ck_txns;
+  Bytebuf.W.u32 w (List.length b.ck_dpt);
+  List.iter
+    (fun (pid, rec_lsn) ->
+      Bytebuf.W.i64 w pid;
+      Bytebuf.W.i64 w rec_lsn)
+    b.ck_dpt;
+  Bytebuf.W.contents w
+
+let decode_body bytes =
+  let r = Bytebuf.R.of_bytes bytes in
+  let ntxn = Bytebuf.R.u32 r in
+  let rec txns i acc =
+    if i = ntxn then List.rev acc
+    else begin
+      let id = Bytebuf.R.i64 r in
+      let state = Txnmgr.state_of_int (Bytebuf.R.u8 r) in
+      let last_lsn = Bytebuf.R.i64 r in
+      let undo_nxt = Bytebuf.R.i64 r in
+      txns (i + 1) ((id, state, last_lsn, undo_nxt) :: acc)
+    end
+  in
+  let ck_txns = txns 0 [] in
+  let ndpt = Bytebuf.R.u32 r in
+  let rec dpt i acc =
+    if i = ndpt then List.rev acc
+    else begin
+      let pid = Bytebuf.R.i64 r in
+      let rec_lsn = Bytebuf.R.i64 r in
+      dpt (i + 1) ((pid, rec_lsn) :: acc)
+    end
+  in
+  let ck_dpt = dpt 0 [] in
+  Bytebuf.R.expect_end r;
+  { ck_txns; ck_dpt }
+
+let take mgr pool =
+  let wal = Txnmgr.log mgr in
+  let begin_rec = Logrec.make ~txn:Ids.nil_txn ~prev_lsn:Lsn.nil Logrec.Begin_ckpt in
+  let begin_lsn = Logmgr.append wal begin_rec in
+  let body =
+    {
+      ck_txns =
+        List.map
+          (fun (t : Txnmgr.txn) -> (t.Txnmgr.txn_id, t.Txnmgr.state, t.Txnmgr.last_lsn, t.Txnmgr.undo_nxt))
+          (Txnmgr.active_txns mgr);
+      ck_dpt = Bufpool.dirty_page_table pool;
+    }
+  in
+  let end_rec =
+    Logrec.make ~body:(encode_body body) ~txn:Ids.nil_txn ~prev_lsn:begin_lsn Logrec.End_ckpt
+  in
+  let end_lsn = Logmgr.append wal end_rec in
+  Logmgr.set_master wal begin_lsn;
+  Logmgr.flush_to wal end_lsn;
+  Stats.incr "checkpoint.taken";
+  begin_lsn

@@ -1,0 +1,25 @@
+(** Fuzzy checkpoints.
+
+    A checkpoint brackets a Begin_ckpt/End_ckpt pair; the End_ckpt body
+    carries the transaction table and the dirty-page table (page id →
+    recLSN). Nothing is forced to disk and no activity is quiesced — the
+    analysis pass reconciles whatever happened concurrently, which is what
+    makes the checkpoint "fuzzy". The master record points at the most
+    recent Begin_ckpt. *)
+
+open Aries_util
+module Lsn = Aries_wal.Lsn
+
+type body = {
+  ck_txns : (Ids.txn_id * Aries_txn.Txnmgr.state * Lsn.t * Lsn.t) list;
+      (** (id, state, last_lsn, undo_nxt) *)
+  ck_dpt : (Ids.page_id * Lsn.t) list;  (** (page, recLSN) *)
+}
+
+val take : Aries_txn.Txnmgr.t -> Aries_buffer.Bufpool.t -> Lsn.t
+(** Write a checkpoint, update the master record, force the log. Returns
+    the Begin_ckpt LSN. *)
+
+val encode_body : body -> bytes
+
+val decode_body : bytes -> body

@@ -1,0 +1,64 @@
+open Aries_util
+module Lsn = Aries_wal.Lsn
+module Logrec = Aries_wal.Logrec
+module Logmgr = Aries_wal.Logmgr
+module Txnmgr = Aries_txn.Txnmgr
+module Bufpool = Aries_buffer.Bufpool
+module Disk = Aries_page.Disk
+module Page = Aries_page.Page
+
+type dump = {
+  dmp_disk : Disk.t;
+  dmp_redo_lsn : Lsn.t;
+}
+
+let take_dump mgr pool =
+  let begin_lsn = Checkpoint.take mgr pool in
+  (* The checkpointed DPT bounds what the dump images might be missing:
+     everything below the minimum recLSN is on disk. Conservative and
+     simple: replay from the checkpoint's redo point. *)
+  let dpt = Bufpool.dirty_page_table pool in
+  let redo_lsn = List.fold_left (fun acc (_, rec_lsn) -> Lsn.min acc rec_lsn) begin_lsn dpt in
+  { dmp_disk = Disk.image_copy (Bufpool.disk pool); dmp_redo_lsn = redo_lsn }
+
+let dump_redo_lsn d = d.dmp_redo_lsn
+
+let recover_page mgr pool dump pid =
+  let wal = Txnmgr.log mgr in
+  let disk = Bufpool.disk pool in
+  (* drop whatever damaged frame/image might linger *)
+  Bufpool.drop pool pid;
+  (match Disk.read dump.dmp_disk pid with
+  | Some page -> Disk.write disk page
+  | None -> Disk.free disk pid);
+  let applied = ref 0 in
+  Logmgr.iter_from wal dump.dmp_redo_lsn (fun r ->
+      if r.Logrec.page = pid then begin
+        let redoable =
+          match r.Logrec.kind with
+          | Logrec.Update -> r.Logrec.redoable
+          | Logrec.Clr -> r.Logrec.rm_id <> 0
+          | Logrec.Commit | Logrec.Prepare | Logrec.Rollback | Logrec.End_txn
+          | Logrec.Begin_ckpt | Logrec.End_ckpt ->
+              false
+        in
+        if redoable then begin
+          let stale =
+            match Bufpool.fix_opt pool pid with
+            | Some p ->
+                let s = Lsn.( < ) p.Page.page_lsn r.Logrec.lsn in
+                Bufpool.unfix pool p;
+                s
+            | None -> true  (* page does not exist yet: format record recreates *)
+          in
+          if stale then begin
+            Txnmgr.rm_redo mgr r;
+            incr applied
+          end
+        end
+      end);
+  (* the roll-forward dirtied the page in the pool; force it out so the
+     repaired image is durable *)
+  Bufpool.flush_page pool pid;
+  Stats.incr "media.page_recoveries";
+  !applied

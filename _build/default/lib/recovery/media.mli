@@ -1,0 +1,26 @@
+(** Media recovery (§5): page-oriented recovery of indexes and data from a
+    fuzzy image copy plus the log.
+
+    A dump is taken without quiescing anything: it snapshots the current
+    disk images (which may contain uncommitted or torn-across-pages state)
+    together with a {e redo point} — an LSN from which rolling the log
+    forward over the dump reconstructs the current page contents. When a
+    page later becomes unreadable, it is reloaded from the dump and brought
+    up to date by replaying just that page's log records, with the usual
+    page_LSN test. No tree traversal is involved. *)
+
+open Aries_util
+module Lsn = Aries_wal.Lsn
+
+type dump
+
+val take_dump : Aries_txn.Txnmgr.t -> Aries_buffer.Bufpool.t -> dump
+(** Fuzzy image copy of the whole store. Internally takes a checkpoint
+    first so the dump's redo point is well defined and recent. *)
+
+val dump_redo_lsn : dump -> Lsn.t
+
+val recover_page : Aries_txn.Txnmgr.t -> Aries_buffer.Bufpool.t -> dump -> Ids.page_id -> int
+(** Restore one lost page from the dump and roll it forward. Returns the
+    number of log records applied. The page must not be fixed by anyone.
+    After return the authoritative current version is on disk. *)

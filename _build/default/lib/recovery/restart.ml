@@ -1,0 +1,273 @@
+open Aries_util
+module Lsn = Aries_wal.Lsn
+module Logrec = Aries_wal.Logrec
+module Logmgr = Aries_wal.Logmgr
+module Lockmgr = Aries_lock.Lockmgr
+module Txnmgr = Aries_txn.Txnmgr
+module Lockcodec = Aries_txn.Lockcodec
+module Bufpool = Aries_buffer.Bufpool
+module Disk = Aries_page.Disk
+
+type report = {
+  rp_redo_lsn : Lsn.t;
+  rp_records_analyzed : int;
+  rp_records_redo_scanned : int;
+  rp_redos_applied : int;
+  rp_redos_skipped : int;
+  rp_redo_traversals : int;
+  rp_undo_records : int;
+  rp_losers : Ids.txn_id list;
+  rp_indoubt : Ids.txn_id list;
+  rp_locks_reacquired : int;
+}
+
+type txn_track = {
+  mutable tk_state : Txnmgr.state;
+  mutable tk_last : Lsn.t;
+  mutable tk_undo_nxt : Lsn.t;
+  mutable tk_prepare_body : bytes option;
+  mutable tk_ended : bool;  (** saw Commit or End: not a loser *)
+}
+
+let fresh_track () =
+  { tk_state = Txnmgr.Active; tk_last = Lsn.nil; tk_undo_nxt = Lsn.nil; tk_prepare_body = None; tk_ended = false }
+
+(* ---------- Analysis pass ---------- *)
+
+type analysis = {
+  an_redo_lsn : Lsn.t;
+  an_dpt : (Ids.page_id, Lsn.t) Hashtbl.t;
+  an_txns : (Ids.txn_id, txn_track) Hashtbl.t;
+  an_records : int;
+}
+
+let analysis wal =
+  let start = Logmgr.master wal in
+  let dpt : (Ids.page_id, Lsn.t) Hashtbl.t = Hashtbl.create 64 in
+  let txns : (Ids.txn_id, txn_track) Hashtbl.t = Hashtbl.create 32 in
+  let records = ref 0 in
+  let track id =
+    match Hashtbl.find_opt txns id with
+    | Some tk -> tk
+    | None ->
+        let tk = fresh_track () in
+        Hashtbl.replace txns id tk;
+        tk
+  in
+  Logmgr.iter_from wal start (fun r ->
+      incr records;
+      let lsn = r.Logrec.lsn in
+      (if r.Logrec.txn <> Ids.nil_txn then begin
+         let tk = track r.Logrec.txn in
+         tk.tk_last <- lsn;
+         match r.Logrec.kind with
+         | Logrec.Update -> if r.Logrec.undoable then tk.tk_undo_nxt <- lsn
+         | Logrec.Clr -> tk.tk_undo_nxt <- r.Logrec.undo_nxt_lsn
+         | Logrec.Prepare ->
+             tk.tk_state <- Txnmgr.Prepared;
+             tk.tk_prepare_body <- Some r.Logrec.body
+         | Logrec.Rollback -> tk.tk_state <- Txnmgr.Rolling_back
+         | Logrec.Commit | Logrec.End_txn -> tk.tk_ended <- true
+         | Logrec.Begin_ckpt | Logrec.End_ckpt -> ()
+       end);
+      (match r.Logrec.kind with
+      | Logrec.End_ckpt ->
+          (* merge checkpointed state: scan-derived knowledge wins *)
+          let body = Checkpoint.decode_body r.Logrec.body in
+          List.iter
+            (fun (id, state, last_lsn, undo_nxt) ->
+              if not (Hashtbl.mem txns id) then begin
+                let tk = fresh_track () in
+                tk.tk_state <- state;
+                tk.tk_last <- last_lsn;
+                tk.tk_undo_nxt <- undo_nxt;
+                Hashtbl.replace txns id tk
+              end)
+            body.Checkpoint.ck_txns;
+          List.iter
+            (fun (pid, rec_lsn) ->
+              (* the checkpointed recLSN can predate anything the scan saw;
+                 keep the minimum so redo starts early enough *)
+              match Hashtbl.find_opt dpt pid with
+              | Some seen -> Hashtbl.replace dpt pid (Lsn.min seen rec_lsn)
+              | None -> Hashtbl.replace dpt pid rec_lsn)
+            body.Checkpoint.ck_dpt
+      | Logrec.Update | Logrec.Clr ->
+          if r.Logrec.page <> Ids.nil_page && not (Hashtbl.mem dpt r.Logrec.page) then
+            Hashtbl.replace dpt r.Logrec.page lsn
+      | Logrec.Commit | Logrec.Prepare | Logrec.Rollback | Logrec.End_txn | Logrec.Begin_ckpt ->
+          ()));
+  let redo_lsn =
+    Hashtbl.fold (fun _ rec_lsn acc -> Lsn.min rec_lsn acc) dpt (Logmgr.end_offset wal)
+  in
+  { an_redo_lsn = redo_lsn; an_dpt = dpt; an_txns = txns; an_records = !records }
+
+(* ---------- Redo pass: repeat history, page-oriented ---------- *)
+
+let redo mgr pool an =
+  let wal = Txnmgr.log mgr in
+  let scanned = ref 0 and applied = ref 0 and skipped = ref 0 in
+  Logmgr.iter_from wal an.an_redo_lsn (fun r ->
+      incr scanned;
+      let page = r.Logrec.page in
+      let redoable =
+        match r.Logrec.kind with
+        | Logrec.Update -> r.Logrec.redoable
+        | Logrec.Clr -> r.Logrec.rm_id <> 0  (* dummy CLRs carry no change *)
+        | Logrec.Commit | Logrec.Prepare | Logrec.Rollback | Logrec.End_txn
+        | Logrec.Begin_ckpt | Logrec.End_ckpt ->
+            false
+      in
+      if redoable && page <> Ids.nil_page then begin
+        Disk.note_pid (Bufpool.disk pool) page;
+        match Hashtbl.find_opt an.an_dpt page with
+        | Some rec_lsn when Lsn.( >= ) r.Logrec.lsn rec_lsn -> begin
+            Stats.incr Stats.redo_pages_examined;
+            match Bufpool.fix_opt pool page with
+            | Some p ->
+                if Lsn.( < ) p.Aries_page.Page.page_lsn r.Logrec.lsn then begin
+                  Txnmgr.rm_redo mgr r;
+                  Stats.incr Stats.redos_applied;
+                  incr applied
+                end
+                else incr skipped;
+                Bufpool.unfix pool p
+            | None ->
+                (* page never reached disk: the record must recreate it
+                   (format-type opcodes do; the RM asserts) *)
+                Txnmgr.rm_redo mgr r;
+                Stats.incr Stats.redos_applied;
+                incr applied
+          end
+        | Some _ | None -> incr skipped
+      end);
+  (!scanned, !applied, !skipped)
+
+(* ---------- Undo pass: single reverse sweep over all losers ---------- *)
+
+let undo mgr an =
+  let wal = Txnmgr.log mgr in
+  let processed = ref 0 in
+  (* restore losers into the live transaction table *)
+  let losers = ref [] in
+  Hashtbl.iter
+    (fun id tk ->
+      if (not tk.tk_ended) && tk.tk_state <> Txnmgr.Prepared then begin
+        let txn =
+          Txnmgr.restore_txn mgr ~id ~state:Txnmgr.Rolling_back ~last_lsn:tk.tk_last
+            ~undo_nxt:tk.tk_undo_nxt
+        in
+        Lockmgr.set_no_victim (Txnmgr.locks mgr) id;
+        losers := txn :: !losers
+      end)
+    an.an_txns;
+  let losers_sorted = List.sort (fun a b -> compare a.Txnmgr.txn_id b.Txnmgr.txn_id) !losers in
+  let live = ref (List.filter (fun t -> not (Lsn.is_nil t.Txnmgr.undo_nxt)) losers_sorted) in
+  (* losers with nothing to undo still need an End record *)
+  List.iter
+    (fun t -> if Lsn.is_nil t.Txnmgr.undo_nxt then Txnmgr.finish mgr t)
+    losers_sorted;
+  while !live <> [] do
+    let victim =
+      List.fold_left
+        (fun best t -> if Lsn.( < ) best.Txnmgr.undo_nxt t.Txnmgr.undo_nxt then t else best)
+        (List.hd !live) (List.tl !live)
+    in
+    let r = Logmgr.read wal victim.Txnmgr.undo_nxt in
+    incr processed;
+    (match r.Logrec.kind with
+    | Logrec.Update ->
+        if r.Logrec.undoable then Txnmgr.rm_undo mgr victim r
+        else victim.Txnmgr.undo_nxt <- r.Logrec.prev_lsn
+    | Logrec.Clr -> victim.Txnmgr.undo_nxt <- r.Logrec.undo_nxt_lsn
+    | Logrec.Commit | Logrec.Prepare | Logrec.Rollback | Logrec.End_txn | Logrec.Begin_ckpt
+    | Logrec.End_ckpt ->
+        victim.Txnmgr.undo_nxt <- r.Logrec.prev_lsn);
+    if Lsn.is_nil victim.Txnmgr.undo_nxt then begin
+      Txnmgr.finish mgr victim;
+      live := List.filter (fun t -> t != victim) !live
+    end
+  done;
+  (!processed, List.map (fun t -> t.Txnmgr.txn_id) losers_sorted)
+
+(* ---------- In-doubt transactions: reacquire locks ---------- *)
+
+let reacquire_indoubt mgr an =
+  let locks = Txnmgr.locks mgr in
+  let count = ref 0 in
+  let indoubt = ref [] in
+  Hashtbl.iter
+    (fun id tk ->
+      if (not tk.tk_ended) && tk.tk_state = Txnmgr.Prepared then begin
+        ignore
+          (Txnmgr.restore_txn mgr ~id ~state:Txnmgr.Prepared ~last_lsn:tk.tk_last
+             ~undo_nxt:tk.tk_undo_nxt);
+        indoubt := id :: !indoubt;
+        (* if the txn prepared before the analysis window, fetch the
+           Prepare record through the prev-LSN chain *)
+        let body =
+          match tk.tk_prepare_body with
+          | Some b -> Some b
+          | None ->
+              let wal = Txnmgr.log mgr in
+              let rec walk lsn =
+                if Lsn.is_nil lsn then None
+                else
+                  let r = Logmgr.read wal lsn in
+                  match r.Logrec.kind with
+                  | Logrec.Prepare -> Some r.Logrec.body
+                  | Logrec.Update | Logrec.Clr | Logrec.Commit | Logrec.Rollback
+                  | Logrec.End_txn | Logrec.Begin_ckpt | Logrec.End_ckpt ->
+                      walk r.Logrec.prev_lsn
+              in
+              walk tk.tk_last
+        in
+        match body with
+        | None -> ()
+        | Some body ->
+            List.iter
+              (fun (name, mode) ->
+                match Lockmgr.lock locks ~txn:id name mode Lockmgr.Commit with
+                | Lockmgr.Granted -> incr count
+                | Lockmgr.Denied | Lockmgr.Deadlock ->
+                    (* restart is single-threaded: always grantable *)
+                    assert false)
+              (Lockcodec.decode_list body)
+      end)
+    an.an_txns;
+  (!count, List.sort compare !indoubt)
+
+let run mgr pool =
+  let wal = Txnmgr.log mgr in
+  let an = analysis wal in
+  (* keep txn ids monotonic across the crash *)
+  Hashtbl.iter (fun id _ -> Txnmgr.note_txn_id mgr id) an.an_txns;
+  let locks_reacquired, indoubt = reacquire_indoubt mgr an in
+  let traversals_before = Stats.get (Stats.current ()) Stats.tree_traversals in
+  let scanned, applied, skipped = redo mgr pool an in
+  let redo_traversals =
+    Stats.get (Stats.current ()) Stats.tree_traversals - traversals_before
+  in
+  let undo_records, losers = undo mgr an in
+  ignore (Checkpoint.take mgr pool);
+  {
+    rp_redo_lsn = an.an_redo_lsn;
+    rp_records_analyzed = an.an_records;
+    rp_records_redo_scanned = scanned;
+    rp_redos_applied = applied;
+    rp_redos_skipped = skipped;
+    rp_redo_traversals = redo_traversals;
+    rp_undo_records = undo_records;
+    rp_losers = losers;
+    rp_indoubt = indoubt;
+    rp_locks_reacquired = locks_reacquired;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>redo point        %a@,analyzed          %d records@,redo scanned      %d records@,redos applied     %d@,redos skipped     %d@,undo processed    %d records@,losers            %s@,in-doubt          %s@,locks reacquired  %d@]"
+    Lsn.pp r.rp_redo_lsn r.rp_records_analyzed r.rp_records_redo_scanned r.rp_redos_applied
+    r.rp_redos_skipped r.rp_undo_records
+    (String.concat "," (List.map string_of_int r.rp_losers))
+    (String.concat "," (List.map string_of_int r.rp_indoubt))
+    r.rp_locks_reacquired

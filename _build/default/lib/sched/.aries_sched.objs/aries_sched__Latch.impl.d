@@ -1,0 +1,1 @@
+lib/sched/latch.ml: Aries_util Format List Printf Sched

@@ -1,0 +1,1 @@
+lib/sched/sched.ml: Aries_util Effect Hashtbl List Printf

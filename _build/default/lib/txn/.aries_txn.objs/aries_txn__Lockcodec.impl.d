@@ -1,0 +1,1 @@
+lib/txn/lockcodec.ml: Aries_lock Aries_util Bytebuf Ids List Printf

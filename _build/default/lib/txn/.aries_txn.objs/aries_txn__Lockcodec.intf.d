@@ -1,0 +1,1 @@
+lib/txn/lockcodec.mli: Aries_lock Aries_util Bytebuf

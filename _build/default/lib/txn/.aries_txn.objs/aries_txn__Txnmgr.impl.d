@@ -1,0 +1,1 @@
+lib/txn/txnmgr.ml: Aries_lock Aries_sched Aries_util Aries_wal Bytebuf Bytes Hashtbl Ids List Lockcodec Printf

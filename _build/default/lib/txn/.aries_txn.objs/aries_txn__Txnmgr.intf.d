@@ -1,0 +1,1 @@
+lib/txn/txnmgr.mli: Aries_lock Aries_util Aries_wal Ids

@@ -1,0 +1,81 @@
+open Aries_util
+module Lockmgr = Aries_lock.Lockmgr
+
+let encode_name w (n : Lockmgr.name) =
+  match n with
+  | Lockmgr.Rid r ->
+      Bytebuf.W.u8 w 0;
+      Bytebuf.W.i64 w r.Ids.rid_page;
+      Bytebuf.W.u32 w r.Ids.rid_slot
+  | Lockmgr.Key_value (ix, v) ->
+      Bytebuf.W.u8 w 1;
+      Bytebuf.W.i64 w ix;
+      Bytebuf.W.string w v
+  | Lockmgr.Eof ix ->
+      Bytebuf.W.u8 w 2;
+      Bytebuf.W.i64 w ix
+  | Lockmgr.Table tbl ->
+      Bytebuf.W.u8 w 3;
+      Bytebuf.W.i64 w tbl
+  | Lockmgr.Page_lock p ->
+      Bytebuf.W.u8 w 4;
+      Bytebuf.W.i64 w p
+  | Lockmgr.Tree_lock ix ->
+      Bytebuf.W.u8 w 5;
+      Bytebuf.W.i64 w ix
+
+let decode_name r : Lockmgr.name =
+  match Bytebuf.R.u8 r with
+  | 0 ->
+      let rid_page = Bytebuf.R.i64 r in
+      let rid_slot = Bytebuf.R.u32 r in
+      Lockmgr.Rid { Ids.rid_page; rid_slot }
+  | 1 ->
+      let ix = Bytebuf.R.i64 r in
+      let v = Bytebuf.R.string r in
+      Lockmgr.Key_value (ix, v)
+  | 2 -> Lockmgr.Eof (Bytebuf.R.i64 r)
+  | 3 -> Lockmgr.Table (Bytebuf.R.i64 r)
+  | 4 -> Lockmgr.Page_lock (Bytebuf.R.i64 r)
+  | 5 -> Lockmgr.Tree_lock (Bytebuf.R.i64 r)
+  | n -> raise (Bytebuf.Corrupt (Printf.sprintf "bad lock name tag %d" n))
+
+let mode_to_int : Lockmgr.mode -> int = function
+  | Lockmgr.IS -> 0
+  | Lockmgr.IX -> 1
+  | Lockmgr.S -> 2
+  | Lockmgr.SIX -> 3
+  | Lockmgr.X -> 4
+
+let mode_of_int : int -> Lockmgr.mode = function
+  | 0 -> Lockmgr.IS
+  | 1 -> Lockmgr.IX
+  | 2 -> Lockmgr.S
+  | 3 -> Lockmgr.SIX
+  | 4 -> Lockmgr.X
+  | n -> raise (Bytebuf.Corrupt (Printf.sprintf "bad lock mode %d" n))
+
+let encode_list locks =
+  let w = Bytebuf.W.create () in
+  Bytebuf.W.u32 w (List.length locks);
+  List.iter
+    (fun (name, mode) ->
+      encode_name w name;
+      Bytebuf.W.u8 w (mode_to_int mode))
+    locks;
+  Bytebuf.W.contents w
+
+let decode_list b =
+  let r = Bytebuf.R.of_bytes b in
+  let n = Bytebuf.R.u32 r in
+  let rec loop i acc =
+    if i = n then List.rev acc
+    else begin
+      let name = decode_name r in
+      let mode = mode_of_int (Bytebuf.R.u8 r) in
+      loop (i + 1) ((name, mode) :: acc)
+    end
+  in
+  let locks = loop 0 [] in
+  Bytebuf.R.expect_end r;
+  locks

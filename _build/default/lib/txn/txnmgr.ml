@@ -1,0 +1,234 @@
+open Aries_util
+module Lsn = Aries_wal.Lsn
+module Logrec = Aries_wal.Logrec
+module Logmgr = Aries_wal.Logmgr
+module Lockmgr = Aries_lock.Lockmgr
+module Sched = Aries_sched.Sched
+
+type state = Active | Prepared | Rolling_back
+
+type txn = {
+  txn_id : Ids.txn_id;
+  mutable state : state;
+  mutable first_lsn : Lsn.t;
+  mutable last_lsn : Lsn.t;
+  mutable undo_nxt : Lsn.t;
+}
+
+exception Aborted of Ids.txn_id * string
+
+type rm = {
+  rm_redo : Logrec.t -> unit;
+  rm_undo : txn -> Logrec.t -> unit;
+}
+
+type t = {
+  wal : Logmgr.t;
+  lockmgr : Lockmgr.t;
+  table : (Ids.txn_id, txn) Hashtbl.t;
+  rms : (int, rm) Hashtbl.t;
+  fibers : (Sched.fiber_id, txn) Hashtbl.t;
+  mutable next_id : Ids.txn_id;
+}
+
+let create wal lockmgr =
+  {
+    wal;
+    lockmgr;
+    table = Hashtbl.create 32;
+    rms = Hashtbl.create 8;
+    fibers = Hashtbl.create 32;
+    next_id = 1;
+  }
+
+let log t = t.wal
+
+let locks t = t.lockmgr
+
+let register_rm t ~rm_id ~redo ~undo =
+  if rm_id = 0 then invalid_arg "Txnmgr.register_rm: rm_id 0 is reserved";
+  Hashtbl.replace t.rms rm_id { rm_redo = redo; rm_undo = undo }
+
+let rm t id =
+  match Hashtbl.find_opt t.rms id with
+  | Some rm -> rm
+  | None -> invalid_arg (Printf.sprintf "Txnmgr: no resource manager %d registered" id)
+
+let rm_redo t (r : Logrec.t) = (rm t r.rm_id).rm_redo r
+
+let rm_undo t txn (r : Logrec.t) = (rm t r.rm_id).rm_undo txn r
+
+let bind_fiber t txn = if Sched.in_fiber () then Hashtbl.replace t.fibers (Sched.current ()) txn
+
+let current t =
+  if Sched.in_fiber () then Hashtbl.find_opt t.fibers (Sched.current ()) else None
+
+let unbind_fiber t txn =
+  Hashtbl.iter
+    (fun fid tx -> if tx == txn then Hashtbl.remove t.fibers fid)
+    (Hashtbl.copy t.fibers)
+
+let begin_txn t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let txn = { txn_id = id; state = Active; first_lsn = Lsn.nil; last_lsn = Lsn.nil; undo_nxt = Lsn.nil } in
+  Hashtbl.replace t.table id txn;
+  Lockmgr.attach t.lockmgr id;
+  bind_fiber t txn;
+  txn
+
+let append t txn rec_ =
+  let lsn = Logmgr.append t.wal rec_ in
+  if Lsn.is_nil txn.first_lsn then txn.first_lsn <- lsn;
+  txn.last_lsn <- lsn;
+  lsn
+
+let log_update t txn ?(page = Ids.nil_page) ?undoable ?redoable ~rm_id ~op ~body () =
+  let r =
+    Logrec.make ~page ?undoable ?redoable ~rm_id ~op ~body ~txn:txn.txn_id
+      ~prev_lsn:txn.last_lsn Logrec.Update
+  in
+  let lsn = append t txn r in
+  if (match undoable with Some false -> false | Some true | None -> true) then
+    txn.undo_nxt <- lsn;
+  lsn
+
+let log_clr t txn ?(page = Ids.nil_page) ?(rm_id = 0) ?(op = 0) ?(body = Bytes.empty) ~undo_nxt
+    () =
+  let r =
+    Logrec.make ~page ~undo_nxt_lsn:undo_nxt ~rm_id ~op ~body ~txn:txn.txn_id
+      ~prev_lsn:txn.last_lsn Logrec.Clr
+  in
+  let lsn = append t txn r in
+  txn.undo_nxt <- undo_nxt;
+  lsn
+
+let nta_begin txn = txn.last_lsn
+
+let nta_end t txn remembered = log_clr t txn ~undo_nxt:remembered ()
+
+let write_simple t txn kind =
+  let r = Logrec.make ~txn:txn.txn_id ~prev_lsn:txn.last_lsn kind in
+  append t txn r
+
+let release_and_end t txn =
+  Lockmgr.release_all t.lockmgr ~txn:txn.txn_id;
+  ignore (write_simple t txn Logrec.End_txn);
+  Hashtbl.remove t.table txn.txn_id;
+  unbind_fiber t txn
+
+let commit t txn =
+  (match txn.state with
+  | Active | Prepared -> ()
+  | Rolling_back -> invalid_arg "Txnmgr.commit: transaction is rolling back");
+  let lsn = write_simple t txn Logrec.Commit in
+  Logmgr.flush_to t.wal lsn;
+  release_and_end t txn
+
+(* Serialize the txn's retained lock names+modes into the Prepare body so
+   restart can reacquire them for the in-doubt transaction. *)
+let encode_locks lockmgr txn_id = Lockcodec.encode_list (Lockmgr.held_locks lockmgr ~txn:txn_id)
+
+let prepare t txn =
+  (match txn.state with
+  | Active -> ()
+  | Prepared | Rolling_back -> invalid_arg "Txnmgr.prepare: not active");
+  let body = encode_locks t.lockmgr txn.txn_id in
+  let r =
+    Logrec.make ~body ~txn:txn.txn_id ~prev_lsn:txn.last_lsn Logrec.Prepare
+  in
+  let lsn = append t txn r in
+  Logmgr.flush_to t.wal lsn;
+  txn.state <- Prepared
+
+let commit_prepared t txn =
+  if txn.state <> Prepared then invalid_arg "Txnmgr.commit_prepared: not prepared";
+  txn.state <- Active;
+  commit t txn
+
+(* The undo driver: walk the txn's chain from undo_nxt down to (exclusive)
+   [stop_at], dispatching undoable updates to their resource manager. The RM
+   writes the CLR; the driver then steps to the compensated record's
+   predecessor. CLRs encountered (from an earlier partial rollback) are
+   skipped wholesale via their UndoNxtLSN. *)
+let undo_chain t txn ~stop_at =
+  while Lsn.( < ) stop_at txn.undo_nxt && not (Lsn.is_nil txn.undo_nxt) do
+    let r = Logmgr.read t.wal txn.undo_nxt in
+    match r.Logrec.kind with
+    | Logrec.Update ->
+        if r.Logrec.undoable then
+          (* the RM writes a CLR whose UndoNxtLSN is r.prev_lsn. If the undo
+             itself required an SMO, undo_nxt now points at the SMO's dummy
+             CLR instead; the Clr case below jumps over the whole interval,
+             so progress is still strictly backwards. *)
+          rm_undo t txn r
+        else txn.undo_nxt <- r.Logrec.prev_lsn
+    | Logrec.Clr -> txn.undo_nxt <- r.Logrec.undo_nxt_lsn
+    | Logrec.Commit | Logrec.Prepare | Logrec.Rollback | Logrec.End_txn | Logrec.Begin_ckpt
+    | Logrec.End_ckpt ->
+        txn.undo_nxt <- r.Logrec.prev_lsn
+  done
+
+let rollback t ?(reason = "rollback") txn =
+  ignore reason;
+  txn.state <- Rolling_back;
+  Lockmgr.set_no_victim t.lockmgr txn.txn_id;
+  ignore (write_simple t txn Logrec.Rollback);
+  undo_chain t txn ~stop_at:Lsn.nil;
+  release_and_end t txn
+
+let savepoint txn = txn.last_lsn
+
+let rollback_to t txn sp =
+  (match txn.state with
+  | Active -> ()
+  | Prepared | Rolling_back -> invalid_arg "Txnmgr.rollback_to: not active");
+  undo_chain t txn ~stop_at:sp
+
+let lock t txn name mode duration =
+  assert (txn.state <> Rolling_back);
+  match Lockmgr.lock t.lockmgr ~txn:txn.txn_id name mode duration with
+  | Lockmgr.Granted -> ()
+  | Lockmgr.Denied -> assert false (* unconditional requests are never denied *)
+  | Lockmgr.Deadlock ->
+      rollback t ~reason:"deadlock victim" txn;
+      raise (Aborted (txn.txn_id, "deadlock"))
+
+let try_lock t txn name mode duration =
+  match Lockmgr.lock t.lockmgr ~txn:txn.txn_id ~cond:true name mode duration with
+  | Lockmgr.Granted -> true
+  | Lockmgr.Denied -> false
+  | Lockmgr.Deadlock -> assert false (* conditional requests never wait *)
+
+let find t id = Hashtbl.find_opt t.table id
+
+let active_txns t =
+  Hashtbl.fold (fun _ txn acc -> txn :: acc) t.table []
+  |> List.sort (fun a b -> compare a.txn_id b.txn_id)
+
+let restore_txn t ~id ~state ~last_lsn ~undo_nxt =
+  (* first_lsn is unknown after restart analysis: Lsn.nil with a non-nil
+     last_lsn blocks log truncation conservatively *)
+  let txn = { txn_id = id; state; first_lsn = Lsn.nil; last_lsn; undo_nxt } in
+  Hashtbl.replace t.table id txn;
+  Lockmgr.attach t.lockmgr id;
+  if id >= t.next_id then t.next_id <- id + 1;
+  txn
+
+let finish t txn = release_and_end t txn
+
+let clear t =
+  Hashtbl.reset t.table;
+  Hashtbl.reset t.fibers
+
+let next_txn_id t = t.next_id
+
+let note_txn_id t id = if id >= t.next_id then t.next_id <- id + 1
+
+let state_to_int = function Active -> 0 | Prepared -> 1 | Rolling_back -> 2
+
+let state_of_int = function
+  | 0 -> Active
+  | 1 -> Prepared
+  | 2 -> Rolling_back
+  | n -> raise (Bytebuf.Corrupt (Printf.sprintf "bad txn state %d" n))

@@ -1,0 +1,156 @@
+(** Transaction manager: the transaction table, PrevLSN chaining, commit,
+    total/partial rollback, nested top actions, and the resource-manager
+    registry through which rollback and restart recovery dispatch undo/redo
+    of resource-specific log records.
+
+    The undo driver implements the ARIES rules: undoable updates are undone
+    through their resource manager (which writes CLRs); CLRs are never
+    undone — the driver jumps over the compensated interval via
+    [undo_nxt_lsn]; so rollbacks make bounded progress even across repeated
+    failures. Nested top actions (used by index SMOs) are bracketed with
+    {!nta_begin}/{!nta_end}; the dummy CLR written by [nta_end] makes the
+    bracketed changes permanent w.r.t. the enclosing transaction's rollback
+    while leaving them undoable if the bracket never completes. *)
+
+open Aries_util
+module Lsn = Aries_wal.Lsn
+module Logrec = Aries_wal.Logrec
+module Lockmgr = Aries_lock.Lockmgr
+
+type state =
+  | Active
+  | Prepared  (** in-doubt: survives restart with locks reacquired *)
+  | Rolling_back
+
+type txn = {
+  txn_id : Ids.txn_id;
+  mutable state : state;
+  mutable first_lsn : Lsn.t;
+      (** the txn's first log record; [Lsn.nil] if it has written nothing,
+          or if the txn was restored by restart analysis (unknown — treated
+          as blocking by log truncation) *)
+  mutable last_lsn : Lsn.t;  (** most recent log record of this txn *)
+  mutable undo_nxt : Lsn.t;  (** next record to examine when rolling back *)
+}
+
+exception Aborted of Ids.txn_id * string
+(** Raised to the application after an involuntary total rollback (deadlock
+    victim). The rollback has already completed when this is raised. *)
+
+type t
+
+val create : Aries_wal.Logmgr.t -> Lockmgr.t -> t
+
+val log : t -> Aries_wal.Logmgr.t
+
+val locks : t -> Lockmgr.t
+
+(** {1 Resource managers} *)
+
+val register_rm :
+  t ->
+  rm_id:int ->
+  redo:(Logrec.t -> unit) ->
+  undo:(txn -> Logrec.t -> unit) ->
+  unit
+(** [redo] applies a record to its page, page-oriented (restart redo and
+    media recovery). [undo] compensates a record during rollback: it must
+    write CLR(s) via {!log_clr} (or regular records for SMOs performed
+    during undo) and apply the change. *)
+
+val rm_redo : t -> Logrec.t -> unit
+
+val rm_undo : t -> txn -> Logrec.t -> unit
+
+(** {1 Transaction lifecycle} *)
+
+val begin_txn : t -> txn
+(** Also binds the transaction to the current fiber, if any. *)
+
+val current : t -> txn option
+(** The transaction bound to the calling fiber. *)
+
+val bind_fiber : t -> txn -> unit
+
+val commit : t -> txn -> unit
+(** Write Commit, force the log (the only synchronous log I/O in the happy
+    path), release locks, write End. *)
+
+val prepare : t -> txn -> unit
+(** First phase of 2PC: logs Prepare (with the txn's lock names in the
+    body, for restart reacquisition) and forces the log. *)
+
+val commit_prepared : t -> txn -> unit
+
+val rollback : t -> ?reason:string -> txn -> unit
+(** Total rollback: undo everything, release locks, write End. *)
+
+val savepoint : txn -> Lsn.t
+(** A point to partially roll back to (the txn's current last LSN). *)
+
+val rollback_to : t -> txn -> Lsn.t -> unit
+(** Partial rollback to a savepoint; the transaction remains active and
+    keeps all its locks (ARIES does not release locks on partial rollback). *)
+
+(** {1 Logging} *)
+
+val log_update :
+  t ->
+  txn ->
+  ?page:Ids.page_id ->
+  ?undoable:bool ->
+  ?redoable:bool ->
+  rm_id:int ->
+  op:int ->
+  body:bytes ->
+  unit ->
+  Lsn.t
+
+val log_clr :
+  t -> txn -> ?page:Ids.page_id -> ?rm_id:int -> ?op:int -> ?body:bytes -> undo_nxt:Lsn.t -> unit -> Lsn.t
+
+(** {1 Nested top actions} *)
+
+val nta_begin : txn -> Lsn.t
+(** Remember the LSN of the txn's most recent record (Figure 8/9). *)
+
+val nta_end : t -> txn -> Lsn.t -> Lsn.t
+(** Write the dummy CLR whose UndoNxtLSN is the remembered LSN, making the
+    records in between invisible to rollback. Returns the dummy CLR's LSN. *)
+
+(** {1 Locking} *)
+
+val lock : t -> txn -> Lockmgr.name -> Lockmgr.mode -> Lockmgr.duration -> unit
+(** Unconditional request. If the transaction is chosen as deadlock victim,
+    it is rolled back in place and {!Aborted} is raised. Must not be called
+    while holding latches (asserted by the index manager's discipline, not
+    here). *)
+
+val try_lock : t -> txn -> Lockmgr.name -> Lockmgr.mode -> Lockmgr.duration -> bool
+(** Conditional request; never blocks. *)
+
+(** {1 Introspection / recovery support} *)
+
+val find : t -> Ids.txn_id -> txn option
+
+val active_txns : t -> txn list
+(** All transactions currently in the table, any state; sorted by id. *)
+
+val restore_txn : t -> id:Ids.txn_id -> state:state -> last_lsn:Lsn.t -> undo_nxt:Lsn.t -> txn
+(** Restart analysis rebuilding the table. *)
+
+val finish : t -> txn -> unit
+(** Write End and drop from the table (restart undo completion). *)
+
+val clear : t -> unit
+(** Drop all volatile transaction state (crash simulation). *)
+
+val next_txn_id : t -> Ids.txn_id
+(** The id the next [begin_txn] would use (monotonic; restored after
+    restart from the log scan so ids never collide). *)
+
+val note_txn_id : t -> Ids.txn_id -> unit
+
+val state_to_int : state -> int
+
+val state_of_int : int -> state

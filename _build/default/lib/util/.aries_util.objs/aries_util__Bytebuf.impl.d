@@ -1,0 +1,1 @@
+lib/util/bytebuf.ml: Buffer Bytes Char Int32 Int64 Printf String

@@ -1,0 +1,95 @@
+exception Corrupt of string
+
+module W = struct
+  type t = Buffer.t
+
+  let create () = Buffer.create 128
+
+  let length = Buffer.length
+
+  let u8 t v =
+    assert (v >= 0 && v < 0x100);
+    Buffer.add_uint8 t v
+
+  let u16 t v =
+    assert (v >= 0 && v < 0x10000);
+    Buffer.add_uint16_le t v
+
+  let u32 t v =
+    assert (v >= 0 && v <= 0xFFFFFFFF);
+    Buffer.add_int32_le t (Int32.of_int (v land 0xFFFFFFFF))
+
+  let i64 t v = Buffer.add_int64_le t (Int64.of_int v)
+
+  let bool t v = u8 t (if v then 1 else 0)
+
+  let string t s =
+    u32 t (String.length s);
+    Buffer.add_string t s
+
+  let bytes t b = string t (Bytes.unsafe_to_string b)
+
+  let contents t = Buffer.to_bytes t
+end
+
+module R = struct
+  type t = {
+    src : string;
+    mutable pos : int;
+  }
+
+  let of_string src = { src; pos = 0 }
+
+  let of_bytes b = of_string (Bytes.unsafe_to_string b)
+
+  let pos t = t.pos
+
+  let remaining t = String.length t.src - t.pos
+
+  let need t n =
+    if remaining t < n then
+      raise (Corrupt (Printf.sprintf "truncated input: need %d bytes at offset %d, have %d" n t.pos (remaining t)))
+
+  let u8 t =
+    need t 1;
+    let v = Char.code t.src.[t.pos] in
+    t.pos <- t.pos + 1;
+    v
+
+  let u16 t =
+    need t 2;
+    let v = String.get_uint16_le t.src t.pos in
+    t.pos <- t.pos + 2;
+    v
+
+  let u32 t =
+    need t 4;
+    let v = Int32.to_int (String.get_int32_le t.src t.pos) land 0xFFFFFFFF in
+    t.pos <- t.pos + 4;
+    v
+
+  let i64 t =
+    need t 8;
+    let v = Int64.to_int (String.get_int64_le t.src t.pos) in
+    t.pos <- t.pos + 8;
+    v
+
+  let bool t =
+    match u8 t with
+    | 0 -> false
+    | 1 -> true
+    | n -> raise (Corrupt (Printf.sprintf "invalid bool byte %d" n))
+
+  let string t =
+    let n = u32 t in
+    need t n;
+    let s = String.sub t.src t.pos n in
+    t.pos <- t.pos + n;
+    s
+
+  let bytes t = Bytes.unsafe_of_string (string t)
+
+  let expect_end t =
+    if remaining t <> 0 then
+      raise (Corrupt (Printf.sprintf "%d trailing bytes at offset %d" (remaining t) t.pos))
+end

@@ -1,0 +1,62 @@
+(** Binary encoding helpers shared by the log-record and page codecs.
+
+    All integers are little-endian fixed width; strings are u32
+    length-prefixed. The reader raises [Corrupt] (rather than
+    [Invalid_argument]) on truncated input so that callers can distinguish
+    codec bugs from genuinely damaged media in media-recovery tests. *)
+
+exception Corrupt of string
+
+module W : sig
+  type t
+
+  val create : unit -> t
+
+  val length : t -> int
+
+  val u8 : t -> int -> unit
+
+  val u16 : t -> int -> unit
+
+  val u32 : t -> int -> unit
+
+  val i64 : t -> int -> unit
+  (** OCaml [int] stored as 64-bit. *)
+
+  val bool : t -> bool -> unit
+
+  val string : t -> string -> unit
+
+  val bytes : t -> bytes -> unit
+
+  val contents : t -> bytes
+end
+
+module R : sig
+  type t
+
+  val of_bytes : bytes -> t
+
+  val of_string : string -> t
+
+  val pos : t -> int
+
+  val remaining : t -> int
+
+  val u8 : t -> int
+
+  val u16 : t -> int
+
+  val u32 : t -> int
+
+  val i64 : t -> int
+
+  val bool : t -> bool
+
+  val string : t -> string
+
+  val bytes : t -> bytes
+
+  val expect_end : t -> unit
+  (** Raises [Corrupt] if input remains. *)
+end

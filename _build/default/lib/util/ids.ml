@@ -1,0 +1,32 @@
+(** Shared identifier types. All are plain integers so they cross codec
+    boundaries cheaply; distinct names document intent at interfaces. *)
+
+type page_id = int
+
+type txn_id = int
+
+type index_id = int
+
+let nil_page : page_id = 0
+(** Page 0 is never allocated; it marks "no page" in chains and log records. *)
+
+let nil_txn : txn_id = 0
+
+(** Record identifier: the (data page, slot) pair that names a record — and,
+    under ARIES/IM data-only locking, also names the lock that covers every
+    index key belonging to that record. *)
+type rid = {
+  rid_page : page_id;
+  rid_slot : int;
+}
+
+let nil_rid = { rid_page = nil_page; rid_slot = 0 }
+
+let compare_rid a b =
+  match compare a.rid_page b.rid_page with
+  | 0 -> compare a.rid_slot b.rid_slot
+  | c -> c
+
+let pp_rid ppf r = Format.fprintf ppf "(%d.%d)" r.rid_page r.rid_slot
+
+let rid_to_string r = Printf.sprintf "%d.%d" r.rid_page r.rid_slot

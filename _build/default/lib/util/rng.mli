@@ -1,0 +1,29 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every source of nondeterminism in the system (scheduler choice, workload
+    generation, victim selection tie-breaks) draws from an explicit [Rng.t]
+    so that any run is reproducible from its seed. *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes a generator; equal seeds give equal streams. *)
+
+val copy : t -> t
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). Requires [bound > 0]. *)
+
+val bool : t -> bool
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform choice from a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val split : t -> t
+(** A new generator with a stream independent of the parent's future draws. *)

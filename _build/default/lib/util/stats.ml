@@ -1,0 +1,75 @@
+type t = (string, int ref) Hashtbl.t
+
+let create () : t = Hashtbl.create 64
+
+let reset t = Hashtbl.reset t
+
+let copy t =
+  let c = create () in
+  Hashtbl.iter (fun k v -> Hashtbl.replace c k (ref !v)) t;
+  c
+
+let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0
+
+let diff later earlier =
+  let d = create () in
+  let keys = Hashtbl.create 64 in
+  Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) later;
+  Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) earlier;
+  Hashtbl.iter
+    (fun k () ->
+      let v = get later k - get earlier k in
+      if v <> 0 then Hashtbl.replace d k (ref v))
+    keys;
+  d
+
+let sink = ref (create ())
+
+let current () = !sink
+
+let with_sink t f =
+  let prev = !sink in
+  sink := t;
+  Fun.protect ~finally:(fun () -> sink := prev) f
+
+let add name n =
+  let t = !sink in
+  match Hashtbl.find_opt t name with
+  | Some r -> r := !r + n
+  | None -> Hashtbl.replace t name (ref n)
+
+let incr name = add name 1
+
+let to_alist t =
+  Hashtbl.fold (fun k v acc -> (k, !v) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun (k, v) -> Format.fprintf ppf "%-28s %d@," k v) (to_alist t);
+  Format.fprintf ppf "@]"
+
+let lock_requests = "lock.requests"
+let lock_waits = "lock.waits"
+let lock_deadlocks = "lock.deadlocks"
+let latch_acquires = "latch.acquires"
+let latch_waits = "latch.waits"
+let tree_latch_acquires = "tree_latch.acquires"
+let tree_latch_waits = "tree_latch.waits"
+let log_records = "log.records"
+let log_bytes = "log.bytes"
+let log_forces = "log.forces"
+let page_reads = "page.reads"
+let page_writes = "page.writes"
+let page_fixes = "page.fixes"
+let tree_traversals = "tree.traversals"
+let logical_undos = "undo.logical"
+let page_oriented_undos = "undo.page_oriented"
+let redos_applied = "redo.applied"
+let redo_pages_examined = "redo.pages_examined"
+let smo_splits = "smo.splits"
+let smo_page_deletes = "smo.page_deletes"
+let fiber_yields = "fiber.yields"
+let fiber_spawns = "fiber.spawns"
+
+let lock_label ~mode ~duration = Printf.sprintf "lock.%s.%s" mode duration

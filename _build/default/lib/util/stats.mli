@@ -1,0 +1,68 @@
+(** Instrumentation counters.
+
+    The paper's efficiency measures (§1) are counts — locks acquired, pages
+    accessed during redo/undo/normal operation, log volume, synchronous
+    I/Os — so every subsystem reports into a [Stats.t]. A single mutable
+    "current" sink is active at any time (the system is single-threaded and
+    cooperatively scheduled); benchmarks swap in a fresh sink around the
+    region they measure. *)
+
+type t
+
+val create : unit -> t
+
+val reset : t -> unit
+
+val copy : t -> t
+
+val diff : t -> t -> t
+(** [diff later earlier] subtracts every counter. *)
+
+val current : unit -> t
+
+val with_sink : t -> (unit -> 'a) -> 'a
+(** Runs the thunk with the given sink installed, restoring the previous sink
+    afterwards (also on exception). *)
+
+(** {2 Named integer counters} *)
+
+val incr : string -> unit
+(** Increment a named counter in the current sink by 1. *)
+
+val add : string -> int -> unit
+
+val get : t -> string -> int
+(** 0 if never incremented. *)
+
+val to_alist : t -> (string * int) list
+(** Sorted by name. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {2 Well-known counter names} (shared between producers and reports) *)
+
+val lock_requests : string
+val lock_waits : string
+val lock_deadlocks : string
+val latch_acquires : string
+val latch_waits : string
+val tree_latch_acquires : string
+val tree_latch_waits : string
+val log_records : string
+val log_bytes : string
+val log_forces : string
+val page_reads : string
+val page_writes : string
+val page_fixes : string
+val tree_traversals : string
+val logical_undos : string
+val page_oriented_undos : string
+val redos_applied : string
+val redo_pages_examined : string
+val smo_splits : string
+val smo_page_deletes : string
+val fiber_yields : string
+val fiber_spawns : string
+
+val lock_label : mode:string -> duration:string -> string
+(** Name of the per-(mode,duration) lock counter, e.g. ["lock.X.instant"]. *)

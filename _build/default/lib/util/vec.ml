@@ -1,0 +1,113 @@
+type 'a t = {
+  mutable data : 'a array;
+  mutable len : int;
+}
+
+let create () = { data = [||]; len = 0 }
+
+let length t = t.len
+
+let is_empty t = t.len = 0
+
+let check t i =
+  if i < 0 || i >= t.len then invalid_arg (Printf.sprintf "Vec: index %d out of bounds [0,%d)" i t.len)
+
+let get t i =
+  check t i;
+  t.data.(i)
+
+let set t i x =
+  check t i;
+  t.data.(i) <- x
+
+let ensure t n x =
+  if n > Array.length t.data then begin
+    let cap = max 8 (max n (2 * Array.length t.data)) in
+    let data = Array.make cap x in
+    Array.blit t.data 0 data 0 t.len;
+    t.data <- data
+  end
+
+let push t x =
+  ensure t (t.len + 1) x;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1
+
+let pop t =
+  if t.len = 0 then invalid_arg "Vec.pop: empty";
+  t.len <- t.len - 1;
+  t.data.(t.len)
+
+let insert t i x =
+  if i < 0 || i > t.len then invalid_arg "Vec.insert: index out of bounds";
+  ensure t (t.len + 1) x;
+  Array.blit t.data i t.data (i + 1) (t.len - i);
+  t.data.(i) <- x;
+  t.len <- t.len + 1
+
+let remove t i =
+  check t i;
+  let x = t.data.(i) in
+  Array.blit t.data (i + 1) t.data i (t.len - i - 1);
+  t.len <- t.len - 1;
+  x
+
+let swap_remove t i =
+  check t i;
+  let x = t.data.(i) in
+  t.data.(i) <- t.data.(t.len - 1);
+  t.len <- t.len - 1;
+  x
+
+let clear t = t.len <- 0
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+let iteri f t =
+  for i = 0 to t.len - 1 do
+    f i t.data.(i)
+  done
+
+let fold f acc t =
+  let acc = ref acc in
+  for i = 0 to t.len - 1 do
+    acc := f !acc t.data.(i)
+  done;
+  !acc
+
+let exists p t =
+  let rec loop i = i < t.len && (p t.data.(i) || loop (i + 1)) in
+  loop 0
+
+let find_index p t =
+  let rec loop i =
+    if i >= t.len then None else if p t.data.(i) then Some i else loop (i + 1)
+  in
+  loop 0
+
+let to_list t =
+  let rec loop i acc = if i < 0 then acc else loop (i - 1) (t.data.(i) :: acc) in
+  loop (t.len - 1) []
+
+let of_list l =
+  let t = create () in
+  List.iter (push t) l;
+  t
+
+let to_array t = Array.sub t.data 0 t.len
+
+let copy t = { data = Array.copy t.data; len = t.len }
+
+let binary_search ~compare t key =
+  let rec loop lo hi =
+    (* invariant: all elements < lo compare below key, all >= hi above *)
+    if lo >= hi then Error lo
+    else
+      let mid = (lo + hi) / 2 in
+      let c = compare t.data.(mid) key in
+      if c = 0 then Ok mid else if c < 0 then loop (mid + 1) hi else loop lo mid
+  in
+  loop 0 t.len

@@ -1,0 +1,53 @@
+(** Growable array used for page entry arrays, run queues and log buffers. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val get : 'a t -> int -> 'a
+(** Bounds-checked. *)
+
+val set : 'a t -> int -> 'a -> unit
+
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a
+(** Removes and returns the last element. Raises [Invalid_argument] if empty. *)
+
+val insert : 'a t -> int -> 'a -> unit
+(** [insert t i x] shifts elements [i..] right and writes [x] at [i]. *)
+
+val remove : 'a t -> int -> 'a
+(** [remove t i] removes and returns element [i], shifting the tail left. *)
+
+val swap_remove : 'a t -> int -> 'a
+(** O(1) removal that does not preserve order. *)
+
+val clear : 'a t -> unit
+
+val iter : ('a -> unit) -> 'a t -> unit
+
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+val exists : ('a -> bool) -> 'a t -> bool
+
+val find_index : ('a -> bool) -> 'a t -> int option
+
+val to_list : 'a t -> 'a list
+
+val of_list : 'a list -> 'a t
+
+val to_array : 'a t -> 'a array
+
+val copy : 'a t -> 'a t
+
+val binary_search : compare:('a -> 'key -> int) -> 'a t -> 'key -> (int, int) result
+(** [binary_search ~compare t key] is [Ok i] if element [i] compares equal to
+    [key], or [Error i] where [i] is the insertion point that keeps the vector
+    sorted. Requires the vector sorted w.r.t. [compare]. *)

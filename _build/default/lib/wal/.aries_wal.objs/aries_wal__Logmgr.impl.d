@@ -1,0 +1,1 @@
+lib/wal/logmgr.ml: Aries_util Buffer Bytebuf Bytes List Logrec Lsn Printf Stats String

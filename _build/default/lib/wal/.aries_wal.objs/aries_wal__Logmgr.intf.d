@@ -1,0 +1,1 @@
+lib/wal/logmgr.mli: Logrec Lsn

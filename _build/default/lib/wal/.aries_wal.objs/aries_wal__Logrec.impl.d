@@ -1,0 +1,1 @@
+lib/wal/logrec.ml: Aries_util Bytebuf Bytes Format Ids Lsn Printf

@@ -1,0 +1,1 @@
+lib/wal/logrec.mli: Aries_util Format Ids Lsn

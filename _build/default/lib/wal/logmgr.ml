@@ -1,0 +1,167 @@
+open Aries_util
+
+(* Log address space: offset [first_offset] is the first record ever
+   written; each record is framed as [u32 length][payload]. The LSN of a
+   record is the offset of its frame header, so LSNs are strictly monotonic
+   and [Lsn.nil] (= 0) is below every record. [start] moves forward when the
+   prefix is truncated (log space reclamation); LSNs keep their meaning, but
+   records below [start] are gone. *)
+let first_offset = 8
+
+type t = {
+  mutable data : Buffer.t;
+  mutable start : int;  (* absolute offset of the first retained byte *)
+  mutable flushed : int;  (* absolute offset; everything below is stable *)
+  mutable last : Lsn.t;
+  mutable last_stable : Lsn.t;  (* largest LSN known stable *)
+  mutable master_lsn : Lsn.t;
+  mutable count : int;
+}
+
+let create () =
+  {
+    data = Buffer.create 4096;
+    start = first_offset;
+    flushed = first_offset;
+    last = Lsn.nil;
+    last_stable = Lsn.nil;
+    master_lsn = Lsn.nil;
+    count = 0;
+  }
+
+let end_offset t = t.start + Buffer.length t.data
+
+let start_lsn t = if Buffer.length t.data = 0 then Lsn.nil else t.start
+
+let append t rec_ =
+  let lsn = end_offset t in
+  let payload = Logrec.encode { rec_ with lsn } in
+  let w = Bytebuf.W.create () in
+  Bytebuf.W.u32 w (Bytes.length payload);
+  Buffer.add_bytes t.data (Bytebuf.W.contents w);
+  Buffer.add_bytes t.data payload;
+  t.last <- lsn;
+  t.count <- t.count + 1;
+  Stats.incr Stats.log_records;
+  Stats.add Stats.log_bytes (4 + Bytes.length payload);
+  lsn
+
+let flush t =
+  if t.flushed < end_offset t then begin
+    t.flushed <- end_offset t;
+    t.last_stable <- t.last;
+    Stats.incr Stats.log_forces
+  end
+
+let frame_len t off =
+  let hdr = Buffer.sub t.data (off - t.start) 4 in
+  let r = Bytebuf.R.of_string hdr in
+  Bytebuf.R.u32 r
+
+let read t lsn =
+  if lsn < t.start || lsn >= end_offset t then
+    invalid_arg
+      (Printf.sprintf "Logmgr.read: LSN %d out of range [%d,%d) (truncated or unwritten)" lsn
+         t.start (end_offset t));
+  let len = frame_len t lsn in
+  let payload = Buffer.sub t.data (lsn - t.start + 4) len in
+  Logrec.decode ~lsn payload
+
+let record_end t lsn = lsn + 4 + frame_len t lsn
+
+let flush_to t lsn =
+  if Lsn.is_nil lsn then ()
+  else begin
+    let e = record_end t lsn in
+    if e > t.flushed then begin
+      t.flushed <- e;
+      t.last_stable <- lsn;
+      Stats.incr Stats.log_forces
+    end
+  end
+
+let flushed_lsn t = t.last_stable
+
+let last_lsn t = t.last
+
+let is_stable t lsn = (not (Lsn.is_nil lsn)) && record_end t lsn <= t.flushed
+
+let next_lsn t lsn =
+  let e = record_end t lsn in
+  if e < end_offset t then Some e else None
+
+let iter_from t lsn f =
+  let start = if Lsn.is_nil lsn then t.start else max lsn t.start in
+  let rec loop off =
+    if off < end_offset t then begin
+      f (read t off);
+      loop (record_end t off)
+    end
+  in
+  loop start
+
+let set_master t lsn = t.master_lsn <- lsn
+
+let master t = t.master_lsn
+
+let crash t =
+  let stable = Buffer.sub t.data 0 (t.flushed - t.start) in
+  Buffer.clear t.data;
+  Buffer.add_string t.data stable;
+  t.last <- t.last_stable;
+  (* recount records in the surviving prefix *)
+  let n = ref 0 in
+  iter_from t Lsn.nil (fun _ -> incr n);
+  t.count <- !n
+
+let record_count t = t.count
+
+let size_bytes t = Buffer.length t.data
+
+let serialize t =
+  let w = Bytebuf.W.create () in
+  Bytebuf.W.i64 w t.master_lsn;
+  Bytebuf.W.i64 w t.last_stable;
+  Bytebuf.W.i64 w t.start;
+  Bytebuf.W.string w (Buffer.sub t.data 0 (t.flushed - t.start));
+  Bytebuf.W.contents w
+
+let deserialize b =
+  let r = Bytebuf.R.of_bytes b in
+  let master_lsn = Bytebuf.R.i64 r in
+  let last_stable = Bytebuf.R.i64 r in
+  let start = Bytebuf.R.i64 r in
+  let stable = Bytebuf.R.string r in
+  Bytebuf.R.expect_end r;
+  let t = create () in
+  t.start <- start;
+  Buffer.add_string t.data stable;
+  t.flushed <- start + String.length stable;
+  t.master_lsn <- master_lsn;
+  t.last_stable <- last_stable;
+  t.last <- last_stable;
+  let n = ref 0 in
+  iter_from t Lsn.nil (fun _ -> incr n);
+  t.count <- !n;
+  t
+
+let truncate_before t lsn =
+  if lsn > t.start then begin
+    if not (is_stable t lsn || lsn <= t.flushed) then
+      invalid_arg "Logmgr.truncate_before: cannot truncate into the volatile tail";
+    if lsn > end_offset t then invalid_arg "Logmgr.truncate_before: beyond the end of the log";
+    let keep = Buffer.sub t.data (lsn - t.start) (Buffer.length t.data - (lsn - t.start)) in
+    let data = Buffer.create (max 4096 (String.length keep)) in
+    Buffer.add_string data keep;
+    t.data <- data;
+    t.start <- lsn;
+    let n = ref 0 in
+    iter_from t Lsn.nil (fun _ -> incr n);
+    t.count <- !n
+  end
+
+let records_between t lo hi =
+  let acc = ref [] in
+  let lo = if Lsn.is_nil lo then t.start else max lo t.start in
+  iter_from t lo (fun r -> if Lsn.is_nil hi || r.Logrec.lsn <= hi then acc := r :: !acc);
+  List.rev !acc

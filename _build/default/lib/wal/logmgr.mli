@@ -1,0 +1,80 @@
+(** The log manager: an append-only framed record store with an explicit
+    stable/volatile boundary.
+
+    Records are appended to a volatile tail; [flush]/[flush_to] move the
+    stable boundary forward (a synchronous log I/O in a real system —
+    counted in {!Aries_util.Stats}). {!crash} discards everything after the
+    stable boundary, which is exactly the information a system failure
+    loses. The {e master record} (the well-known disk location holding the
+    LSN of the last complete checkpoint) is modeled as state that survives
+    [crash]. *)
+
+type t
+
+val create : unit -> t
+
+val append : t -> Logrec.t -> Lsn.t
+(** Assigns the record's LSN (its byte offset), frames and buffers it.
+    The returned LSN is strictly greater than all previously returned. *)
+
+val flush : t -> unit
+(** Force the whole log to stable storage. *)
+
+val flush_to : t -> Lsn.t -> unit
+(** Force the log up to and including the record at this LSN. No-op if
+    already stable. This is the WAL primitive the buffer manager calls
+    before writing a page, and commit calls on its commit record. *)
+
+val flushed_lsn : t -> Lsn.t
+(** The largest appended LSN that is stable, or [Lsn.nil]. *)
+
+val last_lsn : t -> Lsn.t
+(** LSN of the most recently appended record, or [Lsn.nil]. *)
+
+val end_offset : t -> int
+(** Offset one past the final record; the LSN the next append will get. *)
+
+val is_stable : t -> Lsn.t -> bool
+
+val read : t -> Lsn.t -> Logrec.t
+(** Random access by LSN (stable or volatile). Raises
+    [Invalid_argument] if the LSN is not a record boundary. *)
+
+val next_lsn : t -> Lsn.t -> Lsn.t option
+(** LSN of the record following the given one, if any. *)
+
+val iter_from : t -> Lsn.t -> (Logrec.t -> unit) -> unit
+(** Scan records in LSN order starting at the given LSN (inclusive) through
+    the end of the log. [Lsn.nil] scans from the beginning. *)
+
+val set_master : t -> Lsn.t -> unit
+(** Record the LSN of the most recent Begin_ckpt in the master record. *)
+
+val master : t -> Lsn.t
+
+val crash : t -> unit
+(** Discard the volatile tail. The master record and stable prefix remain. *)
+
+val truncate_before : t -> Lsn.t -> unit
+(** Reclaim log space: discard all records below this LSN (which must be a
+    record boundary within the stable prefix). LSNs keep their meaning; a
+    [read] below the new start raises. The caller is responsible for only
+    truncating below every recovery horizon — see [Db.trim_log]. *)
+
+val start_lsn : t -> Lsn.t
+(** LSN of the oldest retained record, or [Lsn.nil] when the log is empty. *)
+
+val record_count : t -> int
+(** Number of records currently in the log (stable + volatile). *)
+
+val size_bytes : t -> int
+
+val records_between : t -> Lsn.t -> Lsn.t -> Logrec.t list
+(** [records_between t lo hi] returns records with [lo <= lsn <= hi],
+    in LSN order; [Lsn.nil] bounds mean "from start" / "to end". *)
+
+val serialize : t -> bytes
+(** The stable state only: the flushed prefix and the master record. The
+    volatile tail is, by definition, not part of what survives. *)
+
+val deserialize : bytes -> t

@@ -1,0 +1,116 @@
+open Aries_util
+
+type kind =
+  | Update
+  | Clr
+  | Commit
+  | Prepare
+  | Rollback
+  | End_txn
+  | Begin_ckpt
+  | End_ckpt
+
+type t = {
+  lsn : Lsn.t;
+  prev_lsn : Lsn.t;
+  txn : Ids.txn_id;
+  kind : kind;
+  page : Ids.page_id;
+  undo_nxt_lsn : Lsn.t;
+  rm_id : int;
+  op : int;
+  undoable : bool;
+  redoable : bool;
+  body : bytes;
+}
+
+let default_flags = function
+  | Update -> (true, true)
+  | Clr -> (false, true)
+  | Commit | Prepare | Rollback | End_txn | Begin_ckpt | End_ckpt -> (false, false)
+
+let make ?(page = Ids.nil_page) ?(undo_nxt_lsn = Lsn.nil) ?(rm_id = 0) ?(op = 0) ?undoable
+    ?redoable ?(body = Bytes.empty) ~txn ~prev_lsn kind =
+  let du, dr = default_flags kind in
+  {
+    lsn = Lsn.nil;
+    prev_lsn;
+    txn;
+    kind;
+    page;
+    undo_nxt_lsn;
+    rm_id;
+    op;
+    undoable = (match undoable with Some u -> u | None -> du);
+    redoable = (match redoable with Some r -> r | None -> dr);
+    body;
+  }
+
+let kind_to_int = function
+  | Update -> 0
+  | Clr -> 1
+  | Commit -> 2
+  | Prepare -> 3
+  | Rollback -> 4
+  | End_txn -> 5
+  | Begin_ckpt -> 6
+  | End_ckpt -> 7
+
+let kind_of_int = function
+  | 0 -> Update
+  | 1 -> Clr
+  | 2 -> Commit
+  | 3 -> Prepare
+  | 4 -> Rollback
+  | 5 -> End_txn
+  | 6 -> Begin_ckpt
+  | 7 -> End_ckpt
+  | n -> raise (Bytebuf.Corrupt (Printf.sprintf "bad log record kind %d" n))
+
+let kind_to_string = function
+  | Update -> "UPDATE"
+  | Clr -> "CLR"
+  | Commit -> "COMMIT"
+  | Prepare -> "PREPARE"
+  | Rollback -> "ROLLBACK"
+  | End_txn -> "END"
+  | Begin_ckpt -> "BEGIN_CKPT"
+  | End_ckpt -> "END_CKPT"
+
+let encode t =
+  let w = Bytebuf.W.create () in
+  Bytebuf.W.u8 w (kind_to_int t.kind);
+  Bytebuf.W.i64 w t.prev_lsn;
+  Bytebuf.W.i64 w t.txn;
+  Bytebuf.W.i64 w t.page;
+  Bytebuf.W.i64 w t.undo_nxt_lsn;
+  Bytebuf.W.u16 w t.rm_id;
+  Bytebuf.W.u16 w t.op;
+  Bytebuf.W.bool w t.undoable;
+  Bytebuf.W.bool w t.redoable;
+  Bytebuf.W.bytes w t.body;
+  Bytebuf.W.contents w
+
+let decode ~lsn s =
+  let r = Bytebuf.R.of_string s in
+  let kind = kind_of_int (Bytebuf.R.u8 r) in
+  let prev_lsn = Bytebuf.R.i64 r in
+  let txn = Bytebuf.R.i64 r in
+  let page = Bytebuf.R.i64 r in
+  let undo_nxt_lsn = Bytebuf.R.i64 r in
+  let rm_id = Bytebuf.R.u16 r in
+  let op = Bytebuf.R.u16 r in
+  let undoable = Bytebuf.R.bool r in
+  let redoable = Bytebuf.R.bool r in
+  let body = Bytebuf.R.bytes r in
+  Bytebuf.R.expect_end r;
+  { lsn; prev_lsn; txn; kind; page; undo_nxt_lsn; rm_id; op; undoable; redoable; body }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>[%a] %s txn=%d prev=%a" Lsn.pp t.lsn (kind_to_string t.kind) t.txn
+    Lsn.pp t.prev_lsn;
+  if t.page <> Ids.nil_page then Format.fprintf ppf " page=%d" t.page;
+  if not (Lsn.is_nil t.undo_nxt_lsn) then Format.fprintf ppf " undo_nxt=%a" Lsn.pp t.undo_nxt_lsn;
+  if t.rm_id <> 0 then Format.fprintf ppf " rm=%d op=%d" t.rm_id t.op;
+  if Bytes.length t.body > 0 then Format.fprintf ppf " body=%dB" (Bytes.length t.body);
+  Format.fprintf ppf "]@]"

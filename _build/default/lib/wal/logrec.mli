@@ -1,0 +1,65 @@
+(** Log records.
+
+    A record carries generic ARIES header fields plus a resource-manager
+    payload: [rm_id] names the resource manager (index manager, record
+    manager, ...) whose registered callbacks know how to redo/undo the
+    opcode [op] with body [body] against page [page_id]. The recovery
+    engine itself never interprets bodies — the modularity real ARIES
+    implementations use. *)
+
+open Aries_util
+
+type kind =
+  | Update
+      (** forward-processing change; [undoable]/[redoable] flags qualify it.
+          SMO records written during {e undo} processing are also [Update]
+          records (the paper's exception to CLR-only undo logging, §3). *)
+  | Clr
+      (** compensation record: redo-only; [undo_nxt_lsn] points at the
+          predecessor of the record it compensates. A {e dummy} CLR (the end
+          of a nested top action) has [rm_id = 0] and no page. *)
+  | Commit
+  | Prepare  (** transaction is in-doubt; recovery reacquires its locks *)
+  | Rollback  (** transaction has begun total rollback *)
+  | End_txn
+  | Begin_ckpt
+  | End_ckpt  (** body holds the serialized txn table and dirty-page table *)
+
+type t = {
+  lsn : Lsn.t;  (** assigned on append; equals the record's log offset *)
+  prev_lsn : Lsn.t;  (** previous record of the same transaction *)
+  txn : Ids.txn_id;
+  kind : kind;
+  page : Ids.page_id;  (** affected page, [Ids.nil_page] if none *)
+  undo_nxt_lsn : Lsn.t;  (** CLRs only; [Lsn.nil] otherwise *)
+  rm_id : int;  (** 0 = none/recovery-internal *)
+  op : int;  (** resource-manager-specific opcode *)
+  undoable : bool;
+  redoable : bool;
+  body : bytes;
+}
+
+val make :
+  ?page:Ids.page_id ->
+  ?undo_nxt_lsn:Lsn.t ->
+  ?rm_id:int ->
+  ?op:int ->
+  ?undoable:bool ->
+  ?redoable:bool ->
+  ?body:bytes ->
+  txn:Ids.txn_id ->
+  prev_lsn:Lsn.t ->
+  kind ->
+  t
+(** The [lsn] field is [Lsn.nil] until {!Logmgr.append} assigns it. Defaults:
+    no page, no undo_nxt, rm 0, op 0, empty body; [Update] records default to
+    undoable+redoable, [Clr] to redoable-only, others to neither. *)
+
+val encode : t -> bytes
+(** Without the length prefix (the log manager frames records). *)
+
+val decode : lsn:Lsn.t -> string -> t
+
+val kind_to_string : kind -> string
+
+val pp : Format.formatter -> t -> unit

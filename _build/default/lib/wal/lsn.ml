@@ -1,0 +1,19 @@
+type t = int
+
+let nil = 0
+
+let is_nil t = t = nil
+
+let compare = Int.compare
+
+let ( < ) (a : t) b = Stdlib.( < ) a b
+
+let ( <= ) (a : t) b = Stdlib.( <= ) a b
+
+let ( >= ) (a : t) b = Stdlib.( >= ) a b
+
+let max = Stdlib.max
+
+let min = Stdlib.min
+
+let pp ppf t = if t = nil then Format.pp_print_string ppf "nil" else Format.fprintf ppf "%d" t

@@ -1,0 +1,28 @@
+(** Log sequence numbers.
+
+    An LSN is the byte offset of a record in the log address space, so LSNs
+    increase monotonically with log writes — the property ARIES exploits
+    when comparing a [page_lsn] with a log record's LSN to decide whether
+    the page already contains that update. *)
+
+type t = int
+
+val nil : t
+(** Smaller than every real LSN; the [page_lsn] of a never-updated page and
+    the [prev_lsn] of a transaction's first record. *)
+
+val is_nil : t -> bool
+
+val compare : t -> t -> int
+
+val ( < ) : t -> t -> bool
+
+val ( <= ) : t -> t -> bool
+
+val ( >= ) : t -> t -> bool
+
+val max : t -> t -> t
+
+val min : t -> t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+test/test_btree.ml: Alcotest Aries_btree Aries_db Aries_page Aries_txn Aries_util Ids List Map Printf QCheck QCheck_alcotest Rng String

@@ -1,0 +1,1 @@
+test/test_buffer.ml: Alcotest Aries_buffer Aries_page Aries_util Aries_wal Bytes List Stats

@@ -1,0 +1,1 @@
+test/test_concurrency.ml: Alcotest Aries_btree Aries_buffer Aries_db Aries_lock Aries_page Aries_sched Aries_txn Aries_util Array Hashtbl Ids List Printexc Printf QCheck QCheck_alcotest Rng String

@@ -1,0 +1,1 @@
+test/test_db.ml: Alcotest Aries_btree Aries_buffer Aries_db Aries_lock Aries_recovery Aries_sched Aries_txn Aries_util Aries_wal Array Filename Fun Ids List Printf Stats String Sys

@@ -1,0 +1,1 @@
+test/test_ixlog.ml: Alcotest Aries_btree Aries_lock Aries_page Aries_util Bytes Ids List Printf QCheck QCheck_alcotest String Vec

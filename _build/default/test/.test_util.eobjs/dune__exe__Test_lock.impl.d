@@ -1,0 +1,1 @@
+test/test_lock.ml: Alcotest Aries_lock Aries_sched Aries_util Array Ids List Printf

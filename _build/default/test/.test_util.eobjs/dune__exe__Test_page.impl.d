@@ -1,0 +1,1 @@
+test/test_page.ml: Alcotest Aries_page Aries_util Bytebuf Bytes Ids List QCheck QCheck_alcotest Vec

@@ -1,0 +1,1 @@
+test/test_scenarios.ml: Alcotest Aries_btree Aries_buffer Aries_db Aries_lock Aries_page Aries_sched Aries_txn Aries_util Aries_wal Ids List Printf Stats String

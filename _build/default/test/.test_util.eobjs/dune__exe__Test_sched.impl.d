@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Aries_sched List

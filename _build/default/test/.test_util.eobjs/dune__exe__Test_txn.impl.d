@@ -1,0 +1,1 @@
+test/test_txn.ml: Alcotest Aries_lock Aries_recovery Aries_sched Aries_txn Aries_util Aries_wal Bytebuf Hashtbl Ids List

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Aries_util Array Bytebuf Bytes Fun List QCheck QCheck_alcotest Rng Stats String Vec

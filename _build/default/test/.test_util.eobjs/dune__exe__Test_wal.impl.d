@@ -1,0 +1,1 @@
+test/test_wal.ml: Alcotest Aries_util Aries_wal Bytes List QCheck QCheck_alcotest Stats

@@ -1,0 +1,156 @@
+(* Buffer manager: fix/unfix, LRU eviction, the WAL rule, dirty-page table,
+   steal and no-force behaviour, crash semantics. *)
+
+open Aries_util
+module Lsn = Aries_wal.Lsn
+module Logrec = Aries_wal.Logrec
+module Logmgr = Aries_wal.Logmgr
+module Page = Aries_page.Page
+module Disk = Aries_page.Disk
+module Bufpool = Aries_buffer.Bufpool
+
+let setup ?(capacity = 4) () =
+  let disk = Disk.create ~page_size:512 () in
+  let log = Logmgr.create () in
+  let pool = Bufpool.create ~capacity disk log in
+  (disk, log, pool)
+
+let new_page pool =
+  let pid = Disk.alloc_pid (Bufpool.disk pool) in
+  let p = Bufpool.fix_new pool pid (Page.empty_leaf ()) in
+  (pid, p)
+
+let log_touch log page =
+  let lsn =
+    Logmgr.append log
+      (Logrec.make ~page:page.Page.pid ~rm_id:1 ~op:1 ~body:Bytes.empty ~txn:1 ~prev_lsn:Lsn.nil
+         Logrec.Update)
+  in
+  page.Page.page_lsn <- lsn;
+  lsn
+
+let test_fix_miss_and_hit () =
+  let disk, _log, pool = setup () in
+  let pid, p = new_page pool in
+  Bufpool.unfix pool p;
+  Bufpool.flush_page pool pid;
+  (* dirty? not marked; force a write *)
+  Disk.write disk p;
+  Bufpool.drop pool pid;
+  let s = Stats.create () in
+  Stats.with_sink s (fun () ->
+      let a = Bufpool.fix pool pid in
+      let b = Bufpool.fix pool pid in
+      Alcotest.(check bool) "same frame" true (a == b);
+      Bufpool.unfix pool a;
+      Bufpool.unfix pool b);
+  Alcotest.(check int) "one disk read" 1 (Stats.get s Stats.page_reads)
+
+let test_page_vanished () =
+  let _, _, pool = setup () in
+  Alcotest.(check bool) "vanished raises" true
+    (match Bufpool.fix pool 424242 with
+    | _ -> false
+    | exception Bufpool.Page_vanished 424242 -> true)
+
+let test_wal_rule () =
+  (* writing a dirty page forces the log up to its page_lsn first *)
+  let _disk, log, pool = setup () in
+  let pid, p = new_page pool in
+  let lsn = log_touch log p in
+  Bufpool.mark_dirty pool p lsn;
+  Bufpool.unfix pool p;
+  Alcotest.(check bool) "log not yet stable" true (Lsn.( < ) (Logmgr.flushed_lsn log) lsn);
+  Bufpool.flush_page pool pid;
+  Alcotest.(check bool) "WAL: log stable through page_lsn" true
+    (Lsn.( >= ) (Logmgr.flushed_lsn log) lsn)
+
+let test_eviction_lru_writes_dirty () =
+  let disk, log, pool = setup ~capacity:2 () in
+  let pid1, p1 = new_page pool in
+  let lsn = log_touch log p1 in
+  Bufpool.mark_dirty pool p1 lsn;
+  Bufpool.unfix pool p1;
+  let _pid2, p2 = new_page pool in
+  Bufpool.unfix pool p2;
+  (* third page: p1 (LRU) must be evicted and, being dirty, written *)
+  let _pid3, p3 = new_page pool in
+  Bufpool.unfix pool p3;
+  Alcotest.(check bool) "evicted dirty page reached disk" true (Disk.read disk pid1 <> None)
+
+let test_fixed_pages_not_evicted () =
+  let _disk, _log, pool = setup ~capacity:2 () in
+  let _pid1, p1 = new_page pool in
+  let _pid2, p2 = new_page pool in
+  (* both fixed; allocating a third overflows but must not evict them *)
+  let _pid3, p3 = new_page pool in
+  Alcotest.(check int) "three fixed frames" 3 (Bufpool.fixed_count pool);
+  Bufpool.unfix pool p1;
+  Bufpool.unfix pool p2;
+  Bufpool.unfix pool p3
+
+let test_dirty_page_table () =
+  let _disk, log, pool = setup () in
+  let pid, p = new_page pool in
+  Alcotest.(check int) "clean pool: empty DPT" 0 (List.length (Bufpool.dirty_page_table pool));
+  let lsn1 = log_touch log p in
+  Bufpool.mark_dirty pool p lsn1;
+  let lsn2 = log_touch log p in
+  Bufpool.mark_dirty pool p lsn2;
+  (match Bufpool.dirty_page_table pool with
+  | [ (dpid, rec_lsn) ] ->
+      Alcotest.(check int) "pid" pid dpid;
+      Alcotest.(check int) "recLSN is the FIRST dirtying lsn" lsn1 rec_lsn
+  | other -> Alcotest.failf "unexpected DPT size %d" (List.length other));
+  Bufpool.unfix pool p;
+  Bufpool.flush_page pool pid;
+  Alcotest.(check int) "flushed: clean again" 0 (List.length (Bufpool.dirty_page_table pool))
+
+let test_crash_drops_everything () =
+  let disk, log, pool = setup () in
+  let pid, p = new_page pool in
+  let lsn = log_touch log p in
+  Bufpool.mark_dirty pool p lsn;
+  Bufpool.unfix pool p;
+  Bufpool.crash pool;
+  Alcotest.(check bool) "never-written page is gone" true (Disk.read disk pid = None);
+  Alcotest.(check int) "no dirty pages" 0 (List.length (Bufpool.dirty_page_table pool))
+
+let test_steal_hook () =
+  let disk, log, pool = setup () in
+  Bufpool.set_steal_hook pool ~seed:1 ~probability:1.0;
+  let pid, p = new_page pool in
+  Bufpool.unfix pool p;
+  let p = Bufpool.fix pool pid in
+  let lsn = log_touch log p in
+  Bufpool.unfix pool p;
+  (* unfixed before mark_dirty so the hook may steal it *)
+  let p = Bufpool.fix pool pid in
+  Bufpool.unfix pool p;
+  Bufpool.mark_dirty pool p lsn;
+  Alcotest.(check bool) "stolen page written with WAL rule" true
+    (Disk.read disk pid <> None && Lsn.( >= ) (Logmgr.flushed_lsn log) lsn)
+
+let test_unfix_discipline () =
+  let _, _, pool = setup () in
+  let _pid, p = new_page pool in
+  Bufpool.unfix pool p;
+  Alcotest.(check bool) "double unfix raises" true
+    (match Bufpool.unfix pool p with () -> false | exception Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "buffer"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "fix miss/hit" `Quick test_fix_miss_and_hit;
+          Alcotest.test_case "page vanished" `Quick test_page_vanished;
+          Alcotest.test_case "WAL rule" `Quick test_wal_rule;
+          Alcotest.test_case "LRU eviction writes dirty" `Quick test_eviction_lru_writes_dirty;
+          Alcotest.test_case "fixed pages pinned" `Quick test_fixed_pages_not_evicted;
+          Alcotest.test_case "dirty page table recLSN" `Quick test_dirty_page_table;
+          Alcotest.test_case "crash drops volatile state" `Quick test_crash_drops_everything;
+          Alcotest.test_case "steal hook" `Quick test_steal_hook;
+          Alcotest.test_case "unfix discipline" `Quick test_unfix_discipline;
+        ] );
+    ]

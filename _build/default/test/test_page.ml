@@ -1,0 +1,161 @@
+(* Page model: codec roundtrips for every page kind, space accounting,
+   bits, the simulated disk, image copies and corruption. *)
+
+open Aries_util
+module Key = Aries_page.Key
+module Page = Aries_page.Page
+module Disk = Aries_page.Disk
+
+let k v p s = Key.make v { Ids.rid_page = p; rid_slot = s }
+
+let roundtrip page =
+  let b = Page.encode page in
+  let page' = Page.decode ~psize:page.Page.psize b in
+  Alcotest.(check bool) "roundtrip equal" true (Page.equal page page')
+
+let test_leaf_roundtrip () =
+  let page = Page.create ~psize:4096 ~pid:5 (Page.empty_leaf ()) in
+  let l = Page.as_leaf page in
+  l.Page.lf_prev <- 4;
+  l.Page.lf_next <- 6;
+  l.Page.lf_sm_bit <- true;
+  l.Page.lf_delete_bit <- true;
+  List.iter (Vec.push l.Page.lf_keys) [ k "alpha" 1 0; k "beta" 1 1; k "gamma" 2 7 ];
+  page.Page.page_lsn <- 999;
+  roundtrip page
+
+let test_nonleaf_roundtrip () =
+  let page = Page.create ~psize:4096 ~pid:9 (Page.empty_nonleaf ~level:2) in
+  let n = Page.as_nonleaf page in
+  List.iter (Vec.push n.Page.nl_children) [ 10; 11; 12 ];
+  List.iter (Vec.push n.Page.nl_high_keys) [ k "m" 1 0; k "t" 1 5 ];
+  n.Page.nl_sm_bit <- true;
+  roundtrip page
+
+let test_data_roundtrip () =
+  let page = Page.create ~psize:4096 ~pid:3 (Page.empty_data ~owner:77) in
+  let d = Page.as_data page in
+  Vec.push d.Page.dt_slots (Some (Bytes.of_string "record one"));
+  Vec.push d.Page.dt_slots None;
+  Vec.push d.Page.dt_slots (Some (Bytes.of_string ""));
+  roundtrip page;
+  Alcotest.(check int) "owner preserved" 77
+    (let b = Page.encode page in
+     (Page.as_data (Page.decode ~psize:4096 b)).Page.dt_owner)
+
+let test_anchor_roundtrip () =
+  let page = Page.create ~psize:4096 ~pid:1 (Page.empty_anchor ~name:"ix.pk" ~unique:true) in
+  let a = Page.as_anchor page in
+  a.Page.an_root <- 12;
+  a.Page.an_height <- 3;
+  roundtrip page
+
+let key_prop (v, p, s) =
+  let key = k v (abs p) (abs s mod 65536) in
+  let w = Bytebuf.W.create () in
+  Key.encode w key;
+  let r = Bytebuf.R.of_bytes (Bytebuf.W.contents w) in
+  Key.equal (Key.decode r) key
+
+let qcheck_key =
+  QCheck.Test.make ~name:"key codec roundtrip" ~count:200
+    QCheck.(triple string small_int small_int)
+    key_prop
+
+let test_space_accounting () =
+  let page = Page.create ~psize:256 ~pid:2 (Page.empty_leaf ()) in
+  let l = Page.as_leaf page in
+  let free0 = Page.free_space page in
+  Alcotest.(check int) "empty page free" (256 - Page.header_bytes) free0;
+  let key = k "0123456789" 1 1 in
+  Vec.push l.Page.lf_keys key;
+  Alcotest.(check int) "cost deducted" (free0 - Key.on_page_cost key) (Page.free_space page);
+  Alcotest.(check int) "key cost = value + overhead" (10 + 10) (Key.on_page_cost key)
+
+let test_kind_mismatch () =
+  let page = Page.create ~psize:256 ~pid:2 (Page.empty_leaf ()) in
+  Alcotest.(check bool) "as_data on leaf raises" true
+    (match Page.as_data page with _ -> false | exception Invalid_argument _ -> true)
+
+let test_sm_bits () =
+  let leaf = Page.create ~psize:256 ~pid:2 (Page.empty_leaf ()) in
+  let nl = Page.create ~psize:256 ~pid:3 (Page.empty_nonleaf ~level:1) in
+  Page.set_sm_bit leaf true;
+  Page.set_sm_bit nl true;
+  Alcotest.(check bool) "leaf sm" true (Page.sm_bit leaf);
+  Alcotest.(check bool) "nonleaf sm" true (Page.sm_bit nl);
+  Page.set_delete_bit leaf true;
+  Alcotest.(check bool) "delete bit" true (Page.delete_bit leaf);
+  Alcotest.(check bool) "delete bit on nonleaf raises" true
+    (match Page.delete_bit nl with _ -> false | exception Invalid_argument _ -> true)
+
+(* ---------- disk ---------- *)
+
+let test_disk_alloc_unique () =
+  let d = Disk.create () in
+  let a = Disk.alloc_pid d and b = Disk.alloc_pid d in
+  Alcotest.(check bool) "pids distinct and positive" true (a <> b && a > 0 && b > 0);
+  Disk.note_pid d 100;
+  Alcotest.(check bool) "note_pid bumps allocator" true (Disk.alloc_pid d > 100)
+
+let test_disk_write_read () =
+  let d = Disk.create ~page_size:512 () in
+  let pid = Disk.alloc_pid d in
+  let page = Page.create ~psize:512 ~pid (Page.empty_leaf ()) in
+  (Page.as_leaf page).Page.lf_next <- 42;
+  page.Page.page_lsn <- 7;
+  Disk.write d page;
+  (match Disk.read d pid with
+  | Some p ->
+      Alcotest.(check bool) "read equals written" true (Page.equal p page);
+      (* the returned page is a fresh deserialization, not an alias *)
+      Alcotest.(check bool) "not an alias" true (p != page)
+  | None -> Alcotest.fail "page lost");
+  Alcotest.(check bool) "missing read" true (Disk.read d 9999 = None)
+
+let test_disk_mutation_isolation () =
+  (* mutating an in-memory page does not change the disk image *)
+  let d = Disk.create () in
+  let pid = Disk.alloc_pid d in
+  let page = Page.create ~psize:4096 ~pid (Page.empty_leaf ()) in
+  Disk.write d page;
+  (Page.as_leaf page).Page.lf_next <- 55;
+  match Disk.read d pid with
+  | Some p -> Alcotest.(check int) "disk image unchanged" Ids.nil_page (Page.as_leaf p).Page.lf_next
+  | None -> Alcotest.fail "page lost"
+
+let test_image_copy_independent () =
+  let d = Disk.create () in
+  let pid = Disk.alloc_pid d in
+  let page = Page.create ~psize:4096 ~pid (Page.empty_leaf ()) in
+  Disk.write d page;
+  let dump = Disk.image_copy d in
+  Disk.corrupt d pid;
+  Alcotest.(check bool) "original lost" true (Disk.read d pid = None);
+  Alcotest.(check bool) "copy intact" true (Disk.read dump pid <> None)
+
+let () =
+  Alcotest.run "page"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "leaf" `Quick test_leaf_roundtrip;
+          Alcotest.test_case "nonleaf" `Quick test_nonleaf_roundtrip;
+          Alcotest.test_case "data" `Quick test_data_roundtrip;
+          Alcotest.test_case "anchor" `Quick test_anchor_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_key;
+        ] );
+      ( "model",
+        [
+          Alcotest.test_case "space accounting" `Quick test_space_accounting;
+          Alcotest.test_case "kind mismatch" `Quick test_kind_mismatch;
+          Alcotest.test_case "sm/delete bits" `Quick test_sm_bits;
+        ] );
+      ( "disk",
+        [
+          Alcotest.test_case "alloc unique" `Quick test_disk_alloc_unique;
+          Alcotest.test_case "write/read" `Quick test_disk_write_read;
+          Alcotest.test_case "mutation isolation" `Quick test_disk_mutation_isolation;
+          Alcotest.test_case "image copy independent" `Quick test_image_copy_independent;
+        ] );
+    ]

@@ -1,0 +1,473 @@
+(* Crash / restart recovery: durability of committed work, rollback of
+   losers, repeating history, idempotency under repeated crashes, fuzzy
+   checkpoints, in-doubt transactions, media recovery. *)
+
+open Aries_util
+module Logmgr = Aries_wal.Logmgr
+module Btree = Aries_btree.Btree
+module Txnmgr = Aries_txn.Txnmgr
+module Restart = Aries_recovery.Restart
+module Media = Aries_recovery.Media
+module Bufpool = Aries_buffer.Bufpool
+module Disk = Aries_page.Disk
+module Page = Aries_page.Page
+module Db = Aries_db.Db
+
+let rid i = { Ids.rid_page = 1000 + (i / 100); rid_slot = i mod 100 }
+
+let v i = Printf.sprintf "key%05d" i
+
+let fresh ?(page_size = 384) () =
+  let db = Db.create ~page_size () in
+  let tree =
+    Db.run_exn db (fun () ->
+        Db.with_txn db (fun txn -> Btree.create db.Db.benv txn ~name:"t" ~unique:true))
+  in
+  (db, tree)
+
+let reopen db = Btree.open_existing db.Db.benv
+
+let crash_restart ?config db =
+  let db' = Db.crash ?config db in
+  let report = Db.run_exn db' (fun () -> Db.restart db') in
+  (db', report)
+
+let test_committed_survive () =
+  let db, tree = fresh () in
+  let ix = Btree.index_id tree in
+  Db.run_exn db (fun () ->
+      Db.with_txn db (fun txn ->
+          for i = 0 to 199 do
+            Btree.insert tree txn ~value:(v i) ~rid:(rid i)
+          done));
+  (* no page flushes: everything must come back through redo *)
+  let db', _report = crash_restart db in
+  let tree' = reopen db' ix in
+  Btree.check_invariants tree';
+  Alcotest.(check int) "all committed keys recovered" 200 (List.length (Btree.to_list tree'))
+
+let test_uncommitted_rolled_back () =
+  let db, tree = fresh () in
+  let ix = Btree.index_id tree in
+  Db.run_exn db (fun () ->
+      Db.with_txn db (fun txn ->
+          for i = 0 to 49 do
+            Btree.insert tree txn ~value:(v i) ~rid:(rid i)
+          done));
+  (* in-flight transaction: insert more but crash before commit, with the
+     log tail flushed so its records survive the crash *)
+  ignore
+    (Db.run db (fun () ->
+         let txn = Txnmgr.begin_txn db.Db.mgr in
+         for i = 50 to 149 do
+           Btree.insert tree txn ~value:(v i) ~rid:(rid i)
+         done;
+         Logmgr.flush db.Db.wal
+         (* crash before commit: fiber just ends, txn stays active *)));
+  let db', report = crash_restart db in
+  let tree' = reopen db' ix in
+  Btree.check_invariants tree';
+  Alcotest.(check int) "only committed keys" 50 (List.length (Btree.to_list tree'));
+  Alcotest.(check int) "one loser" 1 (List.length report.Restart.rp_losers)
+
+let test_steal_forces_undo () =
+  (* dirty uncommitted pages written to disk (steal) must be rolled back *)
+  let db, tree = fresh () in
+  let ix = Btree.index_id tree in
+  Db.run_exn db (fun () ->
+      Db.with_txn db (fun txn ->
+          for i = 0 to 29 do
+            Btree.insert tree txn ~value:(v i) ~rid:(rid i)
+          done));
+  ignore
+    (Db.run db (fun () ->
+         let txn = Txnmgr.begin_txn db.Db.mgr in
+         for i = 30 to 99 do
+           Btree.insert tree txn ~value:(v i) ~rid:(rid i)
+         done;
+         (* steal: push every dirty page (and first the log, by WAL) out *)
+         Bufpool.flush_all db.Db.pool));
+  let db', _ = crash_restart db in
+  let tree' = reopen db' ix in
+  Btree.check_invariants tree';
+  Alcotest.(check int) "stolen uncommitted undone" 30 (List.length (Btree.to_list tree'))
+
+let test_no_force_redo () =
+  let db, tree = fresh () in
+  let ix = Btree.index_id tree in
+  Db.run_exn db (fun () ->
+      Db.with_txn db (fun txn ->
+          for i = 0 to 99 do
+            Btree.insert tree txn ~value:(v i) ~rid:(rid i)
+          done));
+  let report_db, report = crash_restart db in
+  Alcotest.(check bool) "redo applied work" true (report.Restart.rp_redos_applied > 0);
+  let tree' = reopen report_db ix in
+  Alcotest.(check int) "redo rebuilt" 100 (List.length (Btree.to_list tree'))
+
+let test_restart_idempotent () =
+  let db, tree = fresh () in
+  let ix = Btree.index_id tree in
+  Db.run_exn db (fun () ->
+      Db.with_txn db (fun txn ->
+          for i = 0 to 99 do
+            Btree.insert tree txn ~value:(v i) ~rid:(rid i)
+          done));
+  ignore
+    (Db.run db (fun () ->
+         let txn = Txnmgr.begin_txn db.Db.mgr in
+         for i = 100 to 159 do
+           Btree.insert tree txn ~value:(v i) ~rid:(rid i)
+         done;
+         Logmgr.flush db.Db.wal));
+  let db1, _ = crash_restart db in
+  (* crash immediately again, twice *)
+  let db2, _ = crash_restart db1 in
+  let db3, _ = crash_restart db2 in
+  let tree' = reopen db3 ix in
+  Btree.check_invariants tree';
+  Alcotest.(check int) "stable contents" 100 (List.length (Btree.to_list tree'))
+
+let test_checkpoint_bounds_redo () =
+  let db, tree = fresh () in
+  let ix = Btree.index_id tree in
+  Db.run_exn db (fun () ->
+      Db.with_txn db (fun txn ->
+          for i = 0 to 99 do
+            Btree.insert tree txn ~value:(v i) ~rid:(rid i)
+          done));
+  (* flush pages and checkpoint: the earlier work must not be redone *)
+  Bufpool.flush_all db.Db.pool;
+  Db.checkpoint db;
+  Db.run_exn db (fun () ->
+      Db.with_txn db (fun txn ->
+          for i = 100 to 119 do
+            Btree.insert tree txn ~value:(v i) ~rid:(rid i)
+          done));
+  let db', report = crash_restart db in
+  let tree' = reopen db' ix in
+  Alcotest.(check int) "contents" 120 (List.length (Btree.to_list tree'));
+  Alcotest.(check bool) "redo scan bounded by checkpoint" true
+    (report.Restart.rp_records_redo_scanned < 80)
+
+let test_smo_crash_mid_propagation () =
+  (* crash with an SMO incomplete on disk: the leaf-level split happened and
+     was flushed, the parent posting never made it. Restart must undo the
+     SMO page-oriented and roll back the loser. *)
+  let db, tree = fresh ~page_size:384 () in
+  let ix = Btree.index_id tree in
+  Db.run_exn db (fun () ->
+      Db.with_txn db (fun txn ->
+          for i = 0 to 39 do
+            Btree.insert tree txn ~value:(v i) ~rid:(rid i)
+          done));
+  Btree.set_smo_pause db.Db.benv
+    (Some
+       (fun () ->
+         (* flush everything mid-SMO, then die *)
+         Logmgr.flush db.Db.wal;
+         Bufpool.flush_all db.Db.pool;
+         raise Exit));
+  let r =
+    Db.run db (fun () ->
+        let txn = Txnmgr.begin_txn db.Db.mgr in
+        (try
+           for i = 40 to 200 do
+             Btree.insert tree txn ~value:(v i) ~rid:(rid i)
+           done
+         with Exit -> ());
+        ())
+  in
+  Alcotest.(check bool) "workload fiber finished" true
+    (match r.Aries_sched.Sched.outcome with Aries_sched.Sched.Completed -> true | _ -> false);
+  let db', _report = crash_restart db in
+  let tree' = reopen db' ix in
+  Btree.check_invariants tree';
+  Alcotest.(check int) "only committed keys survive" 40 (List.length (Btree.to_list tree'))
+
+let test_indoubt_keeps_locks () =
+  let db, tree = fresh () in
+  ignore
+    (Db.run db (fun () ->
+         let txn = Txnmgr.begin_txn db.Db.mgr in
+         (* the record manager's commit-duration X record lock is the key
+            lock under data-only locking; take it as the Table layer would *)
+         Txnmgr.lock db.Db.mgr txn (Aries_lock.Lockmgr.Rid (rid 1)) Aries_lock.Lockmgr.X
+           Aries_lock.Lockmgr.Commit;
+         Btree.insert tree txn ~value:"held" ~rid:(rid 1);
+         Txnmgr.prepare db.Db.mgr txn));
+  let db', report = crash_restart db in
+  Alcotest.(check int) "one in-doubt txn" 1 (List.length report.Restart.rp_indoubt);
+  Alcotest.(check bool) "locks reacquired" true (report.Restart.rp_locks_reacquired > 0);
+  let id = List.hd report.Restart.rp_indoubt in
+  Alcotest.(check bool) "lock held by in-doubt txn" true
+    (Aries_lock.Lockmgr.held_count db'.Db.locks ~txn:id > 0)
+
+let test_crash_during_restart () =
+  (* interrupt restart recovery itself (a crash during recovery) and run it
+     again: repeating history makes the second attempt land in the same
+     state as an uninterrupted one *)
+  let db, tree = fresh () in
+  let ix = Btree.index_id tree in
+  Db.run_exn db (fun () ->
+      Db.with_txn db (fun txn ->
+          for i = 0 to 149 do
+            Btree.insert tree txn ~value:(v i) ~rid:(rid i)
+          done));
+  ignore
+    (Db.run db (fun () ->
+         let t = Txnmgr.begin_txn db.Db.mgr in
+         for i = 150 to 239 do
+           Btree.insert tree t ~value:(v i) ~rid:(rid i)
+         done;
+         Logmgr.flush db.Db.wal));
+  let db1 = Db.crash db in
+  (* the undo pass writes CLRs; a yield probability plus a step budget cuts
+     the restart somewhere in the middle *)
+  let r =
+    Db.run db1 ~yield_probability:0.5 ~max_steps:30 (fun () -> ignore (Db.restart db1))
+  in
+  (match r.Aries_sched.Sched.outcome with
+  | Aries_sched.Sched.Interrupted _ -> () (* genuinely cut mid-recovery *)
+  | Aries_sched.Sched.Completed -> () (* recovery won the race; still fine *)
+  | Aries_sched.Sched.Stalled _ -> Alcotest.fail "restart stalled");
+  let db2, _ = crash_restart db1 in
+  let tree' = reopen db2 ix in
+  Btree.check_invariants tree';
+  Alcotest.(check int) "committed state after interrupted restart" 150
+    (List.length (Btree.to_list tree'))
+
+let test_partial_rollback_across_crash () =
+  (* a savepoint rollback writes CLRs whose UndoNxtLSN jumps; a crash after
+     it must not undo the compensated interval twice *)
+  let db, tree = fresh () in
+  let ix = Btree.index_id tree in
+  ignore
+    (Db.run db (fun () ->
+         let t = Txnmgr.begin_txn db.Db.mgr in
+         for i = 0 to 9 do
+           Btree.insert tree t ~value:(v i) ~rid:(rid i)
+         done;
+         let sp = Txnmgr.savepoint t in
+         for i = 10 to 19 do
+           Btree.insert tree t ~value:(v i) ~rid:(rid i)
+         done;
+         Txnmgr.rollback_to db.Db.mgr t sp;
+         for i = 20 to 24 do
+           Btree.insert tree t ~value:(v i) ~rid:(rid i)
+         done;
+         Logmgr.flush db.Db.wal
+         (* crash with the txn in flight: restart must undo 20-24 and 0-9,
+            and skip the already-compensated 10-19 *)));
+  let db', report = crash_restart db in
+  let tree' = reopen db' ix in
+  Btree.check_invariants tree';
+  Alcotest.(check int) "everything undone exactly once" 0 (List.length (Btree.to_list tree'));
+  Alcotest.(check int) "one loser" 1 (List.length report.Restart.rp_losers)
+
+let test_prepared_commit_after_restart () =
+  (* full 2PC cycle: prepare, crash, restart (locks reacquired), then the
+     coordinator's decision commits the in-doubt transaction *)
+  let db, tree = fresh () in
+  let ix = Btree.index_id tree in
+  ignore
+    (Db.run db (fun () ->
+         let t = Txnmgr.begin_txn db.Db.mgr in
+         Txnmgr.lock db.Db.mgr t (Aries_lock.Lockmgr.Rid (rid 1)) Aries_lock.Lockmgr.X
+           Aries_lock.Lockmgr.Commit;
+         Btree.insert tree t ~value:(v 1) ~rid:(rid 1);
+         Txnmgr.prepare db.Db.mgr t));
+  let db', report = crash_restart db in
+  let id = List.hd report.Restart.rp_indoubt in
+  let txn =
+    match Txnmgr.find db'.Db.mgr id with Some t -> t | None -> Alcotest.fail "in-doubt txn lost"
+  in
+  Db.run_exn db' (fun () -> Txnmgr.commit_prepared db'.Db.mgr txn);
+  Alcotest.(check int) "locks released after decision" 0
+    (Aries_lock.Lockmgr.held_count db'.Db.locks ~txn:id);
+  let tree' = reopen db' ix in
+  Alcotest.(check int) "the prepared insert is durable" 1 (List.length (Btree.to_list tree'));
+  (* and it survives yet another crash, now as a winner *)
+  let db'', _ = crash_restart db' in
+  let tree'' = reopen db'' ix in
+  Alcotest.(check int) "still there" 1 (List.length (Btree.to_list tree''))
+
+let test_prepared_abort_after_restart () =
+  let db, tree = fresh () in
+  let ix = Btree.index_id tree in
+  ignore
+    (Db.run db (fun () ->
+         let t = Txnmgr.begin_txn db.Db.mgr in
+         Btree.insert tree t ~value:(v 1) ~rid:(rid 1);
+         Txnmgr.prepare db.Db.mgr t));
+  let db', report = crash_restart db in
+  let id = List.hd report.Restart.rp_indoubt in
+  let txn = Option.get (Txnmgr.find db'.Db.mgr id) in
+  Db.run_exn db' (fun () -> Txnmgr.rollback db'.Db.mgr txn);
+  let tree' = reopen db' ix in
+  Btree.check_invariants tree';
+  Alcotest.(check int) "the aborted prepare left nothing" 0 (List.length (Btree.to_list tree'))
+
+(* ---------- randomized crash-point property ---------- *)
+
+let crash_prop seed =
+  let rng = Rng.create seed in
+  let db, tree = fresh ~page_size:320 () in
+  let ix = Btree.index_id tree in
+  Bufpool.set_steal_hook db.Db.pool ~seed ~probability:0.1;
+  let committed : (string, Ids.rid) Hashtbl.t = Hashtbl.create 64 in
+  Db.run_exn db (fun () ->
+      Db.with_txn db (fun txn ->
+          for i = 0 to 59 do
+            Btree.insert tree txn ~value:(v i) ~rid:(rid i);
+            Hashtbl.replace committed (v i) (rid i)
+          done));
+  (* concurrent transactions; the scheduler stops after a random number of
+     steps = the crash point. Committed txns update the oracle at commit;
+     everything else must vanish. *)
+  let steps = 50 + Rng.int rng 2500 in
+  let mk_txn_fiber _fid () =
+    let rec loop n =
+      if n > 0 then begin
+        let txn = Txnmgr.begin_txn db.Db.mgr in
+        let local = ref [] in
+        let ok =
+          try
+            for _ = 1 to 1 + Rng.int rng 6 do
+              let i = 1000 + Rng.int rng 300 in
+              let value = v i in
+              let mine = List.exists (fun (x, _) -> String.equal x value) !local in
+              if (not mine) && not (Hashtbl.mem committed value) then begin
+                Btree.insert tree txn ~value ~rid:(rid i);
+                local := (value, `Ins) :: !local
+              end
+              else if (not mine) && Hashtbl.mem committed value then begin
+                Btree.delete tree txn ~value ~rid:(Hashtbl.find committed value);
+                local := (value, `Del) :: !local
+              end
+            done;
+            true
+          with Txnmgr.Aborted _ -> false
+        in
+        if ok then begin
+          Txnmgr.commit db.Db.mgr txn;
+          List.iter
+            (fun (value, op) ->
+              match op with
+              | `Ins -> Hashtbl.replace committed value (rid 0)
+              | `Del -> Hashtbl.remove committed value)
+            (List.rev !local)
+        end;
+        Aries_sched.Sched.yield ();
+        loop (n - 1)
+      end
+    in
+    loop 40
+  in
+  (* oracle rids must match inserted rids: compute rid from the value *)
+  ignore
+    (Db.run db ~policy:(Aries_sched.Sched.Random seed) ~max_steps:steps ~yield_probability:0.3
+       (fun () ->
+         for fid = 1 to 3 do
+           ignore (Aries_sched.Sched.spawn (mk_txn_fiber fid))
+         done));
+  let db', _report = crash_restart db in
+  let tree' = reopen db' ix in
+  Btree.check_invariants tree';
+  let actual = List.map fst (Btree.to_list tree') in
+  let expected = Hashtbl.fold (fun k _ acc -> k :: acc) committed [] |> List.sort compare in
+  if actual <> expected then begin
+    Printf.printf "MISMATCH seed=%d: actual %d keys, expected %d\n%!" seed (List.length actual)
+      (List.length expected);
+    false
+  end
+  else true
+
+let qcheck_crash =
+  QCheck.Test.make ~name:"crash at a random point: exactly the committed state is recovered"
+    ~count:25 QCheck.small_int crash_prop
+
+(* ---------- media recovery ---------- *)
+
+let test_media_recovery () =
+  let db, tree = fresh () in
+  let ix = Btree.index_id tree in
+  Db.run_exn db (fun () ->
+      Db.with_txn db (fun txn ->
+          for i = 0 to 149 do
+            Btree.insert tree txn ~value:(v i) ~rid:(rid i)
+          done));
+  let dump = Media.take_dump db.Db.mgr db.Db.pool in
+  Db.run_exn db (fun () ->
+      Db.with_txn db (fun txn ->
+          for i = 150 to 249 do
+            Btree.insert tree txn ~value:(v i) ~rid:(rid i)
+          done));
+  Bufpool.flush_all db.Db.pool;
+  let victim = Btree.root_pid tree in
+  let before = Disk.read db.Db.disk victim in
+  Disk.corrupt db.Db.disk victim;
+  Bufpool.drop db.Db.pool victim;
+  let applied = Db.run_exn db (fun () -> Media.recover_page db.Db.mgr db.Db.pool dump victim) in
+  Alcotest.(check bool) "recover_page ran" true (applied >= 0);
+  let after = Disk.read db.Db.disk victim in
+  (match (before, after) with
+  | Some b, Some a -> Alcotest.(check bool) "page bytes identical" true (Page.equal b a)
+  | _ -> Alcotest.fail "page missing after media recovery");
+  let tree' = reopen db ix in
+  Btree.check_invariants tree';
+  Alcotest.(check int) "contents intact" 250 (List.length (Btree.to_list tree'))
+
+let test_media_recovery_whole_tree () =
+  let db, tree = fresh () in
+  let ix = Btree.index_id tree in
+  Db.run_exn db (fun () ->
+      Db.with_txn db (fun txn ->
+          for i = 0 to 99 do
+            Btree.insert tree txn ~value:(v i) ~rid:(rid i)
+          done));
+  let dump = Media.take_dump db.Db.mgr db.Db.pool in
+  Db.run_exn db (fun () ->
+      Db.with_txn db (fun txn ->
+          for i = 100 to 199 do
+            Btree.insert tree txn ~value:(v i) ~rid:(rid i)
+          done));
+  Bufpool.flush_all db.Db.pool;
+  let pids = Disk.pids db.Db.disk in
+  List.iter
+    (fun pid ->
+      Disk.corrupt db.Db.disk pid;
+      Bufpool.drop db.Db.pool pid)
+    pids;
+  Db.run_exn db (fun () ->
+      List.iter (fun pid -> ignore (Media.recover_page db.Db.mgr db.Db.pool dump pid)) pids);
+  let tree' = reopen db ix in
+  Btree.check_invariants tree';
+  Alcotest.(check int) "all keys back" 200 (List.length (Btree.to_list tree'))
+
+let () =
+  Alcotest.run "recovery"
+    [
+      ( "restart",
+        [
+          Alcotest.test_case "committed survive crash" `Quick test_committed_survive;
+          Alcotest.test_case "uncommitted rolled back" `Quick test_uncommitted_rolled_back;
+          Alcotest.test_case "steal forces undo" `Quick test_steal_forces_undo;
+          Alcotest.test_case "no-force forces redo" `Quick test_no_force_redo;
+          Alcotest.test_case "restart is idempotent" `Quick test_restart_idempotent;
+          Alcotest.test_case "checkpoint bounds redo" `Quick test_checkpoint_bounds_redo;
+          Alcotest.test_case "crash mid-SMO" `Quick test_smo_crash_mid_propagation;
+          Alcotest.test_case "in-doubt keeps locks" `Quick test_indoubt_keeps_locks;
+          Alcotest.test_case "crash during restart" `Quick test_crash_during_restart;
+          Alcotest.test_case "partial rollback across crash" `Quick
+            test_partial_rollback_across_crash;
+          Alcotest.test_case "2PC: commit after restart" `Quick test_prepared_commit_after_restart;
+          Alcotest.test_case "2PC: abort after restart" `Quick test_prepared_abort_after_restart;
+        ] );
+      ("property", [ QCheck_alcotest.to_alcotest qcheck_crash ]);
+      ( "media",
+        [
+          Alcotest.test_case "single page" `Quick test_media_recovery;
+          Alcotest.test_case "whole tree" `Quick test_media_recovery_whole_tree;
+        ] );
+    ]

@@ -1,0 +1,259 @@
+(* Cooperative scheduler and latches: interleaving, suspension, wakers,
+   condition variables, latch compatibility/fairness, step-budget crashes. *)
+
+module Sched = Aries_sched.Sched
+module Latch = Aries_sched.Latch
+
+let test_run_value () =
+  Alcotest.(check int) "value" 42 (Sched.run_value (fun () -> 42))
+
+let test_fifo_interleaving () =
+  let log = ref [] in
+  let r =
+    Sched.run (fun () ->
+        ignore
+          (Sched.spawn (fun () ->
+               log := "a1" :: !log;
+               Sched.yield ();
+               log := "a2" :: !log));
+        ignore
+          (Sched.spawn (fun () ->
+               log := "b1" :: !log;
+               Sched.yield ();
+               log := "b2" :: !log)))
+  in
+  Alcotest.(check bool) "completed" true (r.Sched.outcome = Sched.Completed);
+  Alcotest.(check (list string)) "round robin" [ "a1"; "b1"; "a2"; "b2" ] (List.rev !log)
+
+let test_random_policy_deterministic () =
+  let trace seed =
+    let log = ref [] in
+    ignore
+      (Sched.run ~policy:(Sched.Random seed) (fun () ->
+           for i = 1 to 5 do
+             ignore
+               (Sched.spawn (fun () ->
+                    log := (2 * i) :: !log;
+                    Sched.yield ();
+                    log := ((2 * i) + 1) :: !log))
+           done));
+    !log
+  in
+  Alcotest.(check bool) "same seed, same schedule" true (trace 9 = trace 9);
+  Alcotest.(check bool) "different seeds differ" true (trace 9 <> trace 10)
+
+let test_suspend_wake () =
+  let woken = ref false in
+  let saved = ref None in
+  let r =
+    Sched.run (fun () ->
+        ignore
+          (Sched.spawn (fun () ->
+               Sched.suspend (fun w -> saved := Some w);
+               woken := true));
+        ignore
+          (Sched.spawn (fun () ->
+               match !saved with Some w -> Sched.wake w | None -> Alcotest.fail "no waker")))
+  in
+  Alcotest.(check bool) "completed" true (r.Sched.outcome = Sched.Completed);
+  Alcotest.(check bool) "woken" true !woken
+
+let test_abort_raises_at_suspension () =
+  let got = ref "" in
+  ignore
+    (Sched.run (fun () ->
+         let saved = ref None in
+         ignore
+           (Sched.spawn (fun () ->
+                try Sched.suspend (fun w -> saved := Some w)
+                with Sched.Killed msg -> got := msg));
+         ignore
+           (Sched.spawn (fun () ->
+                match !saved with
+                | Some w -> Sched.abort w (Sched.Killed "die")
+                | None -> Alcotest.fail "no waker"))));
+  Alcotest.(check string) "exception delivered" "die" !got
+
+let test_double_wake_ignored () =
+  let count = ref 0 in
+  let r =
+    Sched.run (fun () ->
+        let saved = ref None in
+        ignore
+          (Sched.spawn (fun () ->
+               Sched.suspend (fun w -> saved := Some w);
+               incr count));
+        ignore
+          (Sched.spawn (fun () ->
+               match !saved with
+               | Some w ->
+                   Sched.wake w;
+                   Sched.wake w;
+                   Sched.abort w (Sched.Killed "late")
+               | None -> ())))
+  in
+  Alcotest.(check bool) "completed" true (r.Sched.outcome = Sched.Completed);
+  Alcotest.(check int) "resumed once" 1 !count
+
+let test_stall_detection () =
+  let r = Sched.run (fun () -> Sched.suspend (fun _w -> ())) in
+  match r.Sched.outcome with
+  | Sched.Stalled [ _ ] -> ()
+  | _ -> Alcotest.fail "expected stall with one suspended fiber"
+
+let test_step_budget () =
+  let r =
+    Sched.run ~max_steps:5 (fun () ->
+        while true do
+          Sched.yield ()
+        done)
+  in
+  match r.Sched.outcome with
+  | Sched.Interrupted live -> Alcotest.(check int) "one live fiber" 1 live
+  | _ -> Alcotest.fail "expected interruption"
+
+let test_fiber_exn_recorded () =
+  let r = Sched.run (fun () -> failwith "boom") in
+  Alcotest.(check bool) "completed" true (r.Sched.outcome = Sched.Completed);
+  Alcotest.(check int) "one exn" 1 (List.length r.Sched.exns)
+
+(* ---------- condition variables ---------- *)
+
+let test_condvar () =
+  let cv = Sched.Condvar.create "cv" in
+  let order = ref [] in
+  let r =
+    Sched.run (fun () ->
+        for i = 1 to 3 do
+          ignore
+            (Sched.spawn (fun () ->
+                 Sched.Condvar.wait cv;
+                 order := i :: !order))
+        done;
+        ignore
+          (Sched.spawn (fun () ->
+               Sched.yield ();
+               Alcotest.(check int) "three waiters" 3 (Sched.Condvar.waiters cv);
+               Sched.Condvar.signal cv;
+               Sched.yield ();
+               Alcotest.(check int) "two waiters" 2 (Sched.Condvar.waiters cv);
+               Sched.Condvar.broadcast cv)))
+  in
+  Alcotest.(check bool) "completed" true (r.Sched.outcome = Sched.Completed);
+  Alcotest.(check int) "all woken" 3 (List.length !order)
+
+(* ---------- latches ---------- *)
+
+let test_latch_s_sharing () =
+  Sched.run_value (fun () ->
+      let l = Latch.create "l" in
+      Latch.acquire l Latch.S;
+      Alcotest.(check bool) "second S conditional ok from other fiber" true
+        (let ok = ref false in
+         ignore (Sched.spawn (fun () -> ok := Latch.try_acquire l Latch.S));
+         Sched.yield ();
+         !ok))
+
+let test_latch_x_excludes () =
+  Sched.run_value (fun () ->
+      let l = Latch.create "l" in
+      Latch.acquire l Latch.X;
+      let denied = ref false in
+      ignore (Sched.spawn (fun () -> denied := not (Latch.try_acquire l Latch.S)));
+      Sched.yield ();
+      Alcotest.(check bool) "S denied under X" true !denied)
+
+let test_latch_blocking_handoff () =
+  let order = ref [] in
+  let r =
+    Sched.run (fun () ->
+        let l = Latch.create "l" in
+        ignore
+          (Sched.spawn (fun () ->
+               Latch.acquire l Latch.X;
+               order := "a-got" :: !order;
+               Sched.yield ();
+               Latch.release l;
+               order := "a-rel" :: !order));
+        ignore
+          (Sched.spawn (fun () ->
+               Latch.acquire l Latch.X;
+               order := "b-got" :: !order;
+               Latch.release l)))
+  in
+  Alcotest.(check bool) "completed" true (r.Sched.outcome = Sched.Completed);
+  Alcotest.(check (list string)) "handoff order" [ "a-got"; "a-rel"; "b-got" ] (List.rev !order)
+
+let test_latch_fifo_no_barging () =
+  (* S holder; X waiter queued; a later conditional S from a third fiber
+     must fail (no barging past the queue) *)
+  Sched.run_value (fun () ->
+      let l = Latch.create "l" in
+      Latch.acquire l Latch.S;
+      ignore
+        (Sched.spawn (fun () ->
+             Latch.acquire l Latch.X;
+             Latch.release l));
+      Sched.yield ();
+      let barged = ref true in
+      ignore (Sched.spawn (fun () -> barged := Latch.try_acquire l Latch.S));
+      Sched.yield ();
+      Alcotest.(check bool) "conditional S fails behind X waiter" false !barged;
+      Latch.release l)
+
+let test_latch_reentry_rejected () =
+  Sched.run_value (fun () ->
+      let l = Latch.create "l" in
+      Latch.acquire l Latch.S;
+      Alcotest.(check bool) "re-entry raises" true
+        (match Latch.acquire l Latch.S with
+        | () -> false
+        | exception Invalid_argument _ -> true))
+
+let test_latch_s_batch_grant () =
+  (* X holder releases: all queued S waiters are granted together *)
+  let got = ref 0 in
+  let r =
+    Sched.run (fun () ->
+        let l = Latch.create "l" in
+        Latch.acquire l Latch.X;
+        for _ = 1 to 3 do
+          ignore
+            (Sched.spawn (fun () ->
+                 Latch.acquire l Latch.S;
+                 incr got))
+        done;
+        Sched.yield ();
+        Latch.release l;
+        Sched.yield ();
+        Alcotest.(check int) "all S granted" 3 !got;
+        Alcotest.(check int) "three holders" 3 (Latch.holder_count l))
+  in
+  Alcotest.(check bool) "no stall" true (r.Sched.outcome = Sched.Completed)
+
+let () =
+  Alcotest.run "sched"
+    [
+      ( "fibers",
+        [
+          Alcotest.test_case "run_value" `Quick test_run_value;
+          Alcotest.test_case "fifo interleaving" `Quick test_fifo_interleaving;
+          Alcotest.test_case "random policy deterministic" `Quick test_random_policy_deterministic;
+          Alcotest.test_case "suspend/wake" `Quick test_suspend_wake;
+          Alcotest.test_case "abort at suspension" `Quick test_abort_raises_at_suspension;
+          Alcotest.test_case "double wake ignored" `Quick test_double_wake_ignored;
+          Alcotest.test_case "stall detection" `Quick test_stall_detection;
+          Alcotest.test_case "step budget" `Quick test_step_budget;
+          Alcotest.test_case "fiber exception recorded" `Quick test_fiber_exn_recorded;
+        ] );
+      ("condvar", [ Alcotest.test_case "wait/signal/broadcast" `Quick test_condvar ]);
+      ( "latch",
+        [
+          Alcotest.test_case "S sharing" `Quick test_latch_s_sharing;
+          Alcotest.test_case "X excludes" `Quick test_latch_x_excludes;
+          Alcotest.test_case "blocking handoff" `Quick test_latch_blocking_handoff;
+          Alcotest.test_case "fifo no barging" `Quick test_latch_fifo_no_barging;
+          Alcotest.test_case "re-entry rejected" `Quick test_latch_reentry_rejected;
+          Alcotest.test_case "S batch grant" `Quick test_latch_s_batch_grant;
+        ] );
+    ]

@@ -1,0 +1,209 @@
+(* Unit tests for the utility substrate: Vec, Rng, Bytebuf, Stats. *)
+
+open Aries_util
+
+(* ---------- Vec ---------- *)
+
+let test_vec_push_pop () =
+  let v = Vec.create () in
+  for i = 0 to 99 do
+    Vec.push v i
+  done;
+  Alcotest.(check int) "length" 100 (Vec.length v);
+  Alcotest.(check int) "get" 42 (Vec.get v 42);
+  Alcotest.(check int) "pop" 99 (Vec.pop v);
+  Alcotest.(check int) "length after pop" 99 (Vec.length v)
+
+let test_vec_insert_remove () =
+  let v = Vec.of_list [ 1; 2; 4; 5 ] in
+  Vec.insert v 2 3;
+  Alcotest.(check (list int)) "insert middle" [ 1; 2; 3; 4; 5 ] (Vec.to_list v);
+  Alcotest.(check int) "remove" 3 (Vec.remove v 2);
+  Alcotest.(check (list int)) "after remove" [ 1; 2; 4; 5 ] (Vec.to_list v);
+  Vec.insert v 0 0;
+  Vec.insert v (Vec.length v) 6;
+  Alcotest.(check (list int)) "insert at both ends" [ 0; 1; 2; 4; 5; 6 ] (Vec.to_list v)
+
+let test_vec_bounds () =
+  let v = Vec.of_list [ 1 ] in
+  Alcotest.check_raises "get out of bounds" (Invalid_argument "Vec: index 1 out of bounds [0,1)")
+    (fun () -> ignore (Vec.get v 1));
+  Alcotest.check_raises "pop empty" (Invalid_argument "Vec.pop: empty") (fun () ->
+      let e : int Vec.t = Vec.create () in
+      ignore (Vec.pop e))
+
+let test_vec_binary_search () =
+  let v = Vec.of_list [ 10; 20; 30; 40 ] in
+  let cmp x k = compare x k in
+  Alcotest.(check bool) "found" true (Vec.binary_search ~compare:cmp v 30 = Ok 2);
+  Alcotest.(check bool) "absent low" true (Vec.binary_search ~compare:cmp v 5 = Error 0);
+  Alcotest.(check bool) "absent mid" true (Vec.binary_search ~compare:cmp v 25 = Error 2);
+  Alcotest.(check bool) "absent high" true (Vec.binary_search ~compare:cmp v 99 = Error 4)
+
+let vec_model_prop ops =
+  (* Vec behaves like a list under push/insert/remove *)
+  let v = Vec.create () in
+  let model = ref [] in
+  List.iter
+    (fun (op, x) ->
+      let n = List.length !model in
+      match op mod 3 with
+      | 0 ->
+          Vec.push v x;
+          model := !model @ [ x ]
+      | 1 ->
+          let i = if n = 0 then 0 else abs x mod (n + 1) in
+          Vec.insert v i x;
+          model :=
+            List.filteri (fun j _ -> j < i) !model
+            @ [ x ]
+            @ List.filteri (fun j _ -> j >= i) !model
+      | _ ->
+          if n > 0 then begin
+            let i = abs x mod n in
+            ignore (Vec.remove v i);
+            model := List.filteri (fun j _ -> j <> i) !model
+          end)
+    ops;
+  Vec.to_list v = !model
+
+let qcheck_vec =
+  QCheck.Test.make ~name:"Vec matches list model" ~count:200
+    QCheck.(list (pair small_int small_int))
+    vec_model_prop
+
+(* ---------- Rng ---------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_bounds () =
+  let r = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let x = Rng.int r 17 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 17)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 1 in
+  let b = Rng.split a in
+  let xs = List.init 20 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 20 (fun _ -> Rng.int b 1000) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_rng_shuffle_permutes () =
+  let r = Rng.create 3 in
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle r arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check bool) "same elements" true (sorted = Array.init 50 Fun.id)
+
+(* ---------- Bytebuf ---------- *)
+
+let test_bytebuf_roundtrip () =
+  let w = Bytebuf.W.create () in
+  Bytebuf.W.u8 w 200;
+  Bytebuf.W.u16 w 60000;
+  Bytebuf.W.u32 w 4000000000;
+  Bytebuf.W.i64 w (-123456789);
+  Bytebuf.W.bool w true;
+  Bytebuf.W.string w "hello\x00world";
+  let r = Bytebuf.R.of_bytes (Bytebuf.W.contents w) in
+  Alcotest.(check int) "u8" 200 (Bytebuf.R.u8 r);
+  Alcotest.(check int) "u16" 60000 (Bytebuf.R.u16 r);
+  Alcotest.(check int) "u32" 4000000000 (Bytebuf.R.u32 r);
+  Alcotest.(check int) "i64" (-123456789) (Bytebuf.R.i64 r);
+  Alcotest.(check bool) "bool" true (Bytebuf.R.bool r);
+  Alcotest.(check string) "string" "hello\x00world" (Bytebuf.R.string r);
+  Bytebuf.R.expect_end r
+
+let test_bytebuf_truncation () =
+  let w = Bytebuf.W.create () in
+  Bytebuf.W.i64 w 1;
+  let b = Bytebuf.W.contents w in
+  let short = Bytes.sub b 0 4 in
+  let r = Bytebuf.R.of_bytes short in
+  Alcotest.(check bool) "corrupt raised" true
+    (match Bytebuf.R.i64 r with _ -> false | exception Bytebuf.Corrupt _ -> true)
+
+let test_bytebuf_trailing () =
+  let w = Bytebuf.W.create () in
+  Bytebuf.W.u8 w 1;
+  Bytebuf.W.u8 w 2;
+  let r = Bytebuf.R.of_bytes (Bytebuf.W.contents w) in
+  ignore (Bytebuf.R.u8 r);
+  Alcotest.(check bool) "trailing detected" true
+    (match Bytebuf.R.expect_end r with () -> false | exception Bytebuf.Corrupt _ -> true)
+
+let bytebuf_string_prop s =
+  let w = Bytebuf.W.create () in
+  Bytebuf.W.string w s;
+  let r = Bytebuf.R.of_bytes (Bytebuf.W.contents w) in
+  String.equal (Bytebuf.R.string r) s
+
+let qcheck_bytebuf =
+  QCheck.Test.make ~name:"Bytebuf string roundtrip (arbitrary bytes)" ~count:200 QCheck.string
+    bytebuf_string_prop
+
+(* ---------- Stats ---------- *)
+
+let test_stats_counting () =
+  let s = Stats.create () in
+  Stats.with_sink s (fun () ->
+      Stats.incr "a";
+      Stats.incr "a";
+      Stats.add "b" 5);
+  Alcotest.(check int) "a" 2 (Stats.get s "a");
+  Alcotest.(check int) "b" 5 (Stats.get s "b");
+  Alcotest.(check int) "absent" 0 (Stats.get s "c")
+
+let test_stats_sink_restored () =
+  let outer = Stats.current () in
+  let s = Stats.create () in
+  (try Stats.with_sink s (fun () -> failwith "boom") with Failure _ -> ());
+  Alcotest.(check bool) "sink restored after exception" true (Stats.current () == outer)
+
+let test_stats_diff () =
+  let s = Stats.create () in
+  Stats.with_sink s (fun () -> Stats.add "x" 10);
+  let snap = Stats.copy s in
+  Stats.with_sink s (fun () -> Stats.add "x" 3);
+  let d = Stats.diff s snap in
+  Alcotest.(check int) "diff" 3 (Stats.get d "x")
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "vec",
+        [
+          Alcotest.test_case "push/pop" `Quick test_vec_push_pop;
+          Alcotest.test_case "insert/remove" `Quick test_vec_insert_remove;
+          Alcotest.test_case "bounds" `Quick test_vec_bounds;
+          Alcotest.test_case "binary search" `Quick test_vec_binary_search;
+          QCheck_alcotest.to_alcotest qcheck_vec;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+          Alcotest.test_case "shuffle" `Quick test_rng_shuffle_permutes;
+        ] );
+      ( "bytebuf",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_bytebuf_roundtrip;
+          Alcotest.test_case "truncation" `Quick test_bytebuf_truncation;
+          Alcotest.test_case "trailing" `Quick test_bytebuf_trailing;
+          QCheck_alcotest.to_alcotest qcheck_bytebuf;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "counting" `Quick test_stats_counting;
+          Alcotest.test_case "sink restored" `Quick test_stats_sink_restored;
+          Alcotest.test_case "diff" `Quick test_stats_diff;
+        ] );
+    ]

@@ -1,0 +1,204 @@
+(* Log manager and log-record codec: framing, LSN monotonicity, the
+   stable/volatile boundary, crash truncation, random access, iteration. *)
+
+open Aries_util
+module Lsn = Aries_wal.Lsn
+module Logrec = Aries_wal.Logrec
+module Logmgr = Aries_wal.Logmgr
+
+let update ?(txn = 1) ?(prev = Lsn.nil) ?(page = 7) ?(body = Bytes.of_string "x") () =
+  Logrec.make ~page ~rm_id:1 ~op:2 ~body ~txn ~prev_lsn:prev Logrec.Update
+
+let test_codec_roundtrip () =
+  let r =
+    Logrec.make ~page:9 ~undo_nxt_lsn:55 ~rm_id:3 ~op:12 ~undoable:false ~redoable:true
+      ~body:(Bytes.of_string "payload\x00bytes") ~txn:42 ~prev_lsn:17 Logrec.Clr
+  in
+  let b = Logrec.encode r in
+  let r' = Logrec.decode ~lsn:100 (Bytes.to_string b) in
+  Alcotest.(check int) "txn" 42 r'.Logrec.txn;
+  Alcotest.(check int) "prev" 17 r'.Logrec.prev_lsn;
+  Alcotest.(check int) "page" 9 r'.Logrec.page;
+  Alcotest.(check int) "undo_nxt" 55 r'.Logrec.undo_nxt_lsn;
+  Alcotest.(check int) "rm" 3 r'.Logrec.rm_id;
+  Alcotest.(check int) "op" 12 r'.Logrec.op;
+  Alcotest.(check bool) "undoable" false r'.Logrec.undoable;
+  Alcotest.(check bool) "redoable" true r'.Logrec.redoable;
+  Alcotest.(check string) "body" "payload\x00bytes" (Bytes.to_string r'.Logrec.body);
+  Alcotest.(check int) "lsn injected" 100 r'.Logrec.lsn
+
+let codec_prop (txn, page, body) =
+  let txn = abs txn and page = abs page in
+  let r = Logrec.make ~page ~rm_id:1 ~op:1 ~body:(Bytes.of_string body) ~txn ~prev_lsn:3 Logrec.Update in
+  let r' = Logrec.decode ~lsn:1 (Bytes.to_string (Logrec.encode r)) in
+  r'.Logrec.txn = txn && r'.Logrec.page = page && Bytes.to_string r'.Logrec.body = body
+
+let qcheck_codec =
+  QCheck.Test.make ~name:"log record codec roundtrip" ~count:200
+    QCheck.(triple small_int small_int string)
+    codec_prop
+
+let test_lsn_monotonic () =
+  let log = Logmgr.create () in
+  let prev = ref Lsn.nil in
+  for i = 1 to 50 do
+    let lsn = Logmgr.append log (update ~txn:i ()) in
+    Alcotest.(check bool) "monotonic" true (Lsn.( < ) !prev lsn);
+    prev := lsn
+  done;
+  Alcotest.(check int) "count" 50 (Logmgr.record_count log)
+
+let test_read_back () =
+  let log = Logmgr.create () in
+  let lsns = List.init 20 (fun i -> Logmgr.append log (update ~txn:i ())) in
+  List.iteri
+    (fun i lsn ->
+      let r = Logmgr.read log lsn in
+      Alcotest.(check int) "lsn" lsn r.Logrec.lsn;
+      Alcotest.(check int) "txn" i r.Logrec.txn)
+    lsns
+
+let test_flush_boundary () =
+  let log = Logmgr.create () in
+  let a = Logmgr.append log (update ()) in
+  let b = Logmgr.append log (update ()) in
+  let c = Logmgr.append log (update ()) in
+  Alcotest.(check bool) "nothing stable" true (Lsn.is_nil (Logmgr.flushed_lsn log));
+  Logmgr.flush_to log b;
+  Alcotest.(check int) "stable through b" b (Logmgr.flushed_lsn log);
+  Alcotest.(check bool) "a stable" true (Logmgr.is_stable log a);
+  Alcotest.(check bool) "c volatile" false (Logmgr.is_stable log c)
+
+let test_crash_truncates () =
+  let log = Logmgr.create () in
+  let a = Logmgr.append log (update ~txn:1 ()) in
+  let b = Logmgr.append log (update ~txn:2 ()) in
+  ignore (Logmgr.append log (update ~txn:3 ()));
+  ignore (Logmgr.append log (update ~txn:4 ()));
+  Logmgr.flush_to log b;
+  Logmgr.crash log;
+  Alcotest.(check int) "two records survive" 2 (Logmgr.record_count log);
+  Alcotest.(check int) "last is b" b (Logmgr.last_lsn log);
+  (* appends continue after the crash point *)
+  let e = Logmgr.append log (update ~txn:5 ()) in
+  Alcotest.(check bool) "new lsn beyond b" true (Lsn.( < ) b e);
+  ignore a
+
+let test_master_survives_crash () =
+  let log = Logmgr.create () in
+  let a = Logmgr.append log (update ()) in
+  Logmgr.flush log;
+  Logmgr.set_master log a;
+  ignore (Logmgr.append log (update ()));
+  Logmgr.crash log;
+  Alcotest.(check int) "master kept" a (Logmgr.master log)
+
+let test_iteration_and_next () =
+  let log = Logmgr.create () in
+  let lsns = List.init 10 (fun i -> Logmgr.append log (update ~txn:i ())) in
+  let seen = ref [] in
+  Logmgr.iter_from log Lsn.nil (fun r -> seen := r.Logrec.lsn :: !seen);
+  Alcotest.(check (list int)) "full scan" lsns (List.rev !seen);
+  (* partial scan *)
+  let third = List.nth lsns 3 in
+  let seen = ref [] in
+  Logmgr.iter_from log third (fun r -> seen := r.Logrec.txn :: !seen);
+  Alcotest.(check (list int)) "scan from lsn" [ 3; 4; 5; 6; 7; 8; 9 ] (List.rev !seen);
+  (* next_lsn chains *)
+  let rec chain lsn acc =
+    match Logmgr.next_lsn log lsn with None -> List.rev (lsn :: acc) | Some n -> chain n (lsn :: acc)
+  in
+  Alcotest.(check (list int)) "next_lsn chain" lsns (chain (List.hd lsns) [])
+
+let test_records_between () =
+  let log = Logmgr.create () in
+  let lsns = List.init 6 (fun i -> Logmgr.append log (update ~txn:i ())) in
+  let lo = List.nth lsns 1 and hi = List.nth lsns 3 in
+  let rs = Logmgr.records_between log lo hi in
+  Alcotest.(check (list int)) "middle slice" [ 1; 2; 3 ] (List.map (fun r -> r.Logrec.txn) rs)
+
+let test_flush_counts_forces () =
+  let s = Stats.create () in
+  Stats.with_sink s (fun () ->
+      let log = Logmgr.create () in
+      let a = Logmgr.append log (update ()) in
+      Logmgr.flush_to log a;
+      Logmgr.flush_to log a;
+      (* second is a no-op *)
+      ignore (Logmgr.append log (update ()));
+      Logmgr.flush log);
+  Alcotest.(check int) "two forces" 2 (Stats.get s Stats.log_forces)
+
+let test_truncate_before () =
+  let log = Logmgr.create () in
+  let lsns = List.init 10 (fun i -> Logmgr.append log (update ~txn:i ())) in
+  Logmgr.flush log;
+  let cut = List.nth lsns 4 in
+  Logmgr.truncate_before log cut;
+  Alcotest.(check int) "six records remain" 6 (Logmgr.record_count log);
+  Alcotest.(check int) "start moved" cut (Logmgr.start_lsn log);
+  (* retained records still readable at their original LSNs *)
+  Alcotest.(check int) "read survives" 4 (Logmgr.read log cut).Logrec.txn;
+  (* truncated reads fail loudly *)
+  Alcotest.(check bool) "read below start raises" true
+    (match Logmgr.read log (List.hd lsns) with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  (* appends continue with monotonic lsns *)
+  let e = Logmgr.append log (update ~txn:99 ()) in
+  Alcotest.(check bool) "lsn still monotonic" true (Lsn.( < ) (List.nth lsns 9) e);
+  (* iteration covers exactly the retained records *)
+  let seen = ref 0 in
+  Logmgr.iter_from log Lsn.nil (fun _ -> incr seen);
+  Alcotest.(check int) "iteration count" 7 !seen
+
+let test_truncate_volatile_rejected () =
+  let log = Logmgr.create () in
+  let a = Logmgr.append log (update ()) in
+  Logmgr.flush log;
+  let b = Logmgr.append log (update ()) in
+  ignore a;
+  Alcotest.(check bool) "cannot truncate into the volatile tail" true
+    (match Logmgr.truncate_before log (b + 1000) with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+let test_truncate_survives_crash_and_serialize () =
+  let log = Logmgr.create () in
+  let lsns = List.init 6 (fun i -> Logmgr.append log (update ~txn:i ())) in
+  Logmgr.flush log;
+  Logmgr.truncate_before log (List.nth lsns 3);
+  ignore (Logmgr.append log (update ~txn:9 ()));
+  (* crash drops the unflushed tail but keeps the truncation point *)
+  Logmgr.crash log;
+  Alcotest.(check int) "post-crash records" 3 (Logmgr.record_count log);
+  Alcotest.(check int) "post-crash start" (List.nth lsns 3) (Logmgr.start_lsn log);
+  (* the snapshot codec preserves the start offset *)
+  let log' = Logmgr.deserialize (Logmgr.serialize log) in
+  Alcotest.(check int) "roundtrip start" (Logmgr.start_lsn log) (Logmgr.start_lsn log');
+  Alcotest.(check int) "roundtrip records" 3 (Logmgr.record_count log')
+
+let () =
+  Alcotest.run "wal"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_codec_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_codec;
+        ] );
+      ( "logmgr",
+        [
+          Alcotest.test_case "lsn monotonic" `Quick test_lsn_monotonic;
+          Alcotest.test_case "read back" `Quick test_read_back;
+          Alcotest.test_case "flush boundary" `Quick test_flush_boundary;
+          Alcotest.test_case "crash truncates" `Quick test_crash_truncates;
+          Alcotest.test_case "master survives crash" `Quick test_master_survives_crash;
+          Alcotest.test_case "iteration and next" `Quick test_iteration_and_next;
+          Alcotest.test_case "records_between" `Quick test_records_between;
+          Alcotest.test_case "flush counts forces" `Quick test_flush_counts_forces;
+          Alcotest.test_case "truncate_before" `Quick test_truncate_before;
+          Alcotest.test_case "truncate volatile rejected" `Quick test_truncate_volatile_rejected;
+          Alcotest.test_case "truncation survives crash+codec" `Quick
+            test_truncate_survives_crash_and_serialize;
+        ] );
+    ]
