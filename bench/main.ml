@@ -6,10 +6,73 @@
      dune exec bench/main.exe -- quick   # everything except timing
      dune exec bench/main.exe -- timing  # only the Bechamel suites
 
+   Plus the full-budget simulation sweep (the CI-budget version runs in
+   dune runtest; see EXPERIMENTS.md "Simulation harness"):
+
+     dune exec bench/main.exe -- sim                      # default big sweep
+     dune exec bench/main.exe -- sim 512 48 400           # seeds, crash seeds, budget
+     dune exec bench/main.exe -- sim replay <seed> <k|->  # re-run one reproducer
+     ARIES_SIM_FAULT=wal.skip-flush dune exec bench/main.exe -- sim
+                                          # demo: injected bug -> SIM-REPRO lines
+
    See DESIGN.md section 3 for the experiment index and EXPERIMENTS.md for
    the paper-vs-measured record. *)
 
 let ppf = Format.std_formatter
+
+let run_sim args =
+  let module Sim = Aries_sim.Sim in
+  let cfg = Aries_sim.Workload.default_cfg in
+  (match Sys.getenv_opt "ARIES_SIM_FAULT" with
+  | Some name when name <> "" ->
+      Aries_util.Crashpoint.enable_fault name;
+      Format.fprintf ppf "fault %S injected — the sweep should now fail loudly@." name
+  | _ -> ());
+  match args with
+  | [ "replay"; seed; k ] ->
+      let rp =
+        {
+          Sim.rp_seed = int_of_string seed;
+          rp_crash_at = (if k = "-" then None else Some (int_of_string k));
+          rp_failures = [];
+          rp_trace = [];
+        }
+      in
+      let r = Sim.replay cfg rp in
+      Format.fprintf ppf "replay seed=%s crash_at=%s: %d events, %d txns@." seed k
+        r.Sim.rr_events r.Sim.rr_txns;
+      List.iter (fun l -> Format.fprintf ppf "  %s@." l) r.Sim.rr_trace;
+      if r.Sim.rr_failures = [] then Format.fprintf ppf "run passed all checks@."
+      else begin
+        List.iter (fun f -> Format.fprintf ppf "FAILURE: %s@." f) r.Sim.rr_failures;
+        exit 1
+      end
+  | rest ->
+      let geti i default =
+        match List.nth_opt rest i with Some s -> int_of_string s | None -> default
+      in
+      let nseeds = geti 0 256 and ncrash = geti 1 24 and budget = geti 2 200 in
+      Format.fprintf ppf
+        "sim sweep: %d schedule seeds, %d crash seeds x <=%d crash points each@." nseeds
+        ncrash budget;
+      let progress line = Format.fprintf ppf "  %s@." line in
+      let t0 = Sys.time () in
+      let s =
+        Sim.sweep ~progress cfg
+          ~seeds:(List.init nseeds (fun i -> i + 1))
+          ~crash_seeds:(List.init ncrash (fun i -> 1001 + i))
+          ~crash_budget:budget
+      in
+      Format.fprintf ppf
+        "sim: %d seed runs, %d crash points, %d durability events enumerated, %d \
+         failure(s) (%.2fs)@."
+        s.Sim.sm_seed_runs s.Sim.sm_crash_points s.Sim.sm_events
+        (List.length s.Sim.sm_failures)
+        (Sys.time () -. t0);
+      if s.Sim.sm_failures <> [] then begin
+        List.iter (fun rp -> Format.fprintf ppf "%s@." (Sim.reproducer_line rp)) s.Sim.sm_failures;
+        exit 1
+      end
 
 let run_experiments ids =
   List.iter
@@ -28,5 +91,6 @@ let () =
       Timing.run_all ppf
   | [ "quick" ] -> run_experiments (List.map fst Experiments.all)
   | [ "timing" ] -> Timing.run_all ppf
+  | "sim" :: rest -> run_sim rest
   | ids -> run_experiments ids);
   Format.fprintf ppf "@.done.@."

@@ -44,6 +44,9 @@ let touch t f =
   f.last_use <- t.tick
 
 let write_frame t f =
+  (* A crash point of its own: the instant between the eviction decision and
+     the WAL force (Logmgr/Disk add finer points inside). *)
+  Crashpoint.hit "bufpool.write";
   (* WAL rule: the log must cover the page's most recent update before the
      page image may reach disk. *)
   Logmgr.flush_to t.log f.page.Page.page_lsn;
@@ -162,6 +165,11 @@ let resident_pids t =
   Hashtbl.fold (fun pid _ acc -> pid :: acc) t.frames [] |> List.sort compare
 
 let fixed_count t = Hashtbl.fold (fun _ f acc -> if f.fix_count > 0 then acc + 1 else acc) t.frames 0
+
+let latched_count t =
+  Hashtbl.fold
+    (fun _ f acc -> acc + Aries_sched.Latch.holder_count f.page.Page.latch)
+    t.frames 0
 
 let crash t = Hashtbl.reset t.frames
 

@@ -68,6 +68,10 @@ val fixed_count : t -> int
 (** Frames with a positive fix count — should be 0 between operations;
     tests assert this to catch fix leaks. *)
 
+val latched_count : t -> int
+(** Total latch holders across all buffered pages — should be 0 between
+    operations; the simulation harness asserts this to catch latch leaks. *)
+
 val crash : t -> unit
 (** Drop every frame, written or not: the volatile state a system failure
     destroys. *)

@@ -103,6 +103,22 @@ let load ?pool_capacity ?config path =
   Aries_util.Bytebuf.R.expect_end r;
   build ?pool_capacity ?config disk wal
 
+let leak_report t =
+  let leaks = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> leaks := s :: !leaks) fmt in
+  let fixed = Bufpool.fixed_count t.pool in
+  if fixed > 0 then add "%d buffer frame(s) still fixed" fixed;
+  let latched = Bufpool.latched_count t.pool in
+  if latched > 0 then add "%d page latch hold(s) leaked" latched;
+  let locks = Lockmgr.total_held t.locks in
+  if locks > 0 then add "%d lock holder(s)/waiter(s) left in the lock table" locks;
+  (match Txnmgr.active_txns t.mgr with
+  | [] -> ()
+  | txns ->
+      add "%d transaction(s) still in the table: %s" (List.length txns)
+        (String.concat "," (List.map (fun (x : Txnmgr.txn) -> string_of_int x.Txnmgr.txn_id) txns)));
+  List.rev !leaks
+
 let run ?policy ?max_steps ?yield_probability _t main =
   Sched.run ?policy ?max_steps ?yield_probability main
 

@@ -44,6 +44,13 @@ val trim_log : t -> int
 val with_txn : t -> (Txnmgr.txn -> 'a) -> 'a
 (** Begin, run, commit; total rollback (and re-raise) on exception. *)
 
+val leak_report : t -> string list
+(** Quiescence audit: human-readable descriptions of every leaked resource —
+    fixed buffer frames, held page latches, lock-table holders/waiters, and
+    transactions still in the table. Empty when the environment is fully
+    quiescent (what the simulation harness requires after every completed
+    workload and after every restart). *)
+
 val run :
   ?policy:Aries_sched.Sched.policy ->
   ?max_steps:int ->

@@ -394,6 +394,14 @@ let waiter_count t name =
 let held_count t ~txn =
   match Hashtbl.find_opt t.txns txn with None -> 0 | Some ti -> List.length ti.ti_held
 
+(* Quiescence check for the simulation harness: a lock table with no
+   holders and no waiters anywhere. Counts actual grant state (hd_holders),
+   not the per-txn name cache, so stale cache entries cannot hide a leak. *)
+let total_held t =
+  Hashtbl.fold
+    (fun _ head acc -> acc + List.length head.hd_holders + Vec.length head.hd_waiters)
+    t.table 0
+
 let held_locks t ~txn =
   match Hashtbl.find_opt t.txns txn with
   | None -> []

@@ -88,6 +88,11 @@ val held_count : t -> txn:Ids.txn_id -> int
 (** Number of distinct lock names currently held (retained, i.e. not
     instant) by the transaction. *)
 
+val total_held : t -> int
+(** Holders plus waiters across the whole lock table. 0 means the table is
+    quiescent — no transaction holds or awaits any lock. The simulation
+    harness asserts this after every workload and after every restart. *)
+
 val held_locks : t -> txn:Ids.txn_id -> (name * mode) list
 (** The retained locks of a transaction (unspecified order); used to build
     Prepare record bodies so restart can reacquire in-doubt locks. *)

@@ -25,6 +25,7 @@ let read t pid =
       Some (Page.decode ~psize:t.psize image)
 
 let write t page =
+  Crashpoint.hit "disk.write";
   Stats.incr Stats.page_writes;
   Hashtbl.replace t.store page.Page.pid (Page.encode page)
 

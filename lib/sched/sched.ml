@@ -53,6 +53,12 @@ let current () = (the_sched ()).cur
 
 let current_name () = (the_sched ()).cur_name
 
+let steps_now () = (the_sched ()).steps
+
+let suspended_now () =
+  let s = the_sched () in
+  Hashtbl.fold (fun id name acc -> (id, name) :: acc) s.suspended [] |> List.sort compare
+
 let waker_fiber w = w.w_fiber
 
 let enqueue s e = Vec.push s.runq e

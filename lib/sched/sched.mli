@@ -55,6 +55,16 @@ val current_name : unit -> string
 
 val in_fiber : unit -> bool
 
+val steps_now : unit -> int
+(** Fiber slices executed so far by the running scheduler. The simulation
+    harness stamps each workload operation with this value so a failing
+    run's op trace pins events to scheduling steps. Raises if no scheduler
+    is running. *)
+
+val suspended_now : unit -> (fiber_id * string) list
+(** The currently suspended fibers (id, name), sorted — diagnostic detail
+    for stall reports. Raises if no scheduler is running. *)
+
 val maybe_yield : unit -> unit
 (** Preemption point: yields with the probability configured by
     [~yield_probability] on {!run}. Instrumented code (log appends, page

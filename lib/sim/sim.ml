@@ -1,0 +1,203 @@
+open Aries_util
+module Btree = Aries_btree.Btree
+module Bufpool = Aries_buffer.Bufpool
+module Sched = Aries_sched.Sched
+module Db = Aries_db.Db
+
+type run_report = {
+  rr_events : int;
+  rr_txns : int;
+  rr_crash_at : int option;
+  rr_failures : string list;
+  rr_trace : string list;
+}
+
+(* Invariants + oracle + leak audit, in one pass. Called inside the
+   scheduler (tree reads latch pages). [phase] prefixes every finding so a
+   post-restart divergence is distinguishable from a post-run one. *)
+let check_state db tree (trace : Workload.trace) ~phase failures =
+  let fail fmt =
+    Printf.ksprintf (fun s -> failures := (phase ^ ": " ^ s) :: !failures) fmt
+  in
+  (try Btree.check_invariants tree with
+  | Failure m -> fail "tree invariant violated: %s" m
+  | e -> fail "check_invariants raised %s" (Printexc.to_string e));
+  let committed = Oracle.committed_txns db.Db.wal in
+  List.iter (fun m -> fail "%s" m) (Workload.consistency_failures trace committed);
+  let expected = Workload.expected_state trace committed in
+  let actual = Btree.to_list tree in
+  List.iter (fun m -> fail "state mismatch: %s" m) (Oracle.diff_lines expected actual);
+  List.iter (fun m -> fail "leak: %s" m) (Db.leak_report db)
+
+let run_one ?crash_at (cfg : Workload.cfg) ~seed =
+  (* Setup (environment + empty tree) happens with the hook quiet so crash
+     indices enumerate only workload-phase durability events and the tree's
+     anchor is always recoverable. *)
+  Crashpoint.disarm ();
+  Crashpoint.reset ();
+  let db = Db.create ~page_size:cfg.Workload.page_size ~pool_capacity:cfg.Workload.pool_capacity () in
+  let tree =
+    Db.run_exn db (fun () ->
+        Db.with_txn db (fun txn -> Btree.create db.Db.benv txn ~name:"sim" ~unique:false))
+  in
+  Bufpool.set_steal_hook db.Db.pool ~seed:(seed + 0x51ea1)
+    ~probability:cfg.Workload.steal_probability;
+  Crashpoint.reset ();
+  (match crash_at with Some k -> Crashpoint.arm ~at:k | None -> ());
+  let trace : Workload.trace = Vec.create () in
+  let result =
+    Db.run db ~policy:(Sched.Random seed) ~yield_probability:cfg.Workload.yield_probability
+      (fun () -> Workload.spawn_fibers db tree cfg ~seed ~trace)
+  in
+  (* Read the trip flag before disarming: disarm clears it. *)
+  let tripped = Crashpoint.tripped () in
+  let events = Crashpoint.count () in
+  Crashpoint.disarm ();
+  Bufpool.clear_steal_hook db.Db.pool;
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  (match crash_at with
+  | None -> (
+      (match result.Sched.outcome with
+      | Sched.Completed -> ()
+      | Sched.Stalled ids ->
+          fail "scheduler stalled with %d suspended fiber(s)" (List.length ids)
+      | Sched.Interrupted live -> fail "step budget exhausted with %d live fiber(s)" live);
+      List.iter
+        (fun (_, name, e) -> fail "fiber %s raised %s" name (Printexc.to_string e))
+        result.Sched.exns;
+      if !failures = [] then
+        match Db.run_exn db (fun () -> check_state db tree trace ~phase:"post-run" failures) with
+        | () -> ()
+        | exception e -> fail "post-run check raised %s" (Printexc.to_string e))
+  | Some k ->
+      (* The k-th durability event raised a simulated power failure inside
+         some fiber; once tripped, every further durability event raises
+         too, so the stable state is frozen at event k. Fibers may end
+         Stalled (waiting on a dead fiber's locks) — that is fine, the
+         machine is about to lose power anyway. *)
+      (match result.Sched.outcome with
+      | Sched.Completed | Sched.Stalled _ -> ()
+      | Sched.Interrupted live ->
+          fail "step budget exhausted with %d live fiber(s)" live);
+      List.iter
+        (fun (_, name, e) ->
+          match e with
+          | Crashpoint.Crash _ -> ()
+          | e -> fail "fiber %s raised %s (not the simulated crash)" name (Printexc.to_string e))
+        result.Sched.exns;
+      if not tripped then
+        fail "crash index %d never reached (run produced %d events)" k events
+      else if !failures = [] then begin
+        let db' = Db.crash db in
+        match
+          Db.run_exn db' (fun () ->
+              ignore (Db.restart db');
+              let tree' = Btree.open_existing db'.Db.benv (Btree.index_id tree) in
+              check_state db' tree' trace ~phase:"post-restart" failures)
+        with
+        | () -> ()
+        | exception e -> fail "restart raised %s" (Printexc.to_string e)
+      end);
+  {
+    rr_events = events;
+    rr_txns = Vec.length trace;
+    rr_crash_at = crash_at;
+    rr_failures = List.rev !failures;
+    rr_trace = Workload.trace_to_string trace;
+  }
+
+type reproducer = {
+  rp_seed : int;
+  rp_crash_at : int option;
+  rp_failures : string list;
+  rp_trace : string list;
+}
+
+let reproducer_of_report ~seed (r : run_report) =
+  { rp_seed = seed; rp_crash_at = r.rr_crash_at; rp_failures = r.rr_failures; rp_trace = r.rr_trace }
+
+let reproducer_line r =
+  Printf.sprintf "SIM-REPRO seed=%d crash_at=%s :: %s" r.rp_seed
+    (match r.rp_crash_at with Some k -> string_of_int k | None -> "-")
+    (match r.rp_failures with [] -> "(no failure recorded)" | f :: _ -> f)
+
+let replay cfg r = run_one ?crash_at:r.rp_crash_at cfg ~seed:r.rp_seed
+
+let confirms r (rep : run_report) =
+  rep.rr_failures <> [] && List.equal String.equal r.rp_failures rep.rr_failures
+
+type summary = {
+  sm_seed_runs : int;
+  sm_crash_points : int;
+  sm_events : int;
+  sm_failures : reproducer list;
+}
+
+let empty_summary = { sm_seed_runs = 0; sm_crash_points = 0; sm_events = 0; sm_failures = [] }
+
+let merge a b =
+  {
+    sm_seed_runs = a.sm_seed_runs + b.sm_seed_runs;
+    sm_crash_points = a.sm_crash_points + b.sm_crash_points;
+    sm_events = a.sm_events + b.sm_events;
+    sm_failures = a.sm_failures @ b.sm_failures;
+  }
+
+let seed_sweep ?(progress = fun _ -> ()) cfg ~seeds =
+  List.fold_left
+    (fun acc seed ->
+      let r = run_one cfg ~seed in
+      let acc =
+        { acc with sm_seed_runs = acc.sm_seed_runs + 1; sm_events = acc.sm_events + r.rr_events }
+      in
+      if r.rr_failures = [] then acc
+      else begin
+        let rp = reproducer_of_report ~seed r in
+        progress (reproducer_line rp);
+        { acc with sm_failures = acc.sm_failures @ [ rp ] }
+      end)
+    empty_summary seeds
+
+(* Evenly spaced sample of [budget] indices over [1..total], always
+   including both endpoints; every index when the budget covers them all. *)
+let sample_indices ~total ~budget =
+  if total <= 0 || budget <= 0 then []
+  else if budget >= total then List.init total (fun i -> i + 1)
+  else if budget = 1 then [ total ]
+  else
+    List.init budget (fun i -> 1 + (i * (total - 1) / (budget - 1)))
+    |> List.sort_uniq compare
+
+let crash_sweep ?(progress = fun _ -> ()) cfg ~seed ~budget =
+  let recording = run_one cfg ~seed in
+  if recording.rr_failures <> [] then begin
+    let rp = reproducer_of_report ~seed recording in
+    progress (reproducer_line rp);
+    { sm_seed_runs = 1; sm_crash_points = 0; sm_events = recording.rr_events;
+      sm_failures = [ rp ] }
+  end
+  else begin
+    let ks = sample_indices ~total:recording.rr_events ~budget in
+    progress
+      (Printf.sprintf "seed %d: %d durability events, arming %d crash points" seed
+         recording.rr_events (List.length ks));
+    List.fold_left
+      (fun acc k ->
+        let r = run_one ~crash_at:k cfg ~seed in
+        let acc = { acc with sm_crash_points = acc.sm_crash_points + 1 } in
+        if r.rr_failures = [] then acc
+        else begin
+          let rp = reproducer_of_report ~seed r in
+          progress (reproducer_line rp);
+          { acc with sm_failures = acc.sm_failures @ [ rp ] }
+        end)
+      { sm_seed_runs = 1; sm_crash_points = 0; sm_events = recording.rr_events; sm_failures = [] }
+      ks
+  end
+
+let sweep ?progress cfg ~seeds ~crash_seeds ~crash_budget =
+  let s1 = seed_sweep ?progress cfg ~seeds in
+  List.fold_left
+    (fun acc seed -> merge acc (crash_sweep ?progress cfg ~seed ~budget:crash_budget))
+    s1 crash_seeds

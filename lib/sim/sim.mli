@@ -1,0 +1,75 @@
+(** The deterministic simulation harness: seed-sweep schedule exploration
+    and exhaustive crash-point injection against the committed-state oracle.
+
+    Two modes, both pure functions of [(seed, cfg)]:
+
+    - {b Seed sweep} ({!run_one} with no crash index): run the randomized
+      multi-fiber workload under [Sched.Random seed]; the run must complete
+      (no stall), raise nothing, leave the tree invariant-clean, match the
+      oracle, and leave no leaked latch, fix, lock or transaction.
+
+    - {b Crash sweep} ({!crash_sweep}): a first {e recording} run learns the
+      total number of durability events [N] (log appends, log forces, page
+      writes — see {!Aries_util.Crashpoint}); then, for each sampled index
+      [k <= N], the same seed is re-run with the hook armed so the [k]-th
+      event raises a simulated power failure, after which [Db.crash] +
+      [Restart.run] must recover {e exactly} the oracle's committed state.
+
+    Every failure carries a reproducer — the (seed, crash index) pair plus
+    the op trace — and {!replay} re-runs it deterministically. *)
+
+type run_report = {
+  rr_events : int;  (** durability events during the workload phase *)
+  rr_txns : int;  (** transactions traced *)
+  rr_crash_at : int option;
+  rr_failures : string list;  (** empty = run passed all checks *)
+  rr_trace : string list;  (** rendered op trace (reproducer detail) *)
+}
+
+val run_one : ?crash_at:int -> Workload.cfg -> seed:int -> run_report
+(** One full simulation run. With [crash_at], the workload is cut at that
+    durability event, then crash + restart + oracle check; without, the
+    workload runs to completion and is checked directly. *)
+
+type reproducer = {
+  rp_seed : int;
+  rp_crash_at : int option;
+  rp_failures : string list;
+  rp_trace : string list;
+}
+
+val reproducer_line : reproducer -> string
+(** The one-line form printed on failure:
+    ["SIM-REPRO seed=<s> crash_at=<k|-> :: <first failure>"]. Feed the seed
+    and crash index back to [bench/main.exe -- sim replay <s> <k|->] (or
+    {!replay}) to re-run that exact execution. *)
+
+val replay : Workload.cfg -> reproducer -> run_report
+(** Re-run a reproducer's (seed, crash index) deterministically. *)
+
+val confirms : reproducer -> run_report -> bool
+(** Does the replay reproduce the original failure set exactly? *)
+
+type summary = {
+  sm_seed_runs : int;
+  sm_crash_points : int;  (** armed crash-point runs performed *)
+  sm_events : int;  (** durability events enumerated across recording runs *)
+  sm_failures : reproducer list;
+}
+
+val seed_sweep : ?progress:(string -> unit) -> Workload.cfg -> seeds:int list -> summary
+
+val crash_sweep :
+  ?progress:(string -> unit) -> Workload.cfg -> seed:int -> budget:int -> summary
+(** Record once, then re-run with the crash armed at up to [budget] indices
+    sampled evenly across [1..N] ([budget >= N] means every event). *)
+
+val sweep :
+  ?progress:(string -> unit) ->
+  Workload.cfg ->
+  seeds:int list ->
+  crash_seeds:int list ->
+  crash_budget:int ->
+  summary
+(** The full rig: seed sweep over [seeds], then a crash sweep (budgeted per
+    seed) over [crash_seeds]. Summaries are merged. *)

@@ -1,0 +1,178 @@
+open Aries_util
+module Btree = Aries_btree.Btree
+module Txnmgr = Aries_txn.Txnmgr
+module Sched = Aries_sched.Sched
+module Db = Aries_db.Db
+
+type cfg = {
+  fibers : int;
+  txns_per_fiber : int;
+  max_ops_per_txn : int;
+  keys_per_fiber : int;
+  fetch_freq : int;
+  rollback_freq : int;
+  yield_probability : float;
+  steal_probability : float;
+  page_size : int;
+  pool_capacity : int;
+}
+
+let default_cfg =
+  {
+    fibers = 3;
+    txns_per_fiber = 6;
+    max_ops_per_txn = 4;
+    keys_per_fiber = 48;
+    fetch_freq = 4;
+    rollback_freq = 5;
+    yield_probability = 0.2;
+    steal_probability = 0.15;
+    page_size = 320;
+    pool_capacity = 12;
+  }
+
+type txn_trace = {
+  tt_fiber : int;
+  tt_txn : Ids.txn_id;
+  tt_begin_step : int;
+  mutable tt_ops : Oracle.op list;  (* most recent first *)
+  mutable tt_acked : bool;
+  mutable tt_aborted : bool;
+}
+
+type trace = txn_trace Vec.t
+
+let key_value ~fiber i = Printf.sprintf "f%02d-k%04d" fiber i
+
+let key_rid ~fiber i = { Ids.rid_page = 100_000 + fiber; rid_slot = i }
+
+(* The fiber's exact view of one of its own values: the in-flight txn's ops
+   (most recent first) shadow the committed view. *)
+let lookup view (tt : txn_trace) value =
+  let rec go = function
+    | [] -> Hashtbl.find_opt view value
+    | Oracle.Insert (v, rid) :: _ when String.equal v value -> Some rid
+    | Oracle.Delete (v, _) :: _ when String.equal v value -> None
+    | _ :: rest -> go rest
+  in
+  go tt.tt_ops
+
+let run_txn tree cfg rng view (tt : txn_trace) txn ~fiber =
+  let nops = 1 + Rng.int rng cfg.max_ops_per_txn in
+  for _ = 1 to nops do
+    let i = Rng.int rng cfg.keys_per_fiber in
+    let value = key_value ~fiber i in
+    if cfg.fetch_freq > 0 && Rng.int rng cfg.fetch_freq = 0 then
+      ignore (Btree.fetch tree txn value)
+    else
+      match lookup view tt value with
+      | None ->
+          let rid = key_rid ~fiber i in
+          Btree.insert tree txn ~value ~rid;
+          tt.tt_ops <- Oracle.Insert (value, rid) :: tt.tt_ops
+      | Some rid ->
+          Btree.delete tree txn ~value ~rid;
+          tt.tt_ops <- Oracle.Delete (value, rid) :: tt.tt_ops
+  done
+
+let spawn_fibers db tree cfg ~seed ~(trace : trace) =
+  for fiber = 0 to cfg.fibers - 1 do
+    let rng = Rng.create ((seed * 1_000_003) + (fiber * 7919) + 17) in
+    ignore
+      (Sched.spawn
+         ~name:(Printf.sprintf "wl-%d" fiber)
+         (fun () ->
+           (* this fiber's committed view of its private values *)
+           let view : (string, Ids.rid) Hashtbl.t = Hashtbl.create 64 in
+           try
+             for _ = 1 to cfg.txns_per_fiber do
+               (* once the simulated power failure has tripped anywhere, the
+                  machine is dead: stop promptly instead of running over a
+                  volatile state another fiber's cut operation may have torn *)
+               if Crashpoint.tripped () then raise (Crashpoint.Crash (Crashpoint.count ()));
+             let txn = Txnmgr.begin_txn db.Db.mgr in
+             let tt =
+               {
+                 tt_fiber = fiber;
+                 tt_txn = txn.Txnmgr.txn_id;
+                 tt_begin_step = Sched.steps_now ();
+                 tt_ops = [];
+                 tt_acked = false;
+                 tt_aborted = false;
+               }
+             in
+             Vec.push trace tt;
+             match run_txn tree cfg rng view tt txn ~fiber with
+             | exception Txnmgr.Aborted _ ->
+                 (* deadlock victim: already rolled back in place *)
+                 tt.tt_aborted <- true
+             | () ->
+                 if cfg.rollback_freq > 0 && Rng.int rng cfg.rollback_freq = 0 then begin
+                   tt.tt_aborted <- true;
+                   Txnmgr.rollback db.Db.mgr txn
+                 end
+                 else begin
+                   Txnmgr.commit db.Db.mgr txn;
+                   tt.tt_acked <- true;
+                   List.iter
+                     (fun op ->
+                       match op with
+                       | Oracle.Insert (v, rid) -> Hashtbl.replace view v rid
+                       | Oracle.Delete (v, _) -> Hashtbl.remove view v)
+                     (List.rev tt.tt_ops)
+                 end
+             done
+           with
+           | Crashpoint.Crash _ as c -> raise c
+           | e when Crashpoint.tripped () ->
+               (* the power failure cut some operation mid-flight (possibly a
+                  rollback being performed in-place in another fiber's
+                  execution context), so this fiber tripped over torn
+                  volatile state. The machine is dead; only the stable state
+                  matters. Count this fiber as crash-killed. *)
+               ignore e;
+               raise (Crashpoint.Crash (Crashpoint.count ()))))
+  done
+
+let expected_state (trace : trace) committed =
+  Vec.fold
+    (fun acc tt ->
+      if Hashtbl.mem committed tt.tt_txn then Oracle.apply acc (List.rev tt.tt_ops) else acc)
+    Oracle.empty trace
+
+let consistency_failures (trace : trace) committed =
+  let fails = ref [] in
+  Vec.iter
+    (fun tt ->
+      let in_log = Hashtbl.mem committed tt.tt_txn in
+      if tt.tt_acked && not in_log then
+        fails :=
+          Printf.sprintf
+            "durability violation: txn %d (fiber %d) was acked committed but has no Commit \
+             record in the stable log"
+            tt.tt_txn tt.tt_fiber
+          :: !fails;
+      if tt.tt_aborted && in_log then
+        fails :=
+          Printf.sprintf
+            "atomicity violation: txn %d (fiber %d) was rolled back yet a Commit record \
+             survives"
+            tt.tt_txn tt.tt_fiber
+          :: !fails)
+    trace;
+  List.rev !fails
+
+let trace_to_string (trace : trace) =
+  Vec.fold
+    (fun acc tt ->
+      let outcome =
+        if tt.tt_acked then "committed"
+        else if tt.tt_aborted then "aborted"
+        else "in-flight"
+      in
+      let ops = List.rev_map Oracle.op_to_string tt.tt_ops in
+      Printf.sprintf "T%d f%d @step%d %s: %s" tt.tt_txn tt.tt_fiber tt.tt_begin_step outcome
+        (if ops = [] then "(no updates)" else String.concat " " ops)
+      :: acc)
+    [] trace
+  |> List.rev

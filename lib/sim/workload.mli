@@ -1,0 +1,71 @@
+(** Randomized multi-fiber workloads for the simulation harness.
+
+    Every scheduling and data choice derives from the run's seed: per-fiber
+    RNGs are seeded from (seed, fiber), so a run is a pure function of
+    (seed, cfg) — re-running with the same pair replays the identical
+    execution, which is what makes crash indices meaningful.
+
+    Each fiber owns a private slice of the key space (fiber [f] writes only
+    values ["f<f>-k<i>"]), so a fiber always knows the exact state of its
+    keys (its committed view plus its in-flight transaction's ops) and the
+    oracle stays exact. Lock conflicts still occur across fibers — next-key
+    locks and SMO latching cross the range boundaries — so deadlocks,
+    waits and interleaved SMOs are all exercised. *)
+
+open Aries_util
+
+type cfg = {
+  fibers : int;
+  txns_per_fiber : int;
+  max_ops_per_txn : int;
+  keys_per_fiber : int;  (** size of each fiber's private value range *)
+  fetch_freq : int;  (** 1/n of ops are fetches (0 = never) *)
+  rollback_freq : int;  (** 1/n of surviving txns explicitly roll back (0 = never) *)
+  yield_probability : float;  (** scheduler preemption at instrumented points *)
+  steal_probability : float;  (** buffer-pool randomized steal (dirty-page writes) *)
+  page_size : int;  (** small pages force SMOs *)
+  pool_capacity : int;  (** small pools force evictions (disk writes) *)
+}
+
+val default_cfg : cfg
+(** 3 fibers x 6 txns, 320-byte pages, 12-frame pool, steals and yields on:
+    small enough that a crash sweep over every durability event is cheap,
+    adversarial enough to exercise SMOs, deadlocks and steals. *)
+
+type txn_trace = {
+  tt_fiber : int;
+  tt_txn : Ids.txn_id;
+  tt_begin_step : int;  (** scheduler step at which the txn began *)
+  mutable tt_ops : Oracle.op list;  (** most recent first, updated as ops complete *)
+  mutable tt_acked : bool;  (** Txnmgr.commit returned to the workload *)
+  mutable tt_aborted : bool;  (** explicitly rolled back or deadlock victim *)
+}
+
+type trace = txn_trace Vec.t
+(** Appended in begin order; per-fiber subsequences are in program order. *)
+
+val spawn_fibers :
+  Aries_db.Db.t -> Aries_btree.Btree.t -> cfg -> seed:int -> trace:trace -> unit
+(** Spawn the workload fibers (call inside a running scheduler). Fibers
+    record every completed operation in [trace] {e before} attempting
+    commit, so a transaction whose commit became durable but whose fiber
+    died before the ack still has its ops available to the oracle.
+
+    Once an armed {!Aries_util.Crashpoint} has tripped, fibers treat the
+    machine as dead: they stop at the next transaction boundary, and any
+    exception they hit mid-operation (the volatile state may have been torn
+    by another fiber's cut operation — e.g. an in-place deadlock rollback
+    interrupted by the power failure) is converted to the crash exception;
+    only the stable state matters from that point on. *)
+
+val expected_state : trace -> (Ids.txn_id, unit) Hashtbl.t -> Oracle.t
+(** Fold the ops of every committed transaction (per {!Oracle.committed_txns})
+    over the empty map, in trace order. *)
+
+val consistency_failures : trace -> (Ids.txn_id, unit) Hashtbl.t -> string list
+(** The two log-vs-ack contract checks: an acked transaction must have a
+    surviving Commit record (durability); a rolled-back transaction must
+    not (atomicity of the rollback path). *)
+
+val trace_to_string : trace -> string list
+(** One line per transaction: id, fiber, begin step, outcome, ops. *)

@@ -1,0 +1,49 @@
+exception Crash of int
+
+type state = {
+  mutable counter : int;
+  mutable trip_at : int option;
+  mutable is_tripped : bool;
+}
+
+let st = { counter = 0; trip_at = None; is_tripped = false }
+
+let faults : (string, unit) Hashtbl.t = Hashtbl.create 4
+
+let reset () =
+  st.counter <- 0;
+  st.trip_at <- None;
+  st.is_tripped <- false
+
+let arm ~at =
+  if at <= 0 then invalid_arg "Crashpoint.arm: crash index must be positive";
+  st.trip_at <- Some at
+
+let disarm () =
+  st.trip_at <- None;
+  st.is_tripped <- false
+
+let hit label =
+  st.counter <- st.counter + 1;
+  Stats.incr ("crashpoint." ^ label);
+  if st.is_tripped then raise (Crash st.counter)
+  else
+    match st.trip_at with
+    | Some at when st.counter >= at ->
+        st.is_tripped <- true;
+        raise (Crash st.counter)
+    | Some _ | None -> ()
+
+let count () = st.counter
+
+let tripped () = st.is_tripped
+
+let enable_fault name = Hashtbl.replace faults name ()
+
+let disable_fault name = Hashtbl.remove faults name
+
+let fault_active name = Hashtbl.mem faults name
+
+let clear_faults () = Hashtbl.reset faults
+
+let fault_wal_skip_flush = "wal.skip-flush"

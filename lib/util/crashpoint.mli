@@ -1,0 +1,62 @@
+(** Crash-point injection for deterministic simulation.
+
+    Every {e durability event} — a log append, a log force, a page write —
+    calls {!hit}. The simulation harness ({!Aries_sim.Sim}) first runs a
+    workload with the counter merely recording, learning the total number of
+    events [N]; it then re-runs the same seed once per crash index
+    [k = 1..N] with the hook {e armed}, so the [k]-th durability event
+    raises {!Crash} instead of happening. Once tripped, {e every} subsequent
+    event also raises — the stable state (disk images + flushed log prefix)
+    is frozen at the crash instant even though other fibers may still be
+    scheduled; volatile work they do is discarded by [Db.crash] anyway.
+
+    The module also hosts named {e fault} switches, used to deliberately
+    break a durability rule (e.g. skip the commit log force) and prove the
+    harness catches the resulting corruption. Faults are for tests and the
+    bench demo only; production code paths merely consult them.
+
+    All state is global (one simulation at a time — the system is
+    single-threaded and cooperatively scheduled, like {!Stats}). *)
+
+exception Crash of int
+(** [Crash k] is raised at durability event [k] (1-based) when armed, and at
+    every event after the trip. Simulates a power failure at that instant. *)
+
+val reset : unit -> unit
+(** Zero the event counter, disarm, and clear the tripped flag. Faults are
+    {e not} cleared (they are orthogonal knobs). *)
+
+val arm : at:int -> unit
+(** Arm the hook: the [at]-th subsequent event (counting from the last
+    {!reset}) raises {!Crash}. [at <= 0] is rejected. *)
+
+val disarm : unit -> unit
+(** Stop raising; the counter keeps counting. Call before running restart
+    recovery, which performs durability events of its own. *)
+
+val hit : string -> unit
+(** Called by Logmgr/Disk/Bufpool at each durability event. Increments the
+    counter and raises {!Crash} per the armed/tripped state. The label is
+    recorded per-label in the current {!Stats} sink under
+    ["crashpoint.<label>"] so sweeps can report event composition. *)
+
+val count : unit -> int
+(** Events since the last {!reset}. *)
+
+val tripped : unit -> bool
+(** Has an armed crash fired since the last {!reset}? *)
+
+(** {1 Fault switches} *)
+
+val enable_fault : string -> unit
+
+val disable_fault : string -> unit
+
+val fault_active : string -> bool
+
+val clear_faults : unit -> unit
+
+val fault_wal_skip_flush : string
+(** Well-known fault name: {!Aries_wal.Logmgr} silently skips log forces,
+    breaking the durability of commits and the WAL rule — the canonical
+    "deliberately injected bug" the simulation harness must catch. *)

@@ -34,6 +34,7 @@ let end_offset t = t.start + Buffer.length t.data
 let start_lsn t = if Buffer.length t.data = 0 then Lsn.nil else t.start
 
 let append t rec_ =
+  Crashpoint.hit "wal.append";
   let lsn = end_offset t in
   let payload = Logrec.encode { rec_ with lsn } in
   let w = Bytebuf.W.create () in
@@ -46,8 +47,13 @@ let append t rec_ =
   Stats.add Stats.log_bytes (4 + Bytes.length payload);
   lsn
 
+(* The [fault_wal_skip_flush] switch silently drops log forces: commits and
+   the WAL rule stop being durable. It exists so the simulation harness can
+   prove it detects a broken implementation (see Aries_sim.Sim). *)
 let flush t =
-  if t.flushed < end_offset t then begin
+  if t.flushed < end_offset t && not (Crashpoint.fault_active Crashpoint.fault_wal_skip_flush)
+  then begin
+    Crashpoint.hit "wal.flush";
     t.flushed <- end_offset t;
     t.last_stable <- t.last;
     Stats.incr Stats.log_forces
@@ -73,7 +79,8 @@ let flush_to t lsn =
   if Lsn.is_nil lsn then ()
   else begin
     let e = record_end t lsn in
-    if e > t.flushed then begin
+    if e > t.flushed && not (Crashpoint.fault_active Crashpoint.fault_wal_skip_flush) then begin
+      Crashpoint.hit "wal.flush";
       t.flushed <- e;
       t.last_stable <- lsn;
       Stats.incr Stats.log_forces

@@ -242,6 +242,43 @@ let test_save_excludes_volatile_tail () =
       Alcotest.(check int) "only the committed row" 1 (Table.count tbl'));
   ()
 
+let test_save_load_with_losers () =
+  let db, tbl = setup () in
+  Db.run_exn db (fun () ->
+      Db.with_txn db (fun txn ->
+          for i = 0 to 19 do
+            ignore (Table.insert tbl txn (row (Printf.sprintf "user%02d" i) "sf" "1"))
+          done));
+  (* a loser in flight at snapshot time, with its records FLUSHED so they
+     are part of the stable prefix the snapshot captures: load + restart
+     must report it as a loser and roll it back *)
+  ignore
+    (Db.run db (fun () ->
+         let t = Txnmgr.begin_txn db.Db.mgr in
+         for i = 0 to 9 do
+           ignore (Table.insert tbl t (row (Printf.sprintf "loser%02d" i) "la" "1"))
+         done;
+         Aries_wal.Logmgr.flush db.Db.wal));
+  let path = Filename.temp_file "ariesim" ".adb" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Db.save db path;
+      let db' = Db.load path in
+      let report = Db.run_exn db' (fun () -> Db.restart db') in
+      Alcotest.(check int) "one loser rolled back by restart" 1
+        (List.length report.Aries_recovery.Restart.rp_losers);
+      let tbl' = Table.open_existing db' ~id:1 specs in
+      Alcotest.(check int) "committed rows only" 20 (Table.count tbl');
+      Db.run_exn db' (fun () ->
+          Db.with_txn db' (fun txn ->
+              Alcotest.(check bool) "loser row gone" true
+                (Table.fetch tbl' txn ~index:"pk" "loser05" = None);
+              Alcotest.(check bool) "committed row present" true
+                (Table.fetch tbl' txn ~index:"pk" "user19" <> None)));
+      List.iter (fun (_, bt) -> Btree.check_invariants bt) (Table.indexes tbl'));
+  ()
+
 let test_load_rejects_garbage () =
   let path = Filename.temp_file "ariesim" ".bad" in
   Fun.protect
@@ -304,6 +341,36 @@ let test_trim_blocked_by_active_txn () =
          ignore before;
          Txnmgr.rollback db.Db.mgr t))
 
+let test_trim_returns_zero_for_restored_txn () =
+  let db, tbl = setup () in
+  Db.run_exn db (fun () ->
+      Db.with_txn db (fun txn -> ignore (Table.insert tbl txn (row "base" "sf" "1"))));
+  (* prepare an in-doubt txn, then crash: restart restores it with unknown
+     extent (nil first_lsn) — a transaction of unknown extent must block
+     trimming entirely, so trim_log returns exactly 0 *)
+  ignore
+    (Db.run db (fun () ->
+         let t = Txnmgr.begin_txn db.Db.mgr in
+         ignore (Table.insert tbl t (row "indoubt" "sf" "1"));
+         Txnmgr.prepare db.Db.mgr t));
+  let db' = Db.crash db in
+  let report = Db.run_exn db' (fun () -> Db.restart db') in
+  Alcotest.(check int) "one in-doubt txn restored" 1
+    (List.length report.Aries_recovery.Restart.rp_indoubt);
+  Aries_buffer.Bufpool.flush_all db'.Db.pool;
+  Db.checkpoint db';
+  Alcotest.(check int) "trim blocked by txn of unknown extent: 0 bytes" 0 (Db.trim_log db');
+  (* resolving the in-doubt txn unblocks the horizon *)
+  let t' =
+    match Txnmgr.active_txns db'.Db.mgr with
+    | [ t ] -> t
+    | _ -> Alcotest.fail "expected exactly the restored txn"
+  in
+  Db.run_exn db' (fun () -> Txnmgr.commit_prepared db'.Db.mgr t');
+  Aries_buffer.Bufpool.flush_all db'.Db.pool;
+  Db.checkpoint db';
+  Alcotest.(check bool) "trim frees bytes once resolved" true (Db.trim_log db' > 0)
+
 let () =
   Alcotest.run "db"
     [
@@ -328,11 +395,14 @@ let () =
         [
           Alcotest.test_case "trim + crash recovery" `Quick test_trim_log;
           Alcotest.test_case "trim blocked by active txn" `Quick test_trim_blocked_by_active_txn;
+          Alcotest.test_case "trim returns 0 for restored txn" `Quick
+            test_trim_returns_zero_for_restored_txn;
         ] );
       ( "persistence",
         [
           Alcotest.test_case "save/load roundtrip" `Quick test_save_load_roundtrip;
           Alcotest.test_case "volatile tail excluded" `Quick test_save_excludes_volatile_tail;
+          Alcotest.test_case "losers in the snapshot" `Quick test_save_load_with_losers;
           Alcotest.test_case "garbage rejected" `Quick test_load_rejects_garbage;
           Alcotest.test_case "oversized record rejected" `Quick test_oversized_record_rejected;
         ] );

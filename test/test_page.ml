@@ -62,6 +62,67 @@ let qcheck_key =
     QCheck.(triple string small_int small_int)
     key_prop
 
+(* Random pages of every kind — leaf, nonleaf, data, anchor — with random
+   bits, pointers, keys (arbitrary bytes in values), tombstoned slots and
+   LSNs, through encode/decode. Deterministically seeded. *)
+let gen_page : Page.t QCheck.Gen.t =
+ fun st ->
+  let int lo hi = QCheck.Gen.int_range lo hi st in
+  let value () = QCheck.Gen.(string_size (int_range 0 20)) st in
+  let bit () = int 0 1 = 1 in
+  let key () = k (value ()) (int 0 1_000_000) (int 0 65_535) in
+  let content =
+    match int 0 3 with
+    | 0 ->
+        let c = Page.empty_leaf () in
+        let l = match c with Page.Leaf l -> l | _ -> assert false in
+        l.Page.lf_prev <- int 0 100_000;
+        l.Page.lf_next <- int 0 100_000;
+        l.Page.lf_sm_bit <- bit ();
+        l.Page.lf_delete_bit <- bit ();
+        for _ = 1 to int 0 24 do
+          Vec.push l.Page.lf_keys (key ())
+        done;
+        c
+    | 1 ->
+        let c = Page.empty_nonleaf ~level:(int 1 6) in
+        let n = match c with Page.Nonleaf n -> n | _ -> assert false in
+        n.Page.nl_sm_bit <- bit ();
+        let nchildren = int 1 16 in
+        for _ = 1 to nchildren do
+          Vec.push n.Page.nl_children (int 1 100_000)
+        done;
+        for _ = 1 to nchildren - 1 do
+          Vec.push n.Page.nl_high_keys (key ())
+        done;
+        c
+    | 2 ->
+        let c = Page.empty_data ~owner:(int 0 10_000) in
+        let d = match c with Page.Data d -> d | _ -> assert false in
+        for _ = 1 to int 0 16 do
+          Vec.push d.Page.dt_slots
+            (if int 0 3 = 0 then None else Some (Bytes.of_string (value ())))
+        done;
+        c
+    | _ ->
+        let c = Page.empty_anchor ~name:(value ()) ~unique:(bit ()) in
+        let a = match c with Page.Anchor a -> a | _ -> assert false in
+        a.Page.an_root <- int 0 100_000;
+        a.Page.an_height <- int 0 8;
+        c
+  in
+  let page = Page.create ~psize:4096 ~pid:(int 1 1_000_000) content in
+  page.Page.page_lsn <- int 0 1_000_000_000;
+  page
+
+let qcheck_page =
+  QCheck.Test.make ~name:"page codec roundtrip (random pages, all kinds)" ~count:1000
+    (QCheck.make ~print:(Format.asprintf "%a" Page.pp) gen_page)
+    (fun page -> Page.equal page (Page.decode ~psize:page.Page.psize (Page.encode page)))
+
+let test_page_codec_property () =
+  QCheck.Test.check_exn ~rand:(Random.State.make [| 0xA51E5 |]) qcheck_page
+
 let test_space_accounting () =
   let page = Page.create ~psize:256 ~pid:2 (Page.empty_leaf ()) in
   let l = Page.as_leaf page in
@@ -144,6 +205,7 @@ let () =
           Alcotest.test_case "data" `Quick test_data_roundtrip;
           Alcotest.test_case "anchor" `Quick test_anchor_roundtrip;
           QCheck_alcotest.to_alcotest qcheck_key;
+          Alcotest.test_case "random pages x1000 (seeded)" `Quick test_page_codec_property;
         ] );
       ( "model",
         [

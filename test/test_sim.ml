@@ -1,0 +1,122 @@
+(* The deterministic simulation harness, at the default (CI) budget:
+   a 64-seed schedule sweep plus crash sweeps totalling >= 200 distinct
+   crash points, the determinism/replay contract, and the meta-test — with
+   a deliberately injected bug (the WAL skip-flush fault) the harness must
+   produce a failing reproducer that replays to the same failure. The full
+   overnight-scale sweep lives behind [bench/main.exe -- sim]. *)
+
+open Aries_util
+module Sim = Aries_sim.Sim
+module Workload = Aries_sim.Workload
+
+let cfg = Workload.default_cfg
+
+let fail_with reproducers =
+  List.iter (fun rp -> print_endline (Sim.reproducer_line rp)) reproducers;
+  Alcotest.failf "%d failing run(s); first: %s" (List.length reproducers)
+    (Sim.reproducer_line (List.hd reproducers))
+
+(* 64 seeds, every run to completion: no stall, no exn, invariants clean,
+   oracle match, no leaked latch/fix/lock/txn. *)
+let test_seed_sweep () =
+  let seeds = List.init 64 (fun i -> i + 1) in
+  let s = Sim.seed_sweep cfg ~seeds in
+  Alcotest.(check int) "runs" 64 s.Sim.sm_seed_runs;
+  if s.Sim.sm_failures <> [] then fail_with s.Sim.sm_failures;
+  (* the sweep must actually exercise durability machinery *)
+  Alcotest.(check bool) "events seen" true (s.Sim.sm_events > 64)
+
+(* Crash sweeps over five seeds with a per-seed budget of 60 indices:
+   >= 200 distinct (seed, crash index) points, each followed by
+   crash + restart + oracle check. *)
+let test_crash_sweep () =
+  let seeds = [ 101; 202; 303; 404; 505 ] in
+  let points = ref 0 in
+  let failures = ref [] in
+  List.iter
+    (fun seed ->
+      let s = Sim.crash_sweep cfg ~seed ~budget:60 in
+      points := !points + s.Sim.sm_crash_points;
+      failures := !failures @ s.Sim.sm_failures)
+    seeds;
+  if !failures <> [] then fail_with !failures;
+  Alcotest.(check bool)
+    (Printf.sprintf "crash points >= 200 (got %d)" !points)
+    true (!points >= 200)
+
+(* A run is a pure function of (seed, cfg, crash index): byte-identical
+   reports on re-execution, for both completed and crash-cut runs. *)
+let test_determinism () =
+  let a = Sim.run_one cfg ~seed:7 in
+  let b = Sim.run_one cfg ~seed:7 in
+  Alcotest.(check bool) "completed runs identical" true (a = b);
+  let a = Sim.run_one ~crash_at:41 cfg ~seed:7 in
+  let b = Sim.run_one ~crash_at:41 cfg ~seed:7 in
+  Alcotest.(check bool) "crash-cut runs identical" true (a = b);
+  Alcotest.(check (option int)) "crash index recorded" (Some 41) a.Sim.rr_crash_at
+
+(* Arming a crash index past the end of the run is reported, not silently
+   ignored — replaying a stale reproducer against a changed tree stays loud. *)
+let test_unreachable_crash_index () =
+  let r = Sim.run_one ~crash_at:1_000_000 cfg ~seed:3 in
+  match r.Sim.rr_failures with
+  | [] -> Alcotest.fail "unreachable crash index not reported"
+  | msg :: _ ->
+      let mentions_never_reached =
+        let sub = "never reached" in
+        let n = String.length sub and m = String.length msg in
+        let rec go i = i + n <= m && (String.sub msg i n = sub || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "mentions never reached" true mentions_never_reached
+
+(* The meta-test: with the WAL skip-flush fault enabled (commits are acked
+   without their log force reaching stable storage), the harness MUST find
+   failing crash points, print a SIM-REPRO line, and the reproducer must
+   replay to the identical failure set. *)
+let test_injected_fault_is_caught () =
+  Fun.protect ~finally:Crashpoint.clear_faults (fun () ->
+      Crashpoint.enable_fault Crashpoint.fault_wal_skip_flush;
+      let s = Sim.sweep cfg ~seeds:[ 11; 12 ] ~crash_seeds:[ 11; 12 ] ~crash_budget:25 in
+      match s.Sim.sm_failures with
+      | [] -> Alcotest.fail "skip-flush fault escaped the harness"
+      | rp :: _ ->
+          let line = Sim.reproducer_line rp in
+          Alcotest.(check string) "reproducer line prefix" "SIM-REPRO" (String.sub line 0 9);
+          let rep = Sim.replay cfg rp in
+          Alcotest.(check bool) "replay reproduces the failure" true (Sim.confirms rp rep));
+  (* and with the fault cleared, the very same seed passes again *)
+  let r = Sim.run_one cfg ~seed:11 in
+  Alcotest.(check (list string)) "clean after fault removed" [] r.Sim.rr_failures
+
+(* A harder cfg: more fibers and txns, tighter pool, hotter yields — the
+   shape the bench entry scales up. One seed keeps CI fast. *)
+let test_stress_cfg () =
+  let cfg =
+    {
+      cfg with
+      Workload.fibers = 5;
+      txns_per_fiber = 8;
+      max_ops_per_txn = 6;
+      pool_capacity = 8;
+      yield_probability = 0.35;
+      steal_probability = 0.25;
+    }
+  in
+  let s = Sim.sweep cfg ~seeds:[ 900 ] ~crash_seeds:[ 901 ] ~crash_budget:40 in
+  if s.Sim.sm_failures <> [] then fail_with s.Sim.sm_failures
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "sim",
+        [
+          Alcotest.test_case "seed sweep (64 seeds)" `Quick test_seed_sweep;
+          Alcotest.test_case "crash sweep (>=200 points)" `Quick test_crash_sweep;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "unreachable crash index" `Quick test_unreachable_crash_index;
+          Alcotest.test_case "injected skip-flush fault is caught" `Quick
+            test_injected_fault_is_caught;
+          Alcotest.test_case "stress cfg" `Quick test_stress_cfg;
+        ] );
+    ]

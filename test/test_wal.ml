@@ -38,6 +38,53 @@ let qcheck_codec =
     QCheck.(triple small_int small_int string)
     codec_prop
 
+(* Random records over every kind and every header field — arbitrary bytes
+   in bodies, random flags, CLR undo-next chains — through encode/decode.
+   Deterministically seeded. *)
+let all_kinds =
+  [|
+    Logrec.Update; Logrec.Clr; Logrec.Commit; Logrec.Prepare; Logrec.Rollback;
+    Logrec.End_txn; Logrec.Begin_ckpt; Logrec.End_ckpt;
+  |]
+
+let gen_logrec : Logrec.t QCheck.Gen.t =
+ fun st ->
+  let int lo hi = QCheck.Gen.int_range lo hi st in
+  let kind = all_kinds.(int 0 (Array.length all_kinds - 1)) in
+  let body = Bytes.of_string (QCheck.Gen.(string_size (int_range 0 64)) st) in
+  Logrec.make
+    ~page:(int 0 1_000_000)
+    ~undo_nxt_lsn:(int 0 1_000_000)
+    ~rm_id:(int 0 255) ~op:(int 0 255)
+    ~undoable:(int 0 1 = 1)
+    ~redoable:(int 0 1 = 1)
+    ~body
+    ~txn:(int 0 1_000_000)
+    ~prev_lsn:(int 0 1_000_000)
+    kind
+
+let logrec_prop (r : Logrec.t) =
+  let r' = Logrec.decode ~lsn:12345 (Bytes.to_string (Logrec.encode r)) in
+  r'.Logrec.lsn = 12345
+  && r'.Logrec.prev_lsn = r.Logrec.prev_lsn
+  && r'.Logrec.txn = r.Logrec.txn
+  && r'.Logrec.kind = r.Logrec.kind
+  && r'.Logrec.page = r.Logrec.page
+  && r'.Logrec.undo_nxt_lsn = r.Logrec.undo_nxt_lsn
+  && r'.Logrec.rm_id = r.Logrec.rm_id
+  && r'.Logrec.op = r.Logrec.op
+  && r'.Logrec.undoable = r.Logrec.undoable
+  && r'.Logrec.redoable = r.Logrec.redoable
+  && Bytes.equal r'.Logrec.body r.Logrec.body
+
+let qcheck_codec_full =
+  QCheck.Test.make ~name:"log record codec roundtrip (all kinds, all fields)" ~count:1000
+    (QCheck.make ~print:(Format.asprintf "%a" Logrec.pp) gen_logrec)
+    logrec_prop
+
+let test_logrec_codec_property () =
+  QCheck.Test.check_exn ~rand:(Random.State.make [| 0x10C5EC |]) qcheck_codec_full
+
 let test_lsn_monotonic () =
   let log = Logmgr.create () in
   let prev = ref Lsn.nil in
@@ -185,6 +232,7 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick test_codec_roundtrip;
           QCheck_alcotest.to_alcotest qcheck_codec;
+          Alcotest.test_case "random records x1000 (seeded)" `Quick test_logrec_codec_property;
         ] );
       ( "logmgr",
         [
