@@ -150,6 +150,36 @@ let flush_page t pid =
   | Some f when f.dirty -> write_frame t f
   | Some _ | None -> ()
 
+(* Trickle path for the background page cleaner: write out up to
+   [max_pages] dirty, unfixed frames, oldest recLSN first — the frames that
+   pin the restart-redo horizon furthest back. Each write goes through
+   [write_frame], so the WAL rule (force the log to the page's page_lsn
+   first) holds and that force is synchronous — never batched or deferred
+   through the group-commit queue. Frames stay resident; only their dirty
+   bit is cleared. Returns the number of pages written. *)
+let clean_some t ~max_pages =
+  if max_pages <= 0 then 0
+  else begin
+    let dirty_unfixed =
+      Hashtbl.fold
+        (fun _ f acc -> if f.dirty && f.fix_count = 0 then f :: acc else acc)
+        t.frames []
+      |> List.sort (fun a b ->
+             match Lsn.compare a.rec_lsn b.rec_lsn with
+             | 0 -> compare a.page.Page.pid b.page.Page.pid
+             | c -> c)
+    in
+    let written = ref 0 in
+    List.iter
+      (fun f ->
+        if !written < max_pages && f.dirty && f.fix_count = 0 then begin
+          write_frame t f;
+          incr written
+        end)
+      dirty_unfixed;
+    !written
+  end
+
 let flush_all t =
   Hashtbl.fold (fun pid f acc -> if f.dirty then (pid, f) :: acc else acc) t.frames []
   |> List.sort (fun (a, _) (b, _) -> compare a b)

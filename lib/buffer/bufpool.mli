@@ -53,6 +53,13 @@ val flush_page : t -> Ids.page_id -> unit
 
 val flush_all : t -> unit
 
+val clean_some : t -> max_pages:int -> int
+(** Background-cleaner trickle: write out up to [max_pages] dirty unfixed
+    frames, oldest recLSN first (the frames that pin the restart-redo
+    horizon furthest back), leaving them resident and clean. The WAL-rule
+    force each write performs is synchronous — never routed through the
+    group-commit queue. Returns the number of pages written. *)
+
 val drop : t -> Ids.page_id -> unit
 (** Discard the frame without writing (page deallocated). *)
 

@@ -1,0 +1,27 @@
+(** Background page cleaner: a scheduler-resident daemon that trickles
+    dirty pages to disk under the WAL rule.
+
+    A steal/no-force buffer manager accumulates dirty pages until eviction
+    pressure (or a checkpoint) writes them, so the dirty-page table — and
+    with it the restart-redo horizon, the oldest recLSN — can grow without
+    bound between checkpoints. The cleaner bounds both: every
+    [interval_steps] scheduler steps it writes up to [batch_pages] dirty
+    unfixed frames, oldest recLSN first, via {!Bufpool.clean_some}. Each
+    write forces the log to the page's page_lsn first (the WAL rule),
+    synchronously — those forces are never batched or deferred through the
+    group-commit queue.
+
+    The daemon exits when [stop ()] or [Sched.shutting_down ()] becomes
+    true; it never holds latches, fixes or locks across a yield, so it can
+    die at any point (crash simulation) without leaking. *)
+
+type cfg = {
+  interval_steps : int;  (** scheduler steps between cleaning rounds *)
+  batch_pages : int;  (** max pages written per round *)
+}
+
+val default_cfg : cfg
+(** [{ interval_steps = 16; batch_pages = 2 }]. *)
+
+val run_daemon : Bufpool.t -> cfg -> stop:(unit -> bool) -> unit
+(** The daemon body (pass to [Sched.spawn_daemon]). *)

@@ -1,12 +1,16 @@
 module Disk = Aries_page.Disk
 module Logmgr = Aries_wal.Logmgr
 module Bufpool = Aries_buffer.Bufpool
+module Cleaner = Aries_buffer.Cleaner
 module Lockmgr = Aries_lock.Lockmgr
 module Txnmgr = Aries_txn.Txnmgr
+module Group_commit = Aries_txn.Group_commit
 module Btree = Aries_btree.Btree
 module Restart = Aries_recovery.Restart
 module Checkpoint = Aries_recovery.Checkpoint
 module Sched = Aries_sched.Sched
+
+type commit_mode = Per_commit | Group of Group_commit.policy
 
 type t = {
   disk : Disk.t;
@@ -15,26 +19,42 @@ type t = {
   locks : Lockmgr.t;
   mgr : Txnmgr.t;
   benv : Btree.env;
+  commit_mode : commit_mode;
+  cleaner : Cleaner.cfg option;
+  gc : Group_commit.t option;
+  mutable closing : bool;
+  mutable running_daemons : int;
 }
 
-let build ?pool_capacity ?config disk wal =
+let build ?pool_capacity ?config ?(commit_mode = Per_commit) ?cleaner disk wal =
   let pool = Bufpool.create ?capacity:pool_capacity disk wal in
   let locks = Lockmgr.create () in
   let mgr = Txnmgr.create wal locks in
   let benv = Btree.env ?config mgr pool in
   Recmgr.rm_install mgr pool;
-  { disk; wal; pool; locks; mgr; benv }
+  let gc =
+    match commit_mode with
+    | Per_commit -> None
+    | Group policy -> Some (Group_commit.create ~policy wal)
+  in
+  Txnmgr.set_group_commit mgr gc;
+  { disk; wal; pool; locks; mgr; benv; commit_mode; cleaner; gc; closing = false;
+    running_daemons = 0 }
 
-let create ?(page_size = 4096) ?pool_capacity ?config () =
+let create ?(page_size = 4096) ?pool_capacity ?config ?commit_mode ?cleaner () =
   let disk = Disk.create ~page_size () in
   let wal = Logmgr.create () in
-  build ?pool_capacity ?config disk wal
+  build ?pool_capacity ?config ?commit_mode ?cleaner disk wal
 
 let crash ?config t =
   Logmgr.crash t.wal;
   Bufpool.crash t.pool;
   Txnmgr.clear t.mgr;
-  build ?config t.disk t.wal
+  (* die-on-crash: daemon state is volatile. The fresh environment gets a
+     fresh (empty) commit queue under the same policy; committers that were
+     suspended on the old queue were never acknowledged, and restart decides
+     their fate purely from the stable log. *)
+  build ?config ~commit_mode:t.commit_mode ?cleaner:t.cleaner t.disk t.wal
 
 let restart t = Restart.run t.mgr t.pool
 
@@ -87,7 +107,7 @@ let save t path =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_bytes oc (Aries_util.Bytebuf.W.contents w))
 
-let load ?pool_capacity ?config path =
+let load ?pool_capacity ?config ?commit_mode ?cleaner path =
   let ic = open_in_bin path in
   let b =
     Fun.protect
@@ -101,7 +121,7 @@ let load ?pool_capacity ?config path =
   let disk = Disk.deserialize (Aries_util.Bytebuf.R.bytes r) in
   let wal = Logmgr.deserialize (Aries_util.Bytebuf.R.bytes r) in
   Aries_util.Bytebuf.R.expect_end r;
-  build ?pool_capacity ?config disk wal
+  build ?pool_capacity ?config ?commit_mode ?cleaner disk wal
 
 let leak_report t =
   let leaks = ref [] in
@@ -119,7 +139,60 @@ let leak_report t =
         (String.concat "," (List.map (fun (x : Txnmgr.txn) -> string_of_int x.Txnmgr.txn_id) txns)));
   List.rev !leaks
 
-let run ?policy ?max_steps ?yield_probability _t main =
-  Sched.run ?policy ?max_steps ?yield_probability main
+(* Spawn the configured daemons into the current scheduler run. Called from
+   the run's main fiber before any user work, so the commit queue is
+   attached (and stale state from a previous run discarded) before the
+   first commit can enqueue. *)
+let start_daemons t =
+  t.running_daemons <- 0;  (* daemons of any previous run are dead *)
+  if not t.closing then begin
+    let spawn_counted name body =
+      t.running_daemons <- t.running_daemons + 1;
+      ignore
+        (Sched.spawn_daemon ~name
+           ~on_shutdown:(match t.gc with
+             | Some gc when String.equal name "group-commit" ->
+                 fun () -> Group_commit.nudge gc
+             | _ -> fun () -> ())
+           (fun () ->
+             Fun.protect
+               ~finally:(fun () -> t.running_daemons <- t.running_daemons - 1)
+               body))
+    in
+    (match t.gc with
+    | Some gc ->
+        Group_commit.attach gc;
+        spawn_counted "group-commit" (fun () ->
+            Group_commit.run_daemon gc ~stop:(fun () -> t.closing))
+    | None -> ());
+    match t.cleaner with
+    | Some cfg ->
+        spawn_counted "page-cleaner" (fun () ->
+            Cleaner.run_daemon t.pool cfg ~stop:(fun () -> t.closing))
+    | None -> ()
+  end
 
-let run_exn ?policy _t f = Sched.run_value ?policy f
+let daemons_running t = t.running_daemons
+
+let close t =
+  t.closing <- true;
+  if Sched.in_fiber () then begin
+    (* wake the commit daemon so it drains its pending batch without
+       waiting out the accumulation window, then join both daemons *)
+    (match t.gc with Some gc -> Group_commit.nudge gc | None -> ());
+    while t.running_daemons > 0 do
+      Sched.yield ()
+    done
+  end;
+  (* clean shutdown: everything appended is made stable *)
+  Logmgr.flush t.wal
+
+let run ?policy ?max_steps ?yield_probability t main =
+  Sched.run ?policy ?max_steps ?yield_probability (fun () ->
+      start_daemons t;
+      main ())
+
+let run_exn ?policy t f =
+  Sched.run_value ?policy (fun () ->
+      start_daemons t;
+      f ())

@@ -10,6 +10,16 @@
 
 module Txnmgr = Aries_txn.Txnmgr
 
+type commit_mode =
+  | Per_commit
+      (** every [Txnmgr.commit] performs its own synchronous log force —
+          the classic one-force-per-commit WAL bottleneck *)
+  | Group of Aries_txn.Group_commit.policy
+      (** committers enqueue on the commit queue and suspend; a
+          scheduler-resident daemon forces once per batch (at most
+          [max_batch] committers or [max_delay_steps] scheduler steps,
+          whichever first) and wakes every covered waiter *)
+
 type t = {
   disk : Aries_page.Disk.t;
   wal : Aries_wal.Logmgr.t;
@@ -17,10 +27,27 @@ type t = {
   locks : Aries_lock.Lockmgr.t;
   mgr : Txnmgr.t;
   benv : Aries_btree.Btree.env;
+  commit_mode : commit_mode;
+  cleaner : Aries_buffer.Cleaner.cfg option;
+  gc : Aries_txn.Group_commit.t option;
+  mutable closing : bool;
+  mutable running_daemons : int;
 }
 
 val create :
-  ?page_size:int -> ?pool_capacity:int -> ?config:Aries_btree.Btree.config -> unit -> t
+  ?page_size:int ->
+  ?pool_capacity:int ->
+  ?config:Aries_btree.Btree.config ->
+  ?commit_mode:commit_mode ->
+  ?cleaner:Aries_buffer.Cleaner.cfg ->
+  unit ->
+  t
+(** [commit_mode] (default [Per_commit]) selects the commit-path force
+    policy; [cleaner] (default off) enables the background page cleaner.
+    With either daemon configured, every {!run}/{!run_exn} spawns the
+    daemons at the start of the run (spawn-at-open), drains them when the
+    last user fiber finishes (drain-on-close), and loses them — along with
+    any unacknowledged queued commits — on {!crash} (die-on-crash). *)
 
 val crash : ?config:Aries_btree.Btree.config -> t -> t
 (** Simulate a system failure: discard the unflushed log tail and every
@@ -51,6 +78,17 @@ val leak_report : t -> string list
     quiescent (what the simulation harness requires after every completed
     workload and after every restart). *)
 
+val close : t -> unit
+(** Graceful shutdown. Inside a scheduler run: nudges the group-commit
+    daemon to force its pending batch immediately (no acknowledgement is
+    ever issued unforced, and none is dropped), joins both daemons
+    ({!daemons_running} returns to 0), then forces the log tail. Outside a
+    run: marks the environment closed (subsequent runs spawn no daemons)
+    and forces the log. *)
+
+val daemons_running : t -> int
+(** Daemons spawned for the current/most recent run and not yet exited. *)
+
 val run :
   ?policy:Aries_sched.Sched.policy ->
   ?max_steps:int ->
@@ -58,7 +96,9 @@ val run :
   t ->
   (unit -> unit) ->
   Aries_sched.Sched.result
-(** Run a workload under the cooperative scheduler. *)
+(** Run a workload under the cooperative scheduler. Spawns the configured
+    daemons (group-commit force daemon, page cleaner) into the run first;
+    they drain and exit when the workload's fibers finish. *)
 
 val run_exn : ?policy:Aries_sched.Sched.policy -> t -> (unit -> 'a) -> 'a
 (** Like {!run} for a single computation; re-raises fiber failures and
@@ -70,6 +110,12 @@ val save : t -> string -> unit
     volatile tail and buffer pool are not saved; run {!restart} after
     {!load}. *)
 
-val load : ?pool_capacity:int -> ?config:Aries_btree.Btree.config -> string -> t
+val load :
+  ?pool_capacity:int ->
+  ?config:Aries_btree.Btree.config ->
+  ?commit_mode:commit_mode ->
+  ?cleaner:Aries_buffer.Cleaner.cfg ->
+  string ->
+  t
 (** Rebuild an environment from a {!save}d file. The caller must run
     {!restart} (inside the scheduler) before using it. *)

@@ -27,14 +27,23 @@ type entry = {
 }
 
 type sched = {
+  sched_run_id : int;  (* distinguishes scheduler incarnations *)
   runq : entry Vec.t;
   mutable live : int;  (* fibers spawned and not yet finished *)
+  mutable live_daemons : int;  (* subset of [live] marked as daemons *)
   mutable steps : int;
   mutable next_id : int;
   mutable cur : fiber_id;
   mutable cur_name : string;
   mutable exns : (fiber_id * string * exn) list;
   suspended : (fiber_id, string) Hashtbl.t;
+  daemon_ids : (fiber_id, unit) Hashtbl.t;
+  mutable shutting_down : bool;
+      (* set once every non-daemon fiber has finished; daemons observe it
+         via [shutting_down] and drain *)
+  on_shutdown : (unit -> unit) Vec.t;
+      (* wake callbacks registered by [spawn_daemon]: a sleeping daemon
+         must be nudged when shutdown begins or it would stall the run *)
   policy_rng : Rng.t option;
   yield_rng : Rng.t;
   yield_probability : float;
@@ -59,6 +68,10 @@ let suspended_now () =
   let s = the_sched () in
   Hashtbl.fold (fun id name acc -> (id, name) :: acc) s.suspended [] |> List.sort compare
 
+let run_counter = ref 0
+
+let run_id () = (the_sched ()).sched_run_id
+
 let waker_fiber w = w.w_fiber
 
 let enqueue s e = Vec.push s.runq e
@@ -81,15 +94,22 @@ let abort w e =
       Hashtbl.remove s.suspended w.w_fiber;
       enqueue s { e_fiber = w.w_fiber; e_name = w.w_name; e_task = (fun () -> discontinue k e) }
 
+let fiber_done s id =
+  s.live <- s.live - 1;
+  if Hashtbl.mem s.daemon_ids id then begin
+    Hashtbl.remove s.daemon_ids id;
+    s.live_daemons <- s.live_daemons - 1
+  end
+
 (* Runs [body] as a sequence of fiber slices: the handler turns each Suspend
    into a return to the scheduler loop, capturing the continuation. *)
 let fiber_task s id name body () =
   let fiber_handler =
     {
-      retc = (fun () -> s.live <- s.live - 1);
+      retc = (fun () -> fiber_done s id);
       exnc =
         (fun e ->
-          s.live <- s.live - 1;
+          fiber_done s id;
           s.exns <- (id, name, e) :: s.exns);
       effc =
         (fun (type a) (eff : a Effect.t) ->
@@ -117,6 +137,19 @@ let spawn ?name body =
   enqueue s { e_fiber = id; e_name = name; e_task = fiber_task s id name body };
   id
 
+let spawn_daemon ?name ?on_shutdown body =
+  let s = the_sched () in
+  let id = spawn ?name body in
+  Hashtbl.replace s.daemon_ids id ();
+  s.live_daemons <- s.live_daemons + 1;
+  Stats.incr Stats.daemon_spawns;
+  (match on_shutdown with Some f -> Vec.push s.on_shutdown f | None -> ());
+  id
+
+let shutting_down () = (the_sched ()).shutting_down
+
+let daemons_now () = (the_sched ()).live_daemons
+
 let suspend register = perform (Suspend register)
 
 let yield () =
@@ -143,16 +176,22 @@ type policy = Fifo | Random of int
 let run ?(policy = Fifo) ?max_steps ?(yield_probability = 0.0) main =
   if !active <> None then invalid_arg "Sched.run: already running";
   let policy_rng = match policy with Fifo -> None | Random seed -> Some (Rng.create seed) in
+  incr run_counter;
   let s =
     {
+      sched_run_id = !run_counter;
       runq = Vec.create ();
       live = 0;
+      live_daemons = 0;
       steps = 0;
       next_id = 1;
       cur = 0;
       cur_name = "";
       exns = [];
       suspended = Hashtbl.create 16;
+      daemon_ids = Hashtbl.create 4;
+      shutting_down = false;
+      on_shutdown = Vec.create ();
       policy_rng;
       yield_rng = Rng.create (match policy with Fifo -> 0 | Random seed -> seed + 0x5eed);
       yield_probability;
@@ -167,6 +206,14 @@ let run ?(policy = Fifo) ?max_steps ?(yield_probability = 0.0) main =
     ignore (spawn ~name:"main" main);
     let budget = match max_steps with Some n -> n | None -> max_int in
     let rec loop () =
+      (* Daemon drain: once every non-daemon fiber has finished, tell the
+         daemons to wind down (flush pending work, exit). Sleeping daemons
+         are nudged through their registered wake callbacks; busy daemons
+         observe [shutting_down] at their next loop turn. *)
+      if (not s.shutting_down) && s.live - s.live_daemons = 0 && s.live_daemons > 0 then begin
+        s.shutting_down <- true;
+        Vec.iter (fun f -> f ()) s.on_shutdown
+      end;
       if Vec.is_empty s.runq then
         if s.live = 0 then finish Completed
         else

@@ -38,6 +38,41 @@ val waker_fiber : waker -> fiber_id
 
 val spawn : ?name:string -> (unit -> unit) -> fiber_id
 
+(** {1 Daemon fibers}
+
+    A {e daemon} is a scheduler-resident service fiber (the group-commit
+    force daemon, the background page cleaner) whose lifetime is bounded by
+    the {e user} fibers of the run: the scheduler never counts daemons when
+    deciding whether work remains, and the moment the last non-daemon fiber
+    finishes it flips the shutdown flag and invokes every daemon's
+    registered [on_shutdown] callback (typically a condvar broadcast) so
+    sleeping daemons wake, drain any pending work, and exit. A well-behaved
+    daemon loop therefore checks {!shutting_down} after every wait/yield
+    and returns once it is set; a daemon that keeps sleeping after shutdown
+    stalls the run and is reported in {!outcome} as such. *)
+
+val spawn_daemon :
+  ?name:string -> ?on_shutdown:(unit -> unit) -> (unit -> unit) -> fiber_id
+(** Spawn a fiber that does not keep the scheduler alive. [on_shutdown]
+    is called (once, from the scheduler loop) when the run begins winding
+    down; use it to wake the daemon out of its wait so it can observe
+    {!shutting_down} and drain. *)
+
+val shutting_down : unit -> bool
+(** True once every non-daemon fiber has finished (or [run] decided to wind
+    down): daemons must drain and exit. Raises outside a scheduler. *)
+
+val daemons_now : unit -> int
+(** Number of live daemon fibers — diagnostic; tests assert it returns to 0
+    after a drain/join. Raises outside a scheduler. *)
+
+val run_id : unit -> int
+(** Identifier of the current scheduler incarnation (strictly increasing
+    across [run] calls in the process). Services that cache wakers or
+    daemon liveness across runs compare run ids to detect that state
+    belonging to a dead scheduler must be discarded rather than woken.
+    Raises outside a scheduler. *)
+
 val yield : unit -> unit
 (** Suspend and reschedule at the back of the run queue. *)
 

@@ -35,7 +35,10 @@ let run_one ?crash_at (cfg : Workload.cfg) ~seed =
      anchor is always recoverable. *)
   Crashpoint.disarm ();
   Crashpoint.reset ();
-  let db = Db.create ~page_size:cfg.Workload.page_size ~pool_capacity:cfg.Workload.pool_capacity () in
+  let db =
+    Db.create ~page_size:cfg.Workload.page_size ~pool_capacity:cfg.Workload.pool_capacity
+      ~commit_mode:cfg.Workload.commit_mode ?cleaner:cfg.Workload.cleaner ()
+  in
   let tree =
     Db.run_exn db (fun () ->
         Db.with_txn db (fun txn -> Btree.create db.Db.benv txn ~name:"sim" ~unique:false))

@@ -15,6 +15,8 @@ type cfg = {
   steal_probability : float;
   page_size : int;
   pool_capacity : int;
+  commit_mode : Db.commit_mode;
+  cleaner : Aries_buffer.Cleaner.cfg option;
 }
 
 let default_cfg =
@@ -29,6 +31,19 @@ let default_cfg =
     steal_probability = 0.15;
     page_size = 320;
     pool_capacity = 12;
+    commit_mode = Db.Per_commit;
+    cleaner = None;
+  }
+
+(* The same adversarial workload with the full commit pipeline on: batched
+   commit forces (small batch/window so batches actually close mid-run) and
+   the background page cleaner trickling dirty pages between steals. *)
+let group_cfg =
+  {
+    default_cfg with
+    commit_mode =
+      Db.Group { Aries_txn.Group_commit.max_batch = 4; max_delay_steps = 6 };
+    cleaner = Some { Aries_buffer.Cleaner.interval_steps = 12; batch_pages = 2 };
   }
 
 type txn_trace = {

@@ -25,12 +25,23 @@ type cfg = {
   steal_probability : float;  (** buffer-pool randomized steal (dirty-page writes) *)
   page_size : int;  (** small pages force SMOs *)
   pool_capacity : int;  (** small pools force evictions (disk writes) *)
+  commit_mode : Aries_db.Db.commit_mode;
+      (** per-commit forcing or the batched group-commit pipeline *)
+  cleaner : Aries_buffer.Cleaner.cfg option;
+      (** background page cleaner on/off *)
 }
 
 val default_cfg : cfg
 (** 3 fibers x 6 txns, 320-byte pages, 12-frame pool, steals and yields on:
     small enough that a crash sweep over every durability event is cheap,
-    adversarial enough to exercise SMOs, deadlocks and steals. *)
+    adversarial enough to exercise SMOs, deadlocks and steals. Per-commit
+    forcing, no cleaner. *)
+
+val group_cfg : cfg
+(** [default_cfg] with the full commit pipeline on: group commit (batch 4,
+    6-step window — small enough that batches close mid-run) and the page
+    cleaner (every 12 steps, 2 pages). The durability oracle and every
+    other check are identical; the sim suite sweeps both configs. *)
 
 type txn_trace = {
   tt_fiber : int;

@@ -1,0 +1,112 @@
+open Aries_util
+module Lsn = Aries_wal.Lsn
+module Logmgr = Aries_wal.Logmgr
+module Sched = Aries_sched.Sched
+
+type policy = { max_batch : int; max_delay_steps : int }
+
+let default_policy = { max_batch = 8; max_delay_steps = 8 }
+
+type waiter = { gw_lsn : Lsn.t; gw_waker : Sched.waker }
+
+type t = {
+  log : Logmgr.t;
+  policy : policy;
+  waiters : waiter Vec.t;
+  cv : Sched.Condvar.t;
+  mutable daemon_live : bool;
+  mutable daemon_run : int;  (* Sched.run_id of the run the daemon lives in *)
+}
+
+let create ?(policy = default_policy) log =
+  if policy.max_batch < 1 then invalid_arg "Group_commit.create: max_batch must be >= 1";
+  if policy.max_delay_steps < 0 then
+    invalid_arg "Group_commit.create: max_delay_steps must be >= 0";
+  {
+    log;
+    policy;
+    waiters = Vec.create ();
+    cv = Sched.Condvar.create "group-commit";
+    daemon_live = false;
+    daemon_run = 0;
+  }
+
+let policy t = t.policy
+
+let pending t = Vec.length t.waiters
+
+(* The daemon is usable only from inside the scheduler incarnation it was
+   spawned in: wakers cached from a dead scheduler must never be woken. *)
+let active t = Sched.in_fiber () && t.daemon_live && t.daemon_run = Sched.run_id ()
+
+(* Called by the opener (inside the run's main fiber, before any user work):
+   discard waiters left over from a crashed/stalled previous run — their
+   continuations belong to a dead scheduler — and mark the daemon live so
+   commits enqueue instead of forcing synchronously. *)
+let attach t =
+  if t.daemon_run <> Sched.run_id () then Vec.clear t.waiters;
+  t.daemon_run <- Sched.run_id ();
+  t.daemon_live <- true
+
+let nudge t = Sched.Condvar.broadcast t.cv
+
+(* One batch = one force: cover every currently-enqueued committer with a
+   single [Logmgr.flush_to] (the shared instrumented choke point), then wake
+   them all. If the force raises (a simulated power failure at the
+   [wal.flush] crash point), no waiter is woken — an unforced commit is
+   never acknowledged. *)
+let force_batch t =
+  let n = Vec.length t.waiters in
+  if n > 0 then begin
+    let ws = Vec.to_list t.waiters in
+    Vec.clear t.waiters;
+    let target = List.fold_left (fun acc w -> Lsn.max acc w.gw_lsn) Lsn.nil ws in
+    Logmgr.flush_to t.log target;
+    Stats.incr Stats.commit_batches;
+    Stats.add Stats.commit_batch_size n;
+    Stats.incr (Stats.commit_batch_bucket n);
+    List.iter (fun w -> Sched.wake w.gw_waker) ws
+  end
+
+let wait_durable t lsn =
+  if not (Logmgr.is_stable t.log lsn) then begin
+    Stats.incr Stats.commit_group_waits;
+    Sched.suspend (fun w ->
+        Vec.push t.waiters { gw_lsn = lsn; gw_waker = w };
+        (* wake the daemon; it batches until the policy window closes *)
+        Sched.Condvar.signal t.cv)
+  end
+
+let run_daemon t ~stop =
+  Fun.protect
+    ~finally:(fun () -> t.daemon_live <- false)
+    (fun () ->
+      let stopping () = stop () || Sched.shutting_down () || Crashpoint.tripped () in
+      let rec loop () =
+        if stopping () then begin
+          (* drain: force whatever is pending immediately (no delay window),
+             wake the covered committers, and exit. After a simulated power
+             failure the stable state is frozen — never force, never wake:
+             a commit cut mid-batch is not acknowledged. *)
+          if not (Crashpoint.tripped ()) then force_batch t
+        end
+        else if Vec.is_empty t.waiters then begin
+          Sched.Condvar.wait t.cv;
+          loop ()
+        end
+        else begin
+          (* accumulation window: let more committers pile on until the
+             batch is full or the step deadline passes *)
+          let t0 = Sched.steps_now () in
+          while
+            Vec.length t.waiters < t.policy.max_batch
+            && Sched.steps_now () - t0 < t.policy.max_delay_steps
+            && not (stopping ())
+          do
+            Sched.yield ()
+          done;
+          if not (Crashpoint.tripped ()) then force_batch t;
+          loop ()
+        end
+      in
+      loop ())

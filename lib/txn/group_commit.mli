@@ -1,0 +1,71 @@
+(** Group commit: batched log forces for concurrent committers.
+
+    ARIES/IM's efficiency story is about minimizing synchronous work on the
+    hot path, and the single remaining synchronous I/O of a no-force system
+    is the commit-record log force. With per-commit forcing, N concurrent
+    committers pay N forces; with group commit they pay ~1: each committer
+    appends its Commit record, enqueues its LSN on the commit queue, and
+    suspends; a scheduler-resident daemon forces the log {e once} to cover
+    the whole batch (policy: maximum batch size, maximum scheduler-step
+    delay) and wakes every covered waiter.
+
+    Durability contract: a committer is woken only {e after} the force that
+    covers its commit record returned, so [Txnmgr.commit] never acknowledges
+    an unforced commit. If the force raises (a simulated power failure), no
+    waiter is woken and no transaction is acknowledged. WAL-rule forces
+    (page steal/eviction) never go through this queue — they remain
+    synchronous [Logmgr.flush_to] calls in the buffer manager.
+
+    The daemon is spawned per scheduler run (see [Db.run]); [active] is
+    false outside the run it was spawned in, and commits then fall back to
+    a synchronous force. *)
+
+module Lsn = Aries_wal.Lsn
+
+type policy = {
+  max_batch : int;  (** force as soon as this many committers are queued *)
+  max_delay_steps : int;
+      (** ... or when the oldest queued committer has waited this many
+          scheduler steps, whichever comes first *)
+}
+
+val default_policy : policy
+(** [{ max_batch = 8; max_delay_steps = 8 }]. *)
+
+type t
+
+val create : ?policy:policy -> Aries_wal.Logmgr.t -> t
+
+val policy : t -> policy
+
+val pending : t -> int
+(** Committers currently enqueued and suspended. *)
+
+val active : t -> bool
+(** True iff called inside the scheduler run the daemon was attached to:
+    the queue is live and [wait_durable] will be served. *)
+
+val attach : t -> unit
+(** Bind the queue to the current scheduler run (call from the run's main
+    fiber before spawning the daemon). Waiters cached from a previous —
+    crashed or stalled — run are discarded: their continuations belong to a
+    dead scheduler and must never be woken. *)
+
+val wait_durable : t -> Lsn.t -> unit
+(** Enqueue and suspend until the daemon's next batch force covers [lsn].
+    Returns immediately if the LSN is already stable. *)
+
+val nudge : t -> unit
+(** Wake the daemon out of its idle wait (work arrival is signalled
+    automatically; this is for shutdown/close). *)
+
+val force_batch : t -> unit
+(** Force once to cover every currently-enqueued committer and wake them.
+    Exposed for the daemon and for drain paths; a no-op when the queue is
+    empty. *)
+
+val run_daemon : t -> stop:(unit -> bool) -> unit
+(** The daemon body (pass to [Sched.spawn_daemon]). Loops: sleep until work
+    arrives, hold the batch open per [policy], force once, wake the batch.
+    Exits — after draining any pending batch without further delay — when
+    [stop ()] or [Sched.shutting_down ()]. *)

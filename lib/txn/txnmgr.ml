@@ -29,6 +29,7 @@ type t = {
   rms : (int, rm) Hashtbl.t;
   fibers : (Sched.fiber_id, txn) Hashtbl.t;
   mutable next_id : Ids.txn_id;
+  mutable group_commit : Group_commit.t option;
 }
 
 let create wal lockmgr =
@@ -39,7 +40,12 @@ let create wal lockmgr =
     rms = Hashtbl.create 8;
     fibers = Hashtbl.create 32;
     next_id = 1;
+    group_commit = None;
   }
+
+let set_group_commit t gc = t.group_commit <- gc
+
+let group_commit t = t.group_commit
 
 let log t = t.wal
 
@@ -117,12 +123,21 @@ let release_and_end t txn =
   Hashtbl.remove t.table txn.txn_id;
   unbind_fiber t txn
 
+(* Make the record at [lsn] durable before acknowledging. With a live
+   group-commit daemon, enqueue and suspend — the daemon forces once per
+   batch and wakes every covered committer. Otherwise (per-commit mode, or
+   outside the daemon's scheduler run) force synchronously. *)
+let make_durable t lsn =
+  match t.group_commit with
+  | Some gc when Group_commit.active gc -> Group_commit.wait_durable gc lsn
+  | Some _ | None -> Logmgr.flush_to t.wal lsn
+
 let commit t txn =
   (match txn.state with
   | Active | Prepared -> ()
   | Rolling_back -> invalid_arg "Txnmgr.commit: transaction is rolling back");
   let lsn = write_simple t txn Logrec.Commit in
-  Logmgr.flush_to t.wal lsn;
+  make_durable t lsn;
   release_and_end t txn
 
 (* Serialize the txn's retained lock names+modes into the Prepare body so
@@ -138,7 +153,9 @@ let prepare t txn =
     Logrec.make ~body ~txn:txn.txn_id ~prev_lsn:txn.last_lsn Logrec.Prepare
   in
   let lsn = append t txn r in
-  Logmgr.flush_to t.wal lsn;
+  (* the Prepare force is a commit-path force too: batch it when the
+     daemon is live (the in-doubt state is acknowledged only once stable) *)
+  make_durable t lsn;
   txn.state <- Prepared
 
 let commit_prepared t txn =

@@ -73,8 +73,21 @@ val current : t -> txn option
 val bind_fiber : t -> txn -> unit
 
 val commit : t -> txn -> unit
-(** Write Commit, force the log (the only synchronous log I/O in the happy
-    path), release locks, write End. *)
+(** Write Commit and make it durable — the only synchronous log I/O in the
+    happy path. With per-commit forcing this is one [Logmgr.flush_to]; with
+    a live group-commit daemon (see {!set_group_commit} and
+    [Group_commit]), the committer enqueues and suspends until the daemon's
+    next batched force covers its Commit record, so N concurrent commits
+    cost ~1 force. Either way the call returns only after the record is
+    stable (modulo the deliberately-injected skip-flush fault); locks are
+    released and End written after that. *)
+
+val set_group_commit : t -> Group_commit.t option -> unit
+(** Install (or remove) the group-commit queue consulted by {!commit} and
+    {!prepare}. When absent — or when the queue's daemon is not live in the
+    current scheduler run — commits force synchronously. *)
+
+val group_commit : t -> Group_commit.t option
 
 val prepare : t -> txn -> unit
 (** First phase of 2PC: logs Prepare (with the txn's lock names in the

@@ -71,5 +71,13 @@ let smo_splits = "smo.splits"
 let smo_page_deletes = "smo.page_deletes"
 let fiber_yields = "fiber.yields"
 let fiber_spawns = "fiber.spawns"
+let daemon_spawns = "daemon.spawns"
+let commit_batches = "commit.batches"
+let commit_batch_size = "commit.batch_size"
+let commit_group_waits = "commit.group_waits"
+let cleaner_pages_written = "cleaner.pages_written"
+let cleaner_rounds = "cleaner.rounds"
+
+let commit_batch_bucket n = Printf.sprintf "commit.batch_hist.%02d" n
 
 let lock_label ~mode ~duration = Printf.sprintf "lock.%s.%s" mode duration

@@ -63,6 +63,26 @@ val smo_splits : string
 val smo_page_deletes : string
 val fiber_yields : string
 val fiber_spawns : string
+val daemon_spawns : string
+
+val commit_batches : string
+(** Group-commit batches forced by the daemon. *)
+
+val commit_batch_size : string
+(** Cumulative committers covered across all batches; the mean batch size
+    is [commit_batch_size / commit_batches]. *)
+
+val commit_group_waits : string
+(** Commits that enqueued on the group-commit queue and suspended. *)
+
+val cleaner_pages_written : string
+(** Dirty pages trickled to disk by the background page cleaner. *)
+
+val cleaner_rounds : string
+
+val commit_batch_bucket : int -> string
+(** Histogram counter name for batches of exactly [n] committers,
+    e.g. ["commit.batch_hist.04"]. *)
 
 val lock_label : mode:string -> duration:string -> string
 (** Name of the per-(mode,duration) lock counter, e.g. ["lock.X.instant"]. *)

@@ -47,17 +47,23 @@ let append t rec_ =
   Stats.add Stats.log_bytes (4 + Bytes.length payload);
   lsn
 
-(* The [fault_wal_skip_flush] switch silently drops log forces: commits and
+(* The single instrumented choke point every log force goes through —
+   [flush], [flush_to], and hence the group-commit daemon and the WAL rule.
+   [upto] is the absolute end offset to make stable; [stable_lsn] the LSN of
+   the last record that offset covers.
+
+   The [fault_wal_skip_flush] switch silently drops log forces: commits and
    the WAL rule stop being durable. It exists so the simulation harness can
    prove it detects a broken implementation (see Aries_sim.Sim). *)
-let flush t =
-  if t.flushed < end_offset t && not (Crashpoint.fault_active Crashpoint.fault_wal_skip_flush)
-  then begin
+let force t ~upto ~stable_lsn =
+  if upto > t.flushed && not (Crashpoint.fault_active Crashpoint.fault_wal_skip_flush) then begin
     Crashpoint.hit "wal.flush";
-    t.flushed <- end_offset t;
-    t.last_stable <- t.last;
+    t.flushed <- upto;
+    t.last_stable <- stable_lsn;
     Stats.incr Stats.log_forces
   end
+
+let flush t = force t ~upto:(end_offset t) ~stable_lsn:t.last
 
 let frame_len t off =
   let hdr = Buffer.sub t.data (off - t.start) 4 in
@@ -76,16 +82,7 @@ let read t lsn =
 let record_end t lsn = lsn + 4 + frame_len t lsn
 
 let flush_to t lsn =
-  if Lsn.is_nil lsn then ()
-  else begin
-    let e = record_end t lsn in
-    if e > t.flushed && not (Crashpoint.fault_active Crashpoint.fault_wal_skip_flush) then begin
-      Crashpoint.hit "wal.flush";
-      t.flushed <- e;
-      t.last_stable <- lsn;
-      Stats.incr Stats.log_forces
-    end
-  end
+  if Lsn.is_nil lsn then () else force t ~upto:(record_end t lsn) ~stable_lsn:lsn
 
 let flushed_lsn t = t.last_stable
 

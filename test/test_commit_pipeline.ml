@@ -1,0 +1,300 @@
+(* The group-commit pipeline and the background page cleaner, measured by
+   the Stats counters they must (and must not) move:
+
+   - 16 concurrent committers cost 16 log forces under per-commit forcing
+     and at least 4x fewer (one full batch) under group commit;
+   - WAL-rule forces on the steal/eviction/cleaner path are synchronous —
+     never routed through the commit queue, never counted as a batch;
+   - [Db.close] inside a run forces the pending batch (every acknowledged
+     commit was forced, none is dropped) and joins both daemons;
+   - a run cut mid-batch never acknowledges the queued commit, and restart
+     recovers a state without it;
+   - the cleaner keeps the dirty-page table (and hence the restart redo
+     scan) strictly smaller than a cleaner-less run of the same workload. *)
+
+open Aries_util
+module Btree = Aries_btree.Btree
+module Bufpool = Aries_buffer.Bufpool
+module Cleaner = Aries_buffer.Cleaner
+module Lockmgr = Aries_lock.Lockmgr
+module Txnmgr = Aries_txn.Txnmgr
+module Group_commit = Aries_txn.Group_commit
+module Sched = Aries_sched.Sched
+module Db = Aries_db.Db
+
+let v i = Printf.sprintf "key%05d" i
+
+let rid i = { Ids.rid_page = 900 + (i / 100); rid_slot = i mod 100 }
+
+let make_db ?(page_size = 512) ?commit_mode ?cleaner () =
+  let db = Db.create ~page_size ?commit_mode ?cleaner () in
+  let tree =
+    Db.run_exn db (fun () ->
+        Db.with_txn db (fun txn -> Btree.create db.Db.benv txn ~name:"cp" ~unique:false))
+  in
+  (db, tree)
+
+let check_run (result : Sched.result) =
+  List.iter
+    (fun (_, name, e) -> Alcotest.failf "fiber %s raised %s" name (Printexc.to_string e))
+    result.Sched.exns;
+  match result.Sched.outcome with
+  | Sched.Completed -> ()
+  | Sched.Stalled ids -> Alcotest.failf "stalled with %d suspended fiber(s)" (List.length ids)
+  | Sched.Interrupted live -> Alcotest.failf "step budget exhausted with %d live fiber(s)" live
+
+(* n fibers, each one insert + one commit, under a deterministic Fifo
+   schedule: every committer reaches its commit before the daemon's next
+   slice, so group mode sees one full batch. *)
+let commit_storm db tree ~n =
+  check_run
+    (Db.run ~policy:Sched.Fifo db (fun () ->
+         for i = 1 to n do
+           ignore
+             (Sched.spawn
+                ~name:(Printf.sprintf "commit-%02d" i)
+                (fun () ->
+                  let txn = Txnmgr.begin_txn db.Db.mgr in
+                  Btree.insert tree txn ~value:(v i) ~rid:(rid i);
+                  Txnmgr.commit db.Db.mgr txn))
+         done))
+
+(* The headline regression: per-commit forcing pays one synchronous force
+   per committer; the batched pipeline covers all 16 with >= 4x fewer (in
+   fact one). *)
+let test_batched_forces () =
+  let db_pc, tree_pc = make_db ~commit_mode:Db.Per_commit () in
+  let s_pc = Stats.create () in
+  Stats.with_sink s_pc (fun () -> commit_storm db_pc tree_pc ~n:16);
+  Alcotest.(check int) "per-commit: one force per committer" 16
+    (Stats.get s_pc Stats.log_forces);
+  Alcotest.(check int) "per-commit: no batches" 0 (Stats.get s_pc Stats.commit_batches);
+  Alcotest.(check int) "per-commit: no group waits" 0
+    (Stats.get s_pc Stats.commit_group_waits);
+
+  let db_gc, tree_gc =
+    make_db
+      ~commit_mode:(Db.Group { Group_commit.max_batch = 16; max_delay_steps = 64 })
+      ()
+  in
+  let s_gc = Stats.create () in
+  Stats.with_sink s_gc (fun () -> commit_storm db_gc tree_gc ~n:16);
+  let forces = Stats.get s_gc Stats.log_forces in
+  Alcotest.(check bool)
+    (Printf.sprintf "group commit >= 4x fewer forces (16 vs %d)" forces)
+    true
+    (forces * 4 <= 16);
+  Alcotest.(check int) "all 16 committers enqueued" 16
+    (Stats.get s_gc Stats.commit_group_waits);
+  Alcotest.(check int) "all 16 covered by batched forces" 16
+    (Stats.get s_gc Stats.commit_batch_size);
+  Alcotest.(check int) "one full batch of 16 in the histogram" 1
+    (Stats.get s_gc (Stats.commit_batch_bucket 16));
+  (match db_gc.Db.gc with
+  | Some gc -> Alcotest.(check int) "commit queue drained" 0 (Group_commit.pending gc)
+  | None -> Alcotest.fail "group-commit queue missing");
+  (* the batched acks were honest: every insert survives a crash *)
+  let db' = Db.crash db_gc in
+  Db.run_exn db' (fun () ->
+      ignore (Db.restart db');
+      let tree' = Btree.open_existing db'.Db.benv (Btree.index_id tree_gc) in
+      Alcotest.(check int) "all 16 batched commits survive the crash" 16
+        (List.length (Btree.to_list tree')))
+
+(* The WAL rule is never batched or deferred: a dirty-page write on the
+   cleaner trickle path and on the flush/eviction path forces the log
+   synchronously, inside the caller, touching neither the commit queue nor
+   the batch counters. *)
+let test_wal_rule_forces_synchronous () =
+  let db, tree =
+    make_db ~page_size:384
+      ~commit_mode:(Db.Group { Group_commit.max_batch = 8; max_delay_steps = 4 })
+      ()
+  in
+  Db.run_exn db (fun () ->
+      let txn = Txnmgr.begin_txn db.Db.mgr in
+      for i = 1 to 20 do
+        Btree.insert tree txn ~value:(v i) ~rid:(rid i)
+      done;
+      let s = Stats.create () in
+      let cleaned =
+        Stats.with_sink s (fun () -> Bufpool.clean_some db.Db.pool ~max_pages:2)
+      in
+      Alcotest.(check int) "cleaner trickle wrote its quota" 2 cleaned;
+      Alcotest.(check bool) "trickle forced the log synchronously" true
+        (Stats.get s Stats.log_forces > 0);
+      Alcotest.(check int) "trickle: no commit batch" 0 (Stats.get s Stats.commit_batches);
+      Alcotest.(check int) "trickle: no group wait" 0
+        (Stats.get s Stats.commit_group_waits);
+      let s2 = Stats.create () in
+      Stats.with_sink s2 (fun () -> Bufpool.flush_all db.Db.pool);
+      Alcotest.(check bool) "page writes flushed" true
+        (Stats.get s2 Stats.page_writes > 0);
+      Alcotest.(check bool) "flush forced the log synchronously" true
+        (Stats.get s2 Stats.log_forces > 0);
+      Alcotest.(check int) "flush: no commit batch" 0 (Stats.get s2 Stats.commit_batches);
+      Alcotest.(check int) "flush: no group wait" 0 (Stats.get s2 Stats.commit_group_waits);
+      Txnmgr.commit db.Db.mgr txn)
+
+(* [Db.close] with a batch pending: the drain forces immediately (the
+   waiting committer is acknowledged — never dropped, never acked
+   unforced), both daemons join, and the environment is quiescent. *)
+let test_close_drains_and_joins () =
+  let db =
+    Db.create ~page_size:512
+      ~commit_mode:(Db.Group { Group_commit.max_batch = 64; max_delay_steps = 100_000 })
+      ~cleaner:{ Cleaner.interval_steps = 8; batch_pages = 2 }
+      ()
+  in
+  let gc = match db.Db.gc with Some gc -> gc | None -> Alcotest.fail "no gc queue" in
+  let acked_create = ref false in
+  let acked_insert = ref false in
+  let tree_ref = ref None in
+  let result =
+    Db.run ~policy:Sched.Fifo db (fun () ->
+        ignore
+          (Sched.spawn ~name:"committer" (fun () ->
+               (* this commit enqueues and would wait 100k steps for its
+                  window: only the close drain can release it promptly *)
+               let tree =
+                 Db.with_txn db (fun txn ->
+                     Btree.create db.Db.benv txn ~name:"cp" ~unique:false)
+               in
+               acked_create := true;
+               tree_ref := Some tree;
+               (* by now the db is closed: this commit must force
+                  synchronously rather than wait on a daemon-less queue *)
+               let txn = Txnmgr.begin_txn db.Db.mgr in
+               Btree.insert tree txn ~value:(v 1) ~rid:(rid 1);
+               Txnmgr.commit db.Db.mgr txn;
+               acked_insert := true));
+        ignore
+          (Sched.spawn ~name:"closer" (fun () ->
+               while Group_commit.pending gc = 0 do
+                 Sched.yield ()
+               done;
+               Db.close db;
+               if Db.daemons_running db <> 0 then Alcotest.fail "daemons survived close";
+               if Group_commit.pending gc <> 0 then
+                 Alcotest.fail "close left a committer waiting";
+               if Sched.daemons_now () <> 0 then
+                 Alcotest.fail "scheduler still counts live daemons")))
+  in
+  check_run result;
+  Alcotest.(check bool) "queued commit acked by the drain force" true !acked_create;
+  Alcotest.(check bool) "post-close commit acked synchronously" true !acked_insert;
+  Alcotest.(check (list string)) "environment quiescent" [] (Db.leak_report db);
+  Alcotest.(check int) "no held locks" 0 (Lockmgr.total_held db.Db.locks);
+  Alcotest.(check int) "no held latches" 0 (Bufpool.latched_count db.Db.pool);
+  Alcotest.(check int) "no fixed frames" 0 (Bufpool.fixed_count db.Db.pool);
+  (* both acks were honest: everything survives a crash *)
+  let tree = match !tree_ref with Some t -> t | None -> Alcotest.fail "tree missing" in
+  let db' = Db.crash db in
+  Db.run_exn db' (fun () ->
+      ignore (Db.restart db');
+      let tree' = Btree.open_existing db'.Db.benv (Btree.index_id tree) in
+      Alcotest.(check bool) "acked insert survived the crash" true
+        (List.exists (fun (value, _) -> String.equal value (v 1)) (Btree.to_list tree')))
+
+(* A run cut (step budget = power failure at a scheduling boundary) while a
+   commit sits in the daemon's open batch: the commit is never
+   acknowledged, and restart recovers a state without it. *)
+let test_crash_mid_batch_never_acks () =
+  let db, tree =
+    make_db ~page_size:384
+      ~commit_mode:(Db.Group { Group_commit.max_batch = 4; max_delay_steps = 1_000 })
+      ()
+  in
+  let gc = match db.Db.gc with Some gc -> gc | None -> Alcotest.fail "no gc queue" in
+  let acked = ref false in
+  let result =
+    Db.run ~policy:Sched.Fifo ~max_steps:300 db (fun () ->
+        ignore
+          (Sched.spawn ~name:"victim" (fun () ->
+               let txn = Txnmgr.begin_txn db.Db.mgr in
+               Btree.insert tree txn ~value:(v 42) ~rid:(rid 42);
+               Txnmgr.commit db.Db.mgr txn;
+               acked := true)))
+  in
+  (match result.Sched.outcome with
+  | Sched.Interrupted _ -> ()
+  | Sched.Completed -> Alcotest.fail "run completed: the batch window never held"
+  | Sched.Stalled _ -> Alcotest.fail "run stalled");
+  Alcotest.(check int) "commit was waiting in the open batch" 1 (Group_commit.pending gc);
+  Alcotest.(check bool) "cut commit never acknowledged" false !acked;
+  let db' = Db.crash db in
+  Db.run_exn db' (fun () ->
+      ignore (Db.restart db');
+      let tree' = Btree.open_existing db'.Db.benv (Btree.index_id tree) in
+      Btree.check_invariants tree';
+      Alcotest.(check bool) "unacknowledged insert not recovered" true
+        (not (List.exists (fun (value, _) -> String.equal value (v 42)) (Btree.to_list tree'))));
+  Alcotest.(check (list string)) "quiescent after restart" [] (Db.leak_report db');
+  Alcotest.(check int) "no latches after restart" 0 (Bufpool.latched_count db'.Db.pool);
+  Alcotest.(check int) "no locks after restart" 0 (Lockmgr.total_held db'.Db.locks)
+
+(* The same sequential workload with and without the cleaner: the cleaner
+   must write pages, keep the dirty-page table strictly smaller, and — via
+   the checkpoint's recLSN horizon — make the restart redo scan strictly
+   shorter. *)
+let cleaner_trial ?cleaner () =
+  let db, tree = make_db ~page_size:384 ?cleaner () in
+  let s = Stats.create () in
+  Stats.with_sink s (fun () ->
+      Db.run_exn db (fun () ->
+          for i = 1 to 120 do
+            Db.with_txn db (fun txn -> Btree.insert tree txn ~value:(v i) ~rid:(rid i));
+            (* give the cleaner its slices between transactions *)
+            Sched.yield ()
+          done));
+  let dirty = List.length (Bufpool.dirty_page_table db.Db.pool) in
+  Db.checkpoint db;
+  let db' = Db.crash db in
+  let report = Db.run_exn db' (fun () -> Db.restart db') in
+  Db.run_exn db' (fun () ->
+      let tree' = Btree.open_existing db'.Db.benv (Btree.index_id tree) in
+      Btree.check_invariants tree';
+      Alcotest.(check int) "all 120 committed inserts recovered" 120
+        (List.length (Btree.to_list tree')));
+  (s, dirty, report)
+
+let test_cleaner_bounds_redo () =
+  let s_off, dirty_off, report_off = cleaner_trial () in
+  let s_on, dirty_on, report_on =
+    cleaner_trial ~cleaner:{ Cleaner.interval_steps = 4; batch_pages = 4 } ()
+  in
+  Alcotest.(check int) "no cleaner: nothing trickled" 0
+    (Stats.get s_off Stats.cleaner_pages_written);
+  Alcotest.(check bool) "cleaner wrote pages" true
+    (Stats.get s_on Stats.cleaner_pages_written > 0);
+  Alcotest.(check bool) "cleaner ran rounds" true (Stats.get s_on Stats.cleaner_rounds > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "dirty-page table smaller with cleaner (%d vs %d)" dirty_on dirty_off)
+    true (dirty_on < dirty_off);
+  let scanned r = r.Aries_recovery.Restart.rp_records_redo_scanned in
+  Alcotest.(check bool)
+    (Printf.sprintf "redo scan shorter with cleaner (%d vs %d)" (scanned report_on)
+       (scanned report_off))
+    true
+    (scanned report_on < scanned report_off);
+  Alcotest.(check bool) "fewer redos applied with cleaner" true
+    (report_on.Aries_recovery.Restart.rp_redos_applied
+    <= report_off.Aries_recovery.Restart.rp_redos_applied)
+
+let () =
+  Alcotest.run "commit_pipeline"
+    [
+      ( "commit-pipeline",
+        [
+          Alcotest.test_case "16 committers: batched vs per-commit forces" `Quick
+            test_batched_forces;
+          Alcotest.test_case "WAL-rule forces are synchronous, never batched" `Quick
+            test_wal_rule_forces_synchronous;
+          Alcotest.test_case "close drains the batch and joins daemons" `Quick
+            test_close_drains_and_joins;
+          Alcotest.test_case "crash mid-batch never acknowledges" `Quick
+            test_crash_mid_batch_never_acks;
+          Alcotest.test_case "cleaner bounds dirty pages and redo scan" `Quick
+            test_cleaner_bounds_redo;
+        ] );
+    ]

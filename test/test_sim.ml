@@ -44,8 +44,37 @@ let test_crash_sweep () =
     (Printf.sprintf "crash points >= 200 (got %d)" !points)
     true (!points >= 200)
 
+(* The same two sweeps with the full commit pipeline on (group commit +
+   background page cleaner): the durability contract is mode-independent —
+   any transaction whose [commit] returned before the crash trip must
+   survive restart, and the oracle is unchanged. The daemons also must
+   drain cleanly on every completed run (a stalled daemon fails the run). *)
+let gcfg = Workload.group_cfg
+
+let test_seed_sweep_group () =
+  let seeds = List.init 48 (fun i -> i + 1) in
+  let s = Sim.seed_sweep gcfg ~seeds in
+  Alcotest.(check int) "runs" 48 s.Sim.sm_seed_runs;
+  if s.Sim.sm_failures <> [] then fail_with s.Sim.sm_failures
+
+let test_crash_sweep_group () =
+  let seeds = [ 606; 707; 808; 909 ] in
+  let points = ref 0 in
+  let failures = ref [] in
+  List.iter
+    (fun seed ->
+      let s = Sim.crash_sweep gcfg ~seed ~budget:60 in
+      points := !points + s.Sim.sm_crash_points;
+      failures := !failures @ s.Sim.sm_failures)
+    seeds;
+  if !failures <> [] then fail_with !failures;
+  Alcotest.(check bool)
+    (Printf.sprintf "group-mode crash points >= 150 (got %d)" !points)
+    true (!points >= 150)
+
 (* A run is a pure function of (seed, cfg, crash index): byte-identical
-   reports on re-execution, for both completed and crash-cut runs. *)
+   reports on re-execution, for both completed and crash-cut runs, in both
+   commit modes (the daemons derive every choice from the scheduler). *)
 let test_determinism () =
   let a = Sim.run_one cfg ~seed:7 in
   let b = Sim.run_one cfg ~seed:7 in
@@ -53,7 +82,13 @@ let test_determinism () =
   let a = Sim.run_one ~crash_at:41 cfg ~seed:7 in
   let b = Sim.run_one ~crash_at:41 cfg ~seed:7 in
   Alcotest.(check bool) "crash-cut runs identical" true (a = b);
-  Alcotest.(check (option int)) "crash index recorded" (Some 41) a.Sim.rr_crash_at
+  Alcotest.(check (option int)) "crash index recorded" (Some 41) a.Sim.rr_crash_at;
+  let a = Sim.run_one gcfg ~seed:7 in
+  let b = Sim.run_one gcfg ~seed:7 in
+  Alcotest.(check bool) "group-mode completed runs identical" true (a = b);
+  let a = Sim.run_one ~crash_at:41 gcfg ~seed:7 in
+  let b = Sim.run_one ~crash_at:41 gcfg ~seed:7 in
+  Alcotest.(check bool) "group-mode crash-cut runs identical" true (a = b)
 
 (* Arming a crash index past the end of the run is reported, not silently
    ignored — replaying a stale reproducer against a changed tree stays loud. *)
@@ -89,6 +124,23 @@ let test_injected_fault_is_caught () =
   let r = Sim.run_one cfg ~seed:11 in
   Alcotest.(check (list string)) "clean after fault removed" [] r.Sim.rr_failures
 
+(* The same meta-test under group commit: the daemon's batched force goes
+   through the identical instrumented choke point, so the skip-flush fault
+   makes the daemon acknowledge unforced batches — the harness must catch
+   that too (a group-commit bug that dropped forces must not hide from the
+   sweep). *)
+let test_injected_fault_is_caught_group () =
+  Fun.protect ~finally:Crashpoint.clear_faults (fun () ->
+      Crashpoint.enable_fault Crashpoint.fault_wal_skip_flush;
+      let s = Sim.sweep gcfg ~seeds:[ 11; 12 ] ~crash_seeds:[ 11; 12 ] ~crash_budget:25 in
+      match s.Sim.sm_failures with
+      | [] -> Alcotest.fail "skip-flush fault escaped the group-commit harness"
+      | rp :: _ ->
+          let rep = Sim.replay gcfg rp in
+          Alcotest.(check bool) "replay reproduces the failure" true (Sim.confirms rp rep));
+  let r = Sim.run_one gcfg ~seed:11 in
+  Alcotest.(check (list string)) "clean after fault removed" [] r.Sim.rr_failures
+
 (* A harder cfg: more fibers and txns, tighter pool, hotter yields — the
    shape the bench entry scales up. One seed keeps CI fast. *)
 let test_stress_cfg () =
@@ -113,10 +165,16 @@ let () =
         [
           Alcotest.test_case "seed sweep (64 seeds)" `Quick test_seed_sweep;
           Alcotest.test_case "crash sweep (>=200 points)" `Quick test_crash_sweep;
+          Alcotest.test_case "seed sweep, group commit + cleaner" `Quick
+            test_seed_sweep_group;
+          Alcotest.test_case "crash sweep, group commit + cleaner (>=150 points)" `Quick
+            test_crash_sweep_group;
           Alcotest.test_case "determinism" `Quick test_determinism;
           Alcotest.test_case "unreachable crash index" `Quick test_unreachable_crash_index;
           Alcotest.test_case "injected skip-flush fault is caught" `Quick
             test_injected_fault_is_caught;
+          Alcotest.test_case "injected skip-flush fault is caught (group commit)" `Quick
+            test_injected_fault_is_caught_group;
           Alcotest.test_case "stress cfg" `Quick test_stress_cfg;
         ] );
     ]
