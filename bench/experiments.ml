@@ -915,6 +915,92 @@ let q9 ppf =
     "  the cleaner advances the dirty-page recLSN horizon so restart redo@.";
   Format.fprintf ppf "  scans and examines less — without ever violating the WAL rule.@."
 
+(* ------------------------------------------------------------------ *)
+
+(* Q10: what does the protocol tracer cost? The same full simulation run
+   (workload + invariants + oracle) under the three tracer modes: off (one
+   flag test per emit site), record (ring buffer only), and check (ring +
+   the online R1-R5 discipline checker — the dune-runtest default). The
+   acceptance bound (checker-on <= 2x off) is enforced by
+   test/test_trace.ml; this entry measures it and writes BENCH_PR3.json. *)
+let q10 ppf =
+  let module Trace = Aries_trace.Trace in
+  let module Sim = Aries_sim.Sim in
+  section ppf "Q10: protocol tracer overhead — off / ring-on / checker-on";
+  let cfg = Aries_sim.Workload.default_cfg in
+  let seeds = List.init 8 (fun i -> 40 + i) in
+  let n = List.length seeds in
+  let mode_label = function
+    | Trace.Off -> "off"
+    | Trace.Record -> "record"
+    | Trace.Check -> "check"
+  in
+  let time_mode m =
+    Trace.set_mode m;
+    let best = ref infinity and events = ref 0 in
+    for _ = 1 to 3 do
+      let t0 = Sys.time () in
+      let evs = ref 0 in
+      List.iter
+        (fun seed ->
+          let r = Sim.run_one cfg ~seed in
+          if r.Sim.rr_failures <> [] then
+            failwith
+              (Printf.sprintf "q10: seed %d failed with the tracer %s" seed (mode_label m));
+          evs := !evs + Trace.event_count ())
+        seeds;
+      let dt = Sys.time () -. t0 in
+      if dt < !best then begin
+        best := dt;
+        events := !evs
+      end
+    done;
+    (!best, !events)
+  in
+  let saved = Trace.mode () in
+  Fun.protect
+    ~finally:(fun () -> Trace.set_mode saved)
+    (fun () ->
+      let t_off, _ = time_mode Trace.Off in
+      let t_rec, ev_rec = time_mode Trace.Record in
+      let t_chk, ev_chk = time_mode Trace.Check in
+      let per t = t /. float_of_int n *. 1e3 in
+      let ratio t = t /. Float.max t_off 1e-9 in
+      kv ppf "sim runs per mode (x3, best total)" "%d" n;
+      kv ppf "[off   ] total / per run" "%.4fs / %.3fms" t_off (per t_off);
+      kv ppf "[record] total / per run / events per run" "%.4fs / %.3fms / %d (%.2fx off)"
+        t_rec (per t_rec) (ev_rec / n) (ratio t_rec);
+      kv ppf "[check ] total / per run / events per run" "%.4fs / %.3fms / %d (%.2fx off)"
+        t_chk (per t_chk) (ev_chk / n) (ratio t_chk);
+      kv ppf "acceptance (enforced by test/test_trace.ml)" "checker-on <= 2x off: %s"
+        (if t_chk <= (2.0 *. t_off) +. 0.01 then "PASS" else "FAIL");
+      let mode_json label t evs =
+        Printf.sprintf
+          "    { \"mode\": \"%s\", \"total_s\": %.6f, \"per_run_ms\": %.4f,\n\
+          \      \"events_per_run\": %d, \"overhead_vs_off\": %.3f }"
+          label t (per t) (evs / n) (ratio t)
+      in
+      let json =
+        Printf.sprintf
+          "{\n\
+          \  \"bench\": \"tracer-overhead\",\n\
+          \  \"generated_by\": \"dune exec bench/main.exe -- q10\",\n\
+          \  \"runs_per_mode\": %d,\n\
+          \  \"record_over_off\": %.3f,\n\
+          \  \"check_over_off\": %.3f,\n\
+          \  \"acceptance\": \"check_over_off <= 2.0 (test/test_trace.ml enforces)\",\n\
+          \  \"modes\": [\n%s,\n%s,\n%s\n  ]\n\
+           }\n"
+          n (ratio t_rec) (ratio t_chk)
+          (mode_json "off" t_off 0)
+          (mode_json "record" t_rec ev_rec)
+          (mode_json "check" t_chk ev_chk)
+      in
+      let oc = open_out "BENCH_PR3.json" in
+      output_string oc json;
+      close_out oc;
+      kv ppf "wrote" "BENCH_PR3.json")
+
 let all : (string * (Format.formatter -> unit)) list =
   [
     ("e1", e1);
@@ -935,4 +1021,5 @@ let all : (string * (Format.formatter -> unit)) list =
     ("q7", q7);
     ("q8", q8);
     ("q9", q9);
+    ("q10", q10);
   ]

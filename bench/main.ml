@@ -37,6 +37,7 @@ let run_sim args =
           rp_crash_at = (if k = "-" then None else Some (int_of_string k));
           rp_failures = [];
           rp_trace = [];
+          rp_event_dump = [];
         }
       in
       let r = Sim.replay cfg rp in
@@ -72,6 +73,13 @@ let run_sim args =
         (Sys.time () -. t0);
       if s.Sim.sm_failures <> [] then begin
         List.iter (fun rp -> Format.fprintf ppf "%s@." (Sim.reproducer_line rp)) s.Sim.sm_failures;
+        (* the first reproducer's protocol event window: how the
+           interleaving went wrong, not just that it did *)
+        (match s.Sim.sm_failures with
+        | rp :: _ when rp.Sim.rp_event_dump <> [] ->
+            Format.fprintf ppf "event window of the first failure:@.";
+            List.iter (fun l -> Format.fprintf ppf "    %s@." l) rp.Sim.rp_event_dump
+        | _ -> ());
         exit 1
       end
 

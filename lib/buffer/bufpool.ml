@@ -3,6 +3,7 @@ module Lsn = Aries_wal.Lsn
 module Logmgr = Aries_wal.Logmgr
 module Page = Aries_page.Page
 module Disk = Aries_page.Disk
+module Trace = Aries_trace.Trace
 
 exception Page_vanished of Ids.page_id
 
@@ -50,6 +51,14 @@ let write_frame t f =
   (* WAL rule: the log must cover the page's most recent update before the
      page image may reach disk. *)
   Logmgr.flush_to t.log f.page.Page.page_lsn;
+  (* R5 hazard point: emitted after the covering force and before the disk
+     write, so a page image racing past the flushed boundary (e.g. under
+     the skip-flush fault) raises here, not after the damage. *)
+  (if Trace.enabled () then
+     let page_lsn = f.page.Page.page_lsn in
+     let lsn_end = if Lsn.is_nil page_lsn then 0 else Logmgr.record_end t.log page_lsn in
+     Trace.emit
+       (Trace.Page_write { log = Logmgr.id t.log; pid = f.page.Page.pid; page_lsn; lsn_end }));
   Disk.write t.dsk f.page;
   f.dirty <- false;
   f.rec_lsn <- Lsn.nil
@@ -87,15 +96,19 @@ let install t page =
 
 let fix_opt t pid =
   Stats.incr Stats.page_fixes;
-  match Hashtbl.find_opt t.frames pid with
-  | Some f ->
-      f.fix_count <- f.fix_count + 1;
-      touch t f;
-      Some f.page
-  | None -> (
-      match Disk.read t.dsk pid with
-      | Some page -> Some (install t page).page
-      | None -> None)
+  let r =
+    match Hashtbl.find_opt t.frames pid with
+    | Some f ->
+        f.fix_count <- f.fix_count + 1;
+        touch t f;
+        Some f.page
+    | None -> (
+        match Disk.read t.dsk pid with
+        | Some page -> Some (install t page).page
+        | None -> None)
+  in
+  if r <> None && Trace.enabled () then Trace.emit (Trace.Page_fix { pid });
+  r
 
 let fix t pid = match fix_opt t pid with Some p -> p | None -> raise (Page_vanished pid)
 
@@ -103,6 +116,7 @@ let fix_new t pid content =
   Stats.incr Stats.page_fixes;
   assert (not (Hashtbl.mem t.frames pid));
   let page = Page.create ~psize:(page_size t) ~pid content in
+  if Trace.enabled () then Trace.emit (Trace.Page_fix { pid });
   (install t page).page
 
 let frame_of t page =
@@ -114,7 +128,8 @@ let frame_of t page =
 let unfix t page =
   let f = frame_of t page in
   if f.fix_count <= 0 then invalid_arg (Printf.sprintf "Bufpool: unfix of unfixed page %d" page.Page.pid);
-  f.fix_count <- f.fix_count - 1
+  f.fix_count <- f.fix_count - 1;
+  if Trace.enabled () then Trace.emit (Trace.Page_unfix { pid = page.Page.pid })
 
 let with_fix t pid fn =
   let p = fix t pid in

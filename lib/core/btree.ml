@@ -9,6 +9,7 @@ module Txnmgr = Aries_txn.Txnmgr
 module Sched = Aries_sched.Sched
 module Latch = Aries_sched.Latch
 module Logrec = Aries_wal.Logrec
+module Trace = Aries_trace.Trace
 
 exception Unique_violation of string
 
@@ -238,10 +239,15 @@ let sync_posc_release t txn =
    take X (§5) directly through the lock manager: they are exempt from
    victim selection and, by the argument of §4/§5, can never be part of a
    waits-for cycle through the tree lock. *)
+let trace_smo_begin t txn ~exclusive =
+  if Trace.enabled () then
+    Trace.emit (Trace.Smo_begin { tree = t.bt_ix; txn = txn.Txnmgr.txn_id; exclusive })
+
 let smo_acquire t txn ~exclusive =
   if t.bt_cfg.concurrent_smos then begin
     let mode = if exclusive then Lockmgr.X else Lockmgr.IX in
-    (if txn.Txnmgr.state = Txnmgr.Rolling_back then
+    let rolling = txn.Txnmgr.state = Txnmgr.Rolling_back in
+    (if rolling then
        match
          Lockmgr.lock (Txnmgr.locks t.bt_env.e_mgr) ~txn:txn.Txnmgr.txn_id (tree_lock_name t)
            Lockmgr.X Lockmgr.Manual
@@ -250,9 +256,15 @@ let smo_acquire t txn ~exclusive =
        | Lockmgr.Denied | Lockmgr.Deadlock ->
            raise (Structural_fault (t.bt_name ^ ": rolling-back txn deadlocked on tree lock"))
      else Txnmgr.lock t.bt_env.e_mgr txn (tree_lock_name t) mode Lockmgr.Manual);
-    trace t (Ev_tree_latch ((if exclusive then `X else `S), `Acquire))
+    trace t (Ev_tree_latch ((if exclusive then `X else `S), `Acquire));
+    (* rolling-back transactions hold X outright: their SMO is exclusive *)
+    trace_smo_begin t txn ~exclusive:(exclusive || rolling)
   end
-  else tl_acquire t Latch.X
+  else begin
+    tl_acquire t Latch.X;
+    (* serial-SMO mode: the tree latch X makes every SMO exclusive *)
+    trace_smo_begin t txn ~exclusive:true
+  end
 
 (* upgrade IX -> X mid-SMO; caller must hold NO latches. May abort the
    transaction (deadlock between two upgraders — §5). *)
@@ -261,10 +273,17 @@ let smo_upgrade_x t txn =
   if txn.Txnmgr.state = Txnmgr.Rolling_back then () (* rollers hold X already *)
   else begin
     Txnmgr.lock t.bt_env.e_mgr txn (tree_lock_name t) Lockmgr.X Lockmgr.Manual;
-    trace t (Ev_tree_latch (`X, `Acquire))
+    trace t (Ev_tree_latch (`X, `Acquire));
+    (* grant point of the IX->X conversion: R3 requires we are now alone *)
+    if Trace.enabled () then
+      Trace.emit (Trace.Smo_upgrade { tree = t.bt_ix; txn = txn.Txnmgr.txn_id })
   end
 
 let smo_release t txn =
+  (* emitted before the lock/latch release so a successor SMO's begin can
+     never be interleaved ahead of this end in the event stream *)
+  if Trace.enabled () then
+    Trace.emit (Trace.Smo_end { tree = t.bt_ix; txn = txn.Txnmgr.txn_id });
   if t.bt_cfg.concurrent_smos then begin
     Lockmgr.release (Txnmgr.locks t.bt_env.e_mgr) ~txn:txn.Txnmgr.txn_id (tree_lock_name t);
     trace t (Ev_tree_latch (`X, `Release))
@@ -494,7 +513,13 @@ let acquire_locks t ctx txn (reqs : Protocol.lock_req list) =
         end
         else begin
           trace t (ev `Cond_fail);
-          drop_all t ctx;
+          (* The unlatch before the unconditional request is the essence of
+             the §2.2 dance. The [fault_lock_uncond_under_latch] switch
+             deliberately skips it, waiting for the lock with the page
+             latches still held — the undetectable-deadlock hazard the
+             online discipline checker must flag as an R1 violation. *)
+          if not (Crashpoint.fault_active Crashpoint.fault_lock_uncond_under_latch) then
+            drop_all t ctx;
           Txnmgr.lock mgr txn r.Protocol.lk_name r.Protocol.lk_mode r.Protocol.lk_duration;
           trace t (ev `Uncond);
           `Retry

@@ -1,6 +1,7 @@
 open Aries_util
 module Key = Aries_page.Key
 module Lockmgr = Aries_lock.Lockmgr
+module Trace = Aries_trace.Trace
 
 type locking = Data_only | Index_specific | Kvl | System_r
 
@@ -34,77 +35,95 @@ let target_name locking ix = function At k -> key_name locking ix k | Eof -> Loc
 let req locking ix target mode duration =
   { lk_name = target_name locking ix target; lk_mode = mode; lk_duration = duration }
 
+let req_to_string r =
+  Printf.sprintf "%s %s %s"
+    (Lockmgr.mode_to_string r.lk_mode)
+    (Lockmgr.duration_to_string r.lk_duration)
+    (Lockmgr.name_to_string r.lk_name)
+
+(* Trace hook: record which lock requests the protocol computed for an
+   operation, so a discipline-violation dump shows the intended request
+   set next to the actual lock-manager traffic. *)
+let traced op reqs =
+  if Trace.enabled () then
+    Trace.emit
+      (Trace.Protocol_locks { op; reqs = String.concat "; " (List.map req_to_string reqs) });
+  reqs
+
 let fetch_locks locking ix ~current =
-  match locking with
-  | Data_only | Index_specific | Kvl -> [ req locking ix current Lockmgr.S Lockmgr.Commit ]
-  | System_r ->
-      (* baseline: S commit on the current/next value; callers add the next
-         value too via a second fetch step — modeled here as a single
-         current lock; the extra next-key lock is in insert/delete *)
-      [ req locking ix current Lockmgr.S Lockmgr.Commit ]
+  traced "fetch"
+    (match locking with
+    | Data_only | Index_specific | Kvl -> [ req locking ix current Lockmgr.S Lockmgr.Commit ]
+    | System_r ->
+        (* baseline: S commit on the current/next value; callers add the next
+           value too via a second fetch step — modeled here as a single
+           current lock; the extra next-key lock is in insert/delete *)
+        [ req locking ix current Lockmgr.S Lockmgr.Commit ])
 
 let insert_locks locking ix ~unique ~key ~next ~value_exists =
-  match locking with
-  | Data_only ->
-      (* Figure 2: next key X instant; no current-key lock — the record
-         manager's commit-duration X lock on the record covers the key *)
-      [ req locking ix next Lockmgr.X Lockmgr.Instant ]
-  | Index_specific ->
-      (* Figure 2: next key X instant; current key X commit *)
-      [
-        req locking ix next Lockmgr.X Lockmgr.Instant;
-        req locking ix (At key) Lockmgr.X Lockmgr.Commit;
-      ]
-  | Kvl ->
-      if unique then
+  traced "insert"
+    (match locking with
+    | Data_only ->
+        (* Figure 2: next key X instant; no current-key lock — the record
+           manager's commit-duration X lock on the record covers the key *)
+        [ req locking ix next Lockmgr.X Lockmgr.Instant ]
+    | Index_specific ->
+        (* Figure 2: next key X instant; current key X commit *)
         [
           req locking ix next Lockmgr.X Lockmgr.Instant;
           req locking ix (At key) Lockmgr.X Lockmgr.Commit;
         ]
-      else if value_exists then
-        (* inserting another duplicate of an existing value: KVL only IX
-           locks the value itself *)
-        [ req locking ix (At key) Lockmgr.IX Lockmgr.Commit ]
-      else
+    | Kvl ->
+        if unique then
+          [
+            req locking ix next Lockmgr.X Lockmgr.Instant;
+            req locking ix (At key) Lockmgr.X Lockmgr.Commit;
+          ]
+        else if value_exists then
+          (* inserting another duplicate of an existing value: KVL only IX
+             locks the value itself *)
+          [ req locking ix (At key) Lockmgr.IX Lockmgr.Commit ]
+        else
+          [
+            req locking ix next Lockmgr.IX Lockmgr.Instant;
+            req locking ix (At key) Lockmgr.IX Lockmgr.Commit;
+          ]
+    | System_r ->
         [
-          req locking ix next Lockmgr.IX Lockmgr.Instant;
-          req locking ix (At key) Lockmgr.IX Lockmgr.Commit;
-        ]
-  | System_r ->
-      [
-        req locking ix next Lockmgr.X Lockmgr.Commit;
-        req locking ix (At key) Lockmgr.X Lockmgr.Commit;
-      ]
+          req locking ix next Lockmgr.X Lockmgr.Commit;
+          req locking ix (At key) Lockmgr.X Lockmgr.Commit;
+        ])
 
 let delete_locks locking ix ~unique ~key ~next ~value_remains =
-  match locking with
-  | Data_only ->
-      (* Figure 2: next key X commit; no current-key lock under data-only *)
-      [ req locking ix next Lockmgr.X Lockmgr.Commit ]
-  | Index_specific ->
-      (* Figure 2: next key X commit; current key X instant *)
-      [
-        req locking ix next Lockmgr.X Lockmgr.Commit;
-        req locking ix (At key) Lockmgr.X Lockmgr.Instant;
-      ]
-  | Kvl ->
-      if unique then
+  traced "delete"
+    (match locking with
+    | Data_only ->
+        (* Figure 2: next key X commit; no current-key lock under data-only *)
+        [ req locking ix next Lockmgr.X Lockmgr.Commit ]
+    | Index_specific ->
+        (* Figure 2: next key X commit; current key X instant *)
+        [
+          req locking ix next Lockmgr.X Lockmgr.Commit;
+          req locking ix (At key) Lockmgr.X Lockmgr.Instant;
+        ]
+    | Kvl ->
+        if unique then
+          [
+            req locking ix next Lockmgr.X Lockmgr.Commit;
+            req locking ix (At key) Lockmgr.X Lockmgr.Commit;
+          ]
+        else if value_remains then
+          [ req locking ix (At key) Lockmgr.IX Lockmgr.Commit ]
+        else
+          [
+            req locking ix next Lockmgr.X Lockmgr.Commit;
+            req locking ix (At key) Lockmgr.X Lockmgr.Commit;
+          ]
+    | System_r ->
         [
           req locking ix next Lockmgr.X Lockmgr.Commit;
           req locking ix (At key) Lockmgr.X Lockmgr.Commit;
-        ]
-      else if value_remains then
-        [ req locking ix (At key) Lockmgr.IX Lockmgr.Commit ]
-      else
-        [
-          req locking ix next Lockmgr.X Lockmgr.Commit;
-          req locking ix (At key) Lockmgr.X Lockmgr.Commit;
-        ]
-  | System_r ->
-      [
-        req locking ix next Lockmgr.X Lockmgr.Commit;
-        req locking ix (At key) Lockmgr.X Lockmgr.Commit;
-      ]
+        ])
 
 let fetch_locks_record_too = function
   | Data_only -> false

@@ -137,6 +137,8 @@ let leak_report t =
   | txns ->
       add "%d transaction(s) still in the table: %s" (List.length txns)
         (String.concat "," (List.map (fun (x : Txnmgr.txn) -> string_of_int x.Txnmgr.txn_id) txns)));
+  let violations = Aries_trace.Discipline.violations () in
+  if violations > 0 then add "%d latch/lock discipline violation(s) detected" violations;
   List.rev !leaks
 
 (* Spawn the configured daemons into the current scheduler run. Called from

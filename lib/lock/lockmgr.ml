@@ -1,5 +1,6 @@
 open Aries_util
 module Sched = Aries_sched.Sched
+module Trace = Aries_trace.Trace
 
 type mode = IS | IX | S | SIX | X
 
@@ -215,6 +216,7 @@ let abort_victim t victim =
   | None -> ()  (* raced with a grant; nothing to abort *)
   | Some name ->
       let head = head_of t name in
+      if Trace.enabled () then Trace.emit (Trace.Deadlock_victim { txn = victim });
       (match Vec.find_index (fun w -> w.wt_txn = victim) head.hd_waiters with
       | Some i ->
           let w = Vec.remove head.hd_waiters i in
@@ -260,6 +262,13 @@ let lock t ~txn ?(cond = false) name mode duration =
   Stats.incr Stats.lock_requests;
   Stats.incr
     (Stats.lock_label ~mode:(mode_to_string mode) ~duration:(duration_to_string duration));
+  let tr_name = lazy (name_to_string name) in
+  let tr_mode = mode_to_string mode in
+  let tr_duration = duration_to_string duration in
+  if Trace.enabled () then
+    Trace.emit
+      (Trace.Lock_request
+         { txn; name = Lazy.force tr_name; mode = tr_mode; duration = tr_duration; cond });
   let head = head_of t name in
   let grant_immediately () =
     match holder_of head txn with
@@ -283,10 +292,24 @@ let lock t ~txn ?(cond = false) name mode duration =
         end
         else false
   in
-  if grant_immediately () then Granted
-  else if cond then Denied
+  if grant_immediately () then begin
+    if Trace.enabled () then
+      Trace.emit
+        (Trace.Lock_grant
+           { txn; name = Lazy.force tr_name; mode = tr_mode; duration = tr_duration; waited = false });
+    Granted
+  end
+  else if cond then begin
+    if Trace.enabled () then
+      Trace.emit (Trace.Lock_deny { txn; name = Lazy.force tr_name; mode = tr_mode });
+    Denied
+  end
   else begin
     Stats.incr Stats.lock_waits;
+    (* R1 hazard point: emitted (and checked) {e before} we suspend, so a
+       wait entered while holding a latch raises at the request site. *)
+    if Trace.enabled () then
+      Trace.emit (Trace.Lock_wait { txn; name = Lazy.force tr_name; mode = tr_mode });
     let conversion, target =
       match holder_of head txn with
       | Some h -> (true, supremum h.h_mode mode)
@@ -322,9 +345,16 @@ let lock t ~txn ?(cond = false) name mode duration =
             grant_loop t name head
           end);
       (* woken by the grant loop, which already installed holder state *)
+      if Trace.enabled () then
+        Trace.emit
+          (Trace.Lock_grant
+             { txn; name = Lazy.force tr_name; mode = tr_mode; duration = tr_duration; waited = true });
       Granted
     with Deadlock_abort v ->
-      if v = txn then Deadlock
+      if v = txn then begin
+        if Trace.enabled () then Trace.emit (Trace.Deadlock_victim { txn });
+        Deadlock
+      end
       else raise (Deadlock_abort v)
   end
 
@@ -340,6 +370,8 @@ let release t ~txn name =
              (name_to_string name));
       head.hd_holders <- List.filter (fun x -> x.h_txn <> txn) head.hd_holders;
       ti.ti_held <- List.filter (fun n -> n <> name) ti.ti_held;
+      if Trace.enabled () then
+        Trace.emit (Trace.Lock_release { txn; name = name_to_string name });
       grant_loop t name head
 
 let release_manual t ~txn name =
@@ -349,6 +381,8 @@ let release_manual t ~txn name =
       head.hd_holders <- List.filter (fun x -> x.h_txn <> txn) head.hd_holders;
       let ti = info t txn in
       ti.ti_held <- List.filter (fun n -> n <> name) ti.ti_held;
+      if Trace.enabled () then
+        Trace.emit (Trace.Lock_release { txn; name = name_to_string name });
       grant_loop t name head;
       true
   | Some _ | None -> false
@@ -368,6 +402,7 @@ let release_all t ~txn =
   | None -> ()
   | Some ti ->
       assert (ti.ti_waiting_on = None);
+      if Trace.enabled () then Trace.emit (Trace.Lock_release_all { txn });
       List.iter
         (fun name ->
           let head = head_of t name in

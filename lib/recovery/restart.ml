@@ -7,6 +7,7 @@ module Txnmgr = Aries_txn.Txnmgr
 module Lockcodec = Aries_txn.Lockcodec
 module Bufpool = Aries_buffer.Bufpool
 module Disk = Aries_page.Disk
+module Trace = Aries_trace.Trace
 
 type report = {
   rp_redo_lsn : Lsn.t;
@@ -237,19 +238,28 @@ let reacquire_indoubt mgr an =
     an.an_txns;
   (!count, List.sort compare !indoubt)
 
+let trace_phase phase =
+  if Trace.enabled () then Trace.emit (Trace.Restart_phase { phase })
+
 let run mgr pool =
   let wal = Txnmgr.log mgr in
+  trace_phase "analysis";
   let an = analysis wal in
   (* keep txn ids monotonic across the crash *)
   Hashtbl.iter (fun id _ -> Txnmgr.note_txn_id mgr id) an.an_txns;
+  trace_phase "reacquire-locks";
   let locks_reacquired, indoubt = reacquire_indoubt mgr an in
   let traversals_before = Stats.get (Stats.current ()) Stats.tree_traversals in
+  trace_phase "redo";
   let scanned, applied, skipped = redo mgr pool an in
   let redo_traversals =
     Stats.get (Stats.current ()) Stats.tree_traversals - traversals_before
   in
+  trace_phase "undo";
   let undo_records, losers = undo mgr an in
+  trace_phase "checkpoint";
   ignore (Checkpoint.take mgr pool);
+  trace_phase "done";
   {
     rp_redo_lsn = an.an_redo_lsn;
     rp_records_analyzed = an.an_records;

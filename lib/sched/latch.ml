@@ -1,5 +1,6 @@
 module Vec = Aries_util.Vec
 module Stats = Aries_util.Stats
+module Trace = Aries_trace.Trace
 
 type mode = S | X
 
@@ -30,6 +31,16 @@ let compatible_with_holders t mode =
   | _, [] -> true
   | S, hs -> List.for_all (fun (_, m) -> m = S) hs
   | X, _ -> false
+
+let trace_kind t = match t.l_kind with Page -> Trace.Page_latch | Tree -> Trace.Tree_latch
+
+let trace_mode = function S -> Trace.S | X -> Trace.X
+
+let trace_acquire t mode ~cond ~waited =
+  if Trace.enabled () then
+    Trace.emit
+      (Trace.Latch_acquire
+         { kind = trace_kind t; name = t.l_name; mode = trace_mode mode; cond; waited })
 
 let count_acquire t waited =
   (match t.l_kind with
@@ -75,13 +86,15 @@ let acquire t mode =
   check_not_held t;
   if compatible_with_holders t mode && Vec.is_empty t.waiters then begin
     grant t mode;
-    count_acquire t false
+    count_acquire t false;
+    trace_acquire t mode ~cond:false ~waited:false
   end
   else begin
     count_acquire t true;
-    Sched.suspend (fun w -> Vec.push t.waiters { wt_mode = mode; wt_waker = w })
+    Sched.suspend (fun w -> Vec.push t.waiters { wt_mode = mode; wt_waker = w });
     (* by the time we are woken, wake_eligible has already installed us as
        a holder *)
+    trace_acquire t mode ~cond:false ~waited:true
   end
 
 let try_acquire t mode =
@@ -89,15 +102,23 @@ let try_acquire t mode =
   if compatible_with_holders t mode && Vec.is_empty t.waiters then begin
     grant t mode;
     count_acquire t false;
+    trace_acquire t mode ~cond:true ~waited:false;
     true
   end
-  else false
+  else begin
+    if Trace.enabled () then
+      Trace.emit
+        (Trace.Latch_try_fail { kind = trace_kind t; name = t.l_name; mode = trace_mode mode });
+    false
+  end
 
 let release t =
   let me = Sched.current () in
   if not (List.mem_assoc me t.holders) then
     invalid_arg (Printf.sprintf "Latch %s: release by non-holder fiber %d" t.l_name me);
   t.holders <- List.filter (fun (f, _) -> f <> me) t.holders;
+  if Trace.enabled () then
+    Trace.emit (Trace.Latch_release { kind = trace_kind t; name = t.l_name });
   wake_eligible t
 
 let instant t mode =

@@ -3,6 +3,7 @@ open Effect.Deep
 module Vec = Aries_util.Vec
 module Rng = Aries_util.Rng
 module Stats = Aries_util.Stats
+module Trace = Aries_trace.Trace
 
 type fiber_id = int
 
@@ -94,11 +95,12 @@ let abort w e =
       Hashtbl.remove s.suspended w.w_fiber;
       enqueue s { e_fiber = w.w_fiber; e_name = w.w_name; e_task = (fun () -> discontinue k e) }
 
-let fiber_done s id =
+let fiber_done s id name =
   s.live <- s.live - 1;
   if Hashtbl.mem s.daemon_ids id then begin
     Hashtbl.remove s.daemon_ids id;
-    s.live_daemons <- s.live_daemons - 1
+    s.live_daemons <- s.live_daemons - 1;
+    if Trace.enabled () then Trace.emit (Trace.Daemon_exit { name })
   end
 
 (* Runs [body] as a sequence of fiber slices: the handler turns each Suspend
@@ -106,10 +108,10 @@ let fiber_done s id =
 let fiber_task s id name body () =
   let fiber_handler =
     {
-      retc = (fun () -> fiber_done s id);
+      retc = (fun () -> fiber_done s id name);
       exnc =
         (fun e ->
-          fiber_done s id;
+          fiber_done s id name;
           s.exns <- (id, name, e) :: s.exns);
       effc =
         (fun (type a) (eff : a Effect.t) ->
@@ -143,6 +145,9 @@ let spawn_daemon ?name ?on_shutdown body =
   Hashtbl.replace s.daemon_ids id ();
   s.live_daemons <- s.live_daemons + 1;
   Stats.incr Stats.daemon_spawns;
+  (if Trace.enabled () then
+     let name = match name with Some n -> n | None -> Printf.sprintf "fiber-%d" id in
+     Trace.emit (Trace.Daemon_spawn { name }));
   (match on_shutdown with Some f -> Vec.push s.on_shutdown f | None -> ());
   id
 
@@ -198,6 +203,7 @@ let run ?(policy = Fifo) ?max_steps ?(yield_probability = 0.0) main =
     }
   in
   active := Some s;
+  Trace.run_start s.sched_run_id;
   let finish outcome =
     active := None;
     { outcome; steps = s.steps; exns = List.rev s.exns }
@@ -277,3 +283,13 @@ module Condvar = struct
   let waiters t =
     Vec.fold (fun acc w -> match w.w_state with Pending _ -> acc + 1 | Spent -> acc) 0 t.queue
 end
+
+(* Wire the tracer to this scheduler and install the online discipline
+   checker. Module-initialization side effect: every program linking the
+   scheduler (i.e. everything that runs fibers) gets the checker for free
+   in [Check] mode — including the whole test suite under [dune runtest]. *)
+let () =
+  Trace.set_context
+    ~fiber:(fun () -> match !active with Some s -> s.cur | None -> -1)
+    ~steps:(fun () -> match !active with Some s -> s.steps | None -> -1);
+  Aries_trace.Discipline.install ()

@@ -3,6 +3,8 @@ module Btree = Aries_btree.Btree
 module Bufpool = Aries_buffer.Bufpool
 module Sched = Aries_sched.Sched
 module Db = Aries_db.Db
+module Trace = Aries_trace.Trace
+module Discipline = Aries_trace.Discipline
 
 type run_report = {
   rr_events : int;
@@ -10,7 +12,17 @@ type run_report = {
   rr_crash_at : int option;
   rr_failures : string list;
   rr_trace : string list;
+  rr_event_dump : string list;
 }
+
+(* How much of the protocol event window a failing run carries in its
+   reproducer. The ring retains more; this is what lands in the artifact. *)
+let dump_window = 120
+
+(* The event dump is part of the SIM-REPRO artifact: on failure, snapshot
+   the tail of the protocol event ring so the reproducer shows {e how} the
+   interleaving went wrong, not just that it did. *)
+let dump_if_failed failures = if !failures = [] then [] else Trace.dump_last dump_window
 
 (* Invariants + oracle + leak audit, in one pass. Called inside the
    scheduler (tree reads latch pages). [phase] prefixes every finding so a
@@ -35,14 +47,40 @@ let run_one ?crash_at (cfg : Workload.cfg) ~seed =
      anchor is always recoverable. *)
   Crashpoint.disarm ();
   Crashpoint.reset ();
+  (* Fresh protocol tracer + discipline checker per simulated machine: every
+     seed runs with the online checker armed (in the default [Check] mode),
+     and a failing run dumps its event window into the reproducer. *)
+  Trace.reset ();
+  Discipline.reset ();
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
   let db =
     Db.create ~page_size:cfg.Workload.page_size ~pool_capacity:cfg.Workload.pool_capacity
       ~commit_mode:cfg.Workload.commit_mode ?cleaner:cfg.Workload.cleaner ()
   in
-  let tree =
-    Db.run_exn db (fun () ->
-        Db.with_txn db (fun txn -> Btree.create db.Db.benv txn ~name:"sim" ~unique:false))
-  in
+  (* The setup phase runs with the checker live too: a protocol violation
+     (e.g. under an injected fault) raises out of [Db.run_exn] here and
+     must surface as a failure report, not tear down the harness. *)
+  match
+    match
+      Db.run_exn db (fun () ->
+          Db.with_txn db (fun txn -> Btree.create db.Db.benv txn ~name:"sim" ~unique:false))
+    with
+    | tree -> Some tree
+    | exception e ->
+        fail "setup raised %s" (Printexc.to_string e);
+        None
+  with
+  | None ->
+      {
+        rr_events = Crashpoint.count ();
+        rr_txns = 0;
+        rr_crash_at = crash_at;
+        rr_failures = List.rev !failures;
+        rr_trace = [];
+        rr_event_dump = dump_if_failed failures;
+      }
+  | Some tree ->
   Bufpool.set_steal_hook db.Db.pool ~seed:(seed + 0x51ea1)
     ~probability:cfg.Workload.steal_probability;
   Crashpoint.reset ();
@@ -57,8 +95,6 @@ let run_one ?crash_at (cfg : Workload.cfg) ~seed =
   let events = Crashpoint.count () in
   Crashpoint.disarm ();
   Bufpool.clear_steal_hook db.Db.pool;
-  let failures = ref [] in
-  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
   (match crash_at with
   | None -> (
       (match result.Sched.outcome with
@@ -108,6 +144,7 @@ let run_one ?crash_at (cfg : Workload.cfg) ~seed =
     rr_crash_at = crash_at;
     rr_failures = List.rev !failures;
     rr_trace = Workload.trace_to_string trace;
+    rr_event_dump = dump_if_failed failures;
   }
 
 type reproducer = {
@@ -115,10 +152,17 @@ type reproducer = {
   rp_crash_at : int option;
   rp_failures : string list;
   rp_trace : string list;
+  rp_event_dump : string list;
 }
 
 let reproducer_of_report ~seed (r : run_report) =
-  { rp_seed = seed; rp_crash_at = r.rr_crash_at; rp_failures = r.rr_failures; rp_trace = r.rr_trace }
+  {
+    rp_seed = seed;
+    rp_crash_at = r.rr_crash_at;
+    rp_failures = r.rr_failures;
+    rp_trace = r.rr_trace;
+    rp_event_dump = r.rr_event_dump;
+  }
 
 let reproducer_line r =
   Printf.sprintf "SIM-REPRO seed=%d crash_at=%s :: %s" r.rp_seed

@@ -24,6 +24,10 @@ type run_report = {
   rr_crash_at : int option;
   rr_failures : string list;  (** empty = run passed all checks *)
   rr_trace : string list;  (** rendered op trace (reproducer detail) *)
+  rr_event_dump : string list;
+      (** tail of the protocol event ring ({!Aries_trace.Trace}) captured on
+          failure — the latch/lock/log interleaving leading up to it; empty
+          when the run passed *)
 }
 
 val run_one : ?crash_at:int -> Workload.cfg -> seed:int -> run_report
@@ -36,6 +40,7 @@ type reproducer = {
   rp_crash_at : int option;
   rp_failures : string list;
   rp_trace : string list;
+  rp_event_dump : string list;  (** protocol event window at the failure *)
 }
 
 val reproducer_line : reproducer -> string

@@ -1,0 +1,197 @@
+open Aries_util
+
+type rule = R1 | R2 | R3 | R4 | R5
+
+let rule_to_string = function
+  | R1 -> "R1"
+  | R2 -> "R2"
+  | R3 -> "R3"
+  | R4 -> "R4"
+  | R5 -> "R5"
+
+let rule_summary = function
+  | R1 -> "no unconditional lock wait while holding a latch"
+  | R2 -> "latch depth <= 3, parent-to-child coupling order only"
+  | R3 -> "one SMO in flight per tree"
+  | R4 -> "no commit ack before the covering force"
+  | R5 -> "no page write with pageLSN above the flushed log (WAL rule)"
+
+exception Violation of rule * string
+
+let () =
+  Printexc.register_printer (function
+    | Violation (r, msg) ->
+        Some (Printf.sprintf "Discipline.Violation(%s: %s)" (rule_to_string r) msg)
+    | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Checker state. Fiber-keyed state is volatile: it belongs to one
+   scheduler incarnation and is discarded at [Run_begin] (fiber ids are
+   reused across runs). Log-keyed state ([flushed]) mirrors durable state
+   and survives runs — exactly like the real flushed boundary survives a
+   simulated crash. *)
+
+let max_latch_depth = 3
+
+type fiber_state = { mutable fs_latches : (Trace.latch_kind * string) list (* newest first *) }
+
+let fibers : (int, fiber_state) Hashtbl.t = Hashtbl.create 32
+
+(* log id -> stable end offset, learned only from Log_open / Log_force *)
+let flushed : (int, int) Hashtbl.t = Hashtbl.create 4
+
+(* tree id -> in-flight SMOs as (txn, exclusive) *)
+let smos : (int, (int * bool) list ref) Hashtbl.t = Hashtbl.create 4
+
+let violations_count = ref 0
+
+let violations () = !violations_count
+
+let reset_run_state () =
+  Hashtbl.reset fibers;
+  Hashtbl.reset smos
+
+let reset () =
+  reset_run_state ();
+  Hashtbl.reset flushed;
+  violations_count := 0
+
+let fiber_state f =
+  match Hashtbl.find_opt fibers f with
+  | Some fs -> fs
+  | None ->
+      let fs = { fs_latches = [] } in
+      Hashtbl.replace fibers f fs;
+      fs
+
+let latch_depth ~fiber =
+  match Hashtbl.find_opt fibers fiber with Some fs -> List.length fs.fs_latches | None -> 0
+
+let smo_list tree =
+  match Hashtbl.find_opt smos tree with
+  | Some l -> l
+  | None ->
+      let l = ref [] in
+      Hashtbl.replace smos tree l;
+      l
+
+let violate rule fmt =
+  Printf.ksprintf
+    (fun msg ->
+      incr violations_count;
+      Stats.incr Stats.trace_violations;
+      raise (Violation (rule, Printf.sprintf "%s (%s)" msg (rule_summary rule))))
+    fmt
+
+(* ------------------------------------------------------------------ *)
+(* The online checker: one event at a time, raising on violation. *)
+
+let check (ev : Trace.event) =
+  let fiber = ev.Trace.ev_fiber in
+  match ev.Trace.ev_payload with
+  | Trace.Run_begin _ -> reset_run_state ()
+  | Trace.Latch_acquire { kind; name; cond; waited = _; mode = _ } ->
+      let fs = fiber_state fiber in
+      (* R2 coupling order: latches are coupled parent before child; the
+         tree latch is the root-most resource, so taking it while already
+         holding a page latch is a child->parent inversion. Conditional
+         grants never wait and cannot deadlock. *)
+      if
+        kind = Trace.Tree_latch && (not cond)
+        && List.exists (fun (k, _) -> k = Trace.Page_latch) fs.fs_latches
+      then
+        violate R2 "fiber %d acquired tree latch %s while holding page latch(es) %s" fiber name
+          (String.concat ","
+             (List.filter_map
+                (fun (k, n) -> if k = Trace.Page_latch then Some n else None)
+                fs.fs_latches));
+      fs.fs_latches <- (kind, name) :: fs.fs_latches;
+      if List.length fs.fs_latches > max_latch_depth then
+        violate R2 "fiber %d latch depth %d > %d: holding %s" fiber
+          (List.length fs.fs_latches) max_latch_depth
+          (String.concat "," (List.map snd fs.fs_latches))
+  | Trace.Latch_release { name; kind = _ } -> (
+      match Hashtbl.find_opt fibers fiber with
+      | None -> ()
+      | Some fs ->
+          let rec remove = function
+            | [] -> []
+            | (_, n) :: rest when n = name -> rest
+            | h :: rest -> h :: remove rest
+          in
+          fs.fs_latches <- remove fs.fs_latches)
+  | Trace.Lock_wait { txn; name; mode } ->
+      (* R1: a lock wait under latch can deadlock latch holders against
+         lock holders, which neither manager can see (§2.2: lock requests
+         made while holding a latch must be conditional). *)
+      let d = latch_depth ~fiber in
+      if d > 0 then
+        violate R1 "txn %d (fiber %d) waits for lock %s %s while holding %d latch(es)" txn fiber
+          mode name d
+  | Trace.Smo_begin { tree; txn; exclusive } ->
+      let l = smo_list tree in
+      if exclusive && !l <> [] then
+        violate R3 "exclusive SMO by txn %d overlaps in-flight SMO(s) %s on tree %d" txn
+          (String.concat "," (List.map (fun (t, _) -> string_of_int t) !l))
+          tree;
+      if List.exists (fun (_, ex) -> ex) !l then
+        violate R3 "SMO by txn %d started while txn %s holds an exclusive SMO on tree %d" txn
+          (String.concat ","
+             (List.filter_map (fun (t, ex) -> if ex then Some (string_of_int t) else None) !l))
+          tree;
+      l := (txn, exclusive) :: !l
+  | Trace.Smo_upgrade { tree; txn } ->
+      let l = smo_list tree in
+      if List.exists (fun (t, _) -> t <> txn) !l then
+        violate R3 "SMO upgrade by txn %d granted while other SMO(s) in flight on tree %d" txn
+          tree;
+      l := List.map (fun (t, ex) -> if t = txn then (t, true) else (t, ex)) !l
+  | Trace.Smo_end { tree; txn } ->
+      let l = smo_list tree in
+      if not (List.exists (fun (t, _) -> t = txn) !l) then
+        violate R3 "SMO end by txn %d without a matching begin on tree %d" txn tree;
+      let rec remove = function
+        | [] -> []
+        | (t, _) :: rest when t = txn -> rest
+        | h :: rest -> h :: remove rest
+      in
+      l := remove !l
+  | Trace.Log_open { log; flushed = f } -> Hashtbl.replace flushed log f
+  | Trace.Log_force { log; upto; stable_lsn = _ } ->
+      let cur = match Hashtbl.find_opt flushed log with Some f -> f | None -> 0 in
+      Hashtbl.replace flushed log (max cur upto)
+  | Trace.Commit_ack { log; txn; lsn; lsn_end } -> (
+      (* R4: an acknowledged commit whose record is not covered by a force
+         is a durability lie — group-commit aware, because the daemon's
+         batched force emits Log_force before waking any covered
+         committer. *)
+      match Hashtbl.find_opt flushed log with
+      | None -> ()  (* log opened before tracing was enabled: no baseline *)
+      | Some f ->
+          if lsn_end > f then
+            violate R4 "txn %d acked with commit record [%d,%d) beyond flushed offset %d" txn
+              lsn lsn_end f)
+  | Trace.Page_write { log; pid; page_lsn; lsn_end } -> (
+      (* R5, the WAL rule: the log must cover the page's latest update
+         before the page image reaches disk. *)
+      if page_lsn > 0 then
+        match Hashtbl.find_opt flushed log with
+        | None -> ()
+        | Some f ->
+            if lsn_end > f then
+              violate R5 "page %d written with pageLSN %d (record end %d) beyond flushed offset %d"
+                pid page_lsn lsn_end f)
+  | Trace.Latch_try_fail _ | Trace.Lock_request _ | Trace.Lock_grant _ | Trace.Lock_deny _
+  | Trace.Lock_release _ | Trace.Lock_release_all _ | Trace.Deadlock_victim _
+  | Trace.Log_append _ | Trace.Page_fix _ | Trace.Page_unfix _ | Trace.Commit_enqueue _
+  | Trace.Daemon_spawn _ | Trace.Daemon_exit _ | Trace.Restart_phase _
+  | Trace.Protocol_locks _ | Trace.Note _ ->
+      ()
+
+let installed = ref false
+
+let install () =
+  if not !installed then begin
+    installed := true;
+    Trace.register_checker check
+  end

@@ -1,0 +1,53 @@
+(** Online latch/lock discipline checker for the ARIES/IM protocol.
+
+    Consumes the {!Trace} event stream and raises {!Violation} the moment
+    an interleaving breaks one of the paper's prose rules (§2.2, §4,
+    Figure 2 — see EXPERIMENTS.md "Protocol discipline" for the mapping):
+
+    - {b R1} — no {e unconditional} lock wait while ≥1 latch is held: lock
+      requests made under latch must be conditional (the
+      conditional-lock / unlatch / unconditional-lock / revalidate dance).
+    - {b R2} — latch depth ≤ 3 per fiber, and coupling runs parent→child
+      only: acquiring the tree latch unconditionally while holding a page
+      latch is a child→parent inversion (undetectable latch deadlock).
+    - {b R3} — one SMO in flight per tree: an exclusive SMO overlaps
+      nothing; concurrent (§5, IX) SMOs may overlap each other but an
+      upgrade is granted only once it is alone; every end matches a begin.
+    - {b R4} — no commit acknowledged before its covering log force is
+      stable (group-commit aware: the batched force's [Log_force] precedes
+      every covered committer's [Commit_ack]).
+    - {b R5} — no page written to disk with [pageLSN] above the flushed
+      log boundary (the WAL rule).
+
+    Fiber-keyed state (held latches) and per-tree SMO state are discarded
+    at every [Run_begin] (a new scheduler incarnation reuses fiber ids and
+    loses volatile state, exactly like a crash). The per-log flushed
+    boundary persists — it mirrors durable state. *)
+
+type rule = R1 | R2 | R3 | R4 | R5
+
+exception Violation of rule * string
+
+val rule_to_string : rule -> string
+
+val rule_summary : rule -> string
+
+val check : Trace.event -> unit
+(** The checker itself. Raises {!Violation}; bumps
+    [Stats.trace_violations] and the {!violations} count first. *)
+
+val install : unit -> unit
+(** Register {!check} as the {!Trace} checker (idempotent). Done by
+    [Aries_sched] at module initialization, so every program that runs
+    fibers gets the checker for free — [dune runtest] runs the entire
+    suite with it enabled. *)
+
+val violations : unit -> int
+(** Violations detected since the last {!reset}. Surfaced by
+    [Db.leak_report]. *)
+
+val reset : unit -> unit
+(** Clear all checker state and the violation count. *)
+
+val latch_depth : fiber:int -> int
+(** Current latch depth the checker attributes to a fiber (test hook). *)

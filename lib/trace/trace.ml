@@ -1,0 +1,197 @@
+open Aries_util
+
+type latch_kind = Page_latch | Tree_latch
+
+type latch_mode = S | X
+
+type payload =
+  | Run_begin of { run : int }
+  | Latch_acquire of {
+      kind : latch_kind;
+      name : string;
+      mode : latch_mode;
+      cond : bool;  (** granted by [try_acquire] (never blocks) *)
+      waited : bool;  (** the fiber suspended before the grant *)
+    }
+  | Latch_try_fail of { kind : latch_kind; name : string; mode : latch_mode }
+  | Latch_release of { kind : latch_kind; name : string }
+  | Lock_request of { txn : int; name : string; mode : string; duration : string; cond : bool }
+  | Lock_grant of { txn : int; name : string; mode : string; duration : string; waited : bool }
+  | Lock_deny of { txn : int; name : string; mode : string }
+  | Lock_wait of { txn : int; name : string; mode : string }
+      (** emitted at the instant an unconditional request is about to
+          suspend — the event rule R1 fires on *)
+  | Lock_release of { txn : int; name : string }
+  | Lock_release_all of { txn : int }
+  | Deadlock_victim of { txn : int }
+  | Log_open of { log : int; flushed : int }
+  | Log_append of { log : int; lsn : int; next : int; kind : string; txn : int }
+  | Log_force of { log : int; upto : int; stable_lsn : int }
+  | Page_fix of { pid : int }
+  | Page_unfix of { pid : int }
+  | Page_write of { log : int; pid : int; page_lsn : int; lsn_end : int }
+  | Smo_begin of { tree : int; txn : int; exclusive : bool }
+  | Smo_upgrade of { tree : int; txn : int }
+  | Smo_end of { tree : int; txn : int }
+  | Commit_enqueue of { txn : int; lsn : int }
+  | Commit_ack of { log : int; txn : int; lsn : int; lsn_end : int }
+  | Daemon_spawn of { name : string }
+  | Daemon_exit of { name : string }
+  | Restart_phase of { phase : string }
+  | Protocol_locks of { op : string; reqs : string }
+  | Note of string
+
+type event = { ev_step : int; ev_fiber : int; ev_payload : payload }
+
+type mode = Off | Record | Check
+
+(* ------------------------------------------------------------------ *)
+(* Global state. Like Stats and Crashpoint, the tracer is a process-global
+   singleton: the system is cooperatively scheduled, one run at a time. *)
+
+let the_mode =
+  ref
+    (match Sys.getenv_opt "ARIES_TRACE" with
+    | Some "off" | Some "0" -> Off
+    | Some "record" -> Record
+    | Some _ | None -> Check)
+
+let set_mode m = the_mode := m
+
+let mode () = !the_mode
+
+let enabled () = !the_mode <> Off
+
+let checking () = !the_mode = Check
+
+(* context providers, installed by Aries_sched at module init; -1 when no
+   scheduler is running *)
+let fiber_provider = ref (fun () -> -1)
+
+let step_provider = ref (fun () -> -1)
+
+let set_context ~fiber ~steps =
+  fiber_provider := fiber;
+  step_provider := steps
+
+(* the online checker hook (Discipline installs itself here) *)
+let checker : (event -> unit) ref = ref (fun _ -> ())
+
+let register_checker f = checker := f
+
+(* ------------------------------------------------------------------ *)
+(* Ring buffer *)
+
+let default_capacity = 4096
+
+type ring = { mutable slots : event array; mutable next : int; mutable total : int }
+
+let no_event = { ev_step = -1; ev_fiber = -1; ev_payload = Note "" }
+
+let ring = { slots = Array.make default_capacity no_event; next = 0; total = 0 }
+
+let set_capacity n =
+  if n < 16 then invalid_arg "Trace.set_capacity: capacity must be >= 16";
+  ring.slots <- Array.make n no_event;
+  ring.next <- 0;
+  ring.total <- 0
+
+let capacity () = Array.length ring.slots
+
+let reset () =
+  Array.fill ring.slots 0 (Array.length ring.slots) no_event;
+  ring.next <- 0;
+  ring.total <- 0
+
+let event_count () = ring.total
+
+let push ev =
+  ring.slots.(ring.next) <- ev;
+  ring.next <- (ring.next + 1) mod Array.length ring.slots;
+  ring.total <- ring.total + 1
+
+(* oldest-first snapshot of the retained window *)
+let events () =
+  let cap = Array.length ring.slots in
+  let n = min ring.total cap in
+  let start = (ring.next - n + cap) mod cap in
+  List.init n (fun i -> ring.slots.((start + i) mod cap))
+
+let last_events n =
+  let evs = events () in
+  let len = List.length evs in
+  if len <= n then evs else List.filteri (fun i _ -> i >= len - n) evs
+
+(* ------------------------------------------------------------------ *)
+(* Emission *)
+
+let emit payload =
+  if !the_mode <> Off then begin
+    let ev =
+      { ev_step = !step_provider (); ev_fiber = !fiber_provider (); ev_payload = payload }
+    in
+    push ev;
+    Stats.incr Stats.trace_events;
+    if !the_mode = Check then !checker ev
+  end
+
+let run_start run = emit (Run_begin { run })
+
+(* ------------------------------------------------------------------ *)
+(* Rendering *)
+
+let latch_kind_to_string = function Page_latch -> "page" | Tree_latch -> "tree"
+
+let latch_mode_to_string = function S -> "S" | X -> "X"
+
+let payload_to_string = function
+  | Run_begin { run } -> Printf.sprintf "run-begin #%d" run
+  | Latch_acquire { kind; name; mode; cond; waited } ->
+      Printf.sprintf "latch-acquire %s %s %s%s%s" (latch_kind_to_string kind) name
+        (latch_mode_to_string mode)
+        (if cond then " cond" else "")
+        (if waited then " waited" else "")
+  | Latch_try_fail { kind; name; mode } ->
+      Printf.sprintf "latch-try-fail %s %s %s" (latch_kind_to_string kind) name
+        (latch_mode_to_string mode)
+  | Latch_release { kind; name } ->
+      Printf.sprintf "latch-release %s %s" (latch_kind_to_string kind) name
+  | Lock_request { txn; name; mode; duration; cond } ->
+      Printf.sprintf "lock-request T%d %s %s %s%s" txn mode duration name
+        (if cond then " cond" else "")
+  | Lock_grant { txn; name; mode; duration; waited } ->
+      Printf.sprintf "lock-grant T%d %s %s %s%s" txn mode duration name
+        (if waited then " waited" else "")
+  | Lock_deny { txn; name; mode } -> Printf.sprintf "lock-deny T%d %s %s" txn mode name
+  | Lock_wait { txn; name; mode } -> Printf.sprintf "lock-wait T%d %s %s" txn mode name
+  | Lock_release { txn; name } -> Printf.sprintf "lock-release T%d %s" txn name
+  | Lock_release_all { txn } -> Printf.sprintf "lock-release-all T%d" txn
+  | Deadlock_victim { txn } -> Printf.sprintf "deadlock-victim T%d" txn
+  | Log_open { log; flushed } -> Printf.sprintf "log-open L%d flushed=%d" log flushed
+  | Log_append { log; lsn; next; kind; txn } ->
+      Printf.sprintf "log-append L%d lsn=%d next=%d %s T%d" log lsn next kind txn
+  | Log_force { log; upto; stable_lsn } ->
+      Printf.sprintf "log-force L%d upto=%d stable=%d" log upto stable_lsn
+  | Page_fix { pid } -> Printf.sprintf "page-fix %d" pid
+  | Page_unfix { pid } -> Printf.sprintf "page-unfix %d" pid
+  | Page_write { log; pid; page_lsn; lsn_end } ->
+      Printf.sprintf "page-write L%d pid=%d pageLSN=%d end=%d" log pid page_lsn lsn_end
+  | Smo_begin { tree; txn; exclusive } ->
+      Printf.sprintf "smo-begin tree=%d T%d %s" tree txn (if exclusive then "X" else "IX")
+  | Smo_upgrade { tree; txn } -> Printf.sprintf "smo-upgrade tree=%d T%d" tree txn
+  | Smo_end { tree; txn } -> Printf.sprintf "smo-end tree=%d T%d" tree txn
+  | Commit_enqueue { txn; lsn } -> Printf.sprintf "commit-enqueue T%d lsn=%d" txn lsn
+  | Commit_ack { log; txn; lsn; lsn_end } ->
+      Printf.sprintf "commit-ack L%d T%d lsn=%d end=%d" log txn lsn lsn_end
+  | Daemon_spawn { name } -> Printf.sprintf "daemon-spawn %s" name
+  | Daemon_exit { name } -> Printf.sprintf "daemon-exit %s" name
+  | Restart_phase { phase } -> Printf.sprintf "restart-phase %s" phase
+  | Protocol_locks { op; reqs } -> Printf.sprintf "protocol-locks %s [%s]" op reqs
+  | Note s -> Printf.sprintf "note %s" s
+
+let event_to_string ev =
+  Printf.sprintf "step=%-6d fiber=%-3d %s" ev.ev_step ev.ev_fiber (payload_to_string ev.ev_payload)
+
+let dump_last n =
+  Stats.incr Stats.trace_dumps;
+  List.map event_to_string (last_events n)

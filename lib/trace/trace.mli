@@ -1,0 +1,115 @@
+(** Structured protocol event tracing.
+
+    A low-overhead, process-global ring buffer of typed events covering
+    every concurrency-bearing action in the system: latch acquire/release
+    (with mode and conditionality), lock request/grant/deny/wait and
+    deadlock victims, log append/force, page fix/unfix and page writes, SMO
+    begin/end, commit enqueue/ack, daemon lifecycle, and restart phases.
+    Each event is stamped with the emitting fiber id and the scheduler step
+    counter ([Sched.steps_now]) — [-1] when no scheduler is running.
+
+    Emit sites are behind {!enabled}; with the tracer {!Off} they compile to
+    a single flag test, with {!Record} events land in the ring, and with
+    {!Check} (the default — [dune runtest] runs the whole suite this way)
+    every event is also fed to the online {!Discipline} checker, which
+    raises on a violation of the ARIES/IM latch/lock discipline rules.
+
+    Like {!Aries_util.Stats} and {!Aries_util.Crashpoint} the tracer is a
+    global singleton: the system is cooperatively scheduled, one simulated
+    machine at a time. Override the default mode with the [ARIES_TRACE]
+    environment variable ([off] / [record] / [check]). *)
+
+type latch_kind = Page_latch | Tree_latch
+
+type latch_mode = S | X
+
+type payload =
+  | Run_begin of { run : int }
+      (** a new scheduler incarnation started: fiber ids restart, volatile
+          latch/SMO state is gone *)
+  | Latch_acquire of {
+      kind : latch_kind;
+      name : string;
+      mode : latch_mode;
+      cond : bool;
+      waited : bool;
+    }
+  | Latch_try_fail of { kind : latch_kind; name : string; mode : latch_mode }
+  | Latch_release of { kind : latch_kind; name : string }
+  | Lock_request of { txn : int; name : string; mode : string; duration : string; cond : bool }
+  | Lock_grant of { txn : int; name : string; mode : string; duration : string; waited : bool }
+  | Lock_deny of { txn : int; name : string; mode : string }
+  | Lock_wait of { txn : int; name : string; mode : string }
+  | Lock_release of { txn : int; name : string }
+  | Lock_release_all of { txn : int }
+  | Deadlock_victim of { txn : int }
+  | Log_open of { log : int; flushed : int }
+  | Log_append of { log : int; lsn : int; next : int; kind : string; txn : int }
+  | Log_force of { log : int; upto : int; stable_lsn : int }
+  | Page_fix of { pid : int }
+  | Page_unfix of { pid : int }
+  | Page_write of { log : int; pid : int; page_lsn : int; lsn_end : int }
+  | Smo_begin of { tree : int; txn : int; exclusive : bool }
+  | Smo_upgrade of { tree : int; txn : int }
+  | Smo_end of { tree : int; txn : int }
+  | Commit_enqueue of { txn : int; lsn : int }
+  | Commit_ack of { log : int; txn : int; lsn : int; lsn_end : int }
+  | Daemon_spawn of { name : string }
+  | Daemon_exit of { name : string }
+  | Restart_phase of { phase : string }
+  | Protocol_locks of { op : string; reqs : string }
+  | Note of string
+
+type event = { ev_step : int; ev_fiber : int; ev_payload : payload }
+
+type mode = Off | Record | Check
+
+val set_mode : mode -> unit
+
+val mode : unit -> mode
+
+val enabled : unit -> bool
+(** [mode () <> Off] — the guard every emit site checks first, so a
+    disabled tracer costs one flag test and no allocation. *)
+
+val checking : unit -> bool
+
+val emit : payload -> unit
+(** Stamp the payload with the current fiber/step, append it to the ring,
+    bump [Stats.trace_events], and (in {!Check} mode) run the registered
+    checker — which may raise. No-op when {!Off}. *)
+
+val run_start : int -> unit
+(** Called by [Sched.run] with the new run id. Emits {!Run_begin}, telling
+    the checker to discard volatile (per-fiber, per-run) state. *)
+
+val set_context : fiber:(unit -> int) -> steps:(unit -> int) -> unit
+(** Install the fiber-id / step-counter providers (done by [Aries_sched] at
+    module initialization). *)
+
+val register_checker : (event -> unit) -> unit
+(** Install the online checker consulted in {!Check} mode. *)
+
+val reset : unit -> unit
+(** Clear the ring buffer (but not the mode, context, or checker). *)
+
+val set_capacity : int -> unit
+(** Resize the ring (clears it). The default keeps the last 4096 events. *)
+
+val capacity : unit -> int
+
+val event_count : unit -> int
+(** Total events emitted since the last {!reset} (may exceed capacity). *)
+
+val events : unit -> event list
+(** Oldest-first snapshot of the retained window. *)
+
+val last_events : int -> event list
+
+val event_to_string : event -> string
+
+val payload_to_string : payload -> string
+
+val dump_last : int -> string list
+(** The last [n] retained events, rendered — the SIM-REPRO artifact dumped
+    alongside a failing seed. Bumps [Stats.trace_dumps]. *)

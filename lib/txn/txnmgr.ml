@@ -4,6 +4,7 @@ module Logrec = Aries_wal.Logrec
 module Logmgr = Aries_wal.Logmgr
 module Lockmgr = Aries_lock.Lockmgr
 module Sched = Aries_sched.Sched
+module Trace = Aries_trace.Trace
 
 type state = Active | Prepared | Rolling_back
 
@@ -126,18 +127,33 @@ let release_and_end t txn =
 (* Make the record at [lsn] durable before acknowledging. With a live
    group-commit daemon, enqueue and suspend — the daemon forces once per
    batch and wakes every covered committer. Otherwise (per-commit mode, or
-   outside the daemon's scheduler run) force synchronously. *)
-let make_durable t lsn =
-  match t.group_commit with
-  | Some gc when Group_commit.active gc -> Group_commit.wait_durable gc lsn
-  | Some _ | None -> Logmgr.flush_to t.wal lsn
+   outside the daemon's scheduler run) force synchronously.
+
+   The [fault_commit_early_ack] switch skips the force entirely and
+   acknowledges anyway — a deliberate durability lie the online discipline
+   checker must flag as an R4 violation (the [Commit_ack] event lands with
+   the commit record still in the volatile tail). *)
+let make_durable t ~txn lsn =
+  (if Crashpoint.fault_active Crashpoint.fault_commit_early_ack then ()
+   else
+     match t.group_commit with
+     | Some gc when Group_commit.active gc ->
+         if Trace.enabled () then Trace.emit (Trace.Commit_enqueue { txn; lsn });
+         Group_commit.wait_durable gc lsn
+     | Some _ | None -> Logmgr.flush_to t.wal lsn);
+  (* Acknowledgement point: past this event the caller treats the commit
+     (or prepare) as stable. R4 is judged here. *)
+  if Trace.enabled () then
+    Trace.emit
+      (Trace.Commit_ack
+         { log = Logmgr.id t.wal; txn; lsn; lsn_end = Logmgr.record_end t.wal lsn })
 
 let commit t txn =
   (match txn.state with
   | Active | Prepared -> ()
   | Rolling_back -> invalid_arg "Txnmgr.commit: transaction is rolling back");
   let lsn = write_simple t txn Logrec.Commit in
-  make_durable t lsn;
+  make_durable t ~txn:txn.txn_id lsn;
   release_and_end t txn
 
 (* Serialize the txn's retained lock names+modes into the Prepare body so
@@ -155,7 +171,7 @@ let prepare t txn =
   let lsn = append t txn r in
   (* the Prepare force is a commit-path force too: batch it when the
      daemon is live (the in-doubt state is acknowledged only once stable) *)
-  make_durable t lsn;
+  make_durable t ~txn:txn.txn_id lsn;
   txn.state <- Prepared
 
 let commit_prepared t txn =

@@ -47,3 +47,7 @@ let fault_active name = Hashtbl.mem faults name
 let clear_faults () = Hashtbl.reset faults
 
 let fault_wal_skip_flush = "wal.skip-flush"
+
+let fault_lock_uncond_under_latch = "lock.uncond-under-latch"
+
+let fault_commit_early_ack = "commit.early-ack"

@@ -60,3 +60,15 @@ val fault_wal_skip_flush : string
 (** Well-known fault name: {!Aries_wal.Logmgr} silently skips log forces,
     breaking the durability of commits and the WAL rule — the canonical
     "deliberately injected bug" the simulation harness must catch. *)
+
+val fault_lock_uncond_under_latch : string
+(** Well-known fault name: the B-tree key-locking path skips the
+    conditional-lock / unlatch / unconditional-lock dance and issues an
+    {e unconditional} lock request while still holding page latches —
+    exactly the undetectable-deadlock hazard of §2.2. The online
+    discipline checker must flag it as an R1 violation. *)
+
+val fault_commit_early_ack : string
+(** Well-known fault name: {!Aries_txn.Txnmgr} acknowledges a commit
+    {e before} forcing the log up to the commit record — a durability lie
+    the discipline checker must flag as an R4 violation. *)

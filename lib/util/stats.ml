@@ -77,6 +77,9 @@ let commit_batch_size = "commit.batch_size"
 let commit_group_waits = "commit.group_waits"
 let cleaner_pages_written = "cleaner.pages_written"
 let cleaner_rounds = "cleaner.rounds"
+let trace_events = "trace.events"
+let trace_violations = "trace.violations"
+let trace_dumps = "trace.dumps"
 
 let commit_batch_bucket n = Printf.sprintf "commit.batch_hist.%02d" n
 

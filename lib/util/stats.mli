@@ -80,6 +80,15 @@ val cleaner_pages_written : string
 
 val cleaner_rounds : string
 
+val trace_events : string
+(** Protocol trace events emitted into the tracer's ring buffer. *)
+
+val trace_violations : string
+(** Latch/lock discipline violations detected by the online checker. *)
+
+val trace_dumps : string
+(** Event-window dumps rendered for SIM-REPRO artifacts. *)
+
 val commit_batch_bucket : int -> string
 (** Histogram counter name for batches of exactly [n] committers,
     e.g. ["commit.batch_hist.04"]. *)

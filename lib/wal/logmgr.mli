@@ -13,6 +13,11 @@ type t
 
 val create : unit -> t
 
+val id : t -> int
+(** Process-unique id of this log instance, used by the protocol tracer to
+    key durability events ([Log_open]/[Log_force]/[Commit_ack]/[Page_write])
+    to the right log. *)
+
 val append : t -> Logrec.t -> Lsn.t
 (** Assigns the record's LSN (its byte offset), frames and buffers it.
     The returned LSN is strictly greater than all previously returned. *)
@@ -35,6 +40,10 @@ val end_offset : t -> int
 (** Offset one past the final record; the LSN the next append will get. *)
 
 val is_stable : t -> Lsn.t -> bool
+
+val record_end : t -> Lsn.t -> int
+(** Offset one past the record at this LSN (frame header + payload): the
+    boundary a force must reach to cover the record. *)
 
 val read : t -> Lsn.t -> Logrec.t
 (** Random access by LSN (stable or volatile). Raises
