@@ -1001,6 +1001,140 @@ let q10 ppf =
       close_out oc;
       kv ppf "wrote" "BENCH_PR3.json")
 
+(* ------------------------------------------------------------------ *)
+
+(* Q11: log lifecycle — the segmented WAL plus the fuzzy-checkpoint daemon.
+   The same sustained committed workload runs twice: without the daemon the
+   live log grows without bound; with the daemon (checkpoint + whole-segment
+   truncation, stale dirty pages nudged to the cleaner) the live footprint
+   plateaus at a few segments, and post-crash restart analysis is bounded by
+   the records written since the last complete checkpoint. Writes
+   BENCH_PR4.json. *)
+let q11 ppf =
+  let module Ckptd = Aries_recovery.Ckptd in
+  let module Archive = Aries_recovery.Media.Archive in
+  section ppf "Q11: log lifecycle — live-log plateau under the checkpoint daemon";
+  let seg = 2048 in
+  let batches = 24 and txns_per_batch = 4 and inserts_per_txn = 4 in
+  let run_workload ~checkpoint =
+    let db = Db.create ~page_size:384 ?checkpoint ~segment_size:seg () in
+    let tree =
+      Db.run_exn db (fun () ->
+          Db.with_txn db (fun txn -> Btree.create db.Db.benv txn ~name:"bench" ~unique:true))
+    in
+    let samples = ref [] in
+    let n = ref 0 in
+    let (), stats =
+      measured (fun () ->
+          Db.run_exn db (fun () ->
+              for _b = 1 to batches do
+                for _t = 1 to txns_per_batch do
+                  Db.with_txn db (fun txn ->
+                      for _i = 1 to inserts_per_txn do
+                        incr n;
+                        Btree.insert tree txn ~value:(v !n) ~rid:(rid !n)
+                      done);
+                  (* give the daemon a turn between transactions *)
+                  Sched.yield ()
+                done;
+                samples := Logmgr.size_bytes db.Db.wal :: !samples
+              done))
+    in
+    (db, tree, List.rev !samples, stats)
+  in
+  let ck_cfg = Some { Ckptd.every_steps = 8; nudge_pages = 4; truncate = true } in
+  let db_off, tree_off, samples_off, _ = run_workload ~checkpoint:None in
+  let db_on, tree_on, samples_on, stats_on = run_workload ~checkpoint:ck_cfg in
+  let live db = Logmgr.size_bytes db.Db.wal in
+  let committed = batches * txns_per_batch * inserts_per_txn in
+  kv ppf "workload" "%d batches x %d txns x %d inserts (= %d keys), segment %dB" batches
+    txns_per_batch inserts_per_txn committed seg;
+  kv ppf "[no daemon] final live log / segments" "%dB / %d" (live db_off)
+    (Logmgr.segment_count db_off.Db.wal);
+  kv ppf "[daemon   ] final live log / segments / archived" "%dB / %d / %d" (live db_on)
+    (Logmgr.segment_count db_on.Db.wal)
+    (Archive.segment_count db_on.Db.archive);
+  kv ppf "[daemon   ] rounds / checkpoints / nudges" "%d / %d / %d"
+    (Stats.get stats_on Stats.ckptd_rounds)
+    (Stats.get stats_on Stats.ckpt_taken)
+    (Stats.get stats_on Stats.ckptd_nudges);
+  kv ppf "[daemon   ] truncations / segments reclaimed" "%d / %d"
+    (Stats.get stats_on Stats.log_truncations)
+    (Stats.get stats_on Stats.log_segments_reclaimed);
+  let peak l = List.fold_left max 0 l in
+  kv ppf "live-log peak over the run (no daemon vs daemon)" "%dB vs %dB" (peak samples_off)
+    (peak samples_on);
+  let plateau_ok = 2 * live db_on < live db_off in
+  kv ppf "acceptance: daemon footprint under half of unbounded" "%s"
+    (if plateau_ok then "PASS" else "FAIL");
+  (* post-crash analysis bound: records since the last complete checkpoint *)
+  let since_ckpt = ref 0 in
+  Logmgr.iter_from db_on.Db.wal (Logmgr.master db_on.Db.wal) (fun _ -> incr since_ckpt);
+  let crash_report db =
+    let db' = Db.crash db in
+    (db', Db.run_exn db' (fun () -> Db.restart db'))
+  in
+  let db_off', rep_off = crash_report db_off in
+  let db_on', rep_on = crash_report db_on in
+  kv ppf "[no daemon] restart records analyzed" "%d" rep_off.Restart.rp_records_analyzed;
+  kv ppf "[daemon   ] restart records analyzed / since last ckpt" "%d / %d"
+    rep_on.Restart.rp_records_analyzed !since_ckpt;
+  let bound_ok = rep_on.Restart.rp_records_analyzed <= !since_ckpt in
+  kv ppf "acceptance: analysis <= records since last checkpoint" "%s"
+    (if bound_ok then "PASS" else "FAIL");
+  (* both databases recover the full committed state — truncation lost nothing *)
+  let count db tree =
+    List.length (Btree.to_list (Btree.open_existing db.Db.benv (Btree.index_id tree)))
+  in
+  let n_off = count db_off' tree_off and n_on = count db_on' tree_on in
+  kv ppf "recovered keys (no daemon / daemon)" "%d / %d (expected %d)" n_off n_on committed;
+  if n_off <> committed || n_on <> committed then
+    failwith "q11: truncation or recovery lost committed work";
+  let ints l = String.concat ", " (List.map string_of_int l) in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"bench\": \"log-lifecycle\",\n\
+      \  \"generated_by\": \"dune exec bench/main.exe -- q11\",\n\
+      \  \"segment_bytes\": %d,\n\
+      \  \"committed_inserts\": %d,\n\
+      \  \"no_daemon\": {\n\
+      \    \"final_live_bytes\": %d, \"segments\": %d,\n\
+      \    \"restart_records_analyzed\": %d,\n\
+      \    \"live_bytes_per_batch\": [%s]\n\
+      \  },\n\
+      \  \"daemon\": {\n\
+      \    \"cfg\": { \"every_steps\": 8, \"nudge_pages\": 4, \"truncate\": true },\n\
+      \    \"final_live_bytes\": %d, \"segments\": %d, \"archived_segments\": %d,\n\
+      \    \"rounds\": %d, \"checkpoints\": %d, \"cleaner_nudges\": %d,\n\
+      \    \"truncations\": %d, \"segments_reclaimed\": %d,\n\
+      \    \"restart_records_analyzed\": %d, \"records_since_last_ckpt\": %d,\n\
+      \    \"live_bytes_per_batch\": [%s]\n\
+      \  },\n\
+      \  \"acceptance\": {\n\
+      \    \"plateau_under_half\": %b,\n\
+      \    \"analysis_bounded_by_ckpt\": %b,\n\
+      \    \"all_committed_recovered\": %b\n\
+      \  }\n\
+       }\n"
+      seg committed (live db_off)
+      (Logmgr.segment_count db_off.Db.wal)
+      rep_off.Restart.rp_records_analyzed (ints samples_off) (live db_on)
+      (Logmgr.segment_count db_on.Db.wal)
+      (Archive.segment_count db_on.Db.archive)
+      (Stats.get stats_on Stats.ckptd_rounds)
+      (Stats.get stats_on Stats.ckpt_taken)
+      (Stats.get stats_on Stats.ckptd_nudges)
+      (Stats.get stats_on Stats.log_truncations)
+      (Stats.get stats_on Stats.log_segments_reclaimed)
+      rep_on.Restart.rp_records_analyzed !since_ckpt (ints samples_on) plateau_ok bound_ok
+      (n_off = committed && n_on = committed)
+  in
+  let oc = open_out "BENCH_PR4.json" in
+  output_string oc json;
+  close_out oc;
+  kv ppf "wrote" "BENCH_PR4.json"
+
 let all : (string * (Format.formatter -> unit)) list =
   [
     ("e1", e1);
@@ -1022,4 +1156,5 @@ let all : (string * (Format.formatter -> unit)) list =
     ("q8", q8);
     ("q9", q9);
     ("q10", q10);
+    ("q11", q11);
   ]

@@ -12,6 +12,7 @@
 
      dune exec bench/main.exe -- sim                      # default big sweep
      dune exec bench/main.exe -- sim 512 48 400           # seeds, crash seeds, budget
+     dune exec bench/main.exe -- sim smoke                # bounded CI sweep (see ci.sh)
      dune exec bench/main.exe -- sim replay <seed> <k|->  # re-run one reproducer
      ARIES_SIM_FAULT=wal.skip-flush dune exec bench/main.exe -- sim
                                           # demo: injected bug -> SIM-REPRO lines
@@ -30,6 +31,38 @@ let run_sim args =
       Format.fprintf ppf "fault %S injected — the sweep should now fail loudly@." name
   | _ -> ());
   match args with
+  | "smoke" :: rest ->
+      (* the CI smoke sweep (see ci.sh): a bounded slice of the full sweep
+         over both stock workloads — per-commit and group-commit + cleaner —
+         with the checkpoint daemon enabled in both (Workload stock cfgs).
+         Small enough for every push, loud on any failure. *)
+      let geti i default =
+        match List.nth_opt rest i with Some s -> int_of_string s | None -> default
+      in
+      let nseeds = geti 0 16 and ncrash = geti 1 4 and budget = geti 2 40 in
+      let failed = ref false in
+      List.iter
+        (fun (label, cfg) ->
+          Format.fprintf ppf "smoke [%s]: %d seeds, %d crash seeds x <=%d points@." label
+            nseeds ncrash budget;
+          let s =
+            Sim.sweep cfg
+              ~seeds:(List.init nseeds (fun i -> i + 1))
+              ~crash_seeds:(List.init ncrash (fun i -> 1001 + i))
+              ~crash_budget:budget
+          in
+          Format.fprintf ppf "  %d seed runs, %d crash points, %d failure(s)@."
+            s.Sim.sm_seed_runs s.Sim.sm_crash_points
+            (List.length s.Sim.sm_failures);
+          if s.Sim.sm_failures <> [] then begin
+            failed := true;
+            List.iter
+              (fun rp -> Format.fprintf ppf "%s@." (Sim.reproducer_line rp))
+              s.Sim.sm_failures
+          end)
+        [ ("default", cfg); ("group+cleaner", Aries_sim.Workload.group_cfg) ];
+      if !failed then exit 1;
+      Format.fprintf ppf "smoke sweep clean@."
   | [ "replay"; seed; k ] ->
       let rp =
         {

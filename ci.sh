@@ -1,0 +1,26 @@
+#!/bin/sh
+# The repository gate, runnable locally and in CI:
+#
+#   ./ci.sh            # build + full test suite + bounded sim smoke sweep
+#   ./ci.sh fast       # build + tests only (skip the smoke sweep)
+#
+# The smoke sweep is a bounded slice of the full simulation sweep
+# (16 schedule seeds and 4 crash seeds x <=40 crash points, in both
+# commit modes, checkpoint daemon enabled) — small enough for every
+# push; the full-budget sweep is `dune exec bench/main.exe -- sim`.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== build =="
+dune build @all
+
+echo "== tier-1 tests (dune runtest) =="
+dune runtest
+
+if [ "${1:-}" != "fast" ]; then
+  echo "== sim smoke sweep =="
+  dune exec bench/main.exe -- sim smoke
+fi
+
+echo "ci.sh: all green"

@@ -58,7 +58,16 @@ let write_frame t f =
      let page_lsn = f.page.Page.page_lsn in
      let lsn_end = if Lsn.is_nil page_lsn then 0 else Logmgr.record_end t.log page_lsn in
      Trace.emit
-       (Trace.Page_write { log = Logmgr.id t.log; pid = f.page.Page.pid; page_lsn; lsn_end }));
+       (Trace.Page_write
+          {
+            log = Logmgr.id t.log;
+            pid = f.page.Page.pid;
+            page_lsn;
+            lsn_end;
+            (* the dirty-table recLSN at write time: rule R6 checks it never
+               falls inside a reclaimed log segment *)
+            rec_lsn = f.rec_lsn;
+          }));
   Disk.write t.dsk f.page;
   f.dirty <- false;
   f.rec_lsn <- Lsn.nil

@@ -8,6 +8,8 @@ module Group_commit = Aries_txn.Group_commit
 module Btree = Aries_btree.Btree
 module Restart = Aries_recovery.Restart
 module Checkpoint = Aries_recovery.Checkpoint
+module Ckptd = Aries_recovery.Ckptd
+module Media = Aries_recovery.Media
 module Sched = Aries_sched.Sched
 
 type commit_mode = Per_commit | Group of Group_commit.policy
@@ -21,12 +23,15 @@ type t = {
   benv : Btree.env;
   commit_mode : commit_mode;
   cleaner : Cleaner.cfg option;
+  checkpoint_cfg : Ckptd.cfg option;
+  archive : Media.Archive.t;
   gc : Group_commit.t option;
   mutable closing : bool;
   mutable running_daemons : int;
 }
 
-let build ?pool_capacity ?config ?(commit_mode = Per_commit) ?cleaner disk wal =
+let build ?pool_capacity ?config ?(commit_mode = Per_commit) ?cleaner ?checkpoint ~archive disk
+    wal =
   let pool = Bufpool.create ?capacity:pool_capacity disk wal in
   let locks = Lockmgr.create () in
   let mgr = Txnmgr.create wal locks in
@@ -38,13 +43,19 @@ let build ?pool_capacity ?config ?(commit_mode = Per_commit) ?cleaner disk wal =
     | Group policy -> Some (Group_commit.create ~policy wal)
   in
   Txnmgr.set_group_commit mgr gc;
-  { disk; wal; pool; locks; mgr; benv; commit_mode; cleaner; gc; closing = false;
-    running_daemons = 0 }
+  (* the archive models stable storage: it survives crashes and receives
+     every segment the live log reclaims, so media recovery and the
+     committed-state oracle always see the full record history *)
+  Media.Archive.attach archive wal;
+  { disk; wal; pool; locks; mgr; benv; commit_mode; cleaner; checkpoint_cfg = checkpoint;
+    archive; gc; closing = false; running_daemons = 0 }
 
-let create ?(page_size = 4096) ?pool_capacity ?config ?commit_mode ?cleaner () =
+let create ?(page_size = 4096) ?pool_capacity ?config ?commit_mode ?cleaner ?checkpoint
+    ?segment_size () =
   let disk = Disk.create ~page_size () in
-  let wal = Logmgr.create () in
-  build ?pool_capacity ?config ?commit_mode ?cleaner disk wal
+  let wal = Logmgr.create ?segment_size () in
+  build ?pool_capacity ?config ?commit_mode ?cleaner ?checkpoint ~archive:(Media.Archive.create ())
+    disk wal
 
 let crash ?config t =
   Logmgr.crash t.wal;
@@ -53,36 +64,20 @@ let crash ?config t =
   (* die-on-crash: daemon state is volatile. The fresh environment gets a
      fresh (empty) commit queue under the same policy; committers that were
      suspended on the old queue were never acknowledged, and restart decides
-     their fate purely from the stable log. *)
-  build ?config ~commit_mode:t.commit_mode ?cleaner:t.cleaner t.disk t.wal
+     their fate purely from the stable log. The archive and the surviving
+     segments are stable state and carry over. *)
+  build ?config ~commit_mode:t.commit_mode ?cleaner:t.cleaner ?checkpoint:t.checkpoint_cfg
+    ~archive:t.archive t.disk t.wal
 
 let restart t = Restart.run t.mgr t.pool
 
 let checkpoint t = ignore (Checkpoint.take t.mgr t.pool)
 
-let trim_log t =
-  let module Lsn = Aries_wal.Lsn in
-  let master = Logmgr.master t.wal in
-  if Lsn.is_nil master then 0
-  else begin
-    let horizon = ref master in
-    List.iter
-      (fun (_, rec_lsn) -> horizon := Lsn.min !horizon rec_lsn)
-      (Bufpool.dirty_page_table t.pool);
-    let blocked = ref false in
-    List.iter
-      (fun (txn : Txnmgr.txn) ->
-        if not (Lsn.is_nil txn.Txnmgr.last_lsn) then
-          if Lsn.is_nil txn.Txnmgr.first_lsn then blocked := true
-          else horizon := Lsn.min !horizon txn.Txnmgr.first_lsn)
-      (Txnmgr.active_txns t.mgr);
-    if !blocked then 0
-    else begin
-      let before = Logmgr.size_bytes t.wal in
-      Logmgr.truncate_before t.wal !horizon;
-      before - Logmgr.size_bytes t.wal
-    end
-  end
+let safety_point t = Ckptd.safety_point t.mgr t.pool
+
+let trim_log t = Ckptd.reclaim t.mgr t.pool
+
+let iter_log_history t ~from f = Media.Archive.iter_history t.archive t.wal ~from f
 
 let with_txn t f =
   let txn = Txnmgr.begin_txn t.mgr in
@@ -94,20 +89,21 @@ let with_txn t f =
   | exception e ->
       (match txn.Txnmgr.state with
       | Txnmgr.Active | Txnmgr.Prepared -> Txnmgr.rollback t.mgr txn
-      | Txnmgr.Rolling_back -> ());
+      | Txnmgr.Committing | Txnmgr.Rolling_back -> ());
       raise e
 
 let save t path =
   let w = Aries_util.Bytebuf.W.create () in
-  Aries_util.Bytebuf.W.string w "ARIESIM1";
+  Aries_util.Bytebuf.W.string w "ARIESIM2";
   Aries_util.Bytebuf.W.bytes w (Disk.serialize t.disk);
   Aries_util.Bytebuf.W.bytes w (Logmgr.serialize t.wal);
+  Aries_util.Bytebuf.W.bytes w (Media.Archive.serialize t.archive);
   let oc = open_out_bin path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () -> output_bytes oc (Aries_util.Bytebuf.W.contents w))
 
-let load ?pool_capacity ?config ?commit_mode ?cleaner path =
+let load ?pool_capacity ?config ?commit_mode ?cleaner ?checkpoint path =
   let ic = open_in_bin path in
   let b =
     Fun.protect
@@ -116,12 +112,13 @@ let load ?pool_capacity ?config ?commit_mode ?cleaner path =
   in
   let r = Aries_util.Bytebuf.R.of_string b in
   let magic = Aries_util.Bytebuf.R.string r in
-  if not (String.equal magic "ARIESIM1") then
+  if not (String.equal magic "ARIESIM2") then
     invalid_arg (Printf.sprintf "Db.load: %s is not an ariesim snapshot" path);
   let disk = Disk.deserialize (Aries_util.Bytebuf.R.bytes r) in
   let wal = Logmgr.deserialize (Aries_util.Bytebuf.R.bytes r) in
+  let archive = Media.Archive.deserialize (Aries_util.Bytebuf.R.bytes r) in
   Aries_util.Bytebuf.R.expect_end r;
-  build ?pool_capacity ?config ?commit_mode ?cleaner disk wal
+  build ?pool_capacity ?config ?commit_mode ?cleaner ?checkpoint ~archive disk wal
 
 let leak_report t =
   let leaks = ref [] in
@@ -167,10 +164,15 @@ let start_daemons t =
         spawn_counted "group-commit" (fun () ->
             Group_commit.run_daemon gc ~stop:(fun () -> t.closing))
     | None -> ());
-    match t.cleaner with
+    (match t.cleaner with
     | Some cfg ->
         spawn_counted "page-cleaner" (fun () ->
             Cleaner.run_daemon t.pool cfg ~stop:(fun () -> t.closing))
+    | None -> ());
+    match t.checkpoint_cfg with
+    | Some cfg ->
+        spawn_counted "checkpointer" (fun () ->
+            Ckptd.run_daemon t.mgr t.pool cfg ~stop:(fun () -> t.closing))
     | None -> ()
   end
 

@@ -29,6 +29,8 @@ type t = {
   benv : Aries_btree.Btree.env;
   commit_mode : commit_mode;
   cleaner : Aries_buffer.Cleaner.cfg option;
+  checkpoint_cfg : Aries_recovery.Ckptd.cfg option;
+  archive : Aries_recovery.Media.Archive.t;
   gc : Aries_txn.Group_commit.t option;
   mutable closing : bool;
   mutable running_daemons : int;
@@ -40,14 +42,21 @@ val create :
   ?config:Aries_btree.Btree.config ->
   ?commit_mode:commit_mode ->
   ?cleaner:Aries_buffer.Cleaner.cfg ->
+  ?checkpoint:Aries_recovery.Ckptd.cfg ->
+  ?segment_size:int ->
   unit ->
   t
 (** [commit_mode] (default [Per_commit]) selects the commit-path force
-    policy; [cleaner] (default off) enables the background page cleaner.
-    With either daemon configured, every {!run}/{!run_exn} spawns the
-    daemons at the start of the run (spawn-at-open), drains them when the
-    last user fiber finishes (drain-on-close), and loses them — along with
-    any unacknowledged queued commits — on {!crash} (die-on-crash). *)
+    policy; [cleaner] (default off) enables the background page cleaner;
+    [checkpoint] (default off) enables the fuzzy-checkpoint daemon
+    ({!Aries_recovery.Ckptd}), which periodically checkpoints and reclaims
+    sealed log segments below the safety point. [segment_size] sets the WAL
+    segment size ({!Aries_wal.Logmgr.default_segment_size} by default) —
+    reclamation is whole-segment, so small workloads want small segments.
+    With any daemon configured, every {!run}/{!run_exn} spawns the daemons
+    at the start of the run (spawn-at-open), drains them when the last user
+    fiber finishes (drain-on-close), and loses them — along with any
+    unacknowledged queued commits — on {!crash} (die-on-crash). *)
 
 val crash : ?config:Aries_btree.Btree.config -> t -> t
 (** Simulate a system failure: discard the unflushed log tail and every
@@ -61,12 +70,24 @@ val restart : t -> Aries_recovery.Restart.report
 
 val checkpoint : t -> unit
 
+val safety_point : t -> Aries_wal.Lsn.t option
+(** The log-space reclamation safety point (see {!Aries_recovery.Ckptd}):
+    [min(redo point of the last complete checkpoint, min recLSN in the DPT,
+    first LSN of the oldest active transaction)]. [None] when reclamation
+    would be unsafe (no complete checkpoint yet, or a transaction of
+    unknown extent in the table). *)
+
 val trim_log : t -> int
-(** Reclaim log space below every recovery horizon: the master checkpoint,
-    the oldest dirty page's recLSN, and the first record of every live
-    transaction (a transaction of unknown extent — restored by restart —
-    blocks trimming entirely). Returns the number of bytes reclaimed.
-    Typically called right after {!checkpoint}. *)
+(** Reclaim whole sealed log segments below the {!safety_point}. Returns
+    the number of bytes reclaimed (0 when blocked or when no sealed segment
+    lies entirely below the safety point). Reclaimed segments are handed to
+    the {!Aries_recovery.Media.Archive} so media recovery and log-history
+    iteration keep working. Typically called right after {!checkpoint}. *)
+
+val iter_log_history : t -> from:Aries_wal.Lsn.t -> (Aries_wal.Logrec.t -> unit) -> unit
+(** Iterate the {e full} record history from [from] ([Lsn.nil] = all):
+    archived (reclaimed) segments first, then the live log — the union is
+    every record ever appended, regardless of truncation. *)
 
 val with_txn : t -> (Txnmgr.txn -> 'a) -> 'a
 (** Begin, run, commit; total rollback (and re-raise) on exception. *)
@@ -97,24 +118,25 @@ val run :
   (unit -> unit) ->
   Aries_sched.Sched.result
 (** Run a workload under the cooperative scheduler. Spawns the configured
-    daemons (group-commit force daemon, page cleaner) into the run first;
-    they drain and exit when the workload's fibers finish. *)
+    daemons (group-commit force daemon, page cleaner, checkpointer) into
+    the run first; they drain and exit when the workload's fibers finish. *)
 
 val run_exn : ?policy:Aries_sched.Sched.policy -> t -> (unit -> 'a) -> 'a
 (** Like {!run} for a single computation; re-raises fiber failures and
     fails on stalls. *)
 
 val save : t -> string -> unit
-(** Persist the {e stable} state (disk images, stable log prefix, master
-    record) to a file — exactly what a powered-off machine retains. The
-    volatile tail and buffer pool are not saved; run {!restart} after
-    {!load}. *)
+(** Persist the {e stable} state (disk images, stable log prefix + master
+    record, log archive) to a file — exactly what a powered-off machine
+    retains. The volatile tail and buffer pool are not saved; run
+    {!restart} after {!load}. Format magic: ["ARIESIM2"]. *)
 
 val load :
   ?pool_capacity:int ->
   ?config:Aries_btree.Btree.config ->
   ?commit_mode:commit_mode ->
   ?cleaner:Aries_buffer.Cleaner.cfg ->
+  ?checkpoint:Aries_recovery.Ckptd.cfg ->
   string ->
   t
 (** Rebuild an environment from a {!save}d file. The caller must run

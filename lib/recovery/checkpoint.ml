@@ -4,25 +4,25 @@ module Logrec = Aries_wal.Logrec
 module Logmgr = Aries_wal.Logmgr
 module Txnmgr = Aries_txn.Txnmgr
 module Bufpool = Aries_buffer.Bufpool
+module Trace = Aries_trace.Trace
 
 type body = {
-  ck_txns : (Ids.txn_id * Txnmgr.state * Lsn.t * Lsn.t) list;
+  ck_txns : (Ids.txn_id * Txnmgr.state * Lsn.t * Lsn.t * Lsn.t) list;
   ck_dpt : (Ids.page_id * Lsn.t) list;
 }
 
 let encode_body b =
   let w = Bytebuf.W.create () in
-  Bytebuf.W.u32 w (List.length b.ck_txns);
-  List.iter
-    (fun (id, state, last_lsn, undo_nxt) ->
+  Bytebuf.W.list w
+    (fun w (id, state, first_lsn, last_lsn, undo_nxt) ->
       Bytebuf.W.i64 w id;
       Bytebuf.W.u8 w (Txnmgr.state_to_int state);
+      Bytebuf.W.i64 w first_lsn;
       Bytebuf.W.i64 w last_lsn;
       Bytebuf.W.i64 w undo_nxt)
     b.ck_txns;
-  Bytebuf.W.u32 w (List.length b.ck_dpt);
-  List.iter
-    (fun (pid, rec_lsn) ->
+  Bytebuf.W.list w
+    (fun w (pid, rec_lsn) ->
       Bytebuf.W.i64 w pid;
       Bytebuf.W.i64 w rec_lsn)
     b.ck_dpt;
@@ -30,30 +30,30 @@ let encode_body b =
 
 let decode_body bytes =
   let r = Bytebuf.R.of_bytes bytes in
-  let ntxn = Bytebuf.R.u32 r in
-  let rec txns i acc =
-    if i = ntxn then List.rev acc
-    else begin
-      let id = Bytebuf.R.i64 r in
-      let state = Txnmgr.state_of_int (Bytebuf.R.u8 r) in
-      let last_lsn = Bytebuf.R.i64 r in
-      let undo_nxt = Bytebuf.R.i64 r in
-      txns (i + 1) ((id, state, last_lsn, undo_nxt) :: acc)
-    end
+  let ck_txns =
+    Bytebuf.R.list r (fun r ->
+        let id = Bytebuf.R.i64 r in
+        let state = Txnmgr.state_of_int (Bytebuf.R.u8 r) in
+        let first_lsn = Bytebuf.R.i64 r in
+        let last_lsn = Bytebuf.R.i64 r in
+        let undo_nxt = Bytebuf.R.i64 r in
+        (id, state, first_lsn, last_lsn, undo_nxt))
   in
-  let ck_txns = txns 0 [] in
-  let ndpt = Bytebuf.R.u32 r in
-  let rec dpt i acc =
-    if i = ndpt then List.rev acc
-    else begin
-      let pid = Bytebuf.R.i64 r in
-      let rec_lsn = Bytebuf.R.i64 r in
-      dpt (i + 1) ((pid, rec_lsn) :: acc)
-    end
+  let ck_dpt =
+    Bytebuf.R.list r (fun r ->
+        let pid = Bytebuf.R.i64 r in
+        let rec_lsn = Bytebuf.R.i64 r in
+        (pid, rec_lsn))
   in
-  let ck_dpt = dpt 0 [] in
   Bytebuf.R.expect_end r;
   { ck_txns; ck_dpt }
+
+(* The checkpoint's redo point: restart redo must start at the oldest
+   recLSN the checkpointed DPT records, or at the Begin_ckpt itself when
+   nothing was dirty. Also the checkpoint's contribution to the log-space
+   reclamation safety point (Ckptd.safety_point). *)
+let redo_point ~begin_lsn body =
+  List.fold_left (fun acc (_, rec_lsn) -> Lsn.min acc rec_lsn) begin_lsn body.ck_dpt
 
 let take mgr pool =
   let wal = Txnmgr.log mgr in
@@ -63,7 +63,8 @@ let take mgr pool =
     {
       ck_txns =
         List.map
-          (fun (t : Txnmgr.txn) -> (t.Txnmgr.txn_id, t.Txnmgr.state, t.Txnmgr.last_lsn, t.Txnmgr.undo_nxt))
+          (fun (t : Txnmgr.txn) ->
+            (t.Txnmgr.txn_id, t.Txnmgr.state, t.Txnmgr.first_lsn, t.Txnmgr.last_lsn, t.Txnmgr.undo_nxt))
           (Txnmgr.active_txns mgr);
       ck_dpt = Bufpool.dirty_page_table pool;
     }
@@ -72,7 +73,44 @@ let take mgr pool =
     Logrec.make ~body:(encode_body body) ~txn:Ids.nil_txn ~prev_lsn:begin_lsn Logrec.End_ckpt
   in
   let end_lsn = Logmgr.append wal end_rec in
-  Logmgr.set_master wal begin_lsn;
+  (* Crash-ordering: the Begin/End pair must be stable *before* the master
+     record points at it — a master naming a checkpoint with no stable
+     End_ckpt would leave restart analysis with nothing to start from. The
+     crash-point hook between the two steps lets the test suite prove a
+     crash in the window is survivable (the old master stays valid). *)
   Logmgr.flush_to wal end_lsn;
-  Stats.incr "checkpoint.taken";
+  Crashpoint.hit "ckpt.master";
+  Logmgr.set_master wal begin_lsn;
+  Stats.incr Stats.ckpt_taken;
+  if Trace.enabled () then
+    Trace.emit
+      (Trace.Ckpt_take
+         {
+           log = Logmgr.id wal;
+           begin_lsn;
+           end_lsn;
+           redo = redo_point ~begin_lsn body;
+         });
   begin_lsn
+
+(* The last *complete* checkpoint: the Begin_ckpt the master points at,
+   together with its End_ckpt (found by scanning forward from the master
+   for the End whose prev_lsn closes the pair). With the flush-then-master
+   ordering above, a non-nil master always has a stable End — but recovery
+   code stays defensive and reports None if the pair is broken. *)
+let last_complete wal =
+  let m = Logmgr.master wal in
+  if Lsn.is_nil m then None
+  else begin
+    let found = ref None in
+    (try
+       Logmgr.iter_from wal m (fun r ->
+           if r.Logrec.kind = Logrec.End_ckpt && Lsn.compare r.Logrec.prev_lsn m = 0 then begin
+             found := Some r;
+             raise Exit
+           end)
+     with Exit -> ());
+    match !found with
+    | Some r -> Some (m, r.Logrec.lsn, decode_body r.Logrec.body)
+    | None -> None
+  end

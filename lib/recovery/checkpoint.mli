@@ -1,24 +1,41 @@
 (** Fuzzy checkpoints.
 
     A checkpoint brackets a Begin_ckpt/End_ckpt pair; the End_ckpt body
-    carries the transaction table and the dirty-page table (page id →
-    recLSN). Nothing is forced to disk and no activity is quiesced — the
-    analysis pass reconciles whatever happened concurrently, which is what
-    makes the checkpoint "fuzzy". The master record points at the most
-    recent Begin_ckpt. *)
+    carries the transaction table (including each transaction's {e first}
+    LSN, which bounds how far back undo — and hence log truncation — may
+    need to reach) and the dirty-page table (page id → recLSN). Nothing is
+    forced to disk and no activity is quiesced — the analysis pass
+    reconciles whatever happened concurrently, which is what makes the
+    checkpoint "fuzzy". The master record points at the most recent
+    {e complete} Begin_ckpt: {!take} forces the pair stable before updating
+    the master, so a crash can never leave the master naming a checkpoint
+    with no stable End_ckpt. *)
 
 open Aries_util
 module Lsn = Aries_wal.Lsn
 
 type body = {
-  ck_txns : (Ids.txn_id * Aries_txn.Txnmgr.state * Lsn.t * Lsn.t) list;
-      (** (id, state, last_lsn, undo_nxt) *)
+  ck_txns : (Ids.txn_id * Aries_txn.Txnmgr.state * Lsn.t * Lsn.t * Lsn.t) list;
+      (** (id, state, first_lsn, last_lsn, undo_nxt) *)
   ck_dpt : (Ids.page_id * Lsn.t) list;  (** (page, recLSN) *)
 }
 
 val take : Aries_txn.Txnmgr.t -> Aries_buffer.Bufpool.t -> Lsn.t
-(** Write a checkpoint, update the master record, force the log. Returns
+(** Write a checkpoint: append the Begin/End pair, force the log through
+    the End_ckpt, {e then} update the master record (crash-ordering — a
+    [Crashpoint] hook labeled ["ckpt.master"] sits between the force and
+    the master update so tests can crash exactly in the window). Returns
     the Begin_ckpt LSN. *)
+
+val last_complete : Aries_wal.Logmgr.t -> (Lsn.t * Lsn.t * body) option
+(** [(begin_lsn, end_lsn, body)] of the checkpoint the master record points
+    at, or [None] if the master is nil or the pair is broken (the latter
+    cannot happen with {!take}'s ordering, but recovery stays defensive). *)
+
+val redo_point : begin_lsn:Lsn.t -> body -> Lsn.t
+(** Where restart redo for this checkpoint must start: the minimum recLSN
+    in the checkpointed DPT, or [begin_lsn] if it was empty. Also the
+    checkpoint's contribution to the log-reclamation safety point. *)
 
 val encode_body : body -> bytes
 

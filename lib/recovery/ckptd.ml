@@ -1,0 +1,122 @@
+open Aries_util
+module Lsn = Aries_wal.Lsn
+module Logmgr = Aries_wal.Logmgr
+module Txnmgr = Aries_txn.Txnmgr
+module Bufpool = Aries_buffer.Bufpool
+module Sched = Aries_sched.Sched
+module Trace = Aries_trace.Trace
+
+type cfg = {
+  every_steps : int;
+  nudge_pages : int;
+  truncate : bool;
+}
+
+let default_cfg = { every_steps = 64; nudge_pages = 2; truncate = true }
+
+let validate cfg =
+  if cfg.every_steps < 1 then invalid_arg "Ckptd: every_steps must be >= 1";
+  if cfg.nudge_pages < 1 then invalid_arg "Ckptd: nudge_pages must be >= 1"
+
+(* The log-space reclamation safety point:
+
+     min ( redo point of the last complete checkpoint,
+           min recLSN in the current dirty-page table,
+           first LSN of the oldest active transaction )
+
+   Everything below it is needed by no restart: redo starts at the
+   checkpoint's redo point or a dirty page's recLSN (whichever is older),
+   and undo reaches back at most to the oldest active transaction's first
+   record. The point is monotone nondecreasing over time — checkpoints
+   advance, recLSNs only rise as pages are cleaned, and finished
+   transactions leave the table.
+
+   Returns None when there is nothing safe to assert: no complete
+   checkpoint yet, or a restored transaction of unknown extent (first_lsn
+   nil with a non-nil last_lsn) in the table — truncating anything under
+   those conditions could destroy records undo still needs.
+
+   The Log_safety trace event is emitted *here*, by the computation itself:
+   discipline rule R6 judges every subsequent truncation against the last
+   announcement rather than trusting the truncator. *)
+let safety_point mgr pool =
+  let wal = Txnmgr.log mgr in
+  match Checkpoint.last_complete wal with
+  | None -> None
+  | Some (begin_lsn, _end_lsn, body) ->
+      let safety = ref (Checkpoint.redo_point ~begin_lsn body) in
+      List.iter
+        (fun (_, rec_lsn) -> safety := Lsn.min !safety rec_lsn)
+        (Bufpool.dirty_page_table pool);
+      let blocked = ref false in
+      List.iter
+        (fun (txn : Txnmgr.txn) ->
+          if not (Lsn.is_nil txn.Txnmgr.last_lsn) then
+            if Lsn.is_nil txn.Txnmgr.first_lsn then blocked := true
+            else safety := Lsn.min !safety txn.Txnmgr.first_lsn)
+        (Txnmgr.active_txns mgr);
+      if !blocked then None
+      else begin
+        if Trace.enabled () then
+          Trace.emit (Trace.Log_safety { log = Logmgr.id wal; safety = !safety });
+        Some !safety
+      end
+
+(* Truncate the log prefix below the safety point (whole sealed segments
+   only — Logmgr picks the segment boundary). Under the
+   [fault_ckpt_premature_truncate] switch the daemon instead truncates all
+   the way to the flushed boundary, ignoring the safety point — records
+   restart still needs are destroyed, and rule R6 must catch the oversized
+   Log_truncate the moment it is emitted. Returns bytes reclaimed. *)
+let reclaim mgr pool =
+  let wal = Txnmgr.log mgr in
+  match safety_point mgr pool with
+  | None -> 0
+  | Some safety ->
+      let upto =
+        if Crashpoint.fault_active Crashpoint.fault_ckpt_premature_truncate then
+          Logmgr.flushed_offset wal
+        else safety
+      in
+      Logmgr.truncate_prefix wal ~upto
+
+(* One daemon round: if a stale dirty page is what pins the oldest live
+   segment, nudge the cleaner first (so the checkpoint about to be taken
+   records a fresher DPT and the safety point can advance past the
+   segment boundary); then take a fuzzy checkpoint — no quiescing, user
+   fibers keep running between our yields — and reclaim. *)
+let round mgr pool cfg =
+  let wal = Txnmgr.log mgr in
+  (if Logmgr.segment_count wal > 1 then begin
+     let dpt = Bufpool.dirty_page_table pool in
+     let pinned =
+       List.exists (fun (_, rec_lsn) -> rec_lsn < Logmgr.first_segment_end wal) dpt
+     in
+     if pinned then begin
+       Stats.incr Stats.ckptd_nudges;
+       ignore (Bufpool.clean_some pool ~max_pages:cfg.nudge_pages)
+     end
+   end);
+  ignore (Checkpoint.take mgr pool);
+  Stats.incr Stats.ckptd_rounds;
+  if cfg.truncate then ignore (reclaim mgr pool)
+
+let run_daemon mgr pool cfg ~stop =
+  validate cfg;
+  (* die-on-crash: once a simulated power failure has tripped, the machine
+     is dead — exit instead of busy-yielding forever. *)
+  let stopping () = stop () || Sched.shutting_down () || Crashpoint.tripped () in
+  let rec loop () =
+    if not (stopping ()) then begin
+      (* sleep [every_steps] scheduler steps (cut short by shutdown) *)
+      let t0 = Sched.steps_now () in
+      while (not (stopping ())) && Sched.steps_now () - t0 < cfg.every_steps do
+        Sched.yield ()
+      done;
+      if not (stopping ()) then begin
+        round mgr pool cfg;
+        loop ()
+      end
+    end
+  in
+  loop ()

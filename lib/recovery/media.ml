@@ -7,6 +7,77 @@ module Bufpool = Aries_buffer.Bufpool
 module Disk = Aries_page.Disk
 module Page = Aries_page.Page
 
+(* The log archive: reclaimed WAL segments, retained verbatim so media
+   recovery can roll a fuzzy dump forward across a truncation. In a real
+   system this is the tape/object-store the archiving daemon ships sealed
+   segments to; here it is an in-memory list ordered by base offset. *)
+module Archive = struct
+  type t = { mutable segments : Logmgr.archived list (* oldest first *) }
+
+  let create () = { segments = [] }
+
+  let attach t wal =
+    Logmgr.set_archive_sink wal (fun a -> t.segments <- t.segments @ [ a ])
+
+  let segment_count t = List.length t.segments
+
+  let bytes t = List.fold_left (fun acc a -> acc + a.Logmgr.arch_len) 0 t.segments
+
+  let record_count t = List.fold_left (fun acc a -> acc + a.Logmgr.arch_records) 0 t.segments
+
+  let end_offset t =
+    match List.rev t.segments with
+    | a :: _ -> a.Logmgr.arch_base + a.Logmgr.arch_len
+    | [] -> 0
+
+  (* Decode the framed records of every archived segment with LSN >= [from]
+     ([Lsn.nil] = all), in LSN order. Frames are exactly as they were in
+     the live log: [u32 len][payload] at absolute offset = LSN. *)
+  let iter_records t ~from f =
+    List.iter
+      (fun (a : Logmgr.archived) ->
+        if Lsn.is_nil from || a.Logmgr.arch_base + a.Logmgr.arch_len > from then begin
+          let off = ref 0 in
+          while !off < a.Logmgr.arch_len do
+            let lsn = a.Logmgr.arch_base + !off in
+            let hdr = Bytebuf.R.of_string (String.sub a.Logmgr.arch_data !off 4) in
+            let len = Bytebuf.R.u32 hdr in
+            let payload = String.sub a.Logmgr.arch_data (!off + 4) len in
+            if Lsn.is_nil from || lsn >= from then f (Logrec.decode ~lsn payload);
+            off := !off + 4 + len
+          done
+        end)
+      t.segments
+
+  (* The full log history from [from]: archived segments first (they are
+     strictly below the live log's start), then the live log. *)
+  let iter_history t wal ~from f =
+    iter_records t ~from f;
+    Logmgr.iter_from wal (if Lsn.is_nil from then Lsn.nil else from) f
+
+  let serialize t =
+    let w = Bytebuf.W.create () in
+    Bytebuf.W.list w
+      (fun w (a : Logmgr.archived) ->
+        Bytebuf.W.i64 w a.Logmgr.arch_base;
+        Bytebuf.W.u32 w a.Logmgr.arch_records;
+        Bytebuf.W.string w a.Logmgr.arch_data)
+      t.segments;
+    Bytebuf.W.contents w
+
+  let deserialize b =
+    let r = Bytebuf.R.of_bytes b in
+    let segments =
+      Bytebuf.R.list r (fun r ->
+          let arch_base = Bytebuf.R.i64 r in
+          let arch_records = Bytebuf.R.u32 r in
+          let arch_data = Bytebuf.R.string r in
+          { Logmgr.arch_base; arch_len = String.length arch_data; arch_data; arch_records })
+    in
+    Bytebuf.R.expect_end r;
+    { segments }
+end
+
 type dump = {
   dmp_disk : Disk.t;
   dmp_redo_lsn : Lsn.t;
@@ -23,7 +94,7 @@ let take_dump mgr pool =
 
 let dump_redo_lsn d = d.dmp_redo_lsn
 
-let recover_page mgr pool dump pid =
+let recover_page ?archive mgr pool dump pid =
   let wal = Txnmgr.log mgr in
   let disk = Bufpool.disk pool in
   (* drop whatever damaged frame/image might linger *)
@@ -32,7 +103,16 @@ let recover_page mgr pool dump pid =
   | Some page -> Disk.write disk page
   | None -> Disk.free disk pid);
   let applied = ref 0 in
-  Logmgr.iter_from wal dump.dmp_redo_lsn (fun r ->
+  (* Roll forward from the dump's redo point across the full log history:
+     if segments below the live log's start were reclaimed since the dump
+     was taken, the archive supplies them (the archive sink received every
+     dropped segment before it vanished). *)
+  let iter_history f =
+    match archive with
+    | Some arc -> Archive.iter_history arc wal ~from:dump.dmp_redo_lsn f
+    | None -> Logmgr.iter_from wal dump.dmp_redo_lsn f
+  in
+  iter_history (fun r ->
       if r.Logrec.page = pid then begin
         let redoable =
           match r.Logrec.kind with

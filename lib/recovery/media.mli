@@ -12,6 +12,41 @@
 open Aries_util
 module Lsn = Aries_wal.Lsn
 
+(** Reclaimed-WAL-segment archive: the sink {!Aries_wal.Logmgr} hands
+    dropped segments to, retained verbatim so a fuzzy dump can still be
+    rolled forward after the live log's prefix is truncated. *)
+module Archive : sig
+  type t
+
+  val create : unit -> t
+
+  val attach : t -> Aries_wal.Logmgr.t -> unit
+  (** Install this archive as the log's archive sink: every segment
+      reclaimed by [Logmgr.truncate_prefix] is appended here first. *)
+
+  val segment_count : t -> int
+
+  val bytes : t -> int
+
+  val record_count : t -> int
+
+  val end_offset : t -> int
+  (** One past the last archived byte (0 when empty) — equals the live
+      log's start offset when every truncation went through this sink. *)
+
+  val iter_records : t -> from:Lsn.t -> (Aries_wal.Logrec.t -> unit) -> unit
+  (** Decode archived records with LSN >= [from] in LSN order
+      ([Lsn.nil] = all). *)
+
+  val iter_history : t -> Aries_wal.Logmgr.t -> from:Lsn.t -> (Aries_wal.Logrec.t -> unit) -> unit
+  (** The full record history from [from]: archived segments (strictly
+      below the live start) followed by the live log. *)
+
+  val serialize : t -> bytes
+
+  val deserialize : bytes -> t
+end
+
 type dump
 
 val take_dump : Aries_txn.Txnmgr.t -> Aries_buffer.Bufpool.t -> dump
@@ -20,7 +55,11 @@ val take_dump : Aries_txn.Txnmgr.t -> Aries_buffer.Bufpool.t -> dump
 
 val dump_redo_lsn : dump -> Lsn.t
 
-val recover_page : Aries_txn.Txnmgr.t -> Aries_buffer.Bufpool.t -> dump -> Ids.page_id -> int
+val recover_page :
+  ?archive:Archive.t -> Aries_txn.Txnmgr.t -> Aries_buffer.Bufpool.t -> dump -> Ids.page_id -> int
 (** Restore one lost page from the dump and roll it forward. Returns the
     number of log records applied. The page must not be fixed by anyone.
-    After return the authoritative current version is on disk. *)
+    After return the authoritative current version is on disk. Pass
+    [archive] when the log may have been truncated since the dump: the
+    roll-forward then reads reclaimed segments from the archive before the
+    live log. *)

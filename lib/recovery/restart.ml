@@ -24,6 +24,7 @@ type report = {
 
 type txn_track = {
   mutable tk_state : Txnmgr.state;
+  mutable tk_first : Lsn.t;  (** oldest LSN the txn wrote (bounds truncation) *)
   mutable tk_last : Lsn.t;
   mutable tk_undo_nxt : Lsn.t;
   mutable tk_prepare_body : bytes option;
@@ -31,7 +32,14 @@ type txn_track = {
 }
 
 let fresh_track () =
-  { tk_state = Txnmgr.Active; tk_last = Lsn.nil; tk_undo_nxt = Lsn.nil; tk_prepare_body = None; tk_ended = false }
+  {
+    tk_state = Txnmgr.Active;
+    tk_first = Lsn.nil;
+    tk_last = Lsn.nil;
+    tk_undo_nxt = Lsn.nil;
+    tk_prepare_body = None;
+    tk_ended = false;
+  }
 
 (* ---------- Analysis pass ---------- *)
 
@@ -60,6 +68,7 @@ let analysis wal =
       let lsn = r.Logrec.lsn in
       (if r.Logrec.txn <> Ids.nil_txn then begin
          let tk = track r.Logrec.txn in
+         if Lsn.is_nil tk.tk_first then tk.tk_first <- lsn;
          tk.tk_last <- lsn;
          match r.Logrec.kind with
          | Logrec.Update -> if r.Logrec.undoable then tk.tk_undo_nxt <- lsn
@@ -76,14 +85,30 @@ let analysis wal =
           (* merge checkpointed state: scan-derived knowledge wins *)
           let body = Checkpoint.decode_body r.Logrec.body in
           List.iter
-            (fun (id, state, last_lsn, undo_nxt) ->
-              if not (Hashtbl.mem txns id) then begin
-                let tk = fresh_track () in
-                tk.tk_state <- state;
-                tk.tk_last <- last_lsn;
-                tk.tk_undo_nxt <- undo_nxt;
-                Hashtbl.replace txns id tk
-              end)
+            (fun (id, state, first_lsn, last_lsn, undo_nxt) ->
+              match Hashtbl.find_opt txns id with
+              | None ->
+                  let tk = fresh_track () in
+                  tk.tk_state <- state;
+                  tk.tk_first <- first_lsn;
+                  tk.tk_last <- last_lsn;
+                  tk.tk_undo_nxt <- undo_nxt;
+                  (* a checkpointed Committing txn had appended its Commit
+                     record before End_ckpt was written; that record is
+                     stable whenever this checkpoint anchors restart, so
+                     the txn is committed even though the scan (starting
+                     at the master) never saw the Commit record itself *)
+                  if state = Txnmgr.Committing then tk.tk_ended <- true;
+                  Hashtbl.replace txns id tk
+              | Some tk ->
+                  (* scan-derived knowledge wins for everything except the
+                     first LSN: the checkpoint can know about records from
+                     before the analysis window *)
+                  if
+                    (not (Lsn.is_nil first_lsn))
+                    && (Lsn.is_nil tk.tk_first || Lsn.( < ) first_lsn tk.tk_first)
+                  then tk.tk_first <- first_lsn;
+                  if state = Txnmgr.Committing then tk.tk_ended <- true)
             body.Checkpoint.ck_txns;
           List.iter
             (fun (pid, rec_lsn) ->
@@ -155,8 +180,8 @@ let undo mgr an =
     (fun id tk ->
       if (not tk.tk_ended) && tk.tk_state <> Txnmgr.Prepared then begin
         let txn =
-          Txnmgr.restore_txn mgr ~id ~state:Txnmgr.Rolling_back ~last_lsn:tk.tk_last
-            ~undo_nxt:tk.tk_undo_nxt
+          Txnmgr.restore_txn mgr ~first_lsn:tk.tk_first ~id ~state:Txnmgr.Rolling_back
+            ~last_lsn:tk.tk_last ~undo_nxt:tk.tk_undo_nxt ()
         in
         Lockmgr.set_no_victim (Txnmgr.locks mgr) id;
         losers := txn :: !losers
@@ -201,8 +226,8 @@ let reacquire_indoubt mgr an =
     (fun id tk ->
       if (not tk.tk_ended) && tk.tk_state = Txnmgr.Prepared then begin
         ignore
-          (Txnmgr.restore_txn mgr ~id ~state:Txnmgr.Prepared ~last_lsn:tk.tk_last
-             ~undo_nxt:tk.tk_undo_nxt);
+          (Txnmgr.restore_txn mgr ~first_lsn:tk.tk_first ~id ~state:Txnmgr.Prepared
+             ~last_lsn:tk.tk_last ~undo_nxt:tk.tk_undo_nxt ());
         indoubt := id :: !indoubt;
         (* if the txn prepared before the analysis window, fetch the
            Prepare record through the prev-LSN chain *)

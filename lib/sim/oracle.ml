@@ -1,5 +1,4 @@
 open Aries_util
-module Logmgr = Aries_wal.Logmgr
 module Logrec = Aries_wal.Logrec
 module Lsn = Aries_wal.Lsn
 
@@ -27,9 +26,12 @@ let op_to_string = function
   | Insert (v, rid) -> Printf.sprintf "+%s@%s" v (Ids.rid_to_string rid)
   | Delete (v, rid) -> Printf.sprintf "-%s@%s" v (Ids.rid_to_string rid)
 
-let committed_txns wal =
+(* The full history — archived segments plus the live log — so the oracle
+   stays exact when the checkpoint daemon truncated the live prefix
+   mid-run: a Commit record in a reclaimed segment still counts. *)
+let committed_txns db =
   let set = Hashtbl.create 64 in
-  Logmgr.iter_from wal Lsn.nil (fun r ->
+  Aries_db.Db.iter_log_history db ~from:Lsn.nil (fun r ->
       if r.Logrec.kind = Logrec.Commit then Hashtbl.replace set r.Logrec.txn ());
   set
 

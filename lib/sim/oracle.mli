@@ -37,10 +37,12 @@ val cardinal : t -> int
 
 val op_to_string : op -> string
 
-val committed_txns : Aries_wal.Logmgr.t -> (Ids.txn_id, unit) Hashtbl.t
-(** Transaction ids with a Commit record in the log. Called after
-    [Db.crash], the log holds exactly the stable prefix, so this is the
-    ground truth for which transactions survived. *)
+val committed_txns : Aries_db.Db.t -> (Ids.txn_id, unit) Hashtbl.t
+(** Transaction ids with a Commit record in the full log history (archived
+    reclaimed segments plus the live log, via {!Aries_db.Db.iter_log_history}).
+    Called after [Db.crash], the history holds exactly the stable record
+    sequence, so this is the ground truth for which transactions survived —
+    even when the checkpoint daemon truncated the live prefix mid-run. *)
 
 val diff_lines : t -> (string * Ids.rid) list -> string list
 (** [diff_lines expected actual] describes every divergence (missing /

@@ -34,7 +34,7 @@ let check_state db tree (trace : Workload.trace) ~phase failures =
   (try Btree.check_invariants tree with
   | Failure m -> fail "tree invariant violated: %s" m
   | e -> fail "check_invariants raised %s" (Printexc.to_string e));
-  let committed = Oracle.committed_txns db.Db.wal in
+  let committed = Oracle.committed_txns db in
   List.iter (fun m -> fail "%s" m) (Workload.consistency_failures trace committed);
   let expected = Workload.expected_state trace committed in
   let actual = Btree.to_list tree in
@@ -56,7 +56,8 @@ let run_one ?crash_at (cfg : Workload.cfg) ~seed =
   let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
   let db =
     Db.create ~page_size:cfg.Workload.page_size ~pool_capacity:cfg.Workload.pool_capacity
-      ~commit_mode:cfg.Workload.commit_mode ?cleaner:cfg.Workload.cleaner ()
+      ~commit_mode:cfg.Workload.commit_mode ?cleaner:cfg.Workload.cleaner
+      ?checkpoint:cfg.Workload.checkpoint ~segment_size:cfg.Workload.segment_size ()
   in
   (* The setup phase runs with the checker live too: a protocol violation
      (e.g. under an injected fault) raises out of [Db.run_exn] here and

@@ -17,6 +17,8 @@ type cfg = {
   pool_capacity : int;
   commit_mode : Db.commit_mode;
   cleaner : Aries_buffer.Cleaner.cfg option;
+  checkpoint : Aries_recovery.Ckptd.cfg option;
+  segment_size : int;
 }
 
 let default_cfg =
@@ -33,6 +35,12 @@ let default_cfg =
     pool_capacity = 12;
     commit_mode = Db.Per_commit;
     cleaner = None;
+    (* the checkpoint daemon is ON by default: every sim run exercises
+       fuzzy checkpoints and mid-run log truncation, with segments small
+       enough (1 KiB) that whole segments actually fall below the safety
+       point during a short workload *)
+    checkpoint = Some { Aries_recovery.Ckptd.every_steps = 24; nudge_pages = 2; truncate = true };
+    segment_size = 1024;
   }
 
 (* The same adversarial workload with the full commit pipeline on: batched

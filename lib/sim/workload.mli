@@ -29,13 +29,18 @@ type cfg = {
       (** per-commit forcing or the batched group-commit pipeline *)
   cleaner : Aries_buffer.Cleaner.cfg option;
       (** background page cleaner on/off *)
+  checkpoint : Aries_recovery.Ckptd.cfg option;
+      (** fuzzy-checkpoint daemon on/off (on in both stock configs) *)
+  segment_size : int;  (** WAL segment size — small, so truncation happens mid-run *)
 }
 
 val default_cfg : cfg
 (** 3 fibers x 6 txns, 320-byte pages, 12-frame pool, steals and yields on:
     small enough that a crash sweep over every durability event is cheap,
     adversarial enough to exercise SMOs, deadlocks and steals. Per-commit
-    forcing, no cleaner. *)
+    forcing, no cleaner; the fuzzy-checkpoint daemon runs every 24 steps
+    over 1 KiB log segments, so checkpoints and log truncations interleave
+    with user work in every sim run. *)
 
 val group_cfg : cfg
 (** [default_cfg] with the full commit pipeline on: group commit (batch 4,

@@ -1,6 +1,6 @@
 open Aries_util
 
-type rule = R1 | R2 | R3 | R4 | R5
+type rule = R1 | R2 | R3 | R4 | R5 | R6
 
 let rule_to_string = function
   | R1 -> "R1"
@@ -8,6 +8,7 @@ let rule_to_string = function
   | R3 -> "R3"
   | R4 -> "R4"
   | R5 -> "R5"
+  | R6 -> "R6"
 
 let rule_summary = function
   | R1 -> "no unconditional lock wait while holding a latch"
@@ -15,6 +16,7 @@ let rule_summary = function
   | R3 -> "one SMO in flight per tree"
   | R4 -> "no commit ack before the covering force"
   | R5 -> "no page write with pageLSN above the flushed log (WAL rule)"
+  | R6 -> "no truncation past the safety point; no page write with recLSN in a reclaimed segment"
 
 exception Violation of rule * string
 
@@ -40,6 +42,15 @@ let fibers : (int, fiber_state) Hashtbl.t = Hashtbl.create 32
 (* log id -> stable end offset, learned only from Log_open / Log_force *)
 let flushed : (int, int) Hashtbl.t = Hashtbl.create 4
 
+(* log id -> last independently announced reclamation safety point
+   (Log_safety, emitted by the safety computation itself — monotone
+   nondecreasing, so trusting the latest announcement is sound) *)
+let safety : (int, int) Hashtbl.t = Hashtbl.create 4
+
+(* log id -> current log start offset (start of the oldest live segment),
+   advanced only by Log_truncate events the checker has already vetted *)
+let log_start : (int, int) Hashtbl.t = Hashtbl.create 4
+
 (* tree id -> in-flight SMOs as (txn, exclusive) *)
 let smos : (int, (int * bool) list ref) Hashtbl.t = Hashtbl.create 4
 
@@ -54,6 +65,8 @@ let reset_run_state () =
 let reset () =
   reset_run_state ();
   Hashtbl.reset flushed;
+  Hashtbl.reset safety;
+  Hashtbl.reset log_start;
   violations_count := 0
 
 let fiber_state f =
@@ -160,6 +173,24 @@ let check (ev : Trace.event) =
   | Trace.Log_force { log; upto; stable_lsn = _ } ->
       let cur = match Hashtbl.find_opt flushed log with Some f -> f | None -> 0 in
       Hashtbl.replace flushed log (max cur upto)
+  | Trace.Log_safety { log; safety = s } ->
+      (* the safety point is monotone nondecreasing; remember the furthest
+         announcement so R6 can compare truncations against an authority
+         other than the truncator itself *)
+      let cur = match Hashtbl.find_opt safety log with Some v -> v | None -> 0 in
+      Hashtbl.replace safety log (max cur s)
+  | Trace.Log_truncate { log; new_start; bytes = _; segments = _ } ->
+      (* R6(a): a truncation is legal only below the last independently
+         announced safety point, and never into the volatile suffix. *)
+      (match Hashtbl.find_opt flushed log with
+      | Some f when new_start > f ->
+          violate R6 "log %d truncated to %d beyond flushed offset %d" log new_start f
+      | _ -> ());
+      let s = match Hashtbl.find_opt safety log with Some v -> v | None -> 0 in
+      if new_start > s then
+        violate R6 "log %d truncated to %d past announced safety point %d" log new_start s;
+      let cur = match Hashtbl.find_opt log_start log with Some v -> v | None -> 0 in
+      Hashtbl.replace log_start log (max cur new_start)
   | Trace.Commit_ack { log; txn; lsn; lsn_end } -> (
       (* R4: an acknowledged commit whose record is not covered by a force
          is a durability lie — group-commit aware, because the daemon's
@@ -171,19 +202,31 @@ let check (ev : Trace.event) =
           if lsn_end > f then
             violate R4 "txn %d acked with commit record [%d,%d) beyond flushed offset %d" txn
               lsn lsn_end f)
-  | Trace.Page_write { log; pid; page_lsn; lsn_end } -> (
+  | Trace.Page_write { log; pid; page_lsn; lsn_end; rec_lsn } ->
       (* R5, the WAL rule: the log must cover the page's latest update
          before the page image reaches disk. *)
-      if page_lsn > 0 then
-        match Hashtbl.find_opt flushed log with
-        | None -> ()
-        | Some f ->
-            if lsn_end > f then
-              violate R5 "page %d written with pageLSN %d (record end %d) beyond flushed offset %d"
-                pid page_lsn lsn_end f)
+      (if page_lsn > 0 then
+         match Hashtbl.find_opt flushed log with
+         | None -> ()
+         | Some f ->
+             if lsn_end > f then
+               violate R5
+                 "page %d written with pageLSN %d (record end %d) beyond flushed offset %d" pid
+                 page_lsn lsn_end f);
+      (* R6(b): a dirty page whose first unflushed update (recLSN) lies in
+         a reclaimed segment means the truncation destroyed redo records a
+         crash would still need. *)
+      if rec_lsn > 0 then begin
+        match Hashtbl.find_opt log_start log with
+        | Some start when rec_lsn < start ->
+            violate R6 "page %d written with recLSN %d inside reclaimed prefix (log start %d)"
+              pid rec_lsn start
+        | _ -> ()
+      end
   | Trace.Latch_try_fail _ | Trace.Lock_request _ | Trace.Lock_grant _ | Trace.Lock_deny _
   | Trace.Lock_release _ | Trace.Lock_release_all _ | Trace.Deadlock_victim _
-  | Trace.Log_append _ | Trace.Page_fix _ | Trace.Page_unfix _ | Trace.Commit_enqueue _
+  | Trace.Log_append _ | Trace.Log_seal _ | Trace.Log_archive _ | Trace.Ckpt_take _
+  | Trace.Page_fix _ | Trace.Page_unfix _ | Trace.Commit_enqueue _
   | Trace.Daemon_spawn _ | Trace.Daemon_exit _ | Trace.Restart_phase _
   | Trace.Protocol_locks _ | Trace.Note _ ->
       ()

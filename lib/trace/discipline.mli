@@ -18,13 +18,19 @@
       every covered committer's [Commit_ack]).
     - {b R5} — no page written to disk with [pageLSN] above the flushed
       log boundary (the WAL rule).
+    - {b R6} — log-space reclamation safety: no [Log_truncate] past the
+      last independently announced safety point ([Log_safety], emitted by
+      the safety computation itself — the safety point is monotone
+      nondecreasing, so the latest announcement is an upper bound) or into
+      the volatile suffix; and no page written whose dirty-table [recLSN]
+      falls inside the reclaimed prefix.
 
     Fiber-keyed state (held latches) and per-tree SMO state are discarded
     at every [Run_begin] (a new scheduler incarnation reuses fiber ids and
     loses volatile state, exactly like a crash). The per-log flushed
     boundary persists — it mirrors durable state. *)
 
-type rule = R1 | R2 | R3 | R4 | R5
+type rule = R1 | R2 | R3 | R4 | R5 | R6
 
 exception Violation of rule * string
 

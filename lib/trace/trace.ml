@@ -27,9 +27,14 @@ type payload =
   | Log_open of { log : int; flushed : int }
   | Log_append of { log : int; lsn : int; next : int; kind : string; txn : int }
   | Log_force of { log : int; upto : int; stable_lsn : int }
+  | Log_seal of { log : int; base : int; len : int }
+  | Log_safety of { log : int; safety : int }
+  | Log_truncate of { log : int; new_start : int; bytes : int; segments : int }
+  | Log_archive of { log : int; base : int; len : int; records : int }
+  | Ckpt_take of { log : int; begin_lsn : int; end_lsn : int; redo : int }
   | Page_fix of { pid : int }
   | Page_unfix of { pid : int }
-  | Page_write of { log : int; pid : int; page_lsn : int; lsn_end : int }
+  | Page_write of { log : int; pid : int; page_lsn : int; lsn_end : int; rec_lsn : int }
   | Smo_begin of { tree : int; txn : int; exclusive : bool }
   | Smo_upgrade of { tree : int; txn : int }
   | Smo_end of { tree : int; txn : int }
@@ -172,10 +177,20 @@ let payload_to_string = function
       Printf.sprintf "log-append L%d lsn=%d next=%d %s T%d" log lsn next kind txn
   | Log_force { log; upto; stable_lsn } ->
       Printf.sprintf "log-force L%d upto=%d stable=%d" log upto stable_lsn
+  | Log_seal { log; base; len } -> Printf.sprintf "log-seal L%d base=%d len=%d" log base len
+  | Log_safety { log; safety } -> Printf.sprintf "log-safety L%d safety=%d" log safety
+  | Log_truncate { log; new_start; bytes; segments } ->
+      Printf.sprintf "log-truncate L%d start=%d bytes=%d segments=%d" log new_start bytes
+        segments
+  | Log_archive { log; base; len; records } ->
+      Printf.sprintf "log-archive L%d base=%d len=%d records=%d" log base len records
+  | Ckpt_take { log; begin_lsn; end_lsn; redo } ->
+      Printf.sprintf "ckpt-take L%d begin=%d end=%d redo=%d" log begin_lsn end_lsn redo
   | Page_fix { pid } -> Printf.sprintf "page-fix %d" pid
   | Page_unfix { pid } -> Printf.sprintf "page-unfix %d" pid
-  | Page_write { log; pid; page_lsn; lsn_end } ->
-      Printf.sprintf "page-write L%d pid=%d pageLSN=%d end=%d" log pid page_lsn lsn_end
+  | Page_write { log; pid; page_lsn; lsn_end; rec_lsn } ->
+      Printf.sprintf "page-write L%d pid=%d pageLSN=%d end=%d recLSN=%d" log pid page_lsn
+        lsn_end rec_lsn
   | Smo_begin { tree; txn; exclusive } ->
       Printf.sprintf "smo-begin tree=%d T%d %s" tree txn (if exclusive then "X" else "IX")
   | Smo_upgrade { tree; txn } -> Printf.sprintf "smo-upgrade tree=%d T%d" tree txn

@@ -46,9 +46,27 @@ type payload =
   | Log_open of { log : int; flushed : int }
   | Log_append of { log : int; lsn : int; next : int; kind : string; txn : int }
   | Log_force of { log : int; upto : int; stable_lsn : int }
+  | Log_seal of { log : int; base : int; len : int }
+      (** a WAL segment reached its size budget and was sealed; subsequent
+          appends open a fresh segment *)
+  | Log_safety of { log : int; safety : int }
+      (** the reclamation safety point was recomputed: min(last complete
+          checkpoint's redo point, min recLSN in the DPT, oldest active
+          txn's first LSN). Emitted by the safety computation itself —
+          rule R6 trusts the last announcement, not the truncator. *)
+  | Log_truncate of { log : int; new_start : int; bytes : int; segments : int }
+      (** whole sealed segments below [new_start] were reclaimed *)
+  | Log_archive of { log : int; base : int; len : int; records : int }
+      (** a reclaimed segment was handed to the archive sink (media
+          recovery keeps working) *)
+  | Ckpt_take of { log : int; begin_lsn : int; end_lsn : int; redo : int }
+      (** a fuzzy checkpoint completed: Begin/End pair stable, master set *)
   | Page_fix of { pid : int }
   | Page_unfix of { pid : int }
-  | Page_write of { log : int; pid : int; page_lsn : int; lsn_end : int }
+  | Page_write of { log : int; pid : int; page_lsn : int; lsn_end : int; rec_lsn : int }
+      (** [rec_lsn] is the page's dirty-table recLSN at write time
+          ([0] = clean/untracked) — rule R6 checks it against the
+          reclaimed prefix *)
   | Smo_begin of { tree : int; txn : int; exclusive : bool }
   | Smo_upgrade of { tree : int; txn : int }
   | Smo_end of { tree : int; txn : int }

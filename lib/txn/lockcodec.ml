@@ -57,9 +57,8 @@ let mode_of_int : int -> Lockmgr.mode = function
 
 let encode_list locks =
   let w = Bytebuf.W.create () in
-  Bytebuf.W.u32 w (List.length locks);
-  List.iter
-    (fun (name, mode) ->
+  Bytebuf.W.list w
+    (fun w (name, mode) ->
       encode_name w name;
       Bytebuf.W.u8 w (mode_to_int mode))
     locks;
@@ -67,15 +66,11 @@ let encode_list locks =
 
 let decode_list b =
   let r = Bytebuf.R.of_bytes b in
-  let n = Bytebuf.R.u32 r in
-  let rec loop i acc =
-    if i = n then List.rev acc
-    else begin
-      let name = decode_name r in
-      let mode = mode_of_int (Bytebuf.R.u8 r) in
-      loop (i + 1) ((name, mode) :: acc)
-    end
+  let locks =
+    Bytebuf.R.list r (fun r ->
+        let name = decode_name r in
+        let mode = mode_of_int (Bytebuf.R.u8 r) in
+        (name, mode))
   in
-  let locks = loop 0 [] in
   Bytebuf.R.expect_end r;
   locks

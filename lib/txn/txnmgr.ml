@@ -6,7 +6,7 @@ module Lockmgr = Aries_lock.Lockmgr
 module Sched = Aries_sched.Sched
 module Trace = Aries_trace.Trace
 
-type state = Active | Prepared | Rolling_back
+type state = Active | Committing | Prepared | Rolling_back
 
 type txn = {
   txn_id : Ids.txn_id;
@@ -151,8 +151,18 @@ let make_durable t ~txn lsn =
 let commit t txn =
   (match txn.state with
   | Active | Prepared -> ()
+  | Committing -> invalid_arg "Txnmgr.commit: already committing"
   | Rolling_back -> invalid_arg "Txnmgr.commit: transaction is rolling back");
   let lsn = write_simple t txn Logrec.Commit in
+  (* From here the txn's fate is sealed: its Commit record is in the log
+     (possibly still volatile). If a fuzzy checkpoint fires while we are
+     parked on the group-commit queue, the checkpoint body must not record
+     us as Active — analysis starting after our Commit record would then
+     resurrect us as a loser and undo committed work. [Committing] tells
+     the checkpoint (and restart) to treat us as ended: a checkpoint that
+     completes after this point has End_ckpt > Commit, so the Commit record
+     is stable whenever that checkpoint is the restart anchor. *)
+  txn.state <- Committing;
   make_durable t ~txn:txn.txn_id lsn;
   release_and_end t txn
 
@@ -163,7 +173,7 @@ let encode_locks lockmgr txn_id = Lockcodec.encode_list (Lockmgr.held_locks lock
 let prepare t txn =
   (match txn.state with
   | Active -> ()
-  | Prepared | Rolling_back -> invalid_arg "Txnmgr.prepare: not active");
+  | Committing | Prepared | Rolling_back -> invalid_arg "Txnmgr.prepare: not active");
   let body = encode_locks t.lockmgr txn.txn_id in
   let r =
     Logrec.make ~body ~txn:txn.txn_id ~prev_lsn:txn.last_lsn Logrec.Prepare
@@ -215,7 +225,7 @@ let savepoint txn = txn.last_lsn
 let rollback_to t txn sp =
   (match txn.state with
   | Active -> ()
-  | Prepared | Rolling_back -> invalid_arg "Txnmgr.rollback_to: not active");
+  | Committing | Prepared | Rolling_back -> invalid_arg "Txnmgr.rollback_to: not active");
   undo_chain t txn ~stop_at:sp
 
 let lock t txn name mode duration =
@@ -239,10 +249,12 @@ let active_txns t =
   Hashtbl.fold (fun _ txn acc -> txn :: acc) t.table []
   |> List.sort (fun a b -> compare a.txn_id b.txn_id)
 
-let restore_txn t ~id ~state ~last_lsn ~undo_nxt =
-  (* first_lsn is unknown after restart analysis: Lsn.nil with a non-nil
-     last_lsn blocks log truncation conservatively *)
-  let txn = { txn_id = id; state; first_lsn = Lsn.nil; last_lsn; undo_nxt } in
+let restore_txn t ?(first_lsn = Lsn.nil) ~id ~state ~last_lsn ~undo_nxt () =
+  (* Restart analysis passes the first_lsn it reconstructed (from the
+     checkpoint body or the first record it saw for the txn). When the
+     extent really is unknown, Lsn.nil with a non-nil last_lsn blocks log
+     truncation conservatively (Ckptd.safety_point returns None). *)
+  let txn = { txn_id = id; state; first_lsn; last_lsn; undo_nxt } in
   Hashtbl.replace t.table id txn;
   Lockmgr.attach t.lockmgr id;
   if id >= t.next_id then t.next_id <- id + 1;
@@ -258,10 +270,15 @@ let next_txn_id t = t.next_id
 
 let note_txn_id t id = if id >= t.next_id then t.next_id <- id + 1
 
-let state_to_int = function Active -> 0 | Prepared -> 1 | Rolling_back -> 2
+let state_to_int = function
+  | Active -> 0
+  | Prepared -> 1
+  | Rolling_back -> 2
+  | Committing -> 3
 
 let state_of_int = function
   | 0 -> Active
   | 1 -> Prepared
   | 2 -> Rolling_back
+  | 3 -> Committing
   | n -> raise (Bytebuf.Corrupt (Printf.sprintf "bad txn state %d" n))

@@ -19,6 +19,14 @@ module Lockmgr = Aries_lock.Lockmgr
 
 type state =
   | Active
+  | Committing
+      (** commit record appended but not yet acknowledged durable (e.g.
+          parked on the group-commit queue). The fate is sealed: a fuzzy
+          checkpoint that observes this state records it, and restart
+          analysis treats the transaction as committed — sound because the
+          checkpoint's End_ckpt record follows the Commit record in the
+          log, so whenever that checkpoint anchors restart the Commit
+          record is stable too. *)
   | Prepared  (** in-doubt: survives restart with locks reacquired *)
   | Rolling_back
 
@@ -149,8 +157,20 @@ val find : t -> Ids.txn_id -> txn option
 val active_txns : t -> txn list
 (** All transactions currently in the table, any state; sorted by id. *)
 
-val restore_txn : t -> id:Ids.txn_id -> state:state -> last_lsn:Lsn.t -> undo_nxt:Lsn.t -> txn
-(** Restart analysis rebuilding the table. *)
+val restore_txn :
+  t ->
+  ?first_lsn:Lsn.t ->
+  id:Ids.txn_id ->
+  state:state ->
+  last_lsn:Lsn.t ->
+  undo_nxt:Lsn.t ->
+  unit ->
+  txn
+(** Restart analysis rebuilding the table. [first_lsn] is the oldest LSN
+    the transaction wrote (reconstructed from the checkpoint body or the
+    scan); when omitted it defaults to [Lsn.nil], which — combined with a
+    non-nil [last_lsn] — marks the extent unknown and blocks log-space
+    reclamation conservatively. *)
 
 val finish : t -> txn -> unit
 (** Write End and drop from the table (restart undo completion). *)

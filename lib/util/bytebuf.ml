@@ -29,6 +29,10 @@ module W = struct
 
   let bytes t b = string t (Bytes.unsafe_to_string b)
 
+  let list t f xs =
+    u32 t (List.length xs);
+    List.iter (fun x -> f t x) xs
+
   let contents t = Buffer.to_bytes t
 end
 
@@ -88,6 +92,10 @@ module R = struct
     s
 
   let bytes t = Bytes.unsafe_of_string (string t)
+
+  let list t f =
+    let n = u32 t in
+    List.init n (fun _ -> f t)
 
   let expect_end t =
     if remaining t <> 0 then

@@ -29,6 +29,11 @@ module W : sig
 
   val bytes : t -> bytes -> unit
 
+  val list : t -> (t -> 'a -> unit) -> 'a list -> unit
+  (** u32 count followed by each element written with the given encoder —
+      the one length-prefixed list framing, shared by the checkpoint body
+      and reacquired-lock codecs (previously hand-rolled in both). *)
+
   val contents : t -> bytes
 end
 
@@ -56,6 +61,11 @@ module R : sig
   val string : t -> string
 
   val bytes : t -> bytes
+
+  val list : t -> (t -> 'a) -> 'a list
+  (** Inverse of {!W.list}: u32 count, then that many elements decoded in
+      order. Raises {!Corrupt} (via the element decoder / [need]) on
+      truncation. *)
 
   val expect_end : t -> unit
   (** Raises [Corrupt] if input remains. *)

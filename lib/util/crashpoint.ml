@@ -3,36 +3,47 @@ exception Crash of int
 type state = {
   mutable counter : int;
   mutable trip_at : int option;
+  mutable trip_label : string option;
   mutable is_tripped : bool;
 }
 
-let st = { counter = 0; trip_at = None; is_tripped = false }
+let st = { counter = 0; trip_at = None; trip_label = None; is_tripped = false }
 
 let faults : (string, unit) Hashtbl.t = Hashtbl.create 4
 
 let reset () =
   st.counter <- 0;
   st.trip_at <- None;
+  st.trip_label <- None;
   st.is_tripped <- false
 
 let arm ~at =
   if at <= 0 then invalid_arg "Crashpoint.arm: crash index must be positive";
   st.trip_at <- Some at
 
+let arm_label label = st.trip_label <- Some label
+
 let disarm () =
   st.trip_at <- None;
+  st.trip_label <- None;
   st.is_tripped <- false
 
 let hit label =
   st.counter <- st.counter + 1;
   Stats.incr ("crashpoint." ^ label);
   if st.is_tripped then raise (Crash st.counter)
-  else
+  else begin
+    (match st.trip_label with
+    | Some l when String.equal l label ->
+        st.is_tripped <- true;
+        raise (Crash st.counter)
+    | Some _ | None -> ());
     match st.trip_at with
     | Some at when st.counter >= at ->
         st.is_tripped <- true;
         raise (Crash st.counter)
     | Some _ | None -> ()
+  end
 
 let count () = st.counter
 
@@ -51,3 +62,5 @@ let fault_wal_skip_flush = "wal.skip-flush"
 let fault_lock_uncond_under_latch = "lock.uncond-under-latch"
 
 let fault_commit_early_ack = "commit.early-ack"
+
+let fault_ckpt_premature_truncate = "ckpt.premature-truncate"

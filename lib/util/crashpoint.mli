@@ -30,6 +30,13 @@ val arm : at:int -> unit
 (** Arm the hook: the [at]-th subsequent event (counting from the last
     {!reset}) raises {!Crash}. [at <= 0] is rejected. *)
 
+val arm_label : string -> unit
+(** Arm the hook by {e label}: the next {!hit} whose label equals the given
+    string raises {!Crash}, regardless of the counter. Used by targeted
+    crash-ordering tests (e.g. crash exactly between the checkpoint's log
+    force and the master-record update, label ["ckpt.master"]) where the
+    global event index would be brittle. *)
+
 val disarm : unit -> unit
 (** Stop raising; the counter keeps counting. Call before running restart
     recovery, which performs durability events of its own. *)
@@ -72,3 +79,10 @@ val fault_commit_early_ack : string
 (** Well-known fault name: {!Aries_txn.Txnmgr} acknowledges a commit
     {e before} forcing the log up to the commit record — a durability lie
     the discipline checker must flag as an R4 violation. *)
+
+val fault_ckpt_premature_truncate : string
+(** Well-known fault name: the checkpoint daemon truncates the log all the
+    way to the flushed boundary, ignoring the reclamation safety point —
+    records that restart or media recovery may still need are destroyed.
+    The discipline checker must flag the oversized truncate as an R6
+    violation. *)

@@ -77,6 +77,13 @@ let commit_batch_size = "commit.batch_size"
 let commit_group_waits = "commit.group_waits"
 let cleaner_pages_written = "cleaner.pages_written"
 let cleaner_rounds = "cleaner.rounds"
+let log_seals = "log.seals"
+let log_truncations = "log.truncations"
+let log_segments_reclaimed = "log.segments_reclaimed"
+let log_bytes_reclaimed = "log.bytes_reclaimed"
+let ckpt_taken = "ckpt.taken"
+let ckptd_rounds = "ckptd.rounds"
+let ckptd_nudges = "ckptd.nudges"
 let trace_events = "trace.events"
 let trace_violations = "trace.violations"
 let trace_dumps = "trace.dumps"

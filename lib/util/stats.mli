@@ -80,6 +80,26 @@ val cleaner_pages_written : string
 
 val cleaner_rounds : string
 
+val log_seals : string
+(** WAL segments sealed (reached the segment-size budget). *)
+
+val log_truncations : string
+(** [Logmgr.truncate_prefix] calls that reclaimed at least one segment. *)
+
+val log_segments_reclaimed : string
+
+val log_bytes_reclaimed : string
+
+val ckpt_taken : string
+(** Complete fuzzy checkpoints (Begin/End pair stable, master set). *)
+
+val ckptd_rounds : string
+(** Checkpoint-daemon wakeups that took a checkpoint. *)
+
+val ckptd_nudges : string
+(** Cleaner nudges issued by the checkpoint daemon because a stale dirty
+    page pinned the oldest log segment. *)
+
 val trace_events : string
 (** Protocol trace events emitted into the tracer's ring buffer. *)
 

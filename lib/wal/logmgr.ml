@@ -4,36 +4,72 @@ module Trace = Aries_trace.Trace
 (* Log address space: offset [first_offset] is the first record ever
    written; each record is framed as [u32 length][payload]. The LSN of a
    record is the offset of its frame header, so LSNs are strictly monotonic
-   and [Lsn.nil] (= 0) is below every record. [start] moves forward when the
-   prefix is truncated (log space reclamation); LSNs keep their meaning, but
-   records below [start] are gone. *)
+   and [Lsn.nil] (= 0) is below every record.
+
+   The store is a chain of fixed-size *segments*, oldest first. A record is
+   never split: appends go to the unique unsealed tail segment (the
+   "active" one), and once that segment's length reaches the size budget it
+   is sealed and a fresh segment opens at the current end offset — so every
+   segment boundary is a record boundary, and a segment is addressed by the
+   absolute offset of its first byte ([seg_base]). LSNs keep their global
+   byte-offset meaning: a record at LSN [l] lives in the segment with
+   [seg_base <= l < seg_base + length].
+
+   Log-space reclamation ([truncate_prefix]) drops whole sealed,
+   fully-stable segments below a caller-supplied safety offset, handing
+   each to the archive sink (media recovery replays from the archive). The
+   log's [start] is therefore always the base of the oldest retained
+   segment; reads below it raise. *)
 let first_offset = 8
+
+let default_segment_size = 65536
+
+type segment = {
+  seg_base : int;  (* absolute offset of the segment's first byte *)
+  seg_data : Buffer.t;
+  mutable seg_sealed : bool;
+  mutable seg_records : int;
+}
+
+type archived = {
+  arch_base : int;
+  arch_len : int;
+  arch_data : string;
+  arch_records : int;
+}
 
 type t = {
   id : int;  (* distinguishes log instances for the protocol tracer *)
-  mutable data : Buffer.t;
-  mutable start : int;  (* absolute offset of the first retained byte *)
+  segment_size : int;
+  mutable sealed : segment list;  (* oldest first *)
+  mutable active : segment;  (* the unique unsealed tail segment *)
   mutable flushed : int;  (* absolute offset; everything below is stable *)
   mutable last : Lsn.t;
   mutable last_stable : Lsn.t;  (* largest LSN known stable *)
   mutable master_lsn : Lsn.t;
   mutable count : int;
+  mutable archive_sink : (archived -> unit) option;
 }
 
 let next_id = ref 0
 
-let create () =
+let fresh_segment base = { seg_base = base; seg_data = Buffer.create 1024; seg_sealed = false; seg_records = 0 }
+
+let create ?(segment_size = default_segment_size) () =
+  if segment_size < 64 then invalid_arg "Logmgr.create: segment_size must be >= 64";
   incr next_id;
   let t =
     {
       id = !next_id;
-      data = Buffer.create 4096;
-      start = first_offset;
+      segment_size;
+      sealed = [];
+      active = fresh_segment first_offset;
       flushed = first_offset;
       last = Lsn.nil;
       last_stable = Lsn.nil;
       master_lsn = Lsn.nil;
       count = 0;
+      archive_sink = None;
     }
   in
   (* Baseline the tracer's flushed boundary for this log instance; the
@@ -44,9 +80,39 @@ let create () =
 
 let id t = t.id
 
-let end_offset t = t.start + Buffer.length t.data
+let segment_size t = t.segment_size
 
-let start_lsn t = if Buffer.length t.data = 0 then Lsn.nil else t.start
+let seg_len s = Buffer.length s.seg_data
+
+let seg_end s = s.seg_base + seg_len s
+
+let all_segments t = t.sealed @ [ t.active ]
+
+let start t = match t.sealed with s :: _ -> s.seg_base | [] -> t.active.seg_base
+
+let end_offset t = seg_end t.active
+
+let start_lsn t = if end_offset t = start t then Lsn.nil else start t
+
+let segment_count t = List.length t.sealed + 1
+
+let segments_info t = List.map (fun s -> (s.seg_base, seg_len s, s.seg_sealed)) (all_segments t)
+
+let first_segment_end t = match t.sealed with s :: _ -> seg_end s | [] -> seg_end t.active
+
+let set_archive_sink t f = t.archive_sink <- Some f
+
+let find_segment t off =
+  let rec go = function
+    | [] ->
+        if off >= t.active.seg_base && off < seg_end t.active then t.active
+        else
+          invalid_arg
+            (Printf.sprintf "Logmgr: offset %d out of range [%d,%d) (truncated or unwritten)" off
+               (start t) (end_offset t))
+    | s :: rest -> if off >= s.seg_base && off < seg_end s then s else go rest
+  in
+  go t.sealed
 
 let append t rec_ =
   Crashpoint.hit "wal.append";
@@ -54,8 +120,9 @@ let append t rec_ =
   let payload = Logrec.encode { rec_ with lsn } in
   let w = Bytebuf.W.create () in
   Bytebuf.W.u32 w (Bytes.length payload);
-  Buffer.add_bytes t.data (Bytebuf.W.contents w);
-  Buffer.add_bytes t.data payload;
+  Buffer.add_bytes t.active.seg_data (Bytebuf.W.contents w);
+  Buffer.add_bytes t.active.seg_data payload;
+  t.active.seg_records <- t.active.seg_records + 1;
   t.last <- lsn;
   t.count <- t.count + 1;
   Stats.incr Stats.log_records;
@@ -70,12 +137,24 @@ let append t rec_ =
            kind = Logrec.kind_to_string rec_.Logrec.kind;
            txn = rec_.Logrec.txn;
          });
+  (* Seal on reaching the size budget: the boundary lands on a record
+     boundary by construction (records are never split). *)
+  if seg_len t.active >= t.segment_size then begin
+    let s = t.active in
+    s.seg_sealed <- true;
+    t.sealed <- t.sealed @ [ s ];
+    t.active <- fresh_segment (seg_end s);
+    Stats.incr Stats.log_seals;
+    if Trace.enabled () then
+      Trace.emit (Trace.Log_seal { log = t.id; base = s.seg_base; len = seg_len s })
+  end;
   lsn
 
 (* The single instrumented choke point every log force goes through —
    [flush], [flush_to], and hence the group-commit daemon and the WAL rule.
    [upto] is the absolute end offset to make stable; [stable_lsn] the LSN of
-   the last record that offset covers.
+   the last record that offset covers. The per-segment stable boundary is
+   derived: segment [s] is stable below [min (seg_end s) flushed].
 
    The [fault_wal_skip_flush] switch silently drops log forces: commits and
    the WAL rule stop being durable. It exists so the simulation harness can
@@ -92,17 +171,19 @@ let force t ~upto ~stable_lsn =
 let flush t = force t ~upto:(end_offset t) ~stable_lsn:t.last
 
 let frame_len t off =
-  let hdr = Buffer.sub t.data (off - t.start) 4 in
+  let s = find_segment t off in
+  let hdr = Buffer.sub s.seg_data (off - s.seg_base) 4 in
   let r = Bytebuf.R.of_string hdr in
   Bytebuf.R.u32 r
 
 let read t lsn =
-  if lsn < t.start || lsn >= end_offset t then
+  if lsn < start t || lsn >= end_offset t then
     invalid_arg
       (Printf.sprintf "Logmgr.read: LSN %d out of range [%d,%d) (truncated or unwritten)" lsn
-         t.start (end_offset t));
+         (start t) (end_offset t));
+  let s = find_segment t lsn in
   let len = frame_len t lsn in
-  let payload = Buffer.sub t.data (lsn - t.start + 4) len in
+  let payload = Buffer.sub s.seg_data (lsn - s.seg_base + 4) len in
   Logrec.decode ~lsn payload
 
 let record_end t lsn = lsn + 4 + frame_len t lsn
@@ -111,6 +192,8 @@ let flush_to t lsn =
   if Lsn.is_nil lsn then () else force t ~upto:(record_end t lsn) ~stable_lsn:lsn
 
 let flushed_lsn t = t.last_stable
+
+let flushed_offset t = t.flushed
 
 let last_lsn t = t.last
 
@@ -121,80 +204,195 @@ let next_lsn t lsn =
   if e < end_offset t then Some e else None
 
 let iter_from t lsn f =
-  let start = if Lsn.is_nil lsn then t.start else max lsn t.start in
+  let from = if Lsn.is_nil lsn then start t else max lsn (start t) in
   let rec loop off =
     if off < end_offset t then begin
       f (read t off);
       loop (record_end t off)
     end
   in
-  loop start
+  loop from
 
 let set_master t lsn = t.master_lsn <- lsn
 
 let master t = t.master_lsn
 
-let crash t =
-  let stable = Buffer.sub t.data 0 (t.flushed - t.start) in
-  Buffer.clear t.data;
-  Buffer.add_string t.data stable;
-  t.last <- t.last_stable;
-  (* recount records in the surviving prefix *)
+let recount t =
   let n = ref 0 in
   iter_from t Lsn.nil (fun _ -> incr n);
   t.count <- !n
 
+let crash t =
+  (* Stable state per segment: drop segments entirely above the flushed
+     boundary, trim the one straddling it (which re-opens as the active
+     segment — its tail was never sealed durably), keep the rest intact. *)
+  let kept = List.filter (fun s -> s.seg_base < t.flushed) (all_segments t) in
+  let kept =
+    match kept with
+    | [] -> [ fresh_segment t.flushed ]  (* flushed = start: nothing stable *)
+    | _ ->
+        List.iter
+          (fun s ->
+            if seg_end s > t.flushed then begin
+              let stable = Buffer.sub s.seg_data 0 (t.flushed - s.seg_base) in
+              Buffer.clear s.seg_data;
+              Buffer.add_string s.seg_data stable;
+              s.seg_sealed <- false
+            end)
+          kept;
+        kept
+  in
+  (* the last kept segment becomes active unless it survived sealed and
+     full, in which case a fresh segment opens at the flushed boundary *)
+  let rec split acc = function
+    | [ last ] -> (List.rev acc, last)
+    | x :: rest -> split (x :: acc) rest
+    | [] -> assert false
+  in
+  let sealed, tail = split [] kept in
+  if tail.seg_sealed then begin
+    t.sealed <- sealed @ [ tail ];
+    t.active <- fresh_segment (seg_end tail)
+  end
+  else begin
+    t.sealed <- sealed;
+    t.active <- tail
+  end;
+  (* per-segment record counts in the surviving prefix *)
+  List.iter
+    (fun s ->
+      let n = ref 0 in
+      let rec loop off = if off < seg_end s then begin incr n; loop (record_end t off) end in
+      loop s.seg_base;
+      s.seg_records <- !n)
+    (all_segments t);
+  t.last <- t.last_stable;
+  recount t
+
 let record_count t = t.count
 
-let size_bytes t = Buffer.length t.data
+let size_bytes t = List.fold_left (fun acc s -> acc + seg_len s) 0 (all_segments t)
+
+(* Reclamation: drop whole sealed, fully-stable segments whose end offset
+   is <= [upto] (the caller's safety point — see Ckptd.safety_point and
+   rule R6). Each dropped segment is handed to the archive sink first, so
+   media recovery can still roll forward from a fuzzy dump taken before
+   the truncation. Returns the number of bytes reclaimed. *)
+let truncate_prefix t ~upto =
+  if upto > t.flushed then
+    invalid_arg "Logmgr.truncate_prefix: cannot truncate into the volatile tail";
+  let dropped_bytes = ref 0 and dropped_segs = ref 0 in
+  let rec go = function
+    | s :: rest when s.seg_sealed && seg_end s <= upto && seg_end s <= t.flushed ->
+        let arch =
+          {
+            arch_base = s.seg_base;
+            arch_len = seg_len s;
+            arch_data = Buffer.contents s.seg_data;
+            arch_records = s.seg_records;
+          }
+        in
+        (match t.archive_sink with Some f -> f arch | None -> ());
+        if Trace.enabled () then
+          Trace.emit
+            (Trace.Log_archive
+               { log = t.id; base = arch.arch_base; len = arch.arch_len; records = arch.arch_records });
+        dropped_bytes := !dropped_bytes + arch.arch_len;
+        incr dropped_segs;
+        t.count <- t.count - s.seg_records;
+        go rest
+    | rest -> rest
+  in
+  t.sealed <- go t.sealed;
+  if !dropped_segs > 0 then begin
+    Stats.incr Stats.log_truncations;
+    Stats.add Stats.log_segments_reclaimed !dropped_segs;
+    Stats.add Stats.log_bytes_reclaimed !dropped_bytes;
+    if Trace.enabled () then
+      Trace.emit
+        (Trace.Log_truncate
+           { log = t.id; new_start = start t; bytes = !dropped_bytes; segments = !dropped_segs })
+  end;
+  !dropped_bytes
 
 let serialize t =
   let w = Bytebuf.W.create () in
   Bytebuf.W.i64 w t.master_lsn;
   Bytebuf.W.i64 w t.last_stable;
-  Bytebuf.W.i64 w t.start;
-  Bytebuf.W.string w (Buffer.sub t.data 0 (t.flushed - t.start));
+  Bytebuf.W.i64 w t.segment_size;
+  Bytebuf.W.i64 w (start t);
+  (* stable state only: each segment's stable prefix; a segment is recorded
+     as sealed only if its full extent is stable (a sealed-in-memory tail
+     whose seal never reached disk re-opens on recovery) *)
+  let stable_segs = List.filter (fun s -> s.seg_base < t.flushed) (all_segments t) in
+  Bytebuf.W.list w
+    (fun w s ->
+      Bytebuf.W.i64 w s.seg_base;
+      Bytebuf.W.bool w (s.seg_sealed && seg_end s <= t.flushed);
+      Bytebuf.W.string w (Buffer.sub s.seg_data 0 (min (seg_len s) (t.flushed - s.seg_base))))
+    stable_segs;
   Bytebuf.W.contents w
 
 let deserialize b =
   let r = Bytebuf.R.of_bytes b in
   let master_lsn = Bytebuf.R.i64 r in
   let last_stable = Bytebuf.R.i64 r in
-  let start = Bytebuf.R.i64 r in
-  let stable = Bytebuf.R.string r in
+  let segment_size = Bytebuf.R.i64 r in
+  let log_start = Bytebuf.R.i64 r in
+  let segs =
+    Bytebuf.R.list r (fun r ->
+        let base = Bytebuf.R.i64 r in
+        let sealed = Bytebuf.R.bool r in
+        let data = Bytebuf.R.string r in
+        (base, sealed, data))
+  in
   Bytebuf.R.expect_end r;
-  let t = create () in
-  t.start <- start;
-  Buffer.add_string t.data stable;
-  t.flushed <- start + String.length stable;
+  let t = create ~segment_size () in
+  (match segs with
+  | [] -> t.active <- fresh_segment log_start
+  | _ ->
+      let rebuilt =
+        List.map
+          (fun (base, sealed, data) ->
+            let s = fresh_segment base in
+            Buffer.add_string s.seg_data data;
+            s.seg_sealed <- sealed;
+            s)
+          segs
+      in
+      let rec split acc = function
+        | [ last ] -> (List.rev acc, last)
+        | x :: rest -> split (x :: acc) rest
+        | [] -> assert false
+      in
+      let sealed, tail = split [] rebuilt in
+      if tail.seg_sealed then begin
+        t.sealed <- sealed @ [ tail ];
+        t.active <- fresh_segment (seg_end tail)
+      end
+      else begin
+        t.sealed <- sealed;
+        t.active <- tail
+      end);
+  t.flushed <- end_offset t;
   t.master_lsn <- master_lsn;
   t.last_stable <- last_stable;
   t.last <- last_stable;
-  let n = ref 0 in
-  iter_from t Lsn.nil (fun _ -> incr n);
-  t.count <- !n;
+  List.iter
+    (fun s ->
+      let n = ref 0 in
+      let rec loop off = if off < seg_end s then begin incr n; loop (record_end t off) end in
+      loop s.seg_base;
+      s.seg_records <- !n)
+    (all_segments t);
+  recount t;
   (* Re-baseline: deserialize models re-opening the log after a crash, so
      the surviving stable prefix is the tracer's flushed boundary. *)
   if Trace.enabled () then Trace.emit (Trace.Log_open { log = t.id; flushed = t.flushed });
   t
 
-let truncate_before t lsn =
-  if lsn > t.start then begin
-    if not (is_stable t lsn || lsn <= t.flushed) then
-      invalid_arg "Logmgr.truncate_before: cannot truncate into the volatile tail";
-    if lsn > end_offset t then invalid_arg "Logmgr.truncate_before: beyond the end of the log";
-    let keep = Buffer.sub t.data (lsn - t.start) (Buffer.length t.data - (lsn - t.start)) in
-    let data = Buffer.create (max 4096 (String.length keep)) in
-    Buffer.add_string data keep;
-    t.data <- data;
-    t.start <- lsn;
-    let n = ref 0 in
-    iter_from t Lsn.nil (fun _ -> incr n);
-    t.count <- !n
-  end
-
 let records_between t lo hi =
   let acc = ref [] in
-  let lo = if Lsn.is_nil lo then t.start else max lo t.start in
+  let lo = if Lsn.is_nil lo then start t else max lo (start t) in
   iter_from t lo (fun r -> if Lsn.is_nil hi || r.Logrec.lsn <= hi then acc := r :: !acc);
   List.rev !acc

@@ -17,8 +17,8 @@ let specs =
     { Table.sp_name = "city"; sp_unique = false; sp_key = (fun row -> row.(1)) };
   ]
 
-let setup ?(page_size = 512) () =
-  let db = Db.create ~page_size () in
+let setup ?(page_size = 512) ?segment_size () =
+  let db = Db.create ~page_size ?segment_size () in
   let tbl = Db.run_exn db (fun () -> Db.with_txn db (fun txn -> Table.create db txn ~id:1 specs)) in
   (db, tbl)
 
@@ -303,7 +303,9 @@ let test_oversized_record_rejected () =
   Alcotest.(check int) "nothing stored" 0 (Table.count tbl)
 
 let test_trim_log () =
-  let db, tbl = setup () in
+  (* small segments: reclamation is whole-segment, and the workload must
+     seal several below the safety point *)
+  let db, tbl = setup ~segment_size:512 () in
   Db.run_exn db (fun () ->
       Db.with_txn db (fun txn ->
           for i = 0 to 59 do
@@ -342,7 +344,7 @@ let test_trim_blocked_by_active_txn () =
          Txnmgr.rollback db.Db.mgr t))
 
 let test_trim_returns_zero_for_restored_txn () =
-  let db, tbl = setup () in
+  let db, tbl = setup ~segment_size:256 () in
   Db.run_exn db (fun () ->
       Db.with_txn db (fun txn -> ignore (Table.insert tbl txn (row "base" "sf" "1"))));
   (* prepare an in-doubt txn, then crash: restart restores it with unknown
@@ -357,16 +359,33 @@ let test_trim_returns_zero_for_restored_txn () =
   let report = Db.run_exn db' (fun () -> Db.restart db') in
   Alcotest.(check int) "one in-doubt txn restored" 1
     (List.length report.Aries_recovery.Restart.rp_indoubt);
-  Aries_buffer.Bufpool.flush_all db'.Db.pool;
-  Db.checkpoint db';
-  Alcotest.(check int) "trim blocked by txn of unknown extent: 0 bytes" 0 (Db.trim_log db');
-  (* resolving the in-doubt txn unblocks the horizon *)
+  (* analysis recovered the in-doubt txn's first LSN (from the scan or the
+     checkpoint body), so the safety point is pinned at it, not blocked *)
   let t' =
     match Txnmgr.active_txns db'.Db.mgr with
     | [ t ] -> t
     | _ -> Alcotest.fail "expected exactly the restored txn"
   in
-  Db.run_exn db' (fun () -> Txnmgr.commit_prepared db'.Db.mgr t');
+  Alcotest.(check bool) "restored with known extent" true
+    (not (Aries_wal.Lsn.is_nil t'.Txnmgr.first_lsn));
+  Aries_buffer.Bufpool.flush_all db'.Db.pool;
+  Db.checkpoint db';
+  ignore (Db.trim_log db');
+  Alcotest.(check bool) "horizon respects the in-doubt txn" true
+    (Aries_wal.Lsn.( <= ) (Aries_wal.Logmgr.start_lsn db'.Db.wal) t'.Txnmgr.first_lsn);
+  (* a transaction of truly unknown extent — as a pre-first_lsn checkpoint
+     body would restore — must block trimming entirely *)
+  let ghost =
+    Txnmgr.restore_txn db'.Db.mgr ~id:9999 ~state:Txnmgr.Prepared
+      ~last_lsn:t'.Txnmgr.last_lsn ~undo_nxt:t'.Txnmgr.last_lsn ()
+  in
+  Alcotest.(check bool) "unknown extent blocks: no safety point" true
+    (Db.safety_point db' = None);
+  Alcotest.(check int) "trim blocked by txn of unknown extent: 0 bytes" 0 (Db.trim_log db');
+  (* resolving both unblocks the horizon *)
+  Db.run_exn db' (fun () ->
+      Txnmgr.commit_prepared db'.Db.mgr ghost;
+      Txnmgr.commit_prepared db'.Db.mgr t');
   Aries_buffer.Bufpool.flush_all db'.Db.pool;
   Db.checkpoint db';
   Alcotest.(check bool) "trim frees bytes once resolved" true (Db.trim_log db' > 0)

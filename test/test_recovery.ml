@@ -387,6 +387,177 @@ let qcheck_crash =
   QCheck.Test.make ~name:"crash at a random point: exactly the committed state is recovered"
     ~count:25 QCheck.small_int crash_prop
 
+(* ---------- fuzzy checkpoints under load ---------- *)
+
+let test_ckpt_crash_before_master () =
+  (* Crash-ordering: Checkpoint.take forces the Begin/End pair stable and
+     only then updates the master record, with a crash-point hook in the
+     window. A crash there must leave the old master valid: restart anchors
+     on the previous complete checkpoint and loses nothing. *)
+  let db, tree = fresh () in
+  let ix = Btree.index_id tree in
+  Db.run_exn db (fun () ->
+      Db.with_txn db (fun txn ->
+          for i = 0 to 59 do
+            Btree.insert tree txn ~value:(v i) ~rid:(rid i)
+          done));
+  Db.checkpoint db;
+  let master1 = Logmgr.master db.Db.wal in
+  Alcotest.(check bool) "first checkpoint mastered" false (Aries_wal.Lsn.is_nil master1);
+  Db.run_exn db (fun () ->
+      Db.with_txn db (fun txn ->
+          for i = 60 to 99 do
+            Btree.insert tree txn ~value:(v i) ~rid:(rid i)
+          done));
+  Crashpoint.reset ();
+  Crashpoint.arm_label "ckpt.master";
+  (match Db.checkpoint db with
+  | () -> Alcotest.fail "crash point between force and master update never fired"
+  | exception Crashpoint.Crash _ -> ());
+  Crashpoint.disarm ();
+  Crashpoint.reset ();
+  Alcotest.(check int) "master still names the old checkpoint" master1
+    (Logmgr.master db.Db.wal);
+  let db', _report = crash_restart db in
+  let tree' = reopen db' ix in
+  Btree.check_invariants tree';
+  Alcotest.(check int) "nothing lost across the torn checkpoint" 100
+    (List.length (Btree.to_list tree'));
+  (* and the next checkpoint completes and advances the master *)
+  Db.checkpoint db';
+  Alcotest.(check bool) "master advanced past the old checkpoint" true
+    (Aries_wal.Lsn.( < ) master1 (Logmgr.master db'.Db.wal))
+
+let test_ckpt_mid_smo () =
+  (* Fuzzy checkpoints never quiesce: take one in the middle of every SMO
+     (tree pages latched, the split half-propagated) and the outcome must
+     be byte-for-byte what it would have been without the checkpoints. *)
+  let db, tree = fresh ~page_size:384 () in
+  let ix = Btree.index_id tree in
+  Db.run_exn db (fun () ->
+      Db.with_txn db (fun txn ->
+          for i = 0 to 39 do
+            Btree.insert tree txn ~value:(v i) ~rid:(rid i)
+          done));
+  let ckpts = ref 0 in
+  Btree.set_smo_pause db.Db.benv
+    (Some
+       (fun () ->
+         incr ckpts;
+         Db.checkpoint db));
+  Db.run_exn db (fun () ->
+      Db.with_txn db (fun txn ->
+          for i = 40 to 139 do
+            Btree.insert tree txn ~value:(v i) ~rid:(rid i)
+          done));
+  Btree.set_smo_pause db.Db.benv None;
+  Alcotest.(check bool) "checkpoints actually fired mid-SMO" true (!ckpts > 0);
+  let db', _report = crash_restart db in
+  let tree' = reopen db' ix in
+  Btree.check_invariants tree';
+  Alcotest.(check int) "mid-SMO checkpoints change nothing" 140
+    (List.length (Btree.to_list tree'))
+
+let test_ckpt_with_loser_in_flight () =
+  (* A checkpoint that records an active transaction (including mid-SMO)
+     must not stop restart from rolling it back when it never commits. *)
+  let db, tree = fresh ~page_size:384 () in
+  let ix = Btree.index_id tree in
+  Db.run_exn db (fun () ->
+      Db.with_txn db (fun txn ->
+          for i = 0 to 39 do
+            Btree.insert tree txn ~value:(v i) ~rid:(rid i)
+          done));
+  let ckpts = ref 0 in
+  ignore
+    (Db.run db (fun () ->
+         let t = Txnmgr.begin_txn db.Db.mgr in
+         Btree.set_smo_pause db.Db.benv
+           (Some
+              (fun () ->
+                incr ckpts;
+                Db.checkpoint db));
+         for i = 40 to 160 do
+           Btree.insert tree t ~value:(v i) ~rid:(rid i)
+         done;
+         Btree.set_smo_pause db.Db.benv None;
+         Logmgr.flush db.Db.wal
+         (* crash with the txn in flight: the checkpoints recorded it as
+            Active, possibly in the middle of one of its SMOs *)));
+  Alcotest.(check bool) "checkpoints fired with the loser in flight" true (!ckpts > 0);
+  let db', report = crash_restart db in
+  Alcotest.(check int) "one loser" 1 (List.length report.Restart.rp_losers);
+  let tree' = reopen db' ix in
+  Btree.check_invariants tree';
+  Alcotest.(check int) "loser fully undone despite checkpoints" 40
+    (List.length (Btree.to_list tree'))
+
+let test_analysis_bounded_by_ckpt () =
+  (* rp_records_analyzed after a crash is bounded by the number of records
+     written since the last complete checkpoint — the whole point of
+     checkpointing is that analysis does not reread history. *)
+  let db, tree = fresh () in
+  Db.run_exn db (fun () ->
+      Db.with_txn db (fun txn ->
+          for i = 0 to 79 do
+            Btree.insert tree txn ~value:(v i) ~rid:(rid i)
+          done));
+  Db.checkpoint db;
+  Db.run_exn db (fun () ->
+      Db.with_txn db (fun txn ->
+          for i = 80 to 99 do
+            Btree.insert tree txn ~value:(v i) ~rid:(rid i)
+          done));
+  let master = Logmgr.master db.Db.wal in
+  let since_ckpt = ref 0 in
+  Logmgr.iter_from db.Db.wal master (fun _ -> incr since_ckpt);
+  let total = ref 0 in
+  Logmgr.iter_from db.Db.wal (Logmgr.start_lsn db.Db.wal) (fun _ -> incr total);
+  let _db', report = crash_restart db in
+  Alcotest.(check bool) "analysis <= records since last complete checkpoint" true
+    (report.Restart.rp_records_analyzed <= !since_ckpt);
+  Alcotest.(check bool) "analysis strictly under full-log scan" true
+    (report.Restart.rp_records_analyzed < !total)
+
+let test_committing_in_ckpt_is_winner () =
+  (* Regression: a group-commit committer parked between appending its
+     Commit record and the batched force is recorded by a fuzzy checkpoint
+     in state Committing. Restart analysis anchored on that checkpoint
+     never sees the Commit record (it precedes Begin_ckpt), so the body
+     state alone must classify the transaction as committed — it is sound
+     because End_ckpt > Commit means the Commit record is stable whenever
+     this checkpoint is the restart anchor. *)
+  let db, tree = fresh () in
+  let ix = Btree.index_id tree in
+  Db.run_exn db (fun () ->
+      Db.with_txn db (fun txn ->
+          for i = 0 to 19 do
+            Btree.insert tree txn ~value:(v i) ~rid:(rid i)
+          done));
+  ignore
+    (Db.run db (fun () ->
+         (* emulate the parked committer: Commit record appended, state
+            Committing, no force and no End_txn yet *)
+         let t = Txnmgr.begin_txn db.Db.mgr in
+         for i = 20 to 39 do
+           Btree.insert tree t ~value:(v i) ~rid:(rid i)
+         done;
+         let r =
+           Aries_wal.Logrec.make ~txn:t.Txnmgr.txn_id ~prev_lsn:t.Txnmgr.last_lsn
+             Aries_wal.Logrec.Commit
+         in
+         t.Txnmgr.last_lsn <- Logmgr.append db.Db.wal r;
+         t.Txnmgr.state <- Txnmgr.Committing;
+         (* the fuzzy checkpoint fires while the committer is parked; its
+            force-before-master makes the Commit record stable too *)
+         Db.checkpoint db));
+  let db', report = crash_restart db in
+  Alcotest.(check int) "parked committer is not a loser" 0
+    (List.length report.Restart.rp_losers);
+  let tree' = reopen db' ix in
+  Btree.check_invariants tree';
+  Alcotest.(check int) "its work is durable" 40 (List.length (Btree.to_list tree'))
+
 (* ---------- media recovery ---------- *)
 
 let test_media_recovery () =
@@ -465,6 +636,18 @@ let () =
           Alcotest.test_case "2PC: abort after restart" `Quick test_prepared_abort_after_restart;
         ] );
       ("property", [ QCheck_alcotest.to_alcotest qcheck_crash ]);
+      ( "checkpoint",
+        [
+          Alcotest.test_case "crash between End_ckpt force and master" `Quick
+            test_ckpt_crash_before_master;
+          Alcotest.test_case "checkpoint mid-SMO changes nothing" `Quick test_ckpt_mid_smo;
+          Alcotest.test_case "checkpoint with loser in flight" `Quick
+            test_ckpt_with_loser_in_flight;
+          Alcotest.test_case "analysis bounded by last checkpoint" `Quick
+            test_analysis_bounded_by_ckpt;
+          Alcotest.test_case "Committing in checkpoint body is a winner" `Quick
+            test_committing_in_ckpt_is_winner;
+        ] );
       ( "media",
         [
           Alcotest.test_case "single page" `Quick test_media_recovery;

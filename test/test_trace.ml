@@ -218,11 +218,56 @@ let test_rule_r5 () =
   clean (fun () ->
       Discipline.check (ev (Trace.Log_open { log = 3; flushed = 200 }));
       (* covered write is fine; a nil pageLSN (never-updated page) always is *)
-      Discipline.check (ev (Trace.Page_write { log = 3; pid = 4; page_lsn = 10; lsn_end = 180 }));
-      Discipline.check (ev (Trace.Page_write { log = 3; pid = 5; page_lsn = 0; lsn_end = 0 }));
+      Discipline.check
+        (ev (Trace.Page_write { log = 3; pid = 4; page_lsn = 10; lsn_end = 180; rec_lsn = 10 }));
+      Discipline.check
+        (ev (Trace.Page_write { log = 3; pid = 5; page_lsn = 0; lsn_end = 0; rec_lsn = 0 }));
       expect Discipline.R5 (fun () ->
           Discipline.check
-            (ev (Trace.Page_write { log = 3; pid = 4; page_lsn = 210; lsn_end = 250 }))))
+            (ev
+               (Trace.Page_write { log = 3; pid = 4; page_lsn = 210; lsn_end = 250; rec_lsn = 210 }))))
+
+(* R6: truncation is judged against the independently announced safety
+   point, and a dirty-page write whose recLSN fell below a vetted
+   truncation proves redo records were destroyed. *)
+let test_rule_r6 () =
+  clean (fun () ->
+      Discipline.check (ev (Trace.Log_open { log = 3; flushed = 500 }));
+      (* no safety point ever announced: any truncation is premature *)
+      expect Discipline.R6 (fun () ->
+          Discipline.check
+            (ev (Trace.Log_truncate { log = 3; new_start = 100; bytes = 92; segments = 1 })));
+      Discipline.reset ();
+      Discipline.check (ev (Trace.Log_open { log = 3; flushed = 500 }));
+      Discipline.check (ev (Trace.Log_safety { log = 3; safety = 300 }));
+      (* below the announcement: fine *)
+      Discipline.check
+        (ev (Trace.Log_truncate { log = 3; new_start = 200; bytes = 192; segments = 2 }));
+      (* past the announcement: premature *)
+      expect Discipline.R6 (fun () ->
+          Discipline.check
+            (ev (Trace.Log_truncate { log = 3; new_start = 400; bytes = 200; segments = 1 })));
+      (* past the flushed boundary: always premature, whatever was announced *)
+      Discipline.check (ev (Trace.Log_safety { log = 3; safety = 10_000 }));
+      expect Discipline.R6 (fun () ->
+          Discipline.check
+            (ev (Trace.Log_truncate { log = 3; new_start = 600; bytes = 200; segments = 1 }))))
+
+let test_rule_r6_reclaimed_rec_lsn () =
+  clean (fun () ->
+      Discipline.check (ev (Trace.Log_open { log = 3; flushed = 500 }));
+      Discipline.check (ev (Trace.Log_safety { log = 3; safety = 300 }));
+      Discipline.check
+        (ev (Trace.Log_truncate { log = 3; new_start = 300; bytes = 292; segments = 3 }));
+      (* recLSN at/above the new start: the redo records survive *)
+      Discipline.check
+        (ev (Trace.Page_write { log = 3; pid = 4; page_lsn = 350; lsn_end = 400; rec_lsn = 300 }));
+      (* recLSN below the new start: its first redo record is gone *)
+      expect Discipline.R6 (fun () ->
+          Discipline.check
+            (ev
+               (Trace.Page_write
+                  { log = 3; pid = 9; page_lsn = 350; lsn_end = 400; rec_lsn = 250 }))))
 
 (* Run_begin discards volatile (fiber/SMO) state but keeps the flushed
    boundary — it mirrors durable state across simulated crashes. *)
@@ -344,6 +389,57 @@ let test_meta_fault_commit_early_ack () =
       Db.run_exn db2 (fun () ->
           Db.with_txn db2 (fun t -> Btree.insert tree2 t ~value:(v 1) ~rid:(rid 1)));
       Alcotest.(check int) "clean commit: no violations" 0 (Discipline.violations ()))
+
+(* ------------------------------------------------------------------ *)
+(* Meta-fault 3 (R6): the fault makes the checkpoint daemon's reclamation
+   overshoot the safety point all the way to the flushed boundary —
+   destroying records a restart would still need for the open
+   transaction's undo. The checker must catch the oversized truncation
+   against the independently announced safety point. *)
+
+let test_meta_fault_premature_truncate () =
+  clean (fun () ->
+      let db = Db.create ~page_size:384 ~segment_size:256 () in
+      let tree =
+        Db.run_exn db (fun () ->
+            Db.with_txn db (fun txn -> Btree.create db.Db.benv txn ~name:"t" ~unique:true))
+      in
+      let caught = ref None in
+      Db.run_exn db (fun () ->
+          (* a long-running transaction pins the safety point near the
+             start of the log... *)
+          let pin = Txnmgr.begin_txn db.Db.mgr in
+          Btree.insert tree pin ~value:(v 0) ~rid:(rid 0);
+          (* ...while committed work seals many stable segments above it *)
+          for i = 1 to 40 do
+            Db.with_txn db (fun t -> Btree.insert tree t ~value:(v i) ~rid:(rid i))
+          done;
+          Db.checkpoint db;
+          Alcotest.(check bool) "many sealed segments" true
+            (Logmgr.segment_count db.Db.wal > 3);
+          (* the honest path respects the pin: no violation *)
+          ignore (Db.trim_log db);
+          Alcotest.(check int) "honest reclamation passes" 0 (Discipline.violations ());
+          Crashpoint.enable_fault Crashpoint.fault_ckpt_premature_truncate;
+          (match Db.trim_log db with
+          | _ -> ()
+          | exception Discipline.Violation (rule, msg) -> caught := Some (rule, msg));
+          Crashpoint.clear_faults ();
+          Txnmgr.commit db.Db.mgr pin);
+      (match !caught with
+      | Some (Discipline.R6, msg) ->
+          Alcotest.(check bool) "message names the safety point" true
+            (has_substring msg "safety")
+      | Some (rule, msg) ->
+          Alcotest.failf "wrong rule %s: %s" (Discipline.rule_to_string rule) msg
+      | None -> Alcotest.fail "R6 meta-fault escaped the checker");
+      Alcotest.(check bool) "violation counted" true (Discipline.violations () >= 1);
+      (* the event window shows the announcement and the oversized cut *)
+      let dump = Trace.dump_last 60 in
+      Alcotest.(check bool) "dump has the safety announcement" true
+        (List.exists (fun l -> has_substring l "log-safety") dump);
+      Alcotest.(check bool) "dump has the truncation" true
+        (List.exists (fun l -> has_substring l "log-truncate") dump))
 
 (* ------------------------------------------------------------------ *)
 (* Deadlock-victim path, asserted from the trace: the youngest victim's
@@ -525,6 +621,9 @@ let () =
           Alcotest.test_case "R3 one SMO in flight" `Quick test_rule_r3;
           Alcotest.test_case "R4 ack before force" `Quick test_rule_r4;
           Alcotest.test_case "R5 WAL rule" `Quick test_rule_r5;
+          Alcotest.test_case "R6 truncation past safety" `Quick test_rule_r6;
+          Alcotest.test_case "R6 recLSN in reclaimed prefix" `Quick
+            test_rule_r6_reclaimed_rec_lsn;
           Alcotest.test_case "Run_begin resets volatile state" `Quick
             test_run_begin_resets_volatile_state;
         ] );
@@ -534,6 +633,8 @@ let () =
             test_meta_fault_uncond_lock_under_latch;
           Alcotest.test_case "commit acked before force is caught (R4)" `Quick
             test_meta_fault_commit_early_ack;
+          Alcotest.test_case "premature log truncation is caught (R6)" `Quick
+            test_meta_fault_premature_truncate;
         ] );
       ( "protocol",
         [

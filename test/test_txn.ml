@@ -218,7 +218,8 @@ let test_prepare_body_roundtrip () =
 let test_checkpoint_body_roundtrip () =
   let body =
     {
-      Checkpoint.ck_txns = [ (3, Txnmgr.Active, 100, 90); (5, Txnmgr.Prepared, 200, 180) ];
+      Checkpoint.ck_txns =
+        [ (3, Txnmgr.Active, 10, 100, 90); (5, Txnmgr.Prepared, 20, 200, 180) ];
       ck_dpt = [ (7, 50); (9, 120) ];
     }
   in

@@ -176,28 +176,88 @@ let test_flush_counts_forces () =
       Logmgr.flush log);
   Alcotest.(check int) "two forces" 2 (Stats.get s Stats.log_forces)
 
-let test_truncate_before () =
-  let log = Logmgr.create () in
+(* --- segmented log --- *)
+
+let test_sealing () =
+  let log = Logmgr.create ~segment_size:64 () in
+  let lsns = List.init 12 (fun i -> Logmgr.append log (update ~txn:i ())) in
+  Alcotest.(check bool) "appends crossed segment boundaries" true (Logmgr.segment_count log > 1);
+  (* segments tile the offset space: each base is the previous end *)
+  let info = Logmgr.segments_info log in
+  ignore
+    (List.fold_left
+       (fun expected_base (base, len, _sealed) ->
+         Alcotest.(check int) "segment base contiguous" expected_base base;
+         base + len)
+       (List.hd lsns) info);
+  (* every segment but the last is sealed; the tail is the active one *)
+  let rec check_sealed = function
+    | [] -> ()
+    | [ (_, _, sealed) ] -> Alcotest.(check bool) "tail unsealed" false sealed
+    | (_, _, sealed) :: rest ->
+        Alcotest.(check bool) "prefix sealed" true sealed;
+        check_sealed rest
+  in
+  check_sealed info;
+  (* records are never split: each one reads back whole at its LSN *)
+  List.iteri
+    (fun i lsn -> Alcotest.(check int) "read across seals" i (Logmgr.read log lsn).Logrec.txn)
+    lsns
+
+let test_truncate_prefix () =
+  let log = Logmgr.create ~segment_size:64 () in
   let lsns = List.init 10 (fun i -> Logmgr.append log (update ~txn:i ())) in
   Logmgr.flush log;
-  let cut = List.nth lsns 4 in
-  Logmgr.truncate_before log cut;
-  Alcotest.(check int) "six records remain" 6 (Logmgr.record_count log);
-  Alcotest.(check int) "start moved" cut (Logmgr.start_lsn log);
-  (* retained records still readable at their original LSNs *)
-  Alcotest.(check int) "read survives" 4 (Logmgr.read log cut).Logrec.txn;
-  (* truncated reads fail loudly *)
+  let archived = ref [] in
+  Logmgr.set_archive_sink log (fun a -> archived := a :: !archived);
+  let before = Logmgr.record_count log in
+  let reclaimed = Logmgr.truncate_prefix log ~upto:(Logmgr.flushed_offset log) in
+  Alcotest.(check bool) "bytes reclaimed" true (reclaimed > 0);
+  (* every dropped byte went through the archive sink, oldest first *)
+  let arch = List.rev !archived in
+  Alcotest.(check int) "archive bytes = reclaimed"
+    reclaimed
+    (List.fold_left (fun acc a -> acc + a.Logmgr.arch_len) 0 arch);
+  ignore
+    (List.fold_left
+       (fun expected a ->
+         Alcotest.(check int) "archive contiguous" expected a.Logmgr.arch_base;
+         a.Logmgr.arch_base + a.Logmgr.arch_len)
+       (List.hd lsns) arch);
+  Alcotest.(check int) "no record lost"
+    before
+    (Logmgr.record_count log + List.fold_left (fun acc a -> acc + a.Logmgr.arch_records) 0 arch);
+  (* the new start is exactly one past the last archived byte *)
+  let new_start = (List.hd arch).Logmgr.arch_base + reclaimed in
+  let base0, _, _ = List.hd (Logmgr.segments_info log) in
+  Alcotest.(check int) "oldest retained segment base = archive end" new_start base0;
+  (* reclaimed reads fail loudly; retained ones survive *)
   Alcotest.(check bool) "read below start raises" true
     (match Logmgr.read log (List.hd lsns) with
     | _ -> false
     | exception Invalid_argument _ -> true);
-  (* appends continue with monotonic lsns *)
+  List.iteri
+    (fun i lsn ->
+      if lsn >= new_start then
+        Alcotest.(check int) "retained read" i (Logmgr.read log lsn).Logrec.txn)
+    lsns;
+  (* appends continue with monotonic lsns; iteration covers the remainder *)
   let e = Logmgr.append log (update ~txn:99 ()) in
   Alcotest.(check bool) "lsn still monotonic" true (Lsn.( < ) (List.nth lsns 9) e);
-  (* iteration covers exactly the retained records *)
   let seen = ref 0 in
   Logmgr.iter_from log Lsn.nil (fun _ -> incr seen);
-  Alcotest.(check int) "iteration count" 7 !seen
+  Alcotest.(check int) "iteration count" (Logmgr.record_count log) !seen
+
+let test_truncate_partial_segment_kept () =
+  let log = Logmgr.create ~segment_size:64 () in
+  ignore (List.init 8 (fun i -> Logmgr.append log (update ~txn:i ())));
+  Logmgr.flush log;
+  (* a cut in the middle of the first segment reclaims nothing: truncation
+     is whole-segment only *)
+  let start = Logmgr.start_lsn log in
+  Alcotest.(check int) "mid-segment cut reclaims nothing" 0
+    (Logmgr.truncate_prefix log ~upto:(start + 1));
+  Alcotest.(check int) "start unchanged" start (Logmgr.start_lsn log)
 
 let test_truncate_volatile_rejected () =
   let log = Logmgr.create () in
@@ -206,24 +266,47 @@ let test_truncate_volatile_rejected () =
   let b = Logmgr.append log (update ()) in
   ignore a;
   Alcotest.(check bool) "cannot truncate into the volatile tail" true
-    (match Logmgr.truncate_before log (b + 1000) with
-    | () -> false
+    (match Logmgr.truncate_prefix log ~upto:(b + 1000) with
+    | _ -> false
     | exception Invalid_argument _ -> true)
 
 let test_truncate_survives_crash_and_serialize () =
-  let log = Logmgr.create () in
-  let lsns = List.init 6 (fun i -> Logmgr.append log (update ~txn:i ())) in
+  let log = Logmgr.create ~segment_size:64 () in
+  ignore (List.init 6 (fun i -> Logmgr.append log (update ~txn:i ())));
   Logmgr.flush log;
-  Logmgr.truncate_before log (List.nth lsns 3);
+  ignore (Logmgr.truncate_prefix log ~upto:(Logmgr.flushed_offset log));
+  let start = Logmgr.start_lsn log in
+  let count = Logmgr.record_count log in
   ignore (Logmgr.append log (update ~txn:9 ()));
   (* crash drops the unflushed tail but keeps the truncation point *)
   Logmgr.crash log;
-  Alcotest.(check int) "post-crash records" 3 (Logmgr.record_count log);
-  Alcotest.(check int) "post-crash start" (List.nth lsns 3) (Logmgr.start_lsn log);
-  (* the snapshot codec preserves the start offset *)
+  Alcotest.(check int) "post-crash records" count (Logmgr.record_count log);
+  Alcotest.(check int) "post-crash start" start (Logmgr.start_lsn log);
+  (* the snapshot codec preserves segmentation and the start offset *)
   let log' = Logmgr.deserialize (Logmgr.serialize log) in
   Alcotest.(check int) "roundtrip start" (Logmgr.start_lsn log) (Logmgr.start_lsn log');
-  Alcotest.(check int) "roundtrip records" 3 (Logmgr.record_count log')
+  Alcotest.(check int) "roundtrip records" count (Logmgr.record_count log');
+  Alcotest.(check int) "roundtrip segments" (Logmgr.segment_count log)
+    (Logmgr.segment_count log')
+
+let test_crash_unseals_straddler () =
+  let log = Logmgr.create ~segment_size:64 () in
+  let a = Logmgr.append log (update ~txn:0 ()) in
+  Logmgr.flush_to log a;
+  (* push past the seal threshold without flushing: the seal is volatile *)
+  ignore (List.init 8 (fun i -> Logmgr.append log (update ~txn:(i + 1) ())));
+  Alcotest.(check bool) "sealed in memory" true (Logmgr.segment_count log > 1);
+  Logmgr.crash log;
+  (* only the first record was stable: one segment survives, and its
+     in-memory seal did not — it is the active segment again *)
+  Alcotest.(check int) "one segment" 1 (Logmgr.segment_count log);
+  (match Logmgr.segments_info log with
+  | [ (_, _, sealed) ] -> Alcotest.(check bool) "straddler unsealed" false sealed
+  | l -> Alcotest.failf "expected 1 segment, got %d" (List.length l));
+  Alcotest.(check int) "one record" 1 (Logmgr.record_count log);
+  (* appends resume at the crash boundary *)
+  let e = Logmgr.append log (update ~txn:42 ()) in
+  Alcotest.(check int) "resume at flushed boundary" (Logmgr.record_end log a) e
 
 let () =
   Alcotest.run "wal"
@@ -244,9 +327,15 @@ let () =
           Alcotest.test_case "iteration and next" `Quick test_iteration_and_next;
           Alcotest.test_case "records_between" `Quick test_records_between;
           Alcotest.test_case "flush counts forces" `Quick test_flush_counts_forces;
-          Alcotest.test_case "truncate_before" `Quick test_truncate_before;
+        ] );
+      ( "segments",
+        [
+          Alcotest.test_case "sealing and tiling" `Quick test_sealing;
+          Alcotest.test_case "truncate_prefix + archive sink" `Quick test_truncate_prefix;
+          Alcotest.test_case "partial segment kept" `Quick test_truncate_partial_segment_kept;
           Alcotest.test_case "truncate volatile rejected" `Quick test_truncate_volatile_rejected;
           Alcotest.test_case "truncation survives crash+codec" `Quick
             test_truncate_survives_crash_and_serialize;
+          Alcotest.test_case "crash unseals the straddler" `Quick test_crash_unseals_straddler;
         ] );
     ]
