@@ -733,7 +733,7 @@ let q6 ppf =
   Bufpool.flush_all db.Db.pool;
   let victim = Btree.locate_leaf tree (v 200) in
   let before = Disk.read db.Db.disk victim in
-  Disk.corrupt db.Db.disk victim;
+  Disk.corrupt_drop db.Db.disk victim;
   Bufpool.drop db.Db.pool victim;
   let applied = Db.run_exn db (fun () -> Media.recover_page db.Db.mgr db.Db.pool dump victim) in
   let after = Disk.read db.Db.disk victim in
@@ -1135,6 +1135,232 @@ let q11 ppf =
   close_out oc;
   kv ppf "wrote" "BENCH_PR4.json"
 
+(* Q12: the storage fault layer's cost and coverage — CRC hot-path
+   overhead (page codec and log-image load with verification on vs the
+   crc.check-disabled meta-fault), automatic media repair latency (records
+   rolled forward, scheduler steps, healed transparently through the
+   pool's repairer hook), crash-time tail-scan truncation volume under
+   torn appends, and a bounded fault sweep digest (the acceptance gate:
+   every seed recovers to the oracle or fails typed). Writes
+   BENCH_PR5.json. *)
+let q12 ppf =
+  let module Sim = Aries_sim.Sim in
+  let module Swl = Aries_sim.Workload in
+  let module Faultdisk = Aries_util.Faultdisk in
+  let module Crashpoint = Aries_util.Crashpoint in
+  section ppf "Q12: storage faults — CRC overhead, repair latency, tail scan, sweep digest";
+  (* -- CRC hot path: a full realistic leaf, encode+decode in a loop -- *)
+  let db, tree = fresh ~page_size:4096 () in
+  Db.run_exn db (fun () ->
+      Db.with_txn db (fun txn ->
+          for i = 1 to 120 do
+            Btree.insert tree txn ~value:(v i) ~rid:(rid i)
+          done));
+  Bufpool.flush_all db.Db.pool;
+  let image =
+    match Disk.read db.Db.disk (Btree.root_pid tree) with
+    | Some p -> Page.encode p
+    | None -> failwith "q12: root image missing"
+  in
+  let iters = 20_000 in
+  let timed f =
+    let t0 = Sys.time () in
+    f ();
+    Sys.time () -. t0
+  in
+  let codec_loop () =
+    for _ = 1 to iters do
+      ignore (Page.decode ~psize:4096 (Page.encode (Page.decode ~psize:4096 image)))
+    done
+  in
+  let t_on = timed codec_loop in
+  Crashpoint.enable_fault Crashpoint.fault_crc_check_disabled;
+  let t_off = timed codec_loop in
+  Crashpoint.disable_fault Crashpoint.fault_crc_check_disabled;
+  let codec_overhead = (t_on -. t_off) /. t_off *. 100.0 in
+  kv ppf
+    (Printf.sprintf "page codec (%d enc+2dec, %dB image)" iters (Bytes.length image))
+    "%.3fs crc-on vs %.3fs crc-off (+%.1f%%)" t_on t_off codec_overhead;
+  (* -- CRC on the log-load path: deserialize a sealed-segment image -- *)
+  let log = Logmgr.create ~segment_size:4096 () in
+  for i = 1 to 2_000 do
+    ignore
+      (Logmgr.append log
+         (Logrec.make ~page:(i mod 64) ~rm_id:1 ~op:1 ~body:(Bytes.make 48 'q') ~txn:i
+            ~prev_lsn:Lsn.nil Logrec.Update))
+  done;
+  Logmgr.flush log;
+  let log_img = Logmgr.serialize log in
+  let load_iters = 200 in
+  let load_loop () =
+    for _ = 1 to load_iters do
+      ignore (Logmgr.deserialize log_img)
+    done
+  in
+  let l_on = timed load_loop in
+  Crashpoint.enable_fault Crashpoint.fault_crc_check_disabled;
+  let l_off = timed load_loop in
+  Crashpoint.disable_fault Crashpoint.fault_crc_check_disabled;
+  let load_overhead = (l_on -. l_off) /. l_off *. 100.0 in
+  kv ppf
+    (Printf.sprintf "log image load (%dx, %dB, 2000 records)" load_iters
+       (Bytes.length log_img))
+    "%.3fs crc-on vs %.3fs crc-off (+%.1f%%)" l_on l_off load_overhead;
+  (* -- automatic repair latency: rot the root, heal through the pool -- *)
+  let rdb = Db.create ~page_size:384 ~segment_size:1024 () in
+  let rtree =
+    Db.run_exn rdb (fun () ->
+        Db.with_txn rdb (fun txn -> Btree.create rdb.Db.benv txn ~name:"bench" ~unique:true))
+  in
+  Db.run_exn rdb (fun () ->
+      Db.with_txn rdb (fun txn ->
+          for i = 1 to 200 do
+            Btree.insert rtree txn ~value:(v i) ~rid:(rid i)
+          done));
+  Bufpool.flush_all rdb.Db.pool;
+  Db.checkpoint rdb;
+  let reclaimed = Db.trim_log rdb in
+  let victim = Btree.root_pid rtree in
+  Disk.corrupt_flip ~seed:5 rdb.Db.disk victim;
+  Bufpool.drop rdb.Db.pool victim;
+  let steps = ref 0 in
+  let t_repair = ref 0.0 in
+  let rows, rstats =
+    measured (fun () ->
+        Db.run_exn rdb (fun () ->
+            let s0 = Sched.steps_now () in
+            let t0 = Sys.time () in
+            let n = List.length (Btree.to_list rtree) in
+            t_repair := Sys.time () -. t0;
+            steps := Sched.steps_now () - s0;
+            n))
+  in
+  let repair_records =
+    (* re-rot and measure the roll-forward directly for the record count *)
+    Disk.corrupt_flip ~seed:6 rdb.Db.disk victim;
+    Bufpool.drop rdb.Db.pool victim;
+    Db.run_exn rdb (fun () -> Media.auto_repair ~archive:rdb.Db.archive rdb.Db.mgr rdb.Db.pool victim)
+  in
+  kv ppf "repair: rows read through the heal" "%d (expected 200)" rows;
+  kv ppf "repair: quarantines / repairs" "%d / %d"
+    (Stats.get rstats Stats.disk_quarantines)
+    (Stats.get rstats Stats.disk_repairs);
+  kv ppf "repair: records rolled forward (archive + live log)" "%d (log bytes reclaimed %d)"
+    repair_records reclaimed;
+  kv ppf "repair: latency" "%d scheduler steps, %.4fs wall" !steps !t_repair;
+  if rows <> 200 then failwith "q12: repair lost rows";
+  (* -- tail-scan truncation volume under torn appends -- *)
+  let torn_cfg =
+    {
+      Faultdisk.eio_read_p = 0.0;
+      eio_write_p = 0.0;
+      eio_force_p = 0.0;
+      bit_flip_p = 0.0;
+      torn_write = false;
+      torn_append = true;
+    }
+  in
+  let tail_bytes = ref 0 and tail_cuts = ref 0 and tail_runs = 16 in
+  for seed = 1 to tail_runs do
+    let l = Logmgr.create ~segment_size:4096 () in
+    for i = 1 to 20 do
+      ignore
+        (Logmgr.append l
+           (Logrec.make ~page:i ~rm_id:1 ~op:1
+              ~body:(Bytes.make (24 + (seed * 7 mod 64)) 'x')
+              ~txn:i ~prev_lsn:Lsn.nil Logrec.Update))
+    done;
+    Logmgr.flush l;
+    for i = 21 to 23 do
+      ignore
+        (Logmgr.append l
+           (Logrec.make ~page:i ~rm_id:1 ~op:1 ~body:(Bytes.make 80 'y') ~txn:i
+              ~prev_lsn:Lsn.nil Logrec.Update))
+    done;
+    let (), tstats =
+      measured (fun () ->
+          Faultdisk.arm ~seed torn_cfg;
+          Logmgr.crash l;
+          Faultdisk.disarm ())
+    in
+    tail_bytes := !tail_bytes + Stats.get tstats Stats.log_tail_truncated_bytes;
+    tail_cuts := !tail_cuts + Stats.get tstats Stats.log_tail_truncations
+  done;
+  kv ppf
+    (Printf.sprintf "tail scan (%d torn crashes)" tail_runs)
+    "%d truncations, %d bytes dropped (%.1fB/crash)" !tail_cuts !tail_bytes
+    (float_of_int !tail_bytes /. float_of_int tail_runs);
+  (* -- bounded fault sweep digest: the acceptance gate in miniature -- *)
+  let sweep_seeds = 12 and sweep_crash_seeds = 2 and sweep_budget = 20 in
+  let digest, dstats =
+    measured (fun () ->
+        Sim.sweep Swl.fault_cfg
+          ~seeds:(List.init sweep_seeds (fun i -> i + 1))
+          ~crash_seeds:(List.init sweep_crash_seeds (fun i -> 1001 + i))
+          ~crash_budget:sweep_budget)
+  in
+  let fatal = Sim.fatal_failures digest in
+  let tolerated = List.length digest.Sim.sm_failures - List.length fatal in
+  kv ppf "fault sweep" "%d seed runs, %d crash points, %d fault(s) injected" digest.Sim.sm_seed_runs
+    digest.Sim.sm_crash_points
+    (Stats.get dstats Stats.disk_eio_injected
+    + Stats.get dstats Stats.disk_bit_flips
+    + Stats.get dstats Stats.disk_torn_writes);
+  kv ppf "fault sweep: retries / quarantines / repairs" "%d / %d / %d"
+    (Stats.get dstats Stats.disk_retries)
+    (Stats.get dstats Stats.disk_quarantines)
+    (Stats.get dstats Stats.disk_repairs);
+  kv ppf "fault sweep: fatal / tolerated-typed failures" "%d / %d" (List.length fatal) tolerated;
+  List.iter (fun rp -> kv ppf "FATAL" "%s" (Sim.reproducer_line rp)) fatal;
+  kv ppf "acceptance: zero fatal failures" "%s" (if fatal = [] then "PASS" else "FAIL");
+  if fatal <> [] then failwith "q12: fault sweep found fatal failures";
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"bench\": \"storage-faults\",\n\
+      \  \"generated_by\": \"dune exec bench/main.exe -- q12\",\n\
+      \  \"crc_hot_path\": {\n\
+      \    \"page_codec\": { \"iters\": %d, \"image_bytes\": %d,\n\
+      \      \"crc_on_s\": %.4f, \"crc_off_s\": %.4f, \"overhead_pct\": %.2f },\n\
+      \    \"log_image_load\": { \"iters\": %d, \"image_bytes\": %d,\n\
+      \      \"crc_on_s\": %.4f, \"crc_off_s\": %.4f, \"overhead_pct\": %.2f }\n\
+      \  },\n\
+      \  \"auto_repair\": {\n\
+      \    \"rows_through_heal\": %d, \"quarantines\": %d, \"repairs\": %d,\n\
+      \    \"records_rolled_forward\": %d, \"latency_steps\": %d, \"latency_s\": %.5f,\n\
+      \    \"log_bytes_reclaimed_before\": %d\n\
+      \  },\n\
+      \  \"tail_scan\": { \"torn_crashes\": %d, \"truncations\": %d,\n\
+      \    \"bytes_dropped\": %d, \"bytes_per_crash\": %.1f },\n\
+      \  \"fault_sweep\": {\n\
+      \    \"seed_runs\": %d, \"crash_points\": %d,\n\
+      \    \"eio_injected\": %d, \"bit_flips\": %d, \"torn_writes\": %d,\n\
+      \    \"retries\": %d, \"quarantines\": %d, \"repairs\": %d,\n\
+      \    \"tail_truncations\": %d,\n\
+      \    \"fatal_failures\": %d, \"tolerated_typed_failures\": %d\n\
+      \  }\n\
+       }\n"
+      iters (Bytes.length image) t_on t_off codec_overhead load_iters (Bytes.length log_img)
+      l_on l_off load_overhead rows
+      (Stats.get rstats Stats.disk_quarantines)
+      (Stats.get rstats Stats.disk_repairs)
+      repair_records !steps !t_repair reclaimed tail_runs !tail_cuts !tail_bytes
+      (float_of_int !tail_bytes /. float_of_int tail_runs)
+      digest.Sim.sm_seed_runs digest.Sim.sm_crash_points
+      (Stats.get dstats Stats.disk_eio_injected)
+      (Stats.get dstats Stats.disk_bit_flips)
+      (Stats.get dstats Stats.disk_torn_writes)
+      (Stats.get dstats Stats.disk_retries)
+      (Stats.get dstats Stats.disk_quarantines)
+      (Stats.get dstats Stats.disk_repairs)
+      (Stats.get dstats Stats.log_tail_truncations)
+      (List.length fatal) tolerated
+  in
+  let oc = open_out "BENCH_PR5.json" in
+  output_string oc json;
+  close_out oc;
+  kv ppf "wrote" "BENCH_PR5.json"
+
 let all : (string * (Format.formatter -> unit)) list =
   [
     ("e1", e1);
@@ -1157,4 +1383,5 @@ let all : (string * (Format.formatter -> unit)) list =
     ("q9", q9);
     ("q10", q10);
     ("q11", q11);
+    ("q12", q12);
   ]

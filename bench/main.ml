@@ -13,6 +13,7 @@
      dune exec bench/main.exe -- sim                      # default big sweep
      dune exec bench/main.exe -- sim 512 48 400           # seeds, crash seeds, budget
      dune exec bench/main.exe -- sim smoke                # bounded CI sweep (see ci.sh)
+     dune exec bench/main.exe -- sim smoke --faults       # fault-armed CI sweep (storage faults)
      dune exec bench/main.exe -- sim replay <seed> <k|->  # re-run one reproducer
      ARIES_SIM_FAULT=wal.skip-flush dune exec bench/main.exe -- sim
                                           # demo: injected bug -> SIM-REPRO lines
@@ -35,11 +36,27 @@ let run_sim args =
       (* the CI smoke sweep (see ci.sh): a bounded slice of the full sweep
          over both stock workloads — per-commit and group-commit + cleaner —
          with the checkpoint daemon enabled in both (Workload stock cfgs).
-         Small enough for every push, loud on any failure. *)
+         With [--faults], the sweep instead runs the fault-armed workloads
+         (torn writes, bit-rot, transient EIO): the gate there is
+         {!Sim.fatal_failures} — a run must recover to the oracle or fail
+         loudly with a typed [Storage_error]; tolerated typed failures are
+         reported but don't fail the smoke. Small enough for every push,
+         loud on any failure. *)
+      let faults = List.mem "--faults" rest in
+      let rest = List.filter (fun a -> a <> "--faults") rest in
       let geti i default =
         match List.nth_opt rest i with Some s -> int_of_string s | None -> default
       in
       let nseeds = geti 0 16 and ncrash = geti 1 4 and budget = geti 2 40 in
+      let workloads =
+        if faults then
+          [
+            ("faults", Aries_sim.Workload.fault_cfg);
+            ("faults+group+cleaner", Aries_sim.Workload.fault_group_cfg);
+            ("eio-only+group", Aries_sim.Workload.fault_eio_cfg);
+          ]
+        else [ ("default", cfg); ("group+cleaner", Aries_sim.Workload.group_cfg) ]
+      in
       let failed = ref false in
       List.iter
         (fun (label, cfg) ->
@@ -51,16 +68,16 @@ let run_sim args =
               ~crash_seeds:(List.init ncrash (fun i -> 1001 + i))
               ~crash_budget:budget
           in
-          Format.fprintf ppf "  %d seed runs, %d crash points, %d failure(s)@."
-            s.Sim.sm_seed_runs s.Sim.sm_crash_points
-            (List.length s.Sim.sm_failures);
-          if s.Sim.sm_failures <> [] then begin
+          let fatal = if faults then Sim.fatal_failures s else s.Sim.sm_failures in
+          let tolerated = List.length s.Sim.sm_failures - List.length fatal in
+          Format.fprintf ppf "  %d seed runs, %d crash points, %d fatal failure(s)%s@."
+            s.Sim.sm_seed_runs s.Sim.sm_crash_points (List.length fatal)
+            (if tolerated > 0 then Printf.sprintf " (+%d tolerated typed)" tolerated else "");
+          if fatal <> [] then begin
             failed := true;
-            List.iter
-              (fun rp -> Format.fprintf ppf "%s@." (Sim.reproducer_line rp))
-              s.Sim.sm_failures
+            List.iter (fun rp -> Format.fprintf ppf "%s@." (Sim.reproducer_line rp)) fatal
           end)
-        [ ("default", cfg); ("group+cleaner", Aries_sim.Workload.group_cfg) ];
+        workloads;
       if !failed then exit 1;
       Format.fprintf ppf "smoke sweep clean@."
   | [ "replay"; seed; k ] ->

@@ -8,6 +8,9 @@
 # (16 schedule seeds and 4 crash seeds x <=40 crash points, in both
 # commit modes, checkpoint daemon enabled) — small enough for every
 # push; the full-budget sweep is `dune exec bench/main.exe -- sim`.
+# The fault smoke runs the same slice with the storage fault engine
+# armed (torn writes, bit-rot, transient EIO): every run must recover
+# to the oracle or fail loudly with a typed Storage_error.
 set -eu
 
 cd "$(dirname "$0")"
@@ -21,6 +24,9 @@ dune runtest
 if [ "${1:-}" != "fast" ]; then
   echo "== sim smoke sweep =="
   dune exec bench/main.exe -- sim smoke
+
+  echo "== sim fault smoke sweep =="
+  dune exec bench/main.exe -- sim smoke --faults
 fi
 
 echo "ci.sh: all green"

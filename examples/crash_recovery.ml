@@ -74,7 +74,7 @@ let () =
   let victim = Btree.locate_leaf tree (v 150) in
   Printf.printf "simulating media failure of leaf page %d...\n" victim;
   Bufpool.flush_all db.Db.pool;
-  Disk.corrupt db.Db.disk victim;
+  Disk.corrupt_drop db.Db.disk victim;
   Bufpool.drop db.Db.pool victim;
   let applied = Db.run_exn db (fun () -> Media.recover_page db.Db.mgr db.Db.pool dump victim) in
   Printf.printf "media recovery replayed %d log records for page %d\n" applied victim;

@@ -4,6 +4,7 @@ module Logmgr = Aries_wal.Logmgr
 module Page = Aries_page.Page
 module Disk = Aries_page.Disk
 module Trace = Aries_trace.Trace
+module Sched = Aries_sched.Sched
 
 exception Page_vanished of Ids.page_id
 
@@ -23,6 +24,8 @@ type t = {
   mutable tick : int;
   mutable steal_rng : Rng.t option;
   mutable steal_probability : float;
+  mutable repairer : (Ids.page_id -> bool) option;
+  mutable repairing : bool;  (* re-entrancy guard: no repair inside a repair *)
 }
 
 let create ?(capacity = 128) dsk log =
@@ -34,6 +37,8 @@ let create ?(capacity = 128) dsk log =
     tick = 0;
     steal_rng = None;
     steal_probability = 0.0;
+    repairer = None;
+    repairing = false;
   }
 
 let disk t = t.dsk
@@ -44,31 +49,57 @@ let touch t f =
   t.tick <- t.tick + 1;
   f.last_use <- t.tick
 
+(* Bounded retry with deterministic backoff for transient I/O errors: inside
+   a fiber each retry yields a scheduler step first, so the retry happens
+   later in simulated time and a transient-EIO storm can pass; outside a
+   fiber retries are immediate. Exhaustion surfaces as a typed
+   [Storage_error] with cause [Retry_exhausted] — never a silent drop. *)
+let max_io_retries = 4
+
+let retrying ~pid ~target f =
+  let rec go attempt =
+    try f () with
+    | Storage_error.Error { cause = Storage_error.Io_transient; _ } ->
+        if attempt >= max_io_retries then
+          Storage_error.raise_err ~pid Storage_error.Retry_exhausted
+            "%s on page %d still failing after %d retries" target pid attempt;
+        Stats.incr Stats.disk_retries;
+        if Trace.enabled () then
+          Trace.emit (Trace.Io_retry { target; pid; attempt = attempt + 1 });
+        if Sched.in_fiber () then Sched.yield ();
+        go (attempt + 1)
+  in
+  go 0
+
 let write_frame t f =
-  (* A crash point of its own: the instant between the eviction decision and
-     the WAL force (Logmgr/Disk add finer points inside). *)
-  Crashpoint.hit "bufpool.write";
-  (* WAL rule: the log must cover the page's most recent update before the
-     page image may reach disk. *)
-  Logmgr.flush_to t.log f.page.Page.page_lsn;
-  (* R5 hazard point: emitted after the covering force and before the disk
-     write, so a page image racing past the flushed boundary (e.g. under
-     the skip-flush fault) raises here, not after the damage. *)
-  (if Trace.enabled () then
-     let page_lsn = f.page.Page.page_lsn in
-     let lsn_end = if Lsn.is_nil page_lsn then 0 else Logmgr.record_end t.log page_lsn in
-     Trace.emit
-       (Trace.Page_write
-          {
-            log = Logmgr.id t.log;
-            pid = f.page.Page.pid;
-            page_lsn;
-            lsn_end;
-            (* the dirty-table recLSN at write time: rule R6 checks it never
-               falls inside a reclaimed log segment *)
-            rec_lsn = f.rec_lsn;
-          }));
-  Disk.write t.dsk f.page;
+  let pid = f.page.Page.pid in
+  retrying ~pid ~target:"page-write" (fun () ->
+      (* A crash point of its own: the instant between the eviction decision
+         and the WAL force (Logmgr/Disk add finer points inside). *)
+      Crashpoint.hit "bufpool.write";
+      (* WAL rule: the log must cover the page's most recent update before
+         the page image may reach disk. Re-run on every retry attempt: a
+         backoff yield may have let another fiber advance the page, and the
+         force must cover whatever [page_lsn] the write will capture. *)
+      Logmgr.flush_to t.log f.page.Page.page_lsn;
+      (* R5 hazard point: emitted after the covering force and before the
+         disk write, so a page image racing past the flushed boundary (e.g.
+         under the skip-flush fault) raises here, not after the damage. *)
+      (if Trace.enabled () then
+         let page_lsn = f.page.Page.page_lsn in
+         let lsn_end = if Lsn.is_nil page_lsn then 0 else Logmgr.record_end t.log page_lsn in
+         Trace.emit
+           (Trace.Page_write
+              {
+                log = Logmgr.id t.log;
+                pid = f.page.Page.pid;
+                page_lsn;
+                lsn_end;
+                (* the dirty-table recLSN at write time: rule R6 checks it
+                   never falls inside a reclaimed log segment *)
+                rec_lsn = f.rec_lsn;
+              }));
+      Disk.write t.dsk f.page);
   f.dirty <- false;
   f.rec_lsn <- Lsn.nil
 
@@ -103,6 +134,27 @@ let install t page =
   Hashtbl.replace t.frames page.Page.pid f;
   f
 
+(* Read a page image from disk: transient errors are retried (bounded, with
+   backoff); a CRC / decode failure quarantines the page and invokes the
+   repairer hook (installed by [Db]: automatic media recovery from the log
+   archive), then re-reads the healed image. The [repairing] guard keeps the
+   repairer's own page traffic from recursing into another repair. *)
+let read_page t pid =
+  let read () = retrying ~pid ~target:"page-read" (fun () -> Disk.read t.dsk pid) in
+  try read () with
+  | Storage_error.Error
+      { cause = Storage_error.Checksum | Storage_error.Decode; detail; _ } as e -> (
+      match t.repairer with
+      | Some repair when not t.repairing ->
+          Stats.incr Stats.disk_quarantines;
+          if Trace.enabled () then Trace.emit (Trace.Page_quarantined { pid; cause = detail });
+          t.repairing <- true;
+          let healed =
+            Fun.protect ~finally:(fun () -> t.repairing <- false) (fun () -> repair pid)
+          in
+          if healed then read () else raise e
+      | Some _ | None -> raise e)
+
 let fix_opt t pid =
   Stats.incr Stats.page_fixes;
   let r =
@@ -112,7 +164,7 @@ let fix_opt t pid =
         touch t f;
         Some f.page
     | None -> (
-        match Disk.read t.dsk pid with
+        match read_page t pid with
         | Some page -> Some (install t page).page
         | None -> None)
   in
@@ -234,3 +286,5 @@ let set_steal_hook t ~seed ~probability =
 let clear_steal_hook t =
   t.steal_rng <- None;
   t.steal_probability <- 0.0
+
+let set_repairer t f = t.repairer <- Some f

@@ -90,3 +90,18 @@ val set_steal_hook : t -> seed:int -> probability:float -> unit
     tests cover uncommitted-data-on-disk states. *)
 
 val clear_steal_hook : t -> unit
+
+val set_repairer : t -> (Ids.page_id -> bool) -> unit
+(** Install the automatic media-repair hook (PR 5). When a disk read fails
+    its CRC or does not decode, the pool quarantines the page (counted in
+    [Stats.disk_quarantines], traced as [Page_quarantined]) and calls the
+    hook; if it returns [true] the read is retried against the healed
+    image. [Db] installs [Media.auto_repair] here, so bit-rot and torn
+    page images heal transparently on the next fix. A re-entrancy guard
+    suppresses repair attempts triggered by the repairer's own page
+    traffic — those surface as typed [Storage_error]s instead.
+
+    Transient read/write errors are handled separately: up to 4 bounded
+    retries with a one-scheduler-step backoff per attempt (counted in
+    [Stats.disk_retries], traced as [Io_retry]); exhaustion raises
+    [Storage_error.Error] with cause [Retry_exhausted]. *)

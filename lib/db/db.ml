@@ -47,6 +47,13 @@ let build ?pool_capacity ?config ?(commit_mode = Per_commit) ?cleaner ?checkpoin
      every segment the live log reclaims, so media recovery and the
      committed-state oracle always see the full record history *)
   Media.Archive.attach archive wal;
+  (* automatic media repair (PR 5): a page image that fails its CRC or does
+     not decode is quarantined by the pool and rebuilt here from the log
+     archive plus the live log — the full history from the format record.
+     Returning [true] tells the pool to re-read the healed image. *)
+  Bufpool.set_repairer pool (fun pid ->
+      ignore (Media.auto_repair ~archive mgr pool pid);
+      true);
   { disk; wal; pool; locks; mgr; benv; commit_mode; cleaner; checkpoint_cfg = checkpoint;
     archive; gc; closing = false; running_daemons = 0 }
 
@@ -92,9 +99,13 @@ let with_txn t f =
       | Txnmgr.Committing | Txnmgr.Rolling_back -> ());
       raise e
 
+(* Snapshot format v3: the WAL frame layout gained a per-record CRC trailer
+   and sealed-segment footers (PR 5), so v2 snapshots no longer decode. *)
+let snapshot_magic = "ARIESIM3"
+
 let save t path =
   let w = Aries_util.Bytebuf.W.create () in
-  Aries_util.Bytebuf.W.string w "ARIESIM2";
+  Aries_util.Bytebuf.W.string w snapshot_magic;
   Aries_util.Bytebuf.W.bytes w (Disk.serialize t.disk);
   Aries_util.Bytebuf.W.bytes w (Logmgr.serialize t.wal);
   Aries_util.Bytebuf.W.bytes w (Media.Archive.serialize t.archive);
@@ -110,14 +121,24 @@ let load ?pool_capacity ?config ?commit_mode ?cleaner ?checkpoint path =
       ~finally:(fun () -> close_in ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   in
-  let r = Aries_util.Bytebuf.R.of_string b in
-  let magic = Aries_util.Bytebuf.R.string r in
-  if not (String.equal magic "ARIESIM2") then
-    invalid_arg (Printf.sprintf "Db.load: %s is not an ariesim snapshot" path);
-  let disk = Disk.deserialize (Aries_util.Bytebuf.R.bytes r) in
-  let wal = Logmgr.deserialize (Aries_util.Bytebuf.R.bytes r) in
-  let archive = Media.Archive.deserialize (Aries_util.Bytebuf.R.bytes r) in
-  Aries_util.Bytebuf.R.expect_end r;
+  let disk, wal, archive =
+    try
+      let r = Aries_util.Bytebuf.R.of_string b in
+      let magic = Aries_util.Bytebuf.R.string r in
+      if not (String.equal magic snapshot_magic) then
+        invalid_arg
+          (Printf.sprintf "Db.load: %s is not an ariesim %s snapshot (magic %S)" path
+             snapshot_magic magic);
+      let disk = Disk.deserialize (Aries_util.Bytebuf.R.bytes r) in
+      let wal = Logmgr.deserialize (Aries_util.Bytebuf.R.bytes r) in
+      let archive = Media.Archive.deserialize (Aries_util.Bytebuf.R.bytes r) in
+      Aries_util.Bytebuf.R.expect_end r;
+      (disk, wal, archive)
+    with Aries_util.Bytebuf.Corrupt msg ->
+      (* a snapshot that does not even frame is a typed storage error, not a
+         bare parser crash *)
+      raise (Aries_util.Storage_error.of_corrupt (Printf.sprintf "snapshot %s: %s" path msg))
+  in
   build ?pool_capacity ?config ?commit_mode ?cleaner ?checkpoint ~archive disk wal
 
 let leak_report t =

@@ -129,7 +129,7 @@ val save : t -> string -> unit
 (** Persist the {e stable} state (disk images, stable log prefix + master
     record, log archive) to a file — exactly what a powered-off machine
     retains. The volatile tail and buffer pool are not saved; run
-    {!restart} after {!load}. Format magic: ["ARIESIM2"]. *)
+    {!restart} after {!load}. Format magic: ["ARIESIM3"] (v3: WAL record CRC trailers and sealed-segment footers). *)
 
 val load :
   ?pool_capacity:int ->

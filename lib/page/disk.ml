@@ -20,14 +20,55 @@ let note_pid t pid = if pid >= t.next_pid then t.next_pid <- pid + 1
 let read t pid =
   match Hashtbl.find_opt t.store pid with
   | None -> None
-  | Some image ->
+  | Some image -> (
+      if Faultdisk.fail_read () then begin
+        Stats.incr Stats.disk_eio_injected;
+        Storage_error.raise_err ~pid Storage_error.Io_transient "injected read EIO"
+      end;
       Stats.incr Stats.page_reads;
-      Some (Page.decode ~psize:t.psize image)
+      try Some (Page.decode ~psize:t.psize image) with
+      | Bytebuf.Corrupt msg ->
+          (* a structurally unparseable stored image (e.g. a torn v1 write,
+             or rot with CRC checks disabled) — typed, with the true pid *)
+          raise (Storage_error.of_corrupt ~pid msg)
+      | Storage_error.Error i ->
+          (* CRC mismatch from the codec: its pid was sniffed from possibly
+             rotten bytes; substitute the authoritative one *)
+          raise (Storage_error.Error { i with pid = Some pid }))
 
 let write t page =
-  Crashpoint.hit "disk.write";
+  if Faultdisk.fail_write () then begin
+    Stats.incr Stats.disk_eio_injected;
+    Storage_error.raise_err ~pid:page.Page.pid Storage_error.Io_transient
+      "injected write EIO"
+  end;
+  let image = Page.encode page in
+  let already = Crashpoint.tripped () in
+  (try Crashpoint.hit "disk.write"
+   with Crashpoint.Crash _ as e ->
+     (* The crash landed exactly on this write.  Under the torn-write fault
+        the medium keeps a half-old/half-new image instead of atomically
+        preserving the old one — only on the *tripping* event (post-trip
+        hits model the frozen stable state, not more I/O). *)
+     if (not already) && Faultdisk.torn_write_on () then begin
+       let old_image =
+         Option.map Bytes.to_string (Hashtbl.find_opt t.store page.Page.pid)
+       in
+       let torn = Faultdisk.tear ~old_image ~new_image:(Bytes.to_string image) in
+       Hashtbl.replace t.store page.Page.pid (Bytes.of_string torn);
+       Stats.incr Stats.disk_torn_writes
+     end;
+     raise e);
   Stats.incr Stats.page_writes;
-  Hashtbl.replace t.store page.Page.pid (Page.encode page)
+  let image =
+    if Faultdisk.flip_now () then begin
+      (* silent bit-rot: the write "succeeds" but one stored bit flips *)
+      Stats.incr Stats.disk_bit_flips;
+      Bytes.of_string (Faultdisk.flip_one_bit (Bytes.to_string image))
+    end
+    else image
+  in
+  Hashtbl.replace t.store page.Page.pid image
 
 let exists t pid = Hashtbl.mem t.store pid
 
@@ -39,7 +80,18 @@ let image_copy t =
   let copy = { psize = t.psize; store = Hashtbl.copy t.store; next_pid = t.next_pid } in
   copy
 
-let corrupt t pid = Hashtbl.remove t.store pid
+let corrupt_drop t pid = Hashtbl.remove t.store pid
+
+let corrupt_flip ~seed t pid =
+  match Hashtbl.find_opt t.store pid with
+  | None -> ()
+  | Some image when Bytes.length image > 0 ->
+      let rng = Rng.create (0xB17F11B lxor seed) in
+      let b = Bytes.copy image in
+      let i = Rng.int rng (Bytes.length b) and bit = Rng.int rng 8 in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)));
+      Hashtbl.replace t.store pid b
+  | Some _ -> ()
 
 let page_count t = Hashtbl.length t.store
 
@@ -56,15 +108,25 @@ let serialize t =
   Bytebuf.W.contents w
 
 let deserialize b =
-  let r = Bytebuf.R.of_bytes b in
-  let psize = Bytebuf.R.u32 r in
-  let next_pid = Bytebuf.R.i64 r in
-  let n = Bytebuf.R.u32 r in
-  let t = { psize; store = Hashtbl.create (max 16 n); next_pid } in
-  for _ = 1 to n do
-    let pid = Bytebuf.R.i64 r in
-    let image = Bytebuf.R.bytes r in
-    Hashtbl.replace t.store pid image
-  done;
-  Bytebuf.R.expect_end r;
-  t
+  let last_pid = ref None in
+  try
+    let r = Bytebuf.R.of_bytes b in
+    let psize = Bytebuf.R.u32 r in
+    let next_pid = Bytebuf.R.i64 r in
+    let n = Bytebuf.R.u32 r in
+    (* [n] is untrusted input: use it only as a clamped size {e hint}, so a
+       garbage count can't make [Hashtbl.create] eagerly allocate gigabytes
+       before the per-entry reads fail the bounds check *)
+    let t = { psize; store = Hashtbl.create (max 16 (min n 4096)); next_pid } in
+    for _ = 1 to n do
+      let pid = Bytebuf.R.i64 r in
+      last_pid := Some pid;
+      let image = Bytebuf.R.bytes r in
+      Hashtbl.replace t.store pid image
+    done;
+    Bytebuf.R.expect_end r;
+    t
+  with Bytebuf.Corrupt msg ->
+    (* a short or mangled container must surface as a typed storage error
+       naming the page being decoded, not a bare Corrupt *)
+    raise (Storage_error.of_corrupt ?pid:!last_pid ("disk image: " ^ msg))

@@ -2,7 +2,10 @@
 
     Holds only serialized page images — the "disk version of the data base".
     A system crash does not touch it (the buffer pool and volatile log tail
-    are what disappear); a {e media} failure is simulated by [corrupt].
+    are what disappear); a {e media} failure is simulated by [corrupt_drop]
+    / [corrupt_flip], and the {!Aries_util.Faultdisk} engine can inject
+    transient EIO, torn crash-writes and silent bit-rot on the live I/O
+    paths.
 
     Page allocation hands out fresh page ids from a counter that is part of
     stable state. Freed page ids are not reused (documented simplification:
@@ -27,11 +30,19 @@ val note_pid : t -> Ids.page_id -> unit
     page that was allocated before a crash. *)
 
 val read : t -> Ids.page_id -> Page.t option
-(** Deserializes a fresh in-memory page from the stored image. *)
+(** Deserializes a fresh in-memory page from the stored image.
+    Raises [Storage_error.Error]: [Io_transient] under the injected-EIO
+    fault (retryable), [Checksum] when the stored image fails its CRC
+    (torn write / bit-rot — quarantine and repair), [Decode] when it is
+    structurally unparseable. *)
 
 val write : t -> Page.t -> unit
 (** Serializes and stores the page image (counted as a page write). The
-    caller (buffer manager) is responsible for the WAL rule. *)
+    caller (buffer manager) is responsible for the WAL rule.
+    Raises [Storage_error.Error Io_transient] under the injected-EIO fault
+    (retryable). Under the torn-write fault, a {!Aries_util.Crashpoint}
+    crash landing on this write leaves a half-old/half-new image on disk;
+    under the bit-flip fault, the stored image may silently lose a bit. *)
 
 val exists : t -> Ids.page_id -> bool
 
@@ -45,8 +56,15 @@ val image_copy : t -> t
 (** A fuzzy archive dump: snapshot of current images (pages may contain
     uncommitted data — media recovery replays the log over them). *)
 
-val corrupt : t -> Ids.page_id -> unit
-(** Simulate a media failure of one page: subsequent [read] returns [None]. *)
+val corrupt_drop : t -> Ids.page_id -> unit
+(** Media failure, loud flavor: the stored image vanishes — subsequent
+    [read] returns [None] (an unreadable sector reported by the device). *)
+
+val corrupt_flip : seed:int -> t -> Ids.page_id -> unit
+(** Media failure, silent flavor: flip one seeded-random bit of the stored
+    image in place. The device reports success; only the CRC (or, with
+    checks disabled, the sim oracle) can tell. No-op if the page has no
+    stored image. *)
 
 val page_count : t -> int
 

@@ -63,3 +63,14 @@ val recover_page :
     [archive] when the log may have been truncated since the dump: the
     roll-forward then reads reclaimed segments from the archive before the
     live log. *)
+
+val auto_repair :
+  ?archive:Archive.t -> Aries_txn.Txnmgr.t -> Aries_buffer.Bufpool.t -> Ids.page_id -> int
+(** Automatic media repair (PR 5): rebuild a page whose stored image
+    failed its CRC / decode on read, with {e no dump} — the archive plus
+    the live log hold the full history from the beginning (the archive
+    sink received every reclaimed segment), so replaying from [Lsn.nil]
+    recreates the page from its format record. Returns the number of log
+    records applied; counts [Stats.disk_repairs] and traces
+    [Page_repaired]. Installed by [Db] as the buffer pool's repairer
+    hook, so a quarantined page heals transparently on the next fix. *)

@@ -46,6 +46,7 @@ let run_one ?crash_at (cfg : Workload.cfg) ~seed =
      indices enumerate only workload-phase durability events and the tree's
      anchor is always recoverable. *)
   Crashpoint.disarm ();
+  Faultdisk.disarm ();
   Crashpoint.reset ();
   (* Fresh protocol tracer + discipline checker per simulated machine: every
      seed runs with the online checker armed (in the default [Check] mode),
@@ -84,6 +85,15 @@ let run_one ?crash_at (cfg : Workload.cfg) ~seed =
   | Some tree ->
   Bufpool.set_steal_hook db.Db.pool ~seed:(seed + 0x51ea1)
     ~probability:cfg.Workload.steal_probability;
+  (* Storage faults arm after setup (the empty tree's anchor is never
+     fault-damaged, mirroring the quiet-setup rule for crash points) and
+     stay armed through crash + restart, so recovery itself runs over the
+     adversarial disk. The fault stream is seeded from the run seed, so a
+     fault run is as replayable as a fault-free one. *)
+  (match cfg.Workload.faults with
+  | Some fcfg -> Faultdisk.arm ~seed:(seed lxor 0xFA17) fcfg
+  | None -> ());
+  Fun.protect ~finally:(fun () -> Faultdisk.disarm ()) @@ fun () ->
   Crashpoint.reset ();
   (match crash_at with Some k -> Crashpoint.arm ~at:k | None -> ());
   let trace : Workload.trace = Vec.create () in
@@ -175,6 +185,22 @@ let replay cfg r = run_one ?crash_at:r.rp_crash_at cfg ~seed:r.rp_seed
 let confirms r (rep : run_report) =
   rep.rr_failures <> [] && List.equal String.equal r.rp_failures rep.rr_failures
 
+(* Failure triage for fault sweeps. Under an armed storage-fault cfg a run
+   may legitimately end in a {e typed} storage failure (e.g. transient-EIO
+   retry exhaustion): the acceptance bar is "recover to the oracle, or fail
+   loudly with a typed [Storage_error] and a reproducer". Anything else —
+   an oracle mismatch, a leak, a discipline violation, a bare parser
+   exception — is a real bug even under faults. *)
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  m = 0
+  ||
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let typed_storage_failure (r : reproducer) =
+  r.rp_failures <> [] && List.for_all (contains ~sub:"Storage_error(") r.rp_failures
+
 type summary = {
   sm_seed_runs : int;
   sm_crash_points : int;
@@ -183,6 +209,9 @@ type summary = {
 }
 
 let empty_summary = { sm_seed_runs = 0; sm_crash_points = 0; sm_events = 0; sm_failures = [] }
+
+let fatal_failures (s : summary) =
+  List.filter (fun r -> not (typed_storage_failure r)) s.sm_failures
 
 let merge a b =
   {

@@ -62,6 +62,16 @@ type summary = {
   sm_failures : reproducer list;
 }
 
+val typed_storage_failure : reproducer -> bool
+(** Failure triage for fault sweeps: true iff {e every} recorded failure of
+    this reproducer is a typed [Storage_error] (e.g. transient-EIO retry
+    exhaustion) — the tolerated fail-loudly outcome under an armed
+    {!Workload.cfg.faults}. Oracle mismatches, leaks, discipline
+    violations and bare parser exceptions are never tolerated. *)
+
+val fatal_failures : summary -> reproducer list
+(** The reproducers that are {e not} tolerated typed storage failures. *)
+
 val seed_sweep : ?progress:(string -> unit) -> Workload.cfg -> seeds:int list -> summary
 
 val crash_sweep :

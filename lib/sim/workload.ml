@@ -19,6 +19,7 @@ type cfg = {
   cleaner : Aries_buffer.Cleaner.cfg option;
   checkpoint : Aries_recovery.Ckptd.cfg option;
   segment_size : int;
+  faults : Faultdisk.cfg option;
 }
 
 let default_cfg =
@@ -41,6 +42,7 @@ let default_cfg =
        point during a short workload *)
     checkpoint = Some { Aries_recovery.Ckptd.every_steps = 24; nudge_pages = 2; truncate = true };
     segment_size = 1024;
+    faults = None;
   }
 
 (* The same adversarial workload with the full commit pipeline on: batched
@@ -53,6 +55,21 @@ let group_cfg =
       Db.Group { Aries_txn.Group_commit.max_batch = 4; max_delay_steps = 6 };
     cleaner = Some { Aries_buffer.Cleaner.interval_steps = 12; batch_pages = 2 };
   }
+
+(* The storage-fault configurations (PR 5): the same two workloads running
+   over an adversarial disk. [fault_cfg] mixes everything — transient EIO
+   on reads/writes/forces (exercising the bounded-retry paths), bit-rot on
+   page writes (exercising CRC detection, quarantine and automatic media
+   repair), and torn page/log images when a crash trips mid-write.
+   [fault_group_cfg] runs the full commit pipeline over the same disk — a
+   transient-EIO'd force must delay, never drop, its batch.
+   [fault_eio_cfg] is the pure retry storm: higher EIO rates, no
+   corruption, so every run must complete with zero data damage. *)
+let fault_cfg = { default_cfg with faults = Some Faultdisk.default_cfg }
+
+let fault_group_cfg = { group_cfg with faults = Some Faultdisk.default_cfg }
+
+let fault_eio_cfg = { group_cfg with faults = Some Faultdisk.eio_only_cfg }
 
 type txn_trace = {
   tt_fiber : int;

@@ -32,6 +32,9 @@ type cfg = {
   checkpoint : Aries_recovery.Ckptd.cfg option;
       (** fuzzy-checkpoint daemon on/off (on in both stock configs) *)
   segment_size : int;  (** WAL segment size — small, so truncation happens mid-run *)
+  faults : Aries_util.Faultdisk.cfg option;
+      (** storage-fault injection (PR 5): armed by [Sim.run_one] for the
+          workload + crash/restart phases, seeded from the run seed *)
 }
 
 val default_cfg : cfg
@@ -47,6 +50,22 @@ val group_cfg : cfg
     6-step window — small enough that batches close mid-run) and the page
     cleaner (every 12 steps, 2 pages). The durability oracle and every
     other check are identical; the sim suite sweeps both configs. *)
+
+val fault_cfg : cfg
+(** [default_cfg] over an adversarial disk ({!Aries_util.Faultdisk.default_cfg}):
+    transient EIO on reads/writes/forces, bit-rot on page writes, torn
+    page/log images on crash. Exercises bounded retry, CRC detection,
+    quarantine + automatic media repair, and the log tail scan. *)
+
+val fault_group_cfg : cfg
+(** [group_cfg] over the same adversarial disk: the batched commit pipeline
+    must delay — never drop or early-ack — a batch whose force hits
+    transient EIO. *)
+
+val fault_eio_cfg : cfg
+(** [group_cfg] over {!Aries_util.Faultdisk.eio_only_cfg}: a pure
+    transient-EIO storm with no stored-byte corruption, so every run must
+    complete with zero data damage. *)
 
 type txn_trace = {
   tt_fiber : int;

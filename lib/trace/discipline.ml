@@ -54,13 +54,20 @@ let log_start : (int, int) Hashtbl.t = Hashtbl.create 4
 (* tree id -> in-flight SMOs as (txn, exclusive) *)
 let smos : (int, (int * bool) list ref) Hashtbl.t = Hashtbl.create 4
 
+(* pids currently under media repair (Page_quarantined .. Page_repaired):
+   the repair roll-forward redoes from the log {e archive}, so the page it
+   flushes legitimately carries a recLSN below the live log's start — R6(b)
+   does not apply to it. *)
+let repairing : (int, unit) Hashtbl.t = Hashtbl.create 4
+
 let violations_count = ref 0
 
 let violations () = !violations_count
 
 let reset_run_state () =
   Hashtbl.reset fibers;
-  Hashtbl.reset smos
+  Hashtbl.reset smos;
+  Hashtbl.reset repairing
 
 let reset () =
   reset_run_state ();
@@ -215,20 +222,31 @@ let check (ev : Trace.event) =
                  page_lsn lsn_end f);
       (* R6(b): a dirty page whose first unflushed update (recLSN) lies in
          a reclaimed segment means the truncation destroyed redo records a
-         crash would still need. *)
-      if rec_lsn > 0 then begin
+         crash would still need — unless the page is under media repair,
+         whose roll-forward redoes from the archived copies of exactly
+         those segments. *)
+      if rec_lsn > 0 && not (Hashtbl.mem repairing pid) then begin
         match Hashtbl.find_opt log_start log with
         | Some start when rec_lsn < start ->
             violate R6 "page %d written with recLSN %d inside reclaimed prefix (log start %d)"
               pid rec_lsn start
         | _ -> ()
       end
+  | Trace.Log_tail_truncated { log; at; bytes = _ } ->
+      (* the tail scan's verdict is the new end of log; keep the checker's
+         stable boundary from exceeding it (the subsequent Log_open
+         re-baseline makes this exact) *)
+      (match Hashtbl.find_opt flushed log with
+      | Some f when f > at -> Hashtbl.replace flushed log at
+      | _ -> ())
+  | Trace.Page_quarantined { pid; cause = _ } -> Hashtbl.replace repairing pid ()
+  | Trace.Page_repaired { pid; records = _ } -> Hashtbl.remove repairing pid
   | Trace.Latch_try_fail _ | Trace.Lock_request _ | Trace.Lock_grant _ | Trace.Lock_deny _
   | Trace.Lock_release _ | Trace.Lock_release_all _ | Trace.Deadlock_victim _
   | Trace.Log_append _ | Trace.Log_seal _ | Trace.Log_archive _ | Trace.Ckpt_take _
   | Trace.Page_fix _ | Trace.Page_unfix _ | Trace.Commit_enqueue _
   | Trace.Daemon_spawn _ | Trace.Daemon_exit _ | Trace.Restart_phase _
-  | Trace.Protocol_locks _ | Trace.Note _ ->
+  | Trace.Protocol_locks _ | Trace.Io_retry _ | Trace.Note _ ->
       ()
 
 let installed = ref false

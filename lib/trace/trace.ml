@@ -30,6 +30,9 @@ type payload =
   | Log_seal of { log : int; base : int; len : int }
   | Log_safety of { log : int; safety : int }
   | Log_truncate of { log : int; new_start : int; bytes : int; segments : int }
+  | Log_tail_truncated of { log : int; at : int; bytes : int }
+      (** restart's CRC tail-scan cut a torn/garbage suffix: the log now
+          ends at [at], [bytes] bytes were discarded *)
   | Log_archive of { log : int; base : int; len : int; records : int }
   | Ckpt_take of { log : int; begin_lsn : int; end_lsn : int; redo : int }
   | Page_fix of { pid : int }
@@ -44,6 +47,15 @@ type payload =
   | Daemon_exit of { name : string }
   | Restart_phase of { phase : string }
   | Protocol_locks of { op : string; reqs : string }
+  | Io_retry of { target : string; pid : int; attempt : int }
+      (** a transient I/O error was retried ([target] is "page-read",
+          "page-write" or "log-force"; [pid] is 0 for log forces) *)
+  | Page_quarantined of { pid : int; cause : string }
+      (** a stored page image failed its CRC / decode on read and was
+          quarantined pending automatic media repair *)
+  | Page_repaired of { pid : int; records : int }
+      (** media repair rebuilt the page from the archive + log history,
+          replaying [records] log records *)
   | Note of string
 
 type event = { ev_step : int; ev_fiber : int; ev_payload : payload }
@@ -182,6 +194,8 @@ let payload_to_string = function
   | Log_truncate { log; new_start; bytes; segments } ->
       Printf.sprintf "log-truncate L%d start=%d bytes=%d segments=%d" log new_start bytes
         segments
+  | Log_tail_truncated { log; at; bytes } ->
+      Printf.sprintf "log-tail-truncated L%d at=%d bytes=%d" log at bytes
   | Log_archive { log; base; len; records } ->
       Printf.sprintf "log-archive L%d base=%d len=%d records=%d" log base len records
   | Ckpt_take { log; begin_lsn; end_lsn; redo } ->
@@ -202,6 +216,10 @@ let payload_to_string = function
   | Daemon_exit { name } -> Printf.sprintf "daemon-exit %s" name
   | Restart_phase { phase } -> Printf.sprintf "restart-phase %s" phase
   | Protocol_locks { op; reqs } -> Printf.sprintf "protocol-locks %s [%s]" op reqs
+  | Io_retry { target; pid; attempt } ->
+      Printf.sprintf "io-retry %s pid=%d attempt=%d" target pid attempt
+  | Page_quarantined { pid; cause } -> Printf.sprintf "page-quarantined %d (%s)" pid cause
+  | Page_repaired { pid; records } -> Printf.sprintf "page-repaired %d records=%d" pid records
   | Note s -> Printf.sprintf "note %s" s
 
 let event_to_string ev =

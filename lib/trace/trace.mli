@@ -56,6 +56,9 @@ type payload =
           rule R6 trusts the last announcement, not the truncator. *)
   | Log_truncate of { log : int; new_start : int; bytes : int; segments : int }
       (** whole sealed segments below [new_start] were reclaimed *)
+  | Log_tail_truncated of { log : int; at : int; bytes : int }
+      (** restart's CRC tail-scan cut a torn/garbage log suffix: the log
+          now ends at [at], [bytes] bytes were discarded (PR 5) *)
   | Log_archive of { log : int; base : int; len : int; records : int }
       (** a reclaimed segment was handed to the archive sink (media
           recovery keeps working) *)
@@ -76,6 +79,16 @@ type payload =
   | Daemon_exit of { name : string }
   | Restart_phase of { phase : string }
   | Protocol_locks of { op : string; reqs : string }
+  | Io_retry of { target : string; pid : int; attempt : int }
+      (** a transient I/O error is being retried with bounded backoff;
+          [target] is ["page-read"], ["page-write"] or ["log-force"]
+          ([pid] = 0 for log forces) *)
+  | Page_quarantined of { pid : int; cause : string }
+      (** a stored page image failed its CRC / structural decode on read
+          and was quarantined pending automatic media repair *)
+  | Page_repaired of { pid : int; records : int }
+      (** media repair rebuilt the quarantined page from the archive + log
+          history, replaying [records] log records *)
   | Note of string
 
 type event = { ev_step : int; ev_fiber : int; ev_payload : payload }

@@ -61,7 +61,14 @@ let force_batch t =
     let ws = Vec.to_list t.waiters in
     Vec.clear t.waiters;
     let target = List.fold_left (fun acc w -> Lsn.max acc w.gw_lsn) Lsn.nil ws in
-    Logmgr.flush_to t.log target;
+    (try Logmgr.flush_to t.log target
+     with e ->
+       (* The force failed (e.g. transient-I/O retry exhaustion): nobody is
+          woken — an unforced commit is never acknowledged — and nobody is
+          lost: every committer goes back in the queue so a later force can
+          cover it. *)
+       List.iter (fun w -> Vec.push t.waiters w) ws;
+       raise e);
     Stats.incr Stats.commit_batches;
     Stats.add Stats.commit_batch_size n;
     Stats.incr (Stats.commit_batch_bucket n);
@@ -105,7 +112,14 @@ let run_daemon t ~stop =
           do
             Sched.yield ()
           done;
-          if not (Crashpoint.tripped ()) then force_batch t;
+          (if not (Crashpoint.tripped ()) then
+             try force_batch t
+             with Storage_error.Error _ ->
+               (* typed storage failure out of the force: the batch was
+                  re-enqueued by [force_batch]; back off one step and retry
+                  on the next round (the transient-EIO storm passes in
+                  simulated time) *)
+               Sched.yield ());
           loop ()
         end
       in

@@ -64,3 +64,13 @@ let fault_lock_uncond_under_latch = "lock.uncond-under-latch"
 let fault_commit_early_ack = "commit.early-ack"
 
 let fault_ckpt_premature_truncate = "ckpt.premature-truncate"
+
+let fault_disk_torn_write = "disk.torn-write"
+
+let fault_disk_bit_flip = "disk.bit-flip"
+
+let fault_disk_transient_eio = "disk.transient-eio"
+
+let fault_log_torn_append = "log.torn-append"
+
+let fault_crc_check_disabled = "crc.check-disabled"

@@ -86,3 +86,37 @@ val fault_ckpt_premature_truncate : string
     records that restart or media recovery may still need are destroyed.
     The discipline checker must flag the oversized truncate as an R6
     violation. *)
+
+(** {2 Storage-fault switches}
+
+    The adversarial storage model (PR 5). These are {e armed} centrally by
+    {!Faultdisk.arm}, which also seeds the RNG driving the probabilistic
+    ones; production code consults them via {!Faultdisk}'s decision
+    functions rather than reading the raw switch. *)
+
+val fault_disk_torn_write : string
+(** A crash that lands on a page write leaves a {e torn} image on disk —
+    a prefix of the new bytes spliced onto the old tail — instead of
+    atomically keeping the old image. Detected by the page CRC on the
+    next read; repaired via media recovery. *)
+
+val fault_disk_bit_flip : string
+(** Silent bit-rot: stored page images occasionally get one bit flipped
+    at rest (probability and position drawn from the {!Faultdisk} RNG).
+    Detected by the page CRC; repaired via media recovery. *)
+
+val fault_disk_transient_eio : string
+(** Probabilistic, seeded transient I/O failures on page reads/writes and
+    log forces. Retryable: callers apply bounded retry with
+    scheduler-step backoff; exhaustion surfaces a typed
+    [Storage_error]. *)
+
+val fault_log_torn_append : string
+(** A crash leaves a {e partial} log record in the tail segment (the
+    medium kept some bytes past the flushed boundary). Restart's CRC
+    tail-scan must truncate it rather than crash decoding garbage. *)
+
+val fault_crc_check_disabled : string
+(** Meta-fault proving detection has teeth: with CRC verification
+    switched off, the bit-flip workload must be caught by the sim
+    oracle / escape as a decode failure instead of being repaired. *)

@@ -1,0 +1,35 @@
+(* CRC32 (IEEE 802.3, reflected, polynomial 0xEDB88320) — the checksum
+   guarding every stored page image, log-record frame and sealed-segment
+   footer.  Table-driven; returns the 32-bit value as a non-negative int
+   (OCaml ints are 63-bit so the full range fits).
+
+   Why CRC32 and not a keyed hash: the adversary here is the *storage
+   medium* (torn sector writes, bit-rot), not a malicious writer.  A
+   32-bit CRC detects all single-bit and all burst errors up to 32 bits,
+   which is exactly the fault model `Faultdisk` injects. *)
+
+let table =
+  lazy
+    (let t = Array.make 256 0 in
+     for n = 0 to 255 do
+       let c = ref n in
+       for _ = 0 to 7 do
+         if !c land 1 = 1 then c := 0xEDB88320 lxor (!c lsr 1) else c := !c lsr 1
+       done;
+       t.(n) <- !c
+     done;
+     t)
+
+let update crc s off len =
+  let t = Lazy.force table in
+  let c = ref (crc lxor 0xFFFFFFFF) in
+  for i = off to off + len - 1 do
+    c := t.((!c lxor Char.code (String.unsafe_get s i)) land 0xFF) lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
+
+let string ?(off = 0) ?len s =
+  let len = match len with Some l -> l | None -> String.length s - off in
+  update 0 s off len
+
+let bytes ?off ?len b = string ?off ?len (Bytes.unsafe_to_string b)

@@ -1,0 +1,12 @@
+(** CRC32 (IEEE 802.3 reflected, poly [0xEDB88320]).  Guards page images,
+    log-record frames and sealed-segment footers against torn writes and
+    bit-rot.  Values are in [0, 0xFFFFFFFF]. *)
+
+val string : ?off:int -> ?len:int -> string -> int
+(** CRC of [len] bytes of [s] starting at [off] (defaults: whole string). *)
+
+val bytes : ?off:int -> ?len:int -> bytes -> int
+(** Same over [bytes]. *)
+
+val update : int -> string -> int -> int -> int
+(** [update crc s off len] extends a running CRC — [string s = update 0 s 0 n]. *)

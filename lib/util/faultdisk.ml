@@ -1,0 +1,124 @@
+(* The adversarial storage model: one process-global fault engine that
+   both the page store ([Aries_page.Disk]) and the log manager
+   ([Aries_wal.Logmgr]) consult.  It lives in [Aries_util] because the
+   WAL layer cannot depend on the page layer — the "Faultdisk shim" is a
+   decision oracle here, and the actual byte-mangling (splicing a torn
+   image, flipping a stored bit) happens at the call sites that own the
+   bytes.
+
+   Determinism: all probabilistic decisions draw from one seeded
+   splitmix64 stream, and the decision functions draw *only while their
+   switch is active* — so a run with no faults armed consumes zero
+   entropy and is bit-identical to a pre-PR-5 run, and an armed run is a
+   pure function of (workload seed, fault seed, cfg). *)
+
+type cfg = {
+  eio_read_p : float;  (** P(transient EIO) per page read *)
+  eio_write_p : float;  (** P(transient EIO) per page write *)
+  eio_force_p : float;  (** P(transient EIO) per log force *)
+  bit_flip_p : float;  (** P(flip one stored bit) per page write at rest *)
+  torn_write : bool;  (** a crash on a page write leaves a torn image *)
+  torn_append : bool;  (** a crash leaves a partial record in the log tail *)
+}
+
+let default_cfg =
+  {
+    eio_read_p = 0.02;
+    eio_write_p = 0.02;
+    eio_force_p = 0.02;
+    bit_flip_p = 0.03;
+    torn_write = true;
+    torn_append = true;
+  }
+
+let eio_only_cfg =
+  {
+    eio_read_p = 0.05;
+    eio_write_p = 0.05;
+    eio_force_p = 0.08;
+    bit_flip_p = 0.0;
+    torn_write = false;
+    torn_append = false;
+  }
+
+type state = {
+  mutable cfg : cfg option;
+  mutable rng : Rng.t;
+  mutable owned : string list;  (** switches we enabled, to disable on disarm *)
+}
+
+let st = { cfg = None; rng = Rng.create 0; owned = [] }
+
+let own name =
+  if not (Crashpoint.fault_active name) then begin
+    Crashpoint.enable_fault name;
+    st.owned <- name :: st.owned
+  end
+
+let arm ~seed cfg =
+  st.cfg <- Some cfg;
+  st.rng <- Rng.create (0x5D15C0 lxor seed);
+  st.owned <- [];
+  if cfg.eio_read_p > 0. || cfg.eio_write_p > 0. || cfg.eio_force_p > 0. then
+    own Crashpoint.fault_disk_transient_eio;
+  if cfg.bit_flip_p > 0. then own Crashpoint.fault_disk_bit_flip;
+  if cfg.torn_write then own Crashpoint.fault_disk_torn_write;
+  if cfg.torn_append then own Crashpoint.fault_log_torn_append
+
+let disarm () =
+  List.iter Crashpoint.disable_fault st.owned;
+  st.owned <- [];
+  st.cfg <- None
+
+let armed () = st.cfg <> None
+
+(* Decision functions.  Each draws from the RNG only when its switch is
+   live, so the stream stays aligned with the armed op sequence. *)
+
+let draw p = p > 0. && Rng.float st.rng 1.0 < p
+
+let fail_read () =
+  Crashpoint.fault_active Crashpoint.fault_disk_transient_eio
+  && match st.cfg with Some c -> draw c.eio_read_p | None -> false
+
+let fail_write () =
+  Crashpoint.fault_active Crashpoint.fault_disk_transient_eio
+  && match st.cfg with Some c -> draw c.eio_write_p | None -> false
+
+let fail_force () =
+  Crashpoint.fault_active Crashpoint.fault_disk_transient_eio
+  && match st.cfg with Some c -> draw c.eio_force_p | None -> false
+
+let flip_now () =
+  Crashpoint.fault_active Crashpoint.fault_disk_bit_flip
+  && match st.cfg with Some c -> draw c.bit_flip_p | None -> false
+
+let torn_write_on () = Crashpoint.fault_active Crashpoint.fault_disk_torn_write
+
+let torn_append_on () = Crashpoint.fault_active Crashpoint.fault_log_torn_append
+
+let crc_checks_enabled () =
+  not (Crashpoint.fault_active Crashpoint.fault_crc_check_disabled)
+
+(* Byte mangling helpers (deterministic given the stream position). *)
+
+let flip_one_bit s =
+  let n = String.length s in
+  if n = 0 then s
+  else begin
+    let b = Bytes.of_string s in
+    let i = Rng.int st.rng n and bit = Rng.int st.rng 8 in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)));
+    Bytes.unsafe_to_string b
+  end
+
+let tear ~old_image ~new_image =
+  (* First half of the new bytes lands, the rest keeps whatever the old
+     image had there (nothing, if the old image was shorter or absent) —
+     the classic half-sector torn write. *)
+  let cut = max 1 (String.length new_image / 2) in
+  let prefix = String.sub new_image 0 (min cut (String.length new_image)) in
+  match old_image with
+  | Some old when String.length old > cut ->
+      prefix ^ String.sub old cut (String.length old - cut)
+  | _ -> prefix

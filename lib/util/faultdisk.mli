@@ -1,0 +1,65 @@
+(** The adversarial storage model: a process-global fault engine consulted
+    by the page store and the log manager.
+
+    {!arm} seeds one splitmix64 stream and enables the matching
+    {!Crashpoint} fault switches; the decision functions below draw from
+    the stream {e only while their switch is active}, so unarmed runs
+    consume zero entropy (bit-identical to fault-free runs) and armed runs
+    are a pure function of (workload seed, fault seed, cfg).
+
+    The engine only {e decides}; the byte-mangling (splicing a torn image,
+    flipping a stored bit) is done by the call sites that own the bytes,
+    using {!flip_one_bit} / {!tear}. *)
+
+type cfg = {
+  eio_read_p : float;  (** P(transient EIO) per page read *)
+  eio_write_p : float;  (** P(transient EIO) per page write *)
+  eio_force_p : float;  (** P(transient EIO) per log force *)
+  bit_flip_p : float;  (** P(flip one stored bit) per page write at rest *)
+  torn_write : bool;  (** a crash on a page write leaves a torn image *)
+  torn_append : bool;  (** a crash leaves a partial record in the log tail *)
+}
+
+val default_cfg : cfg
+(** Everything on, low probabilities — the stock sim fault mix. *)
+
+val eio_only_cfg : cfg
+(** Only transient I/O errors (higher rates); exercises the retry paths
+    without ever corrupting stored bytes. *)
+
+val arm : seed:int -> cfg -> unit
+(** Install [cfg], seed the fault RNG, and enable the matching
+    {!Crashpoint} switches (remembering which ones {e this} call turned
+    on). *)
+
+val disarm : unit -> unit
+(** Disable exactly the switches {!arm} enabled and drop the cfg.
+    Switches enabled independently (e.g. a test's [enable_fault]) are
+    left alone. *)
+
+val armed : unit -> bool
+
+(** {2 Decision functions} — true means "inject the fault now". *)
+
+val fail_read : unit -> bool
+val fail_write : unit -> bool
+val fail_force : unit -> bool
+val flip_now : unit -> bool
+
+val torn_write_on : unit -> bool
+val torn_append_on : unit -> bool
+
+val crc_checks_enabled : unit -> bool
+(** False iff the {!Crashpoint.fault_crc_check_disabled} meta-fault is
+    active — codecs then skip CRC verification, and the sim oracle must
+    catch the resulting corruption itself. *)
+
+(** {2 Byte mangling} *)
+
+val flip_one_bit : string -> string
+(** Flip one RNG-chosen bit (identity on the empty string). *)
+
+val tear : old_image:string option -> new_image:string -> string
+(** The torn image a crash mid-write leaves behind: the first half of
+    [new_image] spliced onto [old_image]'s tail (or alone, if the old
+    image is absent/shorter). Deterministic — no RNG draw. *)

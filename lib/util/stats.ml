@@ -87,6 +87,14 @@ let ckptd_nudges = "ckptd.nudges"
 let trace_events = "trace.events"
 let trace_violations = "trace.violations"
 let trace_dumps = "trace.dumps"
+let disk_retries = "disk.retries"
+let disk_repairs = "disk.repairs"
+let disk_eio_injected = "disk.eio_injected"
+let disk_torn_writes = "disk.torn_writes"
+let disk_bit_flips = "disk.bit_flips"
+let disk_quarantines = "disk.quarantines"
+let log_tail_truncated_bytes = "log.tail_truncated_bytes"
+let log_tail_truncations = "log.tail_truncations"
 
 let commit_batch_bucket n = Printf.sprintf "commit.batch_hist.%02d" n
 

@@ -109,6 +109,32 @@ val trace_violations : string
 val trace_dumps : string
 (** Event-window dumps rendered for SIM-REPRO artifacts. *)
 
+val disk_retries : string
+(** Transient-EIO retries performed (page I/O and log forces). *)
+
+val disk_repairs : string
+(** Pages automatically rebuilt from archive + log history after a CRC
+    failure ({!Aries_recovery.Media.auto_repair} completions). *)
+
+val disk_eio_injected : string
+(** Transient I/O errors injected by the fault layer. *)
+
+val disk_torn_writes : string
+(** Torn page images left on disk by a crash landing mid-write. *)
+
+val disk_bit_flips : string
+(** Silent single-bit corruptions injected into stored page images. *)
+
+val disk_quarantines : string
+(** Pages whose stored image failed its CRC / decode on read and were
+    quarantined pending repair. *)
+
+val log_tail_truncated_bytes : string
+(** Bytes of torn/garbage log tail discarded by the restart tail-scan. *)
+
+val log_tail_truncations : string
+(** Tail-scan truncation events (a torn or corrupt suffix was cut). *)
+
 val commit_batch_bucket : int -> string
 (** Histogram counter name for batches of exactly [n] committers,
     e.g. ["commit.batch_hist.04"]. *)

@@ -1,0 +1,41 @@
+(* Typed storage failures.  Everything the storage fault layer can detect
+   or give up on surfaces as [Error] — never a bare [Bytebuf.Corrupt] or
+   [Not_found] escaping from a deserialize path.  The payload carries the
+   offending page id / LSN when known, so a SIM-REPRO reproducer (and a
+   human) can see *where* the medium went bad, not just that it did. *)
+
+type cause =
+  | Checksum  (** a stored CRC did not verify: torn write or bit-rot *)
+  | Decode  (** structurally unparseable image / record / container *)
+  | Io_transient  (** injected transient EIO (retryable) *)
+  | Retry_exhausted  (** bounded retry gave up on a transient fault *)
+
+type info = { cause : cause; pid : int option; lsn : int option; detail : string }
+
+exception Error of info
+
+let cause_name = function
+  | Checksum -> "checksum"
+  | Decode -> "decode"
+  | Io_transient -> "transient-eio"
+  | Retry_exhausted -> "retry-exhausted"
+
+let to_string { cause; pid; lsn; detail } =
+  let b = Buffer.create 64 in
+  Buffer.add_string b "Storage_error(";
+  Buffer.add_string b (cause_name cause);
+  (match pid with Some p -> Buffer.add_string b (Printf.sprintf " pid=%d" p) | None -> ());
+  (match lsn with Some l -> Buffer.add_string b (Printf.sprintf " lsn=%d" l) | None -> ());
+  if detail <> "" then Buffer.add_string b (": " ^ detail);
+  Buffer.add_string b ")";
+  Buffer.contents b
+
+let raise_err ?pid ?lsn cause fmt =
+  Printf.ksprintf (fun detail -> raise (Error { cause; pid; lsn; detail })) fmt
+
+(* Re-type a [Bytebuf.Corrupt] (or similar) caught while decoding stored
+   state: same message, but now carrying cause + location. *)
+let of_corrupt ?pid ?lsn detail = Error { cause = Decode; pid; lsn; detail }
+
+let () =
+  Printexc.register_printer (function Error i -> Some (to_string i) | _ -> None)

@@ -2,9 +2,14 @@ open Aries_util
 module Trace = Aries_trace.Trace
 
 (* Log address space: offset [first_offset] is the first record ever
-   written; each record is framed as [u32 length][payload]. The LSN of a
-   record is the offset of its frame header, so LSNs are strictly monotonic
-   and [Lsn.nil] (= 0) is below every record.
+   written; each record is framed as [u32 length][payload][u32 crc] (see
+   Logrec.frame). The LSN of a record is the offset of its frame header,
+   so LSNs are strictly monotonic and [Lsn.nil] (= 0) is below every
+   record. The per-record CRC is what makes the restart {e tail scan}
+   possible: instead of trusting the recorded stable boundary, recovery
+   walks frames from the active segment's base and the log ends at the
+   last record whose CRC verifies — a torn append or garbage tail is
+   truncated (traced as [log.tail-truncated]), never decoded.
 
    The store is a chain of fixed-size *segments*, oldest first. A record is
    never split: appends go to the unique unsealed tail segment (the
@@ -36,6 +41,7 @@ type archived = {
   arch_len : int;
   arch_data : string;
   arch_records : int;
+  arch_crc : int;  (* sealed-segment footer: CRC32 of [arch_data] *)
 }
 
 type t = {
@@ -118,15 +124,12 @@ let append t rec_ =
   Crashpoint.hit "wal.append";
   let lsn = end_offset t in
   let payload = Logrec.encode { rec_ with lsn } in
-  let w = Bytebuf.W.create () in
-  Bytebuf.W.u32 w (Bytes.length payload);
-  Buffer.add_bytes t.active.seg_data (Bytebuf.W.contents w);
-  Buffer.add_bytes t.active.seg_data payload;
+  Buffer.add_bytes t.active.seg_data (Logrec.frame payload);
   t.active.seg_records <- t.active.seg_records + 1;
   t.last <- lsn;
   t.count <- t.count + 1;
   Stats.incr Stats.log_records;
-  Stats.add Stats.log_bytes (4 + Bytes.length payload);
+  Stats.add Stats.log_bytes (Logrec.frame_overhead + Bytes.length payload);
   if Trace.enabled () then
     Trace.emit
       (Trace.Log_append
@@ -159,8 +162,26 @@ let append t rec_ =
    The [fault_wal_skip_flush] switch silently drops log forces: commits and
    the WAL rule stop being durable. It exists so the simulation harness can
    prove it detects a broken implementation (see Aries_sim.Sim). *)
+let max_force_retries = 6
+
 let force t ~upto ~stable_lsn =
   if upto > t.flushed && not (Crashpoint.fault_active Crashpoint.fault_wal_skip_flush) then begin
+    (* Bounded retry against injected transient I/O errors.  The retries
+       are immediate and deterministic (the force is the synchronous
+       choke point — there is nothing to yield to mid-force); exhaustion
+       must RAISE, never silently succeed, so the commit path cannot ack
+       a batch whose covering force failed. *)
+    let attempt = ref 0 in
+    while Faultdisk.fail_force () do
+      incr attempt;
+      Stats.incr Stats.disk_eio_injected;
+      if !attempt > max_force_retries then
+        Storage_error.raise_err ~lsn:stable_lsn Storage_error.Retry_exhausted
+          "log force to offset %d failed after %d transient I/O errors" upto !attempt;
+      Stats.incr Stats.disk_retries;
+      if Trace.enabled () then
+        Trace.emit (Trace.Io_retry { target = "log-force"; pid = 0; attempt = !attempt })
+    done;
     Crashpoint.hit "wal.flush";
     t.flushed <- upto;
     t.last_stable <- stable_lsn;
@@ -184,12 +205,30 @@ let read t lsn =
   let s = find_segment t lsn in
   let len = frame_len t lsn in
   let payload = Buffer.sub s.seg_data (lsn - s.seg_base + 4) len in
-  Logrec.decode ~lsn payload
+  (if Faultdisk.crc_checks_enabled () then begin
+     let stored =
+       let b = Buffer.sub s.seg_data (lsn - s.seg_base + 4 + len) 4 in
+       Int32.to_int (String.get_int32_le b 0) land 0xFFFFFFFF
+     in
+     if not (Logrec.frame_crc_ok ~payload ~stored) then
+       Storage_error.raise_err ~lsn Storage_error.Checksum
+         "log record frame CRC mismatch (%dB payload)" len
+   end);
+  try Logrec.decode ~lsn payload
+  with Bytebuf.Corrupt msg -> raise (Storage_error.of_corrupt ~lsn ("log record: " ^ msg))
 
-let record_end t lsn = lsn + 4 + frame_len t lsn
+let record_end t lsn =
+  (* A record below the log start was reclaimed by truncation, and
+     truncation never passes the flushed boundary — so any boundary
+     >= start covers it. Clamping (instead of probing the reclaimed
+     segment and failing) keeps pageLSN-driven callers sound when a
+     page's last update is archived: media repair flushes a rebuilt page
+     whose roll-forward ended on an archived record. *)
+  if lsn < start t then start t else lsn + Logrec.frame_overhead + frame_len t lsn
 
 let flush_to t lsn =
-  if Lsn.is_nil lsn then () else force t ~upto:(record_end t lsn) ~stable_lsn:lsn
+  if Lsn.is_nil lsn || lsn < start t then ()
+  else force t ~upto:(record_end t lsn) ~stable_lsn:lsn
 
 let flushed_lsn t = t.last_stable
 
@@ -222,7 +261,81 @@ let recount t =
   iter_from t Lsn.nil (fun _ -> incr n);
   t.count <- !n
 
+(* Structural + CRC validity of the frame at absolute offset [off] in
+   segment [s]. Used by the restart tail scan: a partial frame (torn
+   append) fails the length checks even with CRC verification disabled;
+   bit-rot inside a complete frame is what the CRC catches. *)
+let frame_ok s off =
+  let rel = off - s.seg_base in
+  let avail = seg_len s - rel in
+  if avail < 4 then false
+  else
+    let len = Int32.to_int (String.get_int32_le (Buffer.sub s.seg_data rel 4) 0) land 0xFFFFFFFF in
+    if len < 1 || avail < Logrec.frame_overhead + len then false
+    else if Faultdisk.crc_checks_enabled () then begin
+      let payload = Buffer.sub s.seg_data (rel + 4) len in
+      let stored =
+        Int32.to_int (String.get_int32_le (Buffer.sub s.seg_data (rel + 4 + len) 4) 0)
+        land 0xFFFFFFFF
+      in
+      Logrec.frame_crc_ok ~payload ~stored
+    end
+    else true
+
+(* CRC-guarded tail scan over the active (unsealed) segment: the log ends
+   at the last record whose frame verifies; anything after — a torn
+   append, garbage the medium kept past the flushed boundary — is
+   truncated with a traced [log.tail-truncated] event. This is how ARIES
+   finds the end of log at restart; the recorded boundary is only a
+   hint. *)
+let tail_scan t =
+  let s = t.active in
+  let rec go off = if off < seg_end s && frame_ok s off then go (record_end t off) else off in
+  let valid_end = go s.seg_base in
+  if valid_end < seg_end s then begin
+    let cut = seg_end s - valid_end in
+    let stable = Buffer.sub s.seg_data 0 (valid_end - s.seg_base) in
+    Buffer.clear s.seg_data;
+    Buffer.add_string s.seg_data stable;
+    Stats.incr Stats.log_tail_truncations;
+    Stats.add Stats.log_tail_truncated_bytes cut;
+    if Trace.enabled () then
+      Trace.emit (Trace.Log_tail_truncated { log = t.id; at = valid_end; bytes = cut })
+  end
+
+(* LSN of the last record, recomputed by walking frames (used after a
+   crash/load, when the recorded value cannot be trusted past a tail
+   truncation). *)
+let compute_last t =
+  let last = ref Lsn.nil in
+  List.iter
+    (fun s ->
+      let rec loop off =
+        if off < seg_end s then begin
+          last := off;
+          loop (record_end t off)
+        end
+      in
+      loop s.seg_base)
+    (all_segments t);
+  !last
+
 let crash t =
+  (* Under the torn-append fault the medium kept part of the in-flight
+     tail: capture a prefix of the unflushed suffix (from the segment
+     containing the flushed boundary) before the polite trim discards
+     it. The tail scan below decides what survives of it — complete,
+     CRC-valid records do (legal: they were written, just never acked),
+     the torn remainder is cut. *)
+  let torn_tail =
+    if Faultdisk.torn_append_on () && t.flushed < end_offset t then begin
+      let s = find_segment t t.flushed in
+      let avail = seg_end s - t.flushed in
+      let keep = max 1 (avail / 2) in
+      Some (Buffer.sub s.seg_data (t.flushed - s.seg_base) keep)
+    end
+    else None
+  in
   (* Stable state per segment: drop segments entirely above the flushed
      boundary, trim the one straddling it (which re-opens as the active
      segment — its tail was never sealed durably), keep the rest intact. *)
@@ -258,6 +371,17 @@ let crash t =
     t.sealed <- sealed;
     t.active <- tail
   end;
+  (* the active segment now ends exactly at the old flushed boundary; the
+     torn suffix (if the fault kept one) lands right after it *)
+  (match torn_tail with Some bytes -> Buffer.add_string t.active.seg_data bytes | None -> ());
+  (* find the true end of log: the scan, not the recorded boundary, is
+     authoritative — it cuts the torn suffix back to the last verifiable
+     record (which may lie beyond the recorded boundary if complete
+     records survived unforced) *)
+  tail_scan t;
+  t.flushed <- end_offset t;
+  t.last <- compute_last t;
+  t.last_stable <- t.last;
   (* per-segment record counts in the surviving prefix *)
   List.iter
     (fun s ->
@@ -266,8 +390,11 @@ let crash t =
       loop s.seg_base;
       s.seg_records <- !n)
     (all_segments t);
-  t.last <- t.last_stable;
-  recount t
+  recount t;
+  (* re-baseline the tracer: the scan's verdict is the new stable boundary
+     (the discipline checker judges R4/R5 against this, not against forces
+     it saw before the crash) *)
+  if Trace.enabled () then Trace.emit (Trace.Log_open { log = t.id; flushed = t.flushed })
 
 let record_count t = t.count
 
@@ -284,12 +411,14 @@ let truncate_prefix t ~upto =
   let dropped_bytes = ref 0 and dropped_segs = ref 0 in
   let rec go = function
     | s :: rest when s.seg_sealed && seg_end s <= upto && seg_end s <= t.flushed ->
+        let data = Buffer.contents s.seg_data in
         let arch =
           {
             arch_base = s.seg_base;
             arch_len = seg_len s;
-            arch_data = Buffer.contents s.seg_data;
+            arch_data = data;
             arch_records = s.seg_records;
+            arch_crc = Crc.string data;
           }
         in
         (match t.archive_sink with Some f -> f arch | None -> ());
@@ -329,24 +458,41 @@ let serialize t =
     (fun w s ->
       Bytebuf.W.i64 w s.seg_base;
       Bytebuf.W.bool w (s.seg_sealed && seg_end s <= t.flushed);
-      Bytebuf.W.string w (Buffer.sub s.seg_data 0 (min (seg_len s) (t.flushed - s.seg_base))))
+      let data = Buffer.sub s.seg_data 0 (min (seg_len s) (t.flushed - s.seg_base)) in
+      Bytebuf.W.string w data;
+      (* per-segment footer: CRC32 of the stable prefix, so a rotted or
+         short save file is detected on load instead of mis-decoding *)
+      Bytebuf.W.u32 w (Crc.string data))
     stable_segs;
   Bytebuf.W.contents w
 
 let deserialize b =
-  let r = Bytebuf.R.of_bytes b in
-  let master_lsn = Bytebuf.R.i64 r in
-  let last_stable = Bytebuf.R.i64 r in
-  let segment_size = Bytebuf.R.i64 r in
-  let log_start = Bytebuf.R.i64 r in
-  let segs =
-    Bytebuf.R.list r (fun r ->
-        let base = Bytebuf.R.i64 r in
-        let sealed = Bytebuf.R.bool r in
-        let data = Bytebuf.R.string r in
-        (base, sealed, data))
+  let last_base = ref None in
+  let master_lsn, last_stable, segment_size, log_start, segs =
+    try
+      let r = Bytebuf.R.of_bytes b in
+      let master_lsn = Bytebuf.R.i64 r in
+      let last_stable = Bytebuf.R.i64 r in
+      let segment_size = Bytebuf.R.i64 r in
+      let log_start = Bytebuf.R.i64 r in
+      let segs =
+        Bytebuf.R.list r (fun r ->
+            let base = Bytebuf.R.i64 r in
+            last_base := Some base;
+            let sealed = Bytebuf.R.bool r in
+            let data = Bytebuf.R.string r in
+            let stored = Bytebuf.R.u32 r in
+            if Faultdisk.crc_checks_enabled () && Crc.string data <> stored then
+              Storage_error.raise_err ~lsn:base Storage_error.Checksum
+                "log segment footer CRC mismatch (base %d, %dB)" base (String.length data);
+            (base, sealed, data))
+      in
+      Bytebuf.R.expect_end r;
+      (master_lsn, last_stable, segment_size, log_start, segs)
+    with Bytebuf.Corrupt msg ->
+      raise (Storage_error.of_corrupt ?lsn:!last_base ("log image: " ^ msg))
   in
-  Bytebuf.R.expect_end r;
+  ignore last_stable;
   let t = create ~segment_size () in
   (match segs with
   | [] -> t.active <- fresh_segment log_start
@@ -374,10 +520,13 @@ let deserialize b =
         t.sealed <- sealed;
         t.active <- tail
       end);
+  (* same CRC-guarded tail scan as the crash path: the loaded active
+     segment's suffix must verify record by record *)
+  tail_scan t;
   t.flushed <- end_offset t;
   t.master_lsn <- master_lsn;
-  t.last_stable <- last_stable;
-  t.last <- last_stable;
+  t.last <- compute_last t;
+  t.last_stable <- t.last;
   List.iter
     (fun s ->
       let n = ref 0 in

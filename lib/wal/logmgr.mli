@@ -30,6 +30,7 @@ type archived = {
   arch_len : int;
   arch_data : string;  (** the raw framed records, [arch_len] bytes *)
   arch_records : int;
+  arch_crc : int;  (** sealed-segment footer: CRC32 of [arch_data] *)
 }
 (** A reclaimed segment as handed to the archive sink. *)
 
@@ -77,12 +78,16 @@ val is_stable : t -> Lsn.t -> bool
 
 val record_end : t -> Lsn.t -> int
 (** Offset one past the record at this LSN (frame header + payload): the
-    boundary a force must reach to cover the record. *)
+    boundary a force must reach to cover the record. For an LSN below the
+    log start (reclaimed by truncation — necessarily already stable and
+    archived) this clamps to the start offset, so pageLSN-driven callers
+    never probe reclaimed segments. *)
 
 val read : t -> Lsn.t -> Logrec.t
 (** Random access by LSN (stable or volatile). Raises
     [Invalid_argument] if the LSN is not a record boundary or lies in a
-    reclaimed segment. *)
+    reclaimed segment; raises [Storage_error.Error] ([Checksum]/[Decode],
+    with the LSN) if the frame fails its CRC or is unparseable. *)
 
 val next_lsn : t -> Lsn.t -> Lsn.t option
 (** LSN of the record following the given one, if any. *)
@@ -102,7 +107,16 @@ val crash : t -> unit
 (** Discard the volatile tail: segments wholly above the stable boundary
     vanish, the straddling segment is trimmed (and re-opens unsealed —
     an in-memory seal that never reached disk is not a seal). The master
-    record and stable prefix remain. *)
+    record and stable prefix remain.
+
+    Recovery then runs a CRC-guarded {e tail scan} over the active
+    segment rather than trusting the recorded boundary: the log ends at
+    the last record whose frame verifies. Under the
+    [Crashpoint.fault_log_torn_append] fault, the medium keeps a prefix
+    of the in-flight tail — complete CRC-valid records beyond the
+    recorded boundary survive (legal: written but never acked), the torn
+    remainder is truncated with a traced [log.tail-truncated] event and
+    counted in [Stats.log_tail_truncated_bytes]. *)
 
 val set_archive_sink : t -> (archived -> unit) -> unit
 (** Install the hook that receives each segment dropped by

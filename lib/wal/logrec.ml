@@ -106,6 +106,21 @@ let decode ~lsn s =
   Bytebuf.R.expect_end r;
   { lsn; prev_lsn; txn; kind; page; undo_nxt_lsn; rm_id; op; undoable; redoable; body }
 
+(* Frame format (PR 5): [u32 len][payload][u32 crc32(payload)].  The CRC
+   trailer lets restart's tail scan distinguish a complete record from a
+   torn append or bit-rot without trusting any recorded stable boundary. *)
+let frame_overhead = 8
+
+let frame payload =
+  let n = Bytes.length payload in
+  let out = Bytes.create (n + frame_overhead) in
+  Bytes.set_int32_le out 0 (Int32.of_int n);
+  Bytes.blit payload 0 out 4 n;
+  Bytes.set_int32_le out (n + 4) (Int32.of_int (Crc.bytes ~off:4 ~len:n out));
+  out
+
+let frame_crc_ok ~payload ~stored = Crc.string payload = stored
+
 let pp ppf t =
   Format.fprintf ppf "@[<h>[%a] %s txn=%d prev=%a" Lsn.pp t.lsn (kind_to_string t.kind) t.txn
     Lsn.pp t.prev_lsn;

@@ -63,3 +63,19 @@ val decode : lsn:Lsn.t -> string -> t
 val kind_to_string : kind -> string
 
 val pp : Format.formatter -> t -> unit
+
+(** {2 Framing (PR 5)}
+
+    Frame format: [[u32 len][payload][u32 crc32(payload)]]. The CRC
+    trailer lets restart's tail scan find the true end of log — the last
+    record whose frame verifies — without trusting any recorded stable
+    boundary. *)
+
+val frame_overhead : int
+(** Bytes of framing around a payload (length prefix + CRC trailer) = 8. *)
+
+val frame : bytes -> bytes
+(** Wrap an encoded record payload in its frame. *)
+
+val frame_crc_ok : payload:string -> stored:int -> bool
+(** Does the stored CRC trailer match the payload? *)

@@ -290,7 +290,13 @@ let test_load_rejects_garbage () =
       Alcotest.(check bool) "rejected" true
         (match Db.load path with
         | _ -> false
-        | exception (Invalid_argument _ | Aries_util.Bytebuf.Corrupt _) -> true))
+        (* unframeable bytes surface as a typed storage error, never a bare
+           parser exception (PR 5) *)
+        | exception
+            ( Invalid_argument _
+            | Aries_util.Storage_error.Error { cause = Aries_util.Storage_error.Decode; _ } )
+          ->
+            true))
 
 let test_oversized_record_rejected () =
   let db, tbl = setup ~page_size:512 () in

@@ -191,7 +191,7 @@ let test_image_copy_independent () =
   let page = Page.create ~psize:4096 ~pid (Page.empty_leaf ()) in
   Disk.write d page;
   let dump = Disk.image_copy d in
-  Disk.corrupt d pid;
+  Disk.corrupt_drop d pid;
   Alcotest.(check bool) "original lost" true (Disk.read d pid = None);
   Alcotest.(check bool) "copy intact" true (Disk.read dump pid <> None)
 

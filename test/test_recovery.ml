@@ -577,7 +577,8 @@ let test_media_recovery () =
   Bufpool.flush_all db.Db.pool;
   let victim = Btree.root_pid tree in
   let before = Disk.read db.Db.disk victim in
-  Disk.corrupt db.Db.disk victim;
+  (* silent corruption flavor: the image is still there, just rotten *)
+  Disk.corrupt_flip ~seed:7 db.Db.disk victim;
   Bufpool.drop db.Db.pool victim;
   let applied = Db.run_exn db (fun () -> Media.recover_page db.Db.mgr db.Db.pool dump victim) in
   Alcotest.(check bool) "recover_page ran" true (applied >= 0);
@@ -607,7 +608,7 @@ let test_media_recovery_whole_tree () =
   let pids = Disk.pids db.Db.disk in
   List.iter
     (fun pid ->
-      Disk.corrupt db.Db.disk pid;
+      Disk.corrupt_drop db.Db.disk pid;
       Bufpool.drop db.Db.pool pid)
     pids;
   Db.run_exn db (fun () ->

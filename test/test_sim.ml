@@ -141,6 +141,124 @@ let test_injected_fault_is_caught_group () =
   let r = Sim.run_one gcfg ~seed:11 in
   Alcotest.(check (list string)) "clean after fault removed" [] r.Sim.rr_failures
 
+(* ------------------------------------------------------------------ *)
+(* Storage-fault sweeps (PR 5): the same workloads over an adversarial
+   disk — transient EIO, bit-rot, torn page/log images. The bar: every run
+   either recovers exactly to the oracle or fails loudly with a typed
+   [Storage_error] reproducer. Oracle mismatches, leaks, discipline
+   violations and bare parser exceptions are fatal even under faults. *)
+
+let test_fault_seed_sweep () =
+  let sink = Stats.create () in
+  let s =
+    Stats.with_sink sink (fun () ->
+        Sim.seed_sweep Workload.fault_cfg ~seeds:(List.init 32 (fun i -> i + 1)))
+  in
+  (match Sim.fatal_failures s with [] -> () | fs -> fail_with fs);
+  (* the adversarial disk must actually have misbehaved, and bounded
+     retries must have absorbed the transient errors (a completed run under
+     faults implies every EIO was retried away) *)
+  Alcotest.(check bool) "faults were injected" true
+    (Stats.get sink Stats.disk_eio_injected > 0 && Stats.get sink Stats.disk_bit_flips > 0);
+  Alcotest.(check bool) "transient EIOs were retried" true
+    (Stats.get sink Stats.disk_retries > 0)
+
+let test_fault_crash_sweep () =
+  let sink = Stats.create () in
+  let points = ref 0 in
+  let fatal = ref [] in
+  Stats.with_sink sink (fun () ->
+      List.iter
+        (fun seed ->
+          let s = Sim.crash_sweep Workload.fault_cfg ~seed ~budget:30 in
+          points := !points + s.Sim.sm_crash_points;
+          fatal := !fatal @ Sim.fatal_failures s)
+        [ 1101; 2202; 3303 ]);
+  if !fatal <> [] then fail_with !fatal;
+  Alcotest.(check bool)
+    (Printf.sprintf "fault crash points >= 60 (got %d)" !points)
+    true (!points >= 60);
+  (* crashing mid-write over a torn-write disk must have left torn images
+     for the tail scan / repair path to deal with at least once *)
+  Alcotest.(check bool) "torn images or torn log tails occurred" true
+    (Stats.get sink Stats.disk_torn_writes > 0
+    || Stats.get sink Stats.log_tail_truncations > 0);
+  (* restart re-reads pages from the adversarial disk, so at least one
+     CRC-failing image must have been quarantined and rebuilt from the
+     archive + log by automatic media repair (the PR 5 acceptance bar) *)
+  Alcotest.(check bool)
+    (Printf.sprintf "automatic media repair ran (quarantines=%d repairs=%d)"
+       (Stats.get sink Stats.disk_quarantines)
+       (Stats.get sink Stats.disk_repairs))
+    true
+    (Stats.get sink Stats.disk_repairs > 0)
+
+let test_fault_crash_sweep_group () =
+  let points = ref 0 in
+  let fatal = ref [] in
+  List.iter
+    (fun seed ->
+      let s = Sim.crash_sweep Workload.fault_group_cfg ~seed ~budget:30 in
+      points := !points + s.Sim.sm_crash_points;
+      fatal := !fatal @ Sim.fatal_failures s)
+    [ 4404; 5505 ];
+  if !fatal <> [] then fail_with !fatal;
+  Alcotest.(check bool)
+    (Printf.sprintf "group-mode fault crash points >= 40 (got %d)" !points)
+    true (!points >= 40)
+
+(* The pure transient-EIO storm: no stored byte is ever corrupted, so the
+   runs must not merely fail loudly — they must all pass outright (bounded
+   retry absorbs every injected error), including the batched commit
+   pipeline whose force must delay, never drop, its batch. *)
+let test_fault_eio_storm () =
+  let sink = Stats.create () in
+  let s =
+    Stats.with_sink sink (fun () ->
+        Sim.sweep Workload.fault_eio_cfg
+          ~seeds:(List.init 16 (fun i -> i + 21))
+          ~crash_seeds:[ 21; 22 ] ~crash_budget:20)
+  in
+  if s.Sim.sm_failures <> [] then fail_with s.Sim.sm_failures;
+  Alcotest.(check bool) "the storm actually hit" true
+    (Stats.get sink Stats.disk_eio_injected > 0);
+  Alcotest.(check bool) "retries absorbed it" true (Stats.get sink Stats.disk_retries > 0)
+
+(* Fault runs are as replayable as fault-free ones: the fault stream is a
+   pure function of (run seed, cfg). *)
+let test_fault_determinism () =
+  let a = Sim.run_one Workload.fault_cfg ~seed:9 in
+  let b = Sim.run_one Workload.fault_cfg ~seed:9 in
+  Alcotest.(check bool) "fault runs identical" true (a = b);
+  let a = Sim.run_one ~crash_at:23 Workload.fault_cfg ~seed:9 in
+  let b = Sim.run_one ~crash_at:23 Workload.fault_cfg ~seed:9 in
+  Alcotest.(check bool) "fault crash-cut runs identical" true (a = b)
+
+(* The meta-fault: with CRC verification switched off, bit-rot flows
+   straight through the codecs — the committed-state oracle (not the
+   checksums) must be what catches the corruption. Detection layers may
+   not silently paper over each other. Crash sweeps drive it, because only
+   a post-crash restart re-reads the rotten images from disk. *)
+let test_crc_disabled_meta_fault () =
+  Fun.protect ~finally:Crashpoint.clear_faults (fun () ->
+      Crashpoint.enable_fault Crashpoint.fault_crc_check_disabled;
+      let bitrot =
+        { Aries_util.Faultdisk.eio_read_p = 0.0; eio_write_p = 0.0; eio_force_p = 0.0;
+          bit_flip_p = 0.25; torn_write = false; torn_append = false }
+      in
+      let cfg = { Workload.default_cfg with Workload.faults = Some bitrot } in
+      let failures = ref [] in
+      List.iter
+        (fun seed ->
+          let s = Sim.crash_sweep cfg ~seed ~budget:25 in
+          failures := !failures @ s.Sim.sm_failures)
+        [ 31; 32; 33 ];
+      match !failures with
+      | [] -> Alcotest.fail "bit-rot with CRC checks disabled escaped the oracle"
+      | rp :: _ ->
+          let rep = Sim.replay cfg rp in
+          Alcotest.(check bool) "replay reproduces the failure" true (Sim.confirms rp rep))
+
 (* A harder cfg: more fibers and txns, tighter pool, hotter yields — the
    shape the bench entry scales up. One seed keeps CI fast. *)
 let test_stress_cfg () =
@@ -176,5 +294,16 @@ let () =
           Alcotest.test_case "injected skip-flush fault is caught (group commit)" `Quick
             test_injected_fault_is_caught_group;
           Alcotest.test_case "stress cfg" `Quick test_stress_cfg;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "fault seed sweep (32 seeds)" `Quick test_fault_seed_sweep;
+          Alcotest.test_case "fault crash sweep (>=60 points)" `Quick test_fault_crash_sweep;
+          Alcotest.test_case "fault crash sweep, group commit (>=40 points)" `Quick
+            test_fault_crash_sweep_group;
+          Alcotest.test_case "transient-EIO storm passes outright" `Quick test_fault_eio_storm;
+          Alcotest.test_case "fault determinism" `Quick test_fault_determinism;
+          Alcotest.test_case "crc.check-disabled meta-fault is caught by the oracle" `Quick
+            test_crc_disabled_meta_fault;
         ] );
     ]
