@@ -1361,6 +1361,171 @@ let q12 ppf =
   close_out oc;
   kv ppf "wrote" "BENCH_PR5.json"
 
+(* Q13: instant restart — time to the first committed new transaction
+   after a crash. The same crashed image (save/load) restarts twice:
+   classic must finish the Redo and Undo passes before any new work runs;
+   instant opens for business after Analysis + loser-lock reacquisition,
+   redoing pages on demand and draining the rest in the background. Two
+   log shapes: a short log (the fuzzy-checkpoint daemon keeps analysis
+   and redo bounded — the PR4 steady state) and an artificially long one
+   (checkpoints still run, so analysis stays short and the per-page log
+   chains are persisted, but pages are never cleaned: the redo backlog
+   spans the whole run and dwarfs the restart buffer pool) where the
+   paper's downtime argument predicts the win; the acceptance gate
+   requires >= 5x there. Writes BENCH_PR6.json. *)
+let q13 ppf =
+  let module Ckptd = Aries_recovery.Ckptd in
+  section ppf "Q13: instant restart — time to first committed transaction";
+  let committed = 5_000 and per_txn = 10 in
+  let loser_keys = 20 in
+  let build ~long =
+    (* long shape: checkpoints keep running (short analysis window, the
+       dirty pages' log chains ride in each End_ckpt) but nudge almost
+       nothing to disk, and the build pool is big enough that nothing is
+       ever evicted — nearly every page's recLSN stays near the log's
+       start, so the crashed image owes the whole run as redo work *)
+    let checkpoint =
+      if long then Some { Ckptd.every_steps = 64; Ckptd.nudge_pages = 1; truncate = true }
+      else Some { Ckptd.every_steps = 8; Ckptd.nudge_pages = 4; truncate = true }
+    in
+    let pool_capacity = if long then 1024 else 128 in
+    let db = Db.create ~page_size:384 ~pool_capacity ?checkpoint ~segment_size:2048 () in
+    let tree =
+      Db.run_exn db (fun () ->
+          Db.with_txn db (fun txn -> Btree.create db.Db.benv txn ~name:"bench" ~unique:true))
+    in
+    Db.run_exn db (fun () ->
+        for t = 0 to (committed / per_txn) - 1 do
+          Db.with_txn db (fun txn ->
+              for i = (t * per_txn) + 1 to (t + 1) * per_txn do
+                Btree.insert tree txn ~value:(v i) ~rid:(rid i)
+              done);
+          (* give the checkpoint daemon a turn between transactions *)
+          Sched.yield ()
+        done;
+        (* a loser cut mid-flight: its key locks must be reacquired before
+           the instant-restarted Db opens *)
+        let t = Txnmgr.begin_txn db.Db.mgr in
+        for i = 1 to loser_keys do
+          Btree.insert tree t ~value:(v (100_000 + i)) ~rid:(rid (100_000 + i))
+        done;
+        Logmgr.flush db.Db.wal);
+    let img = Filename.temp_file "aries_q13" ".img" in
+    Db.save db img;
+    (img, Btree.index_id tree)
+  in
+  let tight = { Restart.dr_every_steps = 1; dr_redo_pages = 8; dr_undo_txns = 1 } in
+  (* time from restart start to the first committed new transaction, then
+     (instant only) on to the fully drained engine *)
+  let time_restart ~instant img ix =
+    let db' = Db.load ~pool_capacity:24 img in
+    let t_first = ref 0.0 and t_drained = ref 0.0 and pending0 = ref 0 in
+    let (rep : Restart.report), stats =
+      measured (fun () ->
+          Db.run_exn db' (fun () ->
+              let t0 = Sys.time () in
+              let rep = Db.restart ~instant ~drain:tight db' in
+              (match Db.restart_engine db' with
+              | Some en when instant -> pending0 := List.length (Restart.pending_redo en)
+              | Some _ | None -> ());
+              let tree' = Btree.open_existing db'.Db.benv ix in
+              Db.with_txn db' (fun txn ->
+                  Btree.insert tree' txn ~value:"zzzz-first" ~rid:(rid 99_999));
+              t_first := Sys.time () -. t0;
+              let rep =
+                match Db.restart_engine db' with
+                | Some en when instant ->
+                    while not (Restart.finished en) do
+                      Sched.yield ()
+                    done;
+                    (* the open-time report predates the drain; the engine's
+                       aggregates across every pass *)
+                    Restart.report en
+                | Some _ | None -> rep
+              in
+              t_drained := Sys.time () -. t0;
+              rep))
+    in
+    let rows = List.length (Btree.to_list (Btree.open_existing db'.Db.benv ix)) in
+    (rep, stats, !t_first, !t_drained, !pending0, rows)
+  in
+  let ms t = 1000.0 *. t in
+  let shape name ~long =
+    let img, ix = build ~long in
+    let c_rep, _, c_first, _, _, c_rows = time_restart ~instant:false img ix in
+    let i_rep, i_stats, i_first, i_drained, i_pending, i_rows =
+      time_restart ~instant:true img ix
+    in
+    Sys.remove img;
+    kv ppf (Printf.sprintf "[%s] classic: redos / undos / first-commit" name) "%d / %d / %.2fms"
+      c_rep.Restart.rp_redos_applied c_rep.Restart.rp_undo_records (ms c_first);
+    kv ppf
+      (Printf.sprintf "[%s] instant: pending@open / first-commit / drained" name)
+      "%d / %.2fms / %.2fms" i_pending (ms i_first) (ms i_drained);
+    kv ppf
+      (Printf.sprintf "[%s] instant: on-demand redos / locks reacquired" name)
+      "%d / %d"
+      (Stats.get i_stats Stats.instant_ondemand_redos)
+      (Stats.get i_stats Stats.instant_locks_reacquired);
+    if c_rows <> committed + 1 || i_rows <> committed + 1 then
+      failwith (Printf.sprintf "q13: %s-log recovery lost rows (%d / %d)" name c_rows i_rows);
+    if i_rep.Restart.rp_redos_applied <> c_rep.Restart.rp_redos_applied then
+      failwith
+        (Printf.sprintf "q13: instant and classic redo different record counts (%d vs %d)"
+           i_rep.Restart.rp_redos_applied c_rep.Restart.rp_redos_applied);
+    let speedup = c_first /. Float.max i_first 1e-6 in
+    kv ppf (Printf.sprintf "[%s] time-to-first-commit speedup" name) "%.1fx" speedup;
+    (c_rep, c_first, i_rep, i_stats, i_first, i_drained, i_pending, speedup)
+  in
+  kv ppf "workload" "%d committed inserts (txns of %d), %d-key loser, pool 24 pages" committed
+    per_txn loser_keys;
+  let _, s_c_first, _, s_i_stats, s_i_first, s_i_drained, s_pending, s_speed =
+    shape "short" ~long:false
+  in
+  let l_c_rep, l_c_first, l_i_rep, l_i_stats, l_i_first, l_i_drained, l_pending, l_speed =
+    shape "long" ~long:true
+  in
+  let pass = l_speed >= 5.0 in
+  kv ppf "acceptance: >= 5x on the long-log workload" "%s" (if pass then "PASS" else "FAIL");
+  if not pass then failwith "q13: instant restart under 5x on the long-log workload";
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"bench\": \"instant-restart\",\n\
+      \  \"generated_by\": \"dune exec bench/main.exe -- q13\",\n\
+      \  \"workload\": { \"committed_inserts\": %d, \"inserts_per_txn\": %d,\n\
+      \    \"loser_keys\": %d, \"restart_pool_pages\": 24 },\n\
+      \  \"short_log\": {\n\
+      \    \"classic_first_commit_ms\": %.3f,\n\
+      \    \"instant_first_commit_ms\": %.3f, \"instant_drained_ms\": %.3f,\n\
+      \    \"pending_pages_at_open\": %d, \"ondemand_redos\": %d,\n\
+      \    \"locks_reacquired\": %d, \"speedup\": %.2f\n\
+      \  },\n\
+      \  \"long_log\": {\n\
+      \    \"classic_first_commit_ms\": %.3f, \"classic_redos_applied\": %d,\n\
+      \    \"classic_undo_records\": %d,\n\
+      \    \"instant_first_commit_ms\": %.3f, \"instant_drained_ms\": %.3f,\n\
+      \    \"pending_pages_at_open\": %d, \"ondemand_redos\": %d,\n\
+      \    \"drain_rounds\": %d, \"locks_reacquired\": %d,\n\
+      \    \"redos_applied\": %d, \"speedup\": %.2f\n\
+      \  },\n\
+      \  \"acceptance\": { \"long_log_speedup_at_least_5x\": %b }\n\
+       }\n"
+      committed per_txn loser_keys (ms s_c_first) (ms s_i_first) (ms s_i_drained) s_pending
+      (Stats.get s_i_stats Stats.instant_ondemand_redos)
+      (Stats.get s_i_stats Stats.instant_locks_reacquired)
+      s_speed (ms l_c_first) l_c_rep.Restart.rp_redos_applied l_c_rep.Restart.rp_undo_records
+      (ms l_i_first) (ms l_i_drained) l_pending
+      (Stats.get l_i_stats Stats.instant_ondemand_redos)
+      (Stats.get l_i_stats Stats.instant_drain_rounds)
+      (Stats.get l_i_stats Stats.instant_locks_reacquired)
+      l_i_rep.Restart.rp_redos_applied l_speed pass
+  in
+  let oc = open_out "BENCH_PR6.json" in
+  output_string oc json;
+  close_out oc;
+  kv ppf "wrote" "BENCH_PR6.json"
+
 let all : (string * (Format.formatter -> unit)) list =
   [
     ("e1", e1);
@@ -1384,4 +1549,5 @@ let all : (string * (Format.formatter -> unit)) list =
     ("q10", q10);
     ("q11", q11);
     ("q12", q12);
+    ("q13", q13);
   ]

@@ -14,7 +14,9 @@
      dune exec bench/main.exe -- sim 512 48 400           # seeds, crash seeds, budget
      dune exec bench/main.exe -- sim smoke                # bounded CI sweep (see ci.sh)
      dune exec bench/main.exe -- sim smoke --faults       # fault-armed CI sweep (storage faults)
+     dune exec bench/main.exe -- sim smoke --instant      # recovery-during-recovery CI sweep
      dune exec bench/main.exe -- sim replay <seed> <k|->  # re-run one reproducer
+     dune exec bench/main.exe -- sim replay <seed> <k|-> <cut>  # instant-restart reproducer
      ARIES_SIM_FAULT=wal.skip-flush dune exec bench/main.exe -- sim
                                           # demo: injected bug -> SIM-REPRO lines
 
@@ -43,11 +45,11 @@ let run_sim args =
          reported but don't fail the smoke. Small enough for every push,
          loud on any failure. *)
       let faults = List.mem "--faults" rest in
-      let rest = List.filter (fun a -> a <> "--faults") rest in
+      let instant = List.mem "--instant" rest in
+      let rest = List.filter (fun a -> a <> "--faults" && a <> "--instant") rest in
       let geti i default =
         match List.nth_opt rest i with Some s -> int_of_string s | None -> default
       in
-      let nseeds = geti 0 16 and ncrash = geti 1 4 and budget = geti 2 40 in
       let workloads =
         if faults then
           [
@@ -58,40 +60,79 @@ let run_sim args =
         else [ ("default", cfg); ("group+cleaner", Aries_sim.Workload.group_cfg) ]
       in
       let failed = ref false in
-      List.iter
-        (fun (label, cfg) ->
-          Format.fprintf ppf "smoke [%s]: %d seeds, %d crash seeds x <=%d points@." label
-            nseeds ncrash budget;
-          let s =
-            Sim.sweep cfg
-              ~seeds:(List.init nseeds (fun i -> i + 1))
-              ~crash_seeds:(List.init ncrash (fun i -> 1001 + i))
-              ~crash_budget:budget
-          in
-          let fatal = if faults then Sim.fatal_failures s else s.Sim.sm_failures in
-          let tolerated = List.length s.Sim.sm_failures - List.length fatal in
-          Format.fprintf ppf "  %d seed runs, %d crash points, %d fatal failure(s)%s@."
-            s.Sim.sm_seed_runs s.Sim.sm_crash_points (List.length fatal)
-            (if tolerated > 0 then Printf.sprintf " (+%d tolerated typed)" tolerated else "");
-          if fatal <> [] then begin
-            failed := true;
-            List.iter (fun rp -> Format.fprintf ppf "%s@." (Sim.reproducer_line rp)) fatal
-          end)
-        workloads;
-      if !failed then exit 1;
-      Format.fprintf ppf "smoke sweep clean@."
-  | [ "replay"; seed; k ] ->
+      if instant then begin
+        (* the recovery-during-recovery smoke (see ci.sh): cut the run at
+           sampled durability events, serve a second workload while
+           instant restart drains, and crash {e again} inside the drain —
+           every second crash must classic-restart back to the two-phase
+           oracle with zero discipline violations. *)
+        let nseeds = geti 0 2 and budget = geti 1 24 in
+        List.iter
+          (fun (label, cfg) ->
+            Format.fprintf ppf "smoke instant [%s]: %d seeds x <=%d armed recovery runs@."
+              label nseeds budget;
+            List.iter
+              (fun seed ->
+                let s = Sim.instant_sweep cfg ~seed ~budget in
+                Format.fprintf ppf "  seed %d: %d armed runs, %d failure(s)@." seed
+                  s.Sim.sm_crash_points
+                  (List.length s.Sim.sm_failures);
+                if s.Sim.sm_failures <> [] then begin
+                  failed := true;
+                  List.iter
+                    (fun rp -> Format.fprintf ppf "%s@." (Sim.reproducer_line rp))
+                    s.Sim.sm_failures
+                end)
+              (List.init nseeds (fun i -> 2001 + i)))
+          workloads;
+        if !failed then exit 1;
+        Format.fprintf ppf "instant smoke sweep clean@."
+      end
+      else begin
+        let nseeds = geti 0 16 and ncrash = geti 1 4 and budget = geti 2 40 in
+        List.iter
+          (fun (label, cfg) ->
+            Format.fprintf ppf "smoke [%s]: %d seeds, %d crash seeds x <=%d points@." label
+              nseeds ncrash budget;
+            let s =
+              Sim.sweep cfg
+                ~seeds:(List.init nseeds (fun i -> i + 1))
+                ~crash_seeds:(List.init ncrash (fun i -> 1001 + i))
+                ~crash_budget:budget
+            in
+            let fatal = if faults then Sim.fatal_failures s else s.Sim.sm_failures in
+            let tolerated = List.length s.Sim.sm_failures - List.length fatal in
+            Format.fprintf ppf "  %d seed runs, %d crash points, %d fatal failure(s)%s@."
+              s.Sim.sm_seed_runs s.Sim.sm_crash_points (List.length fatal)
+              (if tolerated > 0 then Printf.sprintf " (+%d tolerated typed)" tolerated
+               else "");
+            if fatal <> [] then begin
+              failed := true;
+              List.iter (fun rp -> Format.fprintf ppf "%s@." (Sim.reproducer_line rp)) fatal
+            end)
+          workloads;
+        if !failed then exit 1;
+        Format.fprintf ppf "smoke sweep clean@."
+      end
+  | "replay" :: seed :: k :: rest ->
+      (* [sim replay <seed> <k|->] re-runs a classic reproducer;
+         [sim replay <seed> <k|-> <cut>] an instant-restart one (phase 1
+         cut at event <cut>, second crash at recovery-phase event <k>). *)
       let rp =
         {
           Sim.rp_seed = int_of_string seed;
           rp_crash_at = (if k = "-" then None else Some (int_of_string k));
+          rp_instant_cut = (match rest with cut :: _ -> Some (int_of_string cut) | [] -> None);
           rp_failures = [];
           rp_trace = [];
           rp_event_dump = [];
         }
       in
       let r = Sim.replay cfg rp in
-      Format.fprintf ppf "replay seed=%s crash_at=%s: %d events, %d txns@." seed k
+      Format.fprintf ppf "replay seed=%s crash_at=%s%s: %d events, %d txns@." seed k
+        (match rp.Sim.rp_instant_cut with
+        | Some c -> Printf.sprintf " instant_cut=%d" c
+        | None -> "")
         r.Sim.rr_events r.Sim.rr_txns;
       List.iter (fun l -> Format.fprintf ppf "  %s@." l) r.Sim.rr_trace;
       if r.Sim.rr_failures = [] then Format.fprintf ppf "run passed all checks@."

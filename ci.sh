@@ -11,6 +11,9 @@
 # The fault smoke runs the same slice with the storage fault engine
 # armed (torn writes, bit-rot, transient EIO): every run must recover
 # to the oracle or fail loudly with a typed Storage_error.
+# The instant smoke is the recovery-during-recovery sweep: cut each
+# run mid-flight, restart with `~instant:true`, and crash again inside
+# the drain — every second crash must classic-restart to the oracle.
 set -eu
 
 cd "$(dirname "$0")"
@@ -27,6 +30,9 @@ if [ "${1:-}" != "fast" ]; then
 
   echo "== sim fault smoke sweep =="
   dune exec bench/main.exe -- sim smoke --faults
+
+  echo "== sim instant-restart smoke sweep =="
+  dune exec bench/main.exe -- sim smoke --instant
 fi
 
 echo "ci.sh: all green"

@@ -13,6 +13,12 @@ type frame = {
   mutable fix_count : int;
   mutable dirty : bool;
   mutable rec_lsn : Lsn.t;  (* meaningful iff dirty *)
+  mutable chain : Lsn.t list;
+      (* the page's log chain since it became dirty, newest first: every
+         record LSN applied to the frame. Checkpoints persist it so instant
+         restart can repeat a page's history by direct record reads instead
+         of scanning the log once per pending page. Cleared on write-out:
+         records at or below a flushed image's page_lsn are never redone. *)
   mutable last_use : int;  (* LRU clock *)
 }
 
@@ -26,6 +32,13 @@ type t = {
   mutable steal_probability : float;
   mutable repairer : (Ids.page_id -> bool) option;
   mutable repairing : bool;  (* re-entrancy guard: no repair inside a repair *)
+  mutable redo_hook : (Ids.page_id -> unit) option;
+  (* instant restart's needs-redo set, overlaid on the dirty-page table:
+     pages whose stable image is stale but whose frames are not (yet)
+     resident, each with its recLSN and not-yet-replayed log chain.
+     Checkpoints and the log-reclamation safety point must keep covering
+     them until their history has been repeated. *)
+  restart_dpt : (Ids.page_id, Lsn.t * Lsn.t list) Hashtbl.t;
 }
 
 let create ?(capacity = 128) dsk log =
@@ -39,6 +52,8 @@ let create ?(capacity = 128) dsk log =
     steal_probability = 0.0;
     repairer = None;
     repairing = false;
+    redo_hook = None;
+    restart_dpt = Hashtbl.create 8;
   }
 
 let disk t = t.dsk
@@ -101,7 +116,8 @@ let write_frame t f =
               }));
       Disk.write t.dsk f.page);
   f.dirty <- false;
-  f.rec_lsn <- Lsn.nil
+  f.rec_lsn <- Lsn.nil;
+  f.chain <- []
 
 let evict_one t =
   (* LRU over unfixed frames *)
@@ -129,7 +145,7 @@ let make_room t = if Hashtbl.length t.frames >= t.capacity then evict_one t
 
 let install t page =
   make_room t;
-  let f = { page; fix_count = 1; dirty = false; rec_lsn = Lsn.nil; last_use = 0 } in
+  let f = { page; fix_count = 1; dirty = false; rec_lsn = Lsn.nil; chain = []; last_use = 0 } in
   touch t f;
   Hashtbl.replace t.frames page.Page.pid f;
   f
@@ -156,6 +172,13 @@ let read_page t pid =
       | Some _ | None -> raise e)
 
 let fix_opt t pid =
+  (* Instant-restart interlock: while recovery is still draining, a page in
+     the needs-redo set must have its history repeated before anyone sees
+     it. The hook (installed by the restart engine) redoes exactly this
+     page on demand and is a no-op for pages not (or no longer) pending —
+     including the redo roll-forward's own fix of the same page, which the
+     engine de-pends before replaying. *)
+  (match t.redo_hook with None -> () | Some h -> h pid);
   Stats.incr Stats.page_fixes;
   let r =
     match Hashtbl.find_opt t.frames pid with
@@ -217,8 +240,11 @@ let mark_dirty t page lsn =
   let f = frame_of t page in
   if not f.dirty then begin
     f.dirty <- true;
-    f.rec_lsn <- lsn
-  end;
+    f.rec_lsn <- lsn;
+    f.chain <- [ lsn ]
+  end
+  else if (match f.chain with l :: _ -> Lsn.compare l lsn <> 0 | [] -> true) then
+    f.chain <- lsn :: f.chain;
   steal_some t
 
 let flush_page t pid =
@@ -264,7 +290,18 @@ let flush_all t =
 let drop t pid = Hashtbl.remove t.frames pid
 
 let dirty_page_table t =
-  Hashtbl.fold (fun pid f acc -> if f.dirty then (pid, f.rec_lsn) :: acc else acc) t.frames []
+  let acc : (Ids.page_id, Lsn.t) Hashtbl.t = Hashtbl.create 32 in
+  Hashtbl.iter (fun pid f -> if f.dirty then Hashtbl.replace acc pid f.rec_lsn) t.frames;
+  (* overlay the instant-restart needs-redo set: a page mid-replay can be
+     both frame-dirty (records applied so far) and still pending (suffix
+     not yet applied) — the older recLSN is the one that must survive *)
+  Hashtbl.iter
+    (fun pid (rec_lsn, _) ->
+      match Hashtbl.find_opt acc pid with
+      | Some cur -> Hashtbl.replace acc pid (Lsn.min cur rec_lsn)
+      | None -> Hashtbl.replace acc pid rec_lsn)
+    t.restart_dpt;
+  Hashtbl.fold (fun pid rec_lsn l -> (pid, rec_lsn) :: l) acc []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let resident_pids t =
@@ -277,7 +314,10 @@ let latched_count t =
     (fun _ f acc -> acc + Aries_sched.Latch.holder_count f.page.Page.latch)
     t.frames 0
 
-let crash t = Hashtbl.reset t.frames
+let crash t =
+  Hashtbl.reset t.frames;
+  Hashtbl.reset t.restart_dpt;
+  t.redo_hook <- None
 
 let set_steal_hook t ~seed ~probability =
   t.steal_rng <- Some (Rng.create seed);
@@ -288,3 +328,30 @@ let clear_steal_hook t =
   t.steal_probability <- 0.0
 
 let set_repairer t f = t.repairer <- Some f
+
+let set_redo_hook t f = t.redo_hook <- Some f
+
+let clear_redo_hook t = t.redo_hook <- None
+
+let set_restart_dpt t entries =
+  Hashtbl.reset t.restart_dpt;
+  List.iter (fun (pid, rec_lsn, chain) -> Hashtbl.replace t.restart_dpt pid (rec_lsn, chain)) entries
+
+(* Per-page log chains for fuzzy checkpoints, oldest record first. A page
+   both pending and frame-dirty (mid-replay) reports the pending chain: the
+   frame's chain is the already-replayed prefix of it, and the suffix must
+   survive into the checkpoint. *)
+let dirty_page_chains t =
+  let acc : (Ids.page_id, Lsn.t list) Hashtbl.t = Hashtbl.create 32 in
+  Hashtbl.iter (fun pid f -> if f.dirty then Hashtbl.replace acc pid (List.rev f.chain)) t.frames;
+  (* a restart-DPT page with no known chain (history fell back to a log
+     scan) must stay absent: an empty chain would claim false completeness
+     at a checkpoint taken mid-drain *)
+  Hashtbl.iter
+    (fun pid (_, chain) ->
+      if chain = [] then Hashtbl.remove acc pid else Hashtbl.replace acc pid chain)
+    t.restart_dpt;
+  Hashtbl.fold (fun pid chain l -> (pid, chain) :: l) acc []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let clear_restart_page t pid = Hashtbl.remove t.restart_dpt pid

@@ -66,6 +66,15 @@ val drop : t -> Ids.page_id -> unit
 val dirty_page_table : t -> (Ids.page_id * Aries_wal.Lsn.t) list
 (** Snapshot for fuzzy checkpoints: (pid, recLSN), sorted by pid. *)
 
+val dirty_page_chains : t -> (Ids.page_id * Aries_wal.Lsn.t list) list
+(** Snapshot of each dirty page's log chain (every record LSN applied
+    since the page became dirty, oldest first), sorted by pid — the same
+    pages {!dirty_page_table} reports. Fuzzy checkpoints persist these so
+    instant restart can repeat a pending page's history by direct record
+    reads instead of a log scan per page. A page still in the
+    instant-restart overlay reports its pending chain: the frame's own
+    chain is the already-replayed prefix of it. *)
+
 val resident_pids : t -> Ids.page_id list
 (** Page ids currently buffered (any fix count), sorted. Post-restart
     discovery scans these in addition to the disk, because redo recreates
@@ -105,3 +114,31 @@ val set_repairer : t -> (Ids.page_id -> bool) -> unit
     retries with a one-scheduler-step backoff per attempt (counted in
     [Stats.disk_retries], traced as [Io_retry]); exhaustion raises
     [Storage_error.Error] with cause [Retry_exhausted]. *)
+
+val set_redo_hook : t -> (Ids.page_id -> unit) -> unit
+(** Install the instant-restart on-demand redo hook (PR 6), consulted at
+    the top of every {!fix_opt}/{!fix}: while restart recovery is still
+    draining, a fix of a page in the needs-redo set must trigger
+    single-page redo before the (possibly stale) image is served. The hook
+    is a no-op for pages not pending — including the redo roll-forward's
+    own fix of the page being replayed, which the engine removes from the
+    pending set before replaying. Cleared by {!clear_redo_hook} when the
+    drain completes. *)
+
+val clear_redo_hook : t -> unit
+
+val set_restart_dpt : t -> (Ids.page_id * Aries_wal.Lsn.t * Aries_wal.Lsn.t list) list -> unit
+(** Install instant restart's needs-redo set as an overlay on the
+    dirty-page table: the listed pages have stale stable images even
+    though no frame is resident, so {!dirty_page_table} (hence fuzzy
+    checkpoints and the log-reclamation safety point) reports them —
+    with the minimum recLSN when a page is both pending and frame-dirty
+    (mid-replay) — until {!clear_restart_page} retires them one by one.
+    Each entry also carries the page's not-yet-replayed log chain
+    (oldest first), which {!dirty_page_chains} surfaces so a mid-drain
+    checkpoint keeps covering the un-replayed suffix. Replaces any
+    previous overlay; {!crash} drops it (volatile — the next restart's
+    analysis rebuilds it). *)
+
+val clear_restart_page : t -> Ids.page_id -> unit
+(** The page's history has been fully repeated: stop overlaying it. *)

@@ -1629,8 +1629,27 @@ let env ?config mgr pool =
     }
   in
   Txnmgr.register_rm mgr ~rm_id:Ixlog.rm_id
+    ~locks:(fun r ->
+      (* Commit-duration names fencing the record's change, for
+         instant-restart loser lock reacquisition. Only an insert is fully
+         derivable from the record body: its own key's name covers it
+         (under data-only locking that is the record lock the record
+         manager holds — an over-approximation of this tree-only path,
+         which is safe). A delete's protection is the commit-duration X on
+         the *next* key (Figure 2), known only to the live lock table, so
+         it derives [] — the engine must undo such a loser eagerly rather
+         than defer it. SMO / structure records run under latches + the
+         tree latch and also derive nothing. Post-crash there are no open
+         trees, so the environment's default locking protocol decides the
+         name — the same protocol every tree opened through this env
+         uses. *)
+      match Ixlog.decode ~op:r.Logrec.op r.Logrec.body with
+      | Ixlog.Insert_key { ix; key; _ } ->
+          [ (Protocol.key_name e.e_default_cfg.locking ix key, Lockmgr.X) ]
+      | _ -> [])
     ~redo:(fun r -> rm_redo e r)
-    ~undo:(fun txn r -> rm_undo e txn r);
+    ~undo:(fun txn r -> rm_undo e txn r)
+    ();
   e
 
 (* ------------------------------------------------------------------ *)

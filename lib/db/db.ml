@@ -28,6 +28,8 @@ type t = {
   gc : Group_commit.t option;
   mutable closing : bool;
   mutable running_daemons : int;
+  mutable restart_engine : Restart.engine option;
+      (* the instant-restart engine of the most recent [restart ~instant:true] *)
 }
 
 let build ?pool_capacity ?config ?(commit_mode = Per_commit) ?cleaner ?checkpoint ~archive disk
@@ -55,7 +57,7 @@ let build ?pool_capacity ?config ?(commit_mode = Per_commit) ?cleaner ?checkpoin
       ignore (Media.auto_repair ~archive mgr pool pid);
       true);
   { disk; wal; pool; locks; mgr; benv; commit_mode; cleaner; checkpoint_cfg = checkpoint;
-    archive; gc; closing = false; running_daemons = 0 }
+    archive; gc; closing = false; running_daemons = 0; restart_engine = None }
 
 let create ?(page_size = 4096) ?pool_capacity ?config ?commit_mode ?cleaner ?checkpoint
     ?segment_size () =
@@ -76,7 +78,35 @@ let crash ?config t =
   build ?config ~commit_mode:t.commit_mode ?cleaner:t.cleaner ?checkpoint:t.checkpoint_cfg
     ~archive:t.archive t.disk t.wal
 
-let restart t = Restart.run t.mgr t.pool
+(* Classic restart runs all three passes before returning. With
+   [~instant:true] only Analysis (plus lock reacquisition) runs up front:
+   the Db is open for new transactions when [restart] returns, redo
+   happens per page on demand, and a "restartd" daemon drains the
+   remaining work in the background (synchronously when no scheduler is
+   running). The returned report is a snapshot — [Restart.report] on
+   {!restart_engine} observes the counters growing as the drain
+   proceeds. *)
+let restart ?(instant = false) ?(drain = Restart.default_drain) t =
+  if not instant then Restart.run t.mgr t.pool
+  else begin
+    let en = Restart.start ~archive:t.archive t.mgr t.pool in
+    t.restart_engine <- Some en;
+    if Restart.finished en then ()
+    else if Sched.in_fiber () then begin
+      t.running_daemons <- t.running_daemons + 1;
+      ignore
+        (Sched.spawn_daemon ~name:"restartd"
+           ~on_shutdown:(fun () -> ())
+           (fun () ->
+             Fun.protect
+               ~finally:(fun () -> t.running_daemons <- t.running_daemons - 1)
+               (fun () -> Restart.run_daemon ~cfg:drain en ~stop:(fun () -> t.closing))))
+    end
+    else Restart.drain en;
+    Restart.report en
+  end
+
+let restart_engine t = t.restart_engine
 
 let checkpoint t = ignore (Checkpoint.take t.mgr t.pool)
 

@@ -34,6 +34,7 @@ type t = {
   gc : Aries_txn.Group_commit.t option;
   mutable closing : bool;
   mutable running_daemons : int;
+  mutable restart_engine : Aries_recovery.Restart.engine option;
 }
 
 val create :
@@ -64,9 +65,28 @@ val crash : ?config:Aries_btree.Btree.config -> t -> t
     stable state. The old handle must not be used again. The btree [config]
     carries over. *)
 
-val restart : t -> Aries_recovery.Restart.report
-(** Run ARIES restart recovery (call on a freshly [crash]ed environment,
-    inside the scheduler). *)
+val restart :
+  ?instant:bool -> ?drain:Aries_recovery.Restart.drain_cfg -> t -> Aries_recovery.Restart.report
+(** Run ARIES restart recovery (call on a freshly [crash]ed environment).
+
+    [~instant:false] (the default) runs the classic three passes to
+    completion before returning.
+
+    [~instant:true] returns as soon as Analysis and lock reacquisition are
+    done: the Db is open — new transactions run immediately, any fix of a
+    page in the needs-redo set triggers single-page redo on demand, and a
+    lock request conflicting with a restored loser preempts exactly that
+    loser's undo. A ["restartd"] daemon (configured by [drain],
+    {!Aries_recovery.Restart.default_drain} by default) drains the
+    remaining redo/undo work in the background and takes the
+    post-recovery checkpoint; outside a scheduler run the drain happens
+    synchronously instead. The returned report is a snapshot — query
+    {!restart_engine} with {!Aries_recovery.Restart.report} to watch the
+    counters grow. *)
+
+val restart_engine : t -> Aries_recovery.Restart.engine option
+(** The engine of the most recent [restart ~instant:true] on this handle
+    (it stays queryable after the drain finishes). *)
 
 val checkpoint : t -> unit
 

@@ -110,8 +110,17 @@ let rm_undo mgr pool txn (r : Logrec.t) =
 
 let rm_install mgr pool =
   Txnmgr.register_rm mgr ~rm_id:Reclog.rm_id
+    ~locks:(fun r ->
+      (* Record operations are protected by a commit-duration X record
+         lock; Format_data is a structure record with no lock of its own. *)
+      match Reclog.decode ~op:r.Logrec.op r.Logrec.body with
+      | Reclog.Rec_insert { rid; _ } | Reclog.Rec_delete { rid; _ }
+      | Reclog.Rec_update { rid; _ } ->
+          [ (Lockmgr.Rid rid, Lockmgr.X) ]
+      | Reclog.Format_data _ -> [])
     ~redo:(fun r -> rm_redo pool r)
     ~undo:(fun txn r -> rm_undo mgr pool txn r)
+    ()
 
 (* ---------- heap operations ---------- *)
 

@@ -3,41 +3,66 @@ module Lsn = Aries_wal.Lsn
 module Logrec = Aries_wal.Logrec
 module Logmgr = Aries_wal.Logmgr
 module Txnmgr = Aries_txn.Txnmgr
+module Lockcodec = Aries_txn.Lockcodec
+module Lockmgr = Aries_lock.Lockmgr
 module Bufpool = Aries_buffer.Bufpool
 module Trace = Aries_trace.Trace
 
+type ck_txn = {
+  ct_id : Ids.txn_id;
+  ct_state : Txnmgr.state;
+  ct_first : Lsn.t;
+  ct_last : Lsn.t;
+  ct_undo_nxt : Lsn.t;
+  ct_locks : bytes;
+}
+
 type body = {
-  ck_txns : (Ids.txn_id * Txnmgr.state * Lsn.t * Lsn.t * Lsn.t) list;
+  ck_txns : ck_txn list;
   ck_dpt : (Ids.page_id * Lsn.t) list;
+  ck_chains : (Ids.page_id * Lsn.t list) list;
+      (* per dirty page, every record LSN applied since it became dirty
+         (oldest first): instant restart repeats a pending page's history
+         by reading exactly these records instead of scanning the log *)
+  ck_next_txn : Ids.txn_id;
 }
 
 let encode_body b =
   let w = Bytebuf.W.create () in
+  Bytebuf.W.i64 w b.ck_next_txn;
   Bytebuf.W.list w
-    (fun w (id, state, first_lsn, last_lsn, undo_nxt) ->
-      Bytebuf.W.i64 w id;
-      Bytebuf.W.u8 w (Txnmgr.state_to_int state);
-      Bytebuf.W.i64 w first_lsn;
-      Bytebuf.W.i64 w last_lsn;
-      Bytebuf.W.i64 w undo_nxt)
+    (fun w ct ->
+      Bytebuf.W.i64 w ct.ct_id;
+      Bytebuf.W.u8 w (Txnmgr.state_to_int ct.ct_state);
+      Bytebuf.W.i64 w ct.ct_first;
+      Bytebuf.W.i64 w ct.ct_last;
+      Bytebuf.W.i64 w ct.ct_undo_nxt;
+      Bytebuf.W.bytes w ct.ct_locks)
     b.ck_txns;
   Bytebuf.W.list w
     (fun w (pid, rec_lsn) ->
       Bytebuf.W.i64 w pid;
       Bytebuf.W.i64 w rec_lsn)
     b.ck_dpt;
+  Bytebuf.W.list w
+    (fun w (pid, chain) ->
+      Bytebuf.W.i64 w pid;
+      Bytebuf.W.list w Bytebuf.W.i64 chain)
+    b.ck_chains;
   Bytebuf.W.contents w
 
 let decode_body bytes =
   let r = Bytebuf.R.of_bytes bytes in
+  let ck_next_txn = Bytebuf.R.i64 r in
   let ck_txns =
     Bytebuf.R.list r (fun r ->
-        let id = Bytebuf.R.i64 r in
-        let state = Txnmgr.state_of_int (Bytebuf.R.u8 r) in
-        let first_lsn = Bytebuf.R.i64 r in
-        let last_lsn = Bytebuf.R.i64 r in
-        let undo_nxt = Bytebuf.R.i64 r in
-        (id, state, first_lsn, last_lsn, undo_nxt))
+        let ct_id = Bytebuf.R.i64 r in
+        let ct_state = Txnmgr.state_of_int (Bytebuf.R.u8 r) in
+        let ct_first = Bytebuf.R.i64 r in
+        let ct_last = Bytebuf.R.i64 r in
+        let ct_undo_nxt = Bytebuf.R.i64 r in
+        let ct_locks = Bytebuf.R.bytes r in
+        { ct_id; ct_state; ct_first; ct_last; ct_undo_nxt; ct_locks })
   in
   let ck_dpt =
     Bytebuf.R.list r (fun r ->
@@ -45,8 +70,14 @@ let decode_body bytes =
         let rec_lsn = Bytebuf.R.i64 r in
         (pid, rec_lsn))
   in
+  let ck_chains =
+    Bytebuf.R.list r (fun r ->
+        let pid = Bytebuf.R.i64 r in
+        let chain = Bytebuf.R.list r Bytebuf.R.i64 in
+        (pid, chain))
+  in
   Bytebuf.R.expect_end r;
-  { ck_txns; ck_dpt }
+  { ck_txns; ck_dpt; ck_chains; ck_next_txn }
 
 (* The checkpoint's redo point: restart redo must start at the oldest
    recLSN the checkpointed DPT records, or at the Begin_ckpt itself when
@@ -59,14 +90,34 @@ let take mgr pool =
   let wal = Txnmgr.log mgr in
   let begin_rec = Logrec.make ~txn:Ids.nil_txn ~prev_lsn:Lsn.nil Logrec.Begin_ckpt in
   let begin_lsn = Logmgr.append wal begin_rec in
+  let lockmgr = Txnmgr.locks mgr in
   let body =
     {
       ck_txns =
         List.map
           (fun (t : Txnmgr.txn) ->
-            (t.Txnmgr.txn_id, t.Txnmgr.state, t.Txnmgr.first_lsn, t.Txnmgr.last_lsn, t.Txnmgr.undo_nxt))
+            {
+              ct_id = t.Txnmgr.txn_id;
+              ct_state = t.Txnmgr.state;
+              ct_first = t.Txnmgr.first_lsn;
+              ct_last = t.Txnmgr.last_lsn;
+              ct_undo_nxt = t.Txnmgr.undo_nxt;
+              (* the txn's commit-duration lock names: instant restart
+                 re-locks a loser's names from here for updates that
+                 predate the analysis scan window *)
+              ct_locks =
+                Lockcodec.encode_list
+                  (Lockmgr.held_locks lockmgr ~txn:t.Txnmgr.txn_id);
+            })
           (Txnmgr.active_txns mgr);
       ck_dpt = Bufpool.dirty_page_table pool;
+      ck_chains = Bufpool.dirty_page_chains pool;
+      (* the txn-id high-water mark: transactions that both began and
+         ended before this checkpoint appear nowhere else restart can see
+         (not live here, not in the analysis scan window), yet their ids
+         must never be reissued — the committed-state oracle and the lock
+         table key on them *)
+      ck_next_txn = Txnmgr.next_txn_id mgr;
     }
   in
   let end_rec =

@@ -14,10 +14,32 @@
 open Aries_util
 module Lsn = Aries_wal.Lsn
 
+type ck_txn = {
+  ct_id : Ids.txn_id;
+  ct_state : Aries_txn.Txnmgr.state;
+  ct_first : Lsn.t;
+  ct_last : Lsn.t;
+  ct_undo_nxt : Lsn.t;
+  ct_locks : bytes;
+      (** the txn's held lock names+modes, [Lockcodec.encode_list]-encoded
+          — instant restart reacquires a loser's locks from here so new
+          transactions conflict with its uncommitted state instead of
+          reading it (locks taken after Begin_ckpt are re-derived from the
+          analysis scan instead) *)
+}
+
 type body = {
-  ck_txns : (Ids.txn_id * Aries_txn.Txnmgr.state * Lsn.t * Lsn.t * Lsn.t) list;
-      (** (id, state, first_lsn, last_lsn, undo_nxt) *)
+  ck_txns : ck_txn list;
   ck_dpt : (Ids.page_id * Lsn.t) list;  (** (page, recLSN) *)
+  ck_chains : (Ids.page_id * Lsn.t list) list;
+      (** per dirty page, every record LSN applied since it became dirty
+          (oldest first — {!Aries_buffer.Bufpool.dirty_page_chains}):
+          instant restart repeats a pending page's history by reading
+          exactly these records instead of scanning the log per page *)
+  ck_next_txn : Ids.txn_id;
+      (** txn-id high-water mark at checkpoint time: ids of transactions
+          that ended before the checkpoint are invisible to restart
+          analysis yet must never be reissued *)
 }
 
 val take : Aries_txn.Txnmgr.t -> Aries_buffer.Bufpool.t -> Lsn.t

@@ -29,6 +29,10 @@ type txn_track = {
   mutable tk_undo_nxt : Lsn.t;
   mutable tk_prepare_body : bytes option;
   mutable tk_ended : bool;  (** saw Commit or End: not a loser *)
+  mutable tk_locks : (Lockmgr.name * Lockmgr.mode) list;
+      (** locks derived from the scanned records (instant restart only) *)
+  mutable tk_ck_locks : bytes option;
+      (** checkpointed lock list: covers updates before the scan window *)
 }
 
 let fresh_track () =
@@ -39,22 +43,48 @@ let fresh_track () =
     tk_undo_nxt = Lsn.nil;
     tk_prepare_body = None;
     tk_ended = false;
+    tk_locks = [];
+    tk_ck_locks = None;
   }
 
 (* ---------- Analysis pass ---------- *)
 
 type analysis = {
+  an_start : Lsn.t;  (** where the scan began (the master record) *)
   an_redo_lsn : Lsn.t;
   an_dpt : (Ids.page_id, Lsn.t) Hashtbl.t;
   an_txns : (Ids.txn_id, txn_track) Hashtbl.t;
   an_records : int;
+  an_next_txn : Ids.txn_id;
+      (** checkpointed txn-id high-water mark: covers transactions that
+          ended before the scan window and so appear nowhere in [an_txns] *)
+  an_chains : (Ids.page_id, Lsn.t list) Hashtbl.t;
+      (** checkpointed per-page log chains (latest checkpoint wins): the
+          record LSNs a dirty page accumulated before the scan window *)
 }
 
-let analysis wal =
+(* does this record carry a change that redo must repeat? *)
+let redoable_record (r : Logrec.t) =
+  match r.Logrec.kind with
+  | Logrec.Update -> r.Logrec.redoable
+  | Logrec.Clr -> r.Logrec.rm_id <> 0  (* dummy CLRs carry no change *)
+  | Logrec.Commit | Logrec.Prepare | Logrec.Rollback | Logrec.End_txn | Logrec.Begin_ckpt
+  | Logrec.End_ckpt ->
+      false
+
+let index_record ix (r : Logrec.t) =
+  if redoable_record r && r.Logrec.page <> Ids.nil_page then
+    match Hashtbl.find_opt ix r.Logrec.page with
+    | Some l -> l := r.Logrec.lsn :: !l
+    | None -> Hashtbl.replace ix r.Logrec.page (ref [ r.Logrec.lsn ])
+
+let analysis ?locks_of ?index wal =
   let start = Logmgr.master wal in
   let dpt : (Ids.page_id, Lsn.t) Hashtbl.t = Hashtbl.create 64 in
+  let chains : (Ids.page_id, Lsn.t list) Hashtbl.t = Hashtbl.create 32 in
   let txns : (Ids.txn_id, txn_track) Hashtbl.t = Hashtbl.create 32 in
   let records = ref 0 in
+  let next_txn = ref 0 in
   let track id =
     match Hashtbl.find_opt txns id with
     | Some tk -> tk
@@ -70,6 +100,17 @@ let analysis wal =
          let tk = track r.Logrec.txn in
          if Lsn.is_nil tk.tk_first then tk.tk_first <- lsn;
          tk.tk_last <- lsn;
+         (* instant restart: derive the lock names this record's change is
+            protected by, so a loser's locks can be reacquired before the
+            Db reopens. Over-approximation is safe (a lock the loser did
+            not hold merely delays a new transaction until undo drops it);
+            under-approximation is the hazard. *)
+         (match locks_of with
+         | Some f when r.Logrec.rm_id <> 0 -> (
+             match r.Logrec.kind with
+             | Logrec.Update | Logrec.Clr -> tk.tk_locks <- f r @ tk.tk_locks
+             | _ -> ())
+         | Some _ | None -> ());
          match r.Logrec.kind with
          | Logrec.Update -> if r.Logrec.undoable then tk.tk_undo_nxt <- lsn
          | Logrec.Clr -> tk.tk_undo_nxt <- r.Logrec.undo_nxt_lsn
@@ -84,31 +125,38 @@ let analysis wal =
       | Logrec.End_ckpt ->
           (* merge checkpointed state: scan-derived knowledge wins *)
           let body = Checkpoint.decode_body r.Logrec.body in
+          if body.Checkpoint.ck_next_txn > !next_txn then
+            next_txn := body.Checkpoint.ck_next_txn;
           List.iter
-            (fun (id, state, first_lsn, last_lsn, undo_nxt) ->
-              match Hashtbl.find_opt txns id with
+            (fun (ct : Checkpoint.ck_txn) ->
+              match Hashtbl.find_opt txns ct.Checkpoint.ct_id with
               | None ->
                   let tk = fresh_track () in
-                  tk.tk_state <- state;
-                  tk.tk_first <- first_lsn;
-                  tk.tk_last <- last_lsn;
-                  tk.tk_undo_nxt <- undo_nxt;
+                  tk.tk_state <- ct.Checkpoint.ct_state;
+                  tk.tk_first <- ct.Checkpoint.ct_first;
+                  tk.tk_last <- ct.Checkpoint.ct_last;
+                  tk.tk_undo_nxt <- ct.Checkpoint.ct_undo_nxt;
+                  tk.tk_ck_locks <- Some ct.Checkpoint.ct_locks;
                   (* a checkpointed Committing txn had appended its Commit
                      record before End_ckpt was written; that record is
                      stable whenever this checkpoint anchors restart, so
                      the txn is committed even though the scan (starting
                      at the master) never saw the Commit record itself *)
-                  if state = Txnmgr.Committing then tk.tk_ended <- true;
-                  Hashtbl.replace txns id tk
+                  if ct.Checkpoint.ct_state = Txnmgr.Committing then tk.tk_ended <- true;
+                  Hashtbl.replace txns ct.Checkpoint.ct_id tk
               | Some tk ->
                   (* scan-derived knowledge wins for everything except the
                      first LSN: the checkpoint can know about records from
                      before the analysis window *)
                   if
-                    (not (Lsn.is_nil first_lsn))
-                    && (Lsn.is_nil tk.tk_first || Lsn.( < ) first_lsn tk.tk_first)
-                  then tk.tk_first <- first_lsn;
-                  if state = Txnmgr.Committing then tk.tk_ended <- true)
+                    (not (Lsn.is_nil ct.Checkpoint.ct_first))
+                    && (Lsn.is_nil tk.tk_first || Lsn.( < ) ct.Checkpoint.ct_first tk.tk_first)
+                  then tk.tk_first <- ct.Checkpoint.ct_first;
+                  (* the checkpointed lock list covers updates from before
+                     the scan window; the latest checkpoint's is the most
+                     complete *)
+                  tk.tk_ck_locks <- Some ct.Checkpoint.ct_locks;
+                  if ct.Checkpoint.ct_state = Txnmgr.Committing then tk.tk_ended <- true)
             body.Checkpoint.ck_txns;
           List.iter
             (fun (pid, rec_lsn) ->
@@ -117,16 +165,27 @@ let analysis wal =
               match Hashtbl.find_opt dpt pid with
               | Some seen -> Hashtbl.replace dpt pid (Lsn.min seen rec_lsn)
               | None -> Hashtbl.replace dpt pid rec_lsn)
-            body.Checkpoint.ck_dpt
+            body.Checkpoint.ck_dpt;
+          (* the latest checkpoint's chains are the most complete: a chain
+             covers every record since its page became dirty, so a newer
+             snapshot subsumes an older one *)
+          List.iter
+            (fun (pid, chain) -> Hashtbl.replace chains pid chain)
+            body.Checkpoint.ck_chains
       | Logrec.Update | Logrec.Clr ->
           if r.Logrec.page <> Ids.nil_page && not (Hashtbl.mem dpt r.Logrec.page) then
-            Hashtbl.replace dpt r.Logrec.page lsn
+            Hashtbl.replace dpt r.Logrec.page lsn;
+          (* instant restart: index the scan's redoable records by page, so
+             per-page redo replays exactly its own history instead of
+             rescanning the whole log once per pending page *)
+          (match index with Some ix -> index_record ix r | None -> ())
       | Logrec.Commit | Logrec.Prepare | Logrec.Rollback | Logrec.End_txn | Logrec.Begin_ckpt ->
           ()));
   let redo_lsn =
     Hashtbl.fold (fun _ rec_lsn acc -> Lsn.min rec_lsn acc) dpt (Logmgr.end_offset wal)
   in
-  { an_redo_lsn = redo_lsn; an_dpt = dpt; an_txns = txns; an_records = !records }
+  { an_start = start; an_redo_lsn = redo_lsn; an_dpt = dpt; an_txns = txns;
+    an_records = !records; an_next_txn = !next_txn; an_chains = chains }
 
 (* ---------- Redo pass: repeat history, page-oriented ---------- *)
 
@@ -136,15 +195,7 @@ let redo mgr pool an =
   Logmgr.iter_from wal an.an_redo_lsn (fun r ->
       incr scanned;
       let page = r.Logrec.page in
-      let redoable =
-        match r.Logrec.kind with
-        | Logrec.Update -> r.Logrec.redoable
-        | Logrec.Clr -> r.Logrec.rm_id <> 0  (* dummy CLRs carry no change *)
-        | Logrec.Commit | Logrec.Prepare | Logrec.Rollback | Logrec.End_txn
-        | Logrec.Begin_ckpt | Logrec.End_ckpt ->
-            false
-      in
-      if redoable && page <> Ids.nil_page then begin
+      if redoable_record r && page <> Ids.nil_page then begin
         Disk.note_pid (Bufpool.disk pool) page;
         match Hashtbl.find_opt an.an_dpt page with
         | Some rec_lsn when Lsn.( >= ) r.Logrec.lsn rec_lsn -> begin
@@ -266,12 +317,558 @@ let reacquire_indoubt mgr an =
 let trace_phase phase =
   if Trace.enabled () then Trace.emit (Trace.Restart_phase { phase })
 
+(* ---------- Instant restart: resumable, incremental engine ----------
+
+   After Analysis the Db opens for new transactions immediately. The
+   analysis DPT becomes a "needs redo" set: a fix of a pending page
+   triggers single-page redo on demand (through the Bufpool hook), a
+   background daemon drains the rest, and loser undo is lock-driven — a
+   new transaction that requests a name held by a restored loser preempts
+   exactly that loser's undo instead of waiting behind a bulk undo pass.
+   Repeating history per page is sound because a pending page, by
+   construction, has no post-crash log records: any post-crash touch goes
+   through [fix], and the hook de-pends the page (replaying its history)
+   before the toucher can log against it. *)
+
+module Sched = Aries_sched.Sched
+
+type drain_cfg = {
+  dr_every_steps : int;  (** scheduler steps between background rounds *)
+  dr_redo_pages : int;  (** pending pages redone per round *)
+  dr_undo_txns : int;  (** losers fully undone per round *)
+}
+
+let default_drain = { dr_every_steps = 48; dr_redo_pages = 2; dr_undo_txns = 1 }
+
+let validate_drain cfg =
+  if cfg.dr_every_steps <= 0 then invalid_arg "Restart: dr_every_steps must be positive";
+  if cfg.dr_redo_pages <= 0 then invalid_arg "Restart: dr_redo_pages must be positive";
+  if cfg.dr_undo_txns <= 0 then invalid_arg "Restart: dr_undo_txns must be positive"
+
+type engine = {
+  en_mgr : Txnmgr.t;
+  en_pool : Bufpool.t;
+  en_archive : Media.Archive.t option;
+  en_redo_lsn : Lsn.t;
+  en_records_analyzed : int;
+  en_pending : (Ids.page_id, Lsn.t) Hashtbl.t;  (* the needs-redo set *)
+  en_history : (Ids.page_id, Lsn.t list) Hashtbl.t;
+      (* each pending page's redoable record LSNs, oldest first: the
+         checkpoint-carried chain (records predating the analysis window)
+         merged with the window's own per-page index, so per-page redo
+         reads exactly its records instead of scanning the log. Entries
+         are dropped as pages are replayed; a page absent here (recLSN
+         below the window with no checkpointed chain) falls back to a log
+         scan. *)
+  en_redoing : (Ids.page_id, Sched.fiber_id) Hashtbl.t;  (* replay in flight *)
+  en_losers : (Ids.txn_id, Txnmgr.txn) Hashtbl.t;  (* undo still owed *)
+  en_undoing : (Ids.txn_id, Sched.fiber_id) Hashtbl.t;  (* undo in flight *)
+  mutable en_finished : bool;
+  mutable en_losers_all : Ids.txn_id list;
+  mutable en_indoubt : Ids.txn_id list;
+  mutable en_locks_reacquired : int;
+  (* report counters: aggregated across on-demand redos, background drain
+     rounds and preempted undos — never reset per pass *)
+  mutable en_redo_scanned : int;
+  mutable en_redos_applied : int;
+  mutable en_redos_skipped : int;
+  mutable en_redo_traversals : int;
+  mutable en_undo_records : int;
+}
+
+let current_fiber () = if Sched.in_fiber () then Sched.current () else -1
+
+(* The page's redoable history from its recLSN on. The common path is the
+   prebuilt [en_history] index; the fallback rescans archived segments
+   first (the live log's prefix may have been reclaimed), then the live
+   log. Either way the records are materialized as a list before applying
+   — a redo application may yield (transient-I/O backoff), and the log
+   must not be iterated across a yield that can append to it. *)
+let page_history en ~from pid =
+  match Hashtbl.find_opt en.en_history pid with
+  | Some lsns ->
+      let wal = Txnmgr.log en.en_mgr in
+      (* direct reads: everything a pending page owes sits above the
+         reclamation safety point (which floors at the last checkpoint's
+         redo point), so the live log still holds it *)
+      List.map (Logmgr.read wal) lsns
+  | None ->
+      let acc = ref [] in
+      let wal = Txnmgr.log en.en_mgr in
+      let note (r : Logrec.t) = if r.Logrec.page = pid && redoable_record r then acc := r :: !acc in
+      (match en.en_archive with
+      | Some a -> Media.Archive.iter_history a wal ~from note
+      | None -> Logmgr.iter_from wal from note);
+      List.rev !acc
+
+let redo_record en (r : Logrec.t) =
+  en.en_redo_scanned <- en.en_redo_scanned + 1;
+  let page = r.Logrec.page in
+  Disk.note_pid (Bufpool.disk en.en_pool) page;
+  Stats.incr Stats.redo_pages_examined;
+  match Bufpool.fix_opt en.en_pool page with
+  | Some p ->
+      if Lsn.( < ) p.Aries_page.Page.page_lsn r.Logrec.lsn then begin
+        Txnmgr.rm_redo en.en_mgr r;
+        Stats.incr Stats.redos_applied;
+        en.en_redos_applied <- en.en_redos_applied + 1
+      end
+      else en.en_redos_skipped <- en.en_redos_skipped + 1;
+      Bufpool.unfix en.en_pool p
+  | None ->
+      (* page never reached disk: the record must recreate it
+         (format-type opcodes do; the RM asserts) *)
+      Txnmgr.rm_redo en.en_mgr r;
+      Stats.incr Stats.redos_applied;
+      en.en_redos_applied <- en.en_redos_applied + 1
+
+let redo_page ?(on_demand = false) en pid =
+  match Hashtbl.find_opt en.en_pending pid with
+  | None -> ()
+  | Some rec_lsn ->
+      (* de-pend before replaying, so the roll-forward's own fixes of this
+         page pass the hook; [en_redoing] lets other fibers wait out a
+         replay already in flight instead of seeing a half-replayed page *)
+      Hashtbl.remove en.en_pending pid;
+      if Crashpoint.fault_active Crashpoint.fault_instant_skip_redo then
+        (* deliberately broken engine: drop the page from the pending set
+           without repeating its history. No Restart_page_done is emitted,
+           so the discipline checker's needs-redo table still lists the
+           page and the very next fix is a deterministic R7 violation. *)
+        Bufpool.clear_restart_page en.en_pool pid
+      else begin
+        Hashtbl.replace en.en_redoing pid (current_fiber ());
+        Fun.protect
+          ~finally:(fun () -> Hashtbl.remove en.en_redoing pid)
+          (fun () ->
+            if on_demand then Stats.incr Stats.instant_ondemand_redos;
+            if Trace.enabled () then Trace.emit (Trace.Restart_redo_page { pid; on_demand });
+            let tr0 = Stats.get (Stats.current ()) Stats.tree_traversals in
+            let applied0 = en.en_redos_applied in
+            List.iter (fun r -> redo_record en r) (page_history en ~from:rec_lsn pid);
+            Hashtbl.remove en.en_history pid;
+            en.en_redo_traversals <-
+              en.en_redo_traversals + (Stats.get (Stats.current ()) Stats.tree_traversals - tr0);
+            (* only a fully replayed page may leave the checkpoint-visible
+               needs-redo overlay: a checkpoint taken mid-replay must still
+               cover the not-yet-redone suffix of the page's history *)
+            Bufpool.clear_restart_page en.en_pool pid;
+            if Trace.enabled () then
+              Trace.emit
+                (Trace.Restart_page_done { pid; applied = en.en_redos_applied - applied0 }))
+      end
+
+(* The Bufpool fix hook: pending page -> redo it now, on demand; page being
+   replayed by another fiber -> wait the replay out. *)
+let on_fix en pid =
+  if Hashtbl.mem en.en_pending pid then redo_page ~on_demand:true en pid
+  else
+    match Hashtbl.find_opt en.en_redoing pid with
+    | Some f when f <> current_fiber () ->
+        while Hashtbl.mem en.en_redoing pid do
+          Sched.yield ()
+        done
+    | Some _ | None -> ()
+
+let undo_step en (txn : Txnmgr.txn) =
+  let wal = Txnmgr.log en.en_mgr in
+  let r = Logmgr.read wal txn.Txnmgr.undo_nxt in
+  en.en_undo_records <- en.en_undo_records + 1;
+  match r.Logrec.kind with
+  | Logrec.Update ->
+      if r.Logrec.undoable then Txnmgr.rm_undo en.en_mgr txn r
+      else txn.Txnmgr.undo_nxt <- r.Logrec.prev_lsn
+  | Logrec.Clr -> txn.Txnmgr.undo_nxt <- r.Logrec.undo_nxt_lsn
+  | Logrec.Commit | Logrec.Prepare | Logrec.Rollback | Logrec.End_txn | Logrec.Begin_ckpt
+  | Logrec.End_ckpt ->
+      txn.Txnmgr.undo_nxt <- r.Logrec.prev_lsn
+
+let finish_loser en (txn : Txnmgr.txn) =
+  (* emitted before the locks are released: a waiter woken by the release
+     must find the name already disowned in the checker's tables *)
+  if Trace.enabled () then Trace.emit (Trace.Restart_loser_done { txn = txn.Txnmgr.txn_id });
+  Hashtbl.remove en.en_losers txn.Txnmgr.txn_id;
+  Txnmgr.finish en.en_mgr txn
+
+let undo_loser ?(preempted = false) en id =
+  (* wait out a fiber already driving this loser's undo *)
+  (match Hashtbl.find_opt en.en_undoing id with
+  | Some f when f <> current_fiber () ->
+      while Hashtbl.mem en.en_undoing id do
+        Sched.yield ()
+      done
+  | Some _ | None -> ());
+  match Hashtbl.find_opt en.en_losers id with
+  | None -> ()
+  | Some txn ->
+      Hashtbl.replace en.en_undoing id (current_fiber ());
+      Fun.protect
+        ~finally:(fun () -> Hashtbl.remove en.en_undoing id)
+        (fun () ->
+          if preempted then Stats.incr Stats.instant_preemptions;
+          if Trace.enabled () then Trace.emit (Trace.Restart_undo_txn { txn = id; preempted });
+          while not (Lsn.is_nil txn.Txnmgr.undo_nxt) do
+            undo_step en txn
+          done;
+          finish_loser en txn)
+
+(* Eager undo is one interleaved backward sweep over every unfenced
+   loser — always compensate the globally highest owed LSN next, exactly
+   like the classic undo pass. Per-transaction order is not enough: a
+   loser cut inside an SMO is rolled back {e physically}, and a sweep
+   that fully undoes some other loser first can logically remove a key
+   from the page the SMO moved it to, only for the later physical
+   rollback of the half-open split to restore the pre-move source page —
+   key included — resurrecting the undone insert. Reverse-LSN order
+   undoes the structure change before any record that predates it.
+   Deferred (lock-fenced, purely logical) undo is immune: it runs after
+   this sweep has restored structural consistency, and logical undos
+   under locks commute. *)
+let undo_eager en txns =
+  List.iter
+    (fun (txn : Txnmgr.txn) ->
+      Hashtbl.replace en.en_undoing txn.Txnmgr.txn_id (current_fiber ());
+      if Trace.enabled () then
+        Trace.emit (Trace.Restart_undo_txn { txn = txn.Txnmgr.txn_id; preempted = false }))
+    txns;
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun (txn : Txnmgr.txn) -> Hashtbl.remove en.en_undoing txn.Txnmgr.txn_id)
+        txns)
+    (fun () ->
+      let next () =
+        List.fold_left
+          (fun best (txn : Txnmgr.txn) ->
+            if Lsn.is_nil txn.Txnmgr.undo_nxt then best
+            else
+              match best with
+              | Some (b : Txnmgr.txn) when Lsn.( >= ) b.Txnmgr.undo_nxt txn.Txnmgr.undo_nxt
+                -> best
+              | _ -> Some txn)
+          None txns
+      in
+      let rec loop () =
+        match next () with
+        | Some txn ->
+            undo_step en txn;
+            loop ()
+        | None -> ()
+      in
+      loop ();
+      List.iter (fun txn -> finish_loser en txn) txns)
+
+(* The Txnmgr lock hook: before a new transaction waits on a name, any
+   restored loser holding it is rolled back — the requester's own fiber
+   drives exactly the conflicting loser's undo (Sauer & Härder's lazy,
+   lock-driven undo), so lock waits are only ever against live txns. *)
+let on_lock en name =
+  let locks = Txnmgr.locks en.en_mgr in
+  let rec loop () =
+    let conflicting =
+      List.find_opt
+        (fun (id, _) -> Hashtbl.mem en.en_losers id || Hashtbl.mem en.en_undoing id)
+        (Lockmgr.holders locks name)
+    in
+    match conflicting with
+    | None -> ()
+    | Some (id, _) ->
+        undo_loser ~preempted:true en id;
+        loop ()
+  in
+  loop ()
+
+(* May this loser's undo be deferred until the drain daemon (or a lock
+   conflict) gets to it? Only if {e every} record it still owes is fenced
+   by a lock this engine actually reacquired — otherwise a new transaction
+   could observe the loser's uncommitted change (a deleted key's real
+   protection, for instance, is the commit-duration X on the {e next} key,
+   which no Delete_key record body can name). The walk follows the undo
+   chain exactly as lazy undo will: prev-LSN links, with CLR undoNxtLSN
+   jumps skipping completed nested top actions (their structure records
+   are never owed, so they never force eagerness). The walk runs the
+   {e whole} chain, including records older than the analysis scan start:
+   the checkpoint lock list restores a loser's runtime {e locks}, but a
+   half-open SMO's structure updates were protected by latches, which die
+   with the crash — no lock in any blob fences them, so a loser cut
+   mid-SMO must be compensated eagerly no matter where its records fall
+   (its record reads stay cheap: log reclamation never truncates past an
+   active transaction's first LSN). *)
+let undo_deferrable en (txn : Txnmgr.txn) =
+  let wal = Txnmgr.log en.en_mgr in
+  let locks = Txnmgr.locks en.en_mgr in
+  let holds name =
+    List.exists (fun (id, _) -> id = txn.Txnmgr.txn_id) (Lockmgr.holders locks name)
+  in
+  let rec check lsn =
+    Lsn.is_nil lsn
+    ||
+    let r = Logmgr.read wal lsn in
+    match r.Logrec.kind with
+    | Logrec.Update when r.Logrec.undoable ->
+        r.Logrec.rm_id <> 0
+        && (match Txnmgr.rm_locks en.en_mgr r with
+           | [] -> false
+           | names -> List.for_all (fun (name, _) -> holds name) names)
+        && check r.Logrec.prev_lsn
+    | Logrec.Clr -> check r.Logrec.undo_nxt_lsn
+    | _ -> check r.Logrec.prev_lsn
+  in
+  check txn.Txnmgr.undo_nxt
+
+let complete en =
+  Hashtbl.length en.en_pending = 0
+  && Hashtbl.length en.en_redoing = 0
+  && Hashtbl.length en.en_losers = 0
+
+let finished en = en.en_finished
+
+let pending_redo en =
+  Hashtbl.fold (fun pid _ acc -> pid :: acc) en.en_pending [] |> List.sort compare
+
+let losers_remaining en =
+  Hashtbl.fold (fun id _ acc -> id :: acc) en.en_losers [] |> List.sort compare
+
+let finish en =
+  if not en.en_finished then begin
+    en.en_finished <- true;
+    Txnmgr.set_preempt_hook en.en_mgr None;
+    Bufpool.clear_redo_hook en.en_pool;
+    trace_phase "checkpoint";
+    ignore (Checkpoint.take en.en_mgr en.en_pool);
+    trace_phase "done"
+  end
+
+let report en =
+  {
+    rp_redo_lsn = en.en_redo_lsn;
+    rp_records_analyzed = en.en_records_analyzed;
+    rp_records_redo_scanned = en.en_redo_scanned;
+    rp_redos_applied = en.en_redos_applied;
+    rp_redos_skipped = en.en_redos_skipped;
+    rp_redo_traversals = en.en_redo_traversals;
+    rp_undo_records = en.en_undo_records;
+    rp_losers = en.en_losers_all;
+    rp_indoubt = en.en_indoubt;
+    rp_locks_reacquired = en.en_locks_reacquired;
+  }
+
+let start ?archive mgr pool =
+  let wal = Txnmgr.log mgr in
+  trace_phase "analysis";
+  let index : (Ids.page_id, Lsn.t list ref) Hashtbl.t = Hashtbl.create 64 in
+  let an = analysis ~locks_of:(fun r -> Txnmgr.rm_locks mgr r) ~index wal in
+  (* Each pending page's history: the checkpoint-carried chain (records
+     that predate the analysis window) merged with the window's own
+     per-page index. The two can overlap — the chain runs to its
+     checkpoint's snapshot, the window starts at the Begin_ckpt — so the
+     merge deduplicates; a stale chain (page cleaned after the checkpoint,
+     then re-dirtied) can only add records the page-LSN test skips. A
+     recLSN below the window with no checkpointed chain means the history
+     is not fully known here: no entry, and [page_history] falls back to a
+     log scan for that page. *)
+  let history : (Ids.page_id, Lsn.t list) Hashtbl.t =
+    Hashtbl.create (Hashtbl.length an.an_dpt)
+  in
+  Hashtbl.iter
+    (fun pid rec_lsn ->
+      let chain = Option.value ~default:[] (Hashtbl.find_opt an.an_chains pid) in
+      let window =
+        match Hashtbl.find_opt index pid with Some l -> List.rev !l | None -> []
+      in
+      if chain <> [] || Lsn.( >= ) rec_lsn an.an_start then
+        Hashtbl.replace history pid
+          (List.sort_uniq Lsn.compare (chain @ window)
+          |> List.filter (fun lsn -> Lsn.( >= ) lsn rec_lsn)))
+    an.an_dpt;
+  (* keep txn ids monotonic across the crash — including ids of
+     transactions that ended before the scan window, known only through
+     the checkpointed high-water mark *)
+  Hashtbl.iter (fun id _ -> Txnmgr.note_txn_id mgr id) an.an_txns;
+  if an.an_next_txn > 0 then Txnmgr.note_txn_id mgr (an.an_next_txn - 1);
+  let en =
+    {
+      en_mgr = mgr;
+      en_pool = pool;
+      en_archive = archive;
+      en_redo_lsn = an.an_redo_lsn;
+      en_records_analyzed = an.an_records;
+      en_pending = Hashtbl.copy an.an_dpt;
+      en_history = history;
+      en_redoing = Hashtbl.create 4;
+      en_losers = Hashtbl.create 8;
+      en_undoing = Hashtbl.create 4;
+      en_finished = false;
+      en_losers_all = [];
+      en_indoubt = [];
+      en_locks_reacquired = 0;
+      en_redo_scanned = 0;
+      en_redos_applied = 0;
+      en_redos_skipped = 0;
+      en_redo_traversals = 0;
+      en_undo_records = 0;
+    }
+  in
+  (* publish the needs-redo set before anything can fix a page: the
+     Bufpool overlay makes checkpoints and the log-reclamation safety
+     point account for pages whose disk image is still stale, and the
+     fix hook turns any touch of such a page into a single-page redo *)
+  let dpt_entries =
+    Hashtbl.fold
+      (fun pid rec_lsn acc ->
+        let chain =
+          Option.value ~default:[] (Hashtbl.find_opt history pid)
+        in
+        (pid, rec_lsn, chain) :: acc)
+      an.an_dpt []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (pid, rec_lsn, _) ->
+      Disk.note_pid (Bufpool.disk pool) pid;
+      if Trace.enabled () then Trace.emit (Trace.Restart_dpt { pid; rec_lsn }))
+    dpt_entries;
+  Bufpool.set_restart_dpt pool dpt_entries;
+  Bufpool.set_redo_hook pool (fun pid -> on_fix en pid);
+  trace_phase "reacquire-locks";
+  let locks_reacquired, indoubt = reacquire_indoubt mgr an in
+  en.en_locks_reacquired <- locks_reacquired;
+  en.en_indoubt <- indoubt;
+  (* restore losers: Rolling_back, deadlock-immune, and holding their
+     locks again so new transactions conflict with their uncommitted
+     state instead of reading it *)
+  let locks = Txnmgr.locks mgr in
+  let loser_ids = ref [] in
+  Hashtbl.iter
+    (fun id tk ->
+      if (not tk.tk_ended) && tk.tk_state <> Txnmgr.Prepared then begin
+        let txn =
+          Txnmgr.restore_txn mgr ~first_lsn:tk.tk_first ~id ~state:Txnmgr.Rolling_back
+            ~last_lsn:tk.tk_last ~undo_nxt:tk.tk_undo_nxt ()
+        in
+        Lockmgr.set_no_victim locks id;
+        if Trace.enabled () then Trace.emit (Trace.Restart_loser { txn = id });
+        Hashtbl.replace en.en_losers id txn;
+        loser_ids := id :: !loser_ids;
+        (* scan-derived names first (all X, the strongest), then the
+           checkpointed list for updates predating the scan window *)
+        let seen : (Lockmgr.name, unit) Hashtbl.t = Hashtbl.create 8 in
+        let reacquire (name, mode) =
+          if not (Hashtbl.mem seen name) then begin
+            Hashtbl.replace seen name ();
+            match Lockmgr.lock locks ~txn:id ~cond:true name mode Lockmgr.Commit with
+            | Lockmgr.Granted ->
+                Stats.incr Stats.instant_locks_reacquired;
+                en.en_locks_reacquired <- en.en_locks_reacquired + 1;
+                (* R7 bookkeeping is X-only and post-grant: two losers may
+                   legitimately share an S name (duplicate-check locks) *)
+                if mode = Lockmgr.X && Trace.enabled () then
+                  Trace.emit
+                    (Trace.Restart_lock
+                       {
+                         txn = id;
+                         name = Lockmgr.name_to_string name;
+                         mode = Lockmgr.mode_to_string mode;
+                       })
+            | Lockmgr.Denied | Lockmgr.Deadlock ->
+                (* [start] is single-threaded: a denial only means another
+                   restored txn already covers the name *)
+                Stats.incr Stats.instant_locks_skipped
+          end
+        in
+        List.iter reacquire tk.tk_locks;
+        match tk.tk_ck_locks with
+        | Some b -> List.iter reacquire (Lockcodec.decode_list b)
+        | None -> ()
+      end)
+    an.an_txns;
+  en.en_losers_all <- List.sort compare !loser_ids;
+  (* triage the losers while still single-threaded: nothing owed -> End it
+     now; every owed record fenced by a reacquired lock -> leave it for
+     lazy, lock-driven undo; anything unfenced -> collect it for the
+     eager sweep, which (like the classic undo pass) interleaves all
+     such losers in global reverse-LSN order before the Db opens *)
+  let eager = ref [] in
+  List.iter
+    (fun id ->
+      match Hashtbl.find_opt en.en_losers id with
+      | None -> ()
+      | Some txn ->
+          if Lsn.is_nil txn.Txnmgr.undo_nxt then finish_loser en txn
+          else if not (undo_deferrable en txn) then eager := txn :: !eager)
+    en.en_losers_all;
+  if !eager <> [] then undo_eager en (List.rev !eager);
+  Txnmgr.set_preempt_hook mgr (Some (fun name -> on_lock en name));
+  if complete en then finish en else trace_phase "open";
+  en
+
+let drain_step ?(cfg = default_drain) en =
+  if not en.en_finished then begin
+    Stats.incr Stats.instant_drain_rounds;
+    (let redone = ref 0 in
+     let more = ref true in
+     while !more && !redone < cfg.dr_redo_pages do
+       match pending_redo en with
+       | pid :: _ ->
+           redo_page en pid;
+           incr redone
+       | [] -> more := false
+     done);
+    (let undone = ref 0 in
+     let more = ref true in
+     while !more && !undone < cfg.dr_undo_txns do
+       match losers_remaining en with
+       | id :: _ ->
+           undo_loser en id;
+           incr undone
+       | [] -> more := false
+     done);
+    if complete en then finish en
+  end
+
+let drain en =
+  while not (en.en_finished || Crashpoint.tripped ()) do
+    (match pending_redo en with
+    | pid :: _ -> redo_page en pid
+    | [] -> (
+        match losers_remaining en with
+        | id :: _ -> undo_loser en id
+        | [] ->
+            (* work in flight on another fiber: wait it out *)
+            if Sched.in_fiber () then Sched.yield ()));
+    if complete en then finish en
+  done
+
+let run_daemon ?(cfg = default_drain) en ~stop =
+  validate_drain cfg;
+  let stopping () = stop () || Sched.shutting_down () || Crashpoint.tripped () in
+  while not (en.en_finished || Crashpoint.tripped ()) do
+    if stopping () then
+      (* clean shutdown with the drain incomplete: finish synchronously so
+         the quiesced post-run state holds (no restored losers, no orphan
+         locks). A tripped crash instead aborts the loop — the machine is
+         dead, and the next restart repeats whatever work remains. *)
+      drain en
+    else begin
+      drain_step ~cfg en;
+      let t0 = Sched.steps_now () in
+      while
+        (not (stopping ())) && (not en.en_finished) && Sched.steps_now () - t0 < cfg.dr_every_steps
+      do
+        Sched.yield ()
+      done
+    end
+  done
+
 let run mgr pool =
   let wal = Txnmgr.log mgr in
   trace_phase "analysis";
   let an = analysis wal in
-  (* keep txn ids monotonic across the crash *)
+  (* keep txn ids monotonic across the crash — including ids of
+     transactions that ended before the scan window, known only through
+     the checkpointed high-water mark *)
   Hashtbl.iter (fun id _ -> Txnmgr.note_txn_id mgr id) an.an_txns;
+  if an.an_next_txn > 0 then Txnmgr.note_txn_id mgr (an.an_next_txn - 1);
   trace_phase "reacquire-locks";
   let locks_reacquired, indoubt = reacquire_indoubt mgr an in
   let traversals_before = Stats.get (Stats.current ()) Stats.tree_traversals in

@@ -45,3 +45,73 @@ val run : Aries_txn.Txnmgr.t -> Aries_buffer.Bufpool.t -> report
     with a checkpoint so the next restart is cheap. *)
 
 val pp_report : Format.formatter -> report -> unit
+
+(** {1 Instant restart}
+
+    The resumable, incremental engine: after Analysis the Db opens for new
+    transactions immediately. The analysis DPT becomes a {e needs-redo}
+    set — fixing a pending page triggers single-page redo on demand, a
+    background daemon drains the rest, and loser undo is lock-driven: a
+    new transaction requesting a name held by a restored loser preempts
+    exactly that loser's undo. Crashing while the drain is still running
+    is just another crash — the next restart (instant or classic) repeats
+    the remaining work. *)
+
+type engine
+
+type drain_cfg = {
+  dr_every_steps : int;  (** scheduler steps between background rounds *)
+  dr_redo_pages : int;  (** pending pages redone per round *)
+  dr_undo_txns : int;  (** losers fully undone per round *)
+}
+
+val default_drain : drain_cfg
+
+val start :
+  ?archive:Media.Archive.t -> Aries_txn.Txnmgr.t -> Aries_buffer.Bufpool.t -> engine
+(** Analysis, lock reacquisition (in-doubt txns from their Prepare bodies;
+    losers from the checkpointed lock lists unioned with locks re-derived
+    from the scanned records), restoration of losers as deadlock-immune
+    [Rolling_back] txns, and eager compensation of each loser's lock-free
+    chain suffix (half-open nested top actions). Installs the Bufpool
+    on-demand-redo hook and the Txnmgr preemption hook, then returns: the
+    Db is open. Redo and undo happen afterwards — on demand, or through
+    {!drain_step}/{!run_daemon}. Pass [archive] so per-page redo can reach
+    history older than the live log's truncation point. *)
+
+val redo_page : ?on_demand:bool -> engine -> Ids.page_id -> unit
+(** Repeat the page's history (no-op if the page is not pending). *)
+
+val undo_loser : ?preempted:bool -> engine -> Ids.txn_id -> unit
+(** Roll the loser all the way back and finish it (no-op if already done;
+    waits out an undo already in flight on another fiber). *)
+
+val drain_step : ?cfg:drain_cfg -> engine -> unit
+(** One background round: redo up to [dr_redo_pages] pending pages, undo
+    up to [dr_undo_txns] losers; {!finish}es the engine when nothing
+    remains. *)
+
+val drain : engine -> unit
+(** Drive rounds until the engine is finished (or a crash trips). *)
+
+val run_daemon : ?cfg:drain_cfg -> engine -> stop:(unit -> bool) -> unit
+(** Daemon loop: a {!drain_step} every [dr_every_steps] scheduler steps.
+    On clean shutdown ([stop] or scheduler shutdown) with the drain still
+    incomplete, drains fully first — the post-run state must be quiesced.
+    Exits immediately once a crash has tripped. *)
+
+val finish : engine -> unit
+(** Uninstall both hooks and take the post-recovery checkpoint.
+    Idempotent; called automatically when the drain completes. *)
+
+val finished : engine -> bool
+
+val pending_redo : engine -> Ids.page_id list
+(** Pages still awaiting redo, sorted. *)
+
+val losers_remaining : engine -> Ids.txn_id list
+(** Losers still awaiting undo, sorted. *)
+
+val report : engine -> report
+(** Aggregated counters — monotone across on-demand redos, background
+    drain rounds and preempted undos; never reset per pass. *)

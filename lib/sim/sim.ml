@@ -10,6 +10,9 @@ type run_report = {
   rr_events : int;
   rr_txns : int;
   rr_crash_at : int option;
+  rr_instant_cut : int option;
+      (* instant-restart runs only: the phase-1 durability event the first
+         crash was armed at; [rr_crash_at] then indexes the recovery phase *)
   rr_failures : string list;
   rr_trace : string list;
   rr_event_dump : string list;
@@ -78,6 +81,7 @@ let run_one ?crash_at (cfg : Workload.cfg) ~seed =
         rr_events = Crashpoint.count ();
         rr_txns = 0;
         rr_crash_at = crash_at;
+        rr_instant_cut = None;
         rr_failures = List.rev !failures;
         rr_trace = [];
         rr_event_dump = dump_if_failed failures;
@@ -153,6 +157,174 @@ let run_one ?crash_at (cfg : Workload.cfg) ~seed =
     rr_events = events;
     rr_txns = Vec.length trace;
     rr_crash_at = crash_at;
+    rr_instant_cut = None;
+    rr_failures = List.rev !failures;
+    rr_trace = Workload.trace_to_string trace;
+    rr_event_dump = dump_if_failed failures;
+  }
+
+(* Recovery-during-recovery: cut the workload at durability event
+   [crash_at], crash, then restart with [~instant:true] — the Db opens
+   right after Analysis and a {e second} workload phase (on key slices
+   disjoint from the first, via [fiber_base]) runs concurrently with the
+   drain daemon's background redo/undo, on-demand single-page redos, and
+   lock-conflict-driven loser preemption. With [crash_at2] the machine
+   dies {e again}, at that durability event of the recovery phase —
+   possibly mid-drain or mid-replay — and a classic restart must still
+   converge to the two-phase oracle: instant restart's partial work
+   (CLRs, redone pages, its restart checkpoint) is just more history.
+   [rr_events] counts the recovery phase's durability events, so a sweep
+   can sample [crash_at2] the same way {!crash_sweep} samples
+   [crash_at]. *)
+let run_one_instant ?crash_at2 (cfg : Workload.cfg) ~seed ~crash_at =
+  Crashpoint.disarm ();
+  Faultdisk.disarm ();
+  Crashpoint.reset ();
+  Trace.reset ();
+  Discipline.reset ();
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  let db =
+    Db.create ~page_size:cfg.Workload.page_size ~pool_capacity:cfg.Workload.pool_capacity
+      ~commit_mode:cfg.Workload.commit_mode ?cleaner:cfg.Workload.cleaner
+      ?checkpoint:cfg.Workload.checkpoint ~segment_size:cfg.Workload.segment_size ()
+  in
+  match
+    match
+      Db.run_exn db (fun () ->
+          Db.with_txn db (fun txn -> Btree.create db.Db.benv txn ~name:"sim" ~unique:false))
+    with
+    | tree -> Some tree
+    | exception e ->
+        fail "setup raised %s" (Printexc.to_string e);
+        None
+  with
+  | None ->
+      {
+        rr_events = 0;
+        rr_txns = 0;
+        rr_crash_at = crash_at2;
+        rr_instant_cut = Some crash_at;
+        rr_failures = List.rev !failures;
+        rr_trace = [];
+        rr_event_dump = dump_if_failed failures;
+      }
+  | Some tree ->
+  Bufpool.set_steal_hook db.Db.pool ~seed:(seed + 0x51ea1)
+    ~probability:cfg.Workload.steal_probability;
+  (match cfg.Workload.faults with
+  | Some fcfg -> Faultdisk.arm ~seed:(seed lxor 0xFA17) fcfg
+  | None -> ());
+  Fun.protect ~finally:(fun () -> Faultdisk.disarm ()) @@ fun () ->
+  (* ----- phase 1: the pre-crash workload, cut at [crash_at] ----- *)
+  Crashpoint.reset ();
+  Crashpoint.arm ~at:crash_at;
+  let trace : Workload.trace = Vec.create () in
+  let result =
+    Db.run db ~policy:(Sched.Random seed) ~yield_probability:cfg.Workload.yield_probability
+      (fun () -> Workload.spawn_fibers db tree cfg ~seed ~trace)
+  in
+  let tripped = Crashpoint.tripped () in
+  let events1 = Crashpoint.count () in
+  Crashpoint.disarm ();
+  Bufpool.clear_steal_hook db.Db.pool;
+  (match result.Sched.outcome with
+  | Sched.Completed | Sched.Stalled _ -> ()
+  | Sched.Interrupted live -> fail "step budget exhausted with %d live fiber(s)" live);
+  List.iter
+    (fun (_, name, e) ->
+      match e with
+      | Crashpoint.Crash _ -> ()
+      | e -> fail "fiber %s raised %s (not the simulated crash)" name (Printexc.to_string e))
+    result.Sched.exns;
+  if not tripped then
+    fail "crash index %d never reached (run produced %d events)" crash_at events1;
+  (* ----- phase 2: instant restart serving a live workload ----- *)
+  let events2 = ref 0 in
+  (if !failures = [] then begin
+     let db' = Db.crash db in
+     Bufpool.set_steal_hook db'.Db.pool ~seed:(seed + 0x51ea2)
+       ~probability:cfg.Workload.steal_probability;
+     Crashpoint.reset ();
+     (match crash_at2 with Some k -> Crashpoint.arm ~at:k | None -> ());
+     let result2 =
+       Db.run db' ~policy:(Sched.Random (seed lxor 0x1257a2))
+         ~yield_probability:cfg.Workload.yield_probability (fun () ->
+           ignore (Db.restart ~instant:true db');
+           (* restart keeps logged txn ids monotonic, but a phase-1
+              transaction that crashed before logging anything durable is
+              invisible to analysis and its id {e can} be reissued. The
+              engine never cares (such a txn has no recoverable state);
+              the two-phase oracle keys the shared trace by txn id, so
+              the harness moves phase 2 into a disjoint id range. *)
+           Aries_txn.Txnmgr.note_txn_id db'.Db.mgr 100_000;
+           (* the Db is open mid-recovery: admit the second workload phase
+              now, while the restartd daemon is still draining. Opening the
+              tree may itself trigger on-demand redo of the anchor page. *)
+           let tree' = Btree.open_existing db'.Db.benv (Btree.index_id tree) in
+           Workload.spawn_fibers ~fiber_base:cfg.Workload.fibers db' tree' cfg ~seed ~trace)
+     in
+     let tripped2 = Crashpoint.tripped () in
+     events2 := Crashpoint.count ();
+     Crashpoint.disarm ();
+     Bufpool.clear_steal_hook db'.Db.pool;
+     match crash_at2 with
+     | None -> (
+         (match result2.Sched.outcome with
+         | Sched.Completed -> ()
+         | Sched.Stalled ids ->
+             fail "recovery phase stalled with %d suspended fiber(s)" (List.length ids)
+         | Sched.Interrupted live ->
+             fail "recovery phase step budget exhausted with %d live fiber(s)" live);
+         List.iter
+           (fun (_, name, e) ->
+             fail "recovery-phase fiber %s raised %s" name (Printexc.to_string e))
+           result2.Sched.exns;
+         if !failures = [] then
+           match
+             Db.run_exn db' (fun () ->
+                 let tree' = Btree.open_existing db'.Db.benv (Btree.index_id tree) in
+                 check_state db' tree' trace ~phase:"post-instant" failures)
+           with
+           | () -> ()
+           | exception e -> fail "post-instant check raised %s" (Printexc.to_string e))
+     | Some k2 ->
+         (* the second power failure may cut instant restart itself —
+            mid-drain, mid-on-demand-redo, mid-preempted-undo. The stable
+            state is frozen at event k2; a {e classic} restart must treat
+            it like any other crash and converge. *)
+         (match result2.Sched.outcome with
+         | Sched.Completed | Sched.Stalled _ -> ()
+         | Sched.Interrupted live ->
+             fail "recovery phase step budget exhausted with %d live fiber(s)" live);
+         List.iter
+           (fun (_, name, e) ->
+             match e with
+             | Crashpoint.Crash _ -> ()
+             | e ->
+                 fail "recovery-phase fiber %s raised %s (not the simulated crash)" name
+                   (Printexc.to_string e))
+           result2.Sched.exns;
+         if not tripped2 then
+           fail "recovery-phase crash index %d never reached (phase produced %d events)" k2
+             !events2
+         else if !failures = [] then begin
+           let db'' = Db.crash db' in
+           match
+             Db.run_exn db'' (fun () ->
+                 ignore (Db.restart db'');
+                 let tree'' = Btree.open_existing db''.Db.benv (Btree.index_id tree) in
+                 check_state db'' tree'' trace ~phase:"post-restart2" failures)
+           with
+           | () -> ()
+           | exception e -> fail "second restart raised %s" (Printexc.to_string e)
+         end
+   end);
+  {
+    rr_events = !events2;
+    rr_txns = Vec.length trace;
+    rr_crash_at = crash_at2;
+    rr_instant_cut = Some crash_at;
     rr_failures = List.rev !failures;
     rr_trace = Workload.trace_to_string trace;
     rr_event_dump = dump_if_failed failures;
@@ -161,6 +333,7 @@ let run_one ?crash_at (cfg : Workload.cfg) ~seed =
 type reproducer = {
   rp_seed : int;
   rp_crash_at : int option;
+  rp_instant_cut : int option;
   rp_failures : string list;
   rp_trace : string list;
   rp_event_dump : string list;
@@ -170,17 +343,24 @@ let reproducer_of_report ~seed (r : run_report) =
   {
     rp_seed = seed;
     rp_crash_at = r.rr_crash_at;
+    rp_instant_cut = r.rr_instant_cut;
     rp_failures = r.rr_failures;
     rp_trace = r.rr_trace;
     rp_event_dump = r.rr_event_dump;
   }
 
 let reproducer_line r =
-  Printf.sprintf "SIM-REPRO seed=%d crash_at=%s :: %s" r.rp_seed
+  Printf.sprintf "SIM-REPRO seed=%d%s crash_at=%s :: %s" r.rp_seed
+    (match r.rp_instant_cut with
+    | Some k -> Printf.sprintf " instant_cut=%d" k
+    | None -> "")
     (match r.rp_crash_at with Some k -> string_of_int k | None -> "-")
     (match r.rp_failures with [] -> "(no failure recorded)" | f :: _ -> f)
 
-let replay cfg r = run_one ?crash_at:r.rp_crash_at cfg ~seed:r.rp_seed
+let replay cfg r =
+  match r.rp_instant_cut with
+  | Some cut -> run_one_instant ?crash_at2:r.rp_crash_at cfg ~seed:r.rp_seed ~crash_at:cut
+  | None -> run_one ?crash_at:r.rp_crash_at cfg ~seed:r.rp_seed
 
 let confirms r (rep : run_report) =
   rep.rr_failures <> [] && List.equal String.equal r.rp_failures rep.rr_failures
@@ -271,6 +451,60 @@ let crash_sweep ?(progress = fun _ -> ()) cfg ~seed ~budget =
         end)
       { sm_seed_runs = 1; sm_crash_points = 0; sm_events = recording.rr_events; sm_failures = [] }
       ks
+  end
+
+(* The recovery-during-recovery sweep. One fault-free recording run learns
+   the phase-1 durability events; [budget/4] cut points are sampled across
+   them. Each cut gets a recovery-phase {e recording} run (crash + instant
+   restart + live second workload, checked against the two-phase oracle),
+   which learns that phase's own durability events; the remaining budget
+   is then spent arming second crashes inside the recovery phase — the
+   points that land mid-drain, mid-on-demand-redo and mid-preemption. *)
+let instant_sweep ?(progress = fun _ -> ()) cfg ~seed ~budget =
+  let recording = run_one cfg ~seed in
+  if recording.rr_failures <> [] then begin
+    let rp = reproducer_of_report ~seed recording in
+    progress (reproducer_line rp);
+    { sm_seed_runs = 1; sm_crash_points = 0; sm_events = recording.rr_events;
+      sm_failures = [ rp ] }
+  end
+  else begin
+    let cuts = sample_indices ~total:recording.rr_events ~budget:(max 1 (budget / 4)) in
+    let per_cut = max 1 (budget / max 1 (List.length cuts)) in
+    progress
+      (Printf.sprintf
+         "seed %d: %d phase-1 events, cutting at %d points (%d second crashes each)" seed
+         recording.rr_events (List.length cuts) per_cut);
+    List.fold_left
+      (fun acc cut ->
+        let rec2 = run_one_instant cfg ~seed ~crash_at:cut in
+        let acc =
+          {
+            acc with
+            sm_crash_points = acc.sm_crash_points + 1;
+            sm_events = acc.sm_events + rec2.rr_events;
+          }
+        in
+        if rec2.rr_failures <> [] then begin
+          let rp = reproducer_of_report ~seed rec2 in
+          progress (reproducer_line rp);
+          { acc with sm_failures = acc.sm_failures @ [ rp ] }
+        end
+        else
+          List.fold_left
+            (fun acc k2 ->
+              let r = run_one_instant ~crash_at2:k2 cfg ~seed ~crash_at:cut in
+              let acc = { acc with sm_crash_points = acc.sm_crash_points + 1 } in
+              if r.rr_failures = [] then acc
+              else begin
+                let rp = reproducer_of_report ~seed r in
+                progress (reproducer_line rp);
+                { acc with sm_failures = acc.sm_failures @ [ rp ] }
+              end)
+            acc
+            (sample_indices ~total:rec2.rr_events ~budget:per_cut))
+      { sm_seed_runs = 1; sm_crash_points = 0; sm_events = recording.rr_events; sm_failures = [] }
+      cuts
   end
 
 let sweep ?progress cfg ~seeds ~crash_seeds ~crash_budget =

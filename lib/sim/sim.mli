@@ -22,6 +22,10 @@ type run_report = {
   rr_events : int;  (** durability events during the workload phase *)
   rr_txns : int;  (** transactions traced *)
   rr_crash_at : int option;
+  rr_instant_cut : int option;
+      (** {!run_one_instant} runs only: the phase-1 durability event the
+          first crash was armed at ([rr_crash_at] and [rr_events] then
+          describe the recovery phase); [None] for {!run_one} runs *)
   rr_failures : string list;  (** empty = run passed all checks *)
   rr_trace : string list;  (** rendered op trace (reproducer detail) *)
   rr_event_dump : string list;
@@ -35,9 +39,25 @@ val run_one : ?crash_at:int -> Workload.cfg -> seed:int -> run_report
     durability event, then crash + restart + oracle check; without, the
     workload runs to completion and is checked directly. *)
 
+val run_one_instant : ?crash_at2:int -> Workload.cfg -> seed:int -> crash_at:int -> run_report
+(** Recovery-during-recovery: cut the workload at durability event
+    [crash_at], crash, restart with [Db.restart ~instant:true], and run a
+    {e second} workload phase (disjoint key slices, see
+    {!Workload.spawn_fibers}'s [fiber_base]) concurrently with the
+    background drain, on-demand page redo and lock-driven loser
+    preemption. Without [crash_at2] the run quiesces and is checked
+    against the two-phase oracle ([post-instant]). With [crash_at2] the
+    machine dies {e again} at that durability event of the recovery
+    phase — possibly mid-drain or mid-replay — and a classic restart must
+    converge ([post-restart2]). [rr_events] counts the recovery phase's
+    durability events, so [crash_at2] can be swept like [crash_at]. *)
+
 type reproducer = {
   rp_seed : int;
   rp_crash_at : int option;
+  rp_instant_cut : int option;
+      (** [Some k]: an instant-restart reproducer — phase 1 was cut at
+          event [k], and [rp_crash_at] indexes the recovery phase *)
   rp_failures : string list;
   rp_trace : string list;
   rp_event_dump : string list;  (** protocol event window at the failure *)
@@ -78,6 +98,15 @@ val crash_sweep :
   ?progress:(string -> unit) -> Workload.cfg -> seed:int -> budget:int -> summary
 (** Record once, then re-run with the crash armed at up to [budget] indices
     sampled evenly across [1..N] ([budget >= N] means every event). *)
+
+val instant_sweep :
+  ?progress:(string -> unit) -> Workload.cfg -> seed:int -> budget:int -> summary
+(** The recovery-during-recovery sweep: sample [budget/4] phase-1 cut
+    points; at each, record an instant-restart run (checked at quiesce),
+    then arm second crashes at sampled durability events {e inside} the
+    recovery phase — mid-drain, mid-on-demand-redo, mid-preemption — each
+    of which must classic-restart back to the two-phase oracle. The
+    budget bounds total armed {!run_one_instant} runs. *)
 
 val sweep :
   ?progress:(string -> unit) ->

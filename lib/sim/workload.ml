@@ -115,8 +115,13 @@ let run_txn tree cfg rng view (tt : txn_trace) txn ~fiber =
           tt.tt_ops <- Oracle.Delete (value, rid) :: tt.tt_ops
   done
 
-let spawn_fibers db tree cfg ~seed ~(trace : trace) =
-  for fiber = 0 to cfg.fibers - 1 do
+let spawn_fibers ?(fiber_base = 0) db tree cfg ~seed ~(trace : trace) =
+  for f = 0 to cfg.fibers - 1 do
+    (* [fiber_base] shifts the logical fiber ids (hence the private key
+       slices and RNG streams): a recovery-phase workload spawned with
+       [fiber_base = cfg.fibers] runs on a keyspace disjoint from the
+       pre-crash phase, so both phases' oracles stay exact *)
+    let fiber = fiber_base + f in
     let rng = Rng.create ((seed * 1_000_003) + (fiber * 7919) + 17) in
     ignore
       (Sched.spawn

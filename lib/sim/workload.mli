@@ -80,8 +80,12 @@ type trace = txn_trace Vec.t
 (** Appended in begin order; per-fiber subsequences are in program order. *)
 
 val spawn_fibers :
-  Aries_db.Db.t -> Aries_btree.Btree.t -> cfg -> seed:int -> trace:trace -> unit
-(** Spawn the workload fibers (call inside a running scheduler). Fibers
+  ?fiber_base:int -> Aries_db.Db.t -> Aries_btree.Btree.t -> cfg -> seed:int -> trace:trace -> unit
+(** Spawn the workload fibers (call inside a running scheduler).
+    [fiber_base] (default 0) shifts the logical fiber ids — and with them
+    the private key slices and RNG streams — so a second workload phase
+    (e.g. transactions admitted during instant restart) can run on a
+    keyspace disjoint from the first. Fibers
     record every completed operation in [trace] {e before} attempting
     commit, so a transaction whose commit became durable but whose fiber
     died before the ack still has its ops available to the oracle.

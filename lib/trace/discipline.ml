@@ -1,6 +1,6 @@
 open Aries_util
 
-type rule = R1 | R2 | R3 | R4 | R5 | R6
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7
 
 let rule_to_string = function
   | R1 -> "R1"
@@ -9,6 +9,7 @@ let rule_to_string = function
   | R4 -> "R4"
   | R5 -> "R5"
   | R6 -> "R6"
+  | R7 -> "R7"
 
 let rule_summary = function
   | R1 -> "no unconditional lock wait while holding a latch"
@@ -17,6 +18,9 @@ let rule_summary = function
   | R4 -> "no commit ack before the covering force"
   | R5 -> "no page write with pageLSN above the flushed log (WAL rule)"
   | R6 -> "no truncation past the safety point; no page write with recLSN in a reclaimed segment"
+  | R7 ->
+      "no page served while in the needs-redo set; no loser-locked name granted before that \
+       loser's undo completes"
 
 exception Violation of rule * string
 
@@ -60,6 +64,26 @@ let smos : (int, (int * bool) list ref) Hashtbl.t = Hashtbl.create 4
    does not apply to it. *)
 let repairing : (int, unit) Hashtbl.t = Hashtbl.create 4
 
+(* Instant-restart state (PR 6), volatile like [repairing]: a crash wipes
+   the engine along with the rest of the run.
+
+   [needs_redo]: pids announced by Restart_dpt whose on-demand redo has not
+   yet finished — R7(a) forbids serving them to a Page_fix, except inside
+   the delimited Restart_redo_page .. Restart_page_done window ([redoing]),
+   where the redo roll-forward itself fixes the page.
+
+   [loser_locks]: lock name -> loser txn that re-acquired it during
+   Analysis; [live_losers]: losers whose undo has not completed. R7(b)
+   forbids granting a loser-locked name to any other txn while the loser
+   is live. *)
+let needs_redo : (int, unit) Hashtbl.t = Hashtbl.create 8
+
+let redoing : (int, unit) Hashtbl.t = Hashtbl.create 4
+
+let loser_locks : (string, int) Hashtbl.t = Hashtbl.create 8
+
+let live_losers : (int, unit) Hashtbl.t = Hashtbl.create 4
+
 let violations_count = ref 0
 
 let violations () = !violations_count
@@ -67,7 +91,11 @@ let violations () = !violations_count
 let reset_run_state () =
   Hashtbl.reset fibers;
   Hashtbl.reset smos;
-  Hashtbl.reset repairing
+  Hashtbl.reset repairing;
+  Hashtbl.reset needs_redo;
+  Hashtbl.reset redoing;
+  Hashtbl.reset loser_locks;
+  Hashtbl.reset live_losers
 
 let reset () =
   reset_run_state ();
@@ -241,10 +269,39 @@ let check (ev : Trace.event) =
       | _ -> ())
   | Trace.Page_quarantined { pid; cause = _ } -> Hashtbl.replace repairing pid ()
   | Trace.Page_repaired { pid; records = _ } -> Hashtbl.remove repairing pid
-  | Trace.Latch_try_fail _ | Trace.Lock_request _ | Trace.Lock_grant _ | Trace.Lock_deny _
+  | Trace.Restart_dpt { pid; rec_lsn = _ } -> Hashtbl.replace needs_redo pid ()
+  | Trace.Restart_redo_page { pid; on_demand = _ } -> Hashtbl.replace redoing pid ()
+  | Trace.Restart_page_done { pid; applied = _ } ->
+      Hashtbl.remove needs_redo pid;
+      Hashtbl.remove redoing pid
+  | Trace.Page_fix { pid } ->
+      (* R7(a): a page still awaiting its on-demand redo must not be served
+         to anyone — its image predates crash-surviving updates. The redo
+         roll-forward itself fixes the page inside the delimited
+         Restart_redo_page .. Restart_page_done window, which is legal. *)
+      if Hashtbl.mem needs_redo pid && not (Hashtbl.mem redoing pid) then
+        violate R7 "page %d fixed while still in the needs-redo set" pid
+  | Trace.Restart_loser { txn } -> Hashtbl.replace live_losers txn ()
+  | Trace.Restart_lock { txn; name; mode = _ } -> Hashtbl.replace loser_locks name txn
+  | Trace.Restart_undo_txn _ -> ()
+  | Trace.Restart_loser_done { txn } ->
+      Hashtbl.remove live_losers txn;
+      Hashtbl.filter_map_inplace
+        (fun _ loser -> if loser = txn then None else Some loser)
+        loser_locks
+  | Trace.Lock_grant { txn; name; mode = _; duration = _; waited = _ } -> (
+      (* R7(b): a name re-locked on a loser's behalf protects uncommitted
+         state; granting it to another txn before the loser's undo
+         completes leaks that state. *)
+      match Hashtbl.find_opt loser_locks name with
+      | Some loser when loser <> txn && Hashtbl.mem live_losers loser ->
+          violate R7 "lock %s granted to txn %d while loser txn %d still holds it" name txn
+            loser
+      | _ -> ())
+  | Trace.Latch_try_fail _ | Trace.Lock_request _ | Trace.Lock_deny _
   | Trace.Lock_release _ | Trace.Lock_release_all _ | Trace.Deadlock_victim _
   | Trace.Log_append _ | Trace.Log_seal _ | Trace.Log_archive _ | Trace.Ckpt_take _
-  | Trace.Page_fix _ | Trace.Page_unfix _ | Trace.Commit_enqueue _
+  | Trace.Page_unfix _ | Trace.Commit_enqueue _
   | Trace.Daemon_spawn _ | Trace.Daemon_exit _ | Trace.Restart_phase _
   | Trace.Protocol_locks _ | Trace.Io_retry _ | Trace.Note _ ->
       ()

@@ -24,13 +24,20 @@
       nondecreasing, so the latest announcement is an upper bound) or into
       the volatile suffix; and no page written whose dirty-table [recLSN]
       falls inside the reclaimed prefix.
+    - {b R7} — instant-restart safety (PR 6): (a) no [Page_fix] served
+      while the page sits in the needs-redo set announced by
+      [Restart_dpt] — except inside the delimited
+      [Restart_redo_page]..[Restart_page_done] window, where the redo
+      roll-forward itself fixes the page; (b) no [Lock_grant] of a name
+      re-acquired on a loser's behalf ([Restart_lock]) to any other txn
+      before that loser's [Restart_loser_done].
 
     Fiber-keyed state (held latches) and per-tree SMO state are discarded
     at every [Run_begin] (a new scheduler incarnation reuses fiber ids and
     loses volatile state, exactly like a crash). The per-log flushed
     boundary persists — it mirrors durable state. *)
 
-type rule = R1 | R2 | R3 | R4 | R5 | R6
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7
 
 exception Violation of rule * string
 

@@ -56,6 +56,31 @@ type payload =
   | Page_repaired of { pid : int; records : int }
       (** media repair rebuilt the page from the archive + log history,
           replaying [records] log records *)
+  | Restart_dpt of { pid : int; rec_lsn : int }
+      (** instant restart: Analysis placed this page in the needs-redo set
+          (the DPT) with the given recLSN — rule R7(a) forbids serving it
+          to a fix before its on-demand redo completes *)
+  | Restart_redo_page of { pid : int; on_demand : bool }
+      (** instant restart began single-page redo of an in-DPT page
+          ([on_demand]: triggered by a user fix rather than the drain
+          daemon) *)
+  | Restart_page_done of { pid : int; applied : int }
+      (** single-page redo finished, [applied] records replayed; the page
+          left the needs-redo set and fixes may be served again *)
+  | Restart_loser of { txn : int }
+      (** instant restart: Analysis identified this txn as a loser whose
+          undo is deferred to the background / lock-conflict preemption *)
+  | Restart_lock of { txn : int; name : string; mode : string }
+      (** a loser lock was re-acquired on the loser's behalf during
+          Analysis — rule R7(b) forbids granting this name to any other
+          txn before the loser's undo completes *)
+  | Restart_undo_txn of { txn : int; preempted : bool }
+      (** instant restart began (or resumed) undoing this loser
+          ([preempted]: driven by a conflicting new txn's lock request
+          rather than the drain daemon) *)
+  | Restart_loser_done of { txn : int }
+      (** the loser's rollback completed; its reacquired locks are about
+          to be released and its names become grantable again *)
   | Note of string
 
 type event = { ev_step : int; ev_fiber : int; ev_payload : payload }
@@ -220,6 +245,16 @@ let payload_to_string = function
       Printf.sprintf "io-retry %s pid=%d attempt=%d" target pid attempt
   | Page_quarantined { pid; cause } -> Printf.sprintf "page-quarantined %d (%s)" pid cause
   | Page_repaired { pid; records } -> Printf.sprintf "page-repaired %d records=%d" pid records
+  | Restart_dpt { pid; rec_lsn } -> Printf.sprintf "restart-dpt %d recLSN=%d" pid rec_lsn
+  | Restart_redo_page { pid; on_demand } ->
+      Printf.sprintf "restart-redo-page %d%s" pid (if on_demand then " on-demand" else "")
+  | Restart_page_done { pid; applied } ->
+      Printf.sprintf "restart-page-done %d applied=%d" pid applied
+  | Restart_loser { txn } -> Printf.sprintf "restart-loser T%d" txn
+  | Restart_lock { txn; name; mode } -> Printf.sprintf "restart-lock T%d %s %s" txn mode name
+  | Restart_undo_txn { txn; preempted } ->
+      Printf.sprintf "restart-undo-txn T%d%s" txn (if preempted then " preempted" else "")
+  | Restart_loser_done { txn } -> Printf.sprintf "restart-loser-done T%d" txn
   | Note s -> Printf.sprintf "note %s" s
 
 let event_to_string ev =

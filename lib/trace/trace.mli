@@ -89,6 +89,29 @@ type payload =
   | Page_repaired of { pid : int; records : int }
       (** media repair rebuilt the quarantined page from the archive + log
           history, replaying [records] log records *)
+  | Restart_dpt of { pid : int; rec_lsn : int }
+      (** instant restart: Analysis placed this page in the needs-redo set
+          with the given recLSN — rule R7(a) forbids serving it to a fix
+          before its on-demand redo completes *)
+  | Restart_redo_page of { pid : int; on_demand : bool }
+      (** instant restart began single-page redo of an in-DPT page
+          ([on_demand]: triggered by a user fix, not the drain daemon) *)
+  | Restart_page_done of { pid : int; applied : int }
+      (** single-page redo finished ([applied] records replayed); the page
+          left the needs-redo set and fixes may be served again *)
+  | Restart_loser of { txn : int }
+      (** instant restart: Analysis identified this loser; its undo is
+          deferred to the drain daemon / lock-conflict preemption *)
+  | Restart_lock of { txn : int; name : string; mode : string }
+      (** a loser lock was re-acquired on the loser's behalf during
+          Analysis — rule R7(b) forbids granting this name to another txn
+          before the loser's undo completes *)
+  | Restart_undo_txn of { txn : int; preempted : bool }
+      (** instant restart began undoing this loser ([preempted]: driven by
+          a conflicting new txn's lock request, not the drain daemon) *)
+  | Restart_loser_done of { txn : int }
+      (** the loser's rollback completed; its reacquired locks are about
+          to be released and its names become grantable again *)
   | Note of string
 
 type event = { ev_step : int; ev_fiber : int; ev_payload : payload }

@@ -21,6 +21,7 @@ exception Aborted of Ids.txn_id * string
 type rm = {
   rm_redo : Logrec.t -> unit;
   rm_undo : txn -> Logrec.t -> unit;
+  rm_locks : Logrec.t -> (Lockmgr.name * Lockmgr.mode) list;
 }
 
 type t = {
@@ -31,6 +32,7 @@ type t = {
   fibers : (Sched.fiber_id, txn) Hashtbl.t;
   mutable next_id : Ids.txn_id;
   mutable group_commit : Group_commit.t option;
+  mutable preempt : (Lockmgr.name -> unit) option;
 }
 
 let create wal lockmgr =
@@ -42,6 +44,7 @@ let create wal lockmgr =
     fibers = Hashtbl.create 32;
     next_id = 1;
     group_commit = None;
+    preempt = None;
   }
 
 let set_group_commit t gc = t.group_commit <- gc
@@ -52,9 +55,9 @@ let log t = t.wal
 
 let locks t = t.lockmgr
 
-let register_rm t ~rm_id ~redo ~undo =
+let register_rm t ?(locks = fun _ -> []) ~rm_id ~redo ~undo () =
   if rm_id = 0 then invalid_arg "Txnmgr.register_rm: rm_id 0 is reserved";
-  Hashtbl.replace t.rms rm_id { rm_redo = redo; rm_undo = undo }
+  Hashtbl.replace t.rms rm_id { rm_redo = redo; rm_undo = undo; rm_locks = locks }
 
 let rm t id =
   match Hashtbl.find_opt t.rms id with
@@ -64,6 +67,10 @@ let rm t id =
 let rm_redo t (r : Logrec.t) = (rm t r.rm_id).rm_redo r
 
 let rm_undo t txn (r : Logrec.t) = (rm t r.rm_id).rm_undo txn r
+
+let rm_locks t (r : Logrec.t) = (rm t r.rm_id).rm_locks r
+
+let set_preempt_hook t f = t.preempt <- f
 
 let bind_fiber t txn = if Sched.in_fiber () then Hashtbl.replace t.fibers (Sched.current ()) txn
 
@@ -230,6 +237,12 @@ let rollback_to t txn sp =
 
 let lock t txn name mode duration =
   assert (txn.state <> Rolling_back);
+  (* Instant-restart preemption (PR 6): if the name is held by a restart
+     loser whose undo is still pending, drive that loser's rollback to
+     completion before queueing — the engine's hook loops until no live
+     loser holds the name, so the eventual wait (if any) is against real
+     transactions only, never against uncommitted crash residue. *)
+  (match t.preempt with None -> () | Some f -> f name);
   match Lockmgr.lock t.lockmgr ~txn:txn.txn_id name mode duration with
   | Lockmgr.Granted -> ()
   | Lockmgr.Denied -> assert false (* unconditional requests are never denied *)

@@ -57,18 +57,34 @@ val locks : t -> Lockmgr.t
 
 val register_rm :
   t ->
+  ?locks:(Logrec.t -> (Lockmgr.name * Lockmgr.mode) list) ->
   rm_id:int ->
   redo:(Logrec.t -> unit) ->
   undo:(txn -> Logrec.t -> unit) ->
+  unit ->
   unit
 (** [redo] applies a record to its page, page-oriented (restart redo and
     media recovery). [undo] compensates a record during rollback: it must
     write CLR(s) via {!log_clr} (or regular records for SMOs performed
-    during undo) and apply the change. *)
+    during undo) and apply the change. [locks] (default: none) derives the
+    commit-duration lock names the record's writer must have held —
+    instant-restart analysis reacquires them on a loser's behalf so new
+    transactions conflict with (rather than read past) uncommitted crash
+    residue; SMO / structure records derive no locks. *)
 
 val rm_redo : t -> Logrec.t -> unit
 
 val rm_undo : t -> txn -> Logrec.t -> unit
+
+val rm_locks : t -> Logrec.t -> (Lockmgr.name * Lockmgr.mode) list
+(** The registered [locks] derivation for the record's resource manager. *)
+
+val set_preempt_hook : t -> (Lockmgr.name -> unit) option -> unit
+(** Install (or clear) the instant-restart preemption hook consulted by
+    {!lock} before every unconditional request: given the requested name,
+    the hook drives to completion the undo of any restart loser still
+    holding it, so user transactions never queue behind crash residue
+    indefinitely. Undo itself takes no locks, so the hook cannot recurse. *)
 
 (** {1 Transaction lifecycle} *)
 

@@ -74,3 +74,5 @@ let fault_disk_transient_eio = "disk.transient-eio"
 let fault_log_torn_append = "log.torn-append"
 
 let fault_crc_check_disabled = "crc.check-disabled"
+
+let fault_instant_skip_redo = "instant.skip-redo"

@@ -120,3 +120,9 @@ val fault_crc_check_disabled : string
 (** Meta-fault proving detection has teeth: with CRC verification
     switched off, the bit-flip workload must be caught by the sim
     oracle / escape as a decode failure instead of being repaired. *)
+
+val fault_instant_skip_redo : string
+(** Meta-fault proving rule R7 has teeth: the instant-restart on-demand
+    redo hook drops a page from the needs-redo set {e without} replaying
+    its history, so the next fix serves a stale image. The discipline
+    checker must flag the fix as an R7 violation. *)

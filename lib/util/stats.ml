@@ -95,6 +95,11 @@ let disk_bit_flips = "disk.bit_flips"
 let disk_quarantines = "disk.quarantines"
 let log_tail_truncated_bytes = "log.tail_truncated_bytes"
 let log_tail_truncations = "log.tail_truncations"
+let instant_ondemand_redos = "instant.ondemand_redos"
+let instant_drain_rounds = "instant.drain_rounds"
+let instant_preemptions = "instant.preemptions"
+let instant_locks_reacquired = "instant.locks_reacquired"
+let instant_locks_skipped = "instant.locks_skipped"
 
 let commit_batch_bucket n = Printf.sprintf "commit.batch_hist.%02d" n
 

@@ -135,6 +135,26 @@ val log_tail_truncated_bytes : string
 val log_tail_truncations : string
 (** Tail-scan truncation events (a torn or corrupt suffix was cut). *)
 
+val instant_ondemand_redos : string
+(** Pages redone on demand by the instant-restart fix hook (a user fix
+    touched an in-DPT page before the drain daemon reached it). *)
+
+val instant_drain_rounds : string
+(** Background drain-daemon rounds run by the instant-restart engine. *)
+
+val instant_preemptions : string
+(** Times a new transaction's lock request collided with a loser's
+    reacquired lock and preempted that loser's undo to completion. *)
+
+val instant_locks_reacquired : string
+(** Loser locks re-acquired during instant-restart Analysis (from the
+    checkpoint lock lists plus locks derived from scanned log records). *)
+
+val instant_locks_skipped : string
+(** Derived loser locks whose conditional reacquisition was denied (the
+    name was already held, e.g. by an in-doubt prepared txn) and were
+    skipped. *)
+
 val commit_batch_bucket : int -> string
 (** Histogram counter name for batches of exactly [n] committers,
     e.g. ["commit.batch_hist.04"]. *)

@@ -259,6 +259,66 @@ let test_crc_disabled_meta_fault () =
           let rep = Sim.replay cfg rp in
           Alcotest.(check bool) "replay reproduces the failure" true (Sim.confirms rp rep))
 
+(* ------------------------------------------------------------------ *)
+(* Instant restart (PR 6): recovery during recovery. Phase 1 crashes the
+   workload at a sampled cut; phase 2 recovers with the instant engine
+   while a fresh workload runs against the still-draining Db — and the
+   sweep crashes phase 2 at every sampled durability point, including
+   points inside the drain itself, finishing with a classic restart.
+   Every run must converge to the committed-state oracle with zero R1-R7
+   violations and no leaks. *)
+
+let test_instant_sweep () =
+  let points = ref 0 and failures = ref [] in
+  List.iter
+    (fun seed ->
+      let s = Sim.instant_sweep cfg ~seed ~budget:40 in
+      points := !points + s.Sim.sm_crash_points;
+      failures := !failures @ s.Sim.sm_failures)
+    [ 61; 62; 63 ];
+  if !failures <> [] then fail_with !failures;
+  Alcotest.(check bool)
+    (Printf.sprintf "instant crash points >= 60 (got %d)" !points)
+    true (!points >= 60)
+
+let test_instant_sweep_group () =
+  let points = ref 0 and failures = ref [] in
+  List.iter
+    (fun seed ->
+      let s = Sim.instant_sweep gcfg ~seed ~budget:30 in
+      points := !points + s.Sim.sm_crash_points;
+      failures := !failures @ s.Sim.sm_failures)
+    [ 71; 72 ];
+  if !failures <> [] then fail_with !failures;
+  Alcotest.(check bool)
+    (Printf.sprintf "group-mode instant crash points >= 30 (got %d)" !points)
+    true (!points >= 30)
+
+(* Two-phase instant runs are as deterministic as plain ones, and the
+   reproducer round-trips through replay. *)
+let test_instant_determinism () =
+  let a = Sim.run_one_instant cfg ~seed:7 ~crash_at:5 in
+  let b = Sim.run_one_instant cfg ~seed:7 ~crash_at:5 in
+  Alcotest.(check bool) "instant runs identical" true (a = b);
+  Alcotest.(check (option int)) "cut recorded" (Some 5) a.Sim.rr_instant_cut;
+  let a = Sim.run_one_instant ~crash_at2:3 cfg ~seed:7 ~crash_at:5 in
+  let b = Sim.run_one_instant ~crash_at2:3 cfg ~seed:7 ~crash_at:5 in
+  Alcotest.(check bool) "recovery-crash runs identical" true (a = b);
+  Alcotest.(check (option int)) "second crash recorded" (Some 3) a.Sim.rr_crash_at;
+  (* a reproducer carrying both indices replays to the same report *)
+  let rp =
+    {
+      Sim.rp_seed = 7;
+      rp_crash_at = Some 3;
+      rp_instant_cut = Some 5;
+      rp_failures = a.Sim.rr_failures;
+      rp_trace = [];
+      rp_event_dump = [];
+    }
+  in
+  let rep = Sim.replay cfg rp in
+  Alcotest.(check bool) "replay matches" true (rep = a)
+
 (* A harder cfg: more fibers and txns, tighter pool, hotter yields — the
    shape the bench entry scales up. One seed keeps CI fast. *)
 let test_stress_cfg () =
@@ -294,6 +354,14 @@ let () =
           Alcotest.test_case "injected skip-flush fault is caught (group commit)" `Quick
             test_injected_fault_is_caught_group;
           Alcotest.test_case "stress cfg" `Quick test_stress_cfg;
+        ] );
+      ( "instant",
+        [
+          Alcotest.test_case "recovery-during-recovery sweep (>=60 points)" `Quick
+            test_instant_sweep;
+          Alcotest.test_case "recovery-during-recovery sweep, group commit (>=30 points)"
+            `Quick test_instant_sweep_group;
+          Alcotest.test_case "instant determinism + replay" `Quick test_instant_determinism;
         ] );
       ( "faults",
         [

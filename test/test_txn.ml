@@ -45,7 +45,8 @@ let install_mock mgr =
         (Txnmgr.log_clr mgr txn ~rm_id:mock_rm_id ~op:1
            ~body:(mock_body reg ~old_v:new_v ~new_v:old_v)
            ~undo_nxt:r.Logrec.prev_lsn ());
-      Hashtbl.replace m.regs reg old_v);
+      Hashtbl.replace m.regs reg old_v)
+    ();
   m
 
 let set mgr m txn reg v =
@@ -216,11 +217,20 @@ let test_prepare_body_roundtrip () =
   Alcotest.(check bool) "lock list roundtrip" true (Lockcodec.decode_list b = locks)
 
 let test_checkpoint_body_roundtrip () =
+  let ck ct_id ct_state ct_first ct_last ct_undo_nxt ct_locks =
+    { Checkpoint.ct_id; ct_state; ct_first; ct_last; ct_undo_nxt; ct_locks }
+  in
   let body =
     {
       Checkpoint.ck_txns =
-        [ (3, Txnmgr.Active, 10, 100, 90); (5, Txnmgr.Prepared, 20, 200, 180) ];
+        [
+          ck 3 Txnmgr.Active 10 100 90 Bytes.empty;
+          ck 5 Txnmgr.Prepared 20 200 180
+            (Lockcodec.encode_list [ (L.Key_value (1, "k"), L.X) ]);
+        ];
       ck_dpt = [ (7, 50); (9, 120) ];
+      ck_chains = [ (7, [ 50; 61; 77 ]); (9, [ 120 ]) ];
+      ck_next_txn = 6;
     }
   in
   let b = Checkpoint.encode_body body in
