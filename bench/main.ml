@@ -15,6 +15,7 @@
      dune exec bench/main.exe -- sim smoke                # bounded CI sweep (see ci.sh)
      dune exec bench/main.exe -- sim smoke --faults       # fault-armed CI sweep (storage faults)
      dune exec bench/main.exe -- sim smoke --instant      # recovery-during-recovery CI sweep
+     dune exec bench/main.exe -- sim smoke --streams      # multi-stream WAL crash-order sweep
      dune exec bench/main.exe -- sim replay <seed> <k|->  # re-run one reproducer
      dune exec bench/main.exe -- sim replay <seed> <k|-> <cut>  # instant-restart reproducer
      ARIES_SIM_FAULT=wal.skip-flush dune exec bench/main.exe -- sim
@@ -46,12 +47,25 @@ let run_sim args =
          loud on any failure. *)
       let faults = List.mem "--faults" rest in
       let instant = List.mem "--instant" rest in
-      let rest = List.filter (fun a -> a <> "--faults" && a <> "--instant") rest in
+      let streams = List.mem "--streams" rest in
+      let rest =
+        List.filter (fun a -> a <> "--faults" && a <> "--instant" && a <> "--streams") rest
+      in
       let geti i default =
         match List.nth_opt rest i with Some s -> int_of_string s | None -> default
       in
       let workloads =
-        if faults then
+        if streams then
+          (* the cross-stream crash-order sweep (PR 7): four WAL streams,
+             crash-time per-stream flush shuffle armed, both commit modes.
+             Every sampled crash point replays under a shuffled notion of
+             which streams' tails survived; recovery must still converge to
+             the fence-validated committed-state oracle. *)
+          [
+            ("multistream", Aries_sim.Workload.multistream_cfg);
+            ("multistream+group", Aries_sim.Workload.multistream_group_cfg);
+          ]
+        else if faults then
           [
             ("faults", Aries_sim.Workload.fault_cfg);
             ("faults+group+cleaner", Aries_sim.Workload.fault_group_cfg);

@@ -14,6 +14,10 @@
 # The instant smoke is the recovery-during-recovery sweep: cut each
 # run mid-flight, restart with `~instant:true`, and crash again inside
 # the drain — every second crash must classic-restart to the oracle.
+# The stream smoke is the multi-stream WAL crash-order sweep: four log
+# streams with the crash-time per-stream flush shuffle armed, under
+# both classic and instant restart — recovery must converge to the
+# fence-validated committed-state oracle with zero R1-R8 violations.
 set -eu
 
 cd "$(dirname "$0")"
@@ -33,6 +37,12 @@ if [ "${1:-}" != "fast" ]; then
 
   echo "== sim instant-restart smoke sweep =="
   dune exec bench/main.exe -- sim smoke --instant
+
+  echo "== sim multi-stream smoke sweep (classic restart) =="
+  dune exec bench/main.exe -- sim smoke --streams
+
+  echo "== sim multi-stream smoke sweep (instant restart) =="
+  dune exec bench/main.exe -- sim smoke --streams --instant
 fi
 
 echo "ci.sh: all green"

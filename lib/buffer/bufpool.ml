@@ -1,6 +1,7 @@
 open Aries_util
 module Lsn = Aries_wal.Lsn
 module Logmgr = Aries_wal.Logmgr
+module Logset = Aries_wal.Logset
 module Page = Aries_page.Page
 module Disk = Aries_page.Disk
 module Trace = Aries_trace.Trace
@@ -24,7 +25,7 @@ type frame = {
 
 type t = {
   dsk : Disk.t;
-  log : Logmgr.t;
+  logs : Logset.t;
   capacity : int;
   frames : (Ids.page_id, frame) Hashtbl.t;
   mutable tick : int;
@@ -41,10 +42,10 @@ type t = {
   restart_dpt : (Ids.page_id, Lsn.t * Lsn.t list) Hashtbl.t;
 }
 
-let create ?(capacity = 128) dsk log =
+let create ?(capacity = 128) dsk logs =
   {
     dsk;
-    log;
+    logs;
     capacity;
     frames = Hashtbl.create 64;
     tick = 0;
@@ -92,21 +93,24 @@ let write_frame t f =
       (* A crash point of its own: the instant between the eviction decision
          and the WAL force (Logmgr/Disk add finer points inside). *)
       Crashpoint.hit "bufpool.write";
-      (* WAL rule: the log must cover the page's most recent update before
-         the page image may reach disk. Re-run on every retry attempt: a
-         backoff yield may have let another fiber advance the page, and the
-         force must cover whatever [page_lsn] the write will capture. *)
-      Logmgr.flush_to t.log f.page.Page.page_lsn;
+      (* WAL rule, per stream: all of a page's records live on its routed
+         stream, so forcing *that* stream to the page's [page_lsn] covers
+         every record the image reflects — no other stream needs forcing.
+         Re-run on every retry attempt: a backoff yield may have let
+         another fiber advance the page, and the force must cover whatever
+         [page_lsn] the write will capture. *)
+      let wal = Logset.page_stream t.logs pid in
+      Logmgr.flush_to wal f.page.Page.page_lsn;
       (* R5 hazard point: emitted after the covering force and before the
          disk write, so a page image racing past the flushed boundary (e.g.
          under the skip-flush fault) raises here, not after the damage. *)
       (if Trace.enabled () then
          let page_lsn = f.page.Page.page_lsn in
-         let lsn_end = if Lsn.is_nil page_lsn then 0 else Logmgr.record_end t.log page_lsn in
+         let lsn_end = if Lsn.is_nil page_lsn then 0 else Logmgr.record_end wal page_lsn in
          Trace.emit
            (Trace.Page_write
               {
-                log = Logmgr.id t.log;
+                log = Logmgr.id wal;
                 pid = f.page.Page.pid;
                 page_lsn;
                 lsn_end;

@@ -20,10 +20,12 @@ exception Page_vanished of Ids.page_id
 
 type t
 
-val create : ?capacity:int -> Aries_page.Disk.t -> Aries_wal.Logmgr.t -> t
+val create : ?capacity:int -> Aries_page.Disk.t -> Aries_wal.Logset.t -> t
 (** [capacity] is the number of frames (default 128). Eviction is LRU over
     unfixed frames; if every frame is fixed the pool grows (and counts the
-    overflow in stats rather than deadlocking). *)
+    overflow in stats rather than deadlocking). The WAL-rule force before a
+    page write targets the page's routed stream only — all of a page's
+    records live there. *)
 
 val disk : t -> Aries_page.Disk.t
 

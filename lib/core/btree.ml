@@ -305,11 +305,11 @@ let log_apply t txn page body ~undoable =
   Bufpool.mark_dirty t.bt_env.e_pool page lsn;
   Sched.maybe_yield ()
 
-let log_clr_apply t txn page body ~undo_nxt =
+let log_clr_apply t txn page body ~undo_stream ~undo_nxt =
   let op = Ixlog.op_of_body body in
   trace t (Ev_log ("clr:" ^ Ixlog.op_name op));
   let lsn =
-    Txnmgr.log_clr t.bt_env.e_mgr txn ~page:page.Page.pid ~rm_id:Ixlog.rm_id ~op
+    Txnmgr.log_clr t.bt_env.e_mgr txn ~page:page.Page.pid ~undo_stream ~rm_id:Ixlog.rm_id ~op
       ~body:(Ixlog.encode body) ~undo_nxt ()
   in
   Apply.apply page body;
@@ -1477,7 +1477,7 @@ let undo_insert t txn (r : Logrec.t) ~key =
       if page_oriented_ok then begin
         Stats.incr Stats.page_oriented_undos;
         trace t (Ev_undo (`Page_oriented, "insert"));
-        log_clr_apply t txn page clr_body ~undo_nxt:r.Logrec.prev_lsn
+        log_clr_apply t txn page clr_body ~undo_stream:r.Logrec.stream ~undo_nxt:r.Logrec.prev_lsn
       end
       else begin
         (* logical undo: re-traverse under the X tree latch (§4) *)
@@ -1504,7 +1504,7 @@ let undo_insert t txn (r : Logrec.t) ~key =
             log_clr_apply t txn leaf
               (Ixlog.Delete_key
                  { ix = t.bt_ix; key; reset_sm = false; set_sm = empties; mark_delete_bit = false })
-              ~undo_nxt:r.Logrec.prev_lsn;
+              ~undo_stream:r.Logrec.stream ~undo_nxt:r.Logrec.prev_lsn;
             drop_all t ctx;
             if empties then
               (* a page-delete SMO during undo: logged with regular records
@@ -1533,7 +1533,7 @@ let undo_delete t txn (r : Logrec.t) ~key =
       if page_oriented_ok then begin
         Stats.incr Stats.page_oriented_undos;
         trace t (Ev_undo (`Page_oriented, "delete"));
-        log_clr_apply t txn page clr_body ~undo_nxt:r.Logrec.prev_lsn
+        log_clr_apply t txn page clr_body ~undo_stream:r.Logrec.stream ~undo_nxt:r.Logrec.prev_lsn
       end
       else begin
         drop t ctx page;
@@ -1554,7 +1554,7 @@ let undo_delete t txn (r : Logrec.t) ~key =
                 split_smo_held t txn ~probe ~needed:(Key.on_page_cost key) ~exclusive:true;
                 attempt (n + 1)
               end
-              else log_clr_apply t txn leaf clr_body ~undo_nxt:r.Logrec.prev_lsn
+              else log_clr_apply t txn leaf clr_body ~undo_stream:r.Logrec.stream ~undo_nxt:r.Logrec.prev_lsn
             in
             attempt 0)
       end)
@@ -1609,8 +1609,9 @@ let rm_undo env txn (r : Logrec.t) =
             (fun () ->
               let op = Ixlog.op_of_body comp in
               let lsn =
-                Txnmgr.log_clr env.e_mgr txn ~page:page.Page.pid ~rm_id:Ixlog.rm_id ~op
-                  ~body:(Ixlog.encode comp) ~undo_nxt:r.Logrec.prev_lsn ()
+                Txnmgr.log_clr env.e_mgr txn ~page:page.Page.pid ~undo_stream:r.Logrec.stream
+                  ~rm_id:Ixlog.rm_id ~op ~body:(Ixlog.encode comp)
+                  ~undo_nxt:r.Logrec.prev_lsn ()
               in
               Apply.apply page comp;
               page.Page.page_lsn <- lsn;

@@ -1,5 +1,6 @@
 module Disk = Aries_page.Disk
 module Logmgr = Aries_wal.Logmgr
+module Logset = Aries_wal.Logset
 module Bufpool = Aries_buffer.Bufpool
 module Cleaner = Aries_buffer.Cleaner
 module Lockmgr = Aries_lock.Lockmgr
@@ -16,7 +17,8 @@ type commit_mode = Per_commit | Group of Group_commit.policy
 
 type t = {
   disk : Disk.t;
-  wal : Logmgr.t;
+  logs : Logset.t;
+  wal : Logmgr.t;  (* the control stream: Logset.control logs *)
   pool : Bufpool.t;
   locks : Lockmgr.t;
   mgr : Txnmgr.t;
@@ -33,41 +35,43 @@ type t = {
 }
 
 let build ?pool_capacity ?config ?(commit_mode = Per_commit) ?cleaner ?checkpoint ~archive disk
-    wal =
-  let pool = Bufpool.create ?capacity:pool_capacity disk wal in
+    logs =
+  let pool = Bufpool.create ?capacity:pool_capacity disk logs in
   let locks = Lockmgr.create () in
-  let mgr = Txnmgr.create wal locks in
+  let mgr = Txnmgr.create logs locks in
   let benv = Btree.env ?config mgr pool in
   Recmgr.rm_install mgr pool;
   let gc =
     match commit_mode with
     | Per_commit -> None
-    | Group policy -> Some (Group_commit.create ~policy wal)
+    | Group policy -> Some (Group_commit.create ~policy logs)
   in
   Txnmgr.set_group_commit mgr gc;
   (* the archive models stable storage: it survives crashes and receives
-     every segment the live log reclaims, so media recovery and the
+     every segment any live stream reclaims, so media recovery and the
      committed-state oracle always see the full record history *)
-  Media.Archive.attach archive wal;
+  Media.Archive.attach_set archive logs;
   (* automatic media repair (PR 5): a page image that fails its CRC or does
      not decode is quarantined by the pool and rebuilt here from the log
-     archive plus the live log — the full history from the format record.
-     Returning [true] tells the pool to re-read the healed image. *)
+     archive plus the page's own live stream — the full history from the
+     format record. Returning [true] tells the pool to re-read the healed
+     image. *)
   Bufpool.set_repairer pool (fun pid ->
       ignore (Media.auto_repair ~archive mgr pool pid);
       true);
-  { disk; wal; pool; locks; mgr; benv; commit_mode; cleaner; checkpoint_cfg = checkpoint;
-    archive; gc; closing = false; running_daemons = 0; restart_engine = None }
+  { disk; logs; wal = Logset.control logs; pool; locks; mgr; benv; commit_mode; cleaner;
+    checkpoint_cfg = checkpoint; archive; gc; closing = false; running_daemons = 0;
+    restart_engine = None }
 
 let create ?(page_size = 4096) ?pool_capacity ?config ?commit_mode ?cleaner ?checkpoint
-    ?segment_size () =
+    ?segment_size ?streams () =
   let disk = Disk.create ~page_size () in
-  let wal = Logmgr.create ?segment_size () in
+  let logs = Logset.create ?segment_size ?streams () in
   build ?pool_capacity ?config ?commit_mode ?cleaner ?checkpoint ~archive:(Media.Archive.create ())
-    disk wal
+    disk logs
 
 let crash ?config t =
-  Logmgr.crash t.wal;
+  Logset.crash t.logs;
   Bufpool.crash t.pool;
   Txnmgr.clear t.mgr;
   (* die-on-crash: daemon state is volatile. The fresh environment gets a
@@ -76,7 +80,7 @@ let crash ?config t =
      their fate purely from the stable log. The archive and the surviving
      segments are stable state and carry over. *)
   build ?config ~commit_mode:t.commit_mode ?cleaner:t.cleaner ?checkpoint:t.checkpoint_cfg
-    ~archive:t.archive t.disk t.wal
+    ~archive:t.archive t.disk t.logs
 
 (* Classic restart runs all three passes before returning. With
    [~instant:true] only Analysis (plus lock reacquisition) runs up front:
@@ -114,7 +118,8 @@ let safety_point t = Ckptd.safety_point t.mgr t.pool
 
 let trim_log t = Ckptd.reclaim t.mgr t.pool
 
-let iter_log_history t ~from f = Media.Archive.iter_history t.archive t.wal ~from f
+let iter_log_history t ~from f =
+  Logset.iteri t.logs (fun _ wal -> Media.Archive.iter_history t.archive wal ~from f)
 
 let with_txn t f =
   let txn = Txnmgr.begin_txn t.mgr in
@@ -129,15 +134,16 @@ let with_txn t f =
       | Txnmgr.Committing | Txnmgr.Rolling_back -> ());
       raise e
 
-(* Snapshot format v3: the WAL frame layout gained a per-record CRC trailer
-   and sealed-segment footers (PR 5), so v2 snapshots no longer decode. *)
-let snapshot_magic = "ARIESIM3"
+(* Snapshot format v4: the WAL became a multi-stream set (records carry
+   stream/epoch/gsn stamps and the image serializes every stream plus the
+   global counters), so v3 snapshots no longer decode. *)
+let snapshot_magic = "ARIESIM4"
 
 let save t path =
   let w = Aries_util.Bytebuf.W.create () in
   Aries_util.Bytebuf.W.string w snapshot_magic;
   Aries_util.Bytebuf.W.bytes w (Disk.serialize t.disk);
-  Aries_util.Bytebuf.W.bytes w (Logmgr.serialize t.wal);
+  Aries_util.Bytebuf.W.bytes w (Logset.serialize t.logs);
   Aries_util.Bytebuf.W.bytes w (Media.Archive.serialize t.archive);
   let oc = open_out_bin path in
   Fun.protect
@@ -151,7 +157,7 @@ let load ?pool_capacity ?config ?commit_mode ?cleaner ?checkpoint path =
       ~finally:(fun () -> close_in ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   in
-  let disk, wal, archive =
+  let disk, logs, archive =
     try
       let r = Aries_util.Bytebuf.R.of_string b in
       let magic = Aries_util.Bytebuf.R.string r in
@@ -160,16 +166,16 @@ let load ?pool_capacity ?config ?commit_mode ?cleaner ?checkpoint path =
           (Printf.sprintf "Db.load: %s is not an ariesim %s snapshot (magic %S)" path
              snapshot_magic magic);
       let disk = Disk.deserialize (Aries_util.Bytebuf.R.bytes r) in
-      let wal = Logmgr.deserialize (Aries_util.Bytebuf.R.bytes r) in
+      let logs = Logset.deserialize (Aries_util.Bytebuf.R.bytes r) in
       let archive = Media.Archive.deserialize (Aries_util.Bytebuf.R.bytes r) in
       Aries_util.Bytebuf.R.expect_end r;
-      (disk, wal, archive)
+      (disk, logs, archive)
     with Aries_util.Bytebuf.Corrupt msg ->
       (* a snapshot that does not even frame is a typed storage error, not a
          bare parser crash *)
       raise (Aries_util.Storage_error.of_corrupt (Printf.sprintf "snapshot %s: %s" path msg))
   in
-  build ?pool_capacity ?config ?commit_mode ?cleaner ?checkpoint ~archive disk wal
+  build ?pool_capacity ?config ?commit_mode ?cleaner ?checkpoint ~archive disk logs
 
 let leak_report t =
   let leaks = ref [] in
@@ -239,8 +245,8 @@ let close t =
       Sched.yield ()
     done
   end;
-  (* clean shutdown: everything appended is made stable *)
-  Logmgr.flush t.wal
+  (* clean shutdown: everything appended on every stream is made stable *)
+  Logset.flush_all t.logs
 
 let run ?policy ?max_steps ?yield_probability t main =
   Sched.run ?policy ?max_steps ?yield_probability (fun () ->

@@ -22,7 +22,8 @@ type commit_mode =
 
 type t = {
   disk : Aries_page.Disk.t;
-  wal : Aries_wal.Logmgr.t;
+  logs : Aries_wal.Logset.t;
+  wal : Aries_wal.Logmgr.t;  (** the control stream, [Logset.control logs] *)
   pool : Aries_buffer.Bufpool.t;
   locks : Aries_lock.Lockmgr.t;
   mgr : Txnmgr.t;
@@ -45,6 +46,7 @@ val create :
   ?cleaner:Aries_buffer.Cleaner.cfg ->
   ?checkpoint:Aries_recovery.Ckptd.cfg ->
   ?segment_size:int ->
+  ?streams:int ->
   unit ->
   t
 (** [commit_mode] (default [Per_commit]) selects the commit-path force
@@ -54,6 +56,10 @@ val create :
     sealed log segments below the safety point. [segment_size] sets the WAL
     segment size ({!Aries_wal.Logmgr.default_segment_size} by default) —
     reclamation is whole-segment, so small workloads want small segments.
+    [streams] (default 1) is the number of parallel WAL streams
+    ({!Aries_wal.Logset}): page records are routed by page-id hash, commits
+    are acknowledged only after every touched stream is forced through the
+    commit's epoch fence (rule R8).
     With any daemon configured, every {!run}/{!run_exn} spawns the daemons
     at the start of the run (spawn-at-open), drains them when the last user
     fiber finishes (drain-on-close), and loses them — along with any
@@ -68,6 +74,8 @@ val crash : ?config:Aries_btree.Btree.config -> t -> t
 val restart :
   ?instant:bool -> ?drain:Aries_recovery.Restart.drain_cfg -> t -> Aries_recovery.Restart.report
 (** Run ARIES restart recovery (call on a freshly [crash]ed environment).
+    Analysis merges every stream by [(epoch, gsn)]; redo and undo are
+    per-stream / per-page exactly as in the single-log case.
 
     [~instant:false] (the default) runs the classic three passes to
     completion before returning.
@@ -105,9 +113,11 @@ val trim_log : t -> int
     iteration keep working. Typically called right after {!checkpoint}. *)
 
 val iter_log_history : t -> from:Aries_wal.Lsn.t -> (Aries_wal.Logrec.t -> unit) -> unit
-(** Iterate the {e full} record history from [from] ([Lsn.nil] = all):
-    archived (reclaimed) segments first, then the live log — the union is
-    every record ever appended, regardless of truncation. *)
+(** Iterate the {e full} record history from [from] ([Lsn.nil] = all),
+    stream by stream: each stream's archived (reclaimed) segments first,
+    then its live log — the union is every record ever appended, regardless
+    of truncation. Cross-stream order is {e not} (epoch, gsn)-merged; sort
+    by [gsn] if global order matters. *)
 
 val with_txn : t -> (Txnmgr.txn -> 'a) -> 'a
 (** Begin, run, commit; total rollback (and re-raise) on exception. *)
@@ -149,7 +159,7 @@ val save : t -> string -> unit
 (** Persist the {e stable} state (disk images, stable log prefix + master
     record, log archive) to a file — exactly what a powered-off machine
     retains. The volatile tail and buffer pool are not saved; run
-    {!restart} after {!load}. Format magic: ["ARIESIM3"] (v3: WAL record CRC trailers and sealed-segment footers). *)
+    {!restart} after {!load}. Format magic: ["ARIESIM4"] (v4: multi-stream WAL image with stream/epoch/gsn record stamps). *)
 
 val load :
   ?pool_capacity:int ->

@@ -58,9 +58,9 @@ let log_apply mgr pool txn page body ~undoable =
   page.Page.page_lsn <- lsn;
   Bufpool.mark_dirty pool page lsn
 
-let log_clr_apply mgr pool txn page body ~undo_nxt =
+let log_clr_apply mgr pool txn page body ~undo_stream ~undo_nxt =
   let lsn =
-    Txnmgr.log_clr mgr txn ~page:page.Page.pid ~rm_id:Reclog.rm_id
+    Txnmgr.log_clr mgr txn ~page:page.Page.pid ~undo_stream ~rm_id:Reclog.rm_id
       ~op:(Reclog.op_of_body body) ~body:(Reclog.encode body) ~undo_nxt ()
   in
   apply_data page body;
@@ -106,7 +106,7 @@ let rm_undo mgr pool txn (r : Logrec.t) =
     ~finally:(fun () ->
       Latch.release page.Page.latch;
       Bufpool.unfix pool page)
-    (fun () -> log_clr_apply mgr pool txn page comp ~undo_nxt:r.Logrec.prev_lsn)
+    (fun () -> log_clr_apply mgr pool txn page comp ~undo_stream:r.Logrec.stream ~undo_nxt:r.Logrec.prev_lsn)
 
 let rm_install mgr pool =
   Txnmgr.register_rm mgr ~rm_id:Reclog.rm_id

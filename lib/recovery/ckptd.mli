@@ -29,20 +29,26 @@ val default_cfg : cfg
 val validate : cfg -> unit
 (** Raises [Invalid_argument] on nonsensical knobs. *)
 
+val safety_points : Aries_txn.Txnmgr.t -> Aries_buffer.Bufpool.t -> Lsn.t array option
+(** The log-space reclamation safety points, one per stream: [min(the last
+    complete checkpoint's per-stream redo point, min recLSN of dirty pages
+    routed to the stream, active transactions' first LSN on the stream)] —
+    each monotone nondecreasing. [None] when truncation would be unsafe on
+    {e any} stream: no complete checkpoint yet, or a transaction of unknown
+    extent (nil first with a non-nil last on some stream) in the table.
+    Emits one [Log_safety] trace event per stream (the independent
+    announcements rule R6 judges truncations against). *)
+
 val safety_point : Aries_txn.Txnmgr.t -> Aries_buffer.Bufpool.t -> Lsn.t option
-(** The log-space reclamation safety point: [min(redo point of the last
-    complete checkpoint, min recLSN in the DPT, first LSN of the oldest
-    active transaction)] — monotone nondecreasing. [None] when truncation
-    would be unsafe: no complete checkpoint yet, or a transaction of
-    unknown extent (nil [first_lsn], non-nil [last_lsn]) in the table.
-    Emits the [Log_safety] trace event (the independent announcement rule
-    R6 judges truncations against). *)
+(** The control stream's entry of {!safety_points} (identical to the
+    classic single-log point when [streams = 1]). *)
 
 val reclaim : Aries_txn.Txnmgr.t -> Aries_buffer.Bufpool.t -> int
-(** Truncate whole sealed segments below the safety point (0 if blocked or
-    nothing reclaimable). Under [Crashpoint.fault_ckpt_premature_truncate]
-    it deliberately overshoots to the flushed boundary so the R6 checker
-    can be proven to catch a premature truncate. *)
+(** Truncate each stream's sealed segments below its safety point; returns
+    total bytes reclaimed (0 if blocked or nothing reclaimable). Under
+    [Crashpoint.fault_ckpt_premature_truncate] it deliberately overshoots
+    every stream to its flushed boundary so the R6 checker can be proven to
+    catch a premature truncate. *)
 
 val round : Aries_txn.Txnmgr.t -> Aries_buffer.Bufpool.t -> cfg -> unit
 (** One daemon iteration: optional cleaner nudge, fuzzy checkpoint,

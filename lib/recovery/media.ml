@@ -2,6 +2,7 @@ open Aries_util
 module Lsn = Aries_wal.Lsn
 module Logrec = Aries_wal.Logrec
 module Logmgr = Aries_wal.Logmgr
+module Logset = Aries_wal.Logset
 module Txnmgr = Aries_txn.Txnmgr
 module Bufpool = Aries_buffer.Bufpool
 module Disk = Aries_page.Disk
@@ -11,30 +12,40 @@ module Trace = Aries_trace.Trace
 (* The log archive: reclaimed WAL segments, retained verbatim so media
    recovery can roll a fuzzy dump forward across a truncation. In a real
    system this is the tape/object-store the archiving daemon ships sealed
-   segments to; here it is an in-memory list ordered by base offset. *)
+   segments to; here it is an in-memory table: per log stream (keyed by
+   [Logmgr.id]), a list of segments ordered oldest first. *)
 module Archive = struct
-  type t = { mutable segments : Logmgr.archived list (* oldest first *) }
+  type t = { tbl : (int, Logmgr.archived list) Hashtbl.t (* log id -> oldest first *) }
 
-  let create () = { segments = [] }
+  let create () = { tbl = Hashtbl.create 4 }
+
+  let segments t log =
+    match Hashtbl.find_opt t.tbl log with Some l -> l | None -> []
 
   let attach t wal =
-    Logmgr.set_archive_sink wal (fun a -> t.segments <- t.segments @ [ a ])
+    let id = Logmgr.id wal in
+    Logmgr.set_archive_sink wal (fun a -> Hashtbl.replace t.tbl id (segments t id @ [ a ]))
 
-  let segment_count t = List.length t.segments
+  let attach_set t logs = Logset.iteri logs (fun _ wal -> attach t wal)
 
-  let bytes t = List.fold_left (fun acc a -> acc + a.Logmgr.arch_len) 0 t.segments
+  let all t = Hashtbl.fold (fun _ l acc -> acc @ l) t.tbl []
 
-  let record_count t = List.fold_left (fun acc a -> acc + a.Logmgr.arch_records) 0 t.segments
+  let segment_count t = List.length (all t)
 
-  let end_offset t =
-    match List.rev t.segments with
+  let bytes t = List.fold_left (fun acc a -> acc + a.Logmgr.arch_len) 0 (all t)
+
+  let record_count t = List.fold_left (fun acc a -> acc + a.Logmgr.arch_records) 0 (all t)
+
+  let end_offset ?(log = 0) t =
+    match List.rev (segments t log) with
     | a :: _ -> a.Logmgr.arch_base + a.Logmgr.arch_len
     | [] -> 0
 
-  (* Decode the framed records of every archived segment with LSN >= [from]
-     ([Lsn.nil] = all), in LSN order. Frames are exactly as they were in
-     the live log: [u32 len][payload][u32 crc] at absolute offset = LSN. *)
-  let iter_records t ~from f =
+  (* Decode the framed records of one log's archived segments with
+     LSN >= [from] ([Lsn.nil] = all), in LSN order. Frames are exactly as
+     they were in the live log: [u32 len][payload][u32 crc] at absolute
+     offset = LSN. *)
+  let iter_records t ~log ~from f =
     List.iter
       (fun (a : Logmgr.archived) ->
         if Lsn.is_nil from || a.Logmgr.arch_base + a.Logmgr.arch_len > from then begin
@@ -62,68 +73,91 @@ module Archive = struct
             off := !off + Logrec.frame_overhead + len
           done
         end)
-      t.segments
+      (segments t log)
 
-  (* The full log history from [from]: archived segments first (they are
-     strictly below the live log's start), then the live log. *)
+  (* One stream's full history from [from]: its archived segments first
+     (they are strictly below the live log's start), then the live log. *)
   let iter_history t wal ~from f =
-    iter_records t ~from f;
+    iter_records t ~log:(Logmgr.id wal) ~from f;
     Logmgr.iter_from wal (if Lsn.is_nil from then Lsn.nil else from) f
 
   let serialize t =
+    let logs = Hashtbl.fold (fun id _ acc -> id :: acc) t.tbl [] |> List.sort compare in
     let w = Bytebuf.W.create () in
     Bytebuf.W.list w
-      (fun w (a : Logmgr.archived) ->
-        Bytebuf.W.i64 w a.Logmgr.arch_base;
-        Bytebuf.W.u32 w a.Logmgr.arch_records;
-        Bytebuf.W.string w a.Logmgr.arch_data;
-        Bytebuf.W.u32 w a.Logmgr.arch_crc)
-      t.segments;
+      (fun w id ->
+        Bytebuf.W.i64 w id;
+        Bytebuf.W.list w
+          (fun w (a : Logmgr.archived) ->
+            Bytebuf.W.i64 w a.Logmgr.arch_base;
+            Bytebuf.W.u32 w a.Logmgr.arch_records;
+            Bytebuf.W.string w a.Logmgr.arch_data;
+            Bytebuf.W.u32 w a.Logmgr.arch_crc)
+          (segments t id))
+      logs;
     Bytebuf.W.contents w
 
   let deserialize b =
     let last_base = ref None in
     try
       let r = Bytebuf.R.of_bytes b in
-      let segments =
+      let t = create () in
+      let _ =
         Bytebuf.R.list r (fun r ->
-            let arch_base = Bytebuf.R.i64 r in
-            last_base := Some arch_base;
-            let arch_records = Bytebuf.R.u32 r in
-            let arch_data = Bytebuf.R.string r in
-            let arch_crc = Bytebuf.R.u32 r in
-            if Faultdisk.crc_checks_enabled () && Crc.string arch_data <> arch_crc then
-              Storage_error.raise_err ~lsn:arch_base Storage_error.Checksum
-                "archived log segment footer CRC mismatch on load (base %d)" arch_base;
-            {
-              Logmgr.arch_base;
-              arch_len = String.length arch_data;
-              arch_data;
-              arch_records;
-              arch_crc;
-            })
+            let id = Bytebuf.R.i64 r in
+            let segs =
+              Bytebuf.R.list r (fun r ->
+                  let arch_base = Bytebuf.R.i64 r in
+                  last_base := Some arch_base;
+                  let arch_records = Bytebuf.R.u32 r in
+                  let arch_data = Bytebuf.R.string r in
+                  let arch_crc = Bytebuf.R.u32 r in
+                  if Faultdisk.crc_checks_enabled () && Crc.string arch_data <> arch_crc then
+                    Storage_error.raise_err ~lsn:arch_base Storage_error.Checksum
+                      "archived log segment footer CRC mismatch on load (base %d)" arch_base;
+                  {
+                    Logmgr.arch_base;
+                    arch_len = String.length arch_data;
+                    arch_data;
+                    arch_records;
+                    arch_crc;
+                  })
+            in
+            Hashtbl.replace t.tbl id segs)
       in
       Bytebuf.R.expect_end r;
-      { segments }
+      t
     with Bytebuf.Corrupt msg ->
       raise (Storage_error.of_corrupt ?lsn:!last_base ("archive image: " ^ msg))
 end
 
 type dump = {
   dmp_disk : Disk.t;
-  dmp_redo_lsn : Lsn.t;
+  dmp_redo : Lsn.t array;  (* per stream *)
 }
 
 let take_dump mgr pool =
-  let begin_lsn = Checkpoint.take mgr pool in
+  let logs = Txnmgr.logs mgr in
+  (* capture each stream's horizon *before* the checkpoint: any update the
+     dump images might miss is either at/above the horizon (appended after
+     the capture) or covered by a dirty page's recLSN below it *)
+  let scan =
+    Array.init (Logset.n logs) (fun i -> Logmgr.end_offset (Logset.stream logs i))
+  in
+  ignore (Checkpoint.take mgr pool);
   (* The checkpointed DPT bounds what the dump images might be missing:
-     everything below the minimum recLSN is on disk. Conservative and
-     simple: replay from the checkpoint's redo point. *)
-  let dpt = Bufpool.dirty_page_table pool in
-  let redo_lsn = List.fold_left (fun acc (_, rec_lsn) -> Lsn.min acc rec_lsn) begin_lsn dpt in
-  { dmp_disk = Disk.image_copy (Bufpool.disk pool); dmp_redo_lsn = redo_lsn }
+     everything below a stream's minimum recLSN is on disk. Conservative
+     and simple: replay each page from its own stream's redo point. *)
+  let redo = scan in
+  List.iter
+    (fun (pid, rec_lsn) ->
+      let s = Logset.route_page logs pid in
+      redo.(s) <- Lsn.min redo.(s) rec_lsn)
+    (Bufpool.dirty_page_table pool);
+  { dmp_disk = Disk.image_copy (Bufpool.disk pool); dmp_redo = redo }
 
-let dump_redo_lsn d = d.dmp_redo_lsn
+let dump_redo_lsn ?(stream = 0) d =
+  if Array.length d.dmp_redo = 0 then Lsn.nil else d.dmp_redo.(stream)
 
 (* Bounded immediate retry for the direct disk I/O media recovery does
    itself (its page replays go through the buffer pool, which has its own
@@ -143,13 +177,19 @@ let retrying ~pid ~target f =
   go 0
 
 let recover_page ?archive mgr pool dump pid =
-  let wal = Txnmgr.log mgr in
+  let logs = Txnmgr.logs mgr in
+  (* all of the page's records live on its routed stream: the roll-forward
+     reads that stream's history only, from that stream's dump redo point *)
+  let s = Logset.route_page logs pid in
+  let wal = Logset.stream logs s in
+  let from = if Array.length dump.dmp_redo = 0 then Lsn.nil else dump.dmp_redo.(s) in
   let disk = Bufpool.disk pool in
   (* The repair window is delimited by the recovery itself (not only by the
      pool's quarantine-on-read): between these two events the page's redo
      history legitimately comes from the archive, so its recLSN may lie
      below the live log's start — the discipline checker suspends R6(b)
-     for exactly this window. *)
+     for exactly this window (and restarts the page's R8(b) gsn watermark,
+     since the replay legitimately begins at the page's oldest record). *)
   if Trace.enabled () then
     Trace.emit (Trace.Page_quarantined { pid; cause = "media-recover" });
   (* drop whatever damaged frame/image might linger *)
@@ -158,14 +198,14 @@ let recover_page ?archive mgr pool dump pid =
   | Some page -> retrying ~pid ~target:"page-write" (fun () -> Disk.write disk page)
   | None -> Disk.free disk pid);
   let applied = ref 0 in
-  (* Roll forward from the dump's redo point across the full log history:
-     if segments below the live log's start were reclaimed since the dump
-     was taken, the archive supplies them (the archive sink received every
-     dropped segment before it vanished). *)
+  (* Roll forward from the dump's redo point across the stream's full
+     history: if segments below the live log's start were reclaimed since
+     the dump was taken, the archive supplies them (the archive sink
+     received every dropped segment before it vanished). *)
   let iter_history f =
     match archive with
-    | Some arc -> Archive.iter_history arc wal ~from:dump.dmp_redo_lsn f
-    | None -> Logmgr.iter_from wal dump.dmp_redo_lsn f
+    | Some arc -> Archive.iter_history arc wal ~from f
+    | None -> Logmgr.iter_from wal from f
   in
   iter_history (fun r ->
       if r.Logrec.page = pid then begin
@@ -181,12 +221,16 @@ let recover_page ?archive mgr pool dump pid =
           let stale =
             match Bufpool.fix_opt pool pid with
             | Some p ->
-                let s = Lsn.( < ) p.Page.page_lsn r.Logrec.lsn in
+                let st = Lsn.( < ) p.Page.page_lsn r.Logrec.lsn in
                 Bufpool.unfix pool p;
-                s
+                st
             | None -> true  (* page does not exist yet: format record recreates *)
           in
           if stale then begin
+            if Trace.enabled () then
+              Trace.emit
+                (Trace.Redo_apply
+                   { log = Logmgr.id wal; pid; lsn = r.Logrec.lsn; gsn = r.Logrec.gsn });
             Txnmgr.rm_redo mgr r;
             incr applied
           end
@@ -205,7 +249,7 @@ let recover_page ?archive mgr pool dump pid =
    the page's format record recreates it from nothing.  Installed as the
    buffer pool's repairer hook by Db; also invoked directly by tests. *)
 let auto_repair ?archive mgr pool pid =
-  let empty_dump = { dmp_disk = Disk.create (); dmp_redo_lsn = Lsn.nil } in
+  let empty_dump = { dmp_disk = Disk.create (); dmp_redo = [||] } in
   let applied = recover_page ?archive mgr pool empty_dump pid in
   Stats.incr Stats.disk_repairs;
   applied

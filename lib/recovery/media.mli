@@ -22,25 +22,31 @@ module Archive : sig
 
   val attach : t -> Aries_wal.Logmgr.t -> unit
   (** Install this archive as the log's archive sink: every segment
-      reclaimed by [Logmgr.truncate_prefix] is appended here first. *)
+      reclaimed by [Logmgr.truncate_prefix] is appended here first, keyed
+      by the log's id (streams archive independently). *)
+
+  val attach_set : t -> Aries_wal.Logset.t -> unit
+  (** {!attach} every stream of the set. *)
 
   val segment_count : t -> int
+  (** Across all streams. *)
 
   val bytes : t -> int
 
   val record_count : t -> int
 
-  val end_offset : t -> int
-  (** One past the last archived byte (0 when empty) — equals the live
-      log's start offset when every truncation went through this sink. *)
+  val end_offset : ?log:int -> t -> int
+  (** One past the last archived byte of the given log (default 0 — the
+    control stream); 0 when empty. Equals that live log's start offset
+    when every truncation went through this sink. *)
 
-  val iter_records : t -> from:Lsn.t -> (Aries_wal.Logrec.t -> unit) -> unit
-  (** Decode archived records with LSN >= [from] in LSN order
+  val iter_records : t -> log:int -> from:Lsn.t -> (Aries_wal.Logrec.t -> unit) -> unit
+  (** Decode one log's archived records with LSN >= [from] in LSN order
       ([Lsn.nil] = all). *)
 
   val iter_history : t -> Aries_wal.Logmgr.t -> from:Lsn.t -> (Aries_wal.Logrec.t -> unit) -> unit
-  (** The full record history from [from]: archived segments (strictly
-      below the live start) followed by the live log. *)
+  (** One stream's full record history from [from]: its archived segments
+      (strictly below the live start) followed by the live log. *)
 
   val serialize : t -> bytes
 
@@ -51,9 +57,11 @@ type dump
 
 val take_dump : Aries_txn.Txnmgr.t -> Aries_buffer.Bufpool.t -> dump
 (** Fuzzy image copy of the whole store. Internally takes a checkpoint
-    first so the dump's redo point is well defined and recent. *)
+    first so the dump's per-stream redo points are well defined and
+    recent. *)
 
-val dump_redo_lsn : dump -> Lsn.t
+val dump_redo_lsn : ?stream:int -> dump -> Lsn.t
+(** The dump's redo point on the given stream (default 0). *)
 
 val recover_page :
   ?archive:Archive.t -> Aries_txn.Txnmgr.t -> Aries_buffer.Bufpool.t -> dump -> Ids.page_id -> int

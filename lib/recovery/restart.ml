@@ -2,6 +2,7 @@ open Aries_util
 module Lsn = Aries_wal.Lsn
 module Logrec = Aries_wal.Logrec
 module Logmgr = Aries_wal.Logmgr
+module Logset = Aries_wal.Logset
 module Lockmgr = Aries_lock.Lockmgr
 module Txnmgr = Aries_txn.Txnmgr
 module Lockcodec = Aries_txn.Lockcodec
@@ -24,23 +25,23 @@ type report = {
 
 type txn_track = {
   mutable tk_state : Txnmgr.state;
-  mutable tk_first : Lsn.t;  (** oldest LSN the txn wrote (bounds truncation) *)
-  mutable tk_last : Lsn.t;
-  mutable tk_undo_nxt : Lsn.t;
+  tk_firsts : Lsn.t array;  (** per stream, oldest LSN the txn wrote (bounds truncation) *)
+  tk_lasts : Lsn.t array;
+  tk_undo_nxts : Lsn.t array;
   mutable tk_prepare_body : bytes option;
-  mutable tk_ended : bool;  (** saw Commit or End: not a loser *)
+  mutable tk_ended : bool;  (** saw a *valid* Commit or End: not a loser *)
   mutable tk_locks : (Lockmgr.name * Lockmgr.mode) list;
       (** locks derived from the scanned records (instant restart only) *)
   mutable tk_ck_locks : bytes option;
       (** checkpointed lock list: covers updates before the scan window *)
 }
 
-let fresh_track () =
+let fresh_track nn =
   {
     tk_state = Txnmgr.Active;
-    tk_first = Lsn.nil;
-    tk_last = Lsn.nil;
-    tk_undo_nxt = Lsn.nil;
+    tk_firsts = Array.make nn Lsn.nil;
+    tk_lasts = Array.make nn Lsn.nil;
+    tk_undo_nxts = Array.make nn Lsn.nil;
     tk_prepare_body = None;
     tk_ended = false;
     tk_locks = [];
@@ -50,8 +51,11 @@ let fresh_track () =
 (* ---------- Analysis pass ---------- *)
 
 type analysis = {
-  an_start : Lsn.t;  (** where the scan began (the master record) *)
-  an_redo_lsn : Lsn.t;
+  an_start : Lsn.t array;
+      (** per stream, where the merged scan began (the anchoring
+          checkpoint's ck_scan; all-nil when there is no checkpoint) *)
+  an_redo : Lsn.t array;  (** per stream, where redo starts *)
+  an_redo_lsn : Lsn.t;  (** control-stream redo start (for the report) *)
   an_dpt : (Ids.page_id, Lsn.t) Hashtbl.t;
   an_txns : (Ids.txn_id, txn_track) Hashtbl.t;
   an_records : int;
@@ -78,8 +82,30 @@ let index_record ix (r : Logrec.t) =
     | Some l -> l := r.Logrec.lsn :: !l
     | None -> Hashtbl.replace ix r.Logrec.page (ref [ r.Logrec.lsn ])
 
-let analysis ?locks_of ?index wal =
-  let start = Logmgr.master wal in
+(* Scan every stream from the anchoring checkpoint's per-stream horizons,
+   merged in (epoch, gsn) order — the only pass that needs the cross-stream
+   merge (redo is per page, and a page's records live on one stream).
+
+   Cross-stream survivorship is where multi-stream analysis earns its keep:
+   a stream's survivors are always a hole-free prefix, but *between*
+   streams a shuffled crash can keep a Commit / End_txn / Prepare record
+   while dropping records it logically follows on other streams. Each of
+   those records therefore carries its fence-target vector, and analysis
+   believes it only if every named record actually survived
+   ({!Logset.targets_valid}); otherwise the transaction stays a loser. *)
+let analysis ?locks_of ?index logs =
+  let nn = Logset.n logs in
+  let vec v = if Array.length v = nn then Array.copy v else Array.make nn Lsn.nil in
+  let anchor = Checkpoint.last_complete (Logset.control logs) in
+  let starts =
+    match anchor with
+    | Some (_begin_lsn, _end_lsn, body) -> vec body.Checkpoint.ck_scan
+    | None -> Array.make nn Lsn.nil
+  in
+  (* the End_ckpt LSN of the checkpoint the master record anchors: only
+     {e that} checkpoint is known to have flushed every stream before
+     publishing, which is what makes its Committing entries durable *)
+  let anchor_end = match anchor with Some (_b, e, _) -> e | None -> Lsn.nil in
   let dpt : (Ids.page_id, Lsn.t) Hashtbl.t = Hashtbl.create 64 in
   let chains : (Ids.page_id, Lsn.t list) Hashtbl.t = Hashtbl.create 32 in
   let txns : (Ids.txn_id, txn_track) Hashtbl.t = Hashtbl.create 32 in
@@ -89,17 +115,18 @@ let analysis ?locks_of ?index wal =
     match Hashtbl.find_opt txns id with
     | Some tk -> tk
     | None ->
-        let tk = fresh_track () in
+        let tk = fresh_track nn in
         Hashtbl.replace txns id tk;
         tk
   in
-  Logmgr.iter_from wal start (fun r ->
+  Logset.iter_merged logs ~starts (fun r ->
       incr records;
       let lsn = r.Logrec.lsn in
+      let s = r.Logrec.stream in
       (if r.Logrec.txn <> Ids.nil_txn then begin
          let tk = track r.Logrec.txn in
-         if Lsn.is_nil tk.tk_first then tk.tk_first <- lsn;
-         tk.tk_last <- lsn;
+         if Lsn.is_nil tk.tk_firsts.(s) then tk.tk_firsts.(s) <- lsn;
+         tk.tk_lasts.(s) <- lsn;
          (* instant restart: derive the lock names this record's change is
             protected by, so a loser's locks can be reacquired before the
             Db reopens. Over-approximation is safe (a lock the loser did
@@ -111,14 +138,73 @@ let analysis ?locks_of ?index wal =
              | Logrec.Update | Logrec.Clr -> tk.tk_locks <- f r @ tk.tk_locks
              | _ -> ())
          | Some _ | None -> ());
+         (* jump-target clamp: mirror the live driver's rule that a fence
+            jump never rewinds a cursor upward — except that an analysis
+            cursor still [nil] may mean "unknown yet" (the txn's cursor
+            state predates the scan window), where the jump must land *)
+         let clamp cur l = if Lsn.is_nil cur then l else Lsn.min cur l in
          match r.Logrec.kind with
-         | Logrec.Update -> if r.Logrec.undoable then tk.tk_undo_nxt <- lsn
-         | Logrec.Clr -> tk.tk_undo_nxt <- r.Logrec.undo_nxt_lsn
+         | Logrec.Update -> if r.Logrec.undoable then tk.tk_undo_nxts.(s) <- lsn
+         | Logrec.Clr ->
+             if Txnmgr.nta_anchor r then begin
+               (* multi-stream NTA fence: honor the anchor's jump vector
+                  only if the whole bracket survived on every moved
+                  stream; otherwise leave the cursors where the scan put
+                  them — on the bracket's own records — so the surviving
+                  half of the SMO is physically rolled back *)
+               (match Txnmgr.decode_nta_body r.Logrec.body with
+               | jumps, fences ->
+                   if Logset.targets_valid logs r fences then
+                     (* clamped, like the live driver: never rewind a
+                        cursor that already advanced past the target *)
+                     List.iter
+                       (fun (js, jl) -> tk.tk_undo_nxts.(js) <- clamp tk.tk_undo_nxts.(js) jl)
+                       jumps
+               | exception _ -> ());
+               (* keep the anchor on the undo path (mirrors the live
+                  cursor state after nta_end): a later record's undo may
+                  re-expose a bracket record, and only the anchor's own
+                  reverse-gsn turn re-fences it *)
+               tk.tk_undo_nxts.(s) <- lsn
+             end
+             else begin
+               (* the cursor jump lands on the *compensated* record's
+                  stream, which a cross-stream logical undo makes distinct
+                  from the CLR's own; the CLR's own cursor then falls back
+                  to the CLR itself so that stream's walk stays sound
+                  (undo steps through non-undoable records harmlessly) *)
+               tk.tk_undo_nxts.(r.Logrec.undo_nxt_stream) <-
+                 clamp tk.tk_undo_nxts.(r.Logrec.undo_nxt_stream) r.Logrec.undo_nxt_lsn;
+               if r.Logrec.undo_nxt_stream <> s then tk.tk_undo_nxts.(s) <- lsn
+             end
          | Logrec.Prepare ->
-             tk.tk_state <- Txnmgr.Prepared;
-             tk.tk_prepare_body <- Some r.Logrec.body
+             (* believe the prepare only if its fence vector survived: an
+                in-doubt txn with updates lost on another stream must be
+                rolled back, not parked awaiting a coordinator that would
+                commit a hole *)
+             let valid =
+               try
+                 let targets, _ = Txnmgr.decode_prepare_body r.Logrec.body in
+                 Logset.targets_valid logs r targets
+               with _ -> false
+             in
+             if valid then begin
+               tk.tk_state <- Txnmgr.Prepared;
+               tk.tk_prepare_body <- Some r.Logrec.body
+             end
          | Logrec.Rollback -> tk.tk_state <- Txnmgr.Rolling_back
-         | Logrec.Commit | Logrec.End_txn -> tk.tk_ended <- true
+         | Logrec.Commit -> if Logset.commit_valid logs r then tk.tk_ended <- true
+         | Logrec.End_txn ->
+             (* across streams, "the End survived" does not imply "every
+                CLR before it survived" — validate the End's own vector;
+                an invalid End turns the rollback back into a loser (the
+                per-stream WAL rule makes re-undo sound: any page image
+                that reached disk has its own stream's records stable) *)
+             let valid =
+               try Logset.targets_valid logs r (Logset.decode_commit_targets r.Logrec.body)
+               with _ -> false
+             in
+             if valid then tk.tk_ended <- true
          | Logrec.Begin_ckpt | Logrec.End_ckpt -> ()
        end);
       (match r.Logrec.kind with
@@ -131,32 +217,47 @@ let analysis ?locks_of ?index wal =
             (fun (ct : Checkpoint.ck_txn) ->
               match Hashtbl.find_opt txns ct.Checkpoint.ct_id with
               | None ->
-                  let tk = fresh_track () in
+                  let tk = fresh_track nn in
                   tk.tk_state <- ct.Checkpoint.ct_state;
-                  tk.tk_first <- ct.Checkpoint.ct_first;
-                  tk.tk_last <- ct.Checkpoint.ct_last;
-                  tk.tk_undo_nxt <- ct.Checkpoint.ct_undo_nxt;
+                  Array.blit (vec ct.Checkpoint.ct_firsts) 0 tk.tk_firsts 0 nn;
+                  Array.blit (vec ct.Checkpoint.ct_lasts) 0 tk.tk_lasts 0 nn;
+                  Array.blit (vec ct.Checkpoint.ct_undo_nxts) 0 tk.tk_undo_nxts 0 nn;
                   tk.tk_ck_locks <- Some ct.Checkpoint.ct_locks;
                   (* a checkpointed Committing txn had appended its Commit
-                     record before End_ckpt was written; that record is
-                     stable whenever this checkpoint anchors restart, so
-                     the txn is committed even though the scan (starting
-                     at the master) never saw the Commit record itself *)
-                  if ct.Checkpoint.ct_state = Txnmgr.Committing then tk.tk_ended <- true;
+                     record before End_ckpt was written; Checkpoint.take
+                     forces every stream before publishing the master, so
+                     when *the anchoring* checkpoint says Committing the
+                     Commit and its whole fence vector are stable —
+                     committed, even though the scan never saw the Commit
+                     record. A later End_ckpt that survived without its
+                     master (crash mid-take, between the control stream's
+                     flush and the others') carries no such guarantee: its
+                     Committing txns count only if the scan finds their
+                     Commit record and validates its fence. *)
+                  if
+                    ct.Checkpoint.ct_state = Txnmgr.Committing
+                    && Lsn.compare lsn anchor_end = 0
+                  then tk.tk_ended <- true;
                   Hashtbl.replace txns ct.Checkpoint.ct_id tk
               | Some tk ->
                   (* scan-derived knowledge wins for everything except the
-                     first LSN: the checkpoint can know about records from
+                     first LSNs: the checkpoint can know about records from
                      before the analysis window *)
-                  if
-                    (not (Lsn.is_nil ct.Checkpoint.ct_first))
-                    && (Lsn.is_nil tk.tk_first || Lsn.( < ) ct.Checkpoint.ct_first tk.tk_first)
-                  then tk.tk_first <- ct.Checkpoint.ct_first;
+                  Array.iteri
+                    (fun i f ->
+                      if
+                        (not (Lsn.is_nil f))
+                        && (Lsn.is_nil tk.tk_firsts.(i) || Lsn.( < ) f tk.tk_firsts.(i))
+                      then tk.tk_firsts.(i) <- f)
+                    (vec ct.Checkpoint.ct_firsts);
                   (* the checkpointed lock list covers updates from before
                      the scan window; the latest checkpoint's is the most
                      complete *)
                   tk.tk_ck_locks <- Some ct.Checkpoint.ct_locks;
-                  if ct.Checkpoint.ct_state = Txnmgr.Committing then tk.tk_ended <- true)
+                  if
+                    ct.Checkpoint.ct_state = Txnmgr.Committing
+                    && Lsn.compare lsn anchor_end = 0
+                  then tk.tk_ended <- true)
             body.Checkpoint.ck_txns;
           List.iter
             (fun (pid, rec_lsn) ->
@@ -181,49 +282,68 @@ let analysis ?locks_of ?index wal =
           (match index with Some ix -> index_record ix r | None -> ())
       | Logrec.Commit | Logrec.Prepare | Logrec.Rollback | Logrec.End_txn | Logrec.Begin_ckpt ->
           ()));
-  let redo_lsn =
-    Hashtbl.fold (fun _ rec_lsn acc -> Lsn.min rec_lsn acc) dpt (Logmgr.end_offset wal)
-  in
-  { an_start = start; an_redo_lsn = redo_lsn; an_dpt = dpt; an_txns = txns;
+  (* per-stream redo starts: a page's recLSN is an offset on its own
+     stream, so only per-stream minima are meaningful *)
+  let an_redo = Array.init nn (fun i -> Logmgr.end_offset (Logset.stream logs i)) in
+  Hashtbl.iter
+    (fun pid rec_lsn ->
+      let s = Logset.route_page logs pid in
+      an_redo.(s) <- Lsn.min an_redo.(s) rec_lsn)
+    dpt;
+  { an_start = starts; an_redo; an_redo_lsn = an_redo.(0); an_dpt = dpt; an_txns = txns;
     an_records = !records; an_next_txn = !next_txn; an_chains = chains }
 
 (* ---------- Redo pass: repeat history, page-oriented ---------- *)
 
+(* Each stream is replayed sequentially from its own redo start. No
+   cross-stream merge is needed: redo is per page, all of a page's records
+   live on one stream, and within a stream LSN order equals (epoch, gsn)
+   order — which is exactly what rule R8(b) checks via the Redo_apply
+   events emitted here. *)
 let redo mgr pool an =
-  let wal = Txnmgr.log mgr in
+  let logs = Txnmgr.logs mgr in
   let scanned = ref 0 and applied = ref 0 and skipped = ref 0 in
-  Logmgr.iter_from wal an.an_redo_lsn (fun r ->
-      incr scanned;
-      let page = r.Logrec.page in
-      if redoable_record r && page <> Ids.nil_page then begin
-        Disk.note_pid (Bufpool.disk pool) page;
-        match Hashtbl.find_opt an.an_dpt page with
-        | Some rec_lsn when Lsn.( >= ) r.Logrec.lsn rec_lsn -> begin
-            Stats.incr Stats.redo_pages_examined;
-            match Bufpool.fix_opt pool page with
-            | Some p ->
-                if Lsn.( < ) p.Aries_page.Page.page_lsn r.Logrec.lsn then begin
+  Logset.iteri logs (fun s wal ->
+      Logmgr.iter_from wal an.an_redo.(s) (fun r ->
+          incr scanned;
+          let page = r.Logrec.page in
+          if redoable_record r && page <> Ids.nil_page then begin
+            Disk.note_pid (Bufpool.disk pool) page;
+            match Hashtbl.find_opt an.an_dpt page with
+            | Some rec_lsn when Lsn.( >= ) r.Logrec.lsn rec_lsn -> begin
+                Stats.incr Stats.redo_pages_examined;
+                let apply () =
+                  if Trace.enabled () then
+                    Trace.emit
+                      (Trace.Redo_apply
+                         { log = Logmgr.id wal; pid = page; lsn = r.Logrec.lsn; gsn = r.Logrec.gsn });
                   Txnmgr.rm_redo mgr r;
                   Stats.incr Stats.redos_applied;
                   incr applied
-                end
-                else incr skipped;
-                Bufpool.unfix pool p
-            | None ->
-                (* page never reached disk: the record must recreate it
-                   (format-type opcodes do; the RM asserts) *)
-                Txnmgr.rm_redo mgr r;
-                Stats.incr Stats.redos_applied;
-                incr applied
-          end
-        | Some _ | None -> incr skipped
-      end);
+                in
+                match Bufpool.fix_opt pool page with
+                | Some p ->
+                    if Lsn.( < ) p.Aries_page.Page.page_lsn r.Logrec.lsn then apply ()
+                    else incr skipped;
+                    Bufpool.unfix pool p
+                | None ->
+                    (* page never reached disk: the record must recreate it
+                       (format-type opcodes do; the RM asserts) *)
+                    apply ()
+              end
+            | Some _ | None -> incr skipped
+          end));
   (!scanned, !applied, !skipped)
 
 (* ---------- Undo pass: single reverse sweep over all losers ---------- *)
 
+(* The sweep is globally reverse-gsn: at each step, compensate the owed
+   record with the highest gsn across every loser and every stream
+   ({!Txnmgr.undo_candidate} merges each loser's per-stream cursors; the
+   outer fold merges across losers). gsn is the original append order, so
+   this reproduces the classic single-log reverse-LSN sweep exactly —
+   including its physical-SMO soundness argument. *)
 let undo mgr an =
-  let wal = Txnmgr.log mgr in
   let processed = ref 0 in
   (* restore losers into the live transaction table *)
   let losers = ref [] in
@@ -231,40 +351,46 @@ let undo mgr an =
     (fun id tk ->
       if (not tk.tk_ended) && tk.tk_state <> Txnmgr.Prepared then begin
         let txn =
-          Txnmgr.restore_txn mgr ~first_lsn:tk.tk_first ~id ~state:Txnmgr.Rolling_back
-            ~last_lsn:tk.tk_last ~undo_nxt:tk.tk_undo_nxt ()
+          Txnmgr.restore_txn mgr ~firsts:tk.tk_firsts ~id ~state:Txnmgr.Rolling_back
+            ~lasts:tk.tk_lasts ~undo_nxts:tk.tk_undo_nxts ()
         in
         Lockmgr.set_no_victim (Txnmgr.locks mgr) id;
         losers := txn :: !losers
       end)
     an.an_txns;
   let losers_sorted = List.sort (fun a b -> compare a.Txnmgr.txn_id b.Txnmgr.txn_id) !losers in
-  let live = ref (List.filter (fun t -> not (Lsn.is_nil t.Txnmgr.undo_nxt)) losers_sorted) in
   (* losers with nothing to undo still need an End record *)
+  let live = ref [] in
   List.iter
-    (fun t -> if Lsn.is_nil t.Txnmgr.undo_nxt then Txnmgr.finish mgr t)
+    (fun t ->
+      match Txnmgr.undo_candidate mgr t with
+      | None -> Txnmgr.finish mgr t
+      | Some _ -> live := t :: !live)
     losers_sorted;
-  while !live <> [] do
-    let victim =
-      List.fold_left
-        (fun best t -> if Lsn.( < ) best.Txnmgr.undo_nxt t.Txnmgr.undo_nxt then t else best)
-        (List.hd !live) (List.tl !live)
-    in
-    let r = Logmgr.read wal victim.Txnmgr.undo_nxt in
-    incr processed;
-    (match r.Logrec.kind with
-    | Logrec.Update ->
-        if r.Logrec.undoable then Txnmgr.rm_undo mgr victim r
-        else victim.Txnmgr.undo_nxt <- r.Logrec.prev_lsn
-    | Logrec.Clr -> victim.Txnmgr.undo_nxt <- r.Logrec.undo_nxt_lsn
-    | Logrec.Commit | Logrec.Prepare | Logrec.Rollback | Logrec.End_txn | Logrec.Begin_ckpt
-    | Logrec.End_ckpt ->
-        victim.Txnmgr.undo_nxt <- r.Logrec.prev_lsn);
-    if Lsn.is_nil victim.Txnmgr.undo_nxt then begin
-      Txnmgr.finish mgr victim;
-      live := List.filter (fun t -> t != victim) !live
-    end
-  done;
+  let rec loop () =
+    let best = ref None in
+    List.iter
+      (fun t ->
+        match Txnmgr.undo_candidate mgr t with
+        | Some ((_, r) as c) -> (
+            match !best with
+            | Some (_, (_, (rb : Logrec.t))) when rb.Logrec.gsn >= r.Logrec.gsn -> ()
+            | Some _ | None -> best := Some (t, c))
+        | None -> ())
+      !live;
+    match !best with
+    | None -> ()
+    | Some (victim, c) ->
+        incr processed;
+        Txnmgr.undo_one mgr victim c;
+        (match Txnmgr.undo_candidate mgr victim with
+        | None ->
+            Txnmgr.finish mgr victim;
+            live := List.filter (fun t -> t != victim) !live
+        | Some _ -> ());
+        loop ()
+  in
+  loop ();
   (!processed, List.map (fun t -> t.Txnmgr.txn_id) losers_sorted)
 
 (* ---------- In-doubt transactions: reacquire locks ---------- *)
@@ -277,16 +403,18 @@ let reacquire_indoubt mgr an =
     (fun id tk ->
       if (not tk.tk_ended) && tk.tk_state = Txnmgr.Prepared then begin
         ignore
-          (Txnmgr.restore_txn mgr ~first_lsn:tk.tk_first ~id ~state:Txnmgr.Prepared
-             ~last_lsn:tk.tk_last ~undo_nxt:tk.tk_undo_nxt ());
+          (Txnmgr.restore_txn mgr ~firsts:tk.tk_firsts ~id ~state:Txnmgr.Prepared
+             ~lasts:tk.tk_lasts ~undo_nxts:tk.tk_undo_nxts ());
         indoubt := id :: !indoubt;
         (* if the txn prepared before the analysis window, fetch the
-           Prepare record through the prev-LSN chain *)
+           Prepare record through the prev-LSN chain of its control stream
+           (pageless records route by txn id, so the Prepare is there) *)
         let body =
           match tk.tk_prepare_body with
           | Some b -> Some b
           | None ->
-              let wal = Txnmgr.log mgr in
+              let cs = Txnmgr.txn_stream mgr id in
+              let wal = Logset.stream (Txnmgr.logs mgr) cs in
               let rec walk lsn =
                 if Lsn.is_nil lsn then None
                 else
@@ -297,11 +425,12 @@ let reacquire_indoubt mgr an =
                   | Logrec.End_txn | Logrec.Begin_ckpt | Logrec.End_ckpt ->
                       walk r.Logrec.prev_lsn
               in
-              walk tk.tk_last
+              walk tk.tk_lasts.(cs)
         in
         match body with
         | None -> ()
         | Some body ->
+            let _, locks_blob = Txnmgr.decode_prepare_body body in
             List.iter
               (fun (name, mode) ->
                 match Lockmgr.lock locks ~txn:id name mode Lockmgr.Commit with
@@ -309,7 +438,7 @@ let reacquire_indoubt mgr an =
                 | Lockmgr.Denied | Lockmgr.Deadlock ->
                     (* restart is single-threaded: always grantable *)
                     assert false)
-              (Lockcodec.decode_list body)
+              (Lockcodec.decode_list locks_blob)
       end)
     an.an_txns;
   (!count, List.sort compare !indoubt)
@@ -353,13 +482,13 @@ type engine = {
   en_records_analyzed : int;
   en_pending : (Ids.page_id, Lsn.t) Hashtbl.t;  (* the needs-redo set *)
   en_history : (Ids.page_id, Lsn.t list) Hashtbl.t;
-      (* each pending page's redoable record LSNs, oldest first: the
-         checkpoint-carried chain (records predating the analysis window)
-         merged with the window's own per-page index, so per-page redo
-         reads exactly its records instead of scanning the log. Entries
-         are dropped as pages are replayed; a page absent here (recLSN
-         below the window with no checkpointed chain) falls back to a log
-         scan. *)
+      (* each pending page's redoable record LSNs on its own stream,
+         oldest first: the checkpoint-carried chain (records predating the
+         analysis window) merged with the window's own per-page index, so
+         per-page redo reads exactly its records instead of scanning the
+         log. Entries are dropped as pages are replayed; a page absent
+         here (recLSN below the window with no checkpointed chain) falls
+         back to a scan of its stream. *)
   en_redoing : (Ids.page_id, Sched.fiber_id) Hashtbl.t;  (* replay in flight *)
   en_losers : (Ids.txn_id, Txnmgr.txn) Hashtbl.t;  (* undo still owed *)
   en_undoing : (Ids.txn_id, Sched.fiber_id) Hashtbl.t;  (* undo in flight *)
@@ -378,23 +507,24 @@ type engine = {
 
 let current_fiber () = if Sched.in_fiber () then Sched.current () else -1
 
-(* The page's redoable history from its recLSN on. The common path is the
-   prebuilt [en_history] index; the fallback rescans archived segments
-   first (the live log's prefix may have been reclaimed), then the live
-   log. Either way the records are materialized as a list before applying
-   — a redo application may yield (transient-I/O backoff), and the log
-   must not be iterated across a yield that can append to it. *)
+(* The page's redoable history from its recLSN on — read from the page's
+   own stream (all its records live there). The common path is the
+   prebuilt [en_history] index; the fallback rescans that stream's
+   archived segments first (the live prefix may have been reclaimed),
+   then its live log. Either way the records are materialized as a list
+   before applying — a redo application may yield (transient-I/O backoff),
+   and the log must not be iterated across a yield that can append to
+   it. *)
 let page_history en ~from pid =
+  let wal = Logset.page_stream (Txnmgr.logs en.en_mgr) pid in
   match Hashtbl.find_opt en.en_history pid with
   | Some lsns ->
-      let wal = Txnmgr.log en.en_mgr in
-      (* direct reads: everything a pending page owes sits above the
-         reclamation safety point (which floors at the last checkpoint's
-         redo point), so the live log still holds it *)
+      (* direct reads: everything a pending page owes sits above its
+         stream's reclamation safety point (which floors at the last
+         checkpoint's redo point), so the live log still holds it *)
       List.map (Logmgr.read wal) lsns
   | None ->
       let acc = ref [] in
-      let wal = Txnmgr.log en.en_mgr in
       let note (r : Logrec.t) = if r.Logrec.page = pid && redoable_record r then acc := r :: !acc in
       (match en.en_archive with
       | Some a -> Media.Archive.iter_history a wal ~from note
@@ -406,21 +536,29 @@ let redo_record en (r : Logrec.t) =
   let page = r.Logrec.page in
   Disk.note_pid (Bufpool.disk en.en_pool) page;
   Stats.incr Stats.redo_pages_examined;
+  let apply () =
+    if Trace.enabled () then
+      Trace.emit
+        (Trace.Redo_apply
+           {
+             log = Logmgr.id (Logset.page_stream (Txnmgr.logs en.en_mgr) page);
+             pid = page;
+             lsn = r.Logrec.lsn;
+             gsn = r.Logrec.gsn;
+           });
+    Txnmgr.rm_redo en.en_mgr r;
+    Stats.incr Stats.redos_applied;
+    en.en_redos_applied <- en.en_redos_applied + 1
+  in
   match Bufpool.fix_opt en.en_pool page with
   | Some p ->
-      if Lsn.( < ) p.Aries_page.Page.page_lsn r.Logrec.lsn then begin
-        Txnmgr.rm_redo en.en_mgr r;
-        Stats.incr Stats.redos_applied;
-        en.en_redos_applied <- en.en_redos_applied + 1
-      end
+      if Lsn.( < ) p.Aries_page.Page.page_lsn r.Logrec.lsn then apply ()
       else en.en_redos_skipped <- en.en_redos_skipped + 1;
       Bufpool.unfix en.en_pool p
   | None ->
       (* page never reached disk: the record must recreate it
          (format-type opcodes do; the RM asserts) *)
-      Txnmgr.rm_redo en.en_mgr r;
-      Stats.incr Stats.redos_applied;
-      en.en_redos_applied <- en.en_redos_applied + 1
+      apply ()
 
 let redo_page ?(on_demand = false) en pid =
   match Hashtbl.find_opt en.en_pending pid with
@@ -470,18 +608,15 @@ let on_fix en pid =
         done
     | Some _ | None -> ()
 
+(* one sweep step for a single loser: compensate its max-gsn owed record
+   (the per-stream cursors are merged inside Txnmgr.undo_candidate) *)
 let undo_step en (txn : Txnmgr.txn) =
-  let wal = Txnmgr.log en.en_mgr in
-  let r = Logmgr.read wal txn.Txnmgr.undo_nxt in
-  en.en_undo_records <- en.en_undo_records + 1;
-  match r.Logrec.kind with
-  | Logrec.Update ->
-      if r.Logrec.undoable then Txnmgr.rm_undo en.en_mgr txn r
-      else txn.Txnmgr.undo_nxt <- r.Logrec.prev_lsn
-  | Logrec.Clr -> txn.Txnmgr.undo_nxt <- r.Logrec.undo_nxt_lsn
-  | Logrec.Commit | Logrec.Prepare | Logrec.Rollback | Logrec.End_txn | Logrec.Begin_ckpt
-  | Logrec.End_ckpt ->
-      txn.Txnmgr.undo_nxt <- r.Logrec.prev_lsn
+  match Txnmgr.undo_candidate en.en_mgr txn with
+  | None -> false
+  | Some c ->
+      en.en_undo_records <- en.en_undo_records + 1;
+      Txnmgr.undo_one en.en_mgr txn c;
+      true
 
 let finish_loser en (txn : Txnmgr.txn) =
   (* emitted before the locks are released: a waiter woken by the release
@@ -507,23 +642,23 @@ let undo_loser ?(preempted = false) en id =
         (fun () ->
           if preempted then Stats.incr Stats.instant_preemptions;
           if Trace.enabled () then Trace.emit (Trace.Restart_undo_txn { txn = id; preempted });
-          while not (Lsn.is_nil txn.Txnmgr.undo_nxt) do
-            undo_step en txn
+          while undo_step en txn do
+            ()
           done;
           finish_loser en txn)
 
 (* Eager undo is one interleaved backward sweep over every unfenced
-   loser — always compensate the globally highest owed LSN next, exactly
-   like the classic undo pass. Per-transaction order is not enough: a
-   loser cut inside an SMO is rolled back {e physically}, and a sweep
-   that fully undoes some other loser first can logically remove a key
-   from the page the SMO moved it to, only for the later physical
-   rollback of the half-open split to restore the pre-move source page —
-   key included — resurrecting the undone insert. Reverse-LSN order
-   undoes the structure change before any record that predates it.
-   Deferred (lock-fenced, purely logical) undo is immune: it runs after
-   this sweep has restored structural consistency, and logical undos
-   under locks commute. *)
+   loser — always compensate the globally highest owed record next (by
+   gsn, the original append order), exactly like the classic undo pass.
+   Per-transaction order is not enough: a loser cut inside an SMO is
+   rolled back {e physically}, and a sweep that fully undoes some other
+   loser first can logically remove a key from the page the SMO moved it
+   to, only for the later physical rollback of the half-open split to
+   restore the pre-move source page — key included — resurrecting the
+   undone insert. Reverse-gsn order undoes the structure change before any
+   record that predates it. Deferred (lock-fenced, purely logical) undo is
+   immune: it runs after this sweep has restored structural consistency,
+   and logical undos under locks commute. *)
 let undo_eager en txns =
   List.iter
     (fun (txn : Txnmgr.txn) ->
@@ -540,18 +675,19 @@ let undo_eager en txns =
       let next () =
         List.fold_left
           (fun best (txn : Txnmgr.txn) ->
-            if Lsn.is_nil txn.Txnmgr.undo_nxt then best
-            else
-              match best with
-              | Some (b : Txnmgr.txn) when Lsn.( >= ) b.Txnmgr.undo_nxt txn.Txnmgr.undo_nxt
-                -> best
-              | _ -> Some txn)
+            match Txnmgr.undo_candidate en.en_mgr txn with
+            | None -> best
+            | Some ((_, r) as c) -> (
+                match best with
+                | Some (_, (_, (rb : Logrec.t))) when rb.Logrec.gsn >= r.Logrec.gsn -> best
+                | Some _ | None -> Some (txn, c)))
           None txns
       in
       let rec loop () =
         match next () with
-        | Some txn ->
-            undo_step en txn;
+        | Some (txn, c) ->
+            en.en_undo_records <- en.en_undo_records + 1;
+            Txnmgr.undo_one en.en_mgr txn c;
             loop ()
         | None -> ()
       in
@@ -579,42 +715,69 @@ let on_lock en name =
   loop ()
 
 (* May this loser's undo be deferred until the drain daemon (or a lock
-   conflict) gets to it? Only if {e every} record it still owes is fenced
-   by a lock this engine actually reacquired — otherwise a new transaction
-   could observe the loser's uncommitted change (a deleted key's real
-   protection, for instance, is the commit-duration X on the {e next} key,
-   which no Delete_key record body can name). The walk follows the undo
-   chain exactly as lazy undo will: prev-LSN links, with CLR undoNxtLSN
-   jumps skipping completed nested top actions (their structure records
-   are never owed, so they never force eagerness). The walk runs the
-   {e whole} chain, including records older than the analysis scan start:
-   the checkpoint lock list restores a loser's runtime {e locks}, but a
-   half-open SMO's structure updates were protected by latches, which die
-   with the crash — no lock in any blob fences them, so a loser cut
-   mid-SMO must be compensated eagerly no matter where its records fall
-   (its record reads stay cheap: log reclamation never truncates past an
-   active transaction's first LSN). *)
+   conflict) gets to it? Only if {e every} record it still owes — on every
+   stream — is fenced by a lock this engine actually reacquired: otherwise
+   a new transaction could observe the loser's uncommitted change (a
+   deleted key's real protection, for instance, is the commit-duration X
+   on the {e next} key, which no Delete_key record body can name). Each
+   stream's walk follows the undo chain exactly as lazy undo will:
+   prev-LSN links, with CLR undoNxtLSN jumps skipping completed nested top
+   actions (their structure records are never owed, so they never force
+   eagerness). The walks run the {e whole} chains, including records older
+   than the analysis scan start: the checkpoint lock list restores a
+   loser's runtime {e locks}, but a half-open SMO's structure updates were
+   protected by latches, which die with the crash — no lock in any blob
+   fences them, so a loser cut mid-SMO must be compensated eagerly no
+   matter where its records fall (its record reads stay cheap: log
+   reclamation never truncates past an active transaction's first LSN on
+   any stream). *)
 let undo_deferrable en (txn : Txnmgr.txn) =
-  let wal = Txnmgr.log en.en_mgr in
+  let logs = Txnmgr.logs en.en_mgr in
   let locks = Txnmgr.locks en.en_mgr in
   let holds name =
     List.exists (fun (id, _) -> id = txn.Txnmgr.txn_id) (Lockmgr.holders locks name)
   in
-  let rec check lsn =
-    Lsn.is_nil lsn
-    ||
-    let r = Logmgr.read wal lsn in
-    match r.Logrec.kind with
-    | Logrec.Update when r.Logrec.undoable ->
-        r.Logrec.rm_id <> 0
-        && (match Txnmgr.rm_locks en.en_mgr r with
-           | [] -> false
-           | names -> List.for_all (fun (name, _) -> holds name) names)
-        && check r.Logrec.prev_lsn
-    | Logrec.Clr -> check r.Logrec.undo_nxt_lsn
-    | _ -> check r.Logrec.prev_lsn
+  let check_stream s cursor =
+    let wal = Logset.stream logs s in
+    let rec check lsn =
+      Lsn.is_nil lsn
+      ||
+      let r = Logmgr.read wal lsn in
+      match r.Logrec.kind with
+      | Logrec.Update when r.Logrec.undoable ->
+          r.Logrec.rm_id <> 0
+          && (match Txnmgr.rm_locks en.en_mgr r with
+             | [] -> false
+             | names -> List.for_all (fun (name, _) -> holds name) names)
+          && check r.Logrec.prev_lsn
+      | Logrec.Clr ->
+          if Txnmgr.nta_anchor r then
+            (* a valid anchor fences this stream's bracket records only if
+               its jump vector names this stream. The *other* moved
+               streams' walks never meet the anchor (it lives on the
+               control stream alone), so they see the bracket's structure
+               records as unfenced and force eagerness — conservative but
+               safe: eager undo still honors the anchor's fence when it
+               reaches it in reverse-gsn order. *)
+            match
+              let jumps, fences = Txnmgr.decode_nta_body r.Logrec.body in
+              if Logset.targets_valid logs r fences then List.assoc_opt s jumps else None
+            with
+            | Some jump -> check jump
+            | None | (exception _) -> check r.Logrec.prev_lsn
+          else if r.Logrec.undo_nxt_stream = s then check r.Logrec.undo_nxt_lsn
+          else
+            (* a cross-stream logical CLR's jump belongs to the compensated
+               record's stream — here just step to the previous record (the
+               compensated record is walked by its own stream's check) *)
+            check r.Logrec.prev_lsn
+      | _ -> check r.Logrec.prev_lsn
+    in
+    check cursor
   in
-  check txn.Txnmgr.undo_nxt
+  let ok = ref true in
+  Array.iteri (fun s cursor -> if not (check_stream s cursor) then ok := false) txn.Txnmgr.undo_nxts;
+  !ok
 
 let complete en =
   Hashtbl.length en.en_pending = 0
@@ -654,19 +817,20 @@ let report en =
   }
 
 let start ?archive mgr pool =
-  let wal = Txnmgr.log mgr in
+  let logs = Txnmgr.logs mgr in
   trace_phase "analysis";
   let index : (Ids.page_id, Lsn.t list ref) Hashtbl.t = Hashtbl.create 64 in
-  let an = analysis ~locks_of:(fun r -> Txnmgr.rm_locks mgr r) ~index wal in
+  let an = analysis ~locks_of:(fun r -> Txnmgr.rm_locks mgr r) ~index logs in
   (* Each pending page's history: the checkpoint-carried chain (records
      that predate the analysis window) merged with the window's own
      per-page index. The two can overlap — the chain runs to its
-     checkpoint's snapshot, the window starts at the Begin_ckpt — so the
-     merge deduplicates; a stale chain (page cleaned after the checkpoint,
-     then re-dirtied) can only add records the page-LSN test skips. A
-     recLSN below the window with no checkpointed chain means the history
-     is not fully known here: no entry, and [page_history] falls back to a
-     log scan for that page. *)
+     checkpoint's snapshot, the window starts at the page's stream's
+     ck_scan horizon — so the merge deduplicates; a stale chain (page
+     cleaned after the checkpoint, then re-dirtied) can only add records
+     the page-LSN test skips. A recLSN below the window with no
+     checkpointed chain means the history is not fully known here: no
+     entry, and [page_history] falls back to a scan of the page's
+     stream. *)
   let history : (Ids.page_id, Lsn.t list) Hashtbl.t =
     Hashtbl.create (Hashtbl.length an.an_dpt)
   in
@@ -676,7 +840,7 @@ let start ?archive mgr pool =
       let window =
         match Hashtbl.find_opt index pid with Some l -> List.rev !l | None -> []
       in
-      if chain <> [] || Lsn.( >= ) rec_lsn an.an_start then
+      if chain <> [] || Lsn.( >= ) rec_lsn an.an_start.(Logset.route_page logs pid) then
         Hashtbl.replace history pid
           (List.sort_uniq Lsn.compare (chain @ window)
           |> List.filter (fun lsn -> Lsn.( >= ) lsn rec_lsn)))
@@ -743,8 +907,8 @@ let start ?archive mgr pool =
     (fun id tk ->
       if (not tk.tk_ended) && tk.tk_state <> Txnmgr.Prepared then begin
         let txn =
-          Txnmgr.restore_txn mgr ~first_lsn:tk.tk_first ~id ~state:Txnmgr.Rolling_back
-            ~last_lsn:tk.tk_last ~undo_nxt:tk.tk_undo_nxt ()
+          Txnmgr.restore_txn mgr ~firsts:tk.tk_firsts ~id ~state:Txnmgr.Rolling_back
+            ~lasts:tk.tk_lasts ~undo_nxts:tk.tk_undo_nxts ()
         in
         Lockmgr.set_no_victim locks id;
         if Trace.enabled () then Trace.emit (Trace.Restart_loser { txn = id });
@@ -787,14 +951,14 @@ let start ?archive mgr pool =
      now; every owed record fenced by a reacquired lock -> leave it for
      lazy, lock-driven undo; anything unfenced -> collect it for the
      eager sweep, which (like the classic undo pass) interleaves all
-     such losers in global reverse-LSN order before the Db opens *)
+     such losers in global reverse-gsn order before the Db opens *)
   let eager = ref [] in
   List.iter
     (fun id ->
       match Hashtbl.find_opt en.en_losers id with
       | None -> ()
       | Some txn ->
-          if Lsn.is_nil txn.Txnmgr.undo_nxt then finish_loser en txn
+          if Array.for_all Lsn.is_nil txn.Txnmgr.undo_nxts then finish_loser en txn
           else if not (undo_deferrable en txn) then eager := txn :: !eager)
     en.en_losers_all;
   if !eager <> [] then undo_eager en (List.rev !eager);
@@ -861,9 +1025,9 @@ let run_daemon ?(cfg = default_drain) en ~stop =
   done
 
 let run mgr pool =
-  let wal = Txnmgr.log mgr in
+  let logs = Txnmgr.logs mgr in
   trace_phase "analysis";
-  let an = analysis wal in
+  let an = analysis logs in
   (* keep txn ids monotonic across the crash — including ids of
      transactions that ended before the scan window, known only through
      the checkpointed high-water mark *)

@@ -28,11 +28,18 @@ let op_to_string = function
 
 (* The full history — archived segments plus the live log — so the oracle
    stays exact when the checkpoint daemon truncated the live prefix
-   mid-run: a Commit record in a reclaimed segment still counts. *)
+   mid-run: a Commit record in a reclaimed segment still counts. Across
+   multiple WAL streams a surviving Commit record is only half the story:
+   a shuffled crash can keep the commit while dropping the transaction's
+   records on other streams, so the oracle applies exactly the validity
+   test recovery does — every record named in the commit's fence-target
+   vector must itself have survived. *)
 let committed_txns db =
   let set = Hashtbl.create 64 in
+  let logs = db.Aries_db.Db.logs in
   Aries_db.Db.iter_log_history db ~from:Lsn.nil (fun r ->
-      if r.Logrec.kind = Logrec.Commit then Hashtbl.replace set r.Logrec.txn ());
+      if r.Logrec.kind = Logrec.Commit && Aries_wal.Logset.commit_valid logs r then
+        Hashtbl.replace set r.Logrec.txn ());
   set
 
 let diff_lines expected actual =

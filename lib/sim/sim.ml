@@ -61,7 +61,8 @@ let run_one ?crash_at (cfg : Workload.cfg) ~seed =
   let db =
     Db.create ~page_size:cfg.Workload.page_size ~pool_capacity:cfg.Workload.pool_capacity
       ~commit_mode:cfg.Workload.commit_mode ?cleaner:cfg.Workload.cleaner
-      ?checkpoint:cfg.Workload.checkpoint ~segment_size:cfg.Workload.segment_size ()
+      ?checkpoint:cfg.Workload.checkpoint ~segment_size:cfg.Workload.segment_size
+      ~streams:cfg.Workload.streams ()
   in
   (* The setup phase runs with the checker live too: a protocol violation
      (e.g. under an injected fault) raises out of [Db.run_exn] here and
@@ -187,7 +188,8 @@ let run_one_instant ?crash_at2 (cfg : Workload.cfg) ~seed ~crash_at =
   let db =
     Db.create ~page_size:cfg.Workload.page_size ~pool_capacity:cfg.Workload.pool_capacity
       ~commit_mode:cfg.Workload.commit_mode ?cleaner:cfg.Workload.cleaner
-      ?checkpoint:cfg.Workload.checkpoint ~segment_size:cfg.Workload.segment_size ()
+      ?checkpoint:cfg.Workload.checkpoint ~segment_size:cfg.Workload.segment_size
+      ~streams:cfg.Workload.streams ()
   in
   match
     match

@@ -19,6 +19,7 @@ type cfg = {
   cleaner : Aries_buffer.Cleaner.cfg option;
   checkpoint : Aries_recovery.Ckptd.cfg option;
   segment_size : int;
+  streams : int;
   faults : Faultdisk.cfg option;
 }
 
@@ -42,6 +43,7 @@ let default_cfg =
        point during a short workload *)
     checkpoint = Some { Aries_recovery.Ckptd.every_steps = 24; nudge_pages = 2; truncate = true };
     segment_size = 1024;
+    streams = 1;
     faults = None;
   }
 
@@ -70,6 +72,19 @@ let fault_cfg = { default_cfg with faults = Some Faultdisk.default_cfg }
 let fault_group_cfg = { group_cfg with faults = Some Faultdisk.default_cfg }
 
 let fault_eio_cfg = { group_cfg with faults = Some Faultdisk.eio_only_cfg }
+
+(* The multi-stream configurations (PR 7): the same two workloads over a
+   4-stream WAL with the crash-time per-stream flush shuffle armed — at
+   every simulated power failure each stream independently keeps a
+   shuffled number of its unflushed frames, so the surviving prefixes are
+   deliberately misaligned across streams. Recovery must reconstruct the
+   committed set from the epoch-fence vectors alone ([Logset.commit_valid]),
+   and the oracle applies the identical test. [multistream_group_cfg] adds
+   the batched commit pipeline, whose per-batch epoch fence (rule R8) is
+   the actual commit-order constraint under test. *)
+let multistream_cfg = { default_cfg with streams = 4; faults = Some Faultdisk.shuffle_cfg }
+
+let multistream_group_cfg = { group_cfg with streams = 4; faults = Some Faultdisk.shuffle_cfg }
 
 type txn_trace = {
   tt_fiber : int;

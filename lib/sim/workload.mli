@@ -32,6 +32,7 @@ type cfg = {
   checkpoint : Aries_recovery.Ckptd.cfg option;
       (** fuzzy-checkpoint daemon on/off (on in both stock configs) *)
   segment_size : int;  (** WAL segment size — small, so truncation happens mid-run *)
+  streams : int;  (** number of parallel WAL streams (1 = the classic single log) *)
   faults : Aries_util.Faultdisk.cfg option;
       (** storage-fault injection (PR 5): armed by [Sim.run_one] for the
           workload + crash/restart phases, seeded from the run seed *)
@@ -66,6 +67,18 @@ val fault_eio_cfg : cfg
 (** [group_cfg] over {!Aries_util.Faultdisk.eio_only_cfg}: a pure
     transient-EIO storm with no stored-byte corruption, so every run must
     complete with zero data damage. *)
+
+val multistream_cfg : cfg
+(** [default_cfg] over a 4-stream WAL with the crash-time per-stream flush
+    shuffle armed ({!Aries_util.Faultdisk.shuffle_cfg}): each crash keeps
+    deliberately misaligned survivor prefixes across streams, so recovery
+    and the oracle must agree on committed-ness via the epoch-fence target
+    vectors alone. *)
+
+val multistream_group_cfg : cfg
+(** [group_cfg] with the same 4-stream + shuffle setup: the batched
+    group-commit pipeline's per-batch epoch fence (rule R8) under
+    cross-stream crash-order adversity. *)
 
 type txn_trace = {
   tt_fiber : int;

@@ -1,6 +1,6 @@
 open Aries_util
 
-type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8
 
 let rule_to_string = function
   | R1 -> "R1"
@@ -10,6 +10,7 @@ let rule_to_string = function
   | R5 -> "R5"
   | R6 -> "R6"
   | R7 -> "R7"
+  | R8 -> "R8"
 
 let rule_summary = function
   | R1 -> "no unconditional lock wait while holding a latch"
@@ -21,6 +22,9 @@ let rule_summary = function
   | R7 ->
       "no page served while in the needs-redo set; no loser-locked name granted before that \
        loser's undo completes"
+  | R8 ->
+      "no commit ack before every touched stream is forced through the epoch fence; no redo \
+       applied out of (epoch, gsn) order per page"
 
 exception Violation of rule * string
 
@@ -84,6 +88,12 @@ let loser_locks : (string, int) Hashtbl.t = Hashtbl.create 8
 
 let live_losers : (int, unit) Hashtbl.t = Hashtbl.create 4
 
+(* pid -> gsn of the last redo applied to it this run (R8(b)): restart redo
+   must hit each page in strictly increasing gsn order. Volatile — a new run
+   means a new recovery; a quarantine means media repair rebuilds the page
+   from the archived dump, legitimately restarting its redo history. *)
+let redo_gsn : (int, int) Hashtbl.t = Hashtbl.create 8
+
 let violations_count = ref 0
 
 let violations () = !violations_count
@@ -95,7 +105,8 @@ let reset_run_state () =
   Hashtbl.reset needs_redo;
   Hashtbl.reset redoing;
   Hashtbl.reset loser_locks;
-  Hashtbl.reset live_losers
+  Hashtbl.reset live_losers;
+  Hashtbl.reset redo_gsn
 
 let reset () =
   reset_run_state ();
@@ -267,7 +278,37 @@ let check (ev : Trace.event) =
       (match Hashtbl.find_opt flushed log with
       | Some f when f > at -> Hashtbl.replace flushed log at
       | _ -> ())
-  | Trace.Page_quarantined { pid; cause = _ } -> Hashtbl.replace repairing pid ()
+  | Trace.Commit_fence { txn; epoch = _; targets } ->
+      (* R8(a): the acknowledgement claims the epoch fence was honored —
+         every stream the txn touched must already be forced through the
+         txn's last record there. An ack with an unforced target is the
+         multi-stream durability lie: the commit record may be stable on
+         its own stream while a touched stream's tail is still volatile. *)
+      List.iter
+        (fun (log, lsn_end) ->
+          match Hashtbl.find_opt flushed log with
+          | None -> ()  (* log opened before tracing was enabled: no baseline *)
+          | Some f ->
+              if lsn_end > f then
+                violate R8 "txn %d acked with stream %d fence target %d beyond flushed offset %d"
+                  txn log lsn_end f)
+        targets
+  | Trace.Redo_apply { log = _; pid; lsn; gsn } ->
+      (* R8(b): per-page redo order. A page's records all live on one
+         stream, so replaying them in ascending gsn is replaying them in
+         append order; a non-monotone application means the merge (or a
+         single-page roll-forward) fed history to the page backwards. *)
+      (match Hashtbl.find_opt redo_gsn pid with
+      | Some g when gsn <= g ->
+          violate R8 "redo applied to page %d at lsn %d with gsn %d not above last applied gsn %d"
+            pid lsn gsn g
+      | _ -> ());
+      Hashtbl.replace redo_gsn pid gsn
+  | Trace.Page_quarantined { pid; cause = _ } ->
+      Hashtbl.replace repairing pid ();
+      (* media repair rebuilds from the archived dump: its roll-forward
+         legitimately restarts the page's redo history from the beginning *)
+      Hashtbl.remove redo_gsn pid
   | Trace.Page_repaired { pid; records = _ } -> Hashtbl.remove repairing pid
   | Trace.Restart_dpt { pid; rec_lsn = _ } -> Hashtbl.replace needs_redo pid ()
   | Trace.Restart_redo_page { pid; on_demand = _ } -> Hashtbl.replace redoing pid ()
@@ -298,11 +339,16 @@ let check (ev : Trace.event) =
           violate R7 "lock %s granted to txn %d while loser txn %d still holds it" name txn
             loser
       | _ -> ())
+  | Trace.Restart_phase { phase } ->
+      (* a fresh restart replays history anew: per-page redo positions from
+         the previous incarnation (background drains, media repairs) no
+         longer bound this recovery's applications *)
+      if String.equal phase "analysis" then Hashtbl.reset redo_gsn
   | Trace.Latch_try_fail _ | Trace.Lock_request _ | Trace.Lock_deny _
   | Trace.Lock_release _ | Trace.Lock_release_all _ | Trace.Deadlock_victim _
   | Trace.Log_append _ | Trace.Log_seal _ | Trace.Log_archive _ | Trace.Ckpt_take _
   | Trace.Page_unfix _ | Trace.Commit_enqueue _
-  | Trace.Daemon_spawn _ | Trace.Daemon_exit _ | Trace.Restart_phase _
+  | Trace.Daemon_spawn _ | Trace.Daemon_exit _
   | Trace.Protocol_locks _ | Trace.Io_retry _ | Trace.Note _ ->
       ()
 

@@ -31,13 +31,22 @@
       roll-forward itself fixes the page; (b) no [Lock_grant] of a name
       re-acquired on a loser's behalf ([Restart_lock]) to any other txn
       before that loser's [Restart_loser_done].
+    - {b R8} — multi-stream epoch fence (PR 7): (a) no [Commit_fence]
+      acknowledged with a per-stream target [(log, lsn_end)] beyond that
+      log's flushed boundary — a commit is durable only when {e every}
+      stream the transaction touched is forced through its epoch fence,
+      not just the stream holding the commit record; (b) no [Redo_apply]
+      to a page with a gsn not strictly above the last one applied to it —
+      per-page redo must follow [(epoch, gsn)] order (reset per run, and
+      per page on [Page_quarantined]: media repair restarts the page's
+      history from the archived dump).
 
     Fiber-keyed state (held latches) and per-tree SMO state are discarded
     at every [Run_begin] (a new scheduler incarnation reuses fiber ids and
     loses volatile state, exactly like a crash). The per-log flushed
     boundary persists — it mirrors durable state. *)
 
-type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8
 
 exception Violation of rule * string
 

@@ -43,6 +43,15 @@ type payload =
   | Smo_end of { tree : int; txn : int }
   | Commit_enqueue of { txn : int; lsn : int }
   | Commit_ack of { log : int; txn : int; lsn : int; lsn_end : int }
+  | Commit_fence of { txn : int; epoch : int; targets : (int * int) list }
+      (** emitted at commit acknowledgement: the epoch fence the ack claims
+          was honored — for every stream the txn touched, [(log id, end
+          offset)] that must already be stable. Rule R8(a) checks each
+          target against that log's flushed boundary. *)
+  | Redo_apply of { log : int; pid : int; lsn : int; gsn : int }
+      (** restart redo (classic scan, instant single-page, or media
+          roll-forward) applied the record at [lsn]/[gsn] to page [pid] —
+          rule R8(b) requires per-page gsn-monotone application *)
   | Daemon_spawn of { name : string }
   | Daemon_exit of { name : string }
   | Restart_phase of { phase : string }
@@ -237,6 +246,11 @@ let payload_to_string = function
   | Commit_enqueue { txn; lsn } -> Printf.sprintf "commit-enqueue T%d lsn=%d" txn lsn
   | Commit_ack { log; txn; lsn; lsn_end } ->
       Printf.sprintf "commit-ack L%d T%d lsn=%d end=%d" log txn lsn lsn_end
+  | Commit_fence { txn; epoch; targets } ->
+      Printf.sprintf "commit-fence T%d epoch=%d [%s]" txn epoch
+        (String.concat "; " (List.map (fun (l, e) -> Printf.sprintf "L%d<=%d" l e) targets))
+  | Redo_apply { log; pid; lsn; gsn } ->
+      Printf.sprintf "redo-apply L%d pid=%d lsn=%d gsn=%d" log pid lsn gsn
   | Daemon_spawn { name } -> Printf.sprintf "daemon-spawn %s" name
   | Daemon_exit { name } -> Printf.sprintf "daemon-exit %s" name
   | Restart_phase { phase } -> Printf.sprintf "restart-phase %s" phase

@@ -75,6 +75,15 @@ type payload =
   | Smo_end of { tree : int; txn : int }
   | Commit_enqueue of { txn : int; lsn : int }
   | Commit_ack of { log : int; txn : int; lsn : int; lsn_end : int }
+  | Commit_fence of { txn : int; epoch : int; targets : (int * int) list }
+      (** emitted at commit acknowledgement: the epoch fence the ack
+          claims was honored — for every stream the txn touched, [(log id,
+          end offset)] that must already be stable. Rule R8(a) checks each
+          target against that log's flushed boundary. *)
+  | Redo_apply of { log : int; pid : int; lsn : int; gsn : int }
+      (** restart redo (classic scan, instant single-page, or media
+          roll-forward) applied the record at [lsn]/[gsn] to page [pid] —
+          rule R8(b) requires per-page gsn-monotone application *)
   | Daemon_spawn of { name : string }
   | Daemon_exit of { name : string }
   | Restart_phase of { phase : string }

@@ -76,3 +76,7 @@ let fault_log_torn_append = "log.torn-append"
 let fault_crc_check_disabled = "crc.check-disabled"
 
 let fault_instant_skip_redo = "instant.skip-redo"
+
+let fault_wal_stream_shuffle = "wal.stream-shuffle"
+
+let fault_wal_stream_fence_skip = "wal.stream-fence-skip"

@@ -126,3 +126,17 @@ val fault_instant_skip_redo : string
     redo hook drops a page from the needs-redo set {e without} replaying
     its history, so the next fix serves a stale image. The discipline
     checker must flag the fix as an R7 violation. *)
+
+val fault_wal_stream_shuffle : string
+(** Multi-stream crash adversary: at crash time each log stream
+    independently keeps a random number of complete unflushed frames past
+    its stable boundary (drawn from the {!Faultdisk} RNG) — one stream may
+    persist its whole tail while another loses everything unforced. Armed
+    by {!Faultdisk.arm} when [cfg.stream_shuffle] is set. *)
+
+val fault_wal_stream_fence_skip : string
+(** Meta-fault proving rule R8 has teeth: the commit path forces only the
+    stream holding the Commit record, skipping the epoch fence over the
+    other streams the transaction touched — an update can then be lost
+    while its commit survives. The discipline checker must flag the ack
+    as an R8 violation. *)

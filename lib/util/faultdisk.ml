@@ -19,6 +19,9 @@ type cfg = {
   bit_flip_p : float;  (** P(flip one stored bit) per page write at rest *)
   torn_write : bool;  (** a crash on a page write leaves a torn image *)
   torn_append : bool;  (** a crash leaves a partial record in the log tail *)
+  stream_shuffle : bool;
+      (** a crash persists a random per-stream number of complete unflushed
+          log frames — the cross-stream flush-order adversary *)
 }
 
 let default_cfg =
@@ -29,6 +32,7 @@ let default_cfg =
     bit_flip_p = 0.03;
     torn_write = true;
     torn_append = true;
+    stream_shuffle = false;
   }
 
 let eio_only_cfg =
@@ -39,6 +43,22 @@ let eio_only_cfg =
     bit_flip_p = 0.0;
     torn_write = false;
     torn_append = false;
+    stream_shuffle = false;
+  }
+
+(* The multi-stream crash adversary alone: no EIO, no bit-rot — every run
+   must recover cleanly no matter which streams' tails the crash kept. The
+   torn-append switch stays on so the shuffled survivor boundary can also
+   land mid-record. *)
+let shuffle_cfg =
+  {
+    eio_read_p = 0.0;
+    eio_write_p = 0.0;
+    eio_force_p = 0.0;
+    bit_flip_p = 0.0;
+    torn_write = false;
+    torn_append = true;
+    stream_shuffle = true;
   }
 
 type state = {
@@ -63,7 +83,8 @@ let arm ~seed cfg =
     own Crashpoint.fault_disk_transient_eio;
   if cfg.bit_flip_p > 0. then own Crashpoint.fault_disk_bit_flip;
   if cfg.torn_write then own Crashpoint.fault_disk_torn_write;
-  if cfg.torn_append then own Crashpoint.fault_log_torn_append
+  if cfg.torn_append then own Crashpoint.fault_log_torn_append;
+  if cfg.stream_shuffle then own Crashpoint.fault_wal_stream_shuffle
 
 let disarm () =
   List.iter Crashpoint.disable_fault st.owned;
@@ -96,6 +117,16 @@ let flip_now () =
 let torn_write_on () = Crashpoint.fault_active Crashpoint.fault_disk_torn_write
 
 let torn_append_on () = Crashpoint.fault_active Crashpoint.fault_log_torn_append
+
+let stream_shuffle_on () = Crashpoint.fault_active Crashpoint.fault_wal_stream_shuffle
+
+(* How many of a stream's [avail] complete unflushed frames the crash
+   keeps: uniform over [0, avail] (0 = classic lose-the-tail, avail =
+   persist everything past the fence). Draws only while armed, keeping the
+   stream aligned. *)
+let stream_retain ~avail =
+  if avail <= 0 || not (stream_shuffle_on ()) then 0
+  else match st.cfg with Some _ -> Rng.int st.rng (avail + 1) | None -> 0
 
 let crc_checks_enabled () =
   not (Crashpoint.fault_active Crashpoint.fault_crc_check_disabled)

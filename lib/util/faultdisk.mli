@@ -18,6 +18,9 @@ type cfg = {
   bit_flip_p : float;  (** P(flip one stored bit) per page write at rest *)
   torn_write : bool;  (** a crash on a page write leaves a torn image *)
   torn_append : bool;  (** a crash leaves a partial record in the log tail *)
+  stream_shuffle : bool;
+      (** a crash persists a random per-stream number of complete unflushed
+          log frames — the cross-stream flush-order adversary *)
 }
 
 val default_cfg : cfg
@@ -26,6 +29,12 @@ val default_cfg : cfg
 val eio_only_cfg : cfg
 (** Only transient I/O errors (higher rates); exercises the retry paths
     without ever corrupting stored bytes. *)
+
+val shuffle_cfg : cfg
+(** Only the per-stream flush-order shuffle (plus torn appends): at crash
+    time each log stream independently keeps 0..all of its complete
+    unflushed frames, so one stream can persist past the epoch fence while
+    another loses its tail. *)
 
 val arm : seed:int -> cfg -> unit
 (** Install [cfg], seed the fault RNG, and enable the matching
@@ -48,6 +57,12 @@ val flip_now : unit -> bool
 
 val torn_write_on : unit -> bool
 val torn_append_on : unit -> bool
+val stream_shuffle_on : unit -> bool
+
+val stream_retain : avail:int -> int
+(** How many of a stream's [avail] complete unflushed frames survive the
+    crash: uniform over [0, avail] while the shuffle switch is armed, else
+    0. One RNG draw per armed call. *)
 
 val crc_checks_enabled : unit -> bool
 (** False iff the {!Crashpoint.fault_crc_check_disabled} meta-fault is

@@ -100,6 +100,8 @@ let end_offset t = seg_end t.active
 
 let start_lsn t = if end_offset t = start t then Lsn.nil else start t
 
+let start_offset t = start t
+
 let segment_count t = List.length t.sealed + 1
 
 let segments_info t = List.map (fun s -> (s.seg_base, seg_len s, s.seg_sealed)) (all_segments t)
@@ -320,19 +322,64 @@ let compute_last t =
     (all_segments t);
   !last
 
-let crash t =
-  (* Under the torn-append fault the medium kept part of the in-flight
-     tail: capture a prefix of the unflushed suffix (from the segment
-     containing the flushed boundary) before the polite trim discards
-     it. The tail scan below decides what survives of it — complete,
-     CRC-valid records do (legal: they were written, just never acked),
-     the torn remainder is cut. *)
+(* The full unflushed suffix — every byte above the stable boundary,
+   concatenated across the straddling segment and any in-memory-sealed
+   segments after it. Offsets stay meaningful because consecutive segment
+   bases are contiguous. *)
+let unflushed_suffix t =
+  if t.flushed >= end_offset t then ""
+  else
+    let b = Buffer.create 256 in
+    List.iter
+      (fun s ->
+        if seg_end s > t.flushed then begin
+          let from = max 0 (t.flushed - s.seg_base) in
+          Buffer.add_string b (Buffer.sub s.seg_data from (seg_len s - from))
+        end)
+      (all_segments t);
+    Buffer.contents b
+
+(* Number of complete frames at the head of [suffix] and the byte length of
+   the first [k] of them. *)
+let count_frames suffix =
+  let n = String.length suffix in
+  let rec go off acc =
+    if off + 4 > n then List.rev acc
+    else
+      let len = Int32.to_int (String.get_int32_le suffix off) land 0xFFFFFFFF in
+      let total = Logrec.frame_overhead + len in
+      if len < 1 || off + total > n then List.rev acc else go (off + total) ((off + total) :: acc)
+  in
+  go 0 []
+
+let crash ?(retain = fun _ -> 0) t =
+  (* Two ways the medium can keep in-flight tail bytes past the recorded
+     stable boundary, both legal (written but never acked):
+
+     - [retain]: the per-stream flush-order shuffle. The crash may have
+       persisted some number of {e complete} frames beyond the boundary —
+       on one stream everything, on another nothing — which is exactly the
+       cross-stream adversary the epoch fence must survive. [retain] maps
+       the number of complete unflushed frames to how many survive.
+
+     - the torn-append fault: a prefix of the {e next} record's bytes
+       lands, leaving a torn frame the tail scan must cut. *)
+  let suffix = unflushed_suffix t in
+  let frame_ends = count_frames suffix in
+  let kept_frames = min (max 0 (retain (List.length frame_ends))) (List.length frame_ends) in
+  let kept_len = if kept_frames = 0 then 0 else List.nth frame_ends (kept_frames - 1) in
   let torn_tail =
-    if Faultdisk.torn_append_on () && t.flushed < end_offset t then begin
+    if kept_frames > 0 || (Faultdisk.torn_append_on () && t.flushed < end_offset t) then begin
       let s = find_segment t t.flushed in
       let avail = seg_end s - t.flushed in
-      let keep = max 1 (avail / 2) in
-      Some (Buffer.sub s.seg_data (t.flushed - s.seg_base) keep)
+      (* torn remainder: the historical capture window (half the straddling
+         segment's unflushed bytes) past whatever complete frames survive *)
+      let torn =
+        if Faultdisk.torn_append_on () && avail > kept_len then max 1 ((avail - kept_len) / 2)
+        else 0
+      in
+      let keep = min (kept_len + torn) (String.length suffix) in
+      if keep = 0 then None else Some (String.sub suffix 0 keep)
     end
     else None
   in

@@ -103,11 +103,17 @@ val set_master : t -> Lsn.t -> unit
 
 val master : t -> Lsn.t
 
-val crash : t -> unit
+val crash : ?retain:(int -> int) -> t -> unit
 (** Discard the volatile tail: segments wholly above the stable boundary
     vanish, the straddling segment is trimmed (and re-opens unsealed —
     an in-memory seal that never reached disk is not a seal). The master
     record and stable prefix remain.
+
+    [retain] (default [fun _ -> 0]) maps the number of complete unflushed
+    frames to how many of them the medium kept past the boundary — the
+    per-stream flush-order shuffle used by {!Logset.crash}: a crash may
+    persist one stream's whole tail (complete records, written but never
+    acked — legal) while another stream loses everything unforced.
 
     Recovery then runs a CRC-guarded {e tail scan} over the active
     segment rather than trusting the recorded boundary: the log ends at
@@ -135,6 +141,11 @@ val truncate_prefix : t -> upto:Lsn.t -> int
 
 val start_lsn : t -> Lsn.t
 (** LSN of the oldest retained record, or [Lsn.nil] when the log is empty. *)
+
+val start_offset : t -> int
+(** Absolute offset of the oldest retained byte (the base of the oldest
+    retained segment) — never [Lsn.nil]-coded: an empty log reports its end
+    offset. Offsets below it were reclaimed by truncation and archived. *)
 
 val record_count : t -> int
 (** Number of records currently retained (stable + volatile, excluding

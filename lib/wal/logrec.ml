@@ -13,14 +13,30 @@ type kind =
 type t = {
   lsn : Lsn.t;
   prev_lsn : Lsn.t;
+      (* the txn's previous record *on the same stream*: per-stream chains
+         keep undo walks sound when a crash persists one stream's tail and
+         loses another's — each stream's survivors are a chain prefix *)
   txn : Ids.txn_id;
   kind : kind;
   page : Ids.page_id;
   undo_nxt_lsn : Lsn.t;
+  undo_nxt_stream : int;
+      (* which stream [undo_nxt_lsn] addresses. A logical undo may write
+         its CLR to a different page — hence a different stream — than the
+         record it compensates, so the cursor jump the CLR encodes is a
+         (stream, lsn) pair, not a bare offset. [-1] until stamped: resolved
+         to the record's own stream at append time. *)
   rm_id : int;
   op : int;
   undoable : bool;
   redoable : bool;
+  stream : int;  (* which log stream the record was appended to *)
+  epoch : int;  (* commit epoch current at append time *)
+  gsn : int;
+      (* global sequence number: a process-wide counter stamped on every
+         record, the tiebreak inside an epoch — recovery merges streams by
+         (epoch, gsn), and since appends never yield that order equals the
+         gsn order *)
   body : bytes;
 }
 
@@ -29,8 +45,9 @@ let default_flags = function
   | Clr -> (false, true)
   | Commit | Prepare | Rollback | End_txn | Begin_ckpt | End_ckpt -> (false, false)
 
-let make ?(page = Ids.nil_page) ?(undo_nxt_lsn = Lsn.nil) ?(rm_id = 0) ?(op = 0) ?undoable
-    ?redoable ?(body = Bytes.empty) ~txn ~prev_lsn kind =
+let make ?(page = Ids.nil_page) ?(undo_nxt_lsn = Lsn.nil) ?(undo_nxt_stream = -1) ?(rm_id = 0)
+    ?(op = 0) ?undoable ?redoable ?(stream = 0) ?(epoch = 0) ?(gsn = 0) ?(body = Bytes.empty)
+    ~txn ~prev_lsn kind =
   let du, dr = default_flags kind in
   {
     lsn = Lsn.nil;
@@ -39,10 +56,14 @@ let make ?(page = Ids.nil_page) ?(undo_nxt_lsn = Lsn.nil) ?(rm_id = 0) ?(op = 0)
     kind;
     page;
     undo_nxt_lsn;
+    undo_nxt_stream;
     rm_id;
     op;
     undoable = (match undoable with Some u -> u | None -> du);
     redoable = (match redoable with Some r -> r | None -> dr);
+    stream;
+    epoch;
+    gsn;
     body;
   }
 
@@ -84,10 +105,14 @@ let encode t =
   Bytebuf.W.i64 w t.txn;
   Bytebuf.W.i64 w t.page;
   Bytebuf.W.i64 w t.undo_nxt_lsn;
+  Bytebuf.W.u16 w (if t.undo_nxt_stream < 0 then t.stream else t.undo_nxt_stream);
   Bytebuf.W.u16 w t.rm_id;
   Bytebuf.W.u16 w t.op;
   Bytebuf.W.bool w t.undoable;
   Bytebuf.W.bool w t.redoable;
+  Bytebuf.W.u16 w t.stream;
+  Bytebuf.W.i64 w t.epoch;
+  Bytebuf.W.i64 w t.gsn;
   Bytebuf.W.bytes w t.body;
   Bytebuf.W.contents w
 
@@ -98,13 +123,33 @@ let decode ~lsn s =
   let txn = Bytebuf.R.i64 r in
   let page = Bytebuf.R.i64 r in
   let undo_nxt_lsn = Bytebuf.R.i64 r in
+  let undo_nxt_stream = Bytebuf.R.u16 r in
   let rm_id = Bytebuf.R.u16 r in
   let op = Bytebuf.R.u16 r in
   let undoable = Bytebuf.R.bool r in
   let redoable = Bytebuf.R.bool r in
+  let stream = Bytebuf.R.u16 r in
+  let epoch = Bytebuf.R.i64 r in
+  let gsn = Bytebuf.R.i64 r in
   let body = Bytebuf.R.bytes r in
   Bytebuf.R.expect_end r;
-  { lsn; prev_lsn; txn; kind; page; undo_nxt_lsn; rm_id; op; undoable; redoable; body }
+  {
+    lsn;
+    prev_lsn;
+    txn;
+    kind;
+    page;
+    undo_nxt_lsn;
+    undo_nxt_stream;
+    rm_id;
+    op;
+    undoable;
+    redoable;
+    stream;
+    epoch;
+    gsn;
+    body;
+  }
 
 (* Frame format (PR 5): [u32 len][payload][u32 crc32(payload)].  The CRC
    trailer lets restart's tail scan distinguish a complete record from a
@@ -124,8 +169,14 @@ let frame_crc_ok ~payload ~stored = Crc.string payload = stored
 let pp ppf t =
   Format.fprintf ppf "@[<h>[%a] %s txn=%d prev=%a" Lsn.pp t.lsn (kind_to_string t.kind) t.txn
     Lsn.pp t.prev_lsn;
+  if t.stream <> 0 || t.epoch <> 0 then
+    Format.fprintf ppf " s%d e%d g%d" t.stream t.epoch t.gsn;
   if t.page <> Ids.nil_page then Format.fprintf ppf " page=%d" t.page;
-  if not (Lsn.is_nil t.undo_nxt_lsn) then Format.fprintf ppf " undo_nxt=%a" Lsn.pp t.undo_nxt_lsn;
+  if not (Lsn.is_nil t.undo_nxt_lsn) then begin
+    Format.fprintf ppf " undo_nxt=%a" Lsn.pp t.undo_nxt_lsn;
+    if t.undo_nxt_stream >= 0 && t.undo_nxt_stream <> t.stream then
+      Format.fprintf ppf "@@s%d" t.undo_nxt_stream
+  end;
   if t.rm_id <> 0 then Format.fprintf ppf " rm=%d op=%d" t.rm_id t.op;
   if Bytes.length t.body > 0 then Format.fprintf ppf " body=%dB" (Bytes.length t.body);
   Format.fprintf ppf "]@]"

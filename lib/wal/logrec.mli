@@ -27,33 +27,54 @@ type kind =
 
 type t = {
   lsn : Lsn.t;  (** assigned on append; equals the record's log offset *)
-  prev_lsn : Lsn.t;  (** previous record of the same transaction *)
+  prev_lsn : Lsn.t;
+      (** previous record of the same transaction {e on the same stream}:
+          chains are per-stream so each stream's post-crash survivors form
+          a chain prefix with no holes *)
   txn : Ids.txn_id;
   kind : kind;
   page : Ids.page_id;  (** affected page, [Ids.nil_page] if none *)
   undo_nxt_lsn : Lsn.t;  (** CLRs only; [Lsn.nil] otherwise *)
+  undo_nxt_stream : int;
+      (** which stream [undo_nxt_lsn] addresses: a logical undo may write
+          its CLR to a different page — hence a different stream — than the
+          record it compensates, so a CLR's cursor jump is a (stream, lsn)
+          pair. [-1] until stamped; {!Logset.append} (and the codec)
+          resolve [-1] to the record's own stream. *)
   rm_id : int;  (** 0 = none/recovery-internal *)
   op : int;  (** resource-manager-specific opcode *)
   undoable : bool;
   redoable : bool;
+  stream : int;  (** log stream index; stamped by {!Logset.append} *)
+  epoch : int;  (** commit epoch current at append time *)
+  gsn : int;
+      (** global sequence number: process-wide append counter, the tiebreak
+          within an epoch. Recovery merges streams by [(epoch, gsn)]; since
+          appends never yield, that equals plain [gsn] order. *)
   body : bytes;
 }
 
 val make :
   ?page:Ids.page_id ->
   ?undo_nxt_lsn:Lsn.t ->
+  ?undo_nxt_stream:int ->
   ?rm_id:int ->
   ?op:int ->
   ?undoable:bool ->
   ?redoable:bool ->
+  ?stream:int ->
+  ?epoch:int ->
+  ?gsn:int ->
   ?body:bytes ->
   txn:Ids.txn_id ->
   prev_lsn:Lsn.t ->
   kind ->
   t
 (** The [lsn] field is [Lsn.nil] until {!Logmgr.append} assigns it. Defaults:
-    no page, no undo_nxt, rm 0, op 0, empty body; [Update] records default to
-    undoable+redoable, [Clr] to redoable-only, others to neither. *)
+    no page, no undo_nxt, rm 0, op 0, stream/epoch/gsn 0, empty body; [Update]
+    records default to undoable+redoable, [Clr] to redoable-only, others to
+    neither. Stream/epoch/gsn are stamped by {!Logset.append}; records
+    appended through a bare {!Logmgr} keep the caller's values. *)
 
 val encode : t -> bytes
 (** Without the length prefix (the log manager frames records). *)

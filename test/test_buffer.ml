@@ -12,7 +12,7 @@ module Bufpool = Aries_buffer.Bufpool
 let setup ?(capacity = 4) () =
   let disk = Disk.create ~page_size:512 () in
   let log = Logmgr.create () in
-  let pool = Bufpool.create ~capacity disk log in
+  let pool = Bufpool.create ~capacity disk (Aries_wal.Logset.of_mgr log) in
   (disk, log, pool)
 
 let new_page pool =

@@ -345,7 +345,7 @@ let test_trim_blocked_by_active_txn () =
          ignore (Db.trim_log db);
          (* nothing below the in-flight txn's first record may go *)
          Alcotest.(check bool) "horizon respects the active txn" true
-           (Aries_wal.Lsn.( <= ) (Aries_wal.Logmgr.start_lsn db.Db.wal) t.Txnmgr.first_lsn);
+           (Aries_wal.Lsn.( <= ) (Aries_wal.Logmgr.start_lsn db.Db.wal) t.Txnmgr.firsts.(0));
          ignore before;
          Txnmgr.rollback db.Db.mgr t))
 
@@ -373,17 +373,17 @@ let test_trim_returns_zero_for_restored_txn () =
     | _ -> Alcotest.fail "expected exactly the restored txn"
   in
   Alcotest.(check bool) "restored with known extent" true
-    (not (Aries_wal.Lsn.is_nil t'.Txnmgr.first_lsn));
+    (not (Aries_wal.Lsn.is_nil t'.Txnmgr.firsts.(0)));
   Aries_buffer.Bufpool.flush_all db'.Db.pool;
   Db.checkpoint db';
   ignore (Db.trim_log db');
   Alcotest.(check bool) "horizon respects the in-doubt txn" true
-    (Aries_wal.Lsn.( <= ) (Aries_wal.Logmgr.start_lsn db'.Db.wal) t'.Txnmgr.first_lsn);
+    (Aries_wal.Lsn.( <= ) (Aries_wal.Logmgr.start_lsn db'.Db.wal) t'.Txnmgr.firsts.(0));
   (* a transaction of truly unknown extent — as a pre-first_lsn checkpoint
      body would restore — must block trimming entirely *)
   let ghost =
     Txnmgr.restore_txn db'.Db.mgr ~id:9999 ~state:Txnmgr.Prepared
-      ~last_lsn:t'.Txnmgr.last_lsn ~undo_nxt:t'.Txnmgr.last_lsn ()
+      ~lasts:(Array.copy t'.Txnmgr.lasts) ~undo_nxts:(Array.copy t'.Txnmgr.lasts) ()
   in
   Alcotest.(check bool) "unknown extent blocks: no safety point" true
     (Db.safety_point db' = None);

@@ -61,6 +61,7 @@ let no_faults =
     bit_flip_p = 0.0;
     torn_write = false;
     torn_append = false;
+    stream_shuffle = false;
   }
 
 (* ------------------------------------------------------------------ *)

@@ -543,10 +543,10 @@ let test_committing_in_ckpt_is_winner () =
            Btree.insert tree t ~value:(v i) ~rid:(rid i)
          done;
          let r =
-           Aries_wal.Logrec.make ~txn:t.Txnmgr.txn_id ~prev_lsn:t.Txnmgr.last_lsn
+           Aries_wal.Logrec.make ~txn:t.Txnmgr.txn_id ~prev_lsn:t.Txnmgr.lasts.(0)
              Aries_wal.Logrec.Commit
          in
-         t.Txnmgr.last_lsn <- Logmgr.append db.Db.wal r;
+         t.Txnmgr.lasts.(0) <- Aries_wal.Logset.append db.Db.logs ~stream:0 r;
          t.Txnmgr.state <- Txnmgr.Committing;
          (* the fuzzy checkpoint fires while the committer is parked; its
             force-before-master makes the Commit record stable too *)

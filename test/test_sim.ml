@@ -244,7 +244,7 @@ let test_crc_disabled_meta_fault () =
       Crashpoint.enable_fault Crashpoint.fault_crc_check_disabled;
       let bitrot =
         { Aries_util.Faultdisk.eio_read_p = 0.0; eio_write_p = 0.0; eio_force_p = 0.0;
-          bit_flip_p = 0.25; torn_write = false; torn_append = false }
+          bit_flip_p = 0.25; torn_write = false; torn_append = false; stream_shuffle = false }
       in
       let cfg = { Workload.default_cfg with Workload.faults = Some bitrot } in
       let failures = ref [] in

@@ -57,7 +57,7 @@ let set mgr m txn reg v =
 let setup () =
   let wal = Logmgr.create () in
   let locks = L.create () in
-  let mgr = Txnmgr.create wal locks in
+  let mgr = Txnmgr.create (Aries_wal.Logset.of_mgr wal) locks in
   let m = install_mock mgr in
   (wal, locks, mgr, m)
 
@@ -70,7 +70,7 @@ let test_prev_lsn_chain () =
   set mgr m txn 1 20;
   set mgr m txn 1 30;
   (* walk the chain backwards *)
-  let r3 = Logmgr.read wal txn.Txnmgr.last_lsn in
+  let r3 = Logmgr.read wal txn.Txnmgr.lasts.(0) in
   let r2 = Logmgr.read wal r3.Logrec.prev_lsn in
   let r1 = Logmgr.read wal r2.Logrec.prev_lsn in
   Alcotest.(check bool) "chain terminates" true (Lsn.is_nil r1.Logrec.prev_lsn);
@@ -217,15 +217,16 @@ let test_prepare_body_roundtrip () =
   Alcotest.(check bool) "lock list roundtrip" true (Lockcodec.decode_list b = locks)
 
 let test_checkpoint_body_roundtrip () =
-  let ck ct_id ct_state ct_first ct_last ct_undo_nxt ct_locks =
-    { Checkpoint.ct_id; ct_state; ct_first; ct_last; ct_undo_nxt; ct_locks }
+  let ck ct_id ct_state ct_firsts ct_lasts ct_undo_nxts ct_locks =
+    { Checkpoint.ct_id; ct_state; ct_firsts; ct_lasts; ct_undo_nxts; ct_locks }
   in
   let body =
     {
-      Checkpoint.ck_txns =
+      Checkpoint.ck_scan = [| 300; 250 |];
+      ck_txns =
         [
-          ck 3 Txnmgr.Active 10 100 90 Bytes.empty;
-          ck 5 Txnmgr.Prepared 20 200 180
+          ck 3 Txnmgr.Active [| 10; 15 |] [| 100; 90 |] [| 90; 15 |] Bytes.empty;
+          ck 5 Txnmgr.Prepared [| 20; 0 |] [| 200; 0 |] [| 180; 0 |]
             (Lockcodec.encode_list [ (L.Key_value (1, "k"), L.X) ]);
         ];
       ck_dpt = [ (7, 50); (9, 120) ];
