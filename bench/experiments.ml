@@ -1662,6 +1662,181 @@ let q14 ppf =
   close_out oc;
   kv ppf "wrote" "BENCH_PR7.json"
 
+(* Q15: MVCC snapshot reads — reader lock traffic on a scan-vs-writer mix.
+
+   One reader fiber repeatedly scans a 150-row range of a table while two
+   writer fibers churn fetch+delete+reinsert transactions over hot rows of
+   the same index, sorted just past the scan's stop bound — so the scan's
+   boundary probe (fetch_next locks the next key before noticing it is
+   beyond the stop) collides with the writers' commit-duration X locks.
+   Reader lock requests and waits are counted from the trace ring
+   (Lock_request / Lock_wait events carry the requesting txn id), so the
+   writers' own lock traffic is excluded from the reader's bill.
+
+   The locking protocols price every fetched row: data-only locking takes
+   the record lock (1 request/row, it doubles as every index's key lock),
+   ARIES/KVL and System R lock the index key value and then the record
+   (2 requests/row), and any of them can wait at the hot boundary.
+   Protocol #5 (Mvcc) resolves every key against the pinned snapshot's
+   version chains: no key locks, no record locks, no waits, regardless of
+   writer churn (rule R9) — only the table-level IS intent lock remains,
+   one request per scan.
+
+   Acceptance: Mvcc < 0.01 reader lock requests/op and 0 reader waits;
+   data-only >= 1/op; KVL and System R >= 2/op. Writes BENCH_PR8.json. *)
+
+type q15_cell = {
+  sr_locking : Protocol.locking;
+  sr_scans : int;
+  sr_ops : int;
+  sr_requests : int;
+  sr_waits : int;
+  sr_writer_commits : int;
+}
+
+let q15_per_op c = float_of_int c.sr_requests /. float_of_int (max 1 c.sr_ops)
+
+let q15_hot f j = Printf.sprintf "zhot-%d-%02d" f j
+
+let q15_run locking =
+  let module Trace = Aries_trace.Trace in
+  let config = config_of locking in
+  let db = Db.create ~page_size:512 ~config () in
+  let specs = [ { Table.sp_name = "pk"; sp_unique = true; sp_key = (fun r -> r.(0)) } ] in
+  let tbl =
+    Db.run_exn db (fun () -> Db.with_txn db (fun txn -> Table.create db txn ~id:1 specs))
+  in
+  Db.run_exn db (fun () ->
+      Db.with_txn db (fun txn ->
+          for i = 0 to 149 do
+            ignore (Table.insert tbl txn [| Printf.sprintf "scan-%03d" i |])
+          done;
+          for f = 0 to 1 do
+            for j = 0 to 6 do
+              ignore (Table.insert tbl txn [| q15_hot f j |])
+            done
+          done));
+  let saved_mode = Trace.mode () and saved_cap = Trace.capacity () in
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.set_mode saved_mode;
+      Trace.set_capacity saved_cap)
+    (fun () ->
+      Trace.set_capacity 262_144;
+      Trace.set_mode Trace.Record;
+      let readers = Hashtbl.create 8 in
+      let ops = ref 0 and scans = ref 0 and writer_commits = ref 0 in
+      ignore
+        (Db.run db ~policy:(Sched.Random 15) ~yield_probability:0.1 (fun () ->
+             (* writers churn their private hot rows: fetch the current rid,
+                delete the row, reinsert it (a fresh rid every round) *)
+             for f = 0 to 1 do
+               ignore
+                 (Sched.spawn
+                    ~name:(Printf.sprintf "q15-writer-%d" f)
+                    (fun () ->
+                      for t = 1 to 18 do
+                        let key = q15_hot f (t mod 7) in
+                        let txn = Txnmgr.begin_txn db.Db.mgr in
+                        match
+                          match Table.fetch tbl txn ~index:"pk" key with
+                          | Some (r, _) ->
+                              Table.delete tbl txn r;
+                              ignore (Table.insert tbl txn [| key |])
+                          | None -> ()
+                        with
+                        | () ->
+                            Txnmgr.commit db.Db.mgr txn;
+                            incr writer_commits
+                        | exception Txnmgr.Aborted _ -> ()
+                      done))
+             done;
+             ignore
+               (Sched.spawn ~name:"q15-reader" (fun () ->
+                    for _ = 1 to 6 do
+                      let txn = Txnmgr.begin_txn db.Db.mgr in
+                      Hashtbl.replace readers txn.Txnmgr.txn_id ();
+                      match
+                        Table.scan tbl txn ~index:"pk" "scan-" ~stop:("scan-999", `Le) ()
+                      with
+                      | rows ->
+                          ops := !ops + List.length rows;
+                          Txnmgr.commit db.Db.mgr txn;
+                          incr scans
+                      | exception Txnmgr.Aborted _ -> ()
+                    done))));
+      if Trace.event_count () > Trace.capacity () then
+        failwith "q15: trace ring overflowed; raise the capacity";
+      let requests = ref 0 and waits = ref 0 in
+      List.iter
+        (fun (e : Trace.event) ->
+          match e.Trace.ev_payload with
+          | Trace.Lock_request { txn; _ } when Hashtbl.mem readers txn -> incr requests
+          | Trace.Lock_wait { txn; _ } when Hashtbl.mem readers txn -> incr waits
+          | _ -> ())
+        (Trace.events ());
+      {
+        sr_locking = locking;
+        sr_scans = !scans;
+        sr_ops = !ops;
+        sr_requests = !requests;
+        sr_waits = !waits;
+        sr_writer_commits = !writer_commits;
+      })
+
+let q15 ppf =
+  section ppf "Q15: snapshot reads — reader lock traffic on a scan-vs-writer mix";
+  let cells =
+    List.map q15_run [ Protocol.Data_only; Protocol.Kvl; Protocol.System_r; Protocol.Mvcc ]
+  in
+  Format.fprintf ppf "  %-16s %6s %6s %9s %7s %8s %10s@." "protocol" "scans" "ops" "requests"
+    "waits" "req/op" "w-commits";
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "  %-16s %6d %6d %9d %7d %8.3f %10d@."
+        (Protocol.locking_to_string c.sr_locking)
+        c.sr_scans c.sr_ops c.sr_requests c.sr_waits (q15_per_op c) c.sr_writer_commits)
+    cells;
+  let find l = List.find (fun c -> c.sr_locking = l) cells in
+  let mvcc = find Protocol.Mvcc in
+  let gate what ok = if not ok then failwith ("q15: " ^ what) in
+  gate "Mvcc reader issued lock requests (rule R9)" (q15_per_op mvcc < 0.01);
+  gate "Mvcc reader waited on a lock (rule R9)" (mvcc.sr_waits = 0);
+  gate "data-only reader should pay >= 1 lock request/op"
+    (q15_per_op (find Protocol.Data_only) >= 1.0);
+  gate "KVL reader should pay >= 2 lock requests/op" (q15_per_op (find Protocol.Kvl) >= 2.0);
+  gate "System R reader should pay >= 2 lock requests/op"
+    (q15_per_op (find Protocol.System_r) >= 2.0);
+  kv ppf "acceptance" "mvcc %.3f req/op + %d waits; others pay the lock bill: ok"
+    (q15_per_op mvcc) mvcc.sr_waits;
+  let cell_json c =
+    Printf.sprintf
+      "    { \"protocol\": %S, \"scans\": %d, \"reader_ops\": %d,\n\
+      \      \"reader_lock_requests\": %d, \"reader_lock_waits\": %d,\n\
+      \      \"requests_per_op\": %.4f, \"writer_commits\": %d }"
+      (Protocol.locking_to_string c.sr_locking)
+      c.sr_scans c.sr_ops c.sr_requests c.sr_waits (q15_per_op c) c.sr_writer_commits
+  in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"bench\": \"mvcc-snapshot-reads\",\n\
+      \  \"generated_by\": \"dune exec bench/main.exe -- q15\",\n\
+      \  \"workload\": \"1 reader fiber x 6 full scans vs 2 writer fibers x 18 \
+       delete+reinsert txns over 200 keys\",\n\
+      \  \"cells\": [\n%s\n  ],\n\
+      \  \"acceptance\": { \"mvcc_requests_per_op\": %.4f, \"mvcc_waits\": %d, \
+       \"mvcc_wait_free\": %b }\n\
+       }\n"
+      (String.concat ",\n" (List.map cell_json cells))
+      (q15_per_op mvcc) mvcc.sr_waits
+      (q15_per_op mvcc < 0.01 && mvcc.sr_waits = 0)
+  in
+  let oc = open_out "BENCH_PR8.json" in
+  output_string oc json;
+  close_out oc;
+  kv ppf "wrote" "BENCH_PR8.json"
+
 let all : (string * (Format.formatter -> unit)) list =
   [
     ("e1", e1);
@@ -1687,4 +1862,5 @@ let all : (string * (Format.formatter -> unit)) list =
     ("q12", q12);
     ("q13", q13);
     ("q14", q14);
+    ("q15", q15);
   ]

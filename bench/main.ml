@@ -16,6 +16,7 @@
      dune exec bench/main.exe -- sim smoke --faults       # fault-armed CI sweep (storage faults)
      dune exec bench/main.exe -- sim smoke --instant      # recovery-during-recovery CI sweep
      dune exec bench/main.exe -- sim smoke --streams      # multi-stream WAL crash-order sweep
+     dune exec bench/main.exe -- sim smoke --mvcc         # MVCC snapshot-read crash sweep
      dune exec bench/main.exe -- sim replay <seed> <k|->  # re-run one reproducer
      dune exec bench/main.exe -- sim replay <seed> <k|-> <cut>  # instant-restart reproducer
      ARIES_SIM_FAULT=wal.skip-flush dune exec bench/main.exe -- sim
@@ -48,14 +49,28 @@ let run_sim args =
       let faults = List.mem "--faults" rest in
       let instant = List.mem "--instant" rest in
       let streams = List.mem "--streams" rest in
+      let mvcc = List.mem "--mvcc" rest in
       let rest =
-        List.filter (fun a -> a <> "--faults" && a <> "--instant" && a <> "--streams") rest
+        List.filter
+          (fun a -> a <> "--faults" && a <> "--instant" && a <> "--streams" && a <> "--mvcc")
+          rest
       in
       let geti i default =
         match List.nth_opt rest i with Some s -> int_of_string s | None -> default
       in
       let workloads =
-        if streams then
+        if mvcc then
+          (* the MVCC snapshot-read sweep (PR 8): hot writers + full-tree
+             snapshot scans + the version-GC daemon, per-commit and batched.
+             Every scan validates its slice against the per-snapshot oracle,
+             rule R9 is enforced online on every read, and each sampled
+             crash point must restart (rebuilding the version store from
+             the log) back to the committed-state oracle. *)
+          [
+            ("mvcc", Aries_sim.Workload.mvcc_cfg);
+            ("mvcc+group", Aries_sim.Workload.mvcc_group_cfg);
+          ]
+        else if streams then
           (* the cross-stream crash-order sweep (PR 7): four WAL streams,
              crash-time per-stream flush shuffle armed, both commit modes.
              Every sampled crash point replays under a shuffled notion of

@@ -31,7 +31,7 @@ let seed_keys db tree lo hi =
           done))
 
 let protocols =
-  [ Protocol.Data_only; Protocol.Index_specific; Protocol.Kvl; Protocol.System_r ]
+  [ Protocol.Data_only; Protocol.Index_specific; Protocol.Kvl; Protocol.System_r; Protocol.Mvcc ]
 
 let config_of locking = { Btree.default_config with Btree.locking }
 

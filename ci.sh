@@ -18,6 +18,10 @@
 # streams with the crash-time per-stream flush shuffle armed, under
 # both classic and instant restart — recovery must converge to the
 # fence-validated committed-state oracle with zero R1-R8 violations.
+# The mvcc smoke is the snapshot-read crash sweep: hot writers, full-tree
+# snapshot scans checked against the per-snapshot oracle, and the
+# version-GC daemon racing both — every read must obey rule R9 and every
+# crash must restart (version store rebuilt from the log) to the oracle.
 set -eu
 
 cd "$(dirname "$0")"
@@ -43,6 +47,9 @@ if [ "${1:-}" != "fast" ]; then
 
   echo "== sim multi-stream smoke sweep (instant restart) =="
   dune exec bench/main.exe -- sim smoke --streams --instant
+
+  echo "== sim mvcc snapshot-read smoke sweep =="
+  dune exec bench/main.exe -- sim smoke --mvcc
 fi
 
 echo "ci.sh: all green"

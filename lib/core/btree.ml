@@ -9,6 +9,7 @@ module Txnmgr = Aries_txn.Txnmgr
 module Sched = Aries_sched.Sched
 module Latch = Aries_sched.Latch
 module Logrec = Aries_wal.Logrec
+module Logset = Aries_wal.Logset
 module Trace = Aries_trace.Trace
 
 exception Unique_violation of string
@@ -84,6 +85,9 @@ type env = {
           A completed SMO resets the bit only when the count drops to zero,
           so concurrent SMOs never erase each other's warnings. Lost at a
           crash, which only leaves bits conservatively stale. *)
+  e_mvstore : Mvstore.t;
+      (** MVCC version chains for trees opened under {!Protocol.Mvcc};
+          volatile, rebuilt through recovery by {!rebuild_versions} *)
   mutable e_trace : (event -> unit) option;
   mutable e_pause : (unit -> unit) option;
 }
@@ -100,6 +104,8 @@ and t = {
 let env_pool e = e.e_pool
 
 let env_mgr e = e.e_mgr
+
+let env_mvstore e = e.e_mvstore
 
 let index_id t = t.bt_ix
 
@@ -315,6 +321,21 @@ let log_clr_apply t txn page body ~undo_stream ~undo_nxt =
   Apply.apply page body;
   page.Page.page_lsn <- lsn;
   Bufpool.mark_dirty t.bt_env.e_pool page lsn
+
+(* MVCC (protocol #5): the pending version is appended BEFORE the page
+   change is logged/applied — [log_apply] yields, so recording after it
+   would open a window where the physical tree disagrees with committed
+   state and no chain marks the key as in flight. *)
+let mv_record t txn ~key ~present =
+  if t.bt_cfg.locking = Protocol.Mvcc then
+    Mvstore.record t.bt_env.e_mvstore ~ix:t.bt_ix ~value:key.Key.value ~rid:key.Key.rid
+      ~txn:txn.Txnmgr.txn_id ~present
+
+(* rollback undo compensated one operation: drop its pending version *)
+let mv_unrecord t txn ~key =
+  if t.bt_cfg.locking = Protocol.Mvcc then
+    Mvstore.unrecord t.bt_env.e_mvstore ~ix:t.bt_ix ~value:key.Key.value ~rid:key.Key.rid
+      ~txn:txn.Txnmgr.txn_id
 
 (* ------------------------------------------------------------------ *)
 (* Key comparison. In a unique index the search logic compares values only
@@ -1106,6 +1127,7 @@ let insert t txn ~value ~rid =
       (match acquire_locks t ctx txn reqs with
       | `Ok -> ()
       | `Retry -> raise (Op_restart "insert lock wait"));
+      mv_record t txn ~key ~present:true;
       log_apply t txn leaf
         (Ixlog.Insert_key { ix = t.bt_ix; key; reset_sm = sm; reset_delete = del })
         ~undoable:true;
@@ -1166,6 +1188,7 @@ let delete_via_page_delete t txn ~probe =
       else begin
         (* the key delete itself, logged before the SMO starts (Figure 10),
            with SM_Bit set so the emptied page is never reachable clean *)
+        mv_record t txn ~key:stored_key ~present:false;
         log_apply t txn leaf
           (Ixlog.Delete_key
              {
@@ -1268,6 +1291,7 @@ let delete t txn ~value ~rid =
         Fun.protect
           ~finally:(fun () -> if tree_latched then sync_posc_release t txn)
           (fun () ->
+            mv_record t txn ~key:stored_key ~present:false;
             log_apply t txn leaf
               (Ixlog.Delete_key
                  {
@@ -1309,7 +1333,210 @@ let cs_release t txn (reqs : Protocol.lock_req list) =
            r.Protocol.lk_name))
     reqs
 
+(* --- Mvcc snapshot reads (protocol #5, rule R9) ---
+
+   Readers never touch the lock manager: the version store replaces both
+   the current-key and the next-key lock. They also never park on the SMO
+   sync: the descent below ignores SM_Bit ambiguity entirely, which is
+   sound for a reader that afterwards walks RIGHT along the leaf chain —
+   a split links the new sibling into the chain before (and regardless of
+   whether) its separator is posted, so the rightmost route can only land
+   at-or-left of the target, never beyond it. A mid-SMO structural hiccup
+   (empty nonleaf, page changing identity) just drops everything, yields,
+   and retries: the SMO holds no lock the reader needs and completes in a
+   bounded number of steps. *)
+
+let mv_descend t ctx ~probe =
+  Stats.incr Stats.tree_traversals;
+  let rec attempt n =
+    if n > max_restarts then raise (Structural_fault (t.bt_name ^ ": mvcc reader livelock"));
+    let root, _height = read_anchor t ctx in
+    let rec go parent pid =
+      let page = Bufpool.fix t.bt_env.e_pool pid in
+      let was_leaf = Page.is_leaf page in
+      hold_fixed t ctx page Latch.S;
+      if Page.is_leaf page <> was_leaf then begin
+        drop t ctx page;
+        (match parent with Some p -> drop t ctx p | None -> ());
+        raise Traverse_restart
+      end;
+      match page.Page.content with
+      | Page.Leaf _ ->
+          (match parent with Some p -> drop t ctx p | None -> ());
+          page
+      | Page.Nonleaf nl ->
+          let nc = Vec.length nl.Page.nl_children in
+          let nk = Vec.length nl.Page.nl_high_keys in
+          if nc = 0 then begin
+            drop t ctx page;
+            (match parent with Some p -> drop t ctx p | None -> ());
+            raise Traverse_restart
+          end
+          else begin
+            let idx =
+              let rec find i =
+                if i >= nk then nc - 1
+                else if probe (Vec.get nl.Page.nl_high_keys i) > 0 then i
+                else find (i + 1)
+              in
+              find 0
+            in
+            let child = Vec.get nl.Page.nl_children idx in
+            (match parent with Some p -> drop t ctx p | None -> ());
+            go (Some page) child
+          end
+      | Page.Data _ | Page.Anchor _ ->
+          raise (Structural_fault (Printf.sprintf "%s: non-index page %d in tree" t.bt_name pid))
+    in
+    match go None root with
+    | leaf -> leaf
+    | exception Traverse_restart ->
+        trace t (Ev_restart "mvcc traversal: mid-SMO retry");
+        drop_all t ctx;
+        Sched.yield ();
+        attempt (n + 1)
+  in
+  attempt 0
+
+(* pin the snapshot at the first Mvcc read: everything committed so far —
+   CSN = current (epoch, gsn) — is visible, every later commit is not *)
+let mvcc_snap t txn =
+  let store = t.bt_env.e_mvstore in
+  let txid = txn.Txnmgr.txn_id in
+  match Mvstore.pinned store ~txn:txid with
+  | Some c -> c
+  | None ->
+      let logs = Txnmgr.logs t.bt_env.e_mgr in
+      let c =
+        { Mvstore.cs_epoch = Logset.current_epoch logs; cs_gsn = Logset.current_gsn logs }
+      in
+      Mvstore.pin store ~txn:txid ~csn:c;
+      if Trace.enabled () then
+        Trace.emit
+          (Trace.Mvcc_pin { txn = txid; epoch = c.Mvstore.cs_epoch; gsn = c.Mvstore.cs_gsn });
+      c
+
+(* The range probe both fetch and scans reduce to: the first key at/after
+   the probe visible at the snapshot. Two candidates, merged by (value,
+   rid) order:
+
+   - the first {e physically present} visible key — a latch-coupled
+     rightward leaf walk resolving each chained key against the snapshot
+     (an unversioned key is visible as-is: a chain exists whenever the
+     tree can disagree with committed state, and GC collapses a chain only
+     once its single surviving version agrees with the tree below every
+     live snapshot);
+   - the first {e chained} visible key ([Mvstore.first_visible]) — covers
+     keys visible at the snapshot but no longer (or not yet) in the tree.
+
+   The tree walk runs FIRST: while this reader's pin holds, a chain it
+   skipped cannot collapse (its deciding version is at or above the GC
+   horizon), so the store scan is guaranteed to still see every skipped
+   key; the reverse order would race a writer chaining a key between the
+   store scan and the walk. [skip_value] excludes one value from the store
+   scan (strict bounds; the tree probes exclude it already). *)
+let mvcc_locate t txn ~probe ~from_value ~after_rid ~skip_value =
+  Sched.maybe_yield ();
+  let store = t.bt_env.e_mvstore in
+  let txid = txn.Txnmgr.txn_id in
+  let snap = mvcc_snap t txn in
+  Stats.incr Stats.mvcc_snapshot_reads;
+  if Trace.enabled () then Trace.emit (Trace.Mvcc_read_begin { txn = txid });
+  Fun.protect
+    ~finally:(fun () ->
+      if Trace.enabled () then Trace.emit (Trace.Mvcc_read_end { txn = txid }))
+    (fun () ->
+      if Crashpoint.fault_active Crashpoint.fault_mvcc_reader_key_lock then begin
+        (* meta-fault: the lock-manager interaction R9 exists to forbid *)
+        let k = Key.make from_value { Ids.rid_page = 0; Ids.rid_slot = 0 } in
+        ignore
+          (Txnmgr.try_lock t.bt_env.e_mgr txn
+             (Protocol.key_name Protocol.Data_only t.bt_ix k)
+             Lockmgr.S Lockmgr.Instant)
+      end;
+      let emit_read c visible =
+        if Trace.enabled () then
+          match c with
+          | Some c ->
+              Trace.emit
+                (Trace.Mvcc_read
+                   { txn = txid; epoch = c.Mvstore.cs_epoch; gsn = c.Mvstore.cs_gsn; visible })
+          | None -> ()
+      in
+      let ctx = new_ctx () in
+      let tree_cand =
+        Fun.protect
+          ~finally:(fun () -> drop_all t ctx)
+          (fun () ->
+            let leaf = mv_descend t ctx ~probe in
+            let rec walk leaf pos =
+              let l = Page.as_leaf leaf in
+              if pos >= Vec.length l.Page.lf_keys then begin
+                let next = l.Page.lf_next in
+                if next = Ids.nil_page then None
+                else begin
+                  let np = hold t ctx next Latch.S in
+                  drop t ctx leaf;
+                  walk np 0
+                end
+              end
+              else
+                let k = Vec.get l.Page.lf_keys pos in
+                if probe k < 0 then walk leaf (pos + 1)
+                else
+                  match
+                    Mvstore.resolve store ~ix:t.bt_ix ~value:k.Key.value ~rid:k.Key.rid
+                      ~txn:txid ~snap
+                  with
+                  | Mvstore.No_chain -> Some k
+                  | Mvstore.Visible c ->
+                      emit_read c true;
+                      Some k
+                  | Mvstore.Invisible -> walk leaf (pos + 1)
+            in
+            walk leaf (lower_bound (Page.as_leaf leaf).Page.lf_keys probe))
+      in
+      let rec store_cand after =
+        match Mvstore.first_visible store ~ix:t.bt_ix ?after ~txn:txid ~snap from_value with
+        | Some (v, rid, _) when (match skip_value with Some s -> String.equal v s | None -> false)
+          ->
+            store_cand (Some rid)
+        | r -> r
+      in
+      match (tree_cand, store_cand after_rid) with
+      | None, None -> None
+      | Some k, None -> Some k
+      | None, Some (v, rid, c) ->
+          emit_read c true;
+          Some (Key.make v rid)
+      | Some k, Some (v, rid, c) ->
+          let store_first =
+            let cv = String.compare v k.Key.value in
+            cv < 0 || (cv = 0 && Ids.compare_rid rid k.Key.rid < 0)
+          in
+          if store_first then begin
+            emit_read c true;
+            Some (Key.make v rid)
+          end
+          else Some k)
+
+let mvcc_fetch t txn ~comparison value =
+  let probe = fetch_probe comparison value in
+  let skip_value = match comparison with `Gt -> Some value | `Eq | `Ge -> None in
+  match mvcc_locate t txn ~probe ~from_value:value ~after_rid:None ~skip_value with
+  | None -> None
+  | Some k -> (
+      match comparison with
+      | `Eq -> if String.equal k.Key.value value then Some k else None
+      | `Ge | `Gt -> Some k)
+
 let fetch t txn ?(comparison = `Eq) ?(isolation = `Rr) value =
+  if t.bt_cfg.locking = Protocol.Mvcc then begin
+    (* snapshot isolation supersedes the RR/CS lock-duration distinction *)
+    ignore isolation;
+    mvcc_fetch t txn ~comparison value
+  end
+  else begin
   let probe = fetch_probe comparison value in
   serialize_point t;
   with_retries t "fetch" (fun ctx ->
@@ -1334,6 +1561,7 @@ let fetch t txn ?(comparison = `Eq) ?(isolation = `Rr) value =
           match comparison with
           | `Eq -> if String.equal k.Key.value value then Some k else None
           | `Ge | `Gt -> Some k))
+  end
 
 (* --- Scans (Fetch Next, §2.3) --- *)
 
@@ -1366,6 +1594,42 @@ let open_scan t txn ?(comparison = `Ge) ?(isolation = `Rr) value =
 
 let fetch_next t txn cursor ?stop () =
   if cursor.cr_done then None
+  else if t.bt_cfg.locking = Protocol.Mvcc then begin
+    (* snapshot scan: reposition strictly after the last returned key (by
+       value only in a unique index, matching [probe_after]); no cursor
+       locks, no fast-path page revalidation — the snapshot cannot move *)
+    let probe, from_value, after_rid, skip_value =
+      match cursor.cr_last with
+      | Some k ->
+          ( probe_after t k,
+            k.Key.value,
+            Some k.Key.rid,
+            if t.bt_unique then Some k.Key.value else None )
+      | None ->
+          if cursor.cr_strict then
+            (probe_gt cursor.cr_bound, cursor.cr_bound, None, Some cursor.cr_bound)
+          else (probe_ge cursor.cr_bound, cursor.cr_bound, None, None)
+    in
+    match mvcc_locate t txn ~probe ~from_value ~after_rid ~skip_value with
+    | None ->
+        cursor.cr_done <- true;
+        None
+    | Some k ->
+        let beyond =
+          match stop with
+          | None -> false
+          | Some (bound, `Le) -> String.compare k.Key.value bound > 0
+          | Some (bound, `Lt) -> String.compare k.Key.value bound >= 0
+        in
+        if beyond then begin
+          cursor.cr_done <- true;
+          None
+        end
+        else begin
+          cursor.cr_last <- Some k;
+          Some k
+        end
+  end
   else begin
     serialize_point t;
     let probe =
@@ -1456,6 +1720,7 @@ let fetch_next t txn cursor ?stop () =
 (* Undo (§3): page-oriented whenever possible, logical otherwise. *)
 
 let undo_insert t txn (r : Logrec.t) ~key =
+  mv_unrecord t txn ~key;
   let ctx = new_ctx () in
   let clr_body =
     Ixlog.Delete_key { ix = t.bt_ix; key; reset_sm = false; set_sm = false; mark_delete_bit = false }
@@ -1513,6 +1778,7 @@ let undo_insert t txn (r : Logrec.t) ~key =
       end)
 
 let undo_delete t txn (r : Logrec.t) ~key =
+  mv_unrecord t txn ~key;
   let ctx = new_ctx () in
   let clr_body = Ixlog.Insert_key { ix = t.bt_ix; key; reset_sm = false; reset_delete = false } in
   Fun.protect
@@ -1625,10 +1891,26 @@ let env ?config mgr pool =
       e_trees = Hashtbl.create 8;
       e_default_cfg = (match config with Some c -> c | None -> default_config);
       e_smo_owners = Hashtbl.create 32;
+      e_mvstore = Mvstore.create ();
       e_trace = None;
       e_pause = None;
     }
   in
+  (* commit stamps the txn's pending versions with its CSN — the Commit
+     record's (epoch, gsn) — before the durability wait; rollback discards
+     whatever per-op undo has not already unrecorded. Either way the txn's
+     snapshot pin is released, lifting the GC horizon. *)
+  Txnmgr.set_txn_end_hook mgr
+    (Some
+       (fun txn outcome ->
+         let id = txn.Txnmgr.txn_id in
+         let had_pin = Mvstore.pinned e.e_mvstore ~txn:id <> None in
+         (match outcome with
+         | `Commit (epoch, gsn) ->
+             Mvstore.commit_txn e.e_mvstore ~txn:id
+               ~csn:{ Mvstore.cs_epoch = epoch; cs_gsn = gsn }
+         | `Rollback -> Mvstore.abort_txn e.e_mvstore ~txn:id);
+         if had_pin && Trace.enabled () then Trace.emit (Trace.Mvcc_unpin { txn = id })));
   Txnmgr.register_rm mgr ~rm_id:Ixlog.rm_id
     ~locks:(fun r ->
       (* Commit-duration names fencing the record's change, for
@@ -1652,6 +1934,52 @@ let env ?config mgr pool =
     ~undo:(fun txn r -> rm_undo e txn r)
     ();
   e
+
+(* ------------------------------------------------------------------ *)
+(* Restart: rebuild the version store from the log history.
+
+   Run after Analysis has rebuilt the transaction table (and, for classic
+   restart, alongside/after redo) but BEFORE user transactions are served.
+   Only in-flight transactions matter: anything that committed before the
+   crash is below every post-restart snapshot's horizon, so its chains
+   would collapse to the unversioned fallback immediately — the physical
+   tree (after redo) IS its committed state. What must be chained is the
+   crash residue: losers whose undo is deferred (instant restart serves
+   reads while their uncommitted keys are still physically in the tree)
+   and in-doubt prepared transactions. Their surviving index records are
+   replayed in gsn order: an Update appends a pending version, a CLR
+   unrecords the version it compensates. The versions stay pending —
+   commit_prepared stamps an in-doubt txn's versions through the txn-end
+   hook; a loser's are dropped one by one as its undo unrecords them. *)
+let rebuild_versions env =
+  Mvstore.clear env.e_mvstore;
+  let mgr = env.e_mgr in
+  let interesting = Txnmgr.active_txns mgr in
+  (* Only under Mvcc: rebuilt pending versions are drained by undo's
+     mv_unrecord calls, which other protocols never make — replaying for
+     them would leave versions stranded forever. *)
+  if env.e_default_cfg.locking = Protocol.Mvcc && interesting <> [] then begin
+    let ids = List.map (fun tx -> tx.Txnmgr.txn_id) interesting in
+    let logs = Txnmgr.logs mgr in
+    let starts = Array.make (Logset.n logs) Lsn.nil in
+    Logset.iter_merged logs ~starts (fun r ->
+        if r.Logrec.rm_id = Ixlog.rm_id && List.mem r.Logrec.txn ids then
+          match Ixlog.decode ~op:r.Logrec.op r.Logrec.body with
+          | Ixlog.Insert_key { ix; key; _ } | Ixlog.Delete_key { ix; key; _ }
+            when r.Logrec.kind = Logrec.Clr ->
+              (* compensation: the CLR's body inverts the compensated
+                 operation, but both unrecord the same key's newest
+                 pending version *)
+              Mvstore.unrecord env.e_mvstore ~ix ~value:key.Key.value ~rid:key.Key.rid
+                ~txn:r.Logrec.txn
+          | Ixlog.Insert_key { ix; key; _ } ->
+              Mvstore.record env.e_mvstore ~ix ~value:key.Key.value ~rid:key.Key.rid
+                ~txn:r.Logrec.txn ~present:true
+          | Ixlog.Delete_key { ix; key; _ } ->
+              Mvstore.record env.e_mvstore ~ix ~value:key.Key.value ~rid:key.Key.rid
+                ~txn:r.Logrec.txn ~present:false
+          | _ -> ())
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Unlocked inspection for tests and benches *)

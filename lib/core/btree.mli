@@ -74,6 +74,22 @@ val env_pool : env -> Aries_buffer.Bufpool.t
 
 val env_mgr : env -> Txnmgr.t
 
+val env_mvstore : env -> Mvstore.t
+(** The MVCC version store backing trees opened under {!Protocol.Mvcc}:
+    writers append pending versions before logging their page changes,
+    the transaction manager's txn-end hook (installed by {!env}) stamps
+    them with the commit CSN, and snapshot readers resolve against it
+    without touching the lock manager (rule R9). *)
+
+val rebuild_versions : env -> unit
+(** Restart: clear and rebuild the (volatile) version store from the log
+    history — call after Analysis has rebuilt the transaction table but
+    before user transactions are served. Only in-flight transactions'
+    records are replayed (pending versions for losers and in-doubt
+    prepared txns); committed history needs no chains, because every
+    post-restart snapshot pins above it and the redone physical tree IS
+    its committed state. *)
+
 (** {1 Trees} *)
 
 type t
@@ -113,7 +129,13 @@ val fetch :
 
     [~isolation:`Cs] selects cursor stability (degree 2, §1.2): the
     current-key lock is held only while positioned, so re-reads are not
-    repeatable, but only committed data is ever seen. *)
+    repeatable, but only committed data is ever seen.
+
+    Under {!Protocol.Mvcc} the fetch is a {e snapshot read} instead: the
+    transaction's first fetch pins a snapshot CSN, every fetch resolves
+    keys against the version store merged with the physical tree, no key
+    lock is ever requested and no SMO is ever waited on (rule R9), and
+    [isolation] is ignored — snapshot isolation supersedes it. *)
 
 type cursor
 

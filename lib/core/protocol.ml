@@ -3,13 +3,14 @@ module Key = Aries_page.Key
 module Lockmgr = Aries_lock.Lockmgr
 module Trace = Aries_trace.Trace
 
-type locking = Data_only | Index_specific | Kvl | System_r
+type locking = Data_only | Index_specific | Kvl | System_r | Mvcc
 
 let locking_to_string = function
   | Data_only -> "data-only"
   | Index_specific -> "index-specific"
   | Kvl -> "kvl"
   | System_r -> "system-r"
+  | Mvcc -> "mvcc"
 
 type target = At of Key.t | Eof
 
@@ -26,7 +27,7 @@ let key_string (k : Key.t) = Printf.sprintf "%s\x00%s" k.Key.value (Ids.rid_to_s
 
 let key_name locking ix (k : Key.t) =
   match locking with
-  | Data_only -> Lockmgr.Rid k.Key.rid
+  | Data_only | Mvcc -> Lockmgr.Rid k.Key.rid
   | Index_specific -> Lockmgr.Key_value (ix, key_string k)
   | Kvl | System_r -> Lockmgr.Key_value (ix, k.Key.value)
 
@@ -53,6 +54,10 @@ let traced op reqs =
 let fetch_locks locking ix ~current =
   traced "fetch"
     (match locking with
+    | Mvcc ->
+        (* snapshot reads: the version chain replaces the current/next-key
+           lock entirely — a reader never touches the lock manager (R9) *)
+        []
     | Data_only | Index_specific | Kvl -> [ req locking ix current Lockmgr.S Lockmgr.Commit ]
     | System_r ->
         (* baseline: S commit on the current/next value; callers add the next
@@ -63,7 +68,7 @@ let fetch_locks locking ix ~current =
 let insert_locks locking ix ~unique ~key ~next ~value_exists =
   traced "insert"
     (match locking with
-    | Data_only ->
+    | Data_only | Mvcc ->
         (* Figure 2: next key X instant; no current-key lock — the record
            manager's commit-duration X lock on the record covers the key *)
         [ req locking ix next Lockmgr.X Lockmgr.Instant ]
@@ -97,7 +102,7 @@ let insert_locks locking ix ~unique ~key ~next ~value_exists =
 let delete_locks locking ix ~unique ~key ~next ~value_remains =
   traced "delete"
     (match locking with
-    | Data_only ->
+    | Data_only | Mvcc ->
         (* Figure 2: next key X commit; no current-key lock under data-only *)
         [ req locking ix next Lockmgr.X Lockmgr.Commit ]
     | Index_specific ->
@@ -126,7 +131,7 @@ let delete_locks locking ix ~unique ~key ~next ~value_remains =
         ])
 
 let fetch_locks_record_too = function
-  | Data_only -> false
+  | Data_only | Mvcc -> false
   | Index_specific | Kvl | System_r -> true
 
 let pp_req ppf r =

@@ -7,13 +7,20 @@
     the System R-style baseline the paper compares against: commit-duration
     key-value locks on both current and next key for every operation — more
     locks, held longer. KVL and System R are documented approximations (see
-    DESIGN.md §1); the IM modes follow Figure 2 exactly. *)
+    DESIGN.md §1); the IM modes follow Figure 2 exactly.
+
+    [Mvcc] is the fifth protocol (ROADMAP item 1): writers keep the full
+    data-only ARIES/IM discipline among themselves, but readers take {e no}
+    key locks at all — each committed update appends to a per-key version
+    chain stamped with a CSN derived from the commit epoch/gsn, and a reader
+    resolves every key against its chain at the snapshot CSN pinned when the
+    transaction first reads (see {!Mvstore}). *)
 
 open Aries_util
 module Key = Aries_page.Key
 module Lockmgr = Aries_lock.Lockmgr
 
-type locking = Data_only | Index_specific | Kvl | System_r
+type locking = Data_only | Index_specific | Kvl | System_r | Mvcc
 
 val locking_to_string : locking -> string
 

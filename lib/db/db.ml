@@ -7,11 +7,15 @@ module Lockmgr = Aries_lock.Lockmgr
 module Txnmgr = Aries_txn.Txnmgr
 module Group_commit = Aries_txn.Group_commit
 module Btree = Aries_btree.Btree
+module Mvstore = Aries_btree.Mvstore
 module Restart = Aries_recovery.Restart
 module Checkpoint = Aries_recovery.Checkpoint
 module Ckptd = Aries_recovery.Ckptd
+module Vgcd = Aries_recovery.Vgcd
 module Media = Aries_recovery.Media
 module Sched = Aries_sched.Sched
+module Stats = Aries_util.Stats
+module Trace = Aries_trace.Trace
 
 type commit_mode = Per_commit | Group of Group_commit.policy
 
@@ -26,6 +30,7 @@ type t = {
   commit_mode : commit_mode;
   cleaner : Cleaner.cfg option;
   checkpoint_cfg : Ckptd.cfg option;
+  vgc_cfg : Vgcd.cfg option;
   archive : Media.Archive.t;
   gc : Group_commit.t option;
   mutable closing : bool;
@@ -34,8 +39,8 @@ type t = {
       (* the instant-restart engine of the most recent [restart ~instant:true] *)
 }
 
-let build ?pool_capacity ?config ?(commit_mode = Per_commit) ?cleaner ?checkpoint ~archive disk
-    logs =
+let build ?pool_capacity ?config ?(commit_mode = Per_commit) ?cleaner ?checkpoint ?vgc ~archive
+    disk logs =
   let pool = Bufpool.create ?capacity:pool_capacity disk logs in
   let locks = Lockmgr.create () in
   let mgr = Txnmgr.create logs locks in
@@ -60,15 +65,15 @@ let build ?pool_capacity ?config ?(commit_mode = Per_commit) ?cleaner ?checkpoin
       ignore (Media.auto_repair ~archive mgr pool pid);
       true);
   { disk; logs; wal = Logset.control logs; pool; locks; mgr; benv; commit_mode; cleaner;
-    checkpoint_cfg = checkpoint; archive; gc; closing = false; running_daemons = 0;
+    checkpoint_cfg = checkpoint; vgc_cfg = vgc; archive; gc; closing = false; running_daemons = 0;
     restart_engine = None }
 
-let create ?(page_size = 4096) ?pool_capacity ?config ?commit_mode ?cleaner ?checkpoint
+let create ?(page_size = 4096) ?pool_capacity ?config ?commit_mode ?cleaner ?checkpoint ?vgc
     ?segment_size ?streams () =
   let disk = Disk.create ~page_size () in
   let logs = Logset.create ?segment_size ?streams () in
-  build ?pool_capacity ?config ?commit_mode ?cleaner ?checkpoint ~archive:(Media.Archive.create ())
-    disk logs
+  build ?pool_capacity ?config ?commit_mode ?cleaner ?checkpoint ?vgc
+    ~archive:(Media.Archive.create ()) disk logs
 
 let crash ?config t =
   Logset.crash t.logs;
@@ -78,9 +83,11 @@ let crash ?config t =
      fresh (empty) commit queue under the same policy; committers that were
      suspended on the old queue were never acknowledged, and restart decides
      their fate purely from the stable log. The archive and the surviving
-     segments are stable state and carry over. *)
+     segments are stable state and carry over. The version store is volatile
+     too — the new environment's store starts empty ([restart] rebuilds the
+     in-flight transactions' chains from the log). *)
   build ?config ~commit_mode:t.commit_mode ?cleaner:t.cleaner ?checkpoint:t.checkpoint_cfg
-    ~archive:t.archive t.disk t.logs
+    ?vgc:t.vgc_cfg ~archive:t.archive t.disk t.logs
 
 (* Classic restart runs all three passes before returning. With
    [~instant:true] only Analysis (plus lock reacquisition) runs up front:
@@ -91,10 +98,23 @@ let crash ?config t =
    {!restart_engine} observes the counters growing as the drain
    proceeds. *)
 let restart ?(instant = false) ?(drain = Restart.default_drain) t =
-  if not instant then Restart.run t.mgr t.pool
+  if not instant then begin
+    let report = Restart.run t.mgr t.pool in
+    (* MVCC: the three passes are done, so only in-doubt prepared
+       transactions survive in the table — rebuild their pending version
+       chains (losers were rolled back; committed history needs no chains). *)
+    Btree.rebuild_versions t.benv;
+    report
+  end
   else begin
     let en = Restart.start ~archive:t.archive t.mgr t.pool in
     t.restart_engine <- Some en;
+    (* MVCC: Analysis has rebuilt the transaction table, and the Db is about
+       to serve snapshot readers while losers are still being undone — their
+       uncommitted versions must be back in the store {e before} the first
+       read, or a reader would trust the physical tree and see loser data.
+       Undo then drains the rebuilt pending versions record by record. *)
+    Btree.rebuild_versions t.benv;
     if Restart.finished en then ()
     else if Sched.in_fiber () then begin
       t.running_daemons <- t.running_daemons + 1;
@@ -117,6 +137,23 @@ let checkpoint t = ignore (Checkpoint.take t.mgr t.pool)
 let safety_point t = Ckptd.safety_point t.mgr t.pool
 
 let trim_log t = Ckptd.reclaim t.mgr t.pool
+
+(* One MVCC version-collection round: reclaim below the oldest-active-
+   snapshot horizon (the current log position when nothing is pinned).
+   The Vgcd daemon calls this on its cadence; tests call it directly. *)
+let vgc_once t =
+  let store = Btree.env_mvstore t.benv in
+  let horizon =
+    Mvstore.horizon store
+      ~current:
+        { Mvstore.cs_epoch = Logset.current_epoch t.logs; cs_gsn = Logset.current_gsn t.logs }
+  in
+  let reclaimed = Mvstore.gc store ~horizon in
+  if Trace.enabled () then
+    Trace.emit
+      (Trace.Vgc_round
+         { reclaimed; epoch = horizon.Mvstore.cs_epoch; gsn = horizon.Mvstore.cs_gsn });
+  reclaimed
 
 let iter_log_history t ~from f =
   Logset.iteri t.logs (fun _ wal -> Media.Archive.iter_history t.archive wal ~from f)
@@ -150,7 +187,7 @@ let save t path =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_bytes oc (Aries_util.Bytebuf.W.contents w))
 
-let load ?pool_capacity ?config ?commit_mode ?cleaner ?checkpoint path =
+let load ?pool_capacity ?config ?commit_mode ?cleaner ?checkpoint ?vgc path =
   let ic = open_in_bin path in
   let b =
     Fun.protect
@@ -175,7 +212,7 @@ let load ?pool_capacity ?config ?commit_mode ?cleaner ?checkpoint path =
          bare parser crash *)
       raise (Aries_util.Storage_error.of_corrupt (Printf.sprintf "snapshot %s: %s" path msg))
   in
-  build ?pool_capacity ?config ?commit_mode ?cleaner ?checkpoint ~archive disk logs
+  build ?pool_capacity ?config ?commit_mode ?cleaner ?checkpoint ?vgc ~archive disk logs
 
 let leak_report t =
   let leaks = ref [] in
@@ -193,6 +230,31 @@ let leak_report t =
         (String.concat "," (List.map (fun (x : Txnmgr.txn) -> string_of_int x.Txnmgr.txn_id) txns)));
   let violations = Aries_trace.Discipline.violations () in
   if violations > 0 then add "%d latch/lock discipline violation(s) detected" violations;
+  (* MVCC version-store audits. A pending (unstamped) version whose writer
+     is no longer in the transaction table can never be stamped or dropped;
+     a snapshot pin with no transaction behind it blocks the GC horizon
+     forever; and the created/reclaimed counters must balance the store's
+     live census (versions neither stamped-and-kept nor accounted reclaimed
+     have leaked). *)
+  let store = Btree.env_mvstore t.benv in
+  let active_ids =
+    List.map (fun (x : Txnmgr.txn) -> x.Txnmgr.txn_id) (Txnmgr.active_txns t.mgr)
+  in
+  (match
+     List.filter (fun id -> not (List.mem id active_ids)) (Mvstore.pending_txns store)
+   with
+  | [] -> ()
+  | stale ->
+      add "%d finished transaction(s) still own pending MVCC versions: %s" (List.length stale)
+        (String.concat "," (List.map string_of_int stale)));
+  let snaps = Mvstore.live_snapshots store in
+  if active_ids = [] && snaps > 0 then add "%d MVCC snapshot pin(s) leaked" snaps;
+  let created = Mvstore.created_total store
+  and reclaimed = Mvstore.reclaimed_total store in
+  let live = Mvstore.live_versions store in
+  if created - reclaimed <> live then
+    add "MVCC version census mismatch: %d created - %d reclaimed but %d live in the store"
+      created reclaimed live;
   List.rev !leaks
 
 (* Spawn the configured daemons into the current scheduler run. Called from
@@ -226,10 +288,15 @@ let start_daemons t =
         spawn_counted "page-cleaner" (fun () ->
             Cleaner.run_daemon t.pool cfg ~stop:(fun () -> t.closing))
     | None -> ());
-    match t.checkpoint_cfg with
+    (match t.checkpoint_cfg with
     | Some cfg ->
         spawn_counted "checkpointer" (fun () ->
             Ckptd.run_daemon t.mgr t.pool cfg ~stop:(fun () -> t.closing))
+    | None -> ());
+    match t.vgc_cfg with
+    | Some cfg ->
+        spawn_counted "version-gc" (fun () ->
+            Vgcd.run_daemon cfg ~gc:(fun () -> vgc_once t) ~stop:(fun () -> t.closing))
     | None -> ()
   end
 

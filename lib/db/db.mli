@@ -31,6 +31,7 @@ type t = {
   commit_mode : commit_mode;
   cleaner : Aries_buffer.Cleaner.cfg option;
   checkpoint_cfg : Aries_recovery.Ckptd.cfg option;
+  vgc_cfg : Aries_recovery.Vgcd.cfg option;
   archive : Aries_recovery.Media.Archive.t;
   gc : Aries_txn.Group_commit.t option;
   mutable closing : bool;
@@ -45,6 +46,7 @@ val create :
   ?commit_mode:commit_mode ->
   ?cleaner:Aries_buffer.Cleaner.cfg ->
   ?checkpoint:Aries_recovery.Ckptd.cfg ->
+  ?vgc:Aries_recovery.Vgcd.cfg ->
   ?segment_size:int ->
   ?streams:int ->
   unit ->
@@ -53,7 +55,10 @@ val create :
     policy; [cleaner] (default off) enables the background page cleaner;
     [checkpoint] (default off) enables the fuzzy-checkpoint daemon
     ({!Aries_recovery.Ckptd}), which periodically checkpoints and reclaims
-    sealed log segments below the safety point. [segment_size] sets the WAL
+    sealed log segments below the safety point; [vgc] (default off) enables
+    the MVCC version garbage collector ({!Aries_recovery.Vgcd}), which
+    periodically reclaims chain versions below the oldest-active-snapshot
+    horizon (only useful under {!Aries_btree.Protocol.Mvcc}). [segment_size] sets the WAL
     segment size ({!Aries_wal.Logmgr.default_segment_size} by default) —
     reclamation is whole-segment, so small workloads want small segments.
     [streams] (default 1) is the number of parallel WAL streams
@@ -105,6 +110,13 @@ val safety_point : t -> Aries_wal.Lsn.t option
     would be unsafe (no complete checkpoint yet, or a transaction of
     unknown extent in the table). *)
 
+val vgc_once : t -> int
+(** Run one MVCC version-collection round by hand: compute the
+    oldest-active-snapshot horizon (the current log position when no
+    snapshot is pinned) and reclaim below it ({!Aries_btree.Mvstore.gc}).
+    Returns versions reclaimed and emits a [Vgc_round] trace event. The
+    [vgc] daemon calls exactly this on its cadence. *)
+
 val trim_log : t -> int
 (** Reclaim whole sealed log segments below the {!safety_point}. Returns
     the number of bytes reclaimed (0 when blocked or when no sealed segment
@@ -124,8 +136,11 @@ val with_txn : t -> (Txnmgr.txn -> 'a) -> 'a
 
 val leak_report : t -> string list
 (** Quiescence audit: human-readable descriptions of every leaked resource —
-    fixed buffer frames, held page latches, lock-table holders/waiters, and
-    transactions still in the table. Empty when the environment is fully
+    fixed buffer frames, held page latches, lock-table holders/waiters,
+    transactions still in the table, plus the MVCC version-store audits:
+    pending versions owned by finished transactions, snapshot pins with no
+    transaction behind them, and a created/reclaimed counter balance that
+    must equal the store's live census. Empty when the environment is fully
     quiescent (what the simulation harness requires after every completed
     workload and after every restart). *)
 
@@ -167,6 +182,7 @@ val load :
   ?commit_mode:commit_mode ->
   ?cleaner:Aries_buffer.Cleaner.cfg ->
   ?checkpoint:Aries_recovery.Ckptd.cfg ->
+  ?vgc:Aries_recovery.Vgcd.cfg ->
   string ->
   t
 (** Rebuild an environment from a {!save}d file. The caller must run

@@ -1,0 +1,24 @@
+(** Background MVCC version garbage collector (protocol #5).
+
+    A trickle daemon in the mold of {!Ckptd} and the buffer cleaner: every
+    [every_steps] scheduler steps it runs one collection round, reclaiming
+    chain versions no live or future snapshot can reach (everything below
+    the oldest-active-snapshot horizon — see [Mvstore.gc]).
+
+    The collector itself is injected as a closure: the database layer binds
+    it to its version store and horizon computation, so this module — like
+    the rest of [lib/recovery] — depends only on the scheduler and utility
+    layers, not on the index manager. *)
+
+type cfg = { every_steps : int  (** scheduler steps between rounds *) }
+
+val default_cfg : cfg
+
+val round : gc:(unit -> int) -> int
+(** Run one collection round: invoke [gc] (which returns the number of
+    versions reclaimed) and bump [Stats.vgcd_rounds]. *)
+
+val run_daemon : cfg -> gc:(unit -> int) -> stop:(unit -> bool) -> unit
+(** Run rounds forever on the calling fiber, sleeping [every_steps]
+    scheduler steps between rounds; exits when [stop ()] turns true, the
+    scheduler shuts down, or a simulated crash has tripped. *)

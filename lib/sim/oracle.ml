@@ -42,6 +42,13 @@ let committed_txns db =
         Hashtbl.replace set r.Logrec.txn ());
   set
 
+(* Per-snapshot visible state (MVCC): fold only the committed transactions
+   whose commit sequence number is at or below the pin. The history is in
+   commit order, so the fold is exactly the serialization prefix the
+   snapshot is entitled to observe. *)
+let visible_at history ~at =
+  List.fold_left (fun acc (csn, ops) -> if csn <= at then apply acc ops else acc) empty history
+
 let diff_lines expected actual =
   let lines = ref [] in
   let add fmt = Printf.ksprintf (fun s -> lines := s :: !lines) fmt in

@@ -44,6 +44,13 @@ val committed_txns : Aries_db.Db.t -> (Ids.txn_id, unit) Hashtbl.t
     sequence, so this is the ground truth for which transactions survived —
     even when the checkpoint daemon truncated the live prefix mid-run. *)
 
+val visible_at : (int * op list) list -> at:int -> t
+(** Per-snapshot visible state (MVCC): [visible_at history ~at] folds the
+    ops of every [(csn, ops)] pair with [csn <= at], in list (= commit)
+    order — the state a snapshot pinned at CSN [at] must see, regardless
+    of what later committers, in-flight writers or the version GC have
+    done since. *)
+
 val diff_lines : t -> (string * Ids.rid) list -> string list
 (** [diff_lines expected actual] describes every divergence (missing /
     extra / rid-mismatched values); empty when they agree. *)

@@ -44,6 +44,12 @@ let check_state db tree (trace : Workload.trace) ~phase failures =
   List.iter (fun m -> fail "state mismatch: %s" m) (Oracle.diff_lines expected actual);
   List.iter (fun m -> fail "leak: %s" m) (Db.leak_report db)
 
+(* The btree config a workload cfg selects (its locking protocol over the
+   stock defaults). Passed to [Db.create] and to every [Db.crash] — the
+   post-crash environment must re-open its trees under the same protocol. *)
+let btree_config (cfg : Workload.cfg) =
+  { Btree.default_config with locking = cfg.Workload.locking }
+
 let run_one ?crash_at (cfg : Workload.cfg) ~seed =
   (* Setup (environment + empty tree) happens with the hook quiet so crash
      indices enumerate only workload-phase durability events and the tree's
@@ -60,9 +66,9 @@ let run_one ?crash_at (cfg : Workload.cfg) ~seed =
   let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
   let db =
     Db.create ~page_size:cfg.Workload.page_size ~pool_capacity:cfg.Workload.pool_capacity
-      ~commit_mode:cfg.Workload.commit_mode ?cleaner:cfg.Workload.cleaner
-      ?checkpoint:cfg.Workload.checkpoint ~segment_size:cfg.Workload.segment_size
-      ~streams:cfg.Workload.streams ()
+      ~config:(btree_config cfg) ~commit_mode:cfg.Workload.commit_mode
+      ?cleaner:cfg.Workload.cleaner ?checkpoint:cfg.Workload.checkpoint ?vgc:cfg.Workload.vgc
+      ~segment_size:cfg.Workload.segment_size ~streams:cfg.Workload.streams ()
   in
   (* The setup phase runs with the checker live too: a protocol violation
      (e.g. under an injected fault) raises out of [Db.run_exn] here and
@@ -144,7 +150,7 @@ let run_one ?crash_at (cfg : Workload.cfg) ~seed =
       if not tripped then
         fail "crash index %d never reached (run produced %d events)" k events
       else if !failures = [] then begin
-        let db' = Db.crash db in
+        let db' = Db.crash ~config:(btree_config cfg) db in
         match
           Db.run_exn db' (fun () ->
               ignore (Db.restart db');
@@ -187,9 +193,9 @@ let run_one_instant ?crash_at2 (cfg : Workload.cfg) ~seed ~crash_at =
   let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
   let db =
     Db.create ~page_size:cfg.Workload.page_size ~pool_capacity:cfg.Workload.pool_capacity
-      ~commit_mode:cfg.Workload.commit_mode ?cleaner:cfg.Workload.cleaner
-      ?checkpoint:cfg.Workload.checkpoint ~segment_size:cfg.Workload.segment_size
-      ~streams:cfg.Workload.streams ()
+      ~config:(btree_config cfg) ~commit_mode:cfg.Workload.commit_mode
+      ?cleaner:cfg.Workload.cleaner ?checkpoint:cfg.Workload.checkpoint ?vgc:cfg.Workload.vgc
+      ~segment_size:cfg.Workload.segment_size ~streams:cfg.Workload.streams ()
   in
   match
     match
@@ -244,7 +250,7 @@ let run_one_instant ?crash_at2 (cfg : Workload.cfg) ~seed ~crash_at =
   (* ----- phase 2: instant restart serving a live workload ----- *)
   let events2 = ref 0 in
   (if !failures = [] then begin
-     let db' = Db.crash db in
+     let db' = Db.crash ~config:(btree_config cfg) db in
      Bufpool.set_steal_hook db'.Db.pool ~seed:(seed + 0x51ea2)
        ~probability:cfg.Workload.steal_probability;
      Crashpoint.reset ();
@@ -311,7 +317,7 @@ let run_one_instant ?crash_at2 (cfg : Workload.cfg) ~seed ~crash_at =
            fail "recovery-phase crash index %d never reached (phase produced %d events)" k2
              !events2
          else if !failures = [] then begin
-           let db'' = Db.crash db' in
+           let db'' = Db.crash ~config:(btree_config cfg) db' in
            match
              Db.run_exn db'' (fun () ->
                  ignore (Db.restart db'');

@@ -1,5 +1,7 @@
 open Aries_util
 module Btree = Aries_btree.Btree
+module Protocol = Aries_btree.Protocol
+module Key = Aries_page.Key
 module Txnmgr = Aries_txn.Txnmgr
 module Sched = Aries_sched.Sched
 module Db = Aries_db.Db
@@ -11,6 +13,7 @@ type cfg = {
   keys_per_fiber : int;
   fetch_freq : int;
   rollback_freq : int;
+  scan_freq : int;
   yield_probability : float;
   steal_probability : float;
   page_size : int;
@@ -18,6 +21,8 @@ type cfg = {
   commit_mode : Db.commit_mode;
   cleaner : Aries_buffer.Cleaner.cfg option;
   checkpoint : Aries_recovery.Ckptd.cfg option;
+  locking : Protocol.locking;
+  vgc : Aries_recovery.Vgcd.cfg option;
   segment_size : int;
   streams : int;
   faults : Faultdisk.cfg option;
@@ -31,6 +36,7 @@ let default_cfg =
     keys_per_fiber = 48;
     fetch_freq = 4;
     rollback_freq = 5;
+    scan_freq = 0;
     yield_probability = 0.2;
     steal_probability = 0.15;
     page_size = 320;
@@ -42,6 +48,8 @@ let default_cfg =
        enough (1 KiB) that whole segments actually fall below the safety
        point during a short workload *)
     checkpoint = Some { Aries_recovery.Ckptd.every_steps = 24; nudge_pages = 2; truncate = true };
+    locking = Protocol.Data_only;
+    vgc = None;
     segment_size = 1024;
     streams = 1;
     faults = None;
@@ -86,6 +94,39 @@ let multistream_cfg = { default_cfg with streams = 4; faults = Some Faultdisk.sh
 
 let multistream_group_cfg = { group_cfg with streams = 4; faults = Some Faultdisk.shuffle_cfg }
 
+(* The MVCC configuration (PR 8): the long-scan-vs-hot-writer mix under
+   {!Protocol.Mvcc}. Writer slices shrink to 16 values, so the same txn
+   count rewrites each key repeatedly and chains grow several versions
+   deep; every third transaction is a full-tree snapshot scan crossing
+   every hot slice mid-rewrite (and, with small pages, mid-SMO); the
+   version-GC daemon runs every 32 steps, so reclamation races live
+   snapshots and crash points land mid-collection. Every scan checks its
+   own slice against the fiber's committed view at pin time — the
+   per-snapshot oracle — and the online checker enforces R9 (zero reader
+   key locks, zero reader lock waits) on every read. *)
+let mvcc_cfg =
+  {
+    default_cfg with
+    locking = Protocol.Mvcc;
+    keys_per_fiber = 16;
+    scan_freq = 3;
+    fetch_freq = 3;
+    vgc = Some { Aries_recovery.Vgcd.every_steps = 32 };
+  }
+
+(* The same mix over the batched commit pipeline: a committer parked on the
+   group-commit queue has already stamped its versions (fate sealed at the
+   Commit record), so snapshots pinned during the park must see them. *)
+let mvcc_group_cfg =
+  {
+    group_cfg with
+    locking = Protocol.Mvcc;
+    keys_per_fiber = 16;
+    scan_freq = 3;
+    fetch_freq = 3;
+    vgc = Some { Aries_recovery.Vgcd.every_steps = 32 };
+  }
+
 type txn_trace = {
   tt_fiber : int;
   tt_txn : Ids.txn_id;
@@ -112,7 +153,51 @@ let lookup view (tt : txn_trace) value =
   in
   go tt.tt_ops
 
+(* A long scan: walk the whole tree (every fiber's slice) from the start.
+   Under Mvcc this is a snapshot read — the pin happens at the first
+   fetch_next, no key lock is ever requested and no lock wait ever entered
+   (rule R9, enforced online by the discipline checker on every read) —
+   and the slice of the result owned by this fiber is checked against the
+   fiber's committed view at scan start: the per-snapshot oracle. The
+   check is exact because the snapshot covers every commit this fiber has
+   been acked for (versions are stamped at the Commit record, before the
+   durability wait), no other fiber writes the slice, and the scanning
+   transaction itself writes nothing — so concurrent writers, SMOs,
+   rollbacks and GC rounds must all be invisible. Under the locking
+   protocols the same scan S-locks its way across and the check still
+   holds (2PL reads committed state; the fiber's slice can't change under
+   its own S locks). *)
+let scan_txn tree view txn ~fiber =
+  let prefix = Printf.sprintf "f%02d-" fiber in
+  let plen = String.length prefix in
+  let expected =
+    Hashtbl.fold (fun v rid acc -> (v, rid) :: acc) view [] |> List.sort compare
+  in
+  let seen = ref [] in
+  let cur = Btree.open_scan tree txn "" in
+  let rec go () =
+    match Btree.fetch_next tree txn cur () with
+    | None -> ()
+    | Some k ->
+        let v = k.Key.value in
+        if String.length v >= plen && String.sub v 0 plen = prefix then
+          seen := (v, k.Key.rid) :: !seen;
+        go ()
+  in
+  go ();
+  let seen = List.rev !seen in
+  if seen <> expected then
+    failwith
+      (Printf.sprintf
+         "snapshot divergence (fiber %d): scan saw [%s] but the committed view at pin time \
+          was [%s]"
+         fiber
+         (String.concat " " (List.map fst seen))
+         (String.concat " " (List.map fst expected)))
+
 let run_txn tree cfg rng view (tt : txn_trace) txn ~fiber =
+  if cfg.scan_freq > 0 && Rng.int rng cfg.scan_freq = 0 then scan_txn tree view txn ~fiber
+  else begin
   let nops = 1 + Rng.int rng cfg.max_ops_per_txn in
   for _ = 1 to nops do
     let i = Rng.int rng cfg.keys_per_fiber in
@@ -129,6 +214,7 @@ let run_txn tree cfg rng view (tt : txn_trace) txn ~fiber =
           Btree.delete tree txn ~value ~rid;
           tt.tt_ops <- Oracle.Delete (value, rid) :: tt.tt_ops
   done
+  end
 
 let spawn_fibers ?(fiber_base = 0) db tree cfg ~seed ~(trace : trace) =
   for f = 0 to cfg.fibers - 1 do

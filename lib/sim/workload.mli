@@ -21,6 +21,10 @@ type cfg = {
   keys_per_fiber : int;  (** size of each fiber's private value range *)
   fetch_freq : int;  (** 1/n of ops are fetches (0 = never) *)
   rollback_freq : int;  (** 1/n of surviving txns explicitly roll back (0 = never) *)
+  scan_freq : int;
+      (** 1/n of txns are full-tree scans (0 = never); each scan checks its
+          own fiber's slice against the committed view at scan start — the
+          per-snapshot oracle under {!Aries_btree.Protocol.Mvcc} *)
   yield_probability : float;  (** scheduler preemption at instrumented points *)
   steal_probability : float;  (** buffer-pool randomized steal (dirty-page writes) *)
   page_size : int;  (** small pages force SMOs *)
@@ -31,6 +35,12 @@ type cfg = {
       (** background page cleaner on/off *)
   checkpoint : Aries_recovery.Ckptd.cfg option;
       (** fuzzy-checkpoint daemon on/off (on in both stock configs) *)
+  locking : Aries_btree.Protocol.locking;
+      (** the index locking protocol (Data_only in the stock configs;
+          Mvcc in the snapshot-read configs) *)
+  vgc : Aries_recovery.Vgcd.cfg option;
+      (** MVCC version-GC daemon on/off (on in the Mvcc configs, so
+          reclamation races live snapshots and crash points) *)
   segment_size : int;  (** WAL segment size — small, so truncation happens mid-run *)
   streams : int;  (** number of parallel WAL streams (1 = the classic single log) *)
   faults : Aries_util.Faultdisk.cfg option;
@@ -79,6 +89,21 @@ val multistream_group_cfg : cfg
 (** [group_cfg] with the same 4-stream + shuffle setup: the batched
     group-commit pipeline's per-batch epoch fence (rule R8) under
     cross-stream crash-order adversity. *)
+
+val mvcc_cfg : cfg
+(** The long-scan-vs-hot-writer mix under {!Aries_btree.Protocol.Mvcc}:
+    16-value hot slices rewritten repeatedly (deep version chains), every
+    third transaction a full-tree snapshot scan, the version-GC daemon
+    reclaiming every 32 steps. Each scan's own slice is checked against
+    the fiber's committed view at pin time; rule R9 (no reader key locks,
+    no reader lock waits, no CSN above the pin) is enforced online on
+    every read. *)
+
+val mvcc_group_cfg : cfg
+(** [mvcc_cfg] over the batched group-commit pipeline: versions are
+    stamped at the Commit record, {e before} the durability wait, so
+    snapshots pinned while committers are parked on the queue must
+    already see their updates. *)
 
 type txn_trace = {
   tt_fiber : int;

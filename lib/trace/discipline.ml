@@ -1,6 +1,6 @@
 open Aries_util
 
-type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9
 
 let rule_to_string = function
   | R1 -> "R1"
@@ -11,6 +11,7 @@ let rule_to_string = function
   | R6 -> "R6"
   | R7 -> "R7"
   | R8 -> "R8"
+  | R9 -> "R9"
 
 let rule_summary = function
   | R1 -> "no unconditional lock wait while holding a latch"
@@ -25,6 +26,9 @@ let rule_summary = function
   | R8 ->
       "no commit ack before every touched stream is forced through the epoch fence; no redo \
        applied out of (epoch, gsn) order per page"
+  | R9 ->
+      "an Mvcc snapshot read issues no lock request and never waits; no observed version CSN \
+       above the reader's pinned snapshot"
 
 exception Violation of rule * string
 
@@ -94,6 +98,16 @@ let live_losers : (int, unit) Hashtbl.t = Hashtbl.create 4
    from the archived dump, legitimately restarting its redo history. *)
 let redo_gsn : (int, int) Hashtbl.t = Hashtbl.create 8
 
+(* Mvcc reader state (PR 8), volatile like the version store itself:
+   [pins]: txn -> pinned snapshot (epoch, gsn); [reading]: txns inside an
+   Mvcc_read_begin .. Mvcc_read_end window. R9(a) forbids a txn in the
+   window any lock-manager interaction at all — the version chain replaces
+   the current/next-key lock; R9(b) forbids a resolved version's CSN from
+   exceeding the reader's pin (snapshot isolation would silently break). *)
+let pins : (int, int * int) Hashtbl.t = Hashtbl.create 8
+
+let reading : (int, unit) Hashtbl.t = Hashtbl.create 8
+
 let violations_count = ref 0
 
 let violations () = !violations_count
@@ -106,7 +120,9 @@ let reset_run_state () =
   Hashtbl.reset redoing;
   Hashtbl.reset loser_locks;
   Hashtbl.reset live_losers;
-  Hashtbl.reset redo_gsn
+  Hashtbl.reset redo_gsn;
+  Hashtbl.reset pins;
+  Hashtbl.reset reading
 
 let reset () =
   reset_run_state ();
@@ -186,7 +202,32 @@ let check (ev : Trace.event) =
       let d = latch_depth ~fiber in
       if d > 0 then
         violate R1 "txn %d (fiber %d) waits for lock %s %s while holding %d latch(es)" txn fiber
-          mode name d
+          mode name d;
+      (* R9(a): a snapshot reader that blocks at all has lost wait-freedom *)
+      if Hashtbl.mem reading txn then
+        violate R9 "txn %d waits for lock %s %s inside an Mvcc snapshot read" txn mode name
+  | Trace.Lock_request { txn; name; mode; duration = _; cond = _ } ->
+      (* R9(a): inside the wait-free window even a conditional request is
+         illegal — the version chain replaces the lock manager entirely *)
+      if Hashtbl.mem reading txn then
+        violate R9 "txn %d requested lock %s %s inside an Mvcc snapshot read" txn mode name
+  | Trace.Mvcc_pin { txn; epoch; gsn } ->
+      if not (Hashtbl.mem pins txn) then Hashtbl.replace pins txn (epoch, gsn)
+  | Trace.Mvcc_read_begin { txn } -> Hashtbl.replace reading txn ()
+  | Trace.Mvcc_read_end { txn } -> Hashtbl.remove reading txn
+  | Trace.Mvcc_unpin { txn } ->
+      Hashtbl.remove pins txn;
+      Hashtbl.remove reading txn
+  | Trace.Mvcc_read { txn; epoch; gsn; visible = _ } -> (
+      (* R9(b): every committed version a reader resolves against must lie
+         at or below its pinned snapshot — a higher CSN is a future write
+         leaking into the snapshot. *)
+      match Hashtbl.find_opt pins txn with
+      | None -> violate R9 "txn %d resolved a version without a pinned snapshot" txn
+      | Some (pe, pg) ->
+          if (epoch, gsn) > (pe, pg) then
+            violate R9 "txn %d observed version csn=%d.%d above its pinned snapshot %d.%d" txn
+              epoch gsn pe pg)
   | Trace.Smo_begin { tree; txn; exclusive } ->
       let l = smo_list tree in
       if exclusive && !l <> [] then
@@ -344,12 +385,12 @@ let check (ev : Trace.event) =
          the previous incarnation (background drains, media repairs) no
          longer bound this recovery's applications *)
       if String.equal phase "analysis" then Hashtbl.reset redo_gsn
-  | Trace.Latch_try_fail _ | Trace.Lock_request _ | Trace.Lock_deny _
+  | Trace.Latch_try_fail _ | Trace.Lock_deny _
   | Trace.Lock_release _ | Trace.Lock_release_all _ | Trace.Deadlock_victim _
   | Trace.Log_append _ | Trace.Log_seal _ | Trace.Log_archive _ | Trace.Ckpt_take _
   | Trace.Page_unfix _ | Trace.Commit_enqueue _
   | Trace.Daemon_spawn _ | Trace.Daemon_exit _
-  | Trace.Protocol_locks _ | Trace.Io_retry _ | Trace.Note _ ->
+  | Trace.Protocol_locks _ | Trace.Io_retry _ | Trace.Vgc_round _ | Trace.Note _ ->
       ()
 
 let installed = ref false

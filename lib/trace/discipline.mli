@@ -40,13 +40,21 @@
       per-page redo must follow [(epoch, gsn)] order (reset per run, and
       per page on [Page_quarantined]: media repair restarts the page's
       history from the archived dump).
+    - {b R9} — Mvcc snapshot-read wait-freedom (PR 8): (a) inside an
+      [Mvcc_read_begin]..[Mvcc_read_end] window the reading txn issues
+      {e no} [Lock_request] (even conditional) and never appears in a
+      [Lock_wait] — the version chain replaces the current/next-key lock
+      entirely; (b) every [Mvcc_read] resolution's version CSN lies at or
+      below the reader's [Mvcc_pin] — a higher CSN is a future write
+      leaking into the snapshot.
 
     Fiber-keyed state (held latches) and per-tree SMO state are discarded
     at every [Run_begin] (a new scheduler incarnation reuses fiber ids and
-    loses volatile state, exactly like a crash). The per-log flushed
-    boundary persists — it mirrors durable state. *)
+    loses volatile state, exactly like a crash — the Mvcc pin/window state
+    is volatile the same way). The per-log flushed boundary persists — it
+    mirrors durable state. *)
 
-type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9
 
 exception Violation of rule * string
 

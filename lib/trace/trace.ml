@@ -90,6 +90,20 @@ type payload =
   | Restart_loser_done of { txn : int }
       (** the loser's rollback completed; its reacquired locks are about
           to be released and its names become grantable again *)
+  | Mvcc_pin of { txn : int; epoch : int; gsn : int }
+      (** a snapshot reader pinned its CSN horizon (first Mvcc fetch) *)
+  | Mvcc_read_begin of { txn : int }
+      (** an Mvcc snapshot read entered its wait-free window — until the
+          matching [Mvcc_read_end], rule R9 forbids this txn any lock
+          request or lock wait *)
+  | Mvcc_read of { txn : int; epoch : int; gsn : int; visible : bool }
+      (** a key resolved against a committed chain version stamped
+          (epoch, gsn) — rule R9 requires that CSN <= the reader's pin *)
+  | Mvcc_read_end of { txn : int }
+  | Mvcc_unpin of { txn : int }
+  | Vgc_round of { reclaimed : int; epoch : int; gsn : int }
+      (** a version-GC round reclaimed [reclaimed] versions below the
+          oldest-active-snapshot horizon (epoch, gsn) *)
   | Note of string
 
 type event = { ev_step : int; ev_fiber : int; ev_payload : payload }
@@ -269,6 +283,15 @@ let payload_to_string = function
   | Restart_undo_txn { txn; preempted } ->
       Printf.sprintf "restart-undo-txn T%d%s" txn (if preempted then " preempted" else "")
   | Restart_loser_done { txn } -> Printf.sprintf "restart-loser-done T%d" txn
+  | Mvcc_pin { txn; epoch; gsn } -> Printf.sprintf "mvcc-pin T%d csn=%d.%d" txn epoch gsn
+  | Mvcc_read_begin { txn } -> Printf.sprintf "mvcc-read-begin T%d" txn
+  | Mvcc_read { txn; epoch; gsn; visible } ->
+      Printf.sprintf "mvcc-read T%d csn=%d.%d %s" txn epoch gsn
+        (if visible then "visible" else "invisible")
+  | Mvcc_read_end { txn } -> Printf.sprintf "mvcc-read-end T%d" txn
+  | Mvcc_unpin { txn } -> Printf.sprintf "mvcc-unpin T%d" txn
+  | Vgc_round { reclaimed; epoch; gsn } ->
+      Printf.sprintf "vgc-round reclaimed=%d horizon=%d.%d" reclaimed epoch gsn
   | Note s -> Printf.sprintf "note %s" s
 
 let event_to_string ev =

@@ -121,6 +121,26 @@ type payload =
   | Restart_loser_done of { txn : int }
       (** the loser's rollback completed; its reacquired locks are about
           to be released and its names become grantable again *)
+  | Mvcc_pin of { txn : int; epoch : int; gsn : int }
+      (** a snapshot reader pinned its CSN horizon at its first Mvcc fetch
+          — every chain version it may observe must be stamped at or below
+          (epoch, gsn) *)
+  | Mvcc_read_begin of { txn : int }
+      (** an Mvcc snapshot read entered its wait-free window — until the
+          matching [Mvcc_read_end], rule R9 forbids this txn any lock
+          request or lock wait (snapshot readers never touch the lock
+          manager) *)
+  | Mvcc_read of { txn : int; epoch : int; gsn : int; visible : bool }
+      (** a key resolved against a committed chain version stamped
+          (epoch, gsn) — rule R9 requires that CSN be at or below the
+          reader's pinned snapshot *)
+  | Mvcc_read_end of { txn : int }
+  | Mvcc_unpin of { txn : int }
+      (** the reader's snapshot was released (commit/rollback) and no
+          longer holds the GC horizon down *)
+  | Vgc_round of { reclaimed : int; epoch : int; gsn : int }
+      (** a version-GC daemon round reclaimed [reclaimed] chain versions
+          strictly below the oldest-active-snapshot horizon (epoch, gsn) *)
   | Note of string
 
 type event = { ev_step : int; ev_fiber : int; ev_payload : payload }

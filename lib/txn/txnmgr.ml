@@ -38,6 +38,7 @@ type t = {
   mutable next_id : Ids.txn_id;
   mutable group_commit : Group_commit.t option;
   mutable preempt : (Lockmgr.name -> unit) option;
+  mutable txn_end : (txn -> [ `Commit of int * int | `Rollback ] -> unit) option;
   smo_fence : Lsn.t array;
       (* per stream: the last log record of any completed multi-stream SMO
          bracket — folded into every commit/prepare fence (see
@@ -54,6 +55,7 @@ let create logs lockmgr =
     next_id = 1;
     group_commit = None;
     preempt = None;
+    txn_end = None;
     smo_fence = Array.make (Logset.n logs) Lsn.nil;
   }
 
@@ -113,6 +115,8 @@ let rm_undo t txn (r : Logrec.t) = (rm t r.rm_id).rm_undo txn r
 let rm_locks t (r : Logrec.t) = (rm t r.rm_id).rm_locks r
 
 let set_preempt_hook t f = t.preempt <- f
+
+let set_txn_end_hook t f = t.txn_end <- f
 
 let bind_fiber t txn = if Sched.in_fiber () then Hashtbl.replace t.fibers (Sched.current ()) txn
 
@@ -356,6 +360,14 @@ let commit t txn =
      checkpoint anchors restart the Commit record and its whole fence
      vector are stable. *)
   txn.state <- Committing;
+  (* Commit-stamp hook (MVCC): the CSN is the Commit record's (epoch, gsn)
+     — appends never yield, so the log's current gsn still names it. Fired
+     before the durability wait: the fate is sealed, and a snapshot pinned
+     while we are parked on the group-commit queue must already see the
+     stamped versions. *)
+  (match t.txn_end with
+  | Some f -> f txn (`Commit (epoch, Logset.current_gsn t.logs))
+  | None -> ());
   make_durable t ~txn:txn.txn_id ~commit_stream:(txn_stream t txn.txn_id) ~lsn ~epoch
     ~targets:(fence_targets t txn);
   release_and_end t txn
@@ -482,6 +494,9 @@ let rollback t ?(reason = "rollback") txn =
   Lockmgr.set_no_victim t.lockmgr txn.txn_id;
   ignore (write_simple t txn Logrec.Rollback);
   undo_chain t txn ();
+  (* undo already discarded each compensated version; the hook sweeps any
+     leftover pending versions and unpins the snapshot *)
+  (match t.txn_end with Some f -> f txn `Rollback | None -> ());
   release_and_end t txn
 
 let savepoint txn = Array.copy txn.lasts

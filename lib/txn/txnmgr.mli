@@ -121,6 +121,15 @@ val set_preempt_hook : t -> (Lockmgr.name -> unit) option -> unit
     holding it, so user transactions never queue behind crash residue
     indefinitely. Undo itself takes no locks, so the hook cannot recurse. *)
 
+val set_txn_end_hook : t -> (txn -> [ `Commit of int * int | `Rollback ] -> unit) option -> unit
+(** Install (or clear) the transaction-end hook the MVCC version store
+    listens on. [`Commit (epoch, gsn)] fires inside {!commit} right after
+    the Commit record is appended — its (epoch, gsn) is the commit sequence
+    number — and {e before} the durability wait: the fate is sealed (see
+    {!state}), and snapshots pinned while the committer is parked on the
+    group-commit queue must already see the stamped versions. [`Rollback]
+    fires in total rollback after undo completes, before locks release. *)
+
 (** {1 Transaction lifecycle} *)
 
 val begin_txn : t -> txn

@@ -80,3 +80,5 @@ let fault_instant_skip_redo = "instant.skip-redo"
 let fault_wal_stream_shuffle = "wal.stream-shuffle"
 
 let fault_wal_stream_fence_skip = "wal.stream-fence-skip"
+
+let fault_mvcc_reader_key_lock = "mvcc.reader-key-lock"

@@ -140,3 +140,9 @@ val fault_wal_stream_fence_skip : string
     other streams the transaction touched — an update can then be lost
     while its commit survives. The discipline checker must flag the ack
     as an R8 violation. *)
+
+val fault_mvcc_reader_key_lock : string
+(** Meta-fault proving rule R9 has teeth: an Mvcc snapshot fetch issues a
+    real conditional key-lock request inside its wait-free read window —
+    exactly the lock-manager interaction snapshot readers exist to avoid.
+    The discipline checker must flag the request as an R9 violation. *)

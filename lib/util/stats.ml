@@ -100,6 +100,10 @@ let instant_drain_rounds = "instant.drain_rounds"
 let instant_preemptions = "instant.preemptions"
 let instant_locks_reacquired = "instant.locks_reacquired"
 let instant_locks_skipped = "instant.locks_skipped"
+let mvcc_versions_created = "mvcc.versions_created"
+let mvcc_versions_reclaimed = "mvcc.versions_reclaimed"
+let mvcc_snapshot_reads = "mvcc.snapshot_reads"
+let vgcd_rounds = "vgcd.rounds"
 
 let commit_batch_bucket n = Printf.sprintf "commit.batch_hist.%02d" n
 

@@ -155,6 +155,23 @@ val instant_locks_skipped : string
     name was already held, e.g. by an in-doubt prepared txn) and were
     skipped. *)
 
+val mvcc_versions_created : string
+(** Versions appended to MVCC chains (pending at append; stamped with the
+    commit CSN when the writer commits, discarded if it rolls back). *)
+
+val mvcc_versions_reclaimed : string
+(** Versions removed from chains: reclaimed by the {e Vgcd} garbage
+    collector below the oldest-active-snapshot horizon, discarded when
+    their writer rolled back, or dropped wholesale when a crash clears the
+    volatile store. [created - reclaimed] must equal the store's live
+    census — [Db.leak_report] audits exactly that. *)
+
+val mvcc_snapshot_reads : string
+(** Keys resolved against a version chain by a snapshot reader. *)
+
+val vgcd_rounds : string
+(** Version-GC daemon rounds completed. *)
+
 val commit_batch_bucket : int -> string
 (** Histogram counter name for batches of exactly [n] committers,
     e.g. ["commit.batch_hist.04"]. *)

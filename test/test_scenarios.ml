@@ -488,8 +488,8 @@ let test_e10_page_delete_log_sequence () =
    With the ablation, the consumer slips into the region of structural
    inconsistency and the restart undo is forced to be logical. *)
 
-let e11_scenario ~delete_bit =
-  let cfg = { Btree.default_config with Btree.delete_bit_enabled = delete_bit } in
+let e11_scenario ?(locking = Protocol.Data_only) ?(extra = fun _ _ _ _ -> ()) ~delete_bit () =
+  let cfg = { Btree.default_config with Btree.delete_bit_enabled = delete_bit; locking } in
   let db, tree = fresh ~config:cfg () in
   seed_keys db tree 0 199;
   let free_of pid =
@@ -563,12 +563,13 @@ let e11_scenario ~delete_bit =
                        for _ = 1 to 20 do
                          Sched.yield ()
                        done;
-                       observed_block := not !t2_done))))));
+                       observed_block := not !t2_done))));
+         extra db tree (del_value, del_rid) consumer_value));
   Btree.set_smo_pause db.Db.benv None;
   (db, tree, !observed_block, !t2_done)
 
 let test_e11_delete_bit_protects () =
-  let db, tree, blocked, t2_done = e11_scenario ~delete_bit:true in
+  let db, tree, blocked, t2_done = e11_scenario ~delete_bit:true () in
   Alcotest.(check bool) "consumer blocked while the SMO was incomplete" true blocked;
   Alcotest.(check bool) "consumer never committed inside the ROSI" false t2_done;
   let db' = Db.crash db in
@@ -579,7 +580,7 @@ let test_e11_delete_bit_protects () =
   Btree.check_invariants tree'
 
 let test_e11_ablation_consumes_in_rosi () =
-  let db, tree, blocked, t2_done = e11_scenario ~delete_bit:false in
+  let db, tree, blocked, t2_done = e11_scenario ~delete_bit:false () in
   Alcotest.(check bool) "ablation: consumer did NOT block" false blocked;
   Alcotest.(check bool) "ablation: consumer committed inside the ROSI" true t2_done;
   let db' = Db.crash db in
@@ -592,6 +593,166 @@ let test_e11_ablation_consumes_in_rosi () =
      (see EXPERIMENTS.md); the key must be restored *)
   let tree' = Btree.open_existing db'.Db.benv (Btree.index_id tree) in
   Btree.check_invariants tree'
+
+(* ------------------------------------------------------------------ *)
+(* The paper's adversarial schedules replayed under protocol #5 (Mvcc):
+   the writers keep the full Figure-3 / Figure-11 discipline among
+   themselves, but a concurrent snapshot reader sails through both
+   windows — no key locks, no lock waits, no parking on the SMO (rule
+   R9) — asserted from the trace ring. *)
+
+module Trace = Aries_trace.Trace
+
+let mvcc_cfg = { Btree.default_config with Btree.locking = Protocol.Mvcc }
+
+(* Lock_request / Lock_wait events attributed to any txn in [readers] *)
+let reader_lock_events readers =
+  List.filter
+    (fun (e : Trace.event) ->
+      match e.Trace.ev_payload with
+      | Trace.Lock_request { txn; _ } | Trace.Lock_wait { txn; _ } -> Hashtbl.mem readers txn
+      | _ -> false)
+    (Trace.events ())
+
+let with_recording f =
+  let saved = Trace.mode () in
+  Trace.reset ();
+  Trace.set_mode Trace.Record;
+  Fun.protect f ~finally:(fun () ->
+      Trace.set_mode saved;
+      Trace.reset ())
+
+let test_e3_mvcc_wait_free_reader () =
+  with_recording (fun () ->
+      let db, tree = fresh ~config:mvcc_cfg () in
+      seed_keys db tree 0 19;
+      let cv = Sched.Condvar.create "smo-pause" in
+      let paused = ref false in
+      Btree.set_smo_pause db.Db.benv
+        (Some
+           (fun () ->
+             if not !paused then begin
+               paused := true;
+               Sched.Condvar.wait cv
+             end));
+      let readers = Hashtbl.create 4 in
+      let reader_saw = ref [] in
+      let reader_done = ref false in
+      let t2_started = ref false and t2_inserted = ref false in
+      let blocked_while_smo = ref false in
+      let r =
+        Db.run db (fun () ->
+            (* T1: trigger a split and pause mid-SMO (the Figure-3 window) *)
+            ignore
+              (Sched.spawn ~name:"T1-splitter" (fun () ->
+                   Db.with_txn db (fun txn ->
+                       let i = ref 100 in
+                       while not !paused do
+                         Btree.insert tree txn ~value:(v !i) ~rid:(rid !i);
+                         incr i
+                       done)));
+            (* T2: a locking writer aimed at the splitting region — must
+               block on the SMO, exactly as in the plain E3 schedule *)
+            ignore
+              (Sched.spawn ~name:"T2-insert" (fun () ->
+                   while not !paused do
+                     Sched.yield ()
+                   done;
+                   t2_started := true;
+                   Db.with_txn db (fun txn ->
+                       Btree.insert tree txn ~value:"key99998" ~rid:(rid 77));
+                   t2_inserted := true));
+            (* R: a snapshot reader fetches and scans straight through the
+               half-done split, while T2 is stuck *)
+            ignore
+              (Sched.spawn ~name:"R-snapshot" (fun () ->
+                   while not !paused do
+                     Sched.yield ()
+                   done;
+                   let txn = Txnmgr.begin_txn db.Db.mgr in
+                   Hashtbl.replace readers txn.Txnmgr.txn_id ();
+                   (match Btree.fetch tree txn (v 5) with
+                   | Some _ -> ()
+                   | None -> Alcotest.fail "snapshot fetch lost a committed key mid-SMO");
+                   let c = Btree.open_scan tree txn "" in
+                   let rec go acc =
+                     match Btree.fetch_next tree txn c () with
+                     | Some k -> go (k.Key.value :: acc)
+                     | None -> List.rev acc
+                   in
+                   reader_saw := go [];
+                   Txnmgr.commit db.Db.mgr txn;
+                   reader_done := true));
+            (* main: once the reader is done and T2 is stuck, check T2 is
+               still stuck, then release the SMO *)
+            ignore
+              (Sched.spawn ~name:"resumer" (fun () ->
+                   while not (!t2_started && !reader_done) do
+                     Sched.yield ()
+                   done;
+                   for _ = 1 to 10 do
+                     Sched.yield ()
+                   done;
+                   blocked_while_smo := not !t2_inserted;
+                   Sched.Condvar.signal cv)))
+      in
+      Btree.set_smo_pause db.Db.benv None;
+      Alcotest.(check bool) "no stall" true (r.Sched.outcome = Sched.Completed);
+      Alcotest.(check (list string)) "no fiber exceptions" []
+        (List.map (fun (_, n, _) -> n) r.Sched.exns);
+      Alcotest.(check bool) "locking writer was blocked by the SMO" true !blocked_while_smo;
+      Alcotest.(check bool) "snapshot reader finished while the SMO was in flight" true
+        !reader_done;
+      Alcotest.(check bool) "locking writer completed after the SMO" true !t2_inserted;
+      Alcotest.(check (list string)) "the scan saw exactly the committed keys"
+        (List.init 20 v) !reader_saw;
+      Alcotest.(check bool) "the run was traced" true (Trace.event_count () > 0);
+      Alcotest.(check int) "zero reader key-lock requests and waits (R9)" 0
+        (List.length (reader_lock_events readers));
+      Btree.check_invariants tree)
+
+let test_e11_mvcc_snapshot_reader () =
+  with_recording (fun () ->
+      let readers = Hashtbl.create 4 in
+      let saw_deleted = ref false and saw_consumer = ref true in
+      let reader_done = ref false in
+      let db, tree, blocked, t2_done =
+        e11_scenario ~locking:Protocol.Mvcc
+          ~extra:(fun db tree (del_value, _del_rid) consumer_value ->
+            ignore
+              (Sched.spawn ~name:"R-snapshot" (fun () ->
+                   (* wait until T1's (uncommitted) delete has physically
+                      removed the key *)
+                   while
+                     List.exists
+                       (fun (value, _) -> String.equal value del_value)
+                       (Btree.to_list tree)
+                   do
+                     Sched.yield ()
+                   done;
+                   let txn = Txnmgr.begin_txn db.Db.mgr in
+                   Hashtbl.replace readers txn.Txnmgr.txn_id ();
+                   saw_deleted := Btree.fetch tree txn del_value <> None;
+                   saw_consumer := Btree.fetch tree txn consumer_value <> None;
+                   Txnmgr.commit db.Db.mgr txn;
+                   reader_done := true)))
+          ~delete_bit:true ()
+      in
+      ignore db;
+      Alcotest.(check bool) "consumer blocked while the SMO was incomplete" true blocked;
+      Alcotest.(check bool) "consumer never committed inside the ROSI" false t2_done;
+      Alcotest.(check bool) "snapshot reader finished while both writers were stuck" true
+        !reader_done;
+      Alcotest.(check bool) "the uncommitted delete is invisible: key still readable" true
+        !saw_deleted;
+      Alcotest.(check bool) "the blocked consumer's key is invisible" false !saw_consumer;
+      Alcotest.(check bool) "the run was traced" true (Trace.event_count () > 0);
+      Alcotest.(check int) "zero reader key-lock requests and waits (R9)" 0
+        (List.length (reader_lock_events readers));
+      (* the run deliberately ends mid-SMO (T3 is parked inside the split),
+         so the physical tree is NOT consistent here — the plain E11 tests
+         cover crashing out of this state and recovering *)
+      ignore tree)
 
 let () =
   Alcotest.run "scenarios"
@@ -611,5 +772,12 @@ let () =
           Alcotest.test_case "E11 Delete_Bit protects (Fig 11)" `Quick test_e11_delete_bit_protects;
           Alcotest.test_case "E11 ablation (Fig 11 counterfactual)" `Quick
             test_e11_ablation_consumes_in_rosi;
+        ] );
+      ( "figures-mvcc",
+        [
+          Alcotest.test_case "E3-MVCC wait-free reader vs SMO (Fig 3)" `Quick
+            test_e3_mvcc_wait_free_reader;
+          Alcotest.test_case "E11-MVCC snapshot reader vs Delete_Bit (Fig 11)" `Quick
+            test_e11_mvcc_snapshot_reader;
         ] );
     ]
