@@ -22,6 +22,9 @@
 # snapshot scans checked against the per-snapshot oracle, and the
 # version-GC daemon racing both — every read must obey rule R9 and every
 # crash must restart (version store rebuilt from the log) to the oracle.
+# The q16 gate holds the hot-path speed pass: slice-by-16 CRC >= 4x the
+# bytewise baseline, page-codec CRC overhead <= 25.5%, arena reuse on
+# every steady-state log append, and an all-hit image-cache probe storm.
 set -eu
 
 cd "$(dirname "$0")"
@@ -33,6 +36,9 @@ echo "== tier-1 tests (dune runtest) =="
 dune runtest
 
 if [ "${1:-}" != "fast" ]; then
+  echo "== hot-path speed gates (bench q16) =="
+  dune exec bench/main.exe -- q16
+
   echo "== sim smoke sweep =="
   dune exec bench/main.exe -- sim smoke
 

@@ -21,6 +21,13 @@ type frame = {
          of scanning the log once per pending page. Cleared on write-out:
          records at or below a flushed image's page_lsn are never redone. *)
   mutable last_use : int;  (* LRU clock *)
+  mutable image : bytes option;
+      (* cached encoded image of the page, tagged with [image_lsn] — the
+         page_lsn at encode time. Valid iff the tag still matches (belt)
+         and no edit invalidated it ([mark_dirty] clears it, suspenders).
+         Lets a write-back or image probe of an unedited page skip the
+         codec and its CRC entirely. *)
+  mutable image_lsn : Lsn.t;
 }
 
 type t = {
@@ -28,6 +35,7 @@ type t = {
   logs : Logset.t;
   capacity : int;
   frames : (Ids.page_id, frame) Hashtbl.t;
+  enc : Bytebuf.W.t;  (* shared page-size-hinted encode arena *)
   mutable tick : int;
   mutable steal_rng : Rng.t option;
   mutable steal_probability : float;
@@ -48,6 +56,7 @@ let create ?(capacity = 128) dsk logs =
     logs;
     capacity;
     frames = Hashtbl.create 64;
+    enc = Bytebuf.W.create ~size:(Disk.page_size dsk + 16) ();
     tick = 0;
     steal_rng = None;
     steal_probability = 0.0;
@@ -87,6 +96,30 @@ let retrying ~pid ~target f =
   in
   go 0
 
+(* The per-frame image cache choke point: a frame whose page has not been
+   edited since its last encode reuses the cached image. Misses encode
+   through the pool's shared arena (no per-write buffer) and refresh the
+   cache, so e.g. the transient-EIO retry loop re-encodes at most once. *)
+let frame_image t f =
+  match f.image with
+  | Some img when Lsn.compare f.image_lsn f.page.Page.page_lsn = 0 ->
+      Stats.incr Stats.bufpool_image_hits;
+      img
+  | Some _ | None ->
+      Stats.incr Stats.bufpool_image_misses;
+      let img = Page.encode_into t.enc f.page in
+      f.image <- Some img;
+      f.image_lsn <- f.page.Page.page_lsn;
+      img
+
+let invalidate_image f =
+  match f.image with
+  | None -> ()
+  | Some _ ->
+      f.image <- None;
+      f.image_lsn <- Lsn.nil;
+      Stats.incr Stats.bufpool_image_invalidations
+
 let write_frame t f =
   let pid = f.page.Page.pid in
   retrying ~pid ~target:"page-write" (fun () ->
@@ -118,7 +151,7 @@ let write_frame t f =
                    never falls inside a reclaimed log segment *)
                 rec_lsn = f.rec_lsn;
               }));
-      Disk.write t.dsk f.page);
+      Disk.write_image t.dsk pid (frame_image t f));
   f.dirty <- false;
   f.rec_lsn <- Lsn.nil;
   f.chain <- []
@@ -147,9 +180,22 @@ let evict_one t =
 
 let make_room t = if Hashtbl.length t.frames >= t.capacity then evict_one t
 
-let install t page =
+let install ?image t page =
   make_room t;
-  let f = { page; fix_count = 1; dirty = false; rec_lsn = Lsn.nil; chain = []; last_use = 0 } in
+  let f =
+    {
+      page;
+      fix_count = 1;
+      dirty = false;
+      rec_lsn = Lsn.nil;
+      chain = [];
+      last_use = 0;
+      (* seed the cache from the raw disk image when the read path has
+         one: a page read in and written back unedited never re-encodes *)
+      image;
+      image_lsn = (match image with Some _ -> page.Page.page_lsn | None -> Lsn.nil);
+    }
+  in
   touch t f;
   Hashtbl.replace t.frames page.Page.pid f;
   f
@@ -160,7 +206,7 @@ let install t page =
    archive), then re-reads the healed image. The [repairing] guard keeps the
    repairer's own page traffic from recursing into another repair. *)
 let read_page t pid =
-  let read () = retrying ~pid ~target:"page-read" (fun () -> Disk.read t.dsk pid) in
+  let read () = retrying ~pid ~target:"page-read" (fun () -> Disk.read_with_image t.dsk pid) in
   try read () with
   | Storage_error.Error
       { cause = Storage_error.Checksum | Storage_error.Decode; detail; _ } as e -> (
@@ -192,7 +238,7 @@ let fix_opt t pid =
         Some f.page
     | None -> (
         match read_page t pid with
-        | Some page -> Some (install t page).page
+        | Some (page, image) -> Some (install ~image t page).page
         | None -> None)
   in
   if r <> None && Trace.enabled () then Trace.emit (Trace.Page_fix { pid });
@@ -242,6 +288,7 @@ let steal_some t =
 
 let mark_dirty t page lsn =
   let f = frame_of t page in
+  invalidate_image f;
   if not f.dirty then begin
     f.dirty <- true;
     f.rec_lsn <- lsn;
@@ -359,3 +406,20 @@ let dirty_page_chains t =
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let clear_restart_page t pid = Hashtbl.remove t.restart_dpt pid
+
+let page_image t pid =
+  match Hashtbl.find_opt t.frames pid with
+  | None -> None
+  | Some f -> Some (frame_image t f)
+
+(* Cache-coherence audit for [Db.leak_report]: a cached image whose tag no
+   longer matches its page's [page_lsn] means the page advanced without
+   [mark_dirty] dropping the cache — an unlogged-mutation bug. Always 0 in
+   a quiesced, healthy system. *)
+let image_cache_stale t =
+  Hashtbl.fold
+    (fun _ f acc ->
+      match f.image with
+      | Some _ when Lsn.compare f.image_lsn f.page.Page.page_lsn <> 0 -> acc + 1
+      | Some _ | None -> acc)
+    t.frames 0

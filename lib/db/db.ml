@@ -177,11 +177,18 @@ let with_txn t f =
 let snapshot_magic = "ARIESIM4"
 
 let save t path =
-  let w = Aries_util.Bytebuf.W.create () in
+  let disk_img = Disk.serialize t.disk in
+  let logs_img = Logset.serialize t.logs in
+  let arch_img = Media.Archive.serialize t.archive in
+  let total =
+    24 + String.length snapshot_magic + Bytes.length disk_img + Bytes.length logs_img
+    + Bytes.length arch_img
+  in
+  let w = Aries_util.Bytebuf.W.create ~size:total () in
   Aries_util.Bytebuf.W.string w snapshot_magic;
-  Aries_util.Bytebuf.W.bytes w (Disk.serialize t.disk);
-  Aries_util.Bytebuf.W.bytes w (Logset.serialize t.logs);
-  Aries_util.Bytebuf.W.bytes w (Media.Archive.serialize t.archive);
+  Aries_util.Bytebuf.W.bytes w disk_img;
+  Aries_util.Bytebuf.W.bytes w logs_img;
+  Aries_util.Bytebuf.W.bytes w arch_img;
   let oc = open_out_bin path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
@@ -230,6 +237,11 @@ let leak_report t =
         (String.concat "," (List.map (fun (x : Txnmgr.txn) -> string_of_int x.Txnmgr.txn_id) txns)));
   let violations = Aries_trace.Discipline.violations () in
   if violations > 0 then add "%d latch/lock discipline violation(s) detected" violations;
+  (* Image-cache coherence: a cached frame image whose tag no longer
+     matches its page's page_lsn means the page advanced without
+     [Bufpool.mark_dirty] — an unlogged mutation. *)
+  let stale_images = Bufpool.image_cache_stale t.pool in
+  if stale_images > 0 then add "%d stale cached page image(s) (unlogged mutation?)" stale_images;
   (* MVCC version-store audits. A pending (unstamped) version whose writer
      is no longer in the transaction table can never be stamped or dropped;
      a snapshot pin with no transaction behind it blocks the GC horizon

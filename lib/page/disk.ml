@@ -17,7 +17,12 @@ let alloc_pid t =
 
 let note_pid t pid = if pid >= t.next_pid then t.next_pid <- pid + 1
 
-let read t pid =
+(* Stored images are treated as immutable bytes: every mutation path
+   (rewrite, [corrupt_flip], the torn-write fault) replaces the binding
+   with a fresh object. That is what lets [read_with_image] hand the
+   stored bytes out zero-copy for the buffer pool's per-frame image
+   cache, and [write_image] store a cached image without copying. *)
+let read_with_image t pid =
   match Hashtbl.find_opt t.store pid with
   | None -> None
   | Some image -> (
@@ -26,7 +31,7 @@ let read t pid =
         Storage_error.raise_err ~pid Storage_error.Io_transient "injected read EIO"
       end;
       Stats.incr Stats.page_reads;
-      try Some (Page.decode ~psize:t.psize image) with
+      try Some (Page.decode ~psize:t.psize image, image) with
       | Bytebuf.Corrupt msg ->
           (* a structurally unparseable stored image (e.g. a torn v1 write,
              or rot with CRC checks disabled) — typed, with the true pid *)
@@ -36,13 +41,9 @@ let read t pid =
              rotten bytes; substitute the authoritative one *)
           raise (Storage_error.Error { i with pid = Some pid }))
 
-let write t page =
-  if Faultdisk.fail_write () then begin
-    Stats.incr Stats.disk_eio_injected;
-    Storage_error.raise_err ~pid:page.Page.pid Storage_error.Io_transient
-      "injected write EIO"
-  end;
-  let image = Page.encode page in
+let read t pid = Option.map fst (read_with_image t pid)
+
+let store_image t pid image =
   let already = Crashpoint.tripped () in
   (try Crashpoint.hit "disk.write"
    with Crashpoint.Crash _ as e ->
@@ -51,11 +52,9 @@ let write t page =
         preserving the old one — only on the *tripping* event (post-trip
         hits model the frozen stable state, not more I/O). *)
      if (not already) && Faultdisk.torn_write_on () then begin
-       let old_image =
-         Option.map Bytes.to_string (Hashtbl.find_opt t.store page.Page.pid)
-       in
+       let old_image = Option.map Bytes.to_string (Hashtbl.find_opt t.store pid) in
        let torn = Faultdisk.tear ~old_image ~new_image:(Bytes.to_string image) in
-       Hashtbl.replace t.store page.Page.pid (Bytes.of_string torn);
+       Hashtbl.replace t.store pid (Bytes.of_string torn);
        Stats.incr Stats.disk_torn_writes
      end;
      raise e);
@@ -68,7 +67,25 @@ let write t page =
     end
     else image
   in
-  Hashtbl.replace t.store page.Page.pid image
+  Hashtbl.replace t.store pid image
+
+let fail_write_maybe pid =
+  if Faultdisk.fail_write () then begin
+    Stats.incr Stats.disk_eio_injected;
+    Storage_error.raise_err ~pid Storage_error.Io_transient "injected write EIO"
+  end
+
+let write t page =
+  fail_write_maybe page.Page.pid;
+  store_image t page.Page.pid (Page.encode page)
+
+(* Write a pre-encoded image — the buffer pool's cached-image flush path
+   and media recovery's dump copy, neither of which should pay a fresh
+   encode + CRC for bytes that already exist. Same fault machinery as
+   [write]. *)
+let write_image t pid image =
+  fail_write_maybe pid;
+  store_image t pid image
 
 let exists t pid = Hashtbl.mem t.store pid
 
@@ -96,7 +113,8 @@ let corrupt_flip ~seed t pid =
 let page_count t = Hashtbl.length t.store
 
 let serialize t =
-  let w = Bytebuf.W.create () in
+  let total = Hashtbl.fold (fun _ im acc -> acc + 12 + Bytes.length im) t.store 16 in
+  let w = Bytebuf.W.create ~size:total () in
   Bytebuf.W.u32 w t.psize;
   Bytebuf.W.i64 w t.next_pid;
   Bytebuf.W.u32 w (Hashtbl.length t.store);

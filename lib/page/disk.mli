@@ -36,6 +36,13 @@ val read : t -> Ids.page_id -> Page.t option
     (torn write / bit-rot — quarantine and repair), [Decode] when it is
     structurally unparseable. *)
 
+val read_with_image : t -> Ids.page_id -> (Page.t * bytes) option
+(** [read] plus the raw stored image the page was decoded from, zero-copy
+    (stored images are immutable: every mutation replaces the binding).
+    The buffer pool uses it to seed its per-frame image cache from a
+    single read, so a clean page can later be written back without
+    re-encoding. Same error behavior as [read]. *)
+
 val write : t -> Page.t -> unit
 (** Serializes and stores the page image (counted as a page write). The
     caller (buffer manager) is responsible for the WAL rule.
@@ -43,6 +50,14 @@ val write : t -> Page.t -> unit
     (retryable). Under the torn-write fault, a {!Aries_util.Crashpoint}
     crash landing on this write leaves a half-old/half-new image on disk;
     under the bit-flip fault, the stored image may silently lose a bit. *)
+
+val write_image : t -> Ids.page_id -> bytes -> unit
+(** Store a pre-encoded page image without re-encoding — the buffer
+    pool's cached-image flush path and media recovery's archive-copy
+    path. The image must be a valid encoding of page [pid] (callers only
+    pass images previously produced by {!Page.encode} for that page).
+    Fault behavior identical to [write]. The stored image aliases the
+    argument; callers must not mutate it afterwards. *)
 
 val exists : t -> Ids.page_id -> bool
 

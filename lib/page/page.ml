@@ -138,8 +138,7 @@ let kind_tag = function Leaf _ -> 0 | Nonleaf _ -> 1 | Data _ -> 2 | Anchor _ ->
    as a garbage decode — detection is the trigger for media repair. *)
 let version_tag = 0xA2
 
-let encode_body t =
-  let w = Bytebuf.W.create () in
+let encode_body_into w t =
   Bytebuf.W.u8 w (kind_tag t.content);
   Bytebuf.W.i64 w t.pid;
   Bytebuf.W.i64 w t.page_lsn;
@@ -173,18 +172,23 @@ let encode_body t =
       Bytebuf.W.i64 w a.an_root;
       Bytebuf.W.u16 w a.an_height;
       Bytebuf.W.bool w a.an_unique;
-      Bytebuf.W.string w a.an_name);
+      Bytebuf.W.string w a.an_name)
+
+(* One pass into a size-hinted arena — the old path built the body in a
+   128-byte writer (paying the growth-doubling copies up to page size),
+   copied it into a fresh frame, then CRC'd the copy. Here the version
+   byte and body are written once and the CRC is computed in place over
+   the arena before the trailer lands; the only copy is the final
+   [contents]. The byte layout is unchanged: [0xA2][v1 body][u32 crc]. *)
+let encode_into w t =
+  Bytebuf.W.reset w;
+  Bytebuf.W.u8 w version_tag;
+  encode_body_into w t;
+  let crc = Bytebuf.W.crc w in
+  Bytebuf.W.u32 w crc;
   Bytebuf.W.contents w
 
-let encode t =
-  let body = encode_body t in
-  let n = Bytes.length body in
-  let out = Bytes.create (n + 5) in
-  Bytes.set out 0 (Char.chr version_tag);
-  Bytes.blit body 0 out 1 n;
-  let crc = Crc.bytes ~len:(n + 1) out in
-  Bytes.set_int32_le out (n + 1) (Int32.of_int crc);
-  out
+let encode t = encode_into (Bytebuf.W.create ~size:(t.psize + 16) ()) t
 
 let decode_body ~psize r =
   let tag = Bytebuf.R.u8 r in
@@ -259,7 +263,8 @@ let decode ~psize b =
           "page image CRC mismatch (stored %08x, computed %08x, %dB)" stored crc n
       end
     end;
-    decode_body ~psize (Bytebuf.R.of_string (Bytes.sub_string b 1 (n - 5)))
+    (* zero-copy: parse the body straight out of the image slice *)
+    decode_body ~psize (Bytebuf.R.of_substring (Bytes.unsafe_to_string b) ~off:1 ~len:(n - 5))
   end
   else
     (* legacy v1 image: first byte is a kind tag in 0..3 *)

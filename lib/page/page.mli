@@ -105,8 +105,19 @@ val header_bytes : int
 (** {1 Codec} *)
 
 val encode : t -> bytes
+(** The on-disk image: [0xA2][body][u32 crc], CRC computed in place over a
+    size-hinted arena (one final copy, no growth doubling). *)
+
+val encode_into : Bytebuf.W.t -> t -> bytes
+(** Same, through a caller-owned arena (reset first): the buffer pool
+    keeps one page-sized writer per pool so a flush storm allocates one
+    image per write instead of one arena per write. Still returns a fresh
+    [bytes] — the image outlives the arena. *)
 
 val decode : psize:int -> bytes -> t
+(** Verifies the CRC (see [Faultdisk.crc_checks_enabled]), then parses the
+    body zero-copy out of the image slice. Legacy v1 images (kind-tag
+    first byte) still decode. *)
 
 val equal : t -> t -> bool
 (** Structural equality of pid, LSN and content (latch excluded); used by

@@ -194,8 +194,11 @@ let recover_page ?archive mgr pool dump pid =
     Trace.emit (Trace.Page_quarantined { pid; cause = "media-recover" });
   (* drop whatever damaged frame/image might linger *)
   Bufpool.drop pool pid;
-  (match retrying ~pid ~target:"page-read" (fun () -> Disk.read dump.dmp_disk pid) with
-  | Some page -> retrying ~pid ~target:"page-write" (fun () -> Disk.write disk page)
+  (* copy the archived image verbatim (after its decode validated the CRC)
+     instead of re-encoding the decoded page — same bytes, half the codec
+     work, and a v1-era archive image stays byte-identical *)
+  (match retrying ~pid ~target:"page-read" (fun () -> Disk.read_with_image dump.dmp_disk pid) with
+  | Some (_, image) -> retrying ~pid ~target:"page-write" (fun () -> Disk.write_image disk pid image)
   | None -> Disk.free disk pid);
   let applied = ref 0 in
   (* Roll forward from the dump's redo point across the stream's full

@@ -1,6 +1,11 @@
 (** CRC32 (IEEE 802.3 reflected, poly [0xEDB88320]).  Guards page images,
     log-record frames and sealed-segment footers against torn writes and
-    bit-rot.  Values are in [0, 0xFFFFFFFF]. *)
+    bit-rot.  Values are in [0, 0xFFFFFFFF].
+
+    The engine is slice-by-16 (sixteen bytes per loop iteration through
+    sixteen derived tables, all precomputed at module init); {!update_bytewise} is
+    the classic one-table loop, kept as the differential-testing reference
+    and benchmark baseline.  Both compute the identical IEEE value. *)
 
 val string : ?off:int -> ?len:int -> string -> int
 (** CRC of [len] bytes of [s] starting at [off] (defaults: whole string). *)
@@ -9,4 +14,17 @@ val bytes : ?off:int -> ?len:int -> bytes -> int
 (** Same over [bytes]. *)
 
 val update : int -> string -> int -> int -> int
-(** [update crc s off len] extends a running CRC — [string s = update 0 s 0 n]. *)
+(** [update crc s off len] extends a running CRC — [string s = update 0 s 0 n],
+    and [update (update c a 0 la) b 0 lb = update c (a ^ b) 0 (la + lb)].
+    This is the incremental path: CRC a dirty slice and fold it into the
+    checksum of what came before. *)
+
+val update_bytewise : int -> string -> int -> int -> int
+(** The pre-pass byte-at-a-time loop.  Same value as {!update};
+    exists for differential tests and as the `bench -- q16` baseline. *)
+
+val combine : int -> int -> int -> int
+(** [combine ca cb len_b] is the CRC of [a ^ b] given [ca = crc a],
+    [cb = crc b] and [len_b = String.length b] (zlib's crc32_combine:
+    O(log len_b) GF(2) matrix exponentiation).  Lets a cached CRC of an
+    unchanged prefix absorb a re-CRC of only the changed suffix. *)

@@ -129,6 +129,23 @@ val disk_quarantines : string
 (** Pages whose stored image failed its CRC / decode on read and were
     quarantined pending repair. *)
 
+val bufpool_image_hits : string
+(** Page write-backs served from a frame's cached encoded image (no
+    re-encode, no re-CRC). *)
+
+val bufpool_image_misses : string
+(** Page write-backs that had to (re-)encode because no valid cached
+    image existed for the frame's current [page_lsn]. *)
+
+val bufpool_image_invalidations : string
+(** Cached frame images dropped because the page was edited
+    ([Bufpool.mark_dirty]). *)
+
+val wal_encode_arena_reuses : string
+(** Log-record appends whose encode arena was reused without regrowth —
+    with a steady record-size profile this tracks [log.records] and the
+    append path allocates no per-record buffers. *)
+
 val log_tail_truncated_bytes : string
 (** Bytes of torn/garbage log tail discarded by the restart tail-scan. *)
 

@@ -31,7 +31,10 @@ let default_segment_size = 65536
 
 type segment = {
   seg_base : int;  (* absolute offset of the segment's first byte *)
-  seg_data : Buffer.t;
+  seg_data : Bytebuf.W.t;
+      (* an arena writer, not a [Buffer.t]: frame reads, CRC checks and the
+         tail scan work zero-copy against the backing bytes instead of
+         [Buffer.sub]-copying every header/payload out *)
   mutable seg_sealed : bool;
   mutable seg_records : int;
 }
@@ -55,11 +58,15 @@ type t = {
   mutable master_lsn : Lsn.t;
   mutable count : int;
   mutable archive_sink : (archived -> unit) option;
+  enc : Bytebuf.W.t;
+      (* per-log record-encode arena, reused across appends — the append
+         hot path allocates nothing per record *)
 }
 
 let next_id = ref 0
 
-let fresh_segment base = { seg_base = base; seg_data = Buffer.create 1024; seg_sealed = false; seg_records = 0 }
+let fresh_segment base =
+  { seg_base = base; seg_data = Bytebuf.W.create ~size:1024 (); seg_sealed = false; seg_records = 0 }
 
 let create ?(segment_size = default_segment_size) () =
   if segment_size < 64 then invalid_arg "Logmgr.create: segment_size must be >= 64";
@@ -76,6 +83,7 @@ let create ?(segment_size = default_segment_size) () =
       master_lsn = Lsn.nil;
       count = 0;
       archive_sink = None;
+      enc = Bytebuf.W.create ~size:256 ();
     }
   in
   (* Baseline the tracer's flushed boundary for this log instance; the
@@ -88,7 +96,7 @@ let id t = t.id
 
 let segment_size t = t.segment_size
 
-let seg_len s = Buffer.length s.seg_data
+let seg_len s = Bytebuf.W.length s.seg_data
 
 let seg_end s = s.seg_base + seg_len s
 
@@ -125,13 +133,25 @@ let find_segment t off =
 let append t rec_ =
   Crashpoint.hit "wal.append";
   let lsn = end_offset t in
-  let payload = Logrec.encode { rec_ with lsn } in
-  Buffer.add_bytes t.active.seg_data (Logrec.frame payload);
+  (* Encode into the per-log arena (reused across appends; reuse without
+     regrowth is counted), then frame straight into the segment arena:
+     the length prefix, one blit of the payload with its CRC computed
+     over the freshly written bytes in the same region, and the CRC
+     trailer — no intermediate payload or frame buffer. Byte layout is
+     unchanged: [u32 len][payload][u32 crc32(payload)]. *)
+  let cap0 = Bytebuf.W.capacity t.enc in
+  Logrec.encode_into t.enc { rec_ with lsn };
+  if Bytebuf.W.capacity t.enc = cap0 then Stats.incr Stats.wal_encode_arena_reuses;
+  let n = Bytebuf.W.length t.enc in
+  let seg = t.active.seg_data in
+  Bytebuf.W.u32 seg n;
+  let crc = Bytebuf.W.append_with_crc seg t.enc in
+  Bytebuf.W.u32 seg crc;
   t.active.seg_records <- t.active.seg_records + 1;
   t.last <- lsn;
   t.count <- t.count + 1;
   Stats.incr Stats.log_records;
-  Stats.add Stats.log_bytes (Logrec.frame_overhead + Bytes.length payload);
+  Stats.add Stats.log_bytes (Logrec.frame_overhead + n);
   if Trace.enabled () then
     Trace.emit
       (Trace.Log_append
@@ -195,9 +215,7 @@ let flush t = force t ~upto:(end_offset t) ~stable_lsn:t.last
 
 let frame_len t off =
   let s = find_segment t off in
-  let hdr = Buffer.sub s.seg_data (off - s.seg_base) 4 in
-  let r = Bytebuf.R.of_string hdr in
-  Bytebuf.R.u32 r
+  Bytebuf.W.get_u32 s.seg_data (off - s.seg_base)
 
 let read t lsn =
   if lsn < start t || lsn >= end_offset t then
@@ -206,17 +224,17 @@ let read t lsn =
          (start t) (end_offset t));
   let s = find_segment t lsn in
   let len = frame_len t lsn in
-  let payload = Buffer.sub s.seg_data (lsn - s.seg_base + 4) len in
+  let rel = lsn - s.seg_base in
   (if Faultdisk.crc_checks_enabled () then begin
-     let stored =
-       let b = Buffer.sub s.seg_data (lsn - s.seg_base + 4 + len) 4 in
-       Int32.to_int (String.get_int32_le b 0) land 0xFFFFFFFF
-     in
-     if not (Logrec.frame_crc_ok ~payload ~stored) then
+     (* CRC the payload in place over the segment arena — the old path
+        [Buffer.sub]-copied the payload (and the trailer) out first *)
+     let stored = Bytebuf.W.get_u32 s.seg_data (rel + 4 + len) in
+     if Bytebuf.W.crc ~off:(rel + 4) ~len s.seg_data <> stored then
        Storage_error.raise_err ~lsn Storage_error.Checksum
          "log record frame CRC mismatch (%dB payload)" len
    end);
-  try Logrec.decode ~lsn payload
+  let r = Bytebuf.R.of_substring (Bytebuf.W.unsafe_view s.seg_data) ~off:(rel + 4) ~len in
+  try Logrec.decode_from ~lsn r
   with Bytebuf.Corrupt msg -> raise (Storage_error.of_corrupt ~lsn ("log record: " ^ msg))
 
 let record_end t lsn =
@@ -272,16 +290,10 @@ let frame_ok s off =
   let avail = seg_len s - rel in
   if avail < 4 then false
   else
-    let len = Int32.to_int (String.get_int32_le (Buffer.sub s.seg_data rel 4) 0) land 0xFFFFFFFF in
+    let len = Bytebuf.W.get_u32 s.seg_data rel in
     if len < 1 || avail < Logrec.frame_overhead + len then false
-    else if Faultdisk.crc_checks_enabled () then begin
-      let payload = Buffer.sub s.seg_data (rel + 4) len in
-      let stored =
-        Int32.to_int (String.get_int32_le (Buffer.sub s.seg_data (rel + 4 + len) 4) 0)
-        land 0xFFFFFFFF
-      in
-      Logrec.frame_crc_ok ~payload ~stored
-    end
+    else if Faultdisk.crc_checks_enabled () then
+      Bytebuf.W.crc ~off:(rel + 4) ~len s.seg_data = Bytebuf.W.get_u32 s.seg_data (rel + 4 + len)
     else true
 
 (* CRC-guarded tail scan over the active (unsealed) segment: the log ends
@@ -296,9 +308,7 @@ let tail_scan t =
   let valid_end = go s.seg_base in
   if valid_end < seg_end s then begin
     let cut = seg_end s - valid_end in
-    let stable = Buffer.sub s.seg_data 0 (valid_end - s.seg_base) in
-    Buffer.clear s.seg_data;
-    Buffer.add_string s.seg_data stable;
+    Bytebuf.W.truncate s.seg_data (valid_end - s.seg_base);
     Stats.incr Stats.log_tail_truncations;
     Stats.add Stats.log_tail_truncated_bytes cut;
     if Trace.enabled () then
@@ -334,7 +344,7 @@ let unflushed_suffix t =
       (fun s ->
         if seg_end s > t.flushed then begin
           let from = max 0 (t.flushed - s.seg_base) in
-          Buffer.add_string b (Buffer.sub s.seg_data from (seg_len s - from))
+          Buffer.add_string b (Bytebuf.W.sub_string s.seg_data from (seg_len s - from))
         end)
       (all_segments t);
     Buffer.contents b
@@ -394,9 +404,7 @@ let crash ?(retain = fun _ -> 0) t =
         List.iter
           (fun s ->
             if seg_end s > t.flushed then begin
-              let stable = Buffer.sub s.seg_data 0 (t.flushed - s.seg_base) in
-              Buffer.clear s.seg_data;
-              Buffer.add_string s.seg_data stable;
+              Bytebuf.W.truncate s.seg_data (t.flushed - s.seg_base);
               s.seg_sealed <- false
             end)
           kept;
@@ -420,7 +428,7 @@ let crash ?(retain = fun _ -> 0) t =
   end;
   (* the active segment now ends exactly at the old flushed boundary; the
      torn suffix (if the fault kept one) lands right after it *)
-  (match torn_tail with Some bytes -> Buffer.add_string t.active.seg_data bytes | None -> ());
+  (match torn_tail with Some bytes -> Bytebuf.W.raw_string t.active.seg_data bytes | None -> ());
   (* find the true end of log: the scan, not the recorded boundary, is
      authoritative — it cuts the torn suffix back to the last verifiable
      record (which may lie beyond the recorded boundary if complete
@@ -458,7 +466,7 @@ let truncate_prefix t ~upto =
   let dropped_bytes = ref 0 and dropped_segs = ref 0 in
   let rec go = function
     | s :: rest when s.seg_sealed && seg_end s <= upto && seg_end s <= t.flushed ->
-        let data = Buffer.contents s.seg_data in
+        let data = Bytebuf.W.sub_string s.seg_data 0 (seg_len s) in
         let arch =
           {
             arch_base = s.seg_base;
@@ -492,7 +500,8 @@ let truncate_prefix t ~upto =
   !dropped_bytes
 
 let serialize t =
-  let w = Bytebuf.W.create () in
+  (* size hint: header + per-segment overhead + the stable bytes *)
+  let w = Bytebuf.W.create ~size:(64 + size_bytes t + (32 * segment_count t)) () in
   Bytebuf.W.i64 w t.master_lsn;
   Bytebuf.W.i64 w t.last_stable;
   Bytebuf.W.i64 w t.segment_size;
@@ -505,7 +514,7 @@ let serialize t =
     (fun w s ->
       Bytebuf.W.i64 w s.seg_base;
       Bytebuf.W.bool w (s.seg_sealed && seg_end s <= t.flushed);
-      let data = Buffer.sub s.seg_data 0 (min (seg_len s) (t.flushed - s.seg_base)) in
+      let data = Bytebuf.W.sub_string s.seg_data 0 (min (seg_len s) (t.flushed - s.seg_base)) in
       Bytebuf.W.string w data;
       (* per-segment footer: CRC32 of the stable prefix, so a rotted or
          short save file is detected on load instead of mis-decoding *)
@@ -548,7 +557,7 @@ let deserialize b =
         List.map
           (fun (base, sealed, data) ->
             let s = fresh_segment base in
-            Buffer.add_string s.seg_data data;
+            Bytebuf.W.raw_string s.seg_data data;
             s.seg_sealed <- sealed;
             s)
           segs

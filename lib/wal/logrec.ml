@@ -98,8 +98,13 @@ let kind_to_string = function
   | Begin_ckpt -> "BEGIN_CKPT"
   | End_ckpt -> "END_CKPT"
 
-let encode t =
-  let w = Bytebuf.W.create () in
+(* Fixed header bytes ahead of the length-prefixed body: kind u8, four i64
+   (prev/txn/page/undo_nxt), four u16, two bools, two i64 (epoch/gsn), u32
+   body length. Size hint for encode arenas. *)
+let header_bytes = (4 * 8) + (4 * 2) + 2 + (2 * 8) + 4 + 1
+
+let encode_into w t =
+  Bytebuf.W.reset w;
   Bytebuf.W.u8 w (kind_to_int t.kind);
   Bytebuf.W.i64 w t.prev_lsn;
   Bytebuf.W.i64 w t.txn;
@@ -113,11 +118,14 @@ let encode t =
   Bytebuf.W.u16 w t.stream;
   Bytebuf.W.i64 w t.epoch;
   Bytebuf.W.i64 w t.gsn;
-  Bytebuf.W.bytes w t.body;
+  Bytebuf.W.bytes w t.body
+
+let encode t =
+  let w = Bytebuf.W.create ~size:(header_bytes + Bytes.length t.body) () in
+  encode_into w t;
   Bytebuf.W.contents w
 
-let decode ~lsn s =
-  let r = Bytebuf.R.of_string s in
+let decode_from ~lsn r =
   let kind = kind_of_int (Bytebuf.R.u8 r) in
   let prev_lsn = Bytebuf.R.i64 r in
   let txn = Bytebuf.R.i64 r in
@@ -150,6 +158,8 @@ let decode ~lsn s =
     gsn;
     body;
   }
+
+let decode ~lsn s = decode_from ~lsn (Bytebuf.R.of_string s)
 
 (* Frame format (PR 5): [u32 len][payload][u32 crc32(payload)].  The CRC
    trailer lets restart's tail scan distinguish a complete record from a

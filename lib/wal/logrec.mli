@@ -77,9 +77,24 @@ val make :
     appended through a bare {!Logmgr} keep the caller's values. *)
 
 val encode : t -> bytes
-(** Without the length prefix (the log manager frames records). *)
+(** Without the length prefix (the log manager frames records). The writer
+    is size-hinted from the body, so no growth-doubling copies. *)
+
+val encode_into : Bytebuf.W.t -> t -> unit
+(** Encode into a caller-owned arena (reset first, contents left in the
+    writer) — the log managers keep one arena per log so the append hot
+    path allocates nothing per record. *)
+
+val header_bytes : int
+(** Encoded size of everything except the body bytes — [header_bytes +
+    length body] is the exact payload size, usable as an arena hint. *)
 
 val decode : lsn:Lsn.t -> string -> t
+
+val decode_from : lsn:Lsn.t -> Bytebuf.R.t -> t
+(** Decode from a reader positioned at the record payload (consumes
+    exactly the payload, checks the slice is exhausted) — the zero-copy
+    read path over the segment arena. *)
 
 val kind_to_string : kind -> string
 

@@ -131,7 +131,7 @@ let crash t =
    an {e acknowledged} commit always validates. *)
 
 let encode_commit_targets targets =
-  let w = Bytebuf.W.create () in
+  let w = Bytebuf.W.create ~size:(4 + (10 * List.length targets)) () in
   Bytebuf.W.list w
     (fun w (s, l) ->
       Bytebuf.W.u16 w s;
@@ -228,11 +228,15 @@ let iter_merged t ~starts f =
 (* {2 Snapshot} *)
 
 let serialize t =
-  let w = Bytebuf.W.create () in
+  (* serialize the streams first so the container writer can be sized
+     exactly — no growth-doubling copies of megabyte-scale log images *)
+  let imgs = Array.map Logmgr.serialize t.streams in
+  let total = Array.fold_left (fun acc b -> acc + 4 + Bytes.length b) 18 imgs in
+  let w = Bytebuf.W.create ~size:total () in
   Bytebuf.W.u16 w (Array.length t.streams);
   Bytebuf.W.i64 w t.epoch;
   Bytebuf.W.i64 w t.gsn;
-  Array.iter (fun m -> Bytebuf.W.bytes w (Logmgr.serialize m)) t.streams;
+  Array.iter (Bytebuf.W.bytes w) imgs;
   Bytebuf.W.contents w
 
 let deserialize b =

@@ -149,6 +149,128 @@ let qcheck_bytebuf =
   QCheck.Test.make ~name:"Bytebuf string roundtrip (arbitrary bytes)" ~count:200 QCheck.string
     bytebuf_string_prop
 
+(* ---------- Bytebuf arena writer (PR 9) ---------- *)
+
+let test_writer_reset_reuse () =
+  let w = Bytebuf.W.create ~size:32 () in
+  Bytebuf.W.string w "first payload";
+  let c1 = Bytebuf.W.contents w in
+  let cap = Bytebuf.W.capacity w in
+  Bytebuf.W.reset w;
+  Alcotest.(check int) "reset clears length" 0 (Bytebuf.W.length w);
+  Alcotest.(check int) "reset keeps arena" cap (Bytebuf.W.capacity w);
+  Bytebuf.W.string w "first payload";
+  Alcotest.(check bytes) "re-encode identical after reset" c1 (Bytebuf.W.contents w);
+  Alcotest.(check int) "no regrowth for same payload" cap (Bytebuf.W.capacity w)
+
+let test_writer_truncate () =
+  let w = Bytebuf.W.create () in
+  Bytebuf.W.raw_string w "0123456789";
+  Bytebuf.W.truncate w 4;
+  Alcotest.(check string) "truncate cuts in place" "0123" (Bytes.to_string (Bytebuf.W.contents w));
+  Alcotest.check_raises "truncate out of range"
+    (Invalid_argument "Bytebuf.W.truncate: out of range") (fun () -> Bytebuf.W.truncate w 5)
+
+(* The arena writer must produce exactly the bytes the old [Buffer.t]-based
+   writer did: compare against a hand-rolled Buffer reference encoder. *)
+let test_writer_buffer_compat () =
+  let w = Bytebuf.W.create ~size:16 () in
+  Bytebuf.W.u8 w 0xA2;
+  Bytebuf.W.u16 w 0xBEEF;
+  Bytebuf.W.u32 w 0xDEADBEEF;
+  Bytebuf.W.i64 w (-42);
+  Bytebuf.W.bool w true;
+  Bytebuf.W.string w "payload";
+  Bytebuf.W.raw_string w "raw";
+  let b = Buffer.create 16 in
+  Buffer.add_char b (Char.chr 0xA2);
+  Buffer.add_uint16_le b 0xBEEF;
+  Buffer.add_int32_le b (Int32.of_int 0xDEADBEEF);
+  Buffer.add_int64_le b (Int64.of_int (-42));
+  Buffer.add_char b '\x01';
+  Buffer.add_int32_le b (Int32.of_int (String.length "payload"));
+  Buffer.add_string b "payload";
+  Buffer.add_string b "raw";
+  Alcotest.(check string) "arena writer = Buffer reference" (Buffer.contents b)
+    (Bytes.to_string (Bytebuf.W.contents w))
+
+let test_writer_append_with_crc () =
+  let src = Bytebuf.W.create () in
+  Bytebuf.W.raw_string src "hello, frame";
+  let dst = Bytebuf.W.create () in
+  Bytebuf.W.u32 dst (Bytebuf.W.length src);
+  let crc = Bytebuf.W.append_with_crc dst src in
+  Alcotest.(check int) "crc over appended region" (Crc.string "hello, frame") crc;
+  Alcotest.(check int) "crc via W.crc agrees" (Bytebuf.W.crc ~off:4 dst) crc;
+  let r = Bytebuf.R.of_string (Bytebuf.W.unsafe_view dst) in
+  let n = Bytebuf.R.u32 r in
+  Alcotest.(check int) "length prefix" 12 n
+
+let test_reader_of_substring () =
+  let s = "xxABCDyy" in
+  let r = Bytebuf.R.of_substring s ~off:2 ~len:4 in
+  Alcotest.(check int) "remaining" 4 (Bytebuf.R.remaining r);
+  Alcotest.(check int) "u8 at slice start" (Char.code 'A') (Bytebuf.R.u8 r);
+  ignore (Bytebuf.R.u8 r);
+  ignore (Bytebuf.R.u8 r);
+  ignore (Bytebuf.R.u8 r);
+  Bytebuf.R.expect_end r;
+  Alcotest.(check bool) "reads past lim raise Corrupt" true
+    (match Bytebuf.R.u8 r with _ -> false | exception Bytebuf.Corrupt _ -> true);
+  Alcotest.check_raises "slice out of range"
+    (Invalid_argument "Bytebuf.R.of_substring: slice out of range") (fun () ->
+      ignore (Bytebuf.R.of_substring s ~off:6 ~len:4))
+
+(* ---------- Crc (PR 9: slice-by-16) ---------- *)
+
+(* Known-answer tests: IEEE 802.3 CRC32 check values. *)
+let test_crc_kat () =
+  Alcotest.(check int) "check value" 0xCBF43926 (Crc.string "123456789");
+  Alcotest.(check int) "empty" 0 (Crc.string "");
+  Alcotest.(check int) "single byte" 0xD202EF8D (Crc.string "\x00");
+  Alcotest.(check int) "a" 0xE8B7BE43 (Crc.string "a");
+  Alcotest.(check int) "quick brown fox" 0x414FA339
+    (Crc.string "The quick brown fox jumps over the lazy dog")
+
+(* Differential: the slice-by-16 [update] must agree with the byte-at-a-time
+   reference on random payloads and random (offset, length) slices —
+   including the unaligned head/tail the 8-byte inner loop must hand off
+   correctly. *)
+let crc_differential_prop (s, a, b) =
+  let n = String.length s in
+  let off = if n = 0 then 0 else a mod (n + 1) in
+  let len = if n - off = 0 then 0 else b mod (n - off + 1) in
+  Crc.update 0xFFFF (String.sub s off len) 0 len
+  = Crc.update_bytewise 0xFFFF s off len
+
+let qcheck_crc_differential =
+  QCheck.Test.make ~name:"Crc slice-by-16 = bytewise reference (random slices)" ~count:1000
+    QCheck.(triple string small_nat small_nat)
+    crc_differential_prop
+
+(* Incremental composition: feeding a buffer in two chunks equals feeding
+   it whole — the dirty-slice update path depends on this. *)
+let crc_incremental_prop (a, b) =
+  Crc.update (Crc.update 0 a 0 (String.length a)) b 0 (String.length b) = Crc.string (a ^ b)
+
+let qcheck_crc_incremental =
+  QCheck.Test.make ~name:"Crc incremental update composes" ~count:500
+    QCheck.(pair string string)
+    crc_incremental_prop
+
+(* [combine]: concatenating two independently finalized CRCs. *)
+let crc_combine_prop (a, b) =
+  Crc.combine (Crc.string a) (Crc.string b) (String.length b) = Crc.string (a ^ b)
+
+let qcheck_crc_combine =
+  QCheck.Test.make ~name:"Crc.combine concatenates finalized CRCs" ~count:500
+    QCheck.(pair string string)
+    crc_combine_prop
+
+let test_crc_bytes_slice () =
+  let b = Bytes.of_string "__123456789__" in
+  Alcotest.(check int) "bytes slice" 0xCBF43926 (Crc.bytes ~off:2 ~len:9 b)
+
 (* ---------- Stats ---------- *)
 
 let test_stats_counting () =
@@ -199,6 +321,19 @@ let () =
           Alcotest.test_case "truncation" `Quick test_bytebuf_truncation;
           Alcotest.test_case "trailing" `Quick test_bytebuf_trailing;
           QCheck_alcotest.to_alcotest qcheck_bytebuf;
+          Alcotest.test_case "writer reset/reuse" `Quick test_writer_reset_reuse;
+          Alcotest.test_case "writer truncate" `Quick test_writer_truncate;
+          Alcotest.test_case "writer = Buffer reference" `Quick test_writer_buffer_compat;
+          Alcotest.test_case "append_with_crc" `Quick test_writer_append_with_crc;
+          Alcotest.test_case "reader of_substring" `Quick test_reader_of_substring;
+        ] );
+      ( "crc",
+        [
+          Alcotest.test_case "known answers" `Quick test_crc_kat;
+          Alcotest.test_case "bytes slice" `Quick test_crc_bytes_slice;
+          QCheck_alcotest.to_alcotest qcheck_crc_differential;
+          QCheck_alcotest.to_alcotest qcheck_crc_incremental;
+          QCheck_alcotest.to_alcotest qcheck_crc_combine;
         ] );
       ( "stats",
         [

@@ -310,6 +310,76 @@ let test_crash_unseals_straddler () =
   let e = Logmgr.append log (update ~txn:42 ()) in
   Alcotest.(check int) "resume at flushed boundary" (Logmgr.record_end log a) e
 
+(* ---------- PR 9: arena encode byte-identity + reuse accounting ---------- *)
+
+(* The arena-based [encode_into] must produce exactly the bytes the old
+   fresh-Buffer encoder did. Reference encoder hand-rolled here against
+   the documented record layout. *)
+let reference_encode (r : Logrec.t) =
+  let kind_to_int = function
+    | Logrec.Update -> 0
+    | Logrec.Clr -> 1
+    | Logrec.Commit -> 2
+    | Logrec.Prepare -> 3
+    | Logrec.Rollback -> 4
+    | Logrec.End_txn -> 5
+    | Logrec.Begin_ckpt -> 6
+    | Logrec.End_ckpt -> 7
+  in
+  let b = Buffer.create 64 in
+  Buffer.add_char b (Char.chr (kind_to_int r.Logrec.kind));
+  Buffer.add_int64_le b (Int64.of_int r.Logrec.prev_lsn);
+  Buffer.add_int64_le b (Int64.of_int r.Logrec.txn);
+  Buffer.add_int64_le b (Int64.of_int r.Logrec.page);
+  Buffer.add_int64_le b (Int64.of_int r.Logrec.undo_nxt_lsn);
+  Buffer.add_uint16_le b
+    (if r.Logrec.undo_nxt_stream < 0 then r.Logrec.stream else r.Logrec.undo_nxt_stream);
+  Buffer.add_uint16_le b r.Logrec.rm_id;
+  Buffer.add_uint16_le b r.Logrec.op;
+  Buffer.add_char b (if r.Logrec.undoable then '\x01' else '\x00');
+  Buffer.add_char b (if r.Logrec.redoable then '\x01' else '\x00');
+  Buffer.add_uint16_le b r.Logrec.stream;
+  Buffer.add_int64_le b (Int64.of_int r.Logrec.epoch);
+  Buffer.add_int64_le b (Int64.of_int r.Logrec.gsn);
+  Buffer.add_int32_le b (Int32.of_int (Bytes.length r.Logrec.body));
+  Buffer.add_bytes b r.Logrec.body;
+  Buffer.contents b
+
+let test_encode_matches_reference () =
+  let records =
+    [
+      update ();
+      update ~txn:99 ~prev:1234 ~page:0 ~body:Bytes.empty ();
+      Logrec.make ~page:9 ~undo_nxt_lsn:55 ~undo_nxt_stream:2 ~rm_id:3 ~op:12
+        ~body:(Bytes.of_string "payload\x00bytes") ~stream:1 ~epoch:4 ~gsn:77 ~txn:42
+        ~prev_lsn:17 Logrec.Clr;
+      Logrec.make ~txn:7 ~prev_lsn:Lsn.nil Logrec.Commit;
+    ]
+  in
+  List.iter
+    (fun r ->
+      Alcotest.(check string) "encode = reference"
+        (reference_encode r)
+        (Bytes.to_string (Logrec.encode r));
+      Alcotest.(check int) "header_bytes + body = encoded size"
+        (Logrec.header_bytes + Bytes.length r.Logrec.body)
+        (Bytes.length (Logrec.encode r)))
+    records
+
+(* After a warm-up append sizes the per-log arena, every further append of
+   same-or-smaller records reuses it — the counter tracks log.records. *)
+let test_encode_arena_reuse () =
+  let log = Logmgr.create () in
+  ignore (Logmgr.append log (update ~body:(Bytes.create 64) ()));
+  let s = Stats.create () in
+  Stats.with_sink s (fun () ->
+      for _ = 1 to 50 do
+        ignore (Logmgr.append log (update ~body:(Bytes.create 64) ()))
+      done);
+  Alcotest.(check int) "every append reused the arena" 50
+    (Stats.get s Stats.wal_encode_arena_reuses);
+  Alcotest.(check int) "and appended a record" 50 (Stats.get s Stats.log_records)
+
 let () =
   Alcotest.run "wal"
     [
@@ -318,6 +388,8 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_codec_roundtrip;
           QCheck_alcotest.to_alcotest qcheck_codec;
           Alcotest.test_case "random records x1000 (seeded)" `Quick test_logrec_codec_property;
+          Alcotest.test_case "encode = reference bytes" `Quick test_encode_matches_reference;
+          Alcotest.test_case "append reuses encode arena" `Quick test_encode_arena_reuse;
         ] );
       ( "logmgr",
         [
