@@ -2038,6 +2038,222 @@ let q16 ppf =
   close_out oc;
   kv ppf "wrote" "BENCH_PR9.json"
 
+(* ------------------------------------------------------------------ *)
+(* Q17 (PR 10): sharded Db + presumed-abort 2PC.
+
+   Three claims, three gates:
+   - commit cost: a cross-shard commit pays exactly the presumed-abort
+     force budget — per participant a forced Prepare plus a forced
+     Commit (the ack lets the coordinator forget the gid, so the commit
+     must be stable first), plus the coordinator's forced decision:
+     2P+1 where a single-shard commit pays one force. Gated on the
+     measured forces-per-commit of both shapes; wall-clock throughput
+     is reported, not gated.
+   - in-doubt resolution latency: branches prepared on two shards when
+     the whole cluster dies must be restored in-doubt by restart and
+     resolved (abort by presumption — no decision survived) before
+     restart returns; same again when only the {e coordinator} dies and
+     is revived. Gated on every in-doubt resolved and a clean cluster
+     leak report. Latency is reported in scheduler steps.
+   - robustness: a bounded sharded crash/kill/degrade sweep (the same
+     rig as [sim smoke --shards]) must be failure-free.
+   Writes BENCH_PR10.json. *)
+let q17 ppf =
+  section ppf "Q17: sharded 2PC — commit cost, in-doubt latency, fault sweep";
+  let module Sharddb = Aries_shard.Sharddb in
+  let module Twopc = Aries_shard.Twopc in
+  let module Shardsim = Aries_sim.Shardsim in
+  let module Sched = Aries_sched.Sched in
+  let run_ok t f =
+    let r = Sharddb.run t ~policy:Sched.Fifo f in
+    (match r.Sched.exns with
+    | [] -> ()
+    | (_, name, e) :: _ ->
+        failwith (Printf.sprintf "q17: fiber %s died: %s" name (Printexc.to_string e)));
+    match r.Sched.outcome with
+    | Sched.Completed -> ()
+    | _ -> failwith "q17: workload did not complete"
+  in
+  (* -- commit cost: single-shard vs cross-shard -- *)
+  let t = Sharddb.create ~shards:3 ~page_size:640 ~pool_capacity:32 () in
+  run_ok t (fun () -> Sharddb.setup t);
+  (* [n] values routed to shard [k], distinct from anything in [used] *)
+  let vals_on k n =
+    let rec go i acc m =
+      if m = 0 then List.rev acc
+      else
+        let v = Printf.sprintf "q17-%05d" i in
+        if Sharddb.shard_of t v = k then go (i + 1) (v :: acc) (m - 1) else go (i + 1) acc m
+    in
+    go (k * 100_000) [] n
+  in
+  let ntxns = 200 in
+  let srid =
+    let c = ref 0 in
+    fun () ->
+      incr c;
+      { Ids.rid_page = 310_000; rid_slot = !c }
+  in
+  let commit_batch pairs =
+    let stats = Stats.create () in
+    let t0 = Sys.time () in
+    Stats.with_sink stats (fun () ->
+        run_ok t (fun () ->
+            ignore
+              (Sched.spawn ~name:"commits" (fun () ->
+                   List.iter
+                     (fun (a, b) ->
+                       let g = Sharddb.begin_gtxn t in
+                       Sharddb.insert t g ~value:a ~rid:(srid ());
+                       Sharddb.insert t g ~value:b ~rid:(srid ());
+                       Sharddb.commit t g)
+                     pairs))));
+    (Sys.time () -. t0, Stats.get stats Stats.log_forces, Stats.get stats Stats.txn_prepares)
+  in
+  let on0 = vals_on 0 (2 * ntxns) in
+  let single_pairs =
+    List.init ntxns (fun i -> (List.nth on0 (2 * i), List.nth on0 ((2 * i) + 1)))
+  in
+  let cross_pairs = List.combine (vals_on 1 ntxns) (vals_on 2 ntxns) in
+  let s_time, s_forces, s_prepares = commit_batch single_pairs in
+  let x_time, x_forces, x_prepares = commit_batch cross_pairs in
+  let per n v = float_of_int v /. float_of_int n in
+  let tput time = float_of_int ntxns /. (if time <= 0.0 then epsilon_float else time) in
+  kv ppf
+    (Printf.sprintf "single-shard commit (%d txns, 2 keys each)" ntxns)
+    "%.0f txns/s, %.2f forces/commit" (tput s_time) (per ntxns s_forces);
+  kv ppf
+    (Printf.sprintf "cross-shard commit (%d txns, 2 shards each)" ntxns)
+    "%.0f txns/s, %.2f forces/commit (%d prepares)" (tput x_time) (per ntxns x_forces)
+    x_prepares;
+  if s_prepares <> 0 then failwith "q17: single-shard commits should never prepare";
+  if x_prepares <> 2 * ntxns then failwith "q17: cross-shard commits must prepare every branch";
+  (* presumed-abort force budget: 1 per single-shard commit; 2P+1 (= 5
+     here) per cross-shard commit — prepare + commit force per
+     participant, decision force on the coordinator *)
+  if s_forces <> ntxns then failwith "q17: single-shard commit force budget off";
+  if x_forces <> 5 * ntxns then failwith "q17: cross-shard commit force budget off";
+  Sharddb.close t;
+  (* -- in-doubt resolution latency -- *)
+  (* prepare a cross-shard transaction by hand (phase 1 only), then lose
+     the decision two ways: the whole cluster dies, or just the
+     coordinator dies and is revived. *)
+  let prep () =
+    let t = Sharddb.create ~shards:2 ~page_size:640 ~pool_capacity:32 () in
+    run_ok t (fun () -> Sharddb.setup t);
+    (* two values this cluster's router sends to different shards *)
+    let pv i = Printf.sprintf "q17p-%03d" i in
+    let rec hunt i =
+      if Sharddb.shard_of t (pv i) <> Sharddb.shard_of t (pv 0) then (pv 0, pv i)
+      else hunt (i + 1)
+    in
+    let a, b = hunt 1 in
+    let coord = ref 0 in
+    run_ok t (fun () ->
+        ignore
+          (Sched.spawn ~name:"prep" (fun () ->
+               let g = Sharddb.begin_gtxn t in
+               Sharddb.insert t g ~value:a ~rid:{ Ids.rid_page = 311_000; rid_slot = 1 };
+               Sharddb.insert t g ~value:b ~rid:{ Ids.rid_page = 311_000; rid_slot = 2 };
+               coord := Sharddb.shard_of t a;
+               List.iter
+                 (fun k ->
+                   let tx = Sharddb.local t g k in
+                   Txnmgr.prepare
+                     ~meta:(Twopc.encode_prepare_meta ~gid:(Sharddb.gid g) ~coord:!coord)
+                     (Sharddb.db t k).Db.mgr tx)
+                 (Sharddb.participants g))));
+    (t, !coord)
+  in
+  let t1, _ = prep () in
+  Sharddb.crash t1;
+  let stats1 = Stats.create () in
+  let restart_ms = ref 0.0 and restart_resolved = ref 0 in
+  Stats.with_sink stats1 (fun () ->
+      run_ok t1 (fun () ->
+          ignore
+            (Sched.spawn ~name:"restart" (fun () ->
+                 let t0 = Sys.time () in
+                 let _, resolved = Sharddb.restart t1 in
+                 restart_ms := (Sys.time () -. t0) *. 1000.0;
+                 restart_resolved := resolved;
+                 if Sharddb.leak_report t1 <> [] then failwith "q17: post-restart leak"))));
+  kv ppf "cluster crash with 2 in-doubt branches"
+    "restored %d, resolved %d inline in %.2fms (presumed abort)"
+    (Stats.get stats1 Stats.txn_indoubt_restored)
+    !restart_resolved !restart_ms;
+  if !restart_resolved <> 2 || Stats.get stats1 Stats.txn_indoubt_restored <> 2 then
+    failwith "q17: cluster restart must restore and resolve both in-doubt branches";
+  Sharddb.close t1;
+  let t2, coord = prep () in
+  let stats2 = Stats.create () in
+  let revive_ms = ref 0.0 and parked_resolved = ref 0 and down_resolved = ref 0 in
+  Stats.with_sink stats2 (fun () ->
+      run_ok t2 (fun () ->
+          ignore
+            (Sched.spawn ~name:"coord-crash" (fun () ->
+                 Sharddb.kill t2 coord;
+                 (* the participant's branch stays parked: its coordinator
+                    is down, aborting by presumption now would be wrong *)
+                 down_resolved := Sharddb.resolve_indoubts t2;
+                 let t0 = Sys.time () in
+                 ignore (Sharddb.revive t2 coord);
+                 revive_ms := (Sys.time () -. t0) *. 1000.0;
+                 parked_resolved := Sharddb.resolve_indoubts t2;
+                 if Sharddb.leak_report t2 <> [] then failwith "q17: post-revive leak"))));
+  kv ppf "coordinator fail-stop, then revive"
+    "parked while down (resolved %d), revive resolved all in %.2fms" !down_resolved !revive_ms;
+  if !down_resolved <> 0 then
+    failwith "q17: in-doubt branch resolved while its coordinator was down";
+  if Stats.get stats2 Stats.txn_indoubt_resolved < 2 then
+    failwith "q17: revive must resolve both in-doubt branches";
+  Sharddb.close t2;
+  (* -- zero-fatal sharded fault sweep (the sim smoke rig, small budget) -- *)
+  let sweep =
+    Shardsim.sweep Shardsim.default_cfg ~seeds:[ 1; 2 ] ~crash_seeds:[ 1001 ] ~crash_budget:9
+  in
+  kv ppf "sharded fault sweep (2 seeds, 1 crash seed x <=9 points)"
+    "%d runs, %d acked, %d in-doubt resolved, %d failure(s)" sweep.Shardsim.ss_runs
+    sweep.Shardsim.ss_acked sweep.Shardsim.ss_resolved
+    (List.length sweep.Shardsim.ss_failures);
+  List.iter
+    (fun rp -> kv ppf "  FAILURE" "%s" (Shardsim.reproducer_line rp))
+    sweep.Shardsim.ss_failures;
+  if sweep.Shardsim.ss_failures <> [] then failwith "q17: sharded fault sweep not clean";
+  if sweep.Shardsim.ss_acked = 0 then failwith "q17: sweep acknowledged no commits";
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"bench\": \"sharded-2pc\",\n\
+      \  \"generated_by\": \"dune exec bench/main.exe -- q17\",\n\
+      \  \"commit_cost\": {\n\
+      \    \"txns_per_shape\": %d,\n\
+      \    \"single_shard\": { \"txns_per_s\": %.0f, \"forces_per_commit\": %.2f },\n\
+      \    \"cross_shard\": { \"txns_per_s\": %.0f, \"forces_per_commit\": %.2f,\n\
+      \      \"prepares\": %d },\n\
+      \    \"cross_cost_ratio\": %.2f,\n\
+      \    \"gate\": \"forces = 1 single, 2P+1 cross\" },\n\
+      \  \"indoubt_resolution\": {\n\
+      \    \"cluster_crash\": { \"restored\": %d, \"resolved\": %d, \"ms\": %.3f },\n\
+      \    \"coordinator_failstop\": { \"resolved_while_down\": %d,\n\
+      \      \"revive_ms\": %.3f, \"resolved_after_revive\": %d },\n\
+      \    \"gate\": \"all in-doubts resolved, zero leaks\" },\n\
+      \  \"fault_sweep\": { \"runs\": %d, \"acked\": %d, \"resolved\": %d,\n\
+      \    \"failures\": %d, \"gate_max_failures\": 0 }\n\
+       }\n"
+      ntxns (tput s_time) (per ntxns s_forces) (tput x_time) (per ntxns x_forces) x_prepares
+      (per ntxns x_forces /. per ntxns s_forces)
+      (Stats.get stats1 Stats.txn_indoubt_restored)
+      !restart_resolved !restart_ms !down_resolved !revive_ms
+      (Stats.get stats2 Stats.txn_indoubt_resolved)
+      sweep.Shardsim.ss_runs sweep.Shardsim.ss_acked sweep.Shardsim.ss_resolved
+      (List.length sweep.Shardsim.ss_failures)
+  in
+  let oc = open_out "BENCH_PR10.json" in
+  output_string oc json;
+  close_out oc;
+  kv ppf "wrote" "BENCH_PR10.json"
+
 let all : (string * (Format.formatter -> unit)) list =
   [
     ("e1", e1);
@@ -2065,4 +2281,5 @@ let all : (string * (Format.formatter -> unit)) list =
     ("q14", q14);
     ("q15", q15);
     ("q16", q16);
+    ("q17", q17);
   ]

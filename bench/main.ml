@@ -17,6 +17,9 @@
      dune exec bench/main.exe -- sim smoke --instant      # recovery-during-recovery CI sweep
      dune exec bench/main.exe -- sim smoke --streams      # multi-stream WAL crash-order sweep
      dune exec bench/main.exe -- sim smoke --mvcc         # MVCC snapshot-read crash sweep
+     dune exec bench/main.exe -- sim smoke --shards       # sharded 2PC crash/kill/degrade sweep
+     dune exec bench/main.exe -- sim smoke --shards --instant  # sharded instant-restart sweep
+     dune exec bench/main.exe -- sim replay --shards <seed> <mode>  # re-run a SHARD-REPRO line
      dune exec bench/main.exe -- sim replay <seed> <k|->  # re-run one reproducer
      dune exec bench/main.exe -- sim replay <seed> <k|-> <cut>  # instant-restart reproducer
      ARIES_SIM_FAULT=wal.skip-flush dune exec bench/main.exe -- sim
@@ -50,9 +53,12 @@ let run_sim args =
       let instant = List.mem "--instant" rest in
       let streams = List.mem "--streams" rest in
       let mvcc = List.mem "--mvcc" rest in
+      let shards = List.mem "--shards" rest in
       let rest =
         List.filter
-          (fun a -> a <> "--faults" && a <> "--instant" && a <> "--streams" && a <> "--mvcc")
+          (fun a ->
+            a <> "--faults" && a <> "--instant" && a <> "--streams" && a <> "--mvcc"
+            && a <> "--shards")
           rest
       in
       let geti i default =
@@ -89,7 +95,82 @@ let run_sim args =
         else [ ("default", cfg); ("group+cleaner", Aries_sim.Workload.group_cfg) ]
       in
       let failed = ref false in
-      if instant then begin
+      if shards then begin
+        (* the sharded 2PC smoke (PR 10): a Sharddb cluster under the hash
+           router — presumed-abort two-phase commit across shards, checked
+           against the cross-shard committed-state oracle (fence-validated
+           local commits for single-branch txns, durable coordinator
+           decisions for multi-branch ones). The classic sweep covers seed
+           runs, whole-cluster crash points, per-shard fail-stops with
+           mid-run revival, and whole-run downed-shard degrade runs; with
+           [--instant] every cut instant-restarts all shards and serves a
+           second workload phase while in-doubt branches resolve. *)
+        let module Shardsim = Aries_sim.Shardsim in
+        let module Stats = Aries_util.Stats in
+        let scfg = Shardsim.default_cfg in
+        let print_counters () =
+          let st = Stats.current () in
+          Format.fprintf ppf
+            "  2pc counters: %s=%d %s=%d %s=%d %s=%d %s=%d %s=%d@."
+            Stats.txn_prepares (Stats.get st Stats.txn_prepares)
+            Stats.txn_indoubt_restored (Stats.get st Stats.txn_indoubt_restored)
+            Stats.txn_indoubt_resolved (Stats.get st Stats.txn_indoubt_resolved)
+            Stats.shard_retries (Stats.get st Stats.shard_retries)
+            Stats.shard_timeouts (Stats.get st Stats.shard_timeouts)
+            Stats.deadlock_global_victims (Stats.get st Stats.deadlock_global_victims)
+        in
+        let dump_failures (s : Shardsim.summary) =
+          failed := true;
+          List.iter
+            (fun rp -> Format.fprintf ppf "%s@." (Shardsim.reproducer_line rp))
+            s.Shardsim.ss_failures;
+          (match s.Shardsim.ss_failures with
+          | rp :: _ ->
+              List.iter (fun l -> Format.fprintf ppf "  %s@." l) rp.Shardsim.sp_trace;
+              List.iter (fun l -> Format.fprintf ppf "  %s@." l) rp.Shardsim.sp_event_dump
+          | [] -> ());
+          print_counters ()
+        in
+        if instant then begin
+          let nseeds = geti 0 2 and budget = geti 1 12 in
+          Format.fprintf ppf
+            "smoke shards instant: %d seeds x <=%d armed recovery cuts, %d shards@." nseeds
+            budget scfg.Shardsim.shards;
+          List.iter
+            (fun seed ->
+              let s = Shardsim.instant_sweep scfg ~seed ~budget in
+              Format.fprintf ppf
+                "  seed %d: %d runs, %d acked, %d in-doubt resolved, %d failure(s)@." seed
+                s.Shardsim.ss_runs s.Shardsim.ss_acked s.Shardsim.ss_resolved
+                (List.length s.Shardsim.ss_failures);
+              if s.Shardsim.ss_failures <> [] then dump_failures s)
+            (List.init nseeds (fun i -> 2001 + i));
+          if !failed then exit 1;
+          print_counters ();
+          Format.fprintf ppf "sharded instant smoke sweep clean@."
+        end
+        else begin
+          let nseeds = geti 0 6 and ncrash = geti 1 2 and budget = geti 2 18 in
+          Format.fprintf ppf
+            "smoke shards: %d seeds, %d crash seeds x <=%d points, %d shards@." nseeds ncrash
+            budget scfg.Shardsim.shards;
+          let s =
+            Shardsim.sweep scfg
+              ~seeds:(List.init nseeds (fun i -> i + 1))
+              ~crash_seeds:(List.init ncrash (fun i -> 1001 + i))
+              ~crash_budget:budget
+          in
+          Format.fprintf ppf
+            "  %d runs, %d acked commits, %d in-doubt resolved, %d failure(s)@."
+            s.Shardsim.ss_runs s.Shardsim.ss_acked s.Shardsim.ss_resolved
+            (List.length s.Shardsim.ss_failures);
+          if s.Shardsim.ss_failures <> [] then dump_failures s;
+          if !failed then exit 1;
+          print_counters ();
+          Format.fprintf ppf "sharded smoke sweep clean@."
+        end
+      end
+      else if instant then begin
         (* the recovery-during-recovery smoke (see ci.sh): cut the run at
            sampled durability events, serve a second workload while
            instant restart drains, and crash {e again} inside the drain —
@@ -142,6 +223,30 @@ let run_sim args =
           workloads;
         if !failed then exit 1;
         Format.fprintf ppf "smoke sweep clean@."
+      end
+  | "replay" :: "--shards" :: seed :: m :: _ ->
+      (* [sim replay --shards <seed> <mode>] re-runs one sharded reproducer;
+         <mode> is the mode= token from a SHARD-REPRO line (run, crash=<k>,
+         instant=<k>, kill=<v>@<k>, down=<k>). *)
+      let module Shardsim = Aries_sim.Shardsim in
+      let rp =
+        {
+          Shardsim.sp_seed = int_of_string seed;
+          sp_mode = Shardsim.mode_of_string m;
+          sp_failures = [];
+          sp_trace = [];
+          sp_event_dump = [];
+        }
+      in
+      let r = Shardsim.replay Shardsim.default_cfg rp in
+      Format.fprintf ppf "shard replay seed=%s mode=%s: %d events, %d gtxns, %d acked@." seed
+        m r.Shardsim.sr_events r.Shardsim.sr_txns r.Shardsim.sr_acked;
+      List.iter (fun l -> Format.fprintf ppf "  %s@." l) r.Shardsim.sr_trace;
+      List.iter (fun l -> Format.fprintf ppf "  %s@." l) r.Shardsim.sr_event_dump;
+      if r.Shardsim.sr_failures = [] then Format.fprintf ppf "run passed all checks@."
+      else begin
+        List.iter (fun f -> Format.fprintf ppf "FAILURE: %s@." f) r.Shardsim.sr_failures;
+        exit 1
       end
   | "replay" :: seed :: k :: rest ->
       (* [sim replay <seed> <k|->] re-runs a classic reproducer;

@@ -25,6 +25,14 @@
 # The q16 gate holds the hot-path speed pass: slice-by-16 CRC >= 4x the
 # bytewise baseline, page-codec CRC overhead <= 25.5%, arena reuse on
 # every steady-state log append, and an all-hit image-cache probe storm.
+# The shards smoke is the sharded 2PC sweep: presumed-abort two-phase
+# commit across a Sharddb cluster with the flush shuffle armed, crashing
+# the whole cluster, fail-stopping single shards mid-run (coordinators
+# and participants alike), and running whole workloads with a shard down
+# — every run must match the cross-shard committed-state oracle (commit
+# everywhere or abort everywhere) with zero R1-R10 violations and zero
+# leaked in-doubt locks; the --instant variant restarts every shard
+# mid-recovery and serves a second workload phase while in-doubts resolve.
 set -eu
 
 cd "$(dirname "$0")"
@@ -56,6 +64,12 @@ if [ "${1:-}" != "fast" ]; then
 
   echo "== sim mvcc snapshot-read smoke sweep =="
   dune exec bench/main.exe -- sim smoke --mvcc
+
+  echo "== sim sharded 2PC smoke sweep =="
+  dune exec bench/main.exe -- sim smoke --shards
+
+  echo "== sim sharded 2PC smoke sweep (instant restart) =="
+  dune exec bench/main.exe -- sim smoke --shards --instant
 fi
 
 echo "ci.sh: all green"

@@ -31,6 +31,7 @@ type frame = {
 }
 
 type t = {
+  id : int;  (* process-unique; disambiguates pools (shards) in trace events *)
   dsk : Disk.t;
   logs : Logset.t;
   capacity : int;
@@ -50,8 +51,12 @@ type t = {
   restart_dpt : (Ids.page_id, Lsn.t * Lsn.t list) Hashtbl.t;
 }
 
+let next_id = ref 0
+
 let create ?(capacity = 128) dsk logs =
+  incr next_id;
   {
+    id = !next_id;
     dsk;
     logs;
     capacity;
@@ -67,6 +72,8 @@ let create ?(capacity = 128) dsk logs =
   }
 
 let disk t = t.dsk
+
+let id t = t.id
 
 let page_size t = Disk.page_size t.dsk
 
@@ -241,7 +248,7 @@ let fix_opt t pid =
         | Some (page, image) -> Some (install ~image t page).page
         | None -> None)
   in
-  if r <> None && Trace.enabled () then Trace.emit (Trace.Page_fix { pid });
+  if r <> None && Trace.enabled () then Trace.emit (Trace.Page_fix { pool = t.id; pid });
   r
 
 let fix t pid = match fix_opt t pid with Some p -> p | None -> raise (Page_vanished pid)
@@ -250,7 +257,7 @@ let fix_new t pid content =
   Stats.incr Stats.page_fixes;
   assert (not (Hashtbl.mem t.frames pid));
   let page = Page.create ~psize:(page_size t) ~pid content in
-  if Trace.enabled () then Trace.emit (Trace.Page_fix { pid });
+  if Trace.enabled () then Trace.emit (Trace.Page_fix { pool = t.id; pid });
   (install t page).page
 
 let frame_of t page =

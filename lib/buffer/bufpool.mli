@@ -29,6 +29,12 @@ val create : ?capacity:int -> Aries_page.Disk.t -> Aries_wal.Logset.t -> t
 
 val disk : t -> Aries_page.Disk.t
 
+val id : t -> int
+(** Process-unique pool id. Page ids are only unique within a pool, so
+    multi-pool programs (a sharded Db runs one pool per shard) tag per-page
+    trace events with this id to keep the discipline checker's per-page
+    state from colliding across shards. *)
+
 val page_size : t -> int
 
 val fix : t -> Ids.page_id -> Aries_page.Page.t

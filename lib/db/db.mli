@@ -170,6 +170,14 @@ val run_exn : ?policy:Aries_sched.Sched.policy -> t -> (unit -> 'a) -> 'a
 (** Like {!run} for a single computation; re-raises fiber failures and
     fails on stalls. *)
 
+val start_daemons : t -> unit
+(** Spawn this environment's configured daemons into the {e current}
+    scheduler run (what {!run}/{!run_exn} do before the workload). For a
+    multi-environment run — e.g. a [Sharddb] hosting several [Db]s under
+    one scheduler — call this once per environment from the run's main
+    fiber instead of nesting {!run}. Idempotence is the caller's problem:
+    call it once per environment per run. *)
+
 val save : t -> string -> unit
 (** Persist the {e stable} state (disk images, stable log prefix + master
     record, log archive) to a file — exactly what a powered-off machine

@@ -69,6 +69,7 @@ type waiter = {
   wt_mode : mode;  (* for conversions: the target (supremum) mode *)
   wt_duration : duration;
   wt_conversion : bool;
+  wt_since : int;  (* Sched.steps_now at enqueue — the timeout fallback's clock *)
   mutable wt_waker : Sched.waker option;
 }
 
@@ -257,6 +258,27 @@ let resolve_deadlocks t txn =
   in
   loop ()
 
+(* Every waiting transaction with its wait-start step and waits-for edges —
+   the per-shard slice the cross-shard detector unions into a global graph
+   (local cycles are caught at request time by [resolve_deadlocks]; cycles
+   spanning shards are invisible to any single table). *)
+let waiting t =
+  let out = ref [] in
+  Hashtbl.iter
+    (fun _ head ->
+      Vec.iter
+        (fun w -> out := (w.wt_txn, w.wt_since, edges_of t w.wt_txn) :: !out)
+        head.hd_waiters)
+    t.table;
+  List.sort compare !out
+
+let abort_waiter t ~txn =
+  match (info t txn).ti_waiting_on with
+  | None -> false
+  | Some _ ->
+      abort_victim t txn;
+      true
+
 let lock t ~txn ?(cond = false) name mode duration =
   let ti = info t txn in
   Stats.incr Stats.lock_requests;
@@ -316,7 +338,14 @@ let lock t ~txn ?(cond = false) name mode duration =
       | None -> (false, mode)
     in
     let waiter =
-      { wt_txn = txn; wt_mode = target; wt_duration = duration; wt_conversion = conversion; wt_waker = None }
+      {
+        wt_txn = txn;
+        wt_mode = target;
+        wt_duration = duration;
+        wt_conversion = conversion;
+        wt_since = (try Sched.steps_now () with _ -> 0);
+        wt_waker = None;
+      }
     in
     let enqueue () =
       if conversion then begin

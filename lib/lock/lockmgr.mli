@@ -97,6 +97,20 @@ val held_locks : t -> txn:Ids.txn_id -> (name * mode) list
 (** The retained locks of a transaction (unspecified order); used to build
     Prepare record bodies so restart can reacquire in-doubt locks. *)
 
+val waiting : t -> (Ids.txn_id * int * Ids.txn_id list) list
+(** Every waiting transaction as [(txn, wait-start step, blockers)] —
+    blockers are its waits-for edges within this table (conflicting
+    holders plus waiters queued ahead). Local cycles are broken at request
+    time; a cross-shard detector unions these per-shard slices into a
+    global graph, using the wait-start step for its timeout fallback. *)
+
+val abort_waiter : t -> txn:Ids.txn_id -> bool
+(** Abort a {e waiting} transaction from outside (cross-shard deadlock
+    victim, lock-wait timeout, shard fail-stop): dequeue it and deliver
+    {!Deadlock_abort} at its suspension point, exactly like a local
+    deadlock victim. Returns [false] (and does nothing) if the transaction
+    is not currently waiting — e.g. it raced with a grant. *)
+
 val compatible : mode -> mode -> bool
 
 val supremum : mode -> mode -> mode

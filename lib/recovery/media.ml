@@ -217,7 +217,8 @@ let recover_page ?archive mgr pool dump pid =
           | Logrec.Update -> r.Logrec.redoable
           | Logrec.Clr -> r.Logrec.rm_id <> 0
           | Logrec.Commit | Logrec.Prepare | Logrec.Rollback | Logrec.End_txn
-          | Logrec.Begin_ckpt | Logrec.End_ckpt ->
+          | Logrec.Begin_ckpt | Logrec.End_ckpt | Logrec.Coord_commit | Logrec.Coord_abort
+          | Logrec.Coord_end ->
               false
         in
         if redoable then begin

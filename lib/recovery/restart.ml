@@ -73,7 +73,7 @@ let redoable_record (r : Logrec.t) =
   | Logrec.Update -> r.Logrec.redoable
   | Logrec.Clr -> r.Logrec.rm_id <> 0  (* dummy CLRs carry no change *)
   | Logrec.Commit | Logrec.Prepare | Logrec.Rollback | Logrec.End_txn | Logrec.Begin_ckpt
-  | Logrec.End_ckpt ->
+  | Logrec.End_ckpt | Logrec.Coord_commit | Logrec.Coord_abort | Logrec.Coord_end ->
       false
 
 let index_record ix (r : Logrec.t) =
@@ -184,7 +184,7 @@ let analysis ?locks_of ?index logs =
                 commit a hole *)
              let valid =
                try
-                 let targets, _ = Txnmgr.decode_prepare_body r.Logrec.body in
+                 let targets, _, _ = Txnmgr.decode_prepare_body r.Logrec.body in
                  Logset.targets_valid logs r targets
                with _ -> false
              in
@@ -205,7 +205,9 @@ let analysis ?locks_of ?index logs =
                with _ -> false
              in
              if valid then tk.tk_ended <- true
-         | Logrec.Begin_ckpt | Logrec.End_ckpt -> ()
+         | Logrec.Begin_ckpt | Logrec.End_ckpt | Logrec.Coord_commit | Logrec.Coord_abort
+         | Logrec.Coord_end ->
+             ()
        end);
       (match r.Logrec.kind with
       | Logrec.End_ckpt ->
@@ -280,7 +282,8 @@ let analysis ?locks_of ?index logs =
              per-page redo replays exactly its own history instead of
              rescanning the whole log once per pending page *)
           (match index with Some ix -> index_record ix r | None -> ())
-      | Logrec.Commit | Logrec.Prepare | Logrec.Rollback | Logrec.End_txn | Logrec.Begin_ckpt ->
+      | Logrec.Commit | Logrec.Prepare | Logrec.Rollback | Logrec.End_txn | Logrec.Begin_ckpt
+      | Logrec.Coord_commit | Logrec.Coord_abort | Logrec.Coord_end ->
           ()));
   (* per-stream redo starts: a page's recLSN is an offset on its own
      stream, so only per-stream minima are meaningful *)
@@ -406,6 +409,7 @@ let reacquire_indoubt mgr an =
           (Txnmgr.restore_txn mgr ~firsts:tk.tk_firsts ~id ~state:Txnmgr.Prepared
              ~lasts:tk.tk_lasts ~undo_nxts:tk.tk_undo_nxts ());
         indoubt := id :: !indoubt;
+        Stats.incr Stats.txn_indoubt_restored;
         (* if the txn prepared before the analysis window, fetch the
            Prepare record through the prev-LSN chain of its control stream
            (pageless records route by txn id, so the Prepare is there) *)
@@ -422,7 +426,8 @@ let reacquire_indoubt mgr an =
                   match r.Logrec.kind with
                   | Logrec.Prepare -> Some r.Logrec.body
                   | Logrec.Update | Logrec.Clr | Logrec.Commit | Logrec.Rollback
-                  | Logrec.End_txn | Logrec.Begin_ckpt | Logrec.End_ckpt ->
+                  | Logrec.End_txn | Logrec.Begin_ckpt | Logrec.End_ckpt | Logrec.Coord_commit
+                  | Logrec.Coord_abort | Logrec.Coord_end ->
                       walk r.Logrec.prev_lsn
               in
               walk tk.tk_lasts.(cs)
@@ -430,7 +435,7 @@ let reacquire_indoubt mgr an =
         match body with
         | None -> ()
         | Some body ->
-            let _, locks_blob = Txnmgr.decode_prepare_body body in
+            let _, locks_blob, _ = Txnmgr.decode_prepare_body body in
             List.iter
               (fun (name, mode) ->
                 match Lockmgr.lock locks ~txn:id name mode Lockmgr.Commit with
@@ -580,7 +585,9 @@ let redo_page ?(on_demand = false) en pid =
           ~finally:(fun () -> Hashtbl.remove en.en_redoing pid)
           (fun () ->
             if on_demand then Stats.incr Stats.instant_ondemand_redos;
-            if Trace.enabled () then Trace.emit (Trace.Restart_redo_page { pid; on_demand });
+            if Trace.enabled () then
+              Trace.emit
+                (Trace.Restart_redo_page { pool = Bufpool.id en.en_pool; pid; on_demand });
             let tr0 = Stats.get (Stats.current ()) Stats.tree_traversals in
             let applied0 = en.en_redos_applied in
             List.iter (fun r -> redo_record en r) (page_history en ~from:rec_lsn pid);
@@ -593,7 +600,8 @@ let redo_page ?(on_demand = false) en pid =
             Bufpool.clear_restart_page en.en_pool pid;
             if Trace.enabled () then
               Trace.emit
-                (Trace.Restart_page_done { pid; applied = en.en_redos_applied - applied0 }))
+                (Trace.Restart_page_done
+                   { pool = Bufpool.id en.en_pool; pid; applied = en.en_redos_applied - applied0 }))
       end
 
 (* The Bufpool fix hook: pending page -> redo it now, on demand; page being
@@ -890,7 +898,8 @@ let start ?archive mgr pool =
   List.iter
     (fun (pid, rec_lsn, _) ->
       Disk.note_pid (Bufpool.disk pool) pid;
-      if Trace.enabled () then Trace.emit (Trace.Restart_dpt { pid; rec_lsn }))
+      if Trace.enabled () then
+        Trace.emit (Trace.Restart_dpt { pool = Bufpool.id pool; pid; rec_lsn }))
     dpt_entries;
   Bufpool.set_restart_dpt pool dpt_entries;
   Bufpool.set_redo_hook pool (fun pid -> on_fix en pid);

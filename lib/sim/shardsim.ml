@@ -1,0 +1,722 @@
+(* The sharded simulation harness: the Sim rig over a [Sharddb] cluster.
+
+   Same discipline as {!Sim}: every run is a pure function of (seed, cfg,
+   mode), setup runs with the crash hook quiet, and every check reads the
+   {e stable} state — per-shard committed transactions from the logs plus
+   the coordinator decision tables — never the workload's bookkeeping.
+
+   Four run modes:
+
+   - [Cluster_crash None]: the sharded workload runs to completion and is
+     checked directly (seed sweep).
+   - [Cluster_crash (Some k)]: a whole-cluster power failure at the k-th
+     durability event — coordinator and participants cut {e at the same
+     instant}, with the per-stream flush shuffle deciding which log tails
+     survive on each shard independently. Classic restart + in-doubt
+     resolution must recover every shard to the cross-shard oracle.
+   - [Kill {victim; at}]: a {e targeted} fail-stop of one shard at the
+     [at]-th durability event while every other shard keeps running — the
+     degrade-gracefully mode. The victim is revived mid-run, in-doubts
+     resolve, parked deliveries drain, and the final state must match the
+     oracle. [at = None] is the recording run (the killer never fires) that
+     learns the event count for the sweep.
+   - [Degrade k]: shard [k] is failed ({!Aries_util.Crashpoint.shard_down_fault})
+     for the whole workload: transactions confined to healthy shards must
+     still commit (progress is asserted), transactions touching the downed
+     shard abort by presumption, and nothing hangs.
+
+   The [instant] runner is [Cluster_crash (Some cut)] with
+   [restart ~instant:true] and a {e second} workload phase (disjoint fiber
+   ids / key slices) admitted while the per-shard drain daemons are still
+   redoing — in-doubt branches are restored and resolved mid-recovery. *)
+
+open Aries_util
+module Btree = Aries_btree.Btree
+module Bufpool = Aries_buffer.Bufpool
+module Sched = Aries_sched.Sched
+module Db = Aries_db.Db
+module Txnmgr = Aries_txn.Txnmgr
+module Trace = Aries_trace.Trace
+module Discipline = Aries_trace.Discipline
+module Sharddb = Aries_shard.Sharddb
+module Twopc = Aries_shard.Twopc
+
+type cfg = {
+  shards : int;
+  fibers : int;
+  txns_per_fiber : int;
+  max_ops_per_txn : int;
+  keys_per_fiber : int;
+  fetch_freq : int;  (** 1/n of ops are fetches (0 = never) *)
+  rollback_freq : int;  (** 1/n of surviving gtxns explicitly abort (0 = never) *)
+  yield_probability : float;
+  steal_probability : float;
+  page_size : int;
+  pool_capacity : int;
+  segment_size : int;
+  streams : int;  (** WAL streams per shard *)
+  shuffle : bool;  (** arm the crash-time per-stream flush shuffle *)
+}
+
+(* Small cluster, adversarial knobs: 3 shards so a 2-key transaction is
+   usually cross-shard under the hash router, 2 WAL streams per shard plus
+   the flush shuffle so crash survivorship is misaligned both across
+   streams and across shards, tiny pages/pools for SMOs and steals. *)
+let default_cfg =
+  {
+    shards = 3;
+    fibers = 3;
+    txns_per_fiber = 5;
+    max_ops_per_txn = 3;
+    keys_per_fiber = 24;
+    fetch_freq = 5;
+    rollback_freq = 6;
+    yield_probability = 0.2;
+    steal_probability = 0.1;
+    page_size = 320;
+    pool_capacity = 12;
+    segment_size = 1024;
+    streams = 2;
+    shuffle = true;
+  }
+
+type mode =
+  | Cluster_crash of int option
+  | Instant of int  (** cut event for crash + instant restart + second phase *)
+  | Kill of { victim : int; at : int option }
+  | Degrade of int  (** this shard is down for the whole workload *)
+
+let mode_to_string = function
+  | Cluster_crash None -> "run"
+  | Cluster_crash (Some k) -> Printf.sprintf "crash=%d" k
+  | Instant cut -> Printf.sprintf "instant=%d" cut
+  | Kill { victim; at = None } -> Printf.sprintf "kill=%d@-" victim
+  | Kill { victim; at = Some k } -> Printf.sprintf "kill=%d@%d" victim k
+  | Degrade k -> Printf.sprintf "down=%d" k
+
+let mode_of_string s =
+  let fail () = invalid_arg (Printf.sprintf "Shardsim.mode_of_string: %S" s) in
+  match String.split_on_char '=' s with
+  | [ "run" ] -> Cluster_crash None
+  | [ "crash"; k ] -> Cluster_crash (Some (int_of_string k))
+  | [ "instant"; k ] -> Instant (int_of_string k)
+  | [ "kill"; vk ] -> (
+      match String.split_on_char '@' vk with
+      | [ v; "-" ] -> Kill { victim = int_of_string v; at = None }
+      | [ v; k ] -> Kill { victim = int_of_string v; at = Some (int_of_string k) }
+      | _ -> fail ())
+  | [ "down"; k ] -> Degrade (int_of_string k)
+  | _ -> fail ()
+
+(* ------------------------------------------------------------------ *)
+(* The sharded workload *)
+
+type gtxn_trace = {
+  gt_fiber : int;
+  gt_gid : int;
+  mutable gt_branches : (int * Ids.txn_id) list;  (* first-touch order; head = coordinator *)
+  mutable gt_ops : Oracle.op list;  (* most recent first *)
+  mutable gt_acked : bool;
+  mutable gt_aborted : bool;
+}
+
+type trace = gtxn_trace Vec.t
+
+let key_value ~fiber i = Printf.sprintf "g%02d-k%03d" fiber i
+
+let key_rid ~fiber i = { Ids.rid_page = 200_000 + fiber; rid_slot = i }
+
+(* The fiber's exact view of one of its own values: the in-flight gtxn's
+   ops (most recent first) shadow the committed view. *)
+let lookup view (gt : gtxn_trace) value =
+  let rec go = function
+    | [] -> Hashtbl.find_opt view value
+    | Oracle.Insert (v, rid) :: _ when String.equal v value -> Some rid
+    | Oracle.Delete (v, _) :: _ when String.equal v value -> None
+    | _ :: rest -> go rest
+  in
+  go gt.gt_ops
+
+let run_gtxn t cfg rng view (gt : gtxn_trace) g ~fiber =
+  let nops = 1 + Rng.int rng cfg.max_ops_per_txn in
+  for _ = 1 to nops do
+    let i = Rng.int rng cfg.keys_per_fiber in
+    let value = key_value ~fiber i in
+    (if cfg.fetch_freq > 0 && Rng.int rng cfg.fetch_freq = 0 then
+       ignore (Sharddb.fetch t g value)
+     else
+       match lookup view gt value with
+       | None ->
+           let rid = key_rid ~fiber i in
+           Sharddb.insert t g ~value ~rid;
+           gt.gt_ops <- Oracle.Insert (value, rid) :: gt.gt_ops
+       | Some rid ->
+           Sharddb.delete t g ~value ~rid;
+           gt.gt_ops <- Oracle.Delete (value, rid) :: gt.gt_ops);
+    (* record branches as they form, not at commit: a crash can cut the
+       transaction at any op and the oracle still needs to know which
+       shards held a branch (and who would have coordinated) *)
+    gt.gt_branches <- Sharddb.branches g
+  done
+
+let spawn_fibers ?(fiber_base = 0) t cfg ~seed ~(trace : trace) =
+  for f = 0 to cfg.fibers - 1 do
+    let fiber = fiber_base + f in
+    let rng = Rng.create ((seed * 1_000_003) + (fiber * 7919) + 23) in
+    ignore
+      (Sched.spawn
+         ~name:(Printf.sprintf "swl-%d" fiber)
+         (fun () ->
+           let view : (string, Ids.rid) Hashtbl.t = Hashtbl.create 64 in
+           try
+             for _ = 1 to cfg.txns_per_fiber do
+               if Crashpoint.tripped () then raise (Crashpoint.Crash (Crashpoint.count ()));
+               let g = Sharddb.begin_gtxn t in
+               let gt =
+                 {
+                   gt_fiber = fiber;
+                   gt_gid = Sharddb.gid g;
+                   gt_branches = [];
+                   gt_ops = [];
+                   gt_acked = false;
+                   gt_aborted = false;
+                 }
+               in
+               Vec.push trace gt;
+               match run_gtxn t cfg rng view gt g ~fiber with
+               | exception Txnmgr.Aborted _ ->
+                   (* this branch was rolled back in place (deadlock victim,
+                      global-detector victim, or a kill breaking its lock
+                      wait); the other branches still need aborting *)
+                   gt.gt_aborted <- true;
+                   Sharddb.abort t g
+               | exception Sharddb.Shard_down _ ->
+                   (* fail-fast from a downed shard: abort by presumption
+                      everywhere reachable, keep going on healthy shards *)
+                   gt.gt_aborted <- true;
+                   Sharddb.abort t g
+               | () -> (
+                   if cfg.rollback_freq > 0 && Rng.int rng cfg.rollback_freq = 0 then begin
+                     gt.gt_aborted <- true;
+                     Sharddb.abort t g
+                   end
+                   else
+                     match Sharddb.commit t g with
+                     | () ->
+                         gt.gt_acked <- true;
+                         List.iter
+                           (fun op ->
+                             match op with
+                             | Oracle.Insert (v, rid) -> Hashtbl.replace view v rid
+                             | Oracle.Delete (v, _) -> Hashtbl.remove view v)
+                           (List.rev gt.gt_ops)
+                     | exception Sharddb.Global_abort _ -> gt.gt_aborted <- true)
+             done
+           with
+           | Crashpoint.Crash _ as c -> raise c
+           | e when Crashpoint.tripped () ->
+               (* the power failure tore volatile state under this fiber
+                  mid-operation; the machine is dead, only the stable state
+                  matters — count the fiber as crash-killed *)
+               ignore e;
+               raise (Crashpoint.Crash (Crashpoint.count ()))))
+  done
+
+let trace_to_string (trace : trace) =
+  Vec.fold
+    (fun acc gt ->
+      let outcome =
+        if gt.gt_acked then "committed" else if gt.gt_aborted then "aborted" else "in-flight"
+      in
+      let parts =
+        String.concat ","
+          (List.map (fun (k, id) -> Printf.sprintf "%d:T%d" k id) gt.gt_branches)
+      in
+      let ops = List.rev_map Oracle.op_to_string gt.gt_ops in
+      Printf.sprintf "G%d f%d [%s] %s: %s" gt.gt_gid gt.gt_fiber parts outcome
+        (if ops = [] then "(no updates)" else String.concat " " ops)
+      :: acc)
+    [] trace
+  |> List.rev
+
+(* ------------------------------------------------------------------ *)
+(* The cross-shard committed-state oracle *)
+
+(* Committed-ness from the stable state alone. A single-branch gtxn is a
+   plain local transaction: committed iff its (fence-validated) Commit
+   record survives on its shard. A multi-branch gtxn ran 2PC: committed
+   iff a durable Coord_commit for its gid survives on the {e coordinator}
+   shard — presumed abort means absence {e is} the abort. This is exactly
+   the test rule R10 makes sound: the decision is forced only after every
+   participant's Prepare (and with it every update) is durable, so a
+   surviving decision implies every branch is recoverable. *)
+let committed_gtxn committed decisions (gt : gtxn_trace) =
+  match gt.gt_branches with
+  | [] -> false
+  | [ (k, id) ] -> Hashtbl.mem committed.(k) id
+  | (coord, _) :: _ -> (
+      match Hashtbl.find_opt decisions.(coord) gt.gt_gid with
+      | Some d -> d.Twopc.dc_commit
+      | None -> false)
+
+let check_state t cfg (trace : trace) ~phase failures =
+  let fail fmt =
+    Printf.ksprintf (fun s -> failures := (phase ^ ": " ^ s) :: !failures) fmt
+  in
+  let nshards = Sharddb.n t in
+  let committed = Array.init nshards (fun k -> Oracle.committed_txns (Sharddb.db t k)) in
+  let decisions = Array.init nshards (fun k -> Twopc.decisions (Sharddb.db t k)) in
+  let is_committed = committed_gtxn committed decisions in
+  (* the two log-vs-ack contract checks, globalised: an acked gtxn must be
+     durably decided (and a committed multi-branch decision implies every
+     branch's Prepare survived — R10); an aborted gtxn must not be *)
+  Vec.iter
+    (fun gt ->
+      let in_log = is_committed gt in
+      if gt.gt_acked && not in_log then
+        fail
+          "durability violation: G%d (fiber %d) was acked committed but no durable decision \
+           survives"
+          gt.gt_gid gt.gt_fiber;
+      if gt.gt_aborted && in_log then
+        fail
+          "atomicity violation: G%d (fiber %d) was aborted yet resolves committed from the \
+           stable state"
+          gt.gt_gid gt.gt_fiber)
+    trace;
+  (* every committed gtxn must commit {e everywhere}, every other one
+     {e nowhere}: fold the committed ops into per-shard expected states
+     (the router fixes each value's home) and diff each shard's tree *)
+  let expected = Array.make nshards Oracle.empty in
+  Vec.iter
+    (fun gt ->
+      if is_committed gt then
+        List.iter
+          (fun op ->
+            let v = match op with Oracle.Insert (v, _) | Oracle.Delete (v, _) -> v in
+            let k = Sharddb.shard_of t v in
+            expected.(k) <- Oracle.apply_op expected.(k) op)
+          (List.rev gt.gt_ops))
+    trace;
+  for k = 0 to nshards - 1 do
+    let tree = Sharddb.btree t k in
+    (try Btree.check_invariants tree with
+    | Failure m -> fail "shard %d tree invariant violated: %s" k m
+    | e -> fail "shard %d check_invariants raised %s" k (Printexc.to_string e));
+    let actual = Btree.to_list tree in
+    List.iter
+      (fun m -> fail "shard %d state mismatch: %s" k m)
+      (Oracle.diff_lines expected.(k) actual)
+  done;
+  ignore cfg;
+  List.iter (fun m -> fail "leak: %s" m) (Sharddb.leak_report t)
+
+(* ------------------------------------------------------------------ *)
+(* Reports / reproducers *)
+
+type report = {
+  sr_events : int;  (** durability events during the workload phase *)
+  sr_txns : int;  (** global transactions traced *)
+  sr_acked : int;  (** gtxns acknowledged committed *)
+  sr_resolved : int;  (** in-doubt branches resolved after restart/revive *)
+  sr_failures : string list;
+  sr_trace : string list;
+  sr_event_dump : string list;
+}
+
+let dump_window = 120
+
+let dump_if_failed failures = if !failures = [] then [] else Trace.dump_last dump_window
+
+let acked_count (trace : trace) =
+  Vec.fold (fun acc gt -> if gt.gt_acked then acc + 1 else acc) 0 trace
+
+(* ------------------------------------------------------------------ *)
+(* The runner *)
+
+let mk_cluster cfg =
+  Sharddb.create ~shards:cfg.shards ~page_size:cfg.page_size ~pool_capacity:cfg.pool_capacity
+    ~segment_size:cfg.segment_size ~streams:cfg.streams ()
+
+(* Run [f] as a cluster phase and funnel scheduler problems into the
+   failure list: used for setup, restart and check phases, which must
+   complete cleanly (no stall, no exception). *)
+let run_phase t ?policy ?yield_probability ~what failures f =
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  let r = Sharddb.run t ?policy ?yield_probability f in
+  (match r.Sched.outcome with
+  | Sched.Completed -> ()
+  | Sched.Stalled ids -> fail "%s stalled with %d suspended fiber(s)" what (List.length ids)
+  | Sched.Interrupted live -> fail "%s step budget exhausted with %d live fiber(s)" what live);
+  List.iter
+    (fun (_, name, e) -> fail "%s fiber %s raised %s" what name (Printexc.to_string e))
+    r.Sched.exns
+
+let set_steal_hooks t cfg ~seed =
+  for k = 0 to Sharddb.n t - 1 do
+    if Sharddb.is_up t k then
+      Bufpool.set_steal_hook (Sharddb.db t k).Db.pool ~seed:(seed + 0x51ea1 + k)
+        ~probability:cfg.steal_probability
+  done
+
+let clear_steal_hooks t =
+  for k = 0 to Sharddb.n t - 1 do
+    if Sharddb.is_up t k then Bufpool.clear_steal_hook (Sharddb.db t k).Db.pool
+  done
+
+let run cfg ~seed ~(mode : mode) : report =
+  Crashpoint.disarm ();
+  Faultdisk.disarm ();
+  Crashpoint.reset ();
+  Trace.reset ();
+  Discipline.reset ();
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  let t = mk_cluster cfg in
+  let trace : trace = Vec.create () in
+  let resolved_total = ref 0 in
+  let events_seen = ref 0 in
+  (* setup with the hook quiet: crash indices enumerate only workload-phase
+     durability events, and every shard's tree anchor is recoverable *)
+  run_phase t ~what:"setup" failures (fun () -> Sharddb.setup t);
+  if !failures = [] then begin
+    set_steal_hooks t cfg ~seed;
+    if cfg.shuffle then Faultdisk.arm ~seed:(seed lxor 0xFA17) Faultdisk.shuffle_cfg;
+    let down_fault = match mode with Degrade k -> Some (Crashpoint.shard_down_fault k) | _ -> None in
+    (match down_fault with Some f -> Crashpoint.enable_fault f | None -> ());
+    Fun.protect
+      ~finally:(fun () ->
+        (match down_fault with Some f -> Crashpoint.disable_fault f | None -> ());
+        Faultdisk.disarm ())
+    @@ fun () ->
+    Crashpoint.reset ();
+    (match mode with
+    | Cluster_crash (Some k) | Instant k -> Crashpoint.arm ~at:k
+    | Cluster_crash None | Kill _ | Degrade _ -> ());
+    let crash_armed = match mode with Cluster_crash (Some _) | Instant _ -> true | _ -> false in
+    let killed = ref false in
+    let revive_seq = ref 0 in
+    let revive_now victim =
+      incr revive_seq;
+      match Sharddb.revive t victim with
+      | Some _ ->
+          (* a branch begun on the dead incarnation and never logged is
+             invisible to restart, so its txn id could be reissued; the
+             oracle keys the trace by (shard, txn id) — keep the revived
+             shard's ids disjoint from every pre-kill id *)
+          Txnmgr.note_txn_id (Sharddb.db t victim).Db.mgr (100_000 * !revive_seq)
+      | None -> ()
+    in
+    let spawn_killer victim at =
+      (* a daemon so a recording run (at = max_int, never fires) leaves the
+         schedule identical to an armed run up to the kill instant *)
+      ignore
+        (Sched.spawn_daemon ~name:"shard-killer" (fun () ->
+             while (not (Sched.shutting_down ())) && Crashpoint.count () < at do
+               Sched.yield ()
+             done;
+             if (not (Sched.shutting_down ())) && Crashpoint.count () >= at then begin
+               Sharddb.kill t victim;
+               killed := true;
+               (* let the healthy shards make progress against the hole,
+                  then bring the victim back: restart + in-doubt resolution
+                  + parked-delivery drain, all while the workload runs *)
+               for _ = 1 to 60 do
+                 if not (Sched.shutting_down ()) then Sched.yield ()
+               done;
+               if not (Sched.shutting_down ()) then revive_now victim
+             end))
+    in
+    let result =
+      (* a crash-armed run gets a step budget: after the power failure
+         trips, fibers suspended on locks held by crash-killed fibers can
+         never resume while the service daemons keep yielding — the
+         machine is dead but the scheduler is not, and without a bound the
+         run spins forever. The stable state is fixed at the trip, so
+         winding the schedule down by budget loses nothing; a budget
+         exhausted {e before} the trip is still reported as a failure
+         below. *)
+      Sharddb.run t ~policy:(Sched.Random seed) ~yield_probability:cfg.yield_probability
+        ?max_steps:(if crash_armed then Some 2_000_000 else None)
+        (fun () ->
+          (match mode with
+          | Kill { victim; at } -> spawn_killer victim (match at with Some k -> k | None -> max_int)
+          | _ -> ());
+          spawn_fibers t cfg ~seed ~trace)
+    in
+    let tripped = Crashpoint.tripped () in
+    let events = Crashpoint.count () in
+    events_seen := events;
+    Crashpoint.disarm ();
+    clear_steal_hooks t;
+    (match result.Sched.outcome with
+    | Sched.Completed -> ()
+    | Sched.Stalled ids ->
+        if not crash_armed then
+          fail "scheduler stalled with %d suspended fiber(s)" (List.length ids)
+    | Sched.Interrupted live ->
+        if not (crash_armed && tripped) then
+          fail "step budget exhausted with %d live fiber(s)" live);
+    List.iter
+      (fun (_, name, e) ->
+        match e with
+        | Crashpoint.Crash _ when crash_armed -> ()
+        | e ->
+            fail "fiber %s raised %s%s" name (Printexc.to_string e)
+              (if crash_armed then " (not the simulated crash)" else ""))
+      result.Sched.exns;
+    (match mode with
+    | Cluster_crash None ->
+        if !failures = [] then
+          run_phase t ~what:"post-run check" failures (fun () ->
+              check_state t cfg trace ~phase:"post-run" failures)
+    | Degrade k ->
+        (* graceful degradation: healthy-shard transactions must commit,
+           and nothing acked may have touched the downed shard *)
+        if acked_count trace = 0 then
+          fail "degrade run made no progress: zero transactions committed with shard %d down" k;
+        Vec.iter
+          (fun gt ->
+            if gt.gt_acked && List.mem_assoc k gt.gt_branches then
+              fail "G%d was acked committed despite holding a branch on downed shard %d"
+                gt.gt_gid k)
+          trace;
+        (match down_fault with Some f -> Crashpoint.disable_fault f | None -> ());
+        if !failures = [] then
+          run_phase t ~what:"post-degrade check" failures (fun () ->
+              check_state t cfg trace ~phase:"post-degrade" failures)
+    | Kill { at; victim } ->
+        (* an armed killer can lose the race when no workload fiber yields
+           between the kill point and shutdown (only possible near the tail
+           of the schedule); the run then degenerates to a plain checked
+           run — not a failure *)
+        ignore at;
+        if !failures = [] then
+          run_phase t ~what:"post-kill check" failures (fun () ->
+              (* the killer revives mid-run unless shutdown won the race *)
+              if not (Sharddb.is_up t victim) then revive_now victim;
+              resolved_total := !resolved_total + Sharddb.resolve_indoubts t;
+              check_state t cfg trace ~phase:"post-kill" failures)
+    | Cluster_crash (Some k) ->
+        if not tripped then fail "crash index %d never reached (run produced %d events)" k events
+        else if !failures = [] then begin
+          Sharddb.crash t;
+          run_phase t ~what:"restart" failures (fun () ->
+              let _, resolved = Sharddb.restart t in
+              resolved_total := !resolved_total + resolved;
+              check_state t cfg trace ~phase:"post-restart" failures)
+        end
+    | Instant cut ->
+        if not tripped then
+          fail "crash index %d never reached (run produced %d events)" cut events
+        else if !failures = [] then begin
+          Sharddb.crash t;
+          set_steal_hooks t cfg ~seed:(seed + 0x1000);
+          (* restart every shard [~instant]: each opens right after Analysis
+             with its in-doubt branches restored (locks held), resolution
+             runs against the drain, and a second workload phase (disjoint
+             fiber ids, hence key slices) is admitted mid-recovery *)
+          run_phase t ~policy:(Sched.Random (seed lxor 0x1257a2))
+            ~yield_probability:cfg.yield_probability ~what:"instant recovery" failures
+            (fun () ->
+              let _, resolved = Sharddb.restart ~instant:true t in
+              resolved_total := !resolved_total + resolved;
+              for k = 0 to Sharddb.n t - 1 do
+                (* phase-1 txn ids that never logged can be reissued; the
+                   oracle keys the trace by (shard, txn id), so phase 2
+                   lives in a disjoint id range *)
+                Txnmgr.note_txn_id (Sharddb.db t k).Db.mgr 100_000
+              done;
+              spawn_fibers ~fiber_base:cfg.fibers t cfg ~seed ~trace);
+          clear_steal_hooks t;
+          if !failures = [] then
+            run_phase t ~what:"post-instant check" failures (fun () ->
+                check_state t cfg trace ~phase:"post-instant" failures)
+        end)
+  end;
+  {
+    sr_events = !events_seen;
+    sr_txns = Vec.length trace;
+    sr_acked = acked_count trace;
+    sr_resolved = !resolved_total;
+    sr_failures = List.rev !failures;
+    sr_trace = trace_to_string trace;
+    sr_event_dump = dump_if_failed failures;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Sweeps *)
+
+type reproducer = {
+  sp_seed : int;
+  sp_mode : mode;
+  sp_failures : string list;
+  sp_trace : string list;
+  sp_event_dump : string list;
+}
+
+let reproducer_line r =
+  Printf.sprintf "SHARD-REPRO seed=%d mode=%s :: %s" r.sp_seed (mode_to_string r.sp_mode)
+    (match r.sp_failures with [] -> "(no failure recorded)" | f :: _ -> f)
+
+let replay cfg r = run cfg ~seed:r.sp_seed ~mode:r.sp_mode
+
+let confirms r (rep : report) =
+  rep.sr_failures <> [] && List.equal String.equal r.sp_failures rep.sr_failures
+
+type summary = {
+  ss_runs : int;
+  ss_events : int;  (** durability events enumerated across recording runs *)
+  ss_acked : int;  (** gtxns acked committed across all runs *)
+  ss_resolved : int;  (** in-doubt branches resolved across all runs *)
+  ss_failures : reproducer list;
+}
+
+let empty_summary = { ss_runs = 0; ss_events = 0; ss_acked = 0; ss_resolved = 0; ss_failures = [] }
+
+let note_result ?(progress = fun _ -> ()) acc ~seed ~mode (r : report) =
+  let acc =
+    {
+      acc with
+      ss_runs = acc.ss_runs + 1;
+      ss_acked = acc.ss_acked + r.sr_acked;
+      ss_resolved = acc.ss_resolved + r.sr_resolved;
+    }
+  in
+  if r.sr_failures = [] then acc
+  else begin
+    let rp =
+      {
+        sp_seed = seed;
+        sp_mode = mode;
+        sp_failures = r.sr_failures;
+        sp_trace = r.sr_trace;
+        sp_event_dump = r.sr_event_dump;
+      }
+    in
+    progress (reproducer_line rp);
+    { acc with ss_failures = acc.ss_failures @ [ rp ] }
+  end
+
+let add_run ?progress cfg acc ~seed ~mode = note_result ?progress acc ~seed ~mode (run cfg ~seed ~mode)
+
+(* Evenly spaced sample of [budget] indices over [1..total], both endpoints
+   included; every index when the budget covers them all. *)
+let sample_indices ~total ~budget =
+  if total <= 0 || budget <= 0 then []
+  else if budget >= total then List.init total (fun i -> i + 1)
+  else if budget = 1 then [ total ]
+  else
+    List.init budget (fun i -> 1 + (i * (total - 1) / (budget - 1)))
+    |> List.sort_uniq compare
+
+(* Whole-cluster crash sweep: one recording run learns the durability-event
+   count, then the same seed re-runs with the power failure armed at up to
+   [budget] sampled indices — with the per-stream flush shuffle armed, each
+   crash leaves every shard a different survivor prefix. *)
+let crash_sweep ?(progress = fun _ -> ()) cfg ~seed ~budget =
+  let recording = run cfg ~seed ~mode:(Cluster_crash None) in
+  if recording.sr_failures <> [] then
+    note_result ~progress
+      { empty_summary with ss_events = recording.sr_events }
+      ~seed ~mode:(Cluster_crash None) recording
+  else begin
+    let ks = sample_indices ~total:recording.sr_events ~budget in
+    progress
+      (Printf.sprintf "seed %d: %d durability events, arming %d cluster crashes" seed
+         recording.sr_events (List.length ks));
+    List.fold_left
+      (fun acc k -> add_run ~progress cfg acc ~seed ~mode:(Cluster_crash (Some k)))
+      { empty_summary with ss_runs = 1; ss_events = recording.sr_events;
+        ss_acked = recording.sr_acked }
+      ks
+  end
+
+(* Targeted fail-stop sweep: for each shard in turn — coordinators and
+   participants alike — a recording run (killer armed at infinity) learns
+   the event count, then the victim is killed at sampled events while the
+   rest of the cluster keeps serving, revived mid-run, and the final state
+   must match the oracle with zero leaked in-doubts. *)
+let kill_sweep ?(progress = fun _ -> ()) cfg ~seed ~budget =
+  List.fold_left
+    (fun acc victim ->
+      let mode_rec = Kill { victim; at = None } in
+      let recording = run cfg ~seed ~mode:mode_rec in
+      if recording.sr_failures <> [] then note_result ~progress acc ~seed ~mode:mode_rec recording
+      else begin
+        let per_victim = max 1 (budget / cfg.shards) in
+        (* strictly interior points: a kill armed at the final durability
+           event races the killer daemon against scheduler shutdown (and is
+           equivalent to a post-run check anyway) *)
+        let ks = sample_indices ~total:(max 0 (recording.sr_events - 1)) ~budget:per_victim in
+        progress
+          (Printf.sprintf "seed %d: killing shard %d at %d of %d events" seed victim
+             (List.length ks) recording.sr_events);
+        List.fold_left
+          (fun acc k -> add_run ~progress cfg acc ~seed ~mode:(Kill { victim; at = Some k }))
+          { acc with ss_runs = acc.ss_runs + 1; ss_events = acc.ss_events + recording.sr_events;
+            ss_acked = acc.ss_acked + recording.sr_acked }
+          ks
+      end)
+    empty_summary
+    (List.init cfg.shards (fun k -> k))
+
+(* Instant-restart sweep: sample [budget] phase-1 cut points; at each, the
+   cluster crashes, restarts [~instant] and serves a second workload phase
+   while the drains run and in-doubts resolve mid-recovery. *)
+let instant_sweep ?(progress = fun _ -> ()) cfg ~seed ~budget =
+  let recording = run cfg ~seed ~mode:(Cluster_crash None) in
+  if recording.sr_failures <> [] then
+    note_result ~progress
+      { empty_summary with ss_events = recording.sr_events }
+      ~seed ~mode:(Cluster_crash None) recording
+  else begin
+    let cuts = sample_indices ~total:recording.sr_events ~budget in
+    progress
+      (Printf.sprintf "seed %d: %d phase-1 events, %d instant-restart cuts" seed
+         recording.sr_events (List.length cuts));
+    List.fold_left
+      (fun acc cut -> add_run ~progress cfg acc ~seed ~mode:(Instant cut))
+      { empty_summary with ss_runs = 1; ss_events = recording.sr_events;
+        ss_acked = recording.sr_acked }
+      cuts
+  end
+
+(* Degrade sweep: each shard in turn spends a whole workload down. *)
+let degrade_sweep ?(progress = fun _ -> ()) cfg ~seeds =
+  List.fold_left
+    (fun acc seed ->
+      List.fold_left
+        (fun acc k -> add_run ~progress cfg acc ~seed ~mode:(Degrade k))
+        acc
+        (List.init cfg.shards (fun k -> k)))
+    empty_summary seeds
+
+let merge a b =
+  {
+    ss_runs = a.ss_runs + b.ss_runs;
+    ss_events = a.ss_events + b.ss_events;
+    ss_acked = a.ss_acked + b.ss_acked;
+    ss_resolved = a.ss_resolved + b.ss_resolved;
+    ss_failures = a.ss_failures @ b.ss_failures;
+  }
+
+(* The full sharded rig: seed sweep, whole-cluster crash sweep, per-shard
+   kill sweep, and the degrade sweep — the `sim smoke --shards` gate. *)
+let sweep ?progress cfg ~seeds ~crash_seeds ~crash_budget =
+  let s1 =
+    List.fold_left
+      (fun acc seed -> add_run ?progress cfg acc ~seed ~mode:(Cluster_crash None))
+      empty_summary seeds
+  in
+  let s2 =
+    List.fold_left
+      (fun acc seed -> merge acc (crash_sweep ?progress cfg ~seed ~budget:crash_budget))
+      s1 crash_seeds
+  in
+  let s3 =
+    List.fold_left
+      (fun acc seed -> merge acc (kill_sweep ?progress cfg ~seed ~budget:crash_budget))
+      s2 crash_seeds
+  in
+  merge s3 (degrade_sweep ?progress cfg ~seeds:(match seeds with s :: _ -> [ s ] | [] -> [ 1 ]))

@@ -1,6 +1,6 @@
 open Aries_util
 
-type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9 | R10
 
 let rule_to_string = function
   | R1 -> "R1"
@@ -12,6 +12,7 @@ let rule_to_string = function
   | R7 -> "R7"
   | R8 -> "R8"
   | R9 -> "R9"
+  | R10 -> "R10"
 
 let rule_summary = function
   | R1 -> "no unconditional lock wait while holding a latch"
@@ -29,6 +30,10 @@ let rule_summary = function
   | R9 ->
       "an Mvcc snapshot read issues no lock request and never waits; no observed version CSN \
        above the reader's pinned snapshot"
+  | R10 ->
+      "no global commit decision or ack before the decision record and every participant's \
+       Prepare are provably forced; no in-doubt branch committed without a durable decision \
+       (presumed abort: an abort needs no record)"
 
 exception Violation of rule * string
 
@@ -75,28 +80,35 @@ let repairing : (int, unit) Hashtbl.t = Hashtbl.create 4
 (* Instant-restart state (PR 6), volatile like [repairing]: a crash wipes
    the engine along with the rest of the run.
 
-   [needs_redo]: pids announced by Restart_dpt whose on-demand redo has not
-   yet finished — R7(a) forbids serving them to a Page_fix, except inside
-   the delimited Restart_redo_page .. Restart_page_done window ([redoing]),
-   where the redo roll-forward itself fixes the page.
+   [needs_redo]: (pool, pid) pairs announced by Restart_dpt whose on-demand
+   redo has not yet finished — R7(a) forbids serving them to a Page_fix,
+   except inside the delimited Restart_redo_page .. Restart_page_done
+   window ([redoing]), where the redo roll-forward itself fixes the page.
+   Keyed by (pool, pid), not bare pid: a sharded Db runs one pool per
+   shard with independent page namespaces, and interleaved shard restarts
+   must not see each other's needs-redo state.
 
    [loser_locks]: lock name -> loser txn that re-acquired it during
    Analysis; [live_losers]: losers whose undo has not completed. R7(b)
    forbids granting a loser-locked name to any other txn while the loser
    is live. *)
-let needs_redo : (int, unit) Hashtbl.t = Hashtbl.create 8
+let needs_redo : (int * int, unit) Hashtbl.t = Hashtbl.create 8
 
-let redoing : (int, unit) Hashtbl.t = Hashtbl.create 4
+let redoing : (int * int, unit) Hashtbl.t = Hashtbl.create 4
 
 let loser_locks : (string, int) Hashtbl.t = Hashtbl.create 8
 
 let live_losers : (int, unit) Hashtbl.t = Hashtbl.create 4
 
-(* pid -> gsn of the last redo applied to it this run (R8(b)): restart redo
-   must hit each page in strictly increasing gsn order. Volatile — a new run
-   means a new recovery; a quarantine means media repair rebuilds the page
-   from the archived dump, legitimately restarting its redo history. *)
-let redo_gsn : (int, int) Hashtbl.t = Hashtbl.create 8
+(* (stream, pid) -> gsn of the last redo applied to the page this run
+   (R8(b)): restart redo must hit each page in strictly increasing gsn
+   order. All of a page's records live on one stream, so keying by
+   (stream, pid) tracks exactly the per-page order — and keeps shards
+   apart, since pools reuse page ids but stream ids are process-unique.
+   Volatile — a new run means a new recovery; a quarantine means media
+   repair rebuilds the page from the archived dump, legitimately
+   restarting its redo history. *)
+let redo_gsn : (int * int, int) Hashtbl.t = Hashtbl.create 8
 
 (* Mvcc reader state (PR 8), volatile like the version store itself:
    [pins]: txn -> pinned snapshot (epoch, gsn); [reading]: txns inside an
@@ -107,6 +119,19 @@ let redo_gsn : (int, int) Hashtbl.t = Hashtbl.create 8
 let pins : (int, int * int) Hashtbl.t = Hashtbl.create 8
 
 let reading : (int, unit) Hashtbl.t = Hashtbl.create 8
+
+(* 2PC state (PR 10), durable like [flushed]: prepares and decisions are
+   facts about the logs and survive simulated crashes.
+
+   [prepare_targets]: gid -> every (log id, end offset) a participant's
+   Prepare vote claimed stable (accumulated across participants);
+   [decided]: gids with a provably durable commit decision. R10(a) checks a
+   commit decision's own record and all recorded Prepare targets against
+   the flushed boundaries; R10(b) forbids a committed ack or a committed
+   in-doubt resolution without a durable decision. *)
+let prepare_targets : (int, (int * int) list) Hashtbl.t = Hashtbl.create 8
+
+let decided : (int, unit) Hashtbl.t = Hashtbl.create 8
 
 let violations_count = ref 0
 
@@ -129,6 +154,8 @@ let reset () =
   Hashtbl.reset flushed;
   Hashtbl.reset safety;
   Hashtbl.reset log_start;
+  Hashtbl.reset prepare_targets;
+  Hashtbl.reset decided;
   violations_count := 0
 
 let fiber_state f =
@@ -334,35 +361,43 @@ let check (ev : Trace.event) =
                 violate R8 "txn %d acked with stream %d fence target %d beyond flushed offset %d"
                   txn log lsn_end f)
         targets
-  | Trace.Redo_apply { log = _; pid; lsn; gsn } ->
+  | Trace.Redo_apply { log; pid; lsn; gsn } ->
       (* R8(b): per-page redo order. A page's records all live on one
          stream, so replaying them in ascending gsn is replaying them in
          append order; a non-monotone application means the merge (or a
-         single-page roll-forward) fed history to the page backwards. *)
-      (match Hashtbl.find_opt redo_gsn pid with
+         single-page roll-forward) fed history to the page backwards.
+         Keyed by (stream, pid): pools reuse page ids, stream ids don't. *)
+      (match Hashtbl.find_opt redo_gsn (log, pid) with
       | Some g when gsn <= g ->
-          violate R8 "redo applied to page %d at lsn %d with gsn %d not above last applied gsn %d"
-            pid lsn gsn g
+          violate R8
+            "redo applied to page %d (stream %d) at lsn %d with gsn %d not above last applied gsn %d"
+            pid log lsn gsn g
       | _ -> ());
-      Hashtbl.replace redo_gsn pid gsn
+      Hashtbl.replace redo_gsn (log, pid) gsn
   | Trace.Page_quarantined { pid; cause = _ } ->
       Hashtbl.replace repairing pid ();
       (* media repair rebuilds from the archived dump: its roll-forward
-         legitimately restarts the page's redo history from the beginning *)
-      Hashtbl.remove redo_gsn pid
+         legitimately restarts the page's redo history from the beginning.
+         The quarantine event carries no stream id, so drop the page's
+         entry on every stream — conservative: it can only suppress, never
+         invent, a violation. *)
+      Hashtbl.filter_map_inplace
+        (fun (_, p) g -> if p = pid then None else Some g)
+        redo_gsn
   | Trace.Page_repaired { pid; records = _ } -> Hashtbl.remove repairing pid
-  | Trace.Restart_dpt { pid; rec_lsn = _ } -> Hashtbl.replace needs_redo pid ()
-  | Trace.Restart_redo_page { pid; on_demand = _ } -> Hashtbl.replace redoing pid ()
-  | Trace.Restart_page_done { pid; applied = _ } ->
-      Hashtbl.remove needs_redo pid;
-      Hashtbl.remove redoing pid
-  | Trace.Page_fix { pid } ->
+  | Trace.Restart_dpt { pool; pid; rec_lsn = _ } -> Hashtbl.replace needs_redo (pool, pid) ()
+  | Trace.Restart_redo_page { pool; pid; on_demand = _ } ->
+      Hashtbl.replace redoing (pool, pid) ()
+  | Trace.Restart_page_done { pool; pid; applied = _ } ->
+      Hashtbl.remove needs_redo (pool, pid);
+      Hashtbl.remove redoing (pool, pid)
+  | Trace.Page_fix { pool; pid } ->
       (* R7(a): a page still awaiting its on-demand redo must not be served
          to anyone — its image predates crash-surviving updates. The redo
          roll-forward itself fixes the page inside the delimited
          Restart_redo_page .. Restart_page_done window, which is legal. *)
-      if Hashtbl.mem needs_redo pid && not (Hashtbl.mem redoing pid) then
-        violate R7 "page %d fixed while still in the needs-redo set" pid
+      if Hashtbl.mem needs_redo (pool, pid) && not (Hashtbl.mem redoing (pool, pid)) then
+        violate R7 "page %d (pool %d) fixed while still in the needs-redo set" pid pool
   | Trace.Restart_loser { txn } -> Hashtbl.replace live_losers txn ()
   | Trace.Restart_lock { txn; name; mode = _ } -> Hashtbl.replace loser_locks name txn
   | Trace.Restart_undo_txn _ -> ()
@@ -385,12 +420,56 @@ let check (ev : Trace.event) =
          the previous incarnation (background drains, media repairs) no
          longer bound this recovery's applications *)
       if String.equal phase "analysis" then Hashtbl.reset redo_gsn
+  | Trace.Twopc_prepared { gid; shard = _; txn = _; targets } ->
+      let cur =
+        match Hashtbl.find_opt prepare_targets gid with Some l -> l | None -> []
+      in
+      Hashtbl.replace prepare_targets gid (targets @ cur)
+  | Trace.Twopc_decide { gid; commit; log; lsn_end } ->
+      if commit then begin
+        (* R10(a): the commit decision claims durability — its own record
+           and every participant Prepare it is predicated on must already
+           lie below the flushed boundaries. An unforced decision is the
+           distributed durability lie: a coordinator crash would presume
+           abort while participants were told to commit. *)
+        (match Hashtbl.find_opt flushed log with
+        | None -> ()  (* log opened before tracing was enabled: no baseline *)
+        | Some f ->
+            if lsn_end > f then
+              violate R10
+                "gid %d decided commit with decision record end %d beyond flushed offset %d \
+                 of log %d"
+                gid lsn_end f log);
+        List.iter
+          (fun (plog, pend) ->
+            match Hashtbl.find_opt flushed plog with
+            | None -> ()
+            | Some f ->
+                if pend > f then
+                  violate R10
+                    "gid %d decided commit with Prepare target %d beyond flushed offset %d \
+                     of log %d"
+                    gid pend f plog)
+          (match Hashtbl.find_opt prepare_targets gid with Some l -> l | None -> []);
+        Hashtbl.replace decided gid ()
+      end
+  | Trace.Twopc_ack { gid; committed } ->
+      (* R10(b): a committed ack without a durable decision *)
+      if committed && not (Hashtbl.mem decided gid) then
+        violate R10 "gid %d acked committed without a durable commit decision" gid
+  | Trace.Twopc_resolve { gid; shard = _; txn; committed } ->
+      (* R10(b): restart may only commit an in-doubt branch on the strength
+         of a durable decision; aborting is always legal (presumed abort) *)
+      if committed && not (Hashtbl.mem decided gid) then
+        violate R10 "gid %d branch txn %d resolved committed without a durable commit decision"
+          gid txn
   | Trace.Latch_try_fail _ | Trace.Lock_deny _
   | Trace.Lock_release _ | Trace.Lock_release_all _ | Trace.Deadlock_victim _
   | Trace.Log_append _ | Trace.Log_seal _ | Trace.Log_archive _ | Trace.Ckpt_take _
   | Trace.Page_unfix _ | Trace.Commit_enqueue _
   | Trace.Daemon_spawn _ | Trace.Daemon_exit _
-  | Trace.Protocol_locks _ | Trace.Io_retry _ | Trace.Vgc_round _ | Trace.Note _ ->
+  | Trace.Protocol_locks _ | Trace.Io_retry _ | Trace.Vgc_round _ | Trace.Shard_event _
+  | Trace.Note _ ->
       ()
 
 let installed = ref false

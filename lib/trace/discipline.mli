@@ -47,6 +47,17 @@
       entirely; (b) every [Mvcc_read] resolution's version CSN lies at or
       below the reader's [Mvcc_pin] — a higher CSN is a future write
       leaking into the snapshot.
+    - {b R10} — presumed-abort 2PC durability (PR 10): (a) no
+      [Twopc_decide] with [commit = true] before the decision record
+      {e and} every participant Prepare target recorded by
+      [Twopc_prepared] lie below their logs' flushed boundaries — an
+      unforced commit decision is the distributed durability lie (a
+      coordinator crash presumes abort while participants were told to
+      commit); (b) no [Twopc_ack] with [committed = true] and no
+      [Twopc_resolve] with [committed = true] without a durable commit
+      decision. Aborts carry no obligation: presumed abort means the
+      {e absence} of a decision record is itself the abort decision, so no
+      [Coord_abort] force is ever required.
 
     Fiber-keyed state (held latches) and per-tree SMO state are discarded
     at every [Run_begin] (a new scheduler incarnation reuses fiber ids and
@@ -54,7 +65,7 @@
     is volatile the same way). The per-log flushed boundary persists — it
     mirrors durable state. *)
 
-type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9 | R10
 
 exception Violation of rule * string
 

@@ -35,7 +35,7 @@ type payload =
           ends at [at], [bytes] bytes were discarded *)
   | Log_archive of { log : int; base : int; len : int; records : int }
   | Ckpt_take of { log : int; begin_lsn : int; end_lsn : int; redo : int }
-  | Page_fix of { pid : int }
+  | Page_fix of { pool : int; pid : int }
   | Page_unfix of { pid : int }
   | Page_write of { log : int; pid : int; page_lsn : int; lsn_end : int; rec_lsn : int }
   | Smo_begin of { tree : int; txn : int; exclusive : bool }
@@ -65,15 +65,15 @@ type payload =
   | Page_repaired of { pid : int; records : int }
       (** media repair rebuilt the page from the archive + log history,
           replaying [records] log records *)
-  | Restart_dpt of { pid : int; rec_lsn : int }
+  | Restart_dpt of { pool : int; pid : int; rec_lsn : int }
       (** instant restart: Analysis placed this page in the needs-redo set
           (the DPT) with the given recLSN — rule R7(a) forbids serving it
           to a fix before its on-demand redo completes *)
-  | Restart_redo_page of { pid : int; on_demand : bool }
+  | Restart_redo_page of { pool : int; pid : int; on_demand : bool }
       (** instant restart began single-page redo of an in-DPT page
           ([on_demand]: triggered by a user fix rather than the drain
           daemon) *)
-  | Restart_page_done of { pid : int; applied : int }
+  | Restart_page_done of { pool : int; pid : int; applied : int }
       (** single-page redo finished, [applied] records replayed; the page
           left the needs-redo set and fixes may be served again *)
   | Restart_loser of { txn : int }
@@ -104,6 +104,24 @@ type payload =
   | Vgc_round of { reclaimed : int; epoch : int; gsn : int }
       (** a version-GC round reclaimed [reclaimed] versions below the
           oldest-active-snapshot horizon (epoch, gsn) *)
+  | Twopc_prepared of { gid : int; shard : int; txn : int; targets : (int * int) list }
+      (** a participant forced its Prepare record; [targets] are the (log
+          id, end offset) pairs that must be stable — rule R10 records them
+          under [gid] *)
+  | Twopc_decide of { gid : int; commit : bool; log : int; lsn_end : int }
+      (** the coordinator decided the global transaction; for a commit the
+          decision record [log, lsn_end) must already be forced, as must
+          every participant's Prepare targets (rule R10(a)) *)
+  | Twopc_ack of { gid : int; committed : bool }
+      (** the global outcome was acknowledged to the client — a committed
+          ack without a durable decision is the distributed durability lie
+          (rule R10(b)) *)
+  | Twopc_resolve of { gid : int; shard : int; txn : int; committed : bool }
+      (** restart resolved an in-doubt participant branch; a committed
+          resolution requires a durable decision ([committed = false] is
+          always legal: presumed abort) *)
+  | Shard_event of { shard : int; what : string }
+      (** shard lifecycle: "down" / "up" / "killed" / "revived" / "parked" *)
   | Note of string
 
 type event = { ev_step : int; ev_fiber : int; ev_payload : payload }
@@ -248,7 +266,7 @@ let payload_to_string = function
       Printf.sprintf "log-archive L%d base=%d len=%d records=%d" log base len records
   | Ckpt_take { log; begin_lsn; end_lsn; redo } ->
       Printf.sprintf "ckpt-take L%d begin=%d end=%d redo=%d" log begin_lsn end_lsn redo
-  | Page_fix { pid } -> Printf.sprintf "page-fix %d" pid
+  | Page_fix { pool; pid } -> Printf.sprintf "page-fix B%d/%d" pool pid
   | Page_unfix { pid } -> Printf.sprintf "page-unfix %d" pid
   | Page_write { log; pid; page_lsn; lsn_end; rec_lsn } ->
       Printf.sprintf "page-write L%d pid=%d pageLSN=%d end=%d recLSN=%d" log pid page_lsn
@@ -273,11 +291,12 @@ let payload_to_string = function
       Printf.sprintf "io-retry %s pid=%d attempt=%d" target pid attempt
   | Page_quarantined { pid; cause } -> Printf.sprintf "page-quarantined %d (%s)" pid cause
   | Page_repaired { pid; records } -> Printf.sprintf "page-repaired %d records=%d" pid records
-  | Restart_dpt { pid; rec_lsn } -> Printf.sprintf "restart-dpt %d recLSN=%d" pid rec_lsn
-  | Restart_redo_page { pid; on_demand } ->
-      Printf.sprintf "restart-redo-page %d%s" pid (if on_demand then " on-demand" else "")
-  | Restart_page_done { pid; applied } ->
-      Printf.sprintf "restart-page-done %d applied=%d" pid applied
+  | Restart_dpt { pool; pid; rec_lsn } ->
+      Printf.sprintf "restart-dpt B%d/%d recLSN=%d" pool pid rec_lsn
+  | Restart_redo_page { pool; pid; on_demand } ->
+      Printf.sprintf "restart-redo-page B%d/%d%s" pool pid (if on_demand then " on-demand" else "")
+  | Restart_page_done { pool; pid; applied } ->
+      Printf.sprintf "restart-page-done B%d/%d applied=%d" pool pid applied
   | Restart_loser { txn } -> Printf.sprintf "restart-loser T%d" txn
   | Restart_lock { txn; name; mode } -> Printf.sprintf "restart-lock T%d %s %s" txn mode name
   | Restart_undo_txn { txn; preempted } ->
@@ -292,6 +311,20 @@ let payload_to_string = function
   | Mvcc_unpin { txn } -> Printf.sprintf "mvcc-unpin T%d" txn
   | Vgc_round { reclaimed; epoch; gsn } ->
       Printf.sprintf "vgc-round reclaimed=%d horizon=%d.%d" reclaimed epoch gsn
+  | Twopc_prepared { gid; shard; txn; targets } ->
+      Printf.sprintf "2pc-prepared G%d shard=%d T%d targets=[%s]" gid shard txn
+        (String.concat ";"
+           (List.map (fun (l, e) -> Printf.sprintf "%d:%d" l e) targets))
+  | Twopc_decide { gid; commit; log; lsn_end } ->
+      Printf.sprintf "2pc-decide G%d %s log=%d end=%d" gid
+        (if commit then "commit" else "abort")
+        log lsn_end
+  | Twopc_ack { gid; committed } ->
+      Printf.sprintf "2pc-ack G%d %s" gid (if committed then "committed" else "aborted")
+  | Twopc_resolve { gid; shard; txn; committed } ->
+      Printf.sprintf "2pc-resolve G%d shard=%d T%d %s" gid shard txn
+        (if committed then "committed" else "aborted")
+  | Shard_event { shard; what } -> Printf.sprintf "shard %d %s" shard what
   | Note s -> Printf.sprintf "note %s" s
 
 let event_to_string ev =

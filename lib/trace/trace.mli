@@ -64,7 +64,7 @@ type payload =
           recovery keeps working) *)
   | Ckpt_take of { log : int; begin_lsn : int; end_lsn : int; redo : int }
       (** a fuzzy checkpoint completed: Begin/End pair stable, master set *)
-  | Page_fix of { pid : int }
+  | Page_fix of { pool : int; pid : int }
   | Page_unfix of { pid : int }
   | Page_write of { log : int; pid : int; page_lsn : int; lsn_end : int; rec_lsn : int }
       (** [rec_lsn] is the page's dirty-table recLSN at write time
@@ -98,14 +98,14 @@ type payload =
   | Page_repaired of { pid : int; records : int }
       (** media repair rebuilt the quarantined page from the archive + log
           history, replaying [records] log records *)
-  | Restart_dpt of { pid : int; rec_lsn : int }
+  | Restart_dpt of { pool : int; pid : int; rec_lsn : int }
       (** instant restart: Analysis placed this page in the needs-redo set
           with the given recLSN — rule R7(a) forbids serving it to a fix
           before its on-demand redo completes *)
-  | Restart_redo_page of { pid : int; on_demand : bool }
+  | Restart_redo_page of { pool : int; pid : int; on_demand : bool }
       (** instant restart began single-page redo of an in-DPT page
           ([on_demand]: triggered by a user fix, not the drain daemon) *)
-  | Restart_page_done of { pid : int; applied : int }
+  | Restart_page_done of { pool : int; pid : int; applied : int }
       (** single-page redo finished ([applied] records replayed); the page
           left the needs-redo set and fixes may be served again *)
   | Restart_loser of { txn : int }
@@ -141,6 +141,25 @@ type payload =
   | Vgc_round of { reclaimed : int; epoch : int; gsn : int }
       (** a version-GC daemon round reclaimed [reclaimed] chain versions
           strictly below the oldest-active-snapshot horizon (epoch, gsn) *)
+  | Twopc_prepared of { gid : int; shard : int; txn : int; targets : (int * int) list }
+      (** a 2PC participant forced its Prepare record for global txn [gid];
+          [targets] are the (log id, end offset) pairs its vote claims are
+          stable — rule R10(a) records them and checks every one against
+          the flushed boundary when the coordinator later decides commit *)
+  | Twopc_decide of { gid : int; commit : bool; log : int; lsn_end : int }
+      (** the coordinator decided [gid]; for [commit = true] the decision
+          record [log, lsn_end) and every recorded Prepare target must
+          already be forced (rule R10(a)) — an abort decision carries no
+          durability obligation (presumed abort) *)
+  | Twopc_ack of { gid : int; committed : bool }
+      (** the global outcome was acknowledged to the client — rule R10(b)
+          forbids a committed ack before a durable commit decision *)
+  | Twopc_resolve of { gid : int; shard : int; txn : int; committed : bool }
+      (** restart resolved an in-doubt participant branch of [gid]; rule
+          R10(b) requires a durable commit decision for [committed = true]
+          ([false] is always legal: absence of a decision presumes abort) *)
+  | Shard_event of { shard : int; what : string }
+      (** shard lifecycle: "down" / "up" / "killed" / "revived" / "parked" *)
   | Note of string
 
 type event = { ev_step : int; ev_fiber : int; ev_payload : payload }

@@ -376,28 +376,34 @@ let commit t txn =
    restart can reacquire them for the in-doubt transaction. *)
 let encode_locks lockmgr txn_id = Lockcodec.encode_list (Lockmgr.held_locks lockmgr ~txn:txn_id)
 
-let encode_prepare_body ~targets ~locks =
+let encode_prepare_body ?(meta = Bytes.empty) ~targets ~locks () =
   let w = Bytebuf.W.create () in
   Bytebuf.W.bytes w (Logset.encode_commit_targets targets);
   Bytebuf.W.bytes w locks;
+  (* 2PC routing meta (gid + coordinator shard, [Aries_shard.Twopc]); empty
+     for a bare single-node prepare *)
+  Bytebuf.W.bytes w meta;
   Bytebuf.W.contents w
 
 let decode_prepare_body b =
   let r = Bytebuf.R.of_bytes b in
   let targets = Logset.decode_commit_targets (Bytebuf.R.bytes r) in
   let locks = Bytebuf.R.bytes r in
+  let meta = Bytebuf.R.bytes r in
   Bytebuf.R.expect_end r;
-  (targets, locks)
+  (targets, locks, meta)
 
-let prepare t txn =
+let prepare ?meta t txn =
   (match txn.state with
   | Active -> ()
   | Committing | Prepared | Rolling_back -> invalid_arg "Txnmgr.prepare: not active");
   let body =
-    encode_prepare_body ~targets:(fence_targets t txn) ~locks:(encode_locks t.lockmgr txn.txn_id)
+    encode_prepare_body ?meta ~targets:(fence_targets t txn)
+      ~locks:(encode_locks t.lockmgr txn.txn_id) ()
   in
   let lsn = write_simple t txn ~body Logrec.Prepare in
   let epoch = Logset.current_epoch t.logs in
+  Stats.incr Stats.txn_prepares;
   (* the Prepare force is a commit-path force too: it must fence every
      touched stream (an in-doubt txn's updates must all be stable before
      the prepare is acknowledged), and it batches when the daemon is live *)
@@ -475,7 +481,7 @@ let undo_one t txn ((s, r) : int * Logrec.t) =
         if r.Logrec.undo_nxt_stream <> s then txn.undo_nxts.(s) <- r.Logrec.prev_lsn
       end
   | Logrec.Commit | Logrec.Prepare | Logrec.Rollback | Logrec.End_txn | Logrec.Begin_ckpt
-  | Logrec.End_ckpt ->
+  | Logrec.End_ckpt | Logrec.Coord_commit | Logrec.Coord_abort | Logrec.Coord_end ->
       txn.undo_nxts.(s) <- r.Logrec.prev_lsn
 
 let undo_chain t txn ?stop_at () =

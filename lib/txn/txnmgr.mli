@@ -159,10 +159,13 @@ val set_group_commit : t -> Group_commit.t option -> unit
 
 val group_commit : t -> Group_commit.t option
 
-val prepare : t -> txn -> unit
+val prepare : ?meta:bytes -> t -> txn -> unit
 (** First phase of 2PC: logs Prepare (its body carrying the fence target
-    vector and the txn's lock names, for restart validation and
-    reacquisition) and forces every touched stream. *)
+    vector, the txn's lock names for restart validation and reacquisition,
+    and the opaque [meta] blob — the sharding layer stores the global
+    transaction id and coordinator shard there, see
+    [Aries_shard.Twopc.encode_prepare_meta]) and forces every touched
+    stream. *)
 
 val commit_prepared : t -> txn -> unit
 
@@ -267,10 +270,11 @@ val undo_one : t -> txn -> int * Logrec.t -> unit
 
 (** {1 Prepare body codec} *)
 
-val encode_prepare_body : targets:(int * Lsn.t) list -> locks:bytes -> bytes
+val encode_prepare_body : ?meta:bytes -> targets:(int * Lsn.t) list -> locks:bytes -> unit -> bytes
 
-val decode_prepare_body : bytes -> (int * Lsn.t) list * bytes
-(** [(fence targets, encoded lock list)]. *)
+val decode_prepare_body : bytes -> (int * Lsn.t) list * bytes * bytes
+(** [(fence targets, encoded lock list, 2PC meta blob)] — [meta] is empty
+    for a bare single-node prepare. *)
 
 (** {1 Locking} *)
 

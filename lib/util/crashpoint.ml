@@ -82,3 +82,9 @@ let fault_wal_stream_shuffle = "wal.stream-shuffle"
 let fault_wal_stream_fence_skip = "wal.stream-fence-skip"
 
 let fault_mvcc_reader_key_lock = "mvcc.reader-key-lock"
+
+let fault_twopc_early_decide = "2pc.early-decide"
+
+let fault_shard_down = "shard.down"
+
+let shard_down_fault k = Printf.sprintf "%s.%d" fault_shard_down k

@@ -146,3 +146,21 @@ val fault_mvcc_reader_key_lock : string
     real conditional key-lock request inside its wait-free read window —
     exactly the lock-manager interaction snapshot readers exist to avoid.
     The discipline checker must flag the request as an R9 violation. *)
+
+val fault_twopc_early_decide : string
+(** Meta-fault proving rule R10 has teeth: the 2PC coordinator skips the
+    force of its Coord_commit decision record and acknowledges the global
+    commit anyway — participants then release in-doubt locks on the
+    strength of a decision a crash can still lose. The discipline checker
+    must flag the decide/ack as an R10 violation. *)
+
+val fault_shard_down : string
+(** Prefix of the per-shard fail-stop switches ["shard.down.<k>"] (see
+    {!shard_down_fault}): while shard [k]'s switch is active the
+    {!Aries_shard.Sharddb} layer refuses every operation routed to it with
+    a typed [Shard_down] — healthy shards must keep committing, and
+    cross-shard transactions touching the downed shard park as in-doubt or
+    abort by presumption, never hang. *)
+
+val shard_down_fault : int -> string
+(** [shard_down_fault k] = ["shard.down.<k>"]. *)

@@ -108,6 +108,12 @@ let mvcc_versions_created = "mvcc.versions_created"
 let mvcc_versions_reclaimed = "mvcc.versions_reclaimed"
 let mvcc_snapshot_reads = "mvcc.snapshot_reads"
 let vgcd_rounds = "vgcd.rounds"
+let txn_prepares = "txn.prepares"
+let txn_indoubt_restored = "txn.indoubt_restored"
+let txn_indoubt_resolved = "txn.indoubt_resolved"
+let shard_retries = "shard.retries"
+let shard_timeouts = "shard.timeouts"
+let deadlock_global_victims = "deadlock.global_victims"
 
 let commit_batch_bucket n = Printf.sprintf "commit.batch_hist.%02d" n
 

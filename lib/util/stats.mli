@@ -189,6 +189,32 @@ val mvcc_snapshot_reads : string
 val vgcd_rounds : string
 (** Version-GC daemon rounds completed. *)
 
+val txn_prepares : string
+(** Prepare records logged and forced (2PC phase 1 votes). *)
+
+val txn_indoubt_restored : string
+(** In-doubt (prepared) transactions restored by restart analysis with
+    their commit-duration locks reacquired. *)
+
+val txn_indoubt_resolved : string
+(** In-doubt transactions resolved after a restart: committed because the
+    coordinator's decision record was re-read, or rolled back by
+    presumption when no decision survived. *)
+
+val shard_retries : string
+(** 2PC decision-delivery attempts retried because the participant shard
+    was down. *)
+
+val shard_timeouts : string
+(** Decision deliveries that exhausted their bounded retries and parked
+    the participant as in-doubt (resolved later by {!txn_indoubt_resolved}
+    machinery). *)
+
+val deadlock_global_victims : string
+(** Transactions aborted by the cross-shard deadlock detector (global
+    waits-for union over the per-shard lock managers, plus its lock-wait
+    timeout fallback). *)
+
 val commit_batch_bucket : int -> string
 (** Histogram counter name for batches of exactly [n] committers,
     e.g. ["commit.batch_hist.04"]. *)

@@ -9,6 +9,9 @@ type kind =
   | End_txn
   | Begin_ckpt
   | End_ckpt
+  | Coord_commit
+  | Coord_abort
+  | Coord_end
 
 type t = {
   lsn : Lsn.t;
@@ -43,7 +46,9 @@ type t = {
 let default_flags = function
   | Update -> (true, true)
   | Clr -> (false, true)
-  | Commit | Prepare | Rollback | End_txn | Begin_ckpt | End_ckpt -> (false, false)
+  | Commit | Prepare | Rollback | End_txn | Begin_ckpt | End_ckpt | Coord_commit | Coord_abort
+  | Coord_end ->
+      (false, false)
 
 let make ?(page = Ids.nil_page) ?(undo_nxt_lsn = Lsn.nil) ?(undo_nxt_stream = -1) ?(rm_id = 0)
     ?(op = 0) ?undoable ?redoable ?(stream = 0) ?(epoch = 0) ?(gsn = 0) ?(body = Bytes.empty)
@@ -76,6 +81,9 @@ let kind_to_int = function
   | End_txn -> 5
   | Begin_ckpt -> 6
   | End_ckpt -> 7
+  | Coord_commit -> 8
+  | Coord_abort -> 9
+  | Coord_end -> 10
 
 let kind_of_int = function
   | 0 -> Update
@@ -86,6 +94,9 @@ let kind_of_int = function
   | 5 -> End_txn
   | 6 -> Begin_ckpt
   | 7 -> End_ckpt
+  | 8 -> Coord_commit
+  | 9 -> Coord_abort
+  | 10 -> Coord_end
   | n -> raise (Bytebuf.Corrupt (Printf.sprintf "bad log record kind %d" n))
 
 let kind_to_string = function
@@ -97,6 +108,9 @@ let kind_to_string = function
   | End_txn -> "END"
   | Begin_ckpt -> "BEGIN_CKPT"
   | End_ckpt -> "END_CKPT"
+  | Coord_commit -> "COORD_COMMIT"
+  | Coord_abort -> "COORD_ABORT"
+  | Coord_end -> "COORD_END"
 
 (* Fixed header bytes ahead of the length-prefixed body: kind u8, four i64
    (prev/txn/page/undo_nxt), four u16, two bools, two i64 (epoch/gsn), u32

@@ -24,6 +24,22 @@ type kind =
   | End_txn
   | Begin_ckpt
   | End_ckpt  (** body holds the serialized txn table and dirty-page table *)
+  | Coord_commit
+      (** 2PC coordinator decision (presumed abort): the body names the
+          global transaction and its participant shards
+          ({!Aries_shard.Twopc.encode_decision}). [txn = Ids.nil_txn] — the
+          record belongs to the coordinator role, not a local transaction.
+          A global commit is acknowledged only once this record is forced;
+          recovery resolves a surviving in-doubt Prepare by re-reading it. *)
+  | Coord_abort
+      (** optional coordinator abort note (same body as {!Coord_commit}).
+          Presumed abort means {e no} such record is ever required — absence
+          of a Coord_commit {e is} the abort decision — but writing one lets
+          live resolution skip the retry/backoff wait. Never forced. *)
+  | Coord_end
+      (** coordinator bookkeeping: every participant acknowledged the
+          decision; the gid's in-doubt window is closed (body:
+          {!Aries_shard.Twopc.encode_end}). Never forced. *)
 
 type t = {
   lsn : Lsn.t;  (** assigned on append; equals the record's log offset *)

@@ -325,6 +325,9 @@ let reference_encode (r : Logrec.t) =
     | Logrec.End_txn -> 5
     | Logrec.Begin_ckpt -> 6
     | Logrec.End_ckpt -> 7
+    | Logrec.Coord_commit -> 8
+    | Logrec.Coord_abort -> 9
+    | Logrec.Coord_end -> 10
   in
   let b = Buffer.create 64 in
   Buffer.add_char b (Char.chr (kind_to_int r.Logrec.kind));
